@@ -1,0 +1,65 @@
+// Command 3lc-ckpt inspects and evaluates model checkpoints written by
+// 3lc-train -save.
+//
+//	3lc-ckpt -info model.ckpt            # list tensors and statistics
+//	3lc-ckpt -eval model.ckpt            # test accuracy on synthetic data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threelc/internal/checkpoint"
+	"threelc/internal/data"
+	"threelc/internal/nn"
+	"threelc/internal/stats"
+	"threelc/internal/train"
+)
+
+func main() {
+	var (
+		info      = flag.String("info", "", "checkpoint to describe")
+		eval      = flag.String("eval", "", "checkpoint to evaluate on the synthetic test set")
+		useResNet = flag.Bool("resnet", false, "checkpoint holds a MicroResNet (default: MLP workload)")
+		seed      = flag.Uint64("seed", 1, "model seed (must match the training run)")
+	)
+	flag.Parse()
+
+	path := *info
+	if path == "" {
+		path = *eval
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "3lc-ckpt: pass -info or -eval with a checkpoint path")
+		os.Exit(2)
+	}
+
+	dcfg := data.DefaultConfig()
+	var m *nn.Model
+	if *useResNet {
+		cfg := nn.DefaultMicroResNet()
+		cfg.Seed = *seed
+		m = nn.NewMicroResNet(cfg)
+	} else {
+		m = nn.NewMLP(dcfg.C*dcfg.H*dcfg.W, []int{48}, dcfg.Classes, *seed)
+	}
+	if err := checkpoint.LoadFile(path, m); err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-ckpt:", err)
+		os.Exit(1)
+	}
+
+	if *info != "" {
+		fmt.Printf("checkpoint: %s (%d parameters in %d tensors)\n", path, m.NumParams(), len(m.Params()))
+		fmt.Printf("%-24s %10s %10s %10s %10s\n", "tensor", "elems", "std", "max|w|", "mean|w|")
+		for _, p := range m.Params() {
+			s := stats.Summarize(p.W)
+			fmt.Printf("%-24s %10d %10.3g %10.3g %10.3g\n", p.Name, p.W.Len(), s.Std, s.MaxAbs, s.MeanAbs)
+		}
+	}
+	if *eval != "" {
+		_, testSet := data.Synthetic(dcfg)
+		acc := train.Evaluate(m, testSet, 100, !*useResNet)
+		fmt.Printf("test accuracy: %.2f%% (%d examples)\n", acc*100, testSet.Len())
+	}
+}

@@ -1,0 +1,182 @@
+// Command 3lc-train runs a single distributed training job with a chosen
+// traffic-compression design and reports accuracy, traffic, and virtual
+// training time at the emulated bandwidth.
+//
+// Example:
+//
+//	3lc-train -design 3lc -sparsity 1.75 -workers 10 -steps 300 -bandwidth 10e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"threelc/internal/checkpoint"
+	"threelc/internal/compress"
+	"threelc/internal/data"
+	"threelc/internal/netsim"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/train"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "3lc", "design: float32 | int8 | stoch3 | mqe1bit | sparse25 | sparse5 | local2 | 3lc")
+		sparsity   = flag.Float64("sparsity", 1.0, "3LC sparsity multiplier s in [1,2)")
+		noZRE      = flag.Bool("no-zre", false, "disable zero-run encoding (3LC only)")
+		workers    = flag.Int("workers", 10, "number of workers")
+		steps      = flag.Int("steps", 300, "training steps")
+		batch      = flag.Int("batch", 32, "per-worker batch size")
+		bandwidth  = flag.Float64("bandwidth", netsim.Mbps10, "emulated link bandwidth (bits/sec)")
+		useResNet  = flag.Bool("resnet", false, "train MicroResNet instead of the MLP workload")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		evalEvery  = flag.Int("eval-every", 50, "evaluate test accuracy every N steps")
+		savePath   = flag.String("save", "", "write the trained global model to this checkpoint file")
+		backup     = flag.Int("backup-workers", 0, "accept workers-N pushes per step (straggler mitigation)")
+		jitter     = flag.Float64("jitter", 0, "per-worker compute-time jitter std (straggler model)")
+	)
+	flag.Parse()
+
+	design, err := parseDesign(*designName, *sparsity, *noZRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-train:", err)
+		os.Exit(2)
+	}
+
+	dcfg := data.DefaultConfig()
+	var build func() *nn.Model
+	flat := true
+	if *useResNet {
+		flat = false
+		build = func() *nn.Model {
+			cfg := nn.DefaultMicroResNet()
+			cfg.Seed = *seed
+			return nn.NewMicroResNet(cfg)
+		}
+	} else {
+		in := dcfg.C * dcfg.H * dcfg.W
+		build = func() *nn.Model { return nn.NewMLP(in, []int{48}, dcfg.Classes, *seed) }
+	}
+
+	optCfg := opt.TunedSGDConfig(*workers, *steps)
+	cfg := train.Config{
+		Design:         design,
+		Workers:        *workers,
+		BatchPerWorker: *batch,
+		Steps:          *steps,
+		Data:           dcfg,
+		BuildModel:     build,
+		FlatInput:      flat,
+		Augment:        *useResNet,
+		Net:            netsim.DefaultParams(*bandwidth),
+		Optimizer:      &optCfg,
+		EvalEvery:      *evalEvery,
+		RecordSteps:    true,
+		Seed:           *seed,
+
+		BackupWorkers:    *backup,
+		ComputeJitterStd: *jitter,
+	}
+	cfg.Net.Workers = *workers
+
+	var trained *nn.Model
+	if *savePath != "" {
+		// Capture the global model for checkpointing: BuildModel is
+		// called once for the server first.
+		orig := cfg.BuildModel
+		first := true
+		cfg.BuildModel = func() *nn.Model {
+			m := orig()
+			if first {
+				trained = m
+				first = false
+			}
+			return m
+		}
+	}
+
+	res, err := train.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-train:", err)
+		os.Exit(1)
+	}
+	if *savePath != "" {
+		if err := checkpoint.SaveFile(*savePath, trained); err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-train: save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint saved to %s\n", *savePath)
+	}
+
+	fmt.Printf("design:             %s\n", res.Design.Name)
+	fmt.Printf("model parameters:   %d (%d compressible)\n", res.NumParam, res.CompressibleElems)
+	fmt.Printf("workers x steps:    %d x %d\n", res.Workers, res.Steps)
+	fmt.Printf("final loss:         %.4f\n", res.FinalLoss)
+	fmt.Printf("final accuracy:     %.2f%%\n", res.FinalAccuracy*100)
+	fmt.Printf("virtual time:       %.1f s (%.4f s/step @ %s)\n",
+		res.TotalVirtualSec, res.PerStepSec, bwName(*bandwidth))
+	fmt.Printf("push traffic:       %s (raw %s)\n", fmtBytes(res.TotalPushBytes), fmtBytes(res.RawBytes/2))
+	fmt.Printf("pull traffic:       %s\n", fmtBytes(res.TotalPullBytes))
+	if res.CompressibleElems > 0 && design.Scheme != compress.SchemeNone {
+		fmt.Printf("compression ratio:  %.1fx (%.3f bits per state change)\n",
+			res.CompressionRatio(), res.BitsPerChange())
+	}
+	for _, e := range res.Evals {
+		fmt.Printf("  step %5d  accuracy %.2f%%\n", e.Step, e.Accuracy*100)
+	}
+}
+
+func parseDesign(name string, sparsity float64, noZRE bool) (train.Design, error) {
+	switch strings.ToLower(name) {
+	case "float32", "none", "baseline":
+		return train.Design{Name: "32-bit float", Scheme: compress.SchemeNone}, nil
+	case "int8":
+		return train.Design{Name: "8-bit int", Scheme: compress.SchemeInt8}, nil
+	case "stoch3":
+		return train.Design{Name: "Stoch 3-value + QE", Scheme: compress.SchemeStoch3QE}, nil
+	case "mqe1bit":
+		return train.Design{Name: "MQE 1-bit int", Scheme: compress.SchemeMQE1Bit}, nil
+	case "sparse25":
+		return train.Design{Name: "25% sparsification", Scheme: compress.SchemeTopK,
+			Opts: compress.Options{Fraction: 0.25}}, nil
+	case "sparse5":
+		return train.Design{Name: "5% sparsification", Scheme: compress.SchemeTopK,
+			Opts: compress.Options{Fraction: 0.05}}, nil
+	case "local2":
+		return train.Design{Name: "2 local steps", Scheme: compress.SchemeLocalSteps,
+			Opts: compress.Options{Interval: 2}}, nil
+	case "3lc":
+		label := fmt.Sprintf("3LC (s=%.2f)", sparsity)
+		if noZRE {
+			label += " no ZRE"
+		}
+		return train.Design{Name: label, Scheme: compress.SchemeThreeLC,
+			Opts: compress.Options{Sparsity: sparsity, ZeroRun: !noZRE}}, nil
+	}
+	return train.Design{}, fmt.Errorf("unknown design %q", name)
+}
+
+func bwName(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.0f Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.0f Mbps", bps/1e6)
+	}
+	return fmt.Sprintf("%.0f bps", bps)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

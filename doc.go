@@ -1,0 +1,23 @@
+// Package threelc is a from-scratch Go reproduction of "3LC: Lightweight
+// and Effective Traffic Compression for Distributed Machine Learning"
+// (Lim, Andersen, Kaminsky — MLSys 2019).
+//
+// The implementation lives under internal/:
+//
+//	internal/quant       3-value quantization with sparsity multiplication,
+//	                     error accumulation, and the quantization baselines
+//	internal/encode      quartic encoding and zero-run encoding
+//	internal/sparse      top-k sparsification baselines
+//	internal/compress    the unified Compressor interface + wire formats
+//	internal/nn          the neural-network training substrate
+//	internal/data        synthetic CIFAR-like datasets
+//	internal/opt         momentum SGD + cosine decay + warmup
+//	internal/netsim      bandwidth-emulating virtual cluster
+//	internal/ps          parameter-server runtime (push/pull, shared pulls)
+//	internal/train       distributed training driver + metrics
+//	internal/experiments per-table/figure reproduction harness
+//
+// Binaries: cmd/3lc-bench (regenerate every table and figure),
+// cmd/3lc-train (single training run), cmd/3lc-compress (codec demo).
+// Runnable examples are under examples/. See DESIGN.md and EXPERIMENTS.md.
+package threelc

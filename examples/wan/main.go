@@ -1,0 +1,72 @@
+// WAN: the paper's motivating scenario — geo-distributed training over a
+// constrained wide-area link (regulatory data pinning, metered mobile
+// links, §1). Trains with each traffic-reduction design and estimates
+// wall-clock training time across a range of WAN bandwidths.
+//
+//	go run ./examples/wan
+package main
+
+import (
+	"fmt"
+
+	"threelc/internal/compress"
+	"threelc/internal/data"
+	"threelc/internal/netsim"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/train"
+)
+
+func main() {
+	const workers = 10
+	const steps = 100
+
+	dcfg := data.DefaultConfig()
+	in := dcfg.C * dcfg.H * dcfg.W
+
+	designs := []train.Design{
+		{Name: "32-bit float", Scheme: compress.SchemeNone},
+		{Name: "8-bit int", Scheme: compress.SchemeInt8},
+		{Name: "5% sparsification", Scheme: compress.SchemeTopK, Opts: compress.Options{Fraction: 0.05}},
+		{Name: "3LC (s=1.00)", Scheme: compress.SchemeThreeLC, Opts: compress.Options{Sparsity: 1.0, ZeroRun: true}},
+		{Name: "3LC (s=1.90)", Scheme: compress.SchemeThreeLC, Opts: compress.Options{Sparsity: 1.9, ZeroRun: true}},
+	}
+	// WAN-grade bandwidths: a metered mobile uplink, a modest WAN, a
+	// fast WAN.
+	bandwidths := []float64{2e6, 10e6, 50e6}
+
+	fmt.Printf("%-20s %10s", "design", "accuracy")
+	for _, bw := range bandwidths {
+		fmt.Printf(" %11s", fmt.Sprintf("@%.0f Mbps", bw/1e6))
+	}
+	fmt.Println()
+
+	for _, d := range designs {
+		optCfg := opt.TunedSGDConfig(workers, steps)
+		cfg := train.Config{
+			Design:         d,
+			Workers:        workers,
+			BatchPerWorker: 32,
+			Steps:          steps,
+			Data:           dcfg,
+			BuildModel:     func() *nn.Model { return nn.NewMLP(in, []int{48}, dcfg.Classes, 1) },
+			FlatInput:      true,
+			Net:            netsim.DefaultParams(netsim.Mbps10),
+			Optimizer:      &optCfg,
+			RecordSteps:    true,
+			Seed:           1,
+		}
+		cfg.Net.Workers = workers
+		res, err := train.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-20s %9.2f%%", d.Name, res.FinalAccuracy*100)
+		for _, bw := range bandwidths {
+			fmt.Printf(" %9.1f s", res.TimeAt(bw))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTimes are virtual training times for the full run; lower is better.")
+	fmt.Println("Bytes on the wire are measured from the actual compressed pushes/pulls.")
+}

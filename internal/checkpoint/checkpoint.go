@@ -1,0 +1,237 @@
+// Package checkpoint serializes trained models: parameter tensors by name
+// plus batch-norm running statistics. A production training system needs
+// durable snapshots (the paper's measurement methodology reads "the
+// snapshot of the global model" for accuracy evaluation, §5.2); this is
+// that mechanism.
+//
+// Format (all little-endian):
+//
+//	magic "3LCCKPT1"
+//	u32 paramCount
+//	per param: u16 nameLen, name, u8 rank, u32 dims..., f32 data...
+//	u32 bnCount
+//	per BN layer: u32 width, f64 mean..., f64 var...
+//
+// Batch-norm layers are serialized in model Walk order, so loading
+// requires a structurally identical model — the same contract as
+// nn.CopyBatchNormStats.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"threelc/internal/nn"
+)
+
+var magic = [8]byte{'3', 'L', 'C', 'C', 'K', 'P', 'T', '1'}
+
+// Save writes m's parameters and batch-norm statistics to w.
+func Save(w io.Writer, m *nn.Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if len(p.Name) > 1<<16-1 {
+			return fmt.Errorf("checkpoint: parameter name %q too long", p.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		shape := p.W.Shape()
+		if err := bw.WriteByte(byte(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.W.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Batch-norm running statistics, in Walk order.
+	var stats [][2][]float64
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if mean, variance, ok := bnStats(l); ok {
+			stats = append(stats, [2][]float64{mean, variance})
+		}
+	})
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(stats))); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s[0]))); err != nil {
+			return err
+		}
+		for _, v := range s[0] {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+		for _, v := range s[1] {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters and batch-norm statistics into m, which must
+// have the same architecture (parameter names, shapes, BN layout) as the
+// model that was saved.
+func Load(r io.Reader, m *nn.Model) error {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if gotMagic != magic {
+		return fmt.Errorf("checkpoint: bad magic %q", gotMagic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := m.Params()
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("checkpoint: %d parameters, model has %d", count, len(params))
+	}
+	for i := 0; i < int(count); i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return err
+		}
+		name := string(nameBuf)
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("checkpoint: unknown parameter %q", name)
+		}
+		rank, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		n := 1
+		shape := make([]int, rank)
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return err
+			}
+			shape[d] = int(dim)
+			n *= int(dim)
+		}
+		if n != p.W.Len() {
+			return fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d", name, n, p.W.Len())
+		}
+		data := p.W.Data()
+		for j := 0; j < n; j++ {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("checkpoint: parameter %q truncated: %w", name, err)
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+	}
+
+	var bnCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &bnCount); err != nil {
+		return err
+	}
+	var layers []nn.Layer
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if _, _, ok := bnStats(l); ok {
+			layers = append(layers, l)
+		}
+	})
+	if int(bnCount) != len(layers) {
+		return fmt.Errorf("checkpoint: %d batch-norm layers, model has %d", bnCount, len(layers))
+	}
+	for _, l := range layers {
+		mean, variance, _ := bnStats(l)
+		var width uint32
+		if err := binary.Read(br, binary.LittleEndian, &width); err != nil {
+			return err
+		}
+		if int(width) != len(mean) {
+			return fmt.Errorf("checkpoint: batch-norm width %d, model wants %d", width, len(mean))
+		}
+		for j := range mean {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			mean[j] = math.Float64frombits(bits)
+		}
+		for j := range variance {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			variance[j] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path.
+func SaveFile(path string, m *nn.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a checkpoint from path.
+func LoadFile(path string, m *nn.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, m)
+}
+
+// bnStats exposes a batch-norm layer's running statistics slices (aliased)
+// for serialization.
+func bnStats(l nn.Layer) (mean, variance []float64, ok bool) {
+	switch t := l.(type) {
+	case *nn.BatchNorm1D:
+		m, v := t.RunningStats()
+		return m, v, true
+	case *nn.BatchNorm2D:
+		m, v := t.RunningStats()
+		return m, v, true
+	}
+	return nil, nil, false
+}

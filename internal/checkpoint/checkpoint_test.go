@@ -1,0 +1,135 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threelc/internal/nn"
+	"threelc/internal/tensor"
+)
+
+func trainedModel(t *testing.T) *nn.Model {
+	t.Helper()
+	m := nn.NewMLP(6, []int{5}, 3, 7)
+	rng := tensor.NewRNG(9)
+	x := tensor.New(8, 6)
+	tensor.FillNormal(x, 1, rng)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	for i := 0; i < 5; i++ {
+		m.TrainStep(x, labels)
+		for _, p := range m.Params() {
+			p.W.AXPY(-0.1, p.G)
+		}
+	}
+	return m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := nn.NewMLP(6, []int{5}, 3, 999) // different init
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if !sp[i].W.Equal(dp[i].W) {
+			t.Errorf("parameter %s differs after load", sp[i].Name)
+		}
+	}
+
+	// Eval-mode outputs must agree exactly (BN stats restored too).
+	rng := tensor.NewRNG(10)
+	x := tensor.New(4, 6)
+	tensor.FillNormal(x, 1, rng)
+	ys := src.Net.Forward(x, false)
+	yd := dst.Net.Forward(x, false)
+	if !ys.Equal(yd) {
+		t.Error("eval outputs differ after checkpoint round trip")
+	}
+}
+
+func TestSaveLoadResNet(t *testing.T) {
+	cfg := nn.DefaultMicroResNet()
+	cfg.StageChannels = []int{4, 8}
+	cfg.ImageSize = 8
+	src := nn.NewMicroResNet(cfg)
+	rng := tensor.NewRNG(11)
+	x := tensor.New(2, 3, 8, 8)
+	tensor.FillNormal(x, 1, rng)
+	src.TrainStep(x, []int{0, 1})
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewMicroResNet(cfg)
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	ys := src.Net.Forward(x, false)
+	yd := dst.Net.Forward(x, false)
+	if !ys.Equal(yd) {
+		t.Error("ResNet eval outputs differ after checkpoint round trip")
+	}
+}
+
+func TestLoadArchitectureMismatch(t *testing.T) {
+	src := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	wrong := nn.NewMLP(6, []int{4}, 3, 1) // different hidden width
+	if err := Load(bytes.NewReader(buf.Bytes()), wrong); err == nil {
+		t.Error("expected error for architecture mismatch")
+	}
+}
+
+func TestLoadCorruptData(t *testing.T) {
+	src := trainedModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if err := Load(bytes.NewReader(bad), nn.NewMLP(6, []int{5}, 3, 1)); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	// Truncations at several offsets.
+	for _, cut := range []int{4, 12, len(raw) / 2, len(raw) - 3} {
+		if err := Load(bytes.NewReader(raw[:cut]), nn.NewMLP(6, []int{5}, 3, 1)); err == nil {
+			t.Errorf("expected error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	src := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("checkpoint file missing or empty: %v", err)
+	}
+	dst := nn.NewMLP(6, []int{5}, 3, 2)
+	if err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Params()[0].W.Equal(dst.Params()[0].W) {
+		t.Error("file round trip lost parameters")
+	}
+}

@@ -1,0 +1,197 @@
+// Package compress unifies the state-change traffic compression schemes the
+// 3LC paper evaluates (§5.1) behind a single Compressor interface with a
+// self-describing wire format.
+//
+// A Compressor is a per-tensor *compression context* in the paper's sense
+// (§3, Figure 2): it owns whatever sender-side state the scheme needs —
+// most importantly the error-accumulation buffer — for a single tensor
+// (one layer's gradients on a worker, or one layer's model deltas on a
+// server). Decompression is stateless: any endpoint can decode a wire
+// message knowing only the tensor shape.
+//
+// Implemented schemes, named after the paper's evaluation section:
+//
+//	32-bit float       — uncompressed baseline
+//	8-bit int          — TPU-style 255-level quantization
+//	Stoch 3-value + QE — TernGrad-like stochastic ternary + quartic encoding
+//	MQE 1-bit int      — 1-bit SGD with error feedback
+//	25% / 5% sparsification — top-k with bitmap + error accumulation
+//	2 local steps      — transmit accumulated changes every k-th step
+//	3LC (s)            — 3-value quantization with sparsity multiplication,
+//	                     error accumulation, quartic + zero-run encoding
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"threelc/internal/tensor"
+)
+
+// Scheme identifies a traffic compression design.
+type Scheme uint8
+
+// Wire-format scheme identifiers. These appear as the first byte of every
+// compressed message.
+const (
+	SchemeNone Scheme = iota
+	SchemeInt8
+	SchemeThreeLC
+	SchemeStoch3QE
+	SchemeMQE1Bit
+	SchemeTopK
+	SchemeLocalSteps
+	// SchemeRoundRobin is Ako-style partial gradient exchange (§6): each
+	// step transmits one of P interleaved partitions in full, with error
+	// accumulation carrying the rest. Shares the TopK bitmap wire layout.
+	SchemeRoundRobin
+	schemeCount
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "32-bit float"
+	case SchemeInt8:
+		return "8-bit int"
+	case SchemeThreeLC:
+		return "3LC"
+	case SchemeStoch3QE:
+		return "Stoch 3-value + QE"
+	case SchemeMQE1Bit:
+		return "MQE 1-bit int"
+	case SchemeTopK:
+		return "sparsification"
+	case SchemeLocalSteps:
+		return "local steps"
+	case SchemeRoundRobin:
+		return "round-robin exchange"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// Options configures scheme-specific parameters.
+type Options struct {
+	// Sparsity is the 3LC sparsity multiplier s, 1 <= s < 2. Zero means 1.
+	Sparsity float64
+	// ZeroRun enables zero-run encoding on top of quartic encoding for
+	// 3LC. The paper's full design always enables it; Table 2's "No ZRE"
+	// row disables it.
+	ZeroRun bool
+	// Fraction is the transmitted fraction for SchemeTopK (e.g. 0.25, 0.05).
+	Fraction float64
+	// Interval is the local-step count for SchemeLocalSteps (e.g. 2).
+	Interval int
+	// Parts is the partition count for SchemeRoundRobin (cycle length).
+	Parts int
+	// Seed seeds the RNG used by stochastic quantization and threshold
+	// sampling.
+	Seed uint64
+}
+
+// Compressor is a per-tensor compression context. Compress consumes one
+// state-change tensor (a gradient or a model delta) and returns the wire
+// message to transmit; internal error state (if the scheme has any) is
+// updated so that unsent changes are retried at later steps. Implementations
+// are not safe for concurrent use; each tensor endpoint owns one context.
+type Compressor interface {
+	// Scheme returns the wire scheme identifier.
+	Scheme() Scheme
+	// Name returns a human-readable design name matching the paper.
+	Name() string
+	// Compress encodes in (which must match the context's shape) and
+	// advances error-accumulation state.
+	Compress(in *tensor.Tensor) []byte
+}
+
+// New creates a compression context for a tensor of the given shape.
+func New(s Scheme, shape []int, opt Options) Compressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	switch s {
+	case SchemeNone:
+		return &noneCompressor{shape: shape, n: n}
+	case SchemeInt8:
+		return &int8Compressor{shape: shape, n: n}
+	case SchemeThreeLC:
+		sp := opt.Sparsity
+		if sp == 0 {
+			sp = 1
+		}
+		return newThreeLCCompressor(shape, sp, opt.ZeroRun)
+	case SchemeStoch3QE:
+		return newStochCompressor(shape, opt.Seed)
+	case SchemeMQE1Bit:
+		return newOneBitCompressor(shape)
+	case SchemeTopK:
+		if opt.Fraction <= 0 || opt.Fraction > 1 {
+			panic("compress: TopK needs Fraction in (0,1]")
+		}
+		return newTopKCompressor(shape, opt.Fraction, opt.Seed)
+	case SchemeLocalSteps:
+		k := opt.Interval
+		if k < 1 {
+			k = 2
+		}
+		return newLocalStepsCompressor(shape, k)
+	case SchemeRoundRobin:
+		p := opt.Parts
+		if p < 1 {
+			p = 4
+		}
+		return newRoundRobinCompressor(shape, p)
+	default:
+		panic(fmt.Sprintf("compress: unknown scheme %d", s))
+	}
+}
+
+// Decompress decodes a wire message produced by any Compressor into a new
+// tensor of the given shape. It returns an error for malformed messages.
+func Decompress(wire []byte, shape []int) (*tensor.Tensor, error) {
+	out := tensor.New(shape...)
+	if err := DecompressInto(wire, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto decodes wire into dst. An empty wire message (produced by
+// the local-steps scheme on non-transmitting steps) decodes as all zeros.
+func DecompressInto(wire []byte, dst *tensor.Tensor) error {
+	if len(wire) == 0 {
+		dst.Zero()
+		return nil
+	}
+	s := Scheme(wire[0])
+	payload := wire[1:]
+	switch s {
+	case SchemeNone, SchemeLocalSteps:
+		return decodeRaw(payload, dst)
+	case SchemeInt8:
+		return decodeInt8(payload, dst)
+	case SchemeThreeLC, SchemeStoch3QE:
+		return decodeTernary(payload, dst)
+	case SchemeMQE1Bit:
+		return decodeOneBit(payload, dst)
+	case SchemeTopK, SchemeRoundRobin:
+		return decodeTopK(payload, dst)
+	default:
+		return fmt.Errorf("compress: unknown scheme byte %d", wire[0])
+	}
+}
+
+// --- shared little-endian helpers ------------------------------------------
+
+var le = binary.LittleEndian
+
+func putF32(dst []byte, v float32) {
+	le.PutUint32(dst, mathFloat32bits(v))
+}
+
+func getF32(src []byte) float32 {
+	return mathFloat32frombits(le.Uint32(src))
+}

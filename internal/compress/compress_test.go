@@ -1,0 +1,380 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"threelc/internal/tensor"
+)
+
+func randTensor(seed uint64, n int, std float64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	tt := tensor.New(n)
+	tensor.FillNormal(tt, std, rng)
+	return tt
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeNone:       "32-bit float",
+		SchemeInt8:       "8-bit int",
+		SchemeThreeLC:    "3LC",
+		SchemeStoch3QE:   "Stoch 3-value + QE",
+		SchemeMQE1Bit:    "MQE 1-bit int",
+		SchemeTopK:       "sparsification",
+		SchemeLocalSteps: "local steps",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestNoneExactRoundTrip(t *testing.T) {
+	shape := []int{7, 13}
+	c := New(SchemeNone, shape, Options{})
+	in := randTensor(1, 7*13, 0.5).Reshape(7, 13)
+	wire := c.Compress(in)
+	if len(wire) != 1+4*91 {
+		t.Fatalf("wire size %d", len(wire))
+	}
+	out, err := Decompress(wire, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in.Reshape(7, 13)) {
+		t.Error("float32 baseline must be lossless")
+	}
+}
+
+func TestInt8WireRoundTrip(t *testing.T) {
+	shape := []int{100}
+	c := New(SchemeInt8, shape, Options{})
+	in := randTensor(2, 100, 0.5)
+	out, err := Decompress(c.Compress(in), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := in.MaxAbs()
+	for i := range in.Data() {
+		if math.Abs(float64(in.Data()[i]-out.Data()[i])) > float64(m)/254+1e-6 {
+			t.Fatalf("int8 error too large at %d", i)
+		}
+	}
+}
+
+func TestThreeLCWireRoundTripMatchesLocalDequant(t *testing.T) {
+	// The receiver must reconstruct exactly what the sender's local
+	// dequantization produced — otherwise error accumulation would
+	// correct the wrong error.
+	shape := []int{997} // not a multiple of 5: exercises padding
+	c := New(SchemeThreeLC, shape, Options{Sparsity: 1.5, ZeroRun: true}).(*threeLCCompressor)
+	for round := 0; round < 10; round++ {
+		in := randTensor(uint64(round+10), 997, 0.01)
+		wire := c.Compress(in)
+		out, err := Decompress(wire, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Equal(c.dequant) {
+			t.Fatalf("round %d: receiver reconstruction != sender local dequant", round)
+		}
+	}
+}
+
+func TestThreeLCNoZRERoundTrip(t *testing.T) {
+	shape := []int{503}
+	c := New(SchemeThreeLC, shape, Options{Sparsity: 1.0, ZeroRun: false})
+	in := randTensor(3, 503, 0.1)
+	wire := c.Compress(in)
+	// no-ZRE payload is exactly header + ceil(n/5).
+	if len(wire) != 1+4+1+101 {
+		t.Fatalf("no-ZRE wire size %d", len(wire))
+	}
+	if _, err := Decompress(wire, shape); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeLCZRESmallerOnSparseData(t *testing.T) {
+	shape := []int{10000}
+	in := tensor.New(10000)
+	in.Data()[0] = 1 // single spike: quantization output is nearly all zeros
+	zre := New(SchemeThreeLC, shape, Options{Sparsity: 1.0, ZeroRun: true}).Compress(in)
+	raw := New(SchemeThreeLC, shape, Options{Sparsity: 1.0, ZeroRun: false}).Compress(in)
+	if len(zre) >= len(raw) {
+		t.Errorf("ZRE (%d B) should beat plain quartic (%d B) on sparse data", len(zre), len(raw))
+	}
+	if float64(len(raw))/float64(len(zre)) < 10 {
+		t.Errorf("expected large ZRE gain on near-zero tensor, got %.1fx", float64(len(raw))/float64(len(zre)))
+	}
+}
+
+func TestThreeLCErrorAccumulationAcrossCalls(t *testing.T) {
+	shape := []int{64}
+	c := New(SchemeThreeLC, shape, Options{Sparsity: 1.0, ZeroRun: true})
+	in := tensor.New(64)
+	in.Fill(0.3)
+	in.Data()[0] = 1 // dominates M
+	total := tensor.New(64)
+	rounds := 100
+	for i := 0; i < rounds; i++ {
+		out, err := Decompress(c.Compress(in), shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(out)
+	}
+	// Every element must be delivered at its true rate.
+	for i, want := range in.Data() {
+		got := total.Data()[i] / float32(rounds)
+		if math.Abs(float64(got-want)) > 0.05 {
+			t.Errorf("element %d delivered at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStochRoundTrip(t *testing.T) {
+	shape := []int{1001}
+	c := New(SchemeStoch3QE, shape, Options{Seed: 42})
+	in := randTensor(4, 1001, 0.2)
+	wire := c.Compress(in)
+	out, err := Decompress(wire, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := in.MaxAbs()
+	for _, v := range out.Data() {
+		if v != 0 && math.Abs(math.Abs(float64(v))-float64(m)) > 1e-6 {
+			t.Fatalf("stochastic output %v not in {0, +-M}", v)
+		}
+	}
+}
+
+func TestStochDeterministicPerSeed(t *testing.T) {
+	shape := []int{100}
+	in := randTensor(5, 100, 0.2)
+	w1 := New(SchemeStoch3QE, shape, Options{Seed: 7}).Compress(in)
+	w2 := New(SchemeStoch3QE, shape, Options{Seed: 7}).Compress(in)
+	if string(w1) != string(w2) {
+		t.Error("same seed must give same wire")
+	}
+}
+
+func TestMQE1BitRoundTrip(t *testing.T) {
+	shape := []int{777}
+	c := New(SchemeMQE1Bit, shape, Options{})
+	in := randTensor(6, 777, 0.3)
+	out, err := Decompress(c.Compress(in), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs take exactly two values.
+	vals := make(map[float32]bool)
+	for _, v := range out.Data() {
+		vals[v] = true
+	}
+	if len(vals) > 2 {
+		t.Errorf("1-bit reconstruction has %d distinct values", len(vals))
+	}
+}
+
+func TestMQE1BitErrorFeedbackDelivers(t *testing.T) {
+	shape := []int{32}
+	c := New(SchemeMQE1Bit, shape, Options{})
+	in := tensor.New(32)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i-16) / 16
+	}
+	total := tensor.New(32)
+	rounds := 200
+	for i := 0; i < rounds; i++ {
+		out, err := Decompress(c.Compress(in), shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Add(out)
+	}
+	for i, want := range in.Data() {
+		got := total.Data()[i] / float32(rounds)
+		if math.Abs(float64(got-want)) > 0.08 {
+			t.Errorf("element %d delivered at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTopKRoundTrip(t *testing.T) {
+	shape := []int{1000}
+	c := New(SchemeTopK, shape, Options{Fraction: 0.25, Seed: 1})
+	in := randTensor(7, 1000, 0.5)
+	out, err := Decompress(c.Compress(in), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transmitted values are exact; the rest decode to zero.
+	nonzero := 0
+	for i, v := range out.Data() {
+		if v != 0 {
+			nonzero++
+			if v != in.Data()[i] {
+				t.Fatalf("transmitted value %d altered", i)
+			}
+		}
+	}
+	if nonzero == 0 || nonzero > 600 {
+		t.Errorf("unexpected selection count %d", nonzero)
+	}
+}
+
+func TestTopKFractionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing Fraction")
+		}
+	}()
+	New(SchemeTopK, []int{10}, Options{})
+}
+
+func TestLocalStepsCadence(t *testing.T) {
+	shape := []int{50}
+	c := New(SchemeLocalSteps, shape, Options{Interval: 2})
+	in := tensor.New(50)
+	in.Fill(0.5)
+	w1 := c.Compress(in)
+	if len(w1) != 0 {
+		t.Fatalf("step 1 should transmit nothing, got %d bytes", len(w1))
+	}
+	w2 := c.Compress(in)
+	if len(w2) == 0 {
+		t.Fatal("step 2 should transmit")
+	}
+	out, err := Decompress(w2, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two accumulated steps of 0.5 each.
+	for _, v := range out.Data() {
+		if v != 1.0 {
+			t.Fatalf("accumulated value %v, want 1.0", v)
+		}
+	}
+}
+
+func TestLocalStepsEmptyWireDecodesToZero(t *testing.T) {
+	out, err := Decompress(nil, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAbs() != 0 {
+		t.Error("empty wire must decode to zeros")
+	}
+}
+
+func TestDefaultIntervalAndSparsity(t *testing.T) {
+	c := New(SchemeLocalSteps, []int{10}, Options{}) // Interval 0 -> 2
+	if c.Name() != "2 local steps" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	c3 := New(SchemeThreeLC, []int{10}, Options{ZeroRun: true}) // Sparsity 0 -> 1
+	if c3.Name() != "3LC (s=1.00)" {
+		t.Errorf("Name = %q", c3.Name())
+	}
+}
+
+func TestUnknownSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Scheme(99), []int{4}, Options{})
+}
+
+func TestDecompressMalformed(t *testing.T) {
+	shape := []int{100}
+	cases := map[string][]byte{
+		"unknown scheme": {99, 0, 0},
+		"short raw":      {byte(SchemeNone), 1, 2, 3},
+		"short int8":     {byte(SchemeInt8), 1, 2},
+		"short ternary":  {byte(SchemeThreeLC), 1},
+		"bad quartic":    append([]byte{byte(SchemeThreeLC), 0, 0, 0, 0, 0}, make([]byte, 3)...),
+		"short onebit":   {byte(SchemeMQE1Bit), 0, 0, 0, 0},
+		"short topk":     {byte(SchemeTopK), 0},
+	}
+	for name, wire := range cases {
+		if _, err := Decompress(wire, shape); err == nil {
+			t.Errorf("%s: expected decode error", name)
+		}
+	}
+}
+
+func TestTopKBitmapValueCountMismatch(t *testing.T) {
+	// Bitmap says 1 value selected but payload has none.
+	wire := make([]byte, 1+13)
+	wire[0] = byte(SchemeTopK)
+	wire[1] = 1 // bit 0 set
+	if _, err := Decompress(wire, []int{100}); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestCompressSizeMismatchPanics(t *testing.T) {
+	for _, s := range []Scheme{SchemeNone, SchemeInt8, SchemeThreeLC, SchemeStoch3QE, SchemeMQE1Bit, SchemeTopK, SchemeLocalSteps} {
+		opt := Options{Fraction: 0.5}
+		c := New(s, []int{10}, opt)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scheme %v: expected panic on size mismatch", s)
+				}
+			}()
+			c.Compress(tensor.New(11))
+		}()
+	}
+}
+
+// Property: every scheme's wire decodes without error and preserves shape.
+func TestAllSchemesDecodeProperty(t *testing.T) {
+	schemes := []struct {
+		s   Scheme
+		opt Options
+	}{
+		{SchemeNone, Options{}},
+		{SchemeInt8, Options{}},
+		{SchemeThreeLC, Options{Sparsity: 1.5, ZeroRun: true}},
+		{SchemeStoch3QE, Options{Seed: 1}},
+		{SchemeMQE1Bit, Options{}},
+		{SchemeTopK, Options{Fraction: 0.1, Seed: 1}},
+	}
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		in := randTensor(seed, n, 0.1)
+		for _, sc := range schemes {
+			c := New(sc.s, []int{n}, sc.opt)
+			out, err := Decompress(c.Compress(in), []int{n})
+			if err != nil || out.Len() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 3LC compressed size never exceeds the no-ZRE size by more than
+// the framing byte (ZRE never expands quartic data).
+func TestZRENeverExpandsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		in := randTensor(seed, 2000, 0.05)
+		zre := New(SchemeThreeLC, []int{2000}, Options{Sparsity: 1.0, ZeroRun: true}).Compress(in)
+		raw := New(SchemeThreeLC, []int{2000}, Options{Sparsity: 1.0, ZeroRun: false}).Compress(in)
+		return len(zre) <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

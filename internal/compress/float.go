@@ -1,0 +1,49 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"threelc/internal/tensor"
+)
+
+func mathFloat32bits(v float32) uint32     { return math.Float32bits(v) }
+func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// noneCompressor is the "32-bit float" baseline: state changes are
+// transmitted verbatim as little-endian float32.
+type noneCompressor struct {
+	shape []int
+	n     int
+}
+
+func (c *noneCompressor) Scheme() Scheme { return SchemeNone }
+func (c *noneCompressor) Name() string   { return "32-bit float" }
+
+func (c *noneCompressor) Compress(in *tensor.Tensor) []byte {
+	data := in.Data()
+	if len(data) != c.n {
+		panic("compress: input size mismatch")
+	}
+	wire := make([]byte, 1+4*len(data))
+	wire[0] = byte(SchemeNone)
+	encodeRawInto(data, wire[1:])
+	return wire
+}
+
+func encodeRawInto(data []float32, dst []byte) {
+	for i, v := range data {
+		putF32(dst[4*i:], v)
+	}
+}
+
+func decodeRaw(payload []byte, dst *tensor.Tensor) error {
+	d := dst.Data()
+	if len(payload) != 4*len(d) {
+		return fmt.Errorf("compress: raw payload %d bytes, want %d", len(payload), 4*len(d))
+	}
+	for i := range d {
+		d[i] = getF32(payload[4*i:])
+	}
+	return nil
+}

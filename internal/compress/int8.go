@@ -1,0 +1,46 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// int8Compressor is the "8-bit int" baseline (§5.1): 255-level quantization
+// with no error accumulation, approximating TPU-internal 8-bit quantization.
+// Wire format: [scheme][4B M][n bytes int8].
+type int8Compressor struct {
+	shape []int
+	n     int
+}
+
+func (c *int8Compressor) Scheme() Scheme { return SchemeInt8 }
+func (c *int8Compressor) Name() string   { return "8-bit int" }
+
+func (c *int8Compressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	q := quant.QuantizeInt8(in)
+	wire := make([]byte, 1+4+len(q.Q))
+	wire[0] = byte(SchemeInt8)
+	putF32(wire[1:], q.M)
+	for i, v := range q.Q {
+		wire[5+i] = byte(v)
+	}
+	return wire
+}
+
+func decodeInt8(payload []byte, dst *tensor.Tensor) error {
+	d := dst.Data()
+	if len(payload) != 4+len(d) {
+		return fmt.Errorf("compress: int8 payload %d bytes, want %d", len(payload), 4+len(d))
+	}
+	m := getF32(payload)
+	scale := m / 127
+	for i := range d {
+		d[i] = scale * float32(int8(payload[4+i]))
+	}
+	return nil
+}

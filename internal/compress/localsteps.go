@@ -1,0 +1,56 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// localStepsCompressor is the "2 local steps" baseline (§5.1): state
+// changes are transmitted only every Interval-th step; unsent updates are
+// accumulated locally and sent (uncompressed) at the next transmitting
+// step. On a non-transmitting step Compress returns an empty message,
+// which decodes to all zeros, and no bytes cross the network.
+type localStepsCompressor struct {
+	shape    []int
+	n        int
+	interval int
+	step     int
+	acc      *quant.ErrorAccumulator
+}
+
+func newLocalStepsCompressor(shape []int, interval int) *localStepsCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &localStepsCompressor{
+		shape:    append([]int(nil), shape...),
+		n:        n,
+		interval: interval,
+		acc:      quant.NewErrorAccumulator(shape...),
+	}
+}
+
+func (c *localStepsCompressor) Scheme() Scheme { return SchemeLocalSteps }
+func (c *localStepsCompressor) Name() string {
+	return fmt.Sprintf("%d local steps", c.interval)
+}
+
+func (c *localStepsCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	sum := c.acc.Accumulate(in)
+	c.step++
+	if c.step%c.interval != 0 {
+		return nil // accumulate only; nothing on the wire this step
+	}
+	wire := make([]byte, 1+4*c.n)
+	wire[0] = byte(SchemeLocalSteps)
+	encodeRawInto(sum.Data(), wire[1:])
+	// Everything accumulated was sent; clear the buffer.
+	c.acc.Reset()
+	return wire
+}

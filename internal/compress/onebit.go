@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// oneBitCompressor is the "MQE 1-bit int" baseline (§5.1): 1-bit SGD-style
+// quantization with minimum squared quantization error and error feedback.
+// Wire format: [scheme][4B MPos][4B MNeg][packed sign bits].
+type oneBitCompressor struct {
+	shape   []int
+	n       int
+	acc     *quant.ErrorAccumulator
+	dequant *tensor.Tensor
+}
+
+func newOneBitCompressor(shape []int) *oneBitCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &oneBitCompressor{
+		shape:   append([]int(nil), shape...),
+		n:       n,
+		acc:     quant.NewErrorAccumulator(shape...),
+		dequant: tensor.New(shape...),
+	}
+}
+
+func (c *oneBitCompressor) Scheme() Scheme { return SchemeMQE1Bit }
+func (c *oneBitCompressor) Name() string   { return "MQE 1-bit int" }
+
+func (c *oneBitCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	sum := c.acc.Accumulate(in)
+	q := quant.QuantizeOneBit(sum)
+	quant.DequantizeOneBitInto(q, c.dequant)
+	c.acc.Residual(c.dequant)
+
+	wire := make([]byte, 1+8+len(q.Bits))
+	wire[0] = byte(SchemeMQE1Bit)
+	putF32(wire[1:], q.MPos)
+	putF32(wire[5:], q.MNeg)
+	copy(wire[9:], q.Bits)
+	return wire
+}
+
+func decodeOneBit(payload []byte, dst *tensor.Tensor) error {
+	d := dst.Data()
+	want := 8 + (len(d)+7)/8
+	if len(payload) != want {
+		return fmt.Errorf("compress: 1-bit payload %d bytes, want %d", len(payload), want)
+	}
+	mPos := getF32(payload)
+	mNeg := getF32(payload[4:])
+	bits := payload[8:]
+	for i := range d {
+		if bits[i>>3]&(1<<(uint(i)&7)) != 0 {
+			d[i] = mPos
+		} else {
+			d[i] = mNeg
+		}
+	}
+	return nil
+}

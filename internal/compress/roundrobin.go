@@ -1,0 +1,61 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/quant"
+	"threelc/internal/sparse"
+	"threelc/internal/tensor"
+)
+
+// roundRobinCompressor is Ako-style partial gradient exchange: each step
+// transmits one of P interleaved partitions of the accumulated state
+// changes, using the same bitmap wire format as top-k sparsification.
+// Error accumulation delivers the remaining partitions on later steps, so
+// a full cycle transmits every element exactly once.
+type roundRobinCompressor struct {
+	shape   []int
+	n       int
+	rr      *sparse.RoundRobin
+	acc     *quant.ErrorAccumulator
+	dequant *tensor.Tensor
+}
+
+func newRoundRobinCompressor(shape []int, parts int) *roundRobinCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &roundRobinCompressor{
+		shape:   append([]int(nil), shape...),
+		n:       n,
+		rr:      sparse.NewRoundRobin(parts),
+		acc:     quant.NewErrorAccumulator(shape...),
+		dequant: tensor.New(shape...),
+	}
+}
+
+func (c *roundRobinCompressor) Scheme() Scheme { return SchemeRoundRobin }
+func (c *roundRobinCompressor) Name() string {
+	return fmt.Sprintf("round-robin 1/%d exchange", c.rr.Parts)
+}
+
+func (c *roundRobinCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	sum := c.acc.Accumulate(in)
+	sel := c.rr.Sparsify(sum)
+	sparse.ReconstructInto(sel, c.dequant)
+	c.acc.Residual(c.dequant)
+
+	bm := sel.Mask.Bytes()
+	wire := make([]byte, 1+len(bm)+4*len(sel.Values))
+	wire[0] = byte(SchemeRoundRobin)
+	copy(wire[1:], bm)
+	off := 1 + len(bm)
+	for i, v := range sel.Values {
+		putF32(wire[off+4*i:], v)
+	}
+	return wire
+}

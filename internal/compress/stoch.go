@@ -1,0 +1,48 @@
+package compress
+
+import (
+	"threelc/internal/encode"
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// stochCompressor is the "Stoch 3-value + QE" baseline (§5.1): stochastic
+// ternary quantization in the style of TernGrad (without gradient clipping)
+// combined with quartic encoding for a 1.6-bit representation. Stochastic
+// quantization is unbiased, so — as in the paper, and unlike 3LC — it uses
+// no error-accumulation buffer. It shares the ternary wire format with 3LC
+// but never applies zero-run encoding.
+type stochCompressor struct {
+	shape []int
+	n     int
+	rng   *tensor.RNG
+}
+
+func newStochCompressor(shape []int, seed uint64) *stochCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &stochCompressor{
+		shape: append([]int(nil), shape...),
+		n:     n,
+		rng:   tensor.NewRNG(seed ^ 0x53746f6368335651), // "Stoch3VQ"
+	}
+}
+
+func (c *stochCompressor) Scheme() Scheme { return SchemeStoch3QE }
+func (c *stochCompressor) Name() string   { return "Stoch 3-value + QE" }
+
+func (c *stochCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	tv := quant.QuantizeStochastic3(in, c.rng)
+	qe := encode.QuarticEncode(tv.Q)
+	wire := make([]byte, 1+4+1+len(qe))
+	wire[0] = byte(SchemeStoch3QE)
+	putF32(wire[1:], tv.M)
+	wire[5] = 0 // no ZRE
+	copy(wire[6:], qe)
+	return wire
+}

@@ -1,0 +1,131 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/encode"
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// Ternary wire format, shared by 3LC and the stochastic baseline:
+//
+//	[1B scheme][4B M][1B flags][payload]
+//
+// flags bit 0 set means the payload is zero-run encoded quartic data;
+// clear means plain quartic data of exactly ceil(n/5) bytes.
+const ternaryFlagZRE = 1
+
+// threeLCCompressor is the full 3LC design: error accumulation, 3-value
+// quantization with sparsity multiplication, quartic encoding, and
+// (optionally, for the "No ZRE" ablation) zero-run encoding.
+type threeLCCompressor struct {
+	shape    []int
+	n        int
+	sparsity float64
+	zeroRun  bool
+
+	acc     *quant.ErrorAccumulator
+	dequant *tensor.Tensor // scratch: local dequantization for residual
+}
+
+func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool) *threeLCCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &threeLCCompressor{
+		shape:    append([]int(nil), shape...),
+		n:        n,
+		sparsity: sparsity,
+		zeroRun:  zeroRun,
+		acc:      quant.NewErrorAccumulator(shape...),
+		dequant:  tensor.New(shape...),
+	}
+}
+
+func (c *threeLCCompressor) Scheme() Scheme { return SchemeThreeLC }
+
+func (c *threeLCCompressor) Name() string {
+	if !c.zeroRun {
+		return fmt.Sprintf("3LC (s=%.2f, no ZRE)", c.sparsity)
+	}
+	return fmt.Sprintf("3LC (s=%.2f)", c.sparsity)
+}
+
+// Compress runs the Figure-3 pipeline: (1) accumulate the input into the
+// error buffer, (2) 3-value quantize the sum, (a) locally dequantize,
+// (b) keep the residual in the buffer, then (3) quartic-encode and
+// (4) zero-run-encode the quantized data.
+func (c *threeLCCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	sum := c.acc.Accumulate(in)
+	tv := quant.Quantize3(sum, c.sparsity)
+	quant.DequantizeInto(tv, c.dequant)
+	c.acc.Residual(c.dequant)
+
+	qe := encode.QuarticEncode(tv.Q)
+	var payload []byte
+	var flags byte
+	if c.zeroRun {
+		payload = encode.ZeroRunEncode(qe)
+		flags = ternaryFlagZRE
+	} else {
+		payload = qe
+	}
+	wire := make([]byte, 1+4+1+len(payload))
+	wire[0] = byte(SchemeThreeLC)
+	putF32(wire[1:], tv.M)
+	wire[5] = flags
+	copy(wire[6:], payload)
+	return wire
+}
+
+// ErrorNorm exposes the squared norm of the accumulated error (for tests
+// and the ablation benchmarks).
+func (c *threeLCCompressor) ErrorNorm() float64 {
+	return c.acc.Buffer().SquaredNorm()
+}
+
+func decodeTernary(payload []byte, dst *tensor.Tensor) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("compress: ternary payload too short (%d bytes)", len(payload))
+	}
+	m := getF32(payload)
+	flags := payload[5-1]
+	body := payload[5:]
+
+	n := dst.Len()
+	qlen := encode.QuarticEncodedLen(n)
+	var qbytes []byte
+	if flags&ternaryFlagZRE != 0 {
+		// Validate the expansion size before touching any buffer: the
+		// payload is untrusted wire data.
+		if got := encode.ZeroRunDecodedLen(body); got != qlen {
+			return fmt.Errorf("compress: zero-run payload expands to %d bytes, want %d", got, qlen)
+		}
+		buf := make([]byte, qlen)
+		encode.ZeroRunDecodeInto(body, buf)
+		qbytes = buf
+	} else {
+		if len(body) != qlen {
+			return fmt.Errorf("compress: quartic payload %d bytes, want %d", len(body), qlen)
+		}
+		qbytes = body
+	}
+	for i, b := range qbytes {
+		if b > encode.MaxQuartic {
+			return fmt.Errorf("compress: invalid quartic byte %d at offset %d", b, i)
+		}
+	}
+
+	q := make([]int8, n)
+	encode.QuarticDecodeInto(qbytes, q)
+	d := dst.Data()
+	for i, v := range q {
+		d[i] = m * float32(v)
+	}
+	return nil
+}

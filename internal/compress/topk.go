@@ -1,0 +1,87 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/encode"
+	"threelc/internal/quant"
+	"threelc/internal/sparse"
+	"threelc/internal/tensor"
+)
+
+// topKCompressor is the "25% / 5% sparsification" baseline (§5.1): the
+// largest-magnitude fraction of buffered state changes is transmitted with
+// a 1-bit-per-element bitmap plus 4 bytes per selected value; unsent
+// changes stay in the error-accumulation buffer.
+// Wire format: [scheme][bitmap ceil(n/8)B][4B per selected value].
+type topKCompressor struct {
+	shape   []int
+	n       int
+	sp      *sparse.Sparsifier
+	acc     *quant.ErrorAccumulator
+	dequant *tensor.Tensor
+}
+
+func newTopKCompressor(shape []int, fraction float64, seed uint64) *topKCompressor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &topKCompressor{
+		shape:   append([]int(nil), shape...),
+		n:       n,
+		sp:      sparse.NewSparsifier(fraction, tensor.NewRNG(seed^0x546f704b)), // "TopK"
+		acc:     quant.NewErrorAccumulator(shape...),
+		dequant: tensor.New(shape...),
+	}
+}
+
+func (c *topKCompressor) Scheme() Scheme { return SchemeTopK }
+func (c *topKCompressor) Name() string {
+	return fmt.Sprintf("%d%% sparsification", int(c.sp.Fraction*100+0.5))
+}
+
+func (c *topKCompressor) Compress(in *tensor.Tensor) []byte {
+	if in.Len() != c.n {
+		panic("compress: input size mismatch")
+	}
+	sum := c.acc.Accumulate(in)
+	sel := c.sp.Sparsify(sum)
+	sparse.ReconstructInto(sel, c.dequant)
+	c.acc.Residual(c.dequant)
+
+	bm := sel.Mask.Bytes()
+	wire := make([]byte, 1+len(bm)+4*len(sel.Values))
+	wire[0] = byte(SchemeTopK)
+	copy(wire[1:], bm)
+	off := 1 + len(bm)
+	for i, v := range sel.Values {
+		putF32(wire[off+4*i:], v)
+	}
+	return wire
+}
+
+func decodeTopK(payload []byte, dst *tensor.Tensor) error {
+	d := dst.Data()
+	bmLen := encode.BitmapSizeBytes(len(d))
+	if len(payload) < bmLen {
+		return fmt.Errorf("compress: top-k payload %d bytes, bitmap alone needs %d", len(payload), bmLen)
+	}
+	mask := encode.BitmapFromBytes(payload[:bmLen], len(d))
+	vals := payload[bmLen:]
+	if len(vals)%4 != 0 {
+		return fmt.Errorf("compress: top-k value bytes %d not a multiple of 4", len(vals))
+	}
+	if mask.Count()*4 != len(vals) {
+		return fmt.Errorf("compress: top-k bitmap selects %d values, payload has %d", mask.Count(), len(vals)/4)
+	}
+	dst.Zero()
+	vi := 0
+	for i := range d {
+		if mask.Get(i) {
+			d[i] = getF32(vals[4*vi:])
+			vi++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"threelc/internal/tensor"
+)
+
+// CIFAR-10 binary format support. The paper evaluates on CIFAR-10
+// (Krizhevsky); the dataset cannot be downloaded in this offline
+// environment, so experiments default to the synthetic generator — but
+// when the standard binary files (data_batch_1.bin .. data_batch_5.bin,
+// test_batch.bin) are present, LoadCIFAR10 reads them so the full
+// pipeline runs on the real data unchanged.
+//
+// Record layout (per the CIFAR-10 distribution): 1 label byte followed by
+// 3072 pixel bytes (1024 red, 1024 green, 1024 blue, row-major 32x32).
+
+const (
+	cifarClasses    = 10
+	cifarDim        = 32
+	cifarChannels   = 3
+	cifarRecordSize = 1 + cifarChannels*cifarDim*cifarDim
+)
+
+// CIFARTrainFiles lists the standard training batch file names.
+var CIFARTrainFiles = []string{
+	"data_batch_1.bin", "data_batch_2.bin", "data_batch_3.bin",
+	"data_batch_4.bin", "data_batch_5.bin",
+}
+
+// CIFARTestFile is the standard test batch file name.
+const CIFARTestFile = "test_batch.bin"
+
+// LoadCIFAR10 reads the CIFAR-10 binary batches from dir. Pixels are
+// scaled to [-1, 1]. It returns an error if any expected file is missing
+// or malformed.
+func LoadCIFAR10(dir string) (train, test *Dataset, err error) {
+	train = &Dataset{Classes: cifarClasses, C: cifarChannels, H: cifarDim, W: cifarDim}
+	for _, name := range CIFARTrainFiles {
+		if err := readCIFARFile(filepath.Join(dir, name), train); err != nil {
+			return nil, nil, err
+		}
+	}
+	test = &Dataset{Classes: cifarClasses, C: cifarChannels, H: cifarDim, W: cifarDim}
+	if err := readCIFARFile(filepath.Join(dir, CIFARTestFile), test); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+func readCIFARFile(path string, ds *Dataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("data: cifar: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, cifarRecordSize)
+	for {
+		_, err := io.ReadFull(f, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("data: cifar %s: truncated record: %w", path, err)
+		}
+		label := int(buf[0])
+		if label >= cifarClasses {
+			return fmt.Errorf("data: cifar %s: label %d out of range", path, label)
+		}
+		img := tensor.New(cifarChannels, cifarDim, cifarDim)
+		d := img.Data()
+		for i, b := range buf[1:] {
+			d[i] = float32(b)/127.5 - 1
+		}
+		ds.Images = append(ds.Images, img)
+		ds.Labels = append(ds.Labels, label)
+	}
+}
+
+// LoadOrSynthesize returns the real CIFAR-10 dataset if dir contains it,
+// and otherwise the synthetic stand-in from cfg. The boolean reports
+// whether real data was used.
+func LoadOrSynthesize(dir string, cfg Config) (train, test *Dataset, real bool) {
+	if dir != "" {
+		if tr, te, err := LoadCIFAR10(dir); err == nil {
+			return tr, te, true
+		}
+	}
+	tr, te := Synthetic(cfg)
+	return tr, te, false
+}

@@ -1,0 +1,132 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+// writeFakeCIFAR writes n records in the CIFAR-10 binary layout.
+func writeFakeCIFAR(t *testing.T, path string, n int, seed uint64) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	buf := make([]byte, n*cifarRecordSize)
+	for r := 0; r < n; r++ {
+		base := r * cifarRecordSize
+		buf[base] = byte(r % cifarClasses)
+		for i := 1; i < cifarRecordSize; i++ {
+			buf[base+i] = byte(rng.Uint64())
+		}
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fakeCIFARDir(t *testing.T, perFile int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, name := range CIFARTrainFiles {
+		writeFakeCIFAR(t, filepath.Join(dir, name), perFile, uint64(i+1))
+	}
+	writeFakeCIFAR(t, filepath.Join(dir, CIFARTestFile), perFile, 99)
+	return dir
+}
+
+func TestLoadCIFAR10(t *testing.T) {
+	dir := fakeCIFARDir(t, 20)
+	train, test, err := LoadCIFAR10(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 100 || test.Len() != 20 {
+		t.Fatalf("train %d test %d records", train.Len(), test.Len())
+	}
+	if train.C != 3 || train.H != 32 || train.W != 32 {
+		t.Fatalf("dims %dx%dx%d", train.C, train.H, train.W)
+	}
+	// Pixels in [-1, 1].
+	for _, v := range train.Images[0].Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel %v out of range", v)
+		}
+	}
+	// Labels follow the written pattern.
+	if train.Labels[7] != 7%10 {
+		t.Errorf("label[7] = %d", train.Labels[7])
+	}
+}
+
+func TestLoadCIFAR10MissingFile(t *testing.T) {
+	if _, _, err := LoadCIFAR10(t.TempDir()); err == nil {
+		t.Error("expected error for missing files")
+	}
+}
+
+func TestLoadCIFAR10Truncated(t *testing.T) {
+	dir := fakeCIFARDir(t, 5)
+	// Truncate one training file mid-record.
+	path := filepath.Join(dir, CIFARTrainFiles[2])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCIFAR10(dir); err == nil {
+		t.Error("expected error for truncated record")
+	}
+}
+
+func TestLoadCIFAR10BadLabel(t *testing.T) {
+	dir := fakeCIFARDir(t, 5)
+	path := filepath.Join(dir, CIFARTrainFiles[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 200 // invalid label
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCIFAR10(dir); err == nil {
+		t.Error("expected error for out-of-range label")
+	}
+}
+
+func TestLoadOrSynthesizeFallback(t *testing.T) {
+	cfg := smallConfig()
+	train, test, real := LoadOrSynthesize("", cfg)
+	if real {
+		t.Error("empty dir must fall back to synthetic")
+	}
+	if train.Len() != cfg.Train || test.Len() != cfg.Test {
+		t.Error("synthetic fallback has wrong sizes")
+	}
+
+	dir := fakeCIFARDir(t, 10)
+	train2, _, real2 := LoadOrSynthesize(dir, cfg)
+	if !real2 {
+		t.Error("real data should be preferred when present")
+	}
+	if train2.Len() != 50 {
+		t.Errorf("real train set %d records", train2.Len())
+	}
+}
+
+func TestCIFARBatchCompatible(t *testing.T) {
+	// Loaded CIFAR data must work with the batching/augmentation path.
+	dir := fakeCIFARDir(t, 8)
+	train, _, err := LoadCIFAR10(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	x, labels := train.Batch([]int{0, 1, 2}, Augment, rng)
+	if x.Shape()[0] != 3 || len(labels) != 3 {
+		t.Error("CIFAR batch assembly broken")
+	}
+}

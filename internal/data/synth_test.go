@@ -1,0 +1,207 @@
+package data
+
+import (
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Train, cfg.Test = 200, 50
+	return cfg
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a1, b1 := Synthetic(smallConfig())
+	a2, b2 := Synthetic(smallConfig())
+	if a1.Len() != a2.Len() || b1.Len() != b2.Len() {
+		t.Fatal("sizes differ across identical configs")
+	}
+	for i := range a1.Images {
+		if a1.Labels[i] != a2.Labels[i] || !a1.Images[i].Equal(a2.Images[i]) {
+			t.Fatalf("example %d differs across identical configs", i)
+		}
+	}
+}
+
+func TestSyntheticSeedChangesData(t *testing.T) {
+	cfg2 := smallConfig()
+	cfg2.Seed = 777
+	a1, _ := Synthetic(smallConfig())
+	a2, _ := Synthetic(cfg2)
+	if a1.Images[0].Equal(a2.Images[0]) {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestSyntheticClassBalance(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	counts := make([]int, trainSet.Classes)
+	for _, l := range trainSet.Labels {
+		counts[l]++
+	}
+	for k, c := range counts {
+		if c != trainSet.Len()/trainSet.Classes {
+			t.Errorf("class %d has %d examples, want %d", k, c, trainSet.Len()/trainSet.Classes)
+		}
+	}
+}
+
+func TestSyntheticShardBalance(t *testing.T) {
+	// After shuffling, a strided shard must contain multiple classes —
+	// this is the regression test for the class/shard aliasing bug that
+	// collapses batch-norm training.
+	trainSet, _ := Synthetic(smallConfig())
+	workers := 10
+	for w := 0; w < workers; w++ {
+		classes := make(map[int]bool)
+		for i := w; i < trainSet.Len(); i += workers {
+			classes[trainSet.Labels[i]] = true
+		}
+		if len(classes) < 3 {
+			t.Errorf("worker %d shard has only %d classes — dataset not shuffled", w, len(classes))
+		}
+	}
+}
+
+func TestSyntheticLearnable(t *testing.T) {
+	// Nearest-template classification must beat chance by a wide margin:
+	// the task carries signal.
+	cfg := smallConfig()
+	trainSet, testSet := Synthetic(cfg)
+
+	// Estimate class means from training data.
+	means := make([]*tensor.Tensor, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for i, img := range trainSet.Images {
+		k := trainSet.Labels[i]
+		if means[k] == nil {
+			means[k] = tensor.New(img.Shape()...)
+		}
+		means[k].Add(img)
+		counts[k]++
+	}
+	for k := range means {
+		means[k].Scale(1 / float32(counts[k]))
+	}
+	correct := 0
+	for i, img := range testSet.Images {
+		best, bi := -1e30, 0
+		for k := range means {
+			score := img.Dot(means[k])
+			if score > best {
+				best, bi = score, k
+			}
+		}
+		if bi == testSet.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(testSet.Len())
+	if acc < 0.5 {
+		t.Errorf("nearest-mean accuracy %v — task carries too little signal", acc)
+	}
+}
+
+func TestBatchAssembly(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	x, labels := trainSet.Batch([]int{0, 5, 7}, nil, nil)
+	shape := x.Shape()
+	if shape[0] != 3 || shape[1] != trainSet.C || shape[2] != trainSet.H || shape[3] != trainSet.W {
+		t.Fatalf("batch shape %v", shape)
+	}
+	if labels[1] != trainSet.Labels[5] {
+		t.Error("labels misaligned")
+	}
+	// Content of example 1 matches source image 5.
+	per := trainSet.C * trainSet.H * trainSet.W
+	for j := 0; j < per; j++ {
+		if x.Data()[per+j] != trainSet.Images[5].Data()[j] {
+			t.Fatal("batch content mismatch")
+		}
+	}
+}
+
+func TestFlatBatchShape(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	x, _ := trainSet.FlatBatch([]int{1, 2}, nil, nil)
+	shape := x.Shape()
+	if len(shape) != 2 || shape[1] != trainSet.C*trainSet.H*trainSet.W {
+		t.Fatalf("flat shape %v", shape)
+	}
+}
+
+func TestBatchIndexOutOfRangePanics(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	trainSet.Batch([]int{trainSet.Len()}, nil, nil)
+}
+
+func TestAugmentPreservesShapeAndScale(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	rng := tensor.NewRNG(1)
+	src := trainSet.Images[0]
+	dst := tensor.New(src.Shape()...)
+	Augment(src, dst, rng)
+	if !dst.SameShape(src) {
+		t.Fatal("augment changed shape")
+	}
+	if dst.MaxAbs() > src.MaxAbs() {
+		t.Error("augment must not amplify values")
+	}
+}
+
+func TestAugmentIdentityPossible(t *testing.T) {
+	// Some RNG draw yields offsets (0,0) and no flip, which reproduces
+	// the source exactly; verify a no-crop, no-flip draw is the identity.
+	trainSet, _ := Synthetic(smallConfig())
+	src := trainSet.Images[0]
+	dst := tensor.New(src.Shape()...)
+	found := false
+	rng := tensor.NewRNG(2)
+	for trial := 0; trial < 300 && !found; trial++ {
+		Augment(src, dst, rng)
+		if dst.Equal(src) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("identity augmentation never occurred in 300 draws")
+	}
+}
+
+func TestAugmentViaBatch(t *testing.T) {
+	trainSet, _ := Synthetic(smallConfig())
+	rng := tensor.NewRNG(3)
+	x, _ := trainSet.Batch([]int{0, 0, 0, 0}, Augment, rng)
+	// With random crops, not all four copies should be identical.
+	per := trainSet.C * trainSet.H * trainSet.W
+	allSame := true
+	for c := 1; c < 4; c++ {
+		for j := 0; j < per; j++ {
+			if x.Data()[c*per+j] != x.Data()[j] {
+				allSame = false
+				break
+			}
+		}
+	}
+	if allSame {
+		t.Error("augmentation produced four identical crops")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Classes = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1 class")
+		}
+	}()
+	Synthetic(cfg)
+}

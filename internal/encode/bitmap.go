@@ -1,0 +1,57 @@
+package encode
+
+import "fmt"
+
+// Bitmap is the selection mask wire format used by the sparsification
+// baselines (§5.1): 1 bit per state change indicating whether that element
+// was transmitted, followed by the selected values. This is the "1 bit per
+// state change traffic overhead regardless of input size" the paper charges
+// sparsification with.
+type Bitmap struct {
+	bits []byte
+	n    int
+}
+
+// NewBitmap creates an all-clear bitmap over n elements.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{bits: make([]byte, (n+7)/8), n: n}
+}
+
+// BitmapFromBytes wraps an encoded bitmap of n logical bits.
+func BitmapFromBytes(b []byte, n int) *Bitmap {
+	if len(b) != (n+7)/8 {
+		panic(fmt.Sprintf("encode: bitmap bytes %d != ceil(%d/8)", len(b), n))
+	}
+	return &Bitmap{bits: b, n: n}
+}
+
+// Len returns the number of logical bits.
+func (m *Bitmap) Len() int { return m.n }
+
+// Set marks bit i.
+func (m *Bitmap) Set(i int) {
+	m.bits[i>>3] |= 1 << (uint(i) & 7)
+}
+
+// Get reports whether bit i is set.
+func (m *Bitmap) Get(i int) bool {
+	return m.bits[i>>3]&(1<<(uint(i)&7)) != 0
+}
+
+// Count returns the number of set bits.
+func (m *Bitmap) Count() int {
+	c := 0
+	for _, b := range m.bits {
+		for b != 0 {
+			b &= b - 1
+			c++
+		}
+	}
+	return c
+}
+
+// Bytes returns the packed representation (aliased, not copied).
+func (m *Bitmap) Bytes() []byte { return m.bits }
+
+// SizeBytes returns the wire size of a bitmap over n elements.
+func BitmapSizeBytes(n int) int { return (n + 7) / 8 }

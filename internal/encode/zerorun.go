@@ -1,0 +1,113 @@
+package encode
+
+import "fmt"
+
+// Zero-run encoding constants (§3.3). A run of k consecutive ZeroGroupByte
+// values (2 <= k <= MaxRun) is replaced by the single byte RunBase+(k-2).
+const (
+	// RunBase is the first byte value reserved for zero runs (243).
+	RunBase = MaxQuartic + 1
+	// MaxRun is the longest run a single byte can represent:
+	// 243..255 encode runs of 2..14.
+	MaxRun = 2 + (255 - RunBase)
+)
+
+// ZeroRunEncode compresses quartic-encoded data by replacing consecutive
+// runs of the zero-group byte (121) with single bytes in [243, 255].
+// Runs longer than 14 are emitted as multiple run bytes. A lone 121 is
+// copied through unchanged. All other byte values (0-242) are copied
+// verbatim, so the transform is byte-aligned and needs no bit operations
+// or lookup tables.
+func ZeroRunEncode(in []byte) []byte {
+	// Worst case: no runs, output length == input length.
+	out := make([]byte, 0, len(in))
+	i := 0
+	for i < len(in) {
+		b := in[i]
+		if b != ZeroGroupByte {
+			out = append(out, b)
+			i++
+			continue
+		}
+		// Count the run of 121s.
+		j := i + 1
+		for j < len(in) && in[j] == ZeroGroupByte {
+			j++
+		}
+		run := j - i
+		for run >= 2 {
+			k := run
+			if k > MaxRun {
+				k = MaxRun
+			}
+			out = append(out, byte(RunBase+k-2))
+			run -= k
+		}
+		if run == 1 {
+			out = append(out, ZeroGroupByte)
+		}
+		i = j
+	}
+	return out
+}
+
+// ZeroRunDecode expands zero-run-encoded data back to pure quartic bytes.
+// It returns an error on truncated/corrupt framing only in the sense that
+// no validation beyond byte ranges is possible; the decode itself cannot
+// fail for any input, since every byte is either literal or a run marker.
+func ZeroRunDecode(in []byte) []byte {
+	// Estimate: each run byte expands to at most MaxRun bytes.
+	out := make([]byte, 0, len(in)+len(in)/2)
+	for _, b := range in {
+		if b >= RunBase {
+			k := int(b) - RunBase + 2
+			for n := 0; n < k; n++ {
+				out = append(out, ZeroGroupByte)
+			}
+		} else {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ZeroRunDecodedLen returns the exact number of bytes ZeroRunDecode would
+// produce, without allocating. Decoders use it to validate untrusted
+// payloads before expansion.
+func ZeroRunDecodedLen(in []byte) int {
+	n := 0
+	for _, b := range in {
+		if b >= RunBase {
+			n += int(b) - RunBase + 2
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// ZeroRunDecodeInto expands in into dst and returns the number of bytes
+// produced. It panics if dst is too small, so callers must size dst from
+// the known decoded length (ZeroRunDecodedLen, or the wire format).
+func ZeroRunDecodeInto(in []byte, dst []byte) int {
+	n := 0
+	for _, b := range in {
+		if b >= RunBase {
+			k := int(b) - RunBase + 2
+			if n+k > len(dst) {
+				panic(fmt.Sprintf("encode: zero-run output overflows %d-byte buffer", len(dst)))
+			}
+			for j := 0; j < k; j++ {
+				dst[n] = ZeroGroupByte
+				n++
+			}
+		} else {
+			if n >= len(dst) {
+				panic(fmt.Sprintf("encode: zero-run output overflows %d-byte buffer", len(dst)))
+			}
+			dst[n] = b
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package encode
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"threelc/internal/tensor"
+)
+
+func TestZeroRunBasic(t *testing.T) {
+	// Figure 3: [113, 121, 121, 121, ...] -> runs of 121 collapse.
+	in := []byte{113, 121, 121, 121}
+	out := ZeroRunEncode(in)
+	// 3 consecutive 121s -> 243 + (3-2) = 244.
+	want := []byte{113, 244}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("encoded %v, want %v", out, want)
+	}
+	if !bytes.Equal(ZeroRunDecode(out), in) {
+		t.Fatalf("round trip failed: %v", ZeroRunDecode(out))
+	}
+}
+
+func TestZeroRunLone121Unchanged(t *testing.T) {
+	in := []byte{1, 121, 2}
+	out := ZeroRunEncode(in)
+	if !bytes.Equal(out, in) {
+		t.Errorf("lone 121 must pass through: %v", out)
+	}
+}
+
+func TestZeroRunRunLengths(t *testing.T) {
+	for k := 2; k <= 14; k++ {
+		in := bytes.Repeat([]byte{ZeroGroupByte}, k)
+		out := ZeroRunEncode(in)
+		if len(out) != 1 || out[0] != byte(RunBase+k-2) {
+			t.Errorf("run of %d encoded to %v, want [%d]", k, out, RunBase+k-2)
+		}
+		if !bytes.Equal(ZeroRunDecode(out), in) {
+			t.Errorf("run of %d failed round trip", k)
+		}
+	}
+}
+
+func TestZeroRunLongRunSplits(t *testing.T) {
+	// 31 = 14 + 14 + 3.
+	in := bytes.Repeat([]byte{ZeroGroupByte}, 31)
+	out := ZeroRunEncode(in)
+	want := []byte{255, 255, 244}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("31-run encoded to %v, want %v", out, want)
+	}
+	if !bytes.Equal(ZeroRunDecode(out), in) {
+		t.Fatal("31-run round trip failed")
+	}
+}
+
+func TestZeroRun15Split(t *testing.T) {
+	// 15 = 14 + lone 1 -> [255, 121].
+	in := bytes.Repeat([]byte{ZeroGroupByte}, 15)
+	out := ZeroRunEncode(in)
+	want := []byte{255, ZeroGroupByte}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("15-run encoded to %v, want %v", out, want)
+	}
+}
+
+func TestZeroRunEmptyInput(t *testing.T) {
+	if len(ZeroRunEncode(nil)) != 0 {
+		t.Error("empty input should encode to empty output")
+	}
+	if len(ZeroRunDecode(nil)) != 0 {
+		t.Error("empty input should decode to empty output")
+	}
+}
+
+func TestZeroRunNoRunsPassThrough(t *testing.T) {
+	in := []byte{0, 50, 100, 242, 120, 122}
+	out := ZeroRunEncode(in)
+	if !bytes.Equal(out, in) {
+		t.Errorf("run-free input changed: %v", out)
+	}
+}
+
+func TestZeroRunNeverExpands(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(500)
+		in := make([]byte, n)
+		for i := range in {
+			// Bias toward 121 to create runs.
+			if rng.Float64() < 0.5 {
+				in[i] = ZeroGroupByte
+			} else {
+				in[i] = byte(rng.Intn(243))
+			}
+		}
+		out := ZeroRunEncode(in)
+		if len(out) > len(in) {
+			t.Fatalf("output %d bytes > input %d bytes", len(out), len(in))
+		}
+	}
+}
+
+// Property: ZeroRunDecode(ZeroRunEncode(x)) == x for any quartic data.
+func TestZeroRunRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		rng := tensor.NewRNG(seed)
+		n := int(nRaw) % 3000
+		in := make([]byte, n)
+		for i := range in {
+			if rng.Float64() < 0.6 {
+				in[i] = ZeroGroupByte
+			} else {
+				in[i] = byte(rng.Intn(243))
+			}
+		}
+		return bytes.Equal(ZeroRunDecode(ZeroRunEncode(in)), in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroRunDecodeInto(t *testing.T) {
+	in := []byte{113, 121, 121, 121, 42}
+	enc := ZeroRunEncode(in)
+	dst := make([]byte, len(in))
+	n := ZeroRunDecodeInto(enc, dst)
+	if n != len(in) || !bytes.Equal(dst, in) {
+		t.Fatalf("DecodeInto produced %v (%d bytes)", dst[:n], n)
+	}
+}
+
+func TestZeroRunDecodeIntoOverflowPanics(t *testing.T) {
+	enc := ZeroRunEncode(bytes.Repeat([]byte{ZeroGroupByte}, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	ZeroRunDecodeInto(enc, make([]byte, 5))
+}
+
+func TestZeroTensorEndToEndRatio(t *testing.T) {
+	// §3.3: "In a hypothetical case of compressing a zero 32-bit
+	// floating-point tensor, the combination of all techniques in 3LC
+	// reaches a compression ratio of 280x."
+	// n zero floats = 4n bytes raw. Quartic: n/5 bytes of 121. ZRE:
+	// each 14-run -> 1 byte, so n/70 bytes. Ratio = 4n/(n/70) = 280.
+	n := 70 * 1000
+	q := make([]int8, n)
+	zre := ZeroRunEncode(QuarticEncode(q))
+	ratio := float64(4*n) / float64(len(zre))
+	if ratio < 279.9 || ratio > 280.1 {
+		t.Errorf("zero-tensor ratio = %.1f, want 280", ratio)
+	}
+}

@@ -1,0 +1,255 @@
+// Package entropy implements the general-purpose byte compressors the
+// paper positions zero-run encoding against (§3.3, §6): a canonical
+// Huffman coder (the entropy-coding family of QSGD/Øland-Raj) and a
+// Snappy-like byte-level LZ coder. 3LC deliberately avoids these —
+// "zero-run encoding is simple to implement and fast to run by avoiding
+// any bit-level operation and lookup tables" — and the ablation benchmark
+// quantifies that trade: comparable ratios on quartic-encoded data at a
+// fraction of the cost.
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Huffman-coded stream format:
+//
+//	[4B LE decoded length][256B code lengths][bit stream]
+//
+// Code lengths define a canonical Huffman code; a zero length means the
+// symbol does not occur.
+
+const maxCodeLen = 31
+
+// HuffmanEncode compresses data with a canonical Huffman code built from
+// its own byte frequencies.
+func HuffmanEncode(data []byte) []byte {
+	lengths := buildCodeLengths(data)
+	codes := canonicalCodes(lengths)
+
+	out := make([]byte, 4+256, 4+256+len(data)/2)
+	binary.LittleEndian.PutUint32(out, uint32(len(data)))
+	copy(out[4:], lengths[:])
+
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		c := codes[b]
+		l := uint(lengths[b])
+		acc |= uint64(c) << nbits
+		nbits += l
+		for nbits >= 8 {
+			out = append(out, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc))
+	}
+	return out
+}
+
+// HuffmanDecode reverses HuffmanEncode.
+func HuffmanDecode(enc []byte) ([]byte, error) {
+	if len(enc) < 4+256 {
+		return nil, fmt.Errorf("entropy: huffman stream too short (%d bytes)", len(enc))
+	}
+	n := int(binary.LittleEndian.Uint32(enc))
+	var lengths [256]byte
+	copy(lengths[:], enc[4:4+256])
+	body := enc[4+256:]
+
+	if n == 0 {
+		return nil, nil
+	}
+	codes := canonicalCodes(lengths)
+
+	// Build a decode map keyed by (length, code).
+	type key struct {
+		l uint8
+		c uint32
+	}
+	decode := make(map[key]byte)
+	single := -1 // the only symbol, if exactly one occurs
+	nsyms := 0
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			decode[key{lengths[s], codes[s]}] = byte(s)
+			single = s
+			nsyms++
+		}
+	}
+	if nsyms == 0 {
+		return nil, fmt.Errorf("entropy: huffman stream declares no symbols for %d bytes", n)
+	}
+	if nsyms == 1 {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = byte(single)
+		}
+		return out, nil
+	}
+
+	out := make([]byte, 0, n)
+	var code uint32
+	var codeLen uint8
+	for _, b := range body {
+		for bit := 0; bit < 8; bit++ {
+			// Codes are emitted LSB-first; reconstruct in emission order.
+			code |= uint32((b>>uint(bit))&1) << codeLen
+			codeLen++
+			if codeLen > maxCodeLen {
+				return nil, fmt.Errorf("entropy: code overruns %d bits", maxCodeLen)
+			}
+			if s, ok := decode[key{codeLen, code}]; ok {
+				out = append(out, s)
+				code, codeLen = 0, 0
+				if len(out) == n {
+					return out, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("entropy: huffman stream truncated (%d of %d bytes decoded)", len(out), n)
+}
+
+// buildCodeLengths constructs Huffman code lengths from byte frequencies,
+// capped at maxCodeLen (frequencies at this scale never hit the cap).
+func buildCodeLengths(data []byte) [256]byte {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	type node struct {
+		weight      int
+		sym         int // >= 0 for leaves
+		left, right int // indices into nodes
+	}
+	var nodes []node
+	var heap []int // indices, min-heap by weight
+
+	push := func(i int) {
+		heap = append(heap, i)
+		c := len(heap) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if nodes[heap[p]].weight <= nodes[heap[c]].weight {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		c := 0
+		for {
+			l, r := 2*c+1, 2*c+2
+			small := c
+			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[small]].weight {
+				small = l
+			}
+			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[small]].weight {
+				small = r
+			}
+			if small == c {
+				break
+			}
+			heap[c], heap[small] = heap[small], heap[c]
+			c = small
+		}
+		return top
+	}
+
+	for s := 0; s < 256; s++ {
+		if freq[s] > 0 {
+			nodes = append(nodes, node{weight: freq[s], sym: s, left: -1, right: -1})
+			push(len(nodes) - 1)
+		}
+	}
+	var lengths [256]byte
+	if len(nodes) == 0 {
+		return lengths
+	}
+	if len(nodes) == 1 {
+		lengths[nodes[0].sym] = 1
+		return lengths
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
+		push(len(nodes) - 1)
+	}
+	root := heap[0]
+	// Depth-first assignment of depths as code lengths.
+	type walkItem struct {
+		idx   int
+		depth byte
+	}
+	stack := []walkItem{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.idx]
+		if nd.sym >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1
+			}
+			if d > maxCodeLen {
+				d = maxCodeLen
+			}
+			lengths[nd.sym] = d
+			continue
+		}
+		stack = append(stack, walkItem{nd.left, it.depth + 1}, walkItem{nd.right, it.depth + 1})
+	}
+	return lengths
+}
+
+// canonicalCodes derives canonical codes (LSB-first bit order) from code
+// lengths: symbols sorted by (length, value) receive consecutive codes.
+func canonicalCodes(lengths [256]byte) [256]uint32 {
+	type sl struct {
+		sym int
+		l   byte
+	}
+	var syms []sl
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			syms = append(syms, sl{s, lengths[s]})
+		}
+	}
+	sort.Slice(syms, func(a, b int) bool {
+		if syms[a].l != syms[b].l {
+			return syms[a].l < syms[b].l
+		}
+		return syms[a].sym < syms[b].sym
+	})
+	var codes [256]uint32
+	var code uint32
+	var prevLen byte
+	for _, s := range syms {
+		code <<= uint(s.l - prevLen)
+		prevLen = s.l
+		// Store bit-reversed so that emission LSB-first preserves the
+		// prefix property when read bit by bit.
+		codes[s.sym] = reverseBits(code, uint(s.l))
+		code++
+	}
+	return codes
+}
+
+func reverseBits(v uint32, n uint) uint32 {
+	var r uint32
+	for i := uint(0); i < n; i++ {
+		r = (r << 1) | ((v >> i) & 1)
+	}
+	return r
+}

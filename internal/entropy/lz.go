@@ -1,0 +1,125 @@
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LZ is a small Snappy-flavoured byte-level LZ77 coder: greedy
+// hash-chained matching within a 64 KiB window, literal runs and
+// copy tokens. It stands in for the general-purpose compressors the
+// paper cites (Snappy [12]) when quantifying what 3LC gives up — and
+// keeps — by using zero-run encoding instead.
+//
+// Stream format:
+//
+//	[4B LE decoded length] token*
+//	token := 0x00 len8 literal-bytes      (literal run, 1..255 bytes)
+//	       | 0x01 len8 off16              (match, 4..255 bytes, offset 1..65535)
+
+const (
+	lzMinMatch  = 4
+	lzMaxMatch  = 255
+	lzMaxOffset = 1 << 16
+	lzHashBits  = 14
+)
+
+// LZEncode compresses data.
+func LZEncode(data []byte) []byte {
+	out := make([]byte, 4, 4+len(data)/2+16)
+	binary.LittleEndian.PutUint32(out, uint32(len(data)))
+
+	var table [1 << lzHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(i int) uint32 {
+		v := binary.LittleEndian.Uint32(data[i:])
+		return (v * 2654435761) >> (32 - lzHashBits)
+	}
+
+	emitLiterals := func(lo, hi int) {
+		for lo < hi {
+			n := hi - lo
+			if n > 255 {
+				n = 255
+			}
+			out = append(out, 0x00, byte(n))
+			out = append(out, data[lo:lo+n]...)
+			lo += n
+		}
+	}
+
+	i := 0
+	litStart := 0
+	for i+lzMinMatch <= len(data) {
+		h := hash(i)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand >= 0 && i-int(cand) < lzMaxOffset &&
+			binary.LittleEndian.Uint32(data[cand:]) == binary.LittleEndian.Uint32(data[i:]) {
+			// Extend the match.
+			m := lzMinMatch
+			for i+m < len(data) && m < lzMaxMatch && data[int(cand)+m] == data[i+m] {
+				m++
+			}
+			emitLiterals(litStart, i)
+			out = append(out, 0x01, byte(m))
+			var off [2]byte
+			le16 := uint16(i - int(cand))
+			binary.LittleEndian.PutUint16(off[:], le16)
+			out = append(out, off[:]...)
+			i += m
+			litStart = i
+			continue
+		}
+		i++
+	}
+	emitLiterals(litStart, len(data))
+	return out
+}
+
+// LZDecode reverses LZEncode.
+func LZDecode(enc []byte) ([]byte, error) {
+	if len(enc) < 4 {
+		return nil, fmt.Errorf("entropy: lz stream too short")
+	}
+	n := int(binary.LittleEndian.Uint32(enc))
+	body := enc[4:]
+	out := make([]byte, 0, n)
+	i := 0
+	for i < len(body) {
+		switch body[i] {
+		case 0x00:
+			if i+2 > len(body) {
+				return nil, fmt.Errorf("entropy: literal token truncated")
+			}
+			l := int(body[i+1])
+			if i+2+l > len(body) {
+				return nil, fmt.Errorf("entropy: literal run truncated")
+			}
+			out = append(out, body[i+2:i+2+l]...)
+			i += 2 + l
+		case 0x01:
+			if i+4 > len(body) {
+				return nil, fmt.Errorf("entropy: match token truncated")
+			}
+			m := int(body[i+1])
+			off := int(binary.LittleEndian.Uint16(body[i+2:]))
+			if off == 0 || off > len(out) {
+				return nil, fmt.Errorf("entropy: match offset %d invalid at %d decoded bytes", off, len(out))
+			}
+			src := len(out) - off
+			for k := 0; k < m; k++ {
+				out = append(out, out[src+k])
+			}
+			i += 4
+		default:
+			return nil, fmt.Errorf("entropy: unknown token 0x%02x", body[i])
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("entropy: decoded %d bytes, header says %d", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated substrate: it runs the distributed
+// training harness once per (design, step-budget) configuration, caches
+// results, and prints rows/series in the paper's layout.
+package experiments
+
+import (
+	"threelc/internal/compress"
+	"threelc/internal/train"
+)
+
+// The compared designs of §5.1, in Table 1's row order.
+var (
+	DesignFloat32  = train.Design{Name: "32-bit float", Scheme: compress.SchemeNone}
+	DesignInt8     = train.Design{Name: "8-bit int", Scheme: compress.SchemeInt8}
+	DesignStoch3   = train.Design{Name: "Stoch 3-value + QE", Scheme: compress.SchemeStoch3QE}
+	DesignMQE1bit  = train.Design{Name: "MQE 1-bit int", Scheme: compress.SchemeMQE1Bit}
+	DesignSparse25 = train.Design{
+		Name:   "25% sparsification",
+		Scheme: compress.SchemeTopK,
+		Opts:   compress.Options{Fraction: 0.25},
+	}
+	DesignSparse5 = train.Design{
+		Name:   "5% sparsification",
+		Scheme: compress.SchemeTopK,
+		Opts:   compress.Options{Fraction: 0.05},
+	}
+	DesignLocal2 = train.Design{
+		Name:   "2 local steps",
+		Scheme: compress.SchemeLocalSteps,
+		Opts:   compress.Options{Interval: 2},
+	}
+)
+
+// ThreeLC returns the full 3LC design with sparsity multiplier s.
+func ThreeLC(s float64) train.Design {
+	return train.Design{
+		Name:   threeLCName(s),
+		Scheme: compress.SchemeThreeLC,
+		Opts:   compress.Options{Sparsity: s, ZeroRun: true},
+	}
+}
+
+// ThreeLCNoZRE returns 3LC without zero-run encoding (Table 2's "No ZRE").
+func ThreeLCNoZRE(s float64) train.Design {
+	return train.Design{
+		Name:   threeLCName(s) + " no ZRE",
+		Scheme: compress.SchemeThreeLC,
+		Opts:   compress.Options{Sparsity: s, ZeroRun: false},
+	}
+}
+
+func threeLCName(s float64) string {
+	switch s {
+	case 1.0:
+		return "3LC (s=1.00)"
+	case 1.5:
+		return "3LC (s=1.50)"
+	case 1.75:
+		return "3LC (s=1.75)"
+	case 1.9:
+		return "3LC (s=1.90)"
+	}
+	return "3LC (s=?)"
+}
+
+// Table1Designs is the full row set of Table 1.
+func Table1Designs() []train.Design {
+	return []train.Design{
+		DesignFloat32,
+		DesignInt8,
+		DesignStoch3,
+		DesignMQE1bit,
+		DesignSparse25,
+		DesignSparse5,
+		DesignLocal2,
+		ThreeLC(1.00),
+		ThreeLC(1.50),
+		ThreeLC(1.75),
+		ThreeLC(1.90),
+	}
+}
+
+// OverviewDesigns is the 9-design set of Figures 4-6 (a).
+func OverviewDesigns() []train.Design {
+	return []train.Design{
+		DesignFloat32,
+		DesignInt8,
+		DesignStoch3,
+		DesignMQE1bit,
+		DesignSparse25,
+		DesignSparse5,
+		DesignLocal2,
+		ThreeLC(1.00),
+		ThreeLC(1.75),
+	}
+}
+
+// Figure7Designs is the 5-design detail set of Figure 7.
+func Figure7Designs() []train.Design {
+	return []train.Design{
+		DesignFloat32,
+		DesignMQE1bit,
+		DesignSparse5,
+		DesignLocal2,
+		ThreeLC(1.00),
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"threelc/internal/train"
+)
+
+// CurvePoint is one (training time, accuracy) datapoint of Figures 4-6/8.
+type CurvePoint struct {
+	BudgetFrac  float64
+	Steps       int
+	TimeMinutes float64
+	Accuracy    float64
+}
+
+// Curve is one design's tradeoff curve.
+type Curve struct {
+	Design string
+	Points []CurvePoint
+}
+
+// TimeAccuracyCurves regenerates the Figure 4/5/6 data: total training
+// time vs. test accuracy at 25/50/75/100% of standard training steps for
+// the given designs at one bandwidth. Each budget is a separate training
+// run because the cosine learning-rate schedule depends on the total step
+// count (§5.3).
+func TimeAccuracyCurves(s *Suite, designs []train.Design, bandwidthBps float64) ([]Curve, error) {
+	var curves []Curve
+	for _, d := range designs {
+		c := Curve{Design: d.Name}
+		for _, frac := range StepBudgets {
+			steps := s.budgetSteps(frac)
+			r, err := s.Run(d, steps)
+			if err != nil {
+				return nil, err
+			}
+			c.Points = append(c.Points, CurvePoint{
+				BudgetFrac:  frac,
+				Steps:       steps,
+				TimeMinutes: r.TimeAt(bandwidthBps) / 60,
+				Accuracy:    r.FinalAccuracy * 100,
+			})
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// PrintCurves renders tradeoff curves as an aligned series table.
+func PrintCurves(w io.Writer, title string, curves []Curve) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-24s %8s %8s %14s %12s\n", "Design", "Budget", "Steps", "Time (min)", "Accuracy(%)")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%-24s %7.0f%% %8d %14.2f %12.2f\n",
+				c.Design, p.BudgetFrac*100, p.Steps, p.TimeMinutes, p.Accuracy)
+		}
+	}
+}
+
+// Figure4 is the 10 Mbps tradeoff (overview designs).
+func Figure4(s *Suite) ([]Curve, error) {
+	return TimeAccuracyCurves(s, OverviewDesigns(), Bandwidths[0])
+}
+
+// Figure5 is the 100 Mbps tradeoff.
+func Figure5(s *Suite) ([]Curve, error) {
+	return TimeAccuracyCurves(s, OverviewDesigns(), Bandwidths[1])
+}
+
+// Figure6 is the 1 Gbps tradeoff.
+func Figure6(s *Suite) ([]Curve, error) {
+	return TimeAccuracyCurves(s, OverviewDesigns(), Bandwidths[2])
+}
+
+// Figure8 is the sparsity-multiplier sensitivity tradeoff at 10 Mbps.
+func Figure8(s *Suite) ([]Curve, error) {
+	designs := []train.Design{ThreeLC(1.00), ThreeLC(1.50), ThreeLC(1.75), ThreeLC(1.90)}
+	return TimeAccuracyCurves(s, designs, Bandwidths[0])
+}
+
+// TrainingSeries is one design's per-step loss plus periodic accuracy
+// (Figure 7).
+type TrainingSeries struct {
+	Design string
+	Steps  []int
+	Loss   []float64
+	Evals  []train.EvalRecord
+}
+
+// Figure7 regenerates the runtime training-loss and test-accuracy series
+// for the representative designs, at standard training steps.
+func Figure7(s *Suite) ([]TrainingSeries, error) {
+	var out []TrainingSeries
+	for _, d := range Figure7Designs() {
+		r, err := s.Run(d, s.Opt.StandardSteps)
+		if err != nil {
+			return nil, err
+		}
+		ts := TrainingSeries{Design: d.Name, Evals: r.Evals}
+		for _, sr := range r.StepRecords {
+			ts.Steps = append(ts.Steps, sr.Step)
+			ts.Loss = append(ts.Loss, sr.Loss)
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// PrintFigure7 renders the loss/accuracy series, subsampled for legibility.
+func PrintFigure7(w io.Writer, series []TrainingSeries, every int) {
+	if every < 1 {
+		every = 1
+	}
+	fmt.Fprintln(w, "Figure 7: Training loss (left) and test accuracy (right) using standard training steps")
+	for _, ts := range series {
+		fmt.Fprintf(w, "-- %s\n", ts.Design)
+		fmt.Fprintf(w, "%8s %12s\n", "step", "loss")
+		for i := 0; i < len(ts.Steps); i += every {
+			fmt.Fprintf(w, "%8d %12.4f\n", ts.Steps[i], ts.Loss[i])
+		}
+		fmt.Fprintf(w, "%8s %12s\n", "step", "accuracy(%)")
+		for _, e := range ts.Evals {
+			fmt.Fprintf(w, "%8d %12.2f\n", e.Step, e.Accuracy*100)
+		}
+	}
+}
+
+// BitsSeries is the Figure 9 per-step compressed size series for one
+// sparsity setting.
+type BitsSeries struct {
+	Sparsity float64
+	Steps    []int
+	// PushBits / PullBits are compressed bits per state change for
+	// gradient pushes and model pulls (compressible tensors only).
+	PushBits []float64
+	PullBits []float64
+	// NoZREBits is the constant quartic-encoding-only size (1.6 bits).
+	NoZREBits float64
+}
+
+// Figure9 regenerates the compressed-size-per-state-change series for
+// s=1.00 and s=1.75.
+func Figure9(s *Suite) ([]BitsSeries, error) {
+	var out []BitsSeries
+	for _, sp := range []float64{1.00, 1.75} {
+		r, err := s.Run(ThreeLC(sp), s.Opt.StandardSteps)
+		if err != nil {
+			return nil, err
+		}
+		bs := BitsSeries{Sparsity: sp, NoZREBits: 1.6}
+		elems := float64(r.CompressibleElems)
+		for _, sr := range r.StepRecords {
+			bs.Steps = append(bs.Steps, sr.Step)
+			bs.PushBits = append(bs.PushBits, sr.CompPushBytes*8/elems)
+			bs.PullBits = append(bs.PullBits, sr.CompPullBytes*8/elems)
+		}
+		out = append(out, bs)
+	}
+	return out, nil
+}
+
+// PrintFigure9 renders the series, subsampled for legibility.
+func PrintFigure9(w io.Writer, series []BitsSeries, every int) {
+	if every < 1 {
+		every = 1
+	}
+	fmt.Fprintln(w, "Figure 9: Compressed size per state change value using standard training steps")
+	for _, bs := range series {
+		fmt.Fprintf(w, "-- s=%.2f (without ZRE: %.2f bits)\n", bs.Sparsity, bs.NoZREBits)
+		fmt.Fprintf(w, "%8s %12s %12s\n", "step", "push(bits)", "pull(bits)")
+		for i := 0; i < len(bs.Steps); i += every {
+			fmt.Fprintf(w, "%8d %12.3f %12.3f\n", bs.Steps[i], bs.PushBits[i], bs.PullBits[i])
+		}
+	}
+}

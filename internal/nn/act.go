@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"fmt"
+
+	"threelc/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero, remembering the mask for backward.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d := x.Data()
+	y := tensor.New(x.Shape()...)
+	yd := y.Data()
+	if cap(r.mask) < len(d) {
+		r.mask = make([]bool, len(d))
+	}
+	r.mask = r.mask[:len(d)]
+	for i, v := range d {
+		if v > 0 {
+			yd[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dd := dout.Data()
+	dx := tensor.New(dout.Shape()...)
+	dxd := dx.Data()
+	for i, m := range r.mask {
+		if m {
+			dxd[i] = dd[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil (ReLU has no parameters).
+func (r *ReLU) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces [N, C, H, W] to [N, C] by averaging each plane,
+// the standard ResNet classification head.
+type GlobalAvgPool struct {
+	shape []int
+}
+
+// NewGlobalAvgPool creates the pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	if len(shape) != 4 {
+		panic(fmt.Sprintf("nn: GlobalAvgPool wants NCHW, got %v", shape))
+	}
+	n, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	g.shape = append(g.shape[:0], shape...)
+	plane := h * w
+	inv := 1 / float32(plane)
+	y := tensor.New(n, c)
+	xd, yd := x.Data(), y.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * plane
+			var s float32
+			for i := 0; i < plane; i++ {
+				s += xd[base+i]
+			}
+			yd[b*c+ch] = s * inv
+		}
+	}
+	return y
+}
+
+// Backward broadcasts the pooled gradient uniformly over each plane.
+func (g *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.shape[0], g.shape[1], g.shape[2], g.shape[3]
+	plane := h * w
+	inv := 1 / float32(plane)
+	dx := tensor.New(n, c, h, w)
+	dd, dxd := dout.Data(), dx.Data()
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			gv := dd[b*c+ch] * inv
+			base := (b*c + ch) * plane
+			for i := 0; i < plane; i++ {
+				dxd[base+i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] to [N, D].
+type Flatten struct {
+	shape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	f.shape = append(f.shape[:0], shape...)
+	n := shape[0]
+	d := x.Len() / n
+	return x.Reshape(n, d)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.shape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+
+	"threelc/internal/tensor"
+)
+
+// NewMLP builds a batch-normalized multi-layer perceptron:
+// in -> [Linear -> BatchNorm1D -> ReLU]* -> classes. MLPs are the cheap
+// workload for the traffic-compression experiments: their gradient tensors
+// have the same zero-centred heavy-tailed statistics the compression
+// pipeline targets, at a fraction of a CNN's compute cost. Batch
+// normalization matches the paper's fully-normalized ResNet workload and
+// is what keeps large-batch, worker-scaled learning rates stable under
+// quantization noise.
+func NewMLP(in int, hidden []int, classes int, seed uint64) *Model {
+	rng := tensor.NewRNG(seed)
+	var layers []Layer
+	prev := in
+	for i, h := range hidden {
+		layers = append(layers, NewLinear(fmt.Sprintf("fc%d", i+1), prev, h, rng))
+		layers = append(layers, NewBatchNorm1D(fmt.Sprintf("bn%d", i+1), h))
+		layers = append(layers, NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewLinear("head", prev, classes, rng))
+	return &Model{Net: NewSequential(layers...), Loss: NewSoftmaxCrossEntropy()}
+}
+
+// MicroResNetConfig sizes a MicroResNet.
+type MicroResNetConfig struct {
+	// InChannels is the image channel count (3 for CIFAR-like data).
+	InChannels int
+	// ImageSize is the square image side length.
+	ImageSize int
+	// StageChannels lists channel widths per stage (each stage after the
+	// first downsamples 2x), e.g. {8, 16, 32}.
+	StageChannels []int
+	// BlocksPerStage is the residual-block count per stage; ResNet-110
+	// uses 18 per stage at CIFAR scale, MicroResNet defaults to 1-2.
+	BlocksPerStage int
+	// Classes is the number of output classes.
+	Classes int
+	// Seed seeds weight initialization.
+	Seed uint64
+}
+
+// DefaultMicroResNet returns a CPU-trainable stand-in for the paper's
+// ResNet-110/CIFAR-10 workload: 3-channel 16x16 inputs, three stages,
+// identity-mapping residual blocks, batch norm everywhere, global average
+// pooling, and a linear classifier head.
+func DefaultMicroResNet() MicroResNetConfig {
+	return MicroResNetConfig{
+		InChannels:     3,
+		ImageSize:      16,
+		StageChannels:  []int{8, 16, 32},
+		BlocksPerStage: 1,
+		Classes:        10,
+		Seed:           1,
+	}
+}
+
+// VGGNanoConfig sizes a VGGNano.
+type VGGNanoConfig struct {
+	InChannels int
+	ImageSize  int
+	// StageChannels lists the channel widths of the conv stages; each
+	// stage ends with 2x2 max pooling.
+	StageChannels []int
+	// HiddenFC is the width of the fully-connected layer before the
+	// classifier — the component that gives VGG-style networks their
+	// large parameter-to-computation ratio (§5.2's contrast with ResNet).
+	HiddenFC int
+	Classes  int
+	Seed     uint64
+}
+
+// DefaultVGGNano returns a small VGG-style network: plain conv stacks,
+// max-pool downsampling, and a wide fully-connected head. Compared to
+// MicroResNet it carries far more parameters per unit of computation,
+// reproducing the architectural contrast the paper draws between VGG and
+// ResNet (§5.2).
+func DefaultVGGNano() VGGNanoConfig {
+	return VGGNanoConfig{
+		InChannels:    3,
+		ImageSize:     16,
+		StageChannels: []int{8, 16},
+		HiddenFC:      256,
+		Classes:       10,
+		Seed:          1,
+	}
+}
+
+// NewVGGNano builds the VGG-style network per the config.
+func NewVGGNano(cfg VGGNanoConfig) *Model {
+	rng := tensor.NewRNG(cfg.Seed)
+	if len(cfg.StageChannels) == 0 {
+		panic("nn: VGGNano needs at least one stage")
+	}
+	var layers []Layer
+	prev := cfg.InChannels
+	size := cfg.ImageSize
+	for si, ch := range cfg.StageChannels {
+		name := fmt.Sprintf("stage%d", si+1)
+		layers = append(layers,
+			NewConv2D(name+".conv", prev, ch, 3, 1, 1, rng),
+			NewBatchNorm2D(name+".bn", ch),
+			NewReLU(),
+			NewMaxPool2D(),
+		)
+		prev = ch
+		size /= 2
+	}
+	flat := prev * size * size
+	layers = append(layers,
+		NewFlatten(),
+		NewLinear("fc", flat, cfg.HiddenFC, rng),
+		NewBatchNorm1D("fcbn", cfg.HiddenFC),
+		NewReLU(),
+		NewLinear("head", cfg.HiddenFC, cfg.Classes, rng),
+	)
+	return &Model{Net: NewSequential(layers...), Loss: NewSoftmaxCrossEntropy()}
+}
+
+// NewMicroResNet builds a residual CNN per the config.
+func NewMicroResNet(cfg MicroResNetConfig) *Model {
+	rng := tensor.NewRNG(cfg.Seed)
+	if len(cfg.StageChannels) == 0 {
+		panic("nn: MicroResNet needs at least one stage")
+	}
+	var layers []Layer
+	c0 := cfg.StageChannels[0]
+	layers = append(layers,
+		NewConv2D("stem", cfg.InChannels, c0, 3, 1, 1, rng),
+		NewBatchNorm2D("stembn", c0),
+		NewReLU(),
+	)
+	prev := c0
+	for si, ch := range cfg.StageChannels {
+		for bi := 0; bi < cfg.BlocksPerStage; bi++ {
+			stride := 1
+			if si > 0 && bi == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("stage%d.block%d", si+1, bi+1)
+			layers = append(layers, NewResidualBlock(name, prev, ch, stride, rng))
+			prev = ch
+		}
+	}
+	layers = append(layers,
+		NewGlobalAvgPool(),
+		NewLinear("head", prev, cfg.Classes, rng),
+	)
+	return &Model{Net: NewSequential(layers...), Loss: NewSoftmaxCrossEntropy()}
+}

@@ -1,0 +1,57 @@
+package nn
+
+// Walk visits l and, for container layers, every nested layer in a stable
+// depth-first order. It lets two structurally identical models be zipped
+// layer-by-layer (used to transfer batch-norm running statistics from the
+// designated worker to the global model, mirroring §5.2's "one worker
+// responsible for updating batch normalization parameters").
+func Walk(l Layer, fn func(Layer)) {
+	switch t := l.(type) {
+	case *Sequential:
+		for _, c := range t.Layers {
+			Walk(c, fn)
+		}
+	case *ResidualBlock:
+		fn(t)
+		Walk(t.conv1, fn)
+		Walk(t.bn1, fn)
+		Walk(t.conv2, fn)
+		Walk(t.bn2, fn)
+		if t.projConv != nil {
+			Walk(t.projConv, fn)
+			Walk(t.projBN, fn)
+		}
+	default:
+		fn(l)
+	}
+}
+
+// CopyBatchNormStats copies running mean/variance statistics from src to
+// dst, which must be structurally identical models. Learnable parameters
+// are not touched (those flow through the parameter server).
+func CopyBatchNormStats(dst, src *Model) {
+	var dstLayers, srcLayers []Layer
+	Walk(dst.Net, func(l Layer) { dstLayers = append(dstLayers, l) })
+	Walk(src.Net, func(l Layer) { srcLayers = append(srcLayers, l) })
+	if len(dstLayers) != len(srcLayers) {
+		panic("nn: CopyBatchNormStats architecture mismatch")
+	}
+	for i := range dstLayers {
+		switch d := dstLayers[i].(type) {
+		case *BatchNorm1D:
+			s, ok := srcLayers[i].(*BatchNorm1D)
+			if !ok {
+				panic("nn: CopyBatchNormStats layer type mismatch")
+			}
+			copy(d.runningMean, s.runningMean)
+			copy(d.runningVar, s.runningVar)
+		case *BatchNorm2D:
+			s, ok := srcLayers[i].(*BatchNorm2D)
+			if !ok {
+				panic("nn: CopyBatchNormStats layer type mismatch")
+			}
+			copy(d.runningMean, s.runningMean)
+			copy(d.runningVar, s.runningVar)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package opt provides the local optimizer and learning-rate schedule the
+// paper's evaluation uses (§5.2): SGD with momentum 0.9, weight decay
+// 1e-4, and cosine decay without restarts over the full training run, with
+// learning-rate scaling proportional to the worker count (Goyal et al.).
+package opt
+
+import (
+	"math"
+
+	"threelc/internal/nn"
+	"threelc/internal/tensor"
+)
+
+// SGDConfig mirrors the paper's hyperparameters.
+type SGDConfig struct {
+	// BaseLR is the single-worker starting learning rate (paper: 0.1).
+	BaseLR float64
+	// FinalLR is the end of the cosine range (paper: 0.001).
+	FinalLR float64
+	// Momentum (paper: 0.9).
+	Momentum float64
+	// WeightDecay (paper: 1e-4).
+	WeightDecay float64
+	// Workers scales the learning rate proportionally (large-batch rule).
+	Workers int
+	// TotalSteps is the length of the cosine schedule; the schedule always
+	// sweeps the full LR range over however many steps the run uses
+	// (§5.2: "the learning rate schedule uses adjusted training steps").
+	TotalSteps int
+	// WarmupFrac linearly ramps the learning rate from BaseLR (unscaled)
+	// to the worker-scaled rate over this fraction of total steps. The
+	// paper follows the large-batch guideline of Goyal et al. [13], whose
+	// recipe pairs learning-rate scaling with gradual warmup.
+	WarmupFrac float64
+}
+
+// DefaultSGDConfig returns the paper's settings for a given cluster size
+// and run length.
+func DefaultSGDConfig(workers, totalSteps int) SGDConfig {
+	return SGDConfig{
+		BaseLR:      0.1,
+		FinalLR:     0.001,
+		Momentum:    0.9,
+		WeightDecay: 1e-4,
+		Workers:     workers,
+		TotalSteps:  totalSteps,
+		WarmupFrac:  0.1,
+	}
+}
+
+// TunedSGDConfig returns the learning-rate range adapted to this
+// repository's substitute workloads (synthetic-data MLP / MicroResNet).
+// The paper's ResNet-110 trains at base LR 0.1; the smaller substitute
+// models sit closer to the stability edge under worker-scaled rates and
+// quantization-overshoot noise (sparsity multipliers enlarge transmitted
+// values by up to 2x), so the range is shifted down while keeping the
+// paper's momentum, weight decay, cosine decay, and warmup structure.
+// DESIGN.md documents this substitution.
+func TunedSGDConfig(workers, totalSteps int) SGDConfig {
+	cfg := DefaultSGDConfig(workers, totalSteps)
+	cfg.BaseLR = 0.02
+	cfg.FinalLR = 0.0002
+	return cfg
+}
+
+// SGD implements momentum SGD with decoupled-by-addition weight decay
+// (decay folded into the gradient, as in the original ResNet recipe).
+type SGD struct {
+	cfg      SGDConfig
+	velocity map[string]*tensor.Tensor
+	step     int
+}
+
+// NewSGD creates the optimizer.
+func NewSGD(cfg SGDConfig) *SGD {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &SGD{cfg: cfg, velocity: make(map[string]*tensor.Tensor)}
+}
+
+// LR returns the warmed-up, cosine-decayed, worker-scaled learning rate at
+// step t.
+func (o *SGD) LR(t int) float64 {
+	base := o.cfg.BaseLR * float64(o.cfg.Workers)
+	final := o.cfg.FinalLR * float64(o.cfg.Workers)
+	if o.cfg.TotalSteps <= 1 {
+		return base
+	}
+	warmup := int(o.cfg.WarmupFrac * float64(o.cfg.TotalSteps))
+	if t < warmup {
+		// Linear ramp from the unscaled base rate to the scaled rate.
+		lo := o.cfg.BaseLR
+		return lo + (base-lo)*float64(t)/float64(warmup)
+	}
+	frac := float64(t-warmup) / float64(o.cfg.TotalSteps-1-warmup)
+	if frac > 1 {
+		frac = 1
+	}
+	return final + 0.5*(base-final)*(1+math.Cos(math.Pi*frac))
+}
+
+// Step returns the number of updates applied so far.
+func (o *SGD) Step() int { return o.step }
+
+// Apply performs one update of params from their gradient tensors:
+//
+//	v = momentum*v + (grad + wd*w)
+//	w -= lr * v
+//
+// It advances the schedule by one step.
+func (o *SGD) Apply(params []*nn.Param) {
+	lr := float32(o.LR(o.step))
+	o.step++
+	mom := float32(o.cfg.Momentum)
+	wd := float32(o.cfg.WeightDecay)
+	for _, p := range params {
+		v, ok := o.velocity[p.Name]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			o.velocity[p.Name] = v
+		}
+		vd, wdta, gd := v.Data(), p.W.Data(), p.G.Data()
+		for i := range vd {
+			g := gd[i] + wd*wdta[i]
+			vd[i] = mom*vd[i] + g
+			wdta[i] -= lr * vd[i]
+		}
+	}
+}
+
+// ApplyDelta applies a precomputed model delta to params: w += delta[i].
+// The parameter server uses this on workers when applying pulled deltas.
+func ApplyDelta(params []*nn.Param, deltas []*tensor.Tensor) {
+	if len(params) != len(deltas) {
+		panic("opt: delta count mismatch")
+	}
+	for i, p := range params {
+		p.W.Add(deltas[i])
+	}
+}

@@ -1,0 +1,242 @@
+// Package ps implements the parameter-server architecture of Figure 1/2:
+// a server holding the global model and N workers holding local replicas.
+// Each training step, workers push compressed gradients, the server
+// decompresses and averages them, updates the global model with the local
+// optimizer, and publishes compressed model deltas that every worker pulls
+// and applies to its replica.
+//
+// Faithful details from the paper:
+//
+//   - One compression context per tensor per direction (§3, Figure 2):
+//     each worker owns a push context per layer tensor, the server owns a
+//     pull context per layer tensor. Contexts carry the error-accumulation
+//     state across steps.
+//   - Shared compressed pulls (§3, Figure 2b): the server compresses each
+//     model delta once and every worker receives the same bytes, avoiding
+//     redundant compression work (workers still each consume egress
+//     bandwidth, which netsim accounts).
+//   - Small-tensor exemption (§5.1): tensors flagged NoCompress (batch
+//     norm) or smaller than MinCompressElems bypass compression and travel
+//     as raw 32-bit floats.
+//   - Batch-norm ownership (§5.2): one designated worker (worker 0) is
+//     responsible for batch-norm parameter updates; other workers'
+//     NoCompress gradients are ignored by aggregation.
+//   - BSP barriers: the step driver (package train) runs all pushes before
+//     the update and all pulls after it, the synchronous mode the paper
+//     evaluates.
+package ps
+
+import (
+	"fmt"
+	"time"
+
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/tensor"
+)
+
+// Config selects the traffic-reduction design and cluster shape.
+type Config struct {
+	// Scheme picks the compression design for both pushes and pulls.
+	Scheme compress.Scheme
+	// Opts carries scheme parameters (sparsity multiplier, fraction, ...).
+	Opts compress.Options
+	// Workers is the cluster size.
+	Workers int
+	// MinCompressElems exempts tensors with fewer elements from
+	// compression (they go as raw floats). The paper exempts small layers
+	// because "avoiding computation overhead far outweighs compacting
+	// already small tensors".
+	MinCompressElems int
+	// Optimizer configures the server-side SGD.
+	Optimizer opt.SGDConfig
+}
+
+// shouldCompress applies the paper's small-tensor exemption rule; both
+// endpoints use it so wire formats always agree.
+func (c Config) shouldCompress(p *nn.Param) bool {
+	if c.Scheme == compress.SchemeNone {
+		return false
+	}
+	if p.NoCompress {
+		return false
+	}
+	return p.W.Len() >= c.MinCompressElems
+}
+
+func (c Config) newContext(p *nn.Param, seed uint64) compress.Compressor {
+	if !c.shouldCompress(p) {
+		return compress.New(compress.SchemeNone, p.W.Shape(), compress.Options{})
+	}
+	o := c.Opts
+	o.Seed ^= seed
+	return compress.New(c.Scheme, p.W.Shape(), o)
+}
+
+// Server owns the global model, the optimizer, and the pull-side
+// compression contexts.
+type Server struct {
+	Model *nn.Model
+
+	cfg       Config
+	optimizer *opt.SGD
+	params    []*nn.Param
+	pullCtx   []compress.Compressor
+	gradSum   []*tensor.Tensor
+	prevW     []*tensor.Tensor
+	delta     []*tensor.Tensor
+	decode    []*tensor.Tensor
+	pushes    int
+}
+
+// NewServer wraps the global model. The model's current parameters become
+// the initial global state.
+func NewServer(model *nn.Model, cfg Config) *Server {
+	s := &Server{
+		Model:     model,
+		cfg:       cfg,
+		optimizer: opt.NewSGD(cfg.Optimizer),
+		params:    model.Params(),
+	}
+	for i, p := range s.params {
+		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(i))) // "SERVER"
+		s.gradSum = append(s.gradSum, tensor.New(p.W.Shape()...))
+		s.prevW = append(s.prevW, tensor.New(p.W.Shape()...))
+		s.delta = append(s.delta, tensor.New(p.W.Shape()...))
+		s.decode = append(s.decode, tensor.New(p.W.Shape()...))
+	}
+	return s
+}
+
+// BeginStep resets gradient aggregation for a new training step.
+func (s *Server) BeginStep() {
+	for _, g := range s.gradSum {
+		g.Zero()
+	}
+	s.pushes = 0
+}
+
+// AddPush decompresses one worker's gradient push and accumulates it.
+// NoCompress tensors (batch norm) are taken from worker 0 only.
+// It returns the decompression wall time.
+func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+	if len(wires) != len(s.params) {
+		return 0, fmt.Errorf("ps: push has %d tensors, model has %d", len(wires), len(s.params))
+	}
+	start := time.Now()
+	for i, p := range s.params {
+		if p.NoCompress && workerID != 0 {
+			continue
+		}
+		if err := compress.DecompressInto(wires[i], s.decode[i]); err != nil {
+			return 0, fmt.Errorf("ps: push tensor %q: %w", p.Name, err)
+		}
+		s.gradSum[i].Add(s.decode[i])
+	}
+	s.pushes++
+	return time.Since(start), nil
+}
+
+// FinishStep averages the aggregated gradients, applies the optimizer to
+// the global model, and returns the compressed model-delta wires shared by
+// all workers, plus the server-side codec wall time.
+func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
+	if s.pushes == 0 {
+		return nil, 0, fmt.Errorf("ps: FinishStep with no pushes")
+	}
+	inv := 1 / float32(s.pushes)
+	for i, p := range s.params {
+		if p.NoCompress {
+			// Single designated owner: gradient used as-is.
+			p.G.CopyFrom(s.gradSum[i])
+			continue
+		}
+		s.gradSum[i].Scale(inv)
+		p.G.CopyFrom(s.gradSum[i])
+	}
+
+	// Snapshot weights, update, compute deltas.
+	for i, p := range s.params {
+		s.prevW[i].CopyFrom(p.W)
+	}
+	s.optimizer.Apply(s.params)
+	for i, p := range s.params {
+		s.delta[i].CopyFrom(p.W)
+		s.delta[i].Sub(s.prevW[i])
+	}
+
+	// Shared pull compression: one wire per tensor for all workers.
+	start := time.Now()
+	wires := make([][]byte, len(s.params))
+	for i := range s.params {
+		wires[i] = s.pullCtx[i].Compress(s.delta[i])
+	}
+	return wires, time.Since(start), nil
+}
+
+// Step returns the number of optimizer updates applied.
+func (s *Server) Step() int { return s.optimizer.Step() }
+
+// LR returns the learning rate the optimizer will use at its current step.
+func (s *Server) LR() float64 { return s.optimizer.LR(s.optimizer.Step()) }
+
+// Worker is one training node: a local model replica plus push-side
+// compression contexts.
+type Worker struct {
+	ID    int
+	Model *nn.Model
+
+	cfg     Config
+	params  []*nn.Param
+	pushCtx []compress.Compressor
+	scratch []*tensor.Tensor
+}
+
+// NewWorker wraps a local model replica (which must start identical to the
+// server's global model).
+func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
+	w := &Worker{ID: id, Model: model, cfg: cfg, params: model.Params()}
+	for i, p := range w.params {
+		w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i))) // "WORK"
+		w.scratch = append(w.scratch, tensor.New(p.W.Shape()...))
+	}
+	return w
+}
+
+// CompressGrads compresses the gradients currently held in the local
+// model's parameter tensors (set by Model.TrainStep) and returns the push
+// wires plus the compression wall time.
+func (w *Worker) CompressGrads() ([][]byte, time.Duration) {
+	start := time.Now()
+	wires := make([][]byte, len(w.params))
+	for i, p := range w.params {
+		wires[i] = w.pushCtx[i].Compress(p.G)
+	}
+	return wires, time.Since(start)
+}
+
+// ApplyPull decompresses the shared model-delta wires and applies them to
+// the local replica. It returns the decompression wall time.
+func (w *Worker) ApplyPull(wires [][]byte) (time.Duration, error) {
+	if len(wires) != len(w.params) {
+		return 0, fmt.Errorf("ps: pull has %d tensors, model has %d", len(wires), len(w.params))
+	}
+	start := time.Now()
+	for i, p := range w.params {
+		if err := compress.DecompressInto(wires[i], w.scratch[i]); err != nil {
+			return 0, fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
+		}
+		p.W.Add(w.scratch[i])
+	}
+	return time.Since(start), nil
+}
+
+// WireBytes sums the byte sizes of a wire set.
+func WireBytes(wires [][]byte) int {
+	n := 0
+	for _, w := range wires {
+		n += len(w)
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+func TestErrorAccumulatorTelescoping(t *testing.T) {
+	// Invariant: after k rounds, sum(inputs) = sum(sent) + buffer.
+	// This is the property that makes error feedback deliver every state
+	// change eventually (§3.1).
+	rng := tensor.NewRNG(1)
+	acc := NewErrorAccumulator(128)
+	inputSum := tensor.New(128)
+	sentSum := tensor.New(128)
+	for round := 0; round < 50; round++ {
+		in := tensor.New(128)
+		tensor.FillNormal(in, 0.1, rng)
+		inputSum.Add(in)
+
+		sum := acc.Accumulate(in)
+		tv := Quantize3(sum, 1.5)
+		sent := Dequantize3(tv)
+		acc.Residual(sent)
+		sentSum.Add(sent)
+	}
+	// inputSum - sentSum must equal the buffer exactly (float32 order
+	// effects aside).
+	diff := inputSum.Clone()
+	diff.Sub(sentSum)
+	diff.Sub(acc.Buffer())
+	if diff.MaxAbs() > 1e-4 {
+		t.Errorf("telescoping violated: residual error %v", diff.MaxAbs())
+	}
+}
+
+func TestErrorAccumulatorDeliversConstantSignal(t *testing.T) {
+	// A constant input must be delivered at the right average rate even
+	// when each individual round quantizes it to zero.
+	acc := NewErrorAccumulator(4)
+	in := tensor.FromSlice([]float32{0.4, -0.4, 0.1, 1.0}, 4)
+	delivered := tensor.New(4)
+	rounds := 400
+	for i := 0; i < rounds; i++ {
+		sum := acc.Accumulate(in)
+		tv := Quantize3(sum, 1.0)
+		sent := Dequantize3(tv)
+		acc.Residual(sent)
+		delivered.Add(sent)
+	}
+	for i, want := range in.Data() {
+		got := delivered.Data()[i] / float32(rounds)
+		if math.Abs(float64(got-want)) > 0.05 {
+			t.Errorf("element %d: delivered rate %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestErrorAccumulatorReset(t *testing.T) {
+	acc := NewErrorAccumulator(8)
+	in := tensor.New(8)
+	in.Fill(1)
+	acc.Accumulate(in)
+	acc.Reset()
+	if acc.Buffer().MaxAbs() != 0 {
+		t.Error("Reset should zero the buffer")
+	}
+}
+
+func TestErrorAccumulatorAliasedReturn(t *testing.T) {
+	acc := NewErrorAccumulator(2)
+	in := tensor.FromSlice([]float32{1, 2}, 2)
+	sum := acc.Accumulate(in)
+	if sum != acc.Buffer() {
+		t.Error("Accumulate should return the internal buffer")
+	}
+	if sum.Data()[1] != 2 {
+		t.Errorf("buffer content wrong: %v", sum)
+	}
+	acc.Residual(tensor.FromSlice([]float32{0.5, 0.5}, 2))
+	if acc.Buffer().Data()[0] != 0.5 || acc.Buffer().Data()[1] != 1.5 {
+		t.Errorf("residual wrong: %v", acc.Buffer())
+	}
+}

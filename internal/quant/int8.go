@@ -1,0 +1,64 @@
+package quant
+
+import (
+	"math"
+
+	"threelc/internal/tensor"
+)
+
+// Int8Quantized is the output of 8-bit integer quantization: one int8 in
+// [-127, 127] per element plus the dequantization scale. It approximates
+// the TPU-style 255-level quantization the paper uses as its "8-bit int"
+// baseline (§5.1); -128 is left unused.
+type Int8Quantized struct {
+	Q     []int8
+	M     float32 // scale: value = M * q / 127
+	Shape []int
+}
+
+// QuantizeInt8 maps in onto 255 levels spanning [-max|in|, +max|in|].
+func QuantizeInt8(in *tensor.Tensor) *Int8Quantized {
+	data := in.Data()
+	out := &Int8Quantized{
+		Q:     make([]int8, len(data)),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	m := float64(in.MaxAbs())
+	out.M = float32(m)
+	if m == 0 {
+		return out
+	}
+	scale := 127 / m
+	for i, v := range data {
+		q := math.Round(float64(v) * scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out.Q[i] = int8(q)
+	}
+	return out
+}
+
+// DequantizeInt8 reconstructs the approximate tensor.
+func DequantizeInt8(q *Int8Quantized) *tensor.Tensor {
+	out := tensor.New(q.Shape...)
+	DequantizeInt8Into(q, out)
+	return out
+}
+
+// DequantizeInt8Into writes the reconstruction into dst.
+func DequantizeInt8Into(q *Int8Quantized, dst *tensor.Tensor) {
+	d := dst.Data()
+	if len(d) != len(q.Q) {
+		panic("quant: int8 dequantize size mismatch")
+	}
+	scale := q.M / 127
+	if q.M == 0 {
+		scale = 0
+	}
+	for i, v := range q.Q {
+		d[i] = scale * float32(v)
+	}
+}

@@ -1,0 +1,156 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"threelc/internal/tensor"
+)
+
+func TestInt8RoundTripBound(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(4096)
+	tensor.FillNormal(in, 0.3, rng)
+	q := QuantizeInt8(in)
+	out := DequantizeInt8(q)
+	// Error bound: half a quantization bucket = M/254 (rounding to 255
+	// levels over [-M, M]).
+	bound := float64(q.M)/254 + 1e-7
+	for i := range in.Data() {
+		e := math.Abs(float64(in.Data()[i] - out.Data()[i]))
+		if e > bound {
+			t.Fatalf("int8 error %v exceeds %v", e, bound)
+		}
+	}
+}
+
+func TestInt8Levels(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	in := tensor.New(4096)
+	tensor.FillUniform(in, -1, 1, rng)
+	q := QuantizeInt8(in)
+	for _, v := range q.Q {
+		if v < -127 || v > 127 {
+			t.Fatalf("level %d outside [-127,127] (-128 must be unused)", v)
+		}
+	}
+}
+
+func TestInt8ZeroTensor(t *testing.T) {
+	q := QuantizeInt8(tensor.New(16))
+	out := DequantizeInt8(q)
+	if out.MaxAbs() != 0 {
+		t.Error("zero tensor should round-trip to zero")
+	}
+}
+
+func TestInt8ExtremesExact(t *testing.T) {
+	in := tensor.FromSlice([]float32{-2, 0, 2}, 3)
+	out := DequantizeInt8(QuantizeInt8(in))
+	if out.Data()[0] != -2 || out.Data()[2] != 2 {
+		t.Errorf("extreme values should be exact: %v", out)
+	}
+	if out.Data()[1] != 0 {
+		t.Errorf("zero should stay zero: %v", out)
+	}
+}
+
+func TestOneBitPartitionMeans(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 3, -2, -4, 0}, 5)
+	q := QuantizeOneBit(in)
+	// Non-negative: {1, 3, 0} mean 4/3. Negative: {-2, -4} mean -3.
+	if math.Abs(float64(q.MPos)-4.0/3) > 1e-6 {
+		t.Errorf("MPos = %v, want 4/3", q.MPos)
+	}
+	if q.MNeg != -3 {
+		t.Errorf("MNeg = %v, want -3", q.MNeg)
+	}
+	out := DequantizeOneBit(q)
+	want := []float32{4.0 / 3, 4.0 / 3, -3, -3, 4.0 / 3}
+	for i := range want {
+		if math.Abs(float64(out.Data()[i]-want[i])) > 1e-6 {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], want[i])
+		}
+	}
+}
+
+func TestOneBitMinimizesSquaredError(t *testing.T) {
+	// Among all (a, b) dequantization pairs for a sign split, the
+	// partition means minimize squared error; nudging them must not
+	// reduce the error.
+	rng := tensor.NewRNG(3)
+	in := tensor.New(512)
+	tensor.FillNormal(in, 1, rng)
+	q := QuantizeOneBit(in)
+
+	sqErr := func(mPos, mNeg float32) float64 {
+		var s float64
+		for _, v := range in.Data() {
+			var d float64
+			if v >= 0 {
+				d = float64(v - mPos)
+			} else {
+				d = float64(v - mNeg)
+			}
+			s += d * d
+		}
+		return s
+	}
+	base := sqErr(q.MPos, q.MNeg)
+	for _, eps := range []float32{-0.05, 0.05} {
+		if sqErr(q.MPos+eps, q.MNeg) < base-1e-6 {
+			t.Errorf("nudging MPos by %v reduced squared error", eps)
+		}
+		if sqErr(q.MPos, q.MNeg+eps) < base-1e-6 {
+			t.Errorf("nudging MNeg by %v reduced squared error", eps)
+		}
+	}
+}
+
+func TestOneBitAllPositive(t *testing.T) {
+	in := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	q := QuantizeOneBit(in)
+	if q.MPos != 2 || q.MNeg != 0 {
+		t.Errorf("MPos=%v MNeg=%v", q.MPos, q.MNeg)
+	}
+}
+
+func TestOneBitBitPacking(t *testing.T) {
+	// 9 elements exercises the partial final byte.
+	in := tensor.FromSlice([]float32{1, -1, 1, -1, 1, -1, 1, -1, 1}, 9)
+	q := QuantizeOneBit(in)
+	if len(q.Bits) != 2 {
+		t.Fatalf("9 elements should pack into 2 bytes, got %d", len(q.Bits))
+	}
+	out := DequantizeOneBit(q)
+	for i, v := range in.Data() {
+		if (v > 0) != (out.Data()[i] > 0) {
+			t.Errorf("sign lost at %d", i)
+		}
+	}
+}
+
+// Property: 1-bit round trip preserves signs exactly.
+func TestOneBitSignProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		in := tensor.New(100)
+		tensor.FillNormal(in, 1, rng)
+		q := QuantizeOneBit(in)
+		out := DequantizeOneBit(q)
+		for i, v := range in.Data() {
+			got := out.Data()[i]
+			if v >= 0 && got != q.MPos {
+				return false
+			}
+			if v < 0 && got != q.MNeg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package quant
+
+import "threelc/internal/tensor"
+
+// OneBitQuantized is the output of 1-bit quantization with minimum squared
+// quantization error (the paper's "MQE 1-bit int" baseline, after 1-bit
+// SGD, Seide et al.): each element is mapped to one bit by sign, and the
+// two dequantization magnitudes are the means of the non-negative and
+// negative partitions, which minimize the squared quantization error for a
+// sign-based split.
+type OneBitQuantized struct {
+	// Bits holds one bit per element, packed little-endian within each
+	// byte; bit=1 means the element was non-negative.
+	Bits []byte
+	// N is the number of valid elements (the last byte may be partial).
+	N int
+	// MPos is the mean of the non-negative elements.
+	MPos float32
+	// MNeg is the mean of the negative elements (a negative number).
+	MNeg  float32
+	Shape []int
+}
+
+// QuantizeOneBit performs MQE 1-bit quantization of in.
+func QuantizeOneBit(in *tensor.Tensor) *OneBitQuantized {
+	data := in.Data()
+	out := &OneBitQuantized{
+		Bits:  make([]byte, (len(data)+7)/8),
+		N:     len(data),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	var sumPos, sumNeg float64
+	var nPos, nNeg int
+	for i, v := range data {
+		if v >= 0 {
+			out.Bits[i>>3] |= 1 << (uint(i) & 7)
+			sumPos += float64(v)
+			nPos++
+		} else {
+			sumNeg += float64(v)
+			nNeg++
+		}
+	}
+	if nPos > 0 {
+		out.MPos = float32(sumPos / float64(nPos))
+	}
+	if nNeg > 0 {
+		out.MNeg = float32(sumNeg / float64(nNeg))
+	}
+	return out
+}
+
+// DequantizeOneBit reconstructs the approximation: non-negative elements
+// become MPos, negative elements become MNeg.
+func DequantizeOneBit(q *OneBitQuantized) *tensor.Tensor {
+	out := tensor.New(q.Shape...)
+	DequantizeOneBitInto(q, out)
+	return out
+}
+
+// DequantizeOneBitInto writes the reconstruction into dst.
+func DequantizeOneBitInto(q *OneBitQuantized, dst *tensor.Tensor) {
+	d := dst.Data()
+	if len(d) != q.N {
+		panic("quant: 1-bit dequantize size mismatch")
+	}
+	for i := range d {
+		if q.Bits[i>>3]&(1<<(uint(i)&7)) != 0 {
+			d[i] = q.MPos
+		} else {
+			d[i] = q.MNeg
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package quant implements the lossy value transformations of the 3LC paper
+// (§3.1) and the quantization baselines it is evaluated against (§5.1):
+//
+//   - 3-value quantization with sparsity multiplication (the 3LC lossy core)
+//   - error-accumulation buffers shared by several schemes
+//   - stochastic 3-value quantization (TernGrad-like)
+//   - 8-bit integer quantization (TPU-like, 255 levels)
+//   - 1-bit quantization with minimum squared quantization error (1-bit SGD)
+//
+// All quantizers operate on flat []float32 data and are written as simple
+// loops over dense arrays — the direct analogue of the paper's "vectorizable
+// operations" argument.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"threelc/internal/tensor"
+)
+
+// MinSparsity and MaxSparsity bound the sparsity multiplier s of 3-value
+// quantization: 1 <= s < 2 (paper Eq. 1 and the convergence argument of
+// §3.1, which needs M/2 < max|Tin|).
+const (
+	MinSparsity = 1.0
+	MaxSparsity = 2.0 // exclusive
+)
+
+// ThreeValue holds the output of 3-value quantization: a ternary tensor
+// (values in {-1, 0, +1} stored as int8) plus the full-precision scale M.
+type ThreeValue struct {
+	// Q holds the quantized values, one int8 in {-1,0,1} per input element.
+	Q []int8
+	// M is the dequantization magnitude: max(|Tin|) * s.
+	M float32
+	// Shape is the original tensor shape, carried for reconstruction.
+	Shape []int
+}
+
+// Quantize3 applies 3-value quantization with sparsity multiplication
+// (paper Eq. 1-2) to in:
+//
+//	M = max(|in|) * s
+//	q = round(in / M)
+//
+// With s = 1 every element maps to {-1,0,1} with round-half-away-from-zero;
+// with 1 < s < 2 more elements fall below M/2 and quantize to zero, making
+// the output sparser. Quantize3 panics if s is outside [1, 2).
+func Quantize3(in *tensor.Tensor, s float64) *ThreeValue {
+	if s < MinSparsity || s >= MaxSparsity {
+		panic(fmt.Sprintf("quant: sparsity multiplier %v outside [1,2)", s))
+	}
+	data := in.Data()
+	out := &ThreeValue{
+		Q:     make([]int8, len(data)),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	m := float64(in.MaxAbs()) * s
+	out.M = float32(m)
+	if m == 0 {
+		return out // all-zero input quantizes to all zeros
+	}
+	inv := 1 / m
+	for i, v := range data {
+		// round(v/M) for |v| <= M/s < M can only land in {-1,0,1}.
+		r := math.Round(float64(v) * inv)
+		out.Q[i] = int8(r)
+	}
+	return out
+}
+
+// Dequantize3 reverses Quantize3 into a new tensor: out = M * q (Eq. 3).
+func Dequantize3(tv *ThreeValue) *tensor.Tensor {
+	out := tensor.New(tv.Shape...)
+	DequantizeInto(tv, out)
+	return out
+}
+
+// DequantizeInto writes M * q into dst, which must have the same element
+// count as the quantized data.
+func DequantizeInto(tv *ThreeValue, dst *tensor.Tensor) {
+	d := dst.Data()
+	if len(d) != len(tv.Q) {
+		panic(fmt.Sprintf("quant: dequantize into %d elements, have %d", len(d), len(tv.Q)))
+	}
+	m := tv.M
+	for i, q := range tv.Q {
+		d[i] = m * float32(q)
+	}
+}
+
+// CountZeros returns the number of zero entries in the quantized output,
+// the quantity the sparsity multiplier controls and zero-run encoding
+// exploits.
+func (tv *ThreeValue) CountZeros() int {
+	n := 0
+	for _, q := range tv.Q {
+		if q == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of quantized elements.
+func (tv *ThreeValue) Len() int { return len(tv.Q) }
+
+// QuantizeStochastic3 applies stochastic 3-value quantization in the style
+// of TernGrad (§5.1 "Stoch 3-value + QE"): each element quantizes to
+// sign(v) with probability |v|/M and to 0 otherwise, making the quantized
+// value an unbiased estimator of v/M. M = max(|in|) (no sparsity
+// multiplication; TernGrad has no compression-level knob).
+func QuantizeStochastic3(in *tensor.Tensor, rng *tensor.RNG) *ThreeValue {
+	data := in.Data()
+	out := &ThreeValue{
+		Q:     make([]int8, len(data)),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	m := float64(in.MaxAbs())
+	out.M = float32(m)
+	if m == 0 {
+		return out
+	}
+	inv := 1 / m
+	for i, v := range data {
+		p := math.Abs(float64(v)) * inv // in [0,1]
+		if rng.Float64() < p {
+			if v > 0 {
+				out.Q[i] = 1
+			} else {
+				out.Q[i] = -1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"threelc/internal/tensor"
+)
+
+func TestQuantize3Values(t *testing.T) {
+	// From Figure 3: M = 0.3 (s=1), values quantize by round(v/M).
+	in := tensor.FromSlice([]float32{-0.3, 0.1, -0.4, 0, 0.3}, 5)
+	tv := Quantize3(in, 1.0)
+	if tv.M != 0.4 {
+		t.Fatalf("M = %v, want 0.4", tv.M)
+	}
+	want := []int8{-1, 0, -1, 0, 1}
+	for i, q := range tv.Q {
+		if q != want[i] {
+			t.Errorf("Q[%d] = %d, want %d", i, q, want[i])
+		}
+	}
+}
+
+func TestQuantize3OnlyTernaryOutputs(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(10000)
+	tensor.FillNormal(in, 1, rng)
+	for _, s := range []float64{1.0, 1.25, 1.5, 1.75, 1.99} {
+		tv := Quantize3(in, s)
+		for i, q := range tv.Q {
+			if q < -1 || q > 1 {
+				t.Fatalf("s=%v: Q[%d]=%d outside {-1,0,1}", s, i, q)
+			}
+		}
+	}
+}
+
+func TestQuantize3ErrorBound(t *testing.T) {
+	// Paper §3.1: max |Tin - Tout| <= M/2.
+	rng := tensor.NewRNG(2)
+	for _, s := range []float64{1.0, 1.5, 1.9} {
+		in := tensor.New(5000)
+		tensor.FillNormal(in, 0.1, rng)
+		tv := Quantize3(in, s)
+		out := Dequantize3(tv)
+		bound := float64(tv.M) / 2 * (1 + 1e-6)
+		for i := range in.Data() {
+			e := math.Abs(float64(in.Data()[i] - out.Data()[i]))
+			if e > bound {
+				t.Fatalf("s=%v: |err|=%v exceeds M/2=%v", s, e, bound)
+			}
+		}
+	}
+}
+
+func TestQuantize3SparsityMonotone(t *testing.T) {
+	// Larger s must not decrease the number of zeros (§3.1).
+	rng := tensor.NewRNG(3)
+	in := tensor.New(10000)
+	tensor.FillUniform(in, -1, 1, rng)
+	prev := -1
+	for _, s := range []float64{1.0, 1.3, 1.6, 1.9} {
+		z := Quantize3(in, s).CountZeros()
+		if z < prev {
+			t.Fatalf("zeros decreased from %d to %d at s=%v", prev, z, s)
+		}
+		prev = z
+	}
+}
+
+func TestQuantize3ZeroTensor(t *testing.T) {
+	in := tensor.New(100)
+	tv := Quantize3(in, 1.5)
+	if tv.M != 0 {
+		t.Errorf("M = %v for zero tensor", tv.M)
+	}
+	if tv.CountZeros() != 100 {
+		t.Errorf("zero tensor should quantize to all zeros")
+	}
+	out := Dequantize3(tv)
+	if out.MaxAbs() != 0 {
+		t.Errorf("dequantized zero tensor should be zero")
+	}
+}
+
+func TestQuantize3PreservesMaxMagnitudeAtS1(t *testing.T) {
+	// s=1 preserves the maximum magnitude across quantize/dequantize.
+	in := tensor.FromSlice([]float32{0.5, -1.25, 0.1}, 3)
+	tv := Quantize3(in, 1.0)
+	out := Dequantize3(tv)
+	if out.MaxAbs() != 1.25 {
+		t.Errorf("max magnitude %v not preserved (want 1.25)", out.MaxAbs())
+	}
+}
+
+func TestQuantize3SparsityRangePanics(t *testing.T) {
+	in := tensor.New(4)
+	for _, s := range []float64{0.5, 0.99, 2.0, 2.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("s=%v: expected panic", s)
+				}
+			}()
+			Quantize3(in, s)
+		}()
+	}
+}
+
+func TestDequantizeIntoSizeMismatchPanics(t *testing.T) {
+	tv := Quantize3(tensor.New(4), 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DequantizeInto(tv, tensor.New(5))
+}
+
+func TestQuantize3ShapePreserved(t *testing.T) {
+	in := tensor.New(2, 3, 4)
+	tv := Quantize3(in, 1.0)
+	out := Dequantize3(tv)
+	if !out.SameShape(in) {
+		t.Errorf("shape %v != %v", out.Shape(), in.Shape())
+	}
+	if tv.Len() != 24 {
+		t.Errorf("Len = %d", tv.Len())
+	}
+}
+
+// Property: dequantized values are always in {-M, 0, +M}.
+func TestDequantize3ValueSetProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		in := tensor.New(256)
+		tensor.FillNormal(in, 0.5, rng)
+		s := 1.0 + 0.99*rng.Float64()
+		tv := Quantize3(in, s)
+		out := Dequantize3(tv)
+		for _, v := range out.Data() {
+			if v != 0 && v != tv.M && v != -tv.M {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStochastic3Unbiased(t *testing.T) {
+	// E[M*q] must equal the input value.
+	rng := tensor.NewRNG(4)
+	in := tensor.FromSlice([]float32{0.3, -0.6, 0.9, 0}, 4)
+	n := 20000
+	sums := make([]float64, 4)
+	for trial := 0; trial < n; trial++ {
+		tv := QuantizeStochastic3(in, rng)
+		for i, q := range tv.Q {
+			sums[i] += float64(tv.M) * float64(q)
+		}
+	}
+	for i, want := range []float64{0.3, -0.6, 0.9, 0} {
+		got := sums[i] / float64(n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("E[deq[%d]] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestStochastic3TernaryOnly(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	in := tensor.New(1000)
+	tensor.FillNormal(in, 1, rng)
+	tv := QuantizeStochastic3(in, rng)
+	for _, q := range tv.Q {
+		if q < -1 || q > 1 {
+			t.Fatalf("stochastic output %d outside ternary set", q)
+		}
+	}
+}
+
+func TestStochastic3SignAgreement(t *testing.T) {
+	// A non-zero quantized value must carry the input's sign.
+	rng := tensor.NewRNG(6)
+	in := tensor.New(1000)
+	tensor.FillNormal(in, 1, rng)
+	tv := QuantizeStochastic3(in, rng)
+	for i, q := range tv.Q {
+		v := in.Data()[i]
+		if q == 1 && v <= 0 || q == -1 && v >= 0 {
+			t.Fatalf("sign mismatch at %d: v=%v q=%d", i, v, q)
+		}
+	}
+}
+
+func TestStochastic3ZeroTensor(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	tv := QuantizeStochastic3(tensor.New(64), rng)
+	if tv.M != 0 || tv.CountZeros() != 64 {
+		t.Error("zero tensor should stay zero under stochastic quantization")
+	}
+}

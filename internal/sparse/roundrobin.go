@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"threelc/internal/encode"
+	"threelc/internal/tensor"
+)
+
+// RoundRobin implements Ako-style partial gradient exchange (§6,
+// Watcharapichat et al.): the tensor is divided into P interleaved
+// partitions and each step transmits one partition in full, cycling
+// through all of them every P steps. Unsent partitions stay in the error
+// accumulation buffer (the compress package wires that up), so every
+// element is transmitted exactly once per cycle.
+//
+// Unlike magnitude-based selection it needs no thresholding or sampling at
+// all — selection is a function of the step counter only — at the cost of
+// ignoring which changes are important.
+type RoundRobin struct {
+	// Parts is the number of partitions P (cycle length).
+	Parts int
+	step  int
+}
+
+// NewRoundRobin creates a selector cycling through parts partitions.
+func NewRoundRobin(parts int) *RoundRobin {
+	if parts < 1 {
+		panic("sparse: RoundRobin needs at least 1 partition")
+	}
+	return &RoundRobin{Parts: parts}
+}
+
+// Sparsify selects partition (step mod Parts): elements whose index i has
+// i % Parts == step % Parts. It advances the step counter.
+func (r *RoundRobin) Sparsify(in *tensor.Tensor) *Selection {
+	data := in.Data()
+	sel := &Selection{
+		Mask:  encode.NewBitmap(len(data)),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	part := r.step % r.Parts
+	r.step++
+	for i := part; i < len(data); i += r.Parts {
+		// Zero values still occupy a bitmap slot but add no payload
+		// value; skip them like the magnitude sparsifier does.
+		if data[i] != 0 {
+			sel.Mask.Set(i)
+			sel.Values = append(sel.Values, data[i])
+		}
+	}
+	return sel
+}

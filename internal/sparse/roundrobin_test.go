@@ -1,0 +1,68 @@
+package sparse
+
+import (
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+func TestRoundRobinCyclesAllElements(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(103) // not a multiple of parts
+	tensor.FillNormal(in, 1, rng)
+	rr := NewRoundRobin(4)
+
+	covered := make([]bool, in.Len())
+	for step := 0; step < 4; step++ {
+		sel := rr.Sparsify(in)
+		for i := 0; i < in.Len(); i++ {
+			if sel.Mask.Get(i) {
+				if covered[i] {
+					t.Fatalf("element %d selected twice within one cycle", i)
+				}
+				covered[i] = true
+			}
+		}
+	}
+	for i, c := range covered {
+		if !c && in.Data()[i] != 0 {
+			t.Fatalf("element %d never selected in a full cycle", i)
+		}
+	}
+}
+
+func TestRoundRobinPartitionStructure(t *testing.T) {
+	in := tensor.New(12)
+	in.Fill(1)
+	rr := NewRoundRobin(3)
+	sel := rr.Sparsify(in)
+	// First step selects indices 0, 3, 6, 9.
+	for i := 0; i < 12; i++ {
+		want := i%3 == 0
+		if sel.Mask.Get(i) != want {
+			t.Errorf("step 0: index %d selected=%v want %v", i, sel.Mask.Get(i), want)
+		}
+	}
+	sel = rr.Sparsify(in)
+	if !sel.Mask.Get(1) || sel.Mask.Get(0) {
+		t.Error("step 1 should select partition 1")
+	}
+}
+
+func TestRoundRobinSkipsZeros(t *testing.T) {
+	in := tensor.New(10) // all zeros
+	rr := NewRoundRobin(2)
+	sel := rr.Sparsify(in)
+	if len(sel.Values) != 0 {
+		t.Errorf("zero tensor selected %d values", len(sel.Values))
+	}
+}
+
+func TestRoundRobinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 partitions")
+		}
+	}()
+	NewRoundRobin(0)
+}

@@ -1,0 +1,144 @@
+// Package sparse implements the sparsification baselines of §5.1:
+// selecting the fraction of state changes with the largest magnitude
+// (25% and 5% in the paper), transmitting them with a bitmap selection
+// mask, and accumulating unsent changes for later transmission.
+//
+// Finding an exact top-k threshold requires sorting millions of values, so
+// — like the paper (following Aji & Heafield) — the threshold is estimated
+// from a uniform sample of the input, then applied to the whole tensor.
+package sparse
+
+import (
+	"math"
+	"sort"
+
+	"threelc/internal/encode"
+	"threelc/internal/tensor"
+)
+
+// DefaultSampleSize is how many elements the threshold estimator samples.
+// Sampling keeps selection O(n) instead of O(n log n).
+const DefaultSampleSize = 1024
+
+// Selection is a sparsified tensor: a bitmap marking transmitted elements
+// plus their full-precision values in index order.
+type Selection struct {
+	Mask   *encode.Bitmap
+	Values []float32
+	Shape  []int
+}
+
+// Sparsifier selects the top fraction of elements by absolute magnitude.
+type Sparsifier struct {
+	// Fraction is the target fraction of elements to transmit (0, 1].
+	Fraction float64
+	// SampleSize is the number of elements sampled for threshold
+	// estimation. Zero means DefaultSampleSize.
+	SampleSize int
+
+	rng *tensor.RNG
+}
+
+// NewSparsifier creates a sparsifier transmitting the given fraction of
+// elements, using rng for threshold sampling.
+func NewSparsifier(fraction float64, rng *tensor.RNG) *Sparsifier {
+	if fraction <= 0 || fraction > 1 {
+		panic("sparse: fraction must be in (0, 1]")
+	}
+	return &Sparsifier{Fraction: fraction, rng: rng}
+}
+
+// threshold estimates the magnitude cutoff that keeps ~Fraction of the
+// elements, by sorting a sample of |values|.
+func (s *Sparsifier) threshold(data []float32) float32 {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	sample := s.SampleSize
+	if sample <= 0 {
+		sample = DefaultSampleSize
+	}
+	if sample > n {
+		sample = n
+	}
+	mags := make([]float64, sample)
+	if sample == n {
+		for i, v := range data {
+			mags[i] = math.Abs(float64(v))
+		}
+	} else {
+		for i := range mags {
+			mags[i] = math.Abs(float64(data[s.rng.Intn(n)]))
+		}
+	}
+	sort.Float64s(mags)
+	// Keep the top Fraction: cutoff at the (1-Fraction) quantile.
+	idx := int(float64(sample) * (1 - s.Fraction))
+	if idx >= sample {
+		idx = sample - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return float32(mags[idx])
+}
+
+// Sparsify selects elements of in with |v| >= threshold (estimated to keep
+// ~Fraction of them). Elements equal to zero are never selected. The
+// returned Selection holds the transmitted values; the caller is
+// responsible for error-accumulating the unsent remainder (the compress
+// package wires this to quant.ErrorAccumulator).
+func (s *Sparsifier) Sparsify(in *tensor.Tensor) *Selection {
+	data := in.Data()
+	thr := s.threshold(data)
+	sel := &Selection{
+		Mask:  encode.NewBitmap(len(data)),
+		Shape: append([]int(nil), in.Shape()...),
+	}
+	// Guard: a zero threshold on a non-zero tensor would select
+	// everything; fall back to selecting only non-zero elements, which is
+	// what "largest magnitude" degenerates to.
+	for i, v := range data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a >= thr && v != 0 {
+			sel.Mask.Set(i)
+			sel.Values = append(sel.Values, v)
+		}
+	}
+	return sel
+}
+
+// Reconstruct expands a Selection into a dense tensor with unselected
+// elements set to zero.
+func Reconstruct(sel *Selection) *tensor.Tensor {
+	out := tensor.New(sel.Shape...)
+	ReconstructInto(sel, out)
+	return out
+}
+
+// ReconstructInto writes the dense expansion into dst (which is zeroed
+// first).
+func ReconstructInto(sel *Selection, dst *tensor.Tensor) {
+	dst.Zero()
+	d := dst.Data()
+	if len(d) != sel.Mask.Len() {
+		panic("sparse: reconstruct size mismatch")
+	}
+	vi := 0
+	for i := 0; i < len(d); i++ {
+		if sel.Mask.Get(i) {
+			d[i] = sel.Values[vi]
+			vi++
+		}
+	}
+}
+
+// WireSizeBytes returns the transmitted size of the selection: the bitmap
+// (1 bit per element) plus 4 bytes per selected value.
+func (sel *Selection) WireSizeBytes() int {
+	return encode.BitmapSizeBytes(sel.Mask.Len()) + 4*len(sel.Values)
+}

@@ -1,0 +1,157 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"threelc/internal/encode"
+	"threelc/internal/tensor"
+)
+
+func newMask(n, k int) *encode.Bitmap {
+	m := encode.NewBitmap(n)
+	for i := 0; i < k; i++ {
+		m.Set(i)
+	}
+	return m
+}
+
+func TestSparsifyFractionApproximate(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	in := tensor.New(20000)
+	tensor.FillNormal(in, 1, rng)
+	for _, frac := range []float64{0.25, 0.05} {
+		sp := NewSparsifier(frac, tensor.NewRNG(2))
+		sel := sp.Sparsify(in)
+		got := float64(len(sel.Values)) / float64(in.Len())
+		if math.Abs(got-frac) > frac*0.5 {
+			t.Errorf("fraction %v: selected %v", frac, got)
+		}
+	}
+}
+
+func TestSparsifySelectsLargest(t *testing.T) {
+	// With full sampling the threshold is exact; the selected minimum
+	// magnitude must be >= the unselected maximum magnitude.
+	rng := tensor.NewRNG(3)
+	in := tensor.New(1000)
+	tensor.FillNormal(in, 1, rng)
+	sp := NewSparsifier(0.1, tensor.NewRNG(4))
+	sp.SampleSize = in.Len() // exact threshold
+	sel := sp.Sparsify(in)
+
+	var minSel, maxUnsel float64 = math.Inf(1), 0
+	vi := 0
+	for i, v := range in.Data() {
+		mag := math.Abs(float64(v))
+		if sel.Mask.Get(i) {
+			if mag < minSel {
+				minSel = mag
+			}
+			vi++
+		} else if mag > maxUnsel {
+			maxUnsel = mag
+		}
+	}
+	if minSel < maxUnsel {
+		t.Errorf("selected min %v < unselected max %v", minSel, maxUnsel)
+	}
+}
+
+func TestSparsifyValuesMatchMask(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	in := tensor.New(500)
+	tensor.FillNormal(in, 1, rng)
+	sel := NewSparsifier(0.25, tensor.NewRNG(6)).Sparsify(in)
+	if sel.Mask.Count() != len(sel.Values) {
+		t.Fatalf("mask count %d != values %d", sel.Mask.Count(), len(sel.Values))
+	}
+	// Values appear in index order.
+	vi := 0
+	for i := 0; i < in.Len(); i++ {
+		if sel.Mask.Get(i) {
+			if sel.Values[vi] != in.Data()[i] {
+				t.Fatalf("value %d mismatch", vi)
+			}
+			vi++
+		}
+	}
+}
+
+func TestReconstructRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	in := tensor.New(300)
+	tensor.FillNormal(in, 1, rng)
+	sel := NewSparsifier(0.5, tensor.NewRNG(8)).Sparsify(in)
+	out := Reconstruct(sel)
+	if !out.SameShape(in) {
+		t.Fatal("shape lost")
+	}
+	for i := 0; i < in.Len(); i++ {
+		if sel.Mask.Get(i) {
+			if out.Data()[i] != in.Data()[i] {
+				t.Fatalf("selected element %d not reconstructed", i)
+			}
+		} else if out.Data()[i] != 0 {
+			t.Fatalf("unselected element %d should be 0", i)
+		}
+	}
+}
+
+func TestSparsifyZeroTensor(t *testing.T) {
+	sel := NewSparsifier(0.25, tensor.NewRNG(9)).Sparsify(tensor.New(100))
+	if len(sel.Values) != 0 {
+		t.Errorf("zero tensor selected %d values", len(sel.Values))
+	}
+}
+
+func TestSparsifierFractionValidation(t *testing.T) {
+	for _, f := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fraction %v: expected panic", f)
+				}
+			}()
+			NewSparsifier(f, tensor.NewRNG(1))
+		}()
+	}
+}
+
+func TestWireSizeBytes(t *testing.T) {
+	sel := &Selection{Mask: newMask(100, 10), Values: make([]float32, 10), Shape: []int{100}}
+	want := 13 + 40 // ceil(100/8) + 4*10
+	if sel.WireSizeBytes() != want {
+		t.Errorf("WireSizeBytes = %d, want %d", sel.WireSizeBytes(), want)
+	}
+}
+
+// Property: error accumulation across sparsification rounds conserves mass
+// (selected + residual = input).
+func TestSparsifyConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		in := tensor.New(200)
+		tensor.FillNormal(in, 1, rng)
+		sel := NewSparsifier(0.3, rng).Sparsify(in)
+		dense := Reconstruct(sel)
+		residual := in.Clone()
+		residual.Sub(dense)
+		// Every element is either transmitted exactly (residual 0) or
+		// fully retained (residual = input).
+		for i := range in.Data() {
+			if sel.Mask.Get(i) {
+				if residual.Data()[i] != 0 {
+					return false
+				}
+			} else if residual.Data()[i] != in.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children should differ")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(12)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm invalid at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFillNormalStd(t *testing.T) {
+	r := NewRNG(14)
+	tt := New(100000)
+	FillNormal(tt, 0.5, r)
+	var sq float64
+	for _, v := range tt.Data() {
+		sq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sq / float64(tt.Len()))
+	if math.Abs(std-0.5) > 0.02 {
+		t.Errorf("FillNormal std = %v, want 0.5", std)
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	r := NewRNG(15)
+	tt := New(10000)
+	FillUniform(tt, -2, 3, r)
+	for _, v := range tt.Data() {
+		if v < -2 || v >= 3 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package train
+
+import (
+	"testing"
+
+	"threelc/internal/compress"
+)
+
+func TestStalenessValidation(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "x", Scheme: compress.SchemeNone}, 5)
+	cfg.Staleness = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for negative staleness")
+	}
+}
+
+func TestStalenessZeroMatchesBSP(t *testing.T) {
+	d := Design{Name: "32-bit float", Scheme: compress.SchemeNone}
+	a, err := Run(tinyConfig(d, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(d, 20)
+	cfg.Staleness = 0
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalAccuracy != b.FinalAccuracy || a.FinalLoss != b.FinalLoss {
+		t.Error("Staleness=0 must be identical to plain BSP")
+	}
+}
+
+func TestStalenessStillConverges(t *testing.T) {
+	// The paper's §2.1 background: bounded staleness tolerates small
+	// model inconsistency. Training must still work, if possibly slower.
+	cfg := tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 40)
+	cfg.Staleness = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalAccuracy < 0.3 {
+		t.Errorf("stale training collapsed: accuracy %v", r.FinalAccuracy)
+	}
+}
+
+func TestStalenessWith3LCConverges(t *testing.T) {
+	cfg := tinyConfig(Design{
+		Name: "3LC (s=1.00)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.0, ZeroRun: true},
+	}, 40)
+	cfg.Staleness = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalAccuracy < 0.3 {
+		t.Errorf("stale 3LC training collapsed: accuracy %v", r.FinalAccuracy)
+	}
+}
+
+func TestRoundRobinSchemeTrains(t *testing.T) {
+	r, err := Run(tinyConfig(Design{
+		Name:   "round-robin 1/4",
+		Scheme: compress.SchemeRoundRobin,
+		Opts:   compress.Options{Parts: 4},
+	}, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalAccuracy < 0.3 {
+		t.Errorf("round-robin training collapsed: accuracy %v", r.FinalAccuracy)
+	}
+	// Quarter of the elements plus bitmap overhead: ratio should land
+	// between 2x and 4x.
+	if ratio := r.CompressionRatio(); ratio < 2 || ratio > 4.5 {
+		t.Errorf("round-robin ratio %v, want ~3.5", ratio)
+	}
+}

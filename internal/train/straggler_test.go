@@ -1,0 +1,103 @@
+package train
+
+import (
+	"testing"
+
+	"threelc/internal/compress"
+)
+
+func TestBackupWorkersValidation(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "x", Scheme: compress.SchemeNone}, 5)
+	cfg.BackupWorkers = cfg.Workers // must be < workers
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for BackupWorkers >= Workers")
+	}
+	cfg.BackupWorkers = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for negative BackupWorkers")
+	}
+}
+
+func TestBackupWorkersReduceStragglerCost(t *testing.T) {
+	// Under compute jitter, accepting Workers-1 pushes must give a lower
+	// virtual time than waiting for the slowest worker.
+	base := tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 30)
+	base.ComputeJitterStd = 0.8
+
+	backup := base
+	backup.BackupWorkers = 1
+
+	rBase, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBackup, err := Run(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBackup.TotalVirtualSec >= rBase.TotalVirtualSec {
+		t.Errorf("backup workers did not reduce time: %v vs %v",
+			rBackup.TotalVirtualSec, rBase.TotalVirtualSec)
+	}
+	// Dropped pushes mean less push traffic.
+	if rBackup.TotalPushBytes >= rBase.TotalPushBytes {
+		t.Errorf("backup workers did not reduce push traffic: %d vs %d",
+			rBackup.TotalPushBytes, rBase.TotalPushBytes)
+	}
+	// Training must still converge to something useful.
+	if rBackup.FinalAccuracy < 0.3 {
+		t.Errorf("accuracy %v collapsed with backup workers", rBackup.FinalAccuracy)
+	}
+}
+
+func TestBackupWorkersStillConvergeWith3LC(t *testing.T) {
+	cfg := tinyConfig(Design{
+		Name: "3LC (s=1.00)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.0, ZeroRun: true},
+	}, 30)
+	cfg.ComputeJitterStd = 0.5
+	cfg.BackupWorkers = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalAccuracy < 0.3 {
+		t.Errorf("3LC + backup workers accuracy %v", r.FinalAccuracy)
+	}
+}
+
+func TestJitterWithoutBackupWaitsForSlowest(t *testing.T) {
+	// Plain BSP with jitter must be slower than without jitter: the
+	// barrier pays the max multiplier (lognormal mean 1 but max > 1).
+	noJitter := tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 30)
+	withJitter := noJitter
+	withJitter.ComputeJitterStd = 0.8
+
+	r0, err := Run(noJitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(withJitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalVirtualSec <= r0.TotalVirtualSec {
+		t.Errorf("jitter did not slow BSP: %v vs %v", r1.TotalVirtualSec, r0.TotalVirtualSec)
+	}
+}
+
+func TestDeterministicDropWithoutJitter(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 10)
+	cfg.BackupWorkers = 1
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalPushBytes != r2.TotalPushBytes || r1.FinalAccuracy != r2.FinalAccuracy {
+		t.Error("backup-worker runs without jitter must be deterministic")
+	}
+}

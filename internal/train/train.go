@@ -1,0 +1,549 @@
+// Package train drives distributed training runs: it wires the data
+// pipeline, the worker/server runtime of package ps, and the virtual
+// network of package netsim into a single measured experiment, producing
+// the traffic, time, loss, and accuracy records the paper's tables and
+// figures are built from.
+package train
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"threelc/internal/compress"
+	"threelc/internal/data"
+	"threelc/internal/netsim"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/ps"
+	"threelc/internal/tensor"
+)
+
+// Design names one traffic-reduction configuration from §5.1.
+type Design struct {
+	// Name is the paper's label, e.g. "3LC (s=1.75)".
+	Name string
+	// Scheme and Opts configure package compress.
+	Scheme compress.Scheme
+	Opts   compress.Options
+}
+
+// Config describes one training run.
+type Config struct {
+	Design  Design
+	Workers int
+	// BatchPerWorker is the per-worker minibatch size (paper: 32).
+	BatchPerWorker int
+	// Steps is the number of global training steps.
+	Steps int
+	// Data configures the synthetic dataset.
+	Data data.Config
+	// BuildModel constructs the model architecture; it is called once per
+	// node with the same seed so all replicas start identical.
+	BuildModel func() *nn.Model
+	// FlatInput feeds [N, C*H*W] batches (MLP models) instead of NCHW.
+	FlatInput bool
+	// Augment applies the paper's crop+flip augmentation to training batches.
+	Augment bool
+	// Net is the virtual cluster; if Net.ComputeSec is zero it is
+	// calibrated from the model size at 1 Gbps with ratio 1.5 (paper regime).
+	Net netsim.Params
+	// MinCompressElems exempts small tensors (paper behavior). Zero means 256.
+	MinCompressElems int
+	// Optimizer overrides the server-side SGD configuration; nil uses
+	// opt.DefaultSGDConfig(Workers, Steps), the paper's hyperparameters.
+	Optimizer *opt.SGDConfig
+	// EvalEvery evaluates test accuracy every this many steps (0: only at end).
+	EvalEvery int
+	// RecordSteps keeps the per-step traffic/loss series (Figures 7 and 9).
+	RecordSteps bool
+	// OnGradients, if non-nil, observes worker 0's raw gradient tensors
+	// each step (after the backward pass, before compression). Used by
+	// the gradient-statistics analysis; must not mutate the tensors.
+	OnGradients func(step int, params []*nn.Param)
+
+	// BackupWorkers enables the straggler mitigation of §2.1 (TensorFlow
+	// SyncReplicasOptimizer): each step advances once Workers-BackupWorkers
+	// pushes have arrived, and the slowest workers' pushes are discarded.
+	// Worker 0 (the chief, which owns batch-norm state) is never dropped.
+	// Zero disables the feature (plain BSP).
+	BackupWorkers int
+	// ComputeJitterStd is the per-worker, per-step lognormal-ish jitter
+	// on virtual compute time (fraction of ComputeSec), modelling
+	// stragglers. Zero means perfectly uniform workers.
+	ComputeJitterStd float64
+
+	// Staleness emulates stale synchronous parallel execution (§2.1):
+	// worker w applies model pulls with a fixed delay of w mod
+	// (Staleness+1) steps, so local models lag the global model by up to
+	// Staleness updates. Worker 0 (the chief) always stays fresh. Zero
+	// means fully synchronous BSP. The paper's background observation —
+	// stale updates need more steps for the same accuracy — is
+	// reproducible by sweeping this knob.
+	Staleness int
+	// Seed controls data sampling; model init comes from BuildModel.
+	Seed uint64
+}
+
+// StepRecord is the per-step series entry.
+type StepRecord struct {
+	Step int
+	// Loss is the mean training loss across workers at this step.
+	Loss float64
+	// PushBytes / PullBytes are total wire bytes across all workers.
+	PushBytes, PullBytes int
+	// CompPushBytes / CompPullBytes count only the compressible tensors
+	// (excludes the batch-norm/small-tensor raw exemption), averaged per
+	// worker; used for bits-per-state-change series (Figure 9).
+	CompPushBytes, CompPullBytes float64
+	// CodecSec is the measured codec critical-path time of the step.
+	CodecSec float64
+	// ComputeMult scales the virtual compute time this step (straggler
+	// jitter under backup workers; 1 for plain BSP).
+	ComputeMult float64
+	// VirtualSec is the step's simulated duration.
+	VirtualSec float64
+}
+
+// EvalRecord is a test-accuracy measurement during training.
+type EvalRecord struct {
+	Step     int
+	Accuracy float64
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Design   Design
+	Workers  int
+	Steps    int
+	NumParam int
+	// CompressibleElems is the element count of tensors subject to
+	// compression (per push or pull).
+	CompressibleElems int
+
+	FinalAccuracy float64
+	FinalLoss     float64
+
+	TotalVirtualSec float64
+	PerStepSec      float64
+
+	TotalPushBytes int64
+	TotalPullBytes int64
+	// RawBytes is what the 32-bit float baseline would have moved in total.
+	RawBytes int64
+	// CompPushBytes / CompPullBytes total the compressible-tensor wire
+	// bytes (per-worker average), for compression-ratio accounting.
+	CompPushBytes float64
+	CompPullBytes float64
+
+	CodecSec float64 // summed critical-path codec time (real, measured)
+
+	// Net is the calibrated virtual cluster the run was timed under.
+	Net netsim.Params
+
+	StepRecords []StepRecord
+	Evals       []EvalRecord
+}
+
+// TimeAt recomputes the run's total virtual training time under a
+// different link bandwidth, using the recorded per-step traffic — the same
+// extrapolation the paper's measurement methodology performs (§5.2).
+// It requires the run to have been executed with RecordSteps.
+func (r *Result) TimeAt(bandwidthBps float64) float64 {
+	if len(r.StepRecords) == 0 {
+		panic("train: TimeAt needs RecordSteps")
+	}
+	net := r.Net
+	net.BandwidthBps = bandwidthBps
+	var total float64
+	push := make([]int, r.Workers)
+	pull := make([]int, r.Workers)
+	for _, sr := range r.StepRecords {
+		perPush := sr.PushBytes / r.Workers
+		perPull := sr.PullBytes / r.Workers
+		for w := 0; w < r.Workers; w++ {
+			push[w], pull[w] = perPush, perPull
+		}
+		step := net
+		if sr.ComputeMult > 0 {
+			step.ComputeSec *= sr.ComputeMult
+		}
+		total += step.StepTime(push, pull, sr.CodecSec)
+	}
+	return total
+}
+
+// CompressionRatio returns raw/compressed over the compressible tensors,
+// averaged over pushes and pulls (Table 2's "compression ratio").
+func (r *Result) CompressionRatio() float64 {
+	raw := float64(r.CompressibleElems) * 4 * float64(r.Steps) * 2 // push + pull per step
+	comp := r.CompPushBytes + r.CompPullBytes
+	if comp == 0 {
+		return 0
+	}
+	return raw / comp
+}
+
+// BitsPerChange returns the average transmitted bits per state-change
+// value over the compressible tensors (Table 2's "bits per state change").
+func (r *Result) BitsPerChange() float64 {
+	ratio := r.CompressionRatio()
+	if ratio == 0 {
+		return 0
+	}
+	return 32 / ratio
+}
+
+// Run executes the configured training run.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("train: need at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.BuildModel == nil {
+		return nil, fmt.Errorf("train: BuildModel is required")
+	}
+	if cfg.MinCompressElems == 0 {
+		cfg.MinCompressElems = 256
+	}
+
+	trainSet, testSet := data.Synthetic(cfg.Data)
+
+	global := cfg.BuildModel()
+	optCfg := opt.DefaultSGDConfig(cfg.Workers, cfg.Steps)
+	if cfg.Optimizer != nil {
+		optCfg = *cfg.Optimizer
+		optCfg.Workers = cfg.Workers
+		optCfg.TotalSteps = cfg.Steps
+	}
+	psCfg := ps.Config{
+		Scheme:           cfg.Design.Scheme,
+		Opts:             cfg.Design.Opts,
+		Workers:          cfg.Workers,
+		MinCompressElems: cfg.MinCompressElems,
+		Optimizer:        optCfg,
+	}
+	server := ps.NewServer(global, psCfg)
+
+	workers := make([]*ps.Worker, cfg.Workers)
+	rngs := make([]*tensor.RNG, cfg.Workers)
+	shards := make([][]int, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		m := cfg.BuildModel()
+		m.CopyParamsFrom(global)
+		workers[w] = ps.NewWorker(w, m, psCfg)
+		rngs[w] = tensor.NewRNG(cfg.Seed + 1000*uint64(w) + 7)
+		for i := w; i < trainSet.Len(); i += cfg.Workers {
+			shards[w] = append(shards[w], i)
+		}
+		if len(shards[w]) == 0 {
+			return nil, fmt.Errorf("train: worker %d has an empty shard (%d examples, %d workers)",
+				w, trainSet.Len(), cfg.Workers)
+		}
+	}
+
+	// Traffic bookkeeping.
+	params := global.Params()
+	numParam := global.NumParams()
+	compElems := 0
+	compressible := make([]bool, len(params))
+	for i, p := range params {
+		if cfg.Design.Scheme != compress.SchemeNone && !p.NoCompress && p.W.Len() >= cfg.MinCompressElems {
+			compressible[i] = true
+			compElems += p.W.Len()
+		}
+	}
+
+	net := cfg.Net
+	if net.Workers == 0 {
+		net.Workers = cfg.Workers
+	}
+	if net.Workers != cfg.Workers {
+		return nil, fmt.Errorf("train: netsim has %d workers, run has %d", net.Workers, cfg.Workers)
+	}
+	if net.ComputeSec == 0 {
+		net.Calibrate(numParam*4, netsim.Gbps1, 1.5)
+	}
+
+	res := &Result{
+		Design:            cfg.Design,
+		Workers:           cfg.Workers,
+		Steps:             cfg.Steps,
+		NumParam:          numParam,
+		CompressibleElems: compElems,
+	}
+
+	var clock netsim.Clock
+	augment := data.Augment
+	if !cfg.Augment {
+		augment = nil
+	}
+
+	type workerOut struct {
+		wires    [][]byte
+		loss     float64
+		compDur  time.Duration
+		applyDur time.Duration
+	}
+	outs := make([]workerOut, cfg.Workers)
+
+	if cfg.BackupWorkers < 0 || cfg.BackupWorkers >= cfg.Workers {
+		return nil, fmt.Errorf("train: BackupWorkers %d must be in [0, workers)", cfg.BackupWorkers)
+	}
+	if cfg.Staleness < 0 {
+		return nil, fmt.Errorf("train: Staleness %d must be >= 0", cfg.Staleness)
+	}
+	jitterRNG := tensor.NewRNG(cfg.Seed ^ 0x4a49545445520000) // "JITTER"
+	var pullHistory [][][]byte                                // ring of recent pull wire sets (SSP emulation)
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Local computation + gradient compression, in parallel.
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				idx := make([]int, cfg.BatchPerWorker)
+				for i := range idx {
+					idx[i] = shards[w][rngs[w].Intn(len(shards[w]))]
+				}
+				var x *tensor.Tensor
+				var labels []int
+				if cfg.FlatInput {
+					x, labels = trainSet.FlatBatch(idx, augment, rngs[w])
+				} else {
+					x, labels = trainSet.Batch(idx, augment, rngs[w])
+				}
+				outs[w].loss = workers[w].Model.TrainStep(x, labels)
+				if w == 0 && cfg.OnGradients != nil {
+					cfg.OnGradients(step, workers[0].Model.Params())
+				}
+				outs[w].wires, outs[w].compDur = workers[w].CompressGrads()
+			}(w)
+		}
+		wg.Wait()
+
+		// Straggler model: draw per-worker compute-time multipliers. Under
+		// plain BSP the barrier waits for the slowest worker; with backup
+		// workers (§2.1), the step advances once Workers-BackupWorkers
+		// pushes arrive and the stragglers' updates are discarded. The
+		// chief (worker 0, batch-norm owner) is never dropped.
+		accepted := make([]bool, cfg.Workers)
+		computeMult := 1.0
+		if cfg.ComputeJitterStd > 0 {
+			mults := make([]float64, cfg.Workers)
+			for w := range mults {
+				sd := cfg.ComputeJitterStd
+				mults[w] = math.Exp(sd*jitterRNG.Norm() - 0.5*sd*sd)
+			}
+			need := cfg.Workers - cfg.BackupWorkers
+			order := make([]int, cfg.Workers)
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return mults[order[a]] < mults[order[b]] })
+			accepted[0] = true
+			computeMult = mults[0]
+			count := 1
+			for _, w := range order {
+				if w == 0 || count >= need {
+					continue
+				}
+				accepted[w] = true
+				count++
+				if mults[w] > computeMult {
+					computeMult = mults[w]
+				}
+			}
+		} else {
+			for w := range accepted {
+				accepted[w] = true
+			}
+			if cfg.BackupWorkers > 0 {
+				// No jitter: dropping is arbitrary; keep the first
+				// Workers-BackupWorkers workers for determinism.
+				for w := cfg.Workers - cfg.BackupWorkers; w < cfg.Workers; w++ {
+					accepted[w] = false
+				}
+			}
+		}
+
+		// Push phase: server decompresses and aggregates (serial at server).
+		server.BeginStep()
+		var serverDecode time.Duration
+		pushBytes := make([]int, cfg.Workers)
+		var compPush float64
+		nAccepted := 0
+		for w := 0; w < cfg.Workers; w++ {
+			if !accepted[w] {
+				continue
+			}
+			nAccepted++
+			d, err := server.AddPush(w, outs[w].wires)
+			if err != nil {
+				return nil, err
+			}
+			serverDecode += d
+			pushBytes[w] = ps.WireBytes(outs[w].wires)
+			for i, wire := range outs[w].wires {
+				if compressible[i] {
+					compPush += float64(len(wire))
+				}
+			}
+		}
+		compPush /= float64(nAccepted)
+
+		// Update + shared pull compression.
+		pullWires, serverComp, err := server.FinishStep()
+		if err != nil {
+			return nil, err
+		}
+		pullPerWorker := ps.WireBytes(pullWires)
+		pullBytes := make([]int, cfg.Workers)
+		var compPull float64
+		for i, wire := range pullWires {
+			if compressible[i] {
+				compPull += float64(len(wire))
+			}
+		}
+		for w := range pullBytes {
+			pullBytes[w] = pullPerWorker
+		}
+
+		// Pull phase: workers decompress and apply, in parallel. Under
+		// stale-synchronous emulation each worker applies the pull from
+		// `delay_w` steps ago instead of the fresh one.
+		pullHistory = append(pullHistory, pullWires)
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				delay := 0
+				if cfg.Staleness > 0 {
+					delay = w % (cfg.Staleness + 1)
+				}
+				idx := len(pullHistory) - 1 - delay
+				if idx < 0 {
+					return // worker has no pull to apply yet
+				}
+				d, err := workers[w].ApplyPull(pullHistory[idx])
+				if err != nil {
+					panic(err) // programming error: shared wires must decode
+				}
+				outs[w].applyDur = d
+			}(w)
+		}
+		wg.Wait()
+		if drop := len(pullHistory) - (cfg.Staleness + 1); drop > 0 {
+			pullHistory = pullHistory[drop:]
+		}
+
+		// Codec critical path: slowest worker compress + server decode of
+		// all pushes + server compress + slowest worker apply.
+		var maxComp, maxApply time.Duration
+		for w := 0; w < cfg.Workers; w++ {
+			if outs[w].compDur > maxComp {
+				maxComp = outs[w].compDur
+			}
+			if outs[w].applyDur > maxApply {
+				maxApply = outs[w].applyDur
+			}
+		}
+		codec := (maxComp + serverDecode + serverComp + maxApply).Seconds()
+		netStep := net
+		netStep.ComputeSec *= computeMult
+		dt := netStep.StepTime(pushBytes, pullBytes, codec)
+		clock.Advance(dt)
+
+		var meanLoss float64
+		for w := 0; w < cfg.Workers; w++ {
+			meanLoss += outs[w].loss
+		}
+		meanLoss /= float64(cfg.Workers)
+
+		for _, b := range pushBytes {
+			res.TotalPushBytes += int64(b)
+		}
+		for _, b := range pullBytes {
+			res.TotalPullBytes += int64(b)
+		}
+		res.CompPushBytes += compPush
+		res.CompPullBytes += compPull
+		res.CodecSec += codec
+		res.FinalLoss = meanLoss
+
+		if cfg.RecordSteps {
+			res.StepRecords = append(res.StepRecords, StepRecord{
+				Step:          step,
+				Loss:          meanLoss,
+				PushBytes:     sum(pushBytes),
+				PullBytes:     sum(pullBytes),
+				CompPushBytes: compPush,
+				CompPullBytes: compPull,
+				CodecSec:      codec,
+				ComputeMult:   computeMult,
+				VirtualSec:    dt,
+			})
+		}
+		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {
+			// Batch-norm running statistics live on the designated
+			// worker (worker 0, §5.2); sync them to the global model
+			// before evaluating it.
+			nn.CopyBatchNormStats(global, workers[0].Model)
+			acc := Evaluate(global, testSet, 100, cfg.FlatInput)
+			res.Evals = append(res.Evals, EvalRecord{Step: step + 1, Accuracy: acc})
+		}
+	}
+
+	nn.CopyBatchNormStats(global, workers[0].Model)
+	res.FinalAccuracy = Evaluate(global, testSet, 100, cfg.FlatInput)
+	if cfg.EvalEvery > 0 && (len(res.Evals) == 0 || res.Evals[len(res.Evals)-1].Step != cfg.Steps) {
+		res.Evals = append(res.Evals, EvalRecord{Step: cfg.Steps, Accuracy: res.FinalAccuracy})
+	}
+	res.TotalVirtualSec = clock.Seconds()
+	res.PerStepSec = clock.PerStep()
+	res.Net = net
+	res.RawBytes = int64(numParam) * 4 * int64(cfg.Steps) * int64(cfg.Workers) * 2
+	return res, nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Evaluate computes top-1 test accuracy of model over ds in batches.
+func Evaluate(model *nn.Model, ds *data.Dataset, batch int, flat bool) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for start := 0; start < ds.Len(); start += batch {
+		end := start + batch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		var x *tensor.Tensor
+		var labels []int
+		if flat {
+			x, labels = ds.FlatBatch(idx, nil, nil)
+		} else {
+			x, labels = ds.Batch(idx, nil, nil)
+		}
+		pred := model.Predict(x)
+		for i, p := range pred {
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

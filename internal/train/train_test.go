@@ -1,0 +1,229 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/data"
+	"threelc/internal/netsim"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+)
+
+func tinyConfig(design Design, steps int) Config {
+	dcfg := data.DefaultConfig()
+	dcfg.Train, dcfg.Test = 300, 100
+	in := dcfg.C * dcfg.H * dcfg.W
+	optCfg := opt.TunedSGDConfig(4, steps)
+	cfg := Config{
+		Design:         design,
+		Workers:        4,
+		BatchPerWorker: 8,
+		Steps:          steps,
+		Data:           dcfg,
+		BuildModel:     func() *nn.Model { return nn.NewMLP(in, []int{16}, dcfg.Classes, 1) },
+		FlatInput:      true,
+		Net:            netsim.DefaultParams(netsim.Gbps1),
+		Optimizer:      &optCfg,
+		RecordSteps:    true,
+		Seed:           1,
+	}
+	cfg.Net.Workers = 4
+	return cfg
+}
+
+func TestRunBaselineEndToEnd(t *testing.T) {
+	res, err := Run(tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.3 {
+		t.Errorf("baseline accuracy %v too low for a learnable task", res.FinalAccuracy)
+	}
+	if res.TotalVirtualSec <= 0 || res.PerStepSec <= 0 {
+		t.Error("virtual time not accounted")
+	}
+	if len(res.StepRecords) != 30 {
+		t.Errorf("expected 30 step records, got %d", len(res.StepRecords))
+	}
+	// Baseline wire bytes: scheme byte + 4 per element, both directions.
+	if res.TotalPushBytes <= int64(res.NumParam)*4*30*4-1000 {
+		t.Errorf("push traffic %d lower than raw size", res.TotalPushBytes)
+	}
+}
+
+func TestRunThreeLCTrafficReduction(t *testing.T) {
+	base, err := Run(tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := Run(tinyConfig(Design{
+		Name: "3LC (s=1.00)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.0, ZeroRun: true},
+	}, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.TotalPushBytes >= base.TotalPushBytes/10 {
+		t.Errorf("3LC push traffic %d not <10%% of baseline %d", lc.TotalPushBytes, base.TotalPushBytes)
+	}
+	if r := lc.CompressionRatio(); r < 15 {
+		t.Errorf("3LC compression ratio %v unexpectedly low", r)
+	}
+	if b := lc.BitsPerChange(); b <= 0 || b > 2 {
+		t.Errorf("bits per change %v outside plausible range", b)
+	}
+}
+
+func TestTimeAtConsistency(t *testing.T) {
+	res, err := Run(tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TimeAt at the run's own bandwidth must reproduce the recorded total.
+	got := res.TimeAt(netsim.Gbps1)
+	if math.Abs(got-res.TotalVirtualSec)/res.TotalVirtualSec > 0.01 {
+		t.Errorf("TimeAt(run bandwidth) = %v, recorded %v", got, res.TotalVirtualSec)
+	}
+	// Slower network, longer time.
+	if res.TimeAt(netsim.Mbps10) <= res.TotalVirtualSec {
+		t.Error("10 Mbps should be slower than 1 Gbps")
+	}
+}
+
+func TestRunRecordsEvals(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 20)
+	cfg.EvalEvery = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evals) != 2 {
+		t.Fatalf("expected 2 evals, got %d", len(res.Evals))
+	}
+	if res.Evals[1].Step != 20 {
+		t.Errorf("final eval at step %d", res.Evals[1].Step)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	d := Design{Name: "3LC (s=1.50)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.5, ZeroRun: true}}
+	r1, err := Run(tinyConfig(d, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tinyConfig(d, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FinalAccuracy != r2.FinalAccuracy {
+		t.Errorf("accuracy differs across identical runs: %v vs %v", r1.FinalAccuracy, r2.FinalAccuracy)
+	}
+	if r1.TotalPushBytes != r2.TotalPushBytes {
+		t.Errorf("traffic differs across identical runs: %d vs %d", r1.TotalPushBytes, r2.TotalPushBytes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "x", Scheme: compress.SchemeNone}, 5)
+	cfg.Workers = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for 0 workers")
+	}
+	cfg = tinyConfig(Design{Name: "x", Scheme: compress.SchemeNone}, 5)
+	cfg.BuildModel = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for nil BuildModel")
+	}
+	cfg = tinyConfig(Design{Name: "x", Scheme: compress.SchemeNone}, 5)
+	cfg.Net.Workers = 3
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for netsim/run worker mismatch")
+	}
+}
+
+func TestLocalStepsHalvesTraffic(t *testing.T) {
+	base, err := Run(tinyConfig(Design{Name: "32-bit float", Scheme: compress.SchemeNone}, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Run(tinyConfig(Design{
+		Name: "2 local steps", Scheme: compress.SchemeLocalSteps,
+		Opts: compress.Options{Interval: 2},
+	}, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(base.TotalPushBytes) / float64(l2.TotalPushBytes)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Errorf("2-local-steps traffic ratio %v, want ~2", ratio)
+	}
+}
+
+func TestSparsityIncreasesCompression(t *testing.T) {
+	mk := func(s float64) *Result {
+		r, err := Run(tinyConfig(Design{
+			Name: "3LC", Scheme: compress.SchemeThreeLC,
+			Opts: compress.Options{Sparsity: s, ZeroRun: true},
+		}, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r19 := mk(1.0), mk(1.9)
+	if r19.CompressionRatio() <= r1.CompressionRatio() {
+		t.Errorf("s=1.9 ratio %v not greater than s=1.0 ratio %v",
+			r19.CompressionRatio(), r1.CompressionRatio())
+	}
+}
+
+func TestEvaluateBatching(t *testing.T) {
+	dcfg := data.DefaultConfig()
+	dcfg.Train, dcfg.Test = 100, 37 // awkward batch remainder
+	_, testSet := data.Synthetic(dcfg)
+	m := nn.NewMLP(dcfg.C*dcfg.H*dcfg.W, []int{8}, dcfg.Classes, 1)
+	acc := Evaluate(m, testSet, 10, true)
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy %v out of range", acc)
+	}
+}
+
+func TestResNetWorkloadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN workload in -short mode")
+	}
+	dcfg := data.DefaultConfig()
+	dcfg.Train, dcfg.Test = 100, 40
+	dcfg.H, dcfg.W = 8, 8
+	optCfg := opt.TunedSGDConfig(2, 6)
+	cfg := Config{
+		Design:         Design{Name: "3LC (s=1.00)", Scheme: compress.SchemeThreeLC, Opts: compress.Options{Sparsity: 1, ZeroRun: true}},
+		Workers:        2,
+		BatchPerWorker: 8,
+		Steps:          6,
+		Data:           dcfg,
+		BuildModel: func() *nn.Model {
+			mc := nn.DefaultMicroResNet()
+			mc.ImageSize = 8
+			mc.StageChannels = []int{4, 8}
+			return nn.NewMicroResNet(mc)
+		},
+		FlatInput:   false,
+		Augment:     true,
+		Net:         netsim.DefaultParams(netsim.Gbps1),
+		Optimizer:   &optCfg,
+		RecordSteps: true,
+		Seed:        1,
+	}
+	cfg.Net.Workers = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumParam == 0 || res.TotalPushBytes == 0 {
+		t.Error("CNN run produced no traffic")
+	}
+}

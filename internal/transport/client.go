@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is a worker-side connection to a transport.Server.
+type Client struct {
+	id   int
+	conn net.Conn
+	rw   *bufio.ReadWriter
+}
+
+// Dial connects to the server at addr and registers as workerID.
+func Dial(addr string, workerID int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		id:   workerID,
+		conn: conn,
+		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+	}
+	var hello [4]byte
+	le.PutUint32(hello[:], uint32(workerID))
+	if err := WriteFrame(c.rw, MsgHello, hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// PushPull sends this worker's compressed gradient wires for the given
+// step and blocks until the server's shared model-delta wires arrive.
+func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
+	payload := make([]byte, 8, 8+64)
+	le.PutUint32(payload, uint32(c.id))
+	le.PutUint32(payload[4:], uint32(step))
+	payload = AppendWireSet(payload, wires)
+	if err := WriteFrame(c.rw, MsgPush, payload); err != nil {
+		return nil, fmt.Errorf("transport: push step %d: %w", step, err)
+	}
+	if err := c.rw.Flush(); err != nil {
+		return nil, err
+	}
+
+	t, resp, err := ReadFrame(c.rw)
+	if err != nil {
+		return nil, fmt.Errorf("transport: pull step %d: %w", step, err)
+	}
+	if t != MsgPull {
+		return nil, fmt.Errorf("transport: expected pull, got type %d", t)
+	}
+	if len(resp) < 4 {
+		return nil, fmt.Errorf("transport: short pull header")
+	}
+	gotStep := int(le.Uint32(resp))
+	if gotStep != step {
+		return nil, fmt.Errorf("transport: pull for step %d during step %d", gotStep, step)
+	}
+	pull, _, err := ParseWireSet(resp[4:])
+	if err != nil {
+		return nil, err
+	}
+	return pull, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }

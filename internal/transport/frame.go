@@ -1,0 +1,115 @@
+// Package transport runs the parameter-server protocol of package ps over
+// a real network (TCP or any net.Conn): workers connect to the server,
+// push compressed gradient wires each step, and receive the shared
+// compressed model-delta wires back. This is the deployable counterpart
+// of the in-process driver in package train — the wire bytes are exactly
+// the ones package compress produces, so everything the simulator
+// measures also holds on a real link.
+//
+// Framing is deliberately simple and allocation-light:
+//
+//	frame  := [4B LE total payload length][1B type][payload]
+//	hello  := [4B LE workerID]
+//	push   := [4B LE workerID][4B LE step][wire set]
+//	pull   := [4B LE step][wire set]
+//	wire set := [4B LE tensor count]{[4B LE len][len bytes]}*
+//
+// A zero-length tensor entry encodes a nil wire (the local-steps scheme's
+// non-transmitting step).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame.
+type MsgType byte
+
+// Frame types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgPush
+	MsgPull
+)
+
+// MaxFrameBytes bounds a single frame (64 MiB) to keep a corrupt or
+// malicious length prefix from exhausting memory.
+const MaxFrameBytes = 64 << 20
+
+var le = binary.LittleEndian
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload)+1 > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	le.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := le.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(buf[0]), buf[1:], nil
+}
+
+// AppendWireSet serializes a set of per-tensor wire messages.
+func AppendWireSet(dst []byte, wires [][]byte) []byte {
+	var n [4]byte
+	le.PutUint32(n[:], uint32(len(wires)))
+	dst = append(dst, n[:]...)
+	for _, w := range wires {
+		le.PutUint32(n[:], uint32(len(w)))
+		dst = append(dst, n[:]...)
+		dst = append(dst, w...)
+	}
+	return dst
+}
+
+// ParseWireSet deserializes a wire set, returning the wires and the number
+// of bytes consumed.
+func ParseWireSet(src []byte) ([][]byte, int, error) {
+	if len(src) < 4 {
+		return nil, 0, fmt.Errorf("transport: wire set truncated (no count)")
+	}
+	count := int(le.Uint32(src))
+	if count < 0 || count > 1<<20 {
+		return nil, 0, fmt.Errorf("transport: implausible tensor count %d", count)
+	}
+	off := 4
+	wires := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		if len(src) < off+4 {
+			return nil, 0, fmt.Errorf("transport: wire set truncated at tensor %d", i)
+		}
+		l := int(le.Uint32(src[off:]))
+		off += 4
+		if len(src) < off+l {
+			return nil, 0, fmt.Errorf("transport: tensor %d body truncated (%d of %d bytes)", i, len(src)-off, l)
+		}
+		if l > 0 {
+			wires[i] = src[off : off+l]
+		}
+		off += l
+	}
+	return wires, off, nil
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"threelc/internal/ps"
+)
+
+// Server drives a ps.Server over real connections with BSP semantics:
+// every step it waits for a push from each connected worker, applies the
+// update, and broadcasts the shared pull.
+type Server struct {
+	ps       *ps.Server
+	workers  int
+	steps    int
+	listener net.Listener
+
+	mu        sync.Mutex
+	pushBytes int64
+	pullBytes int64
+}
+
+// NewServer wraps srv to serve `workers` workers for `steps` steps on ln.
+func NewServer(ln net.Listener, srv *ps.Server, workers, steps int) *Server {
+	return &Server{ps: srv, workers: workers, steps: steps, listener: ln}
+}
+
+// TrafficBytes reports the total wire bytes received (pushes) and sent
+// (pulls, summed over workers).
+func (s *Server) TrafficBytes() (push, pull int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushBytes, s.pullBytes
+}
+
+type workerConn struct {
+	id int
+	rw *bufio.ReadWriter
+	c  net.Conn
+}
+
+// Serve accepts the configured number of workers, runs the step loop to
+// completion, and closes the connections. It returns the first error
+// encountered; nil means all steps completed.
+func (s *Server) Serve() error {
+	conns := make([]*workerConn, 0, s.workers)
+	defer func() {
+		for _, wc := range conns {
+			wc.c.Close()
+		}
+	}()
+
+	seen := make(map[int]bool)
+	for len(conns) < s.workers {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		rw := bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
+		t, payload, err := ReadFrame(rw)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("transport: hello: %w", err)
+		}
+		if t != MsgHello || len(payload) != 4 {
+			c.Close()
+			return fmt.Errorf("transport: expected hello, got type %d (%d bytes)", t, len(payload))
+		}
+		id := int(le.Uint32(payload))
+		if id < 0 || id >= s.workers || seen[id] {
+			c.Close()
+			return fmt.Errorf("transport: bad or duplicate worker id %d", id)
+		}
+		seen[id] = true
+		conns = append(conns, &workerConn{id: id, rw: rw, c: c})
+	}
+
+	for step := 0; step < s.steps; step++ {
+		s.ps.BeginStep()
+		for _, wc := range conns {
+			t, payload, err := ReadFrame(wc.rw)
+			if err != nil {
+				return fmt.Errorf("transport: step %d push from worker %d: %w", step, wc.id, err)
+			}
+			if t != MsgPush {
+				return fmt.Errorf("transport: step %d: expected push, got type %d", step, t)
+			}
+			if len(payload) < 8 {
+				return fmt.Errorf("transport: step %d: short push header", step)
+			}
+			id := int(le.Uint32(payload))
+			gotStep := int(le.Uint32(payload[4:]))
+			if id != wc.id {
+				return fmt.Errorf("transport: push id %d on worker %d's connection", id, wc.id)
+			}
+			if gotStep != step {
+				return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
+			}
+			wires, _, err := ParseWireSet(payload[8:])
+			if err != nil {
+				return fmt.Errorf("transport: step %d worker %d: %w", step, id, err)
+			}
+			if _, err := s.ps.AddPush(id, wires); err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.pushBytes += int64(len(payload))
+			s.mu.Unlock()
+		}
+
+		pull, _, err := s.ps.FinishStep()
+		if err != nil {
+			return err
+		}
+		payload := make([]byte, 4, 4+ps.WireBytes(pull)+4*len(pull))
+		le.PutUint32(payload, uint32(step))
+		payload = AppendWireSet(payload, pull)
+		for _, wc := range conns {
+			if err := WriteFrame(wc.rw, MsgPull, payload); err != nil {
+				return fmt.Errorf("transport: step %d pull to worker %d: %w", step, wc.id, err)
+			}
+			if err := wc.rw.Flush(); err != nil {
+				return fmt.Errorf("transport: step %d flush to worker %d: %w", step, wc.id, err)
+			}
+			s.mu.Lock()
+			s.pullBytes += int64(len(payload))
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
