@@ -118,10 +118,11 @@ func BenchmarkCompressScheme(b *testing.B) {
 			in := gradientTensor(4, microN)
 			ctx := compress.New(c.s, []int{microN}, c.o)
 			b.SetBytes(4 * microN)
-			var wire []byte
+			wire := ctx.CompressInto(in, nil) // warm up scratch capacities
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				wire = ctx.Compress(in)
+				wire = ctx.CompressInto(in, wire[:0])
 			}
 			b.ReportMetric(float64(len(wire))*8/float64(microN), "bits/elem")
 		})
@@ -133,6 +134,7 @@ func BenchmarkDecompress3LC(b *testing.B) {
 	wire := ctx.Compress(gradientTensor(5, microN))
 	out := tensor.New(microN)
 	b.SetBytes(4 * microN)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := compress.DecompressInto(wire, out); err != nil {

@@ -17,13 +17,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
+	"threelc/internal/compress"
+	"threelc/internal/encode"
 	"threelc/internal/experiments"
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | all")
+		exp     = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | all")
 		steps   = flag.Int("steps", 0, "override standard training steps (default from suite)")
 		workers = flag.Int("workers", 0, "override worker count")
 		resnet  = flag.Bool("resnet", false, "use the MicroResNet workload instead of the MLP")
@@ -88,6 +94,8 @@ func main() {
 		case "arch":
 			rows := experiments.ArchitectureContrast(16)
 			experiments.PrintArchitectureContrast(os.Stdout, rows)
+		case "codec":
+			codecBench(os.Stdout)
 		case "gradstats":
 			rows, err := experiments.GradientStatistics(suite, 1.0, 25)
 			if err != nil {
@@ -170,5 +178,68 @@ func main() {
 			fmt.Fprintln(os.Stderr, "3lc-bench:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// codecBench is a quick in-process measurement of the zero-allocation
+// compression pipeline: steady-state CompressInto throughput per scheme at
+// 1M elements, and the chunked parallel quartic-encode speedup. It is the
+// CLI companion of the -benchmem benchmarks (`go test -bench CompressInto
+// -benchmem ./internal/compress`), for eyeballing on a target machine
+// without the test harness.
+func codecBench(w *os.File) {
+	const n = 1 << 20
+	rng := tensor.NewRNG(4)
+	in := tensor.New(n)
+	tensor.FillNormal(in, 0.01, rng)
+
+	measure := func(iters int, fn func()) time.Duration {
+		fn() // warm up scratch buffers
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				fn()
+			}
+			if d := time.Since(start) / time.Duration(iters); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	fmt.Fprintf(w, "Codec micro-benchmark: steady-state CompressInto at %d elements (%d MiB raw)\n\n", n, 4*n>>20)
+	fmt.Fprintf(w, "%-22s %12s %10s %12s\n", "design", "ns/op", "MB/s", "bits/elem")
+	cases := []struct {
+		name string
+		s    compress.Scheme
+		o    compress.Options
+	}{
+		{"32-bit float", compress.SchemeNone, compress.Options{}},
+		{"8-bit int", compress.SchemeInt8, compress.Options{}},
+		{"Stoch 3-value + QE", compress.SchemeStoch3QE, compress.Options{Seed: 1}},
+		{"MQE 1-bit int", compress.SchemeMQE1Bit, compress.Options{}},
+		{"25% sparsification", compress.SchemeTopK, compress.Options{Fraction: 0.25, Seed: 1}},
+		{"3LC (s=1.00)", compress.SchemeThreeLC, compress.Options{Sparsity: 1.0, ZeroRun: true}},
+		{"3LC (s=1.75)", compress.SchemeThreeLC, compress.Options{Sparsity: 1.75, ZeroRun: true}},
+	}
+	for _, c := range cases {
+		ctx := compress.New(c.s, []int{n}, c.o)
+		var wire []byte
+		d := measure(3, func() { wire = ctx.CompressInto(in, wire[:0]) })
+		mbps := float64(4*n) / d.Seconds() / 1e6
+		fmt.Fprintf(w, "%-22s %12d %10.0f %12.2f\n", c.name, d.Nanoseconds(), mbps, float64(len(wire))*8/float64(n))
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	tv := quant.Quantize3(in, 1.75)
+	dst := make([]byte, encode.QuarticEncodedLen(n))
+	serial := measure(5, func() { encode.QuarticEncodeInto(tv.Q, dst) })
+	parallel := measure(5, func() { encode.QuarticEncodeParallel(tv.Q, dst, procs) })
+	fmt.Fprintf(w, "\nChunked parallel quartic encode (%d elements, GOMAXPROCS=%d):\n", n, procs)
+	fmt.Fprintf(w, "  serial   %8d ns/op\n", serial.Nanoseconds())
+	fmt.Fprintf(w, "  parallel %8d ns/op  (%.2fx)\n", parallel.Nanoseconds(), float64(serial)/float64(parallel))
+	if procs < 2 {
+		fmt.Fprintln(w, "  (single-CPU host: no speedup expected; output is byte-identical either way)")
 	}
 }

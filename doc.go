@@ -2,22 +2,40 @@
 // and Effective Traffic Compression for Distributed Machine Learning"
 // (Lim, Andersen, Kaminsky — MLSys 2019).
 //
+// The hot path — per-tensor compression of gradient pushes and model-delta
+// pulls, every training step — is built as a zero-allocation pipeline:
+// compression contexts expose an append-style CompressInto(in, dst) API
+// and recycle all scratch state across steps, decoding dispatches through
+// a codec registry into caller-owned tensors with sync.Pool scratch, and
+// quartic encoding (the dominant CPU cost, §5.1) shards across cores via
+// encode.Chunked with byte-identical output. In steady state a full
+// push/pull codec round trip performs zero heap allocations (see the
+// -benchmem benchmarks in internal/compress and internal/ps).
+//
 // The implementation lives under internal/:
 //
 //	internal/quant       3-value quantization with sparsity multiplication,
 //	                     error accumulation, and the quantization baselines
-//	internal/encode      quartic encoding and zero-run encoding
+//	                     (all with buffer-reusing *Into forms)
+//	internal/encode      quartic + zero-run encoding on caller buffers,
+//	                     chunked parallel encode/decode
 //	internal/sparse      top-k sparsification baselines
-//	internal/compress    the unified Compressor interface + wire formats
+//	internal/compress    the Compressor interface, append-style wire
+//	                     builders, and the decoder registry
 //	internal/nn          the neural-network training substrate
 //	internal/data        synthetic CIFAR-like datasets
 //	internal/opt         momentum SGD + cosine decay + warmup
 //	internal/netsim      bandwidth-emulating virtual cluster
-//	internal/ps          parameter-server runtime (push/pull, shared pulls)
+//	internal/ps          parameter-server runtime (push/pull, shared pulls,
+//	                     recycled wire buffers, bounded parallel codecs)
+//	internal/transport   framed TCP transport (coalesced single-write
+//	                     frames, per-connection read scratch)
 //	internal/train       distributed training driver + metrics
 //	internal/experiments per-table/figure reproduction harness
 //
-// Binaries: cmd/3lc-bench (regenerate every table and figure),
-// cmd/3lc-train (single training run), cmd/3lc-compress (codec demo).
-// Runnable examples are under examples/. See DESIGN.md and EXPERIMENTS.md.
+// Binaries: cmd/3lc-bench (regenerate every table and figure, plus the
+// `-exp codec` pipeline micro-benchmark), cmd/3lc-train (single training
+// run), cmd/3lc-net (training over real TCP), cmd/3lc-compress (codec
+// demo). Runnable examples are under examples/. See README.md for a
+// quickstart.
 package threelc

@@ -1,0 +1,3 @@
+module threelc
+
+go 1.22

@@ -9,6 +9,20 @@
 // server). Decompression is stateless: any endpoint can decode a wire
 // message knowing only the tensor shape.
 //
+// The hot-path API is append-style and allocation-free in steady state:
+// CompressInto appends the wire message to a caller-provided buffer, so a
+// context driven with a recycled buffer (dst[:0] of the previous step's
+// wire) performs zero heap allocations per step once its scratch space has
+// converged. Compress remains as a convenience shim — it is exactly
+// CompressInto(in, nil) — so one-shot callers and older call sites keep
+// working unchanged.
+//
+// Decoding dispatches through a codec registry indexed by the wire's first
+// byte (see RegisterDecoder): each scheme registers its decoder from an
+// init function in the file that implements its encoder, and
+// DecompressInto reuses pooled scratch plus the destination tensor, so the
+// steady-state pull path allocates nothing either.
+//
 // Implemented schemes, named after the paper's evaluation section:
 //
 //	32-bit float       — uncompressed baseline
@@ -24,7 +38,9 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
+	"threelc/internal/encode"
 	"threelc/internal/tensor"
 )
 
@@ -89,10 +105,17 @@ type Options struct {
 	// Seed seeds the RNG used by stochastic quantization and threshold
 	// sampling.
 	Seed uint64
+	// CodecParallelism caps the goroutine fan-out of chunked quartic
+	// encoding for large tensors (>= 256k elements). 0 means
+	// work-proportional up to GOMAXPROCS; 1 forces fully serial encoding
+	// (no goroutine spawns, the zero-allocation configuration). Callers
+	// that already fan out across tensors (package ps) pass their own
+	// budget down so nested parallelism stays bounded.
+	CodecParallelism int
 }
 
-// Compressor is a per-tensor compression context. Compress consumes one
-// state-change tensor (a gradient or a model delta) and returns the wire
+// Compressor is a per-tensor compression context. Compression consumes one
+// state-change tensor (a gradient or a model delta) and produces the wire
 // message to transmit; internal error state (if the scheme has any) is
 // updated so that unsent changes are retried at later steps. Implementations
 // are not safe for concurrent use; each tensor endpoint owns one context.
@@ -102,8 +125,66 @@ type Compressor interface {
 	// Name returns a human-readable design name matching the paper.
 	Name() string
 	// Compress encodes in (which must match the context's shape) and
-	// advances error-accumulation state.
+	// advances error-accumulation state. It is shorthand for
+	// CompressInto(in, nil) and allocates a fresh wire buffer per call;
+	// steady-state callers should prefer CompressInto.
 	Compress(in *tensor.Tensor) []byte
+	// CompressInto appends the wire message for in to dst and returns the
+	// extended slice, advancing error-accumulation state exactly like
+	// Compress. Passing the previous step's buffer re-sliced to dst[:0]
+	// makes the per-step compression path allocation-free once capacities
+	// converge. A scheme that transmits nothing this step (local steps)
+	// returns dst unchanged.
+	CompressInto(in *tensor.Tensor, dst []byte) []byte
+}
+
+// parallelThresholdElems is the tensor size above which codecs shard
+// quartic encode/decode across goroutines (encode.Chunked). Below it the
+// fan-out overhead outweighs the win.
+const parallelThresholdElems = 1 << 18
+
+// codecSpanElems is the minimum work per chunk goroutine. Scaling the
+// fan-out with tensor size (instead of always GOMAXPROCS) keeps the
+// goroutine count proportional to actual work, which also bounds the
+// oversubscription when chunk-level parallelism nests inside ps's
+// per-tensor worker pool: only tensors big enough to dominate a step spawn
+// chunks, and each chunk carries >= 64k elements.
+const codecSpanElems = 1 << 16
+
+// codecWorkers returns the goroutine fan-out for a tensor of n elements
+// under a caller-imposed cap (0 = no cap beyond GOMAXPROCS).
+func codecWorkers(n, cap int) int {
+	if n < parallelThresholdElems {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if cap > 0 && w > cap {
+		w = cap
+	}
+	if max := n / codecSpanElems; w > max {
+		w = max
+	}
+	return w
+}
+
+// encodeQuartic quartic-encodes q into scratch — grown only when q exceeds
+// every previous input, sharded across up to `par` goroutines for large
+// tensors (see Options.CodecParallelism) — and returns the encoded bytes
+// plus the (possibly grown) scratch for the caller to retain. Shared by
+// every codec that emits quartic data, so the threshold and buffer policy
+// live in one place.
+func encodeQuartic(q []int8, scratch []byte, par int) (qe, newScratch []byte) {
+	qlen := encode.QuarticEncodedLen(len(q))
+	if cap(scratch) < qlen {
+		scratch = make([]byte, qlen)
+	}
+	qe = scratch[:qlen]
+	if w := codecWorkers(len(q), par); w > 1 {
+		encode.QuarticEncodeParallel(q, qe, w)
+	} else {
+		encode.QuarticEncodeInto(q, qe)
+	}
+	return qe, scratch
 }
 
 // New creates a compression context for a tensor of the given shape.
@@ -122,9 +203,9 @@ func New(s Scheme, shape []int, opt Options) Compressor {
 		if sp == 0 {
 			sp = 1
 		}
-		return newThreeLCCompressor(shape, sp, opt.ZeroRun)
+		return newThreeLCCompressor(shape, sp, opt.ZeroRun, opt.CodecParallelism)
 	case SchemeStoch3QE:
-		return newStochCompressor(shape, opt.Seed)
+		return newStochCompressor(shape, opt.Seed, opt.CodecParallelism)
 	case SchemeMQE1Bit:
 		return newOneBitCompressor(shape)
 	case SchemeTopK:
@@ -149,41 +230,6 @@ func New(s Scheme, shape []int, opt Options) Compressor {
 	}
 }
 
-// Decompress decodes a wire message produced by any Compressor into a new
-// tensor of the given shape. It returns an error for malformed messages.
-func Decompress(wire []byte, shape []int) (*tensor.Tensor, error) {
-	out := tensor.New(shape...)
-	if err := DecompressInto(wire, out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// DecompressInto decodes wire into dst. An empty wire message (produced by
-// the local-steps scheme on non-transmitting steps) decodes as all zeros.
-func DecompressInto(wire []byte, dst *tensor.Tensor) error {
-	if len(wire) == 0 {
-		dst.Zero()
-		return nil
-	}
-	s := Scheme(wire[0])
-	payload := wire[1:]
-	switch s {
-	case SchemeNone, SchemeLocalSteps:
-		return decodeRaw(payload, dst)
-	case SchemeInt8:
-		return decodeInt8(payload, dst)
-	case SchemeThreeLC, SchemeStoch3QE:
-		return decodeTernary(payload, dst)
-	case SchemeMQE1Bit:
-		return decodeOneBit(payload, dst)
-	case SchemeTopK, SchemeRoundRobin:
-		return decodeTopK(payload, dst)
-	default:
-		return fmt.Errorf("compress: unknown scheme byte %d", wire[0])
-	}
-}
-
 // --- shared little-endian helpers ------------------------------------------
 
 var le = binary.LittleEndian
@@ -194,4 +240,11 @@ func putF32(dst []byte, v float32) {
 
 func getF32(src []byte) float32 {
 	return mathFloat32frombits(le.Uint32(src))
+}
+
+// appendF32 appends the 4-byte little-endian encoding of v to dst.
+func appendF32(dst []byte, v float32) []byte {
+	var b [4]byte
+	le.PutUint32(b[:], mathFloat32bits(v))
+	return append(dst, b[:]...)
 }

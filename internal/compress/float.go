@@ -10,6 +10,10 @@ import (
 func mathFloat32bits(v float32) uint32     { return math.Float32bits(v) }
 func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 
+func init() {
+	RegisterDecoder(SchemeNone, decodeRaw)
+}
+
 // noneCompressor is the "32-bit float" baseline: state changes are
 // transmitted verbatim as little-endian float32.
 type noneCompressor struct {
@@ -21,20 +25,26 @@ func (c *noneCompressor) Scheme() Scheme { return SchemeNone }
 func (c *noneCompressor) Name() string   { return "32-bit float" }
 
 func (c *noneCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *noneCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	data := in.Data()
 	if len(data) != c.n {
 		panic("compress: input size mismatch")
 	}
-	wire := make([]byte, 1+4*len(data))
-	wire[0] = byte(SchemeNone)
-	encodeRawInto(data, wire[1:])
-	return wire
+	dst = append(dst, byte(SchemeNone))
+	return appendRaw(dst, data)
 }
 
-func encodeRawInto(data []float32, dst []byte) {
+// appendRaw appends data as little-endian float32 to dst.
+func appendRaw(dst []byte, data []float32) []byte {
+	off := len(dst)
+	dst = growBytes(dst, 4*len(data))
 	for i, v := range data {
-		putF32(dst[4*i:], v)
+		putF32(dst[off+4*i:], v)
 	}
+	return dst
 }
 
 func decodeRaw(payload []byte, dst *tensor.Tensor) error {

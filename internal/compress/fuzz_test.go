@@ -6,24 +6,48 @@ import (
 	"threelc/internal/tensor"
 )
 
+// fuzzSchemes is the corpus configuration: at least one entry per
+// registered wire scheme (TestFuzzCorpusCoversEveryRegisteredDecoder
+// enforces this), so corrupt-wire fuzzing exercises every decoder in the
+// registry. LocalSteps uses Interval 1 so its wire is non-empty.
+var fuzzSchemes = []struct {
+	s Scheme
+	o Options
+}{
+	{SchemeNone, Options{}},
+	{SchemeInt8, Options{}},
+	{SchemeThreeLC, Options{Sparsity: 1.5, ZeroRun: true}},
+	{SchemeThreeLC, Options{Sparsity: 1.0, ZeroRun: false}},
+	{SchemeStoch3QE, Options{Seed: 1}},
+	{SchemeMQE1Bit, Options{}},
+	{SchemeTopK, Options{Fraction: 0.3, Seed: 1}},
+	{SchemeLocalSteps, Options{Interval: 1}},
+	{SchemeRoundRobin, Options{Parts: 3}},
+}
+
+// TestFuzzCorpusCoversEveryRegisteredDecoder fails when a codec registers
+// a decoder that the corrupt-wire corpus does not reach — adding a scheme
+// without extending the fuzz corpus is a test gap, not an option.
+func TestFuzzCorpusCoversEveryRegisteredDecoder(t *testing.T) {
+	covered := map[Scheme]bool{}
+	for _, sc := range fuzzSchemes {
+		covered[sc.s] = true
+	}
+	for _, s := range RegisteredSchemes() {
+		if !covered[s] {
+			t.Errorf("registered scheme %v (byte %d) has no fuzz-corpus entry", s, uint8(s))
+		}
+	}
+}
+
 // TestDecompressNeverPanicsOnCorruptWire mutates valid wire messages and
 // feeds raw noise to the decoder: a decoder operating on untrusted network
 // bytes must return errors, never panic. (testing.F-style fuzzing without
-// the fuzz engine, so it runs in ordinary `go test`.)
+// the fuzz engine, so it runs in ordinary `go test`.) Unknown scheme bytes
+// — anything the registry has no decoder for — must error cleanly too,
+// which the random-noise trials and first-byte mutations exercise.
 func TestDecompressNeverPanicsOnCorruptWire(t *testing.T) {
 	shape := []int{257}
-	schemes := []struct {
-		s Scheme
-		o Options
-	}{
-		{SchemeNone, Options{}},
-		{SchemeInt8, Options{}},
-		{SchemeThreeLC, Options{Sparsity: 1.5, ZeroRun: true}},
-		{SchemeThreeLC, Options{Sparsity: 1.0, ZeroRun: false}},
-		{SchemeStoch3QE, Options{Seed: 1}},
-		{SchemeMQE1Bit, Options{}},
-		{SchemeTopK, Options{Fraction: 0.3, Seed: 1}},
-	}
 	rng := tensor.NewRNG(12345)
 	in := tensor.New(257)
 	tensor.FillNormal(in, 0.1, rng)
@@ -39,7 +63,7 @@ func TestDecompressNeverPanicsOnCorruptWire(t *testing.T) {
 		_ = err // errors are fine; panics are not
 	}
 
-	for _, sc := range schemes {
+	for _, sc := range fuzzSchemes {
 		valid := New(sc.s, shape, sc.o).Compress(in)
 
 		// Single-byte mutations at every position.
@@ -56,6 +80,16 @@ func TestDecompressNeverPanicsOnCorruptWire(t *testing.T) {
 		}
 		// Extensions.
 		decode(append(append([]byte(nil), valid...), 0xde, 0xad))
+
+		// Forge every possible scheme byte onto this payload, so each
+		// registered decoder also sees payloads shaped for other schemes.
+		if len(valid) > 0 {
+			for b := 0; b < 256; b++ {
+				mut := append([]byte(nil), valid...)
+				mut[0] = byte(b)
+				decode(mut)
+			}
+		}
 	}
 
 	// Raw random noise.

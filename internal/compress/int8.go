@@ -7,29 +7,39 @@ import (
 	"threelc/internal/tensor"
 )
 
+func init() {
+	RegisterDecoder(SchemeInt8, decodeInt8)
+}
+
 // int8Compressor is the "8-bit int" baseline (§5.1): 255-level quantization
 // with no error accumulation, approximating TPU-internal 8-bit quantization.
 // Wire format: [scheme][4B M][n bytes int8].
 type int8Compressor struct {
 	shape []int
 	n     int
+	q     quant.Int8Quantized // quantization scratch, reused across steps
 }
 
 func (c *int8Compressor) Scheme() Scheme { return SchemeInt8 }
 func (c *int8Compressor) Name() string   { return "8-bit int" }
 
 func (c *int8Compressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *int8Compressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	q := quant.QuantizeInt8(in)
-	wire := make([]byte, 1+4+len(q.Q))
-	wire[0] = byte(SchemeInt8)
-	putF32(wire[1:], q.M)
-	for i, v := range q.Q {
-		wire[5+i] = byte(v)
+	quant.QuantizeInt8Into(in, &c.q)
+	dst = append(dst, byte(SchemeInt8))
+	dst = appendF32(dst, c.q.M)
+	off := len(dst)
+	dst = growBytes(dst, len(c.q.Q))
+	for i, v := range c.q.Q {
+		dst[off+i] = byte(v)
 	}
-	return wire
+	return dst
 }
 
 func decodeInt8(payload []byte, dst *tensor.Tensor) error {

@@ -7,11 +7,17 @@ import (
 	"threelc/internal/tensor"
 )
 
+func init() {
+	// Local-steps wires carry raw floats, exactly like the uncompressed
+	// baseline; only the scheme byte differs.
+	RegisterDecoder(SchemeLocalSteps, decodeRaw)
+}
+
 // localStepsCompressor is the "2 local steps" baseline (§5.1): state
 // changes are transmitted only every Interval-th step; unsent updates are
 // accumulated locally and sent (uncompressed) at the next transmitting
-// step. On a non-transmitting step Compress returns an empty message,
-// which decodes to all zeros, and no bytes cross the network.
+// step. On a non-transmitting step nothing is appended — the empty wire
+// decodes to all zeros — and no bytes cross the network.
 type localStepsCompressor struct {
 	shape    []int
 	n        int
@@ -39,18 +45,21 @@ func (c *localStepsCompressor) Name() string {
 }
 
 func (c *localStepsCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *localStepsCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
 	sum := c.acc.Accumulate(in)
 	c.step++
 	if c.step%c.interval != 0 {
-		return nil // accumulate only; nothing on the wire this step
+		return dst // accumulate only; nothing on the wire this step
 	}
-	wire := make([]byte, 1+4*c.n)
-	wire[0] = byte(SchemeLocalSteps)
-	encodeRawInto(sum.Data(), wire[1:])
+	dst = append(dst, byte(SchemeLocalSteps))
+	dst = appendRaw(dst, sum.Data())
 	// Everything accumulated was sent; clear the buffer.
 	c.acc.Reset()
-	return wire
+	return dst
 }

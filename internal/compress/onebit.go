@@ -7,6 +7,10 @@ import (
 	"threelc/internal/tensor"
 )
 
+func init() {
+	RegisterDecoder(SchemeMQE1Bit, decodeOneBit)
+}
+
 // oneBitCompressor is the "MQE 1-bit int" baseline (§5.1): 1-bit SGD-style
 // quantization with minimum squared quantization error and error feedback.
 // Wire format: [scheme][4B MPos][4B MNeg][packed sign bits].
@@ -15,6 +19,7 @@ type oneBitCompressor struct {
 	n       int
 	acc     *quant.ErrorAccumulator
 	dequant *tensor.Tensor
+	q       quant.OneBitQuantized // quantization scratch, reused across steps
 }
 
 func newOneBitCompressor(shape []int) *oneBitCompressor {
@@ -34,20 +39,22 @@ func (c *oneBitCompressor) Scheme() Scheme { return SchemeMQE1Bit }
 func (c *oneBitCompressor) Name() string   { return "MQE 1-bit int" }
 
 func (c *oneBitCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *oneBitCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
 	sum := c.acc.Accumulate(in)
-	q := quant.QuantizeOneBit(sum)
-	quant.DequantizeOneBitInto(q, c.dequant)
+	quant.QuantizeOneBitInto(sum, &c.q)
+	quant.DequantizeOneBitInto(&c.q, c.dequant)
 	c.acc.Residual(c.dequant)
 
-	wire := make([]byte, 1+8+len(q.Bits))
-	wire[0] = byte(SchemeMQE1Bit)
-	putF32(wire[1:], q.MPos)
-	putF32(wire[5:], q.MNeg)
-	copy(wire[9:], q.Bits)
-	return wire
+	dst = append(dst, byte(SchemeMQE1Bit))
+	dst = appendF32(dst, c.q.MPos)
+	dst = appendF32(dst, c.q.MNeg)
+	return append(dst, c.q.Bits...)
 }
 
 func decodeOneBit(payload []byte, dst *tensor.Tensor) error {

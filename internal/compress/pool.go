@@ -1,0 +1,46 @@
+package compress
+
+import "sync"
+
+// Wire-buffer pooling. Compression contexts own their steady-state buffers
+// (they recycle the caller's dst slice); the remaining transient need is
+// zero-run expansion scratch inside the ternary decoder, which comes from
+// a sync.Pool so the steady-state pull path allocates nothing.
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf returns a pooled buffer with capacity >= n. The pointer form
+// avoids re-boxing the slice header on every Get/Put.
+func getBuf(n int) *[]byte {
+	p := bufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, 0, n)
+	}
+	return p
+}
+
+// putBuf returns a buffer obtained from getBuf to the pool.
+func putBuf(p *[]byte) {
+	bufPool.Put(p)
+}
+
+// growBytes extends b by n bytes and returns the enlarged slice, reusing
+// capacity when available. Unlike append(b, make([]byte, n)...) it never
+// allocates a temporary.
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		// 1/8 headroom so buffers whose needed size fluctuates around a
+		// mean (zero-run output length varies step to step) converge to a
+		// stable capacity instead of reallocating on every new maximum.
+		want := len(b) + n
+		nb := make([]byte, len(b), want+want/8)
+		copy(nb, b)
+		b = nb
+	}
+	return b[:len(b)+n]
+}

@@ -1,0 +1,72 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/tensor"
+)
+
+// DecodeFunc decodes one scheme's wire payload (the bytes after the scheme
+// identifier) into dst. Decoders operate on untrusted network data: they
+// must return errors for malformed payloads, never panic, and must not
+// retain the payload slice.
+type DecodeFunc func(payload []byte, dst *tensor.Tensor) error
+
+// decoders is the wire-dispatch table: the first byte of a compressed
+// message indexes directly into it. Each scheme self-registers its decoder
+// from an init function next to its encoder, so adding a codec is a single
+// file touching no central switch.
+var decoders [256]DecodeFunc
+
+// RegisterDecoder installs fn as the decoder for scheme s. It panics on a
+// nil decoder or a duplicate registration — both are programming errors
+// caught at process start, not at decode time.
+func RegisterDecoder(s Scheme, fn DecodeFunc) {
+	if fn == nil {
+		panic(fmt.Sprintf("compress: RegisterDecoder(%v) with nil decoder", s))
+	}
+	if decoders[s] != nil {
+		panic(fmt.Sprintf("compress: duplicate decoder registration for %v", s))
+	}
+	decoders[s] = fn
+}
+
+// RegisteredSchemes returns every scheme with an installed decoder, in
+// ascending wire-identifier order. Tests use it to assert full corpus
+// coverage of the decode error paths.
+func RegisteredSchemes() []Scheme {
+	var out []Scheme
+	for s, fn := range decoders {
+		if fn != nil {
+			out = append(out, Scheme(s))
+		}
+	}
+	return out
+}
+
+// Decompress decodes a wire message produced by any Compressor into a new
+// tensor of the given shape. It returns an error for malformed messages.
+func Decompress(wire []byte, shape []int) (*tensor.Tensor, error) {
+	out := tensor.New(shape...)
+	if err := DecompressInto(wire, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto decodes wire into dst through the codec registry. An
+// empty wire message (produced by the local-steps scheme on
+// non-transmitting steps) decodes as all zeros. Decoding allocates nothing
+// in steady state: scratch space comes from a sync.Pool and the output is
+// written in place.
+func DecompressInto(wire []byte, dst *tensor.Tensor) error {
+	if len(wire) == 0 {
+		dst.Zero()
+		return nil
+	}
+	fn := decoders[wire[0]]
+	if fn == nil {
+		return fmt.Errorf("compress: unknown scheme byte %d", wire[0])
+	}
+	return fn(wire[1:], dst)
+}

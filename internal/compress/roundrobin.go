@@ -8,6 +8,11 @@ import (
 	"threelc/internal/tensor"
 )
 
+func init() {
+	// Shares the TopK bitmap wire layout, and therefore its decoder.
+	RegisterDecoder(SchemeRoundRobin, decodeTopK)
+}
+
 // roundRobinCompressor is Ako-style partial gradient exchange: each step
 // transmits one of P interleaved partitions of the accumulated state
 // changes, using the same bitmap wire format as top-k sparsification.
@@ -19,6 +24,7 @@ type roundRobinCompressor struct {
 	rr      *sparse.RoundRobin
 	acc     *quant.ErrorAccumulator
 	dequant *tensor.Tensor
+	sel     sparse.Selection // selection scratch, reused across steps
 }
 
 func newRoundRobinCompressor(shape []int, parts int) *roundRobinCompressor {
@@ -41,21 +47,16 @@ func (c *roundRobinCompressor) Name() string {
 }
 
 func (c *roundRobinCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *roundRobinCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
 	sum := c.acc.Accumulate(in)
-	sel := c.rr.Sparsify(sum)
-	sparse.ReconstructInto(sel, c.dequant)
+	c.rr.SparsifyInto(sum, &c.sel)
+	sparse.ReconstructInto(&c.sel, c.dequant)
 	c.acc.Residual(c.dequant)
-
-	bm := sel.Mask.Bytes()
-	wire := make([]byte, 1+len(bm)+4*len(sel.Values))
-	wire[0] = byte(SchemeRoundRobin)
-	copy(wire[1:], bm)
-	off := 1 + len(bm)
-	for i, v := range sel.Values {
-		putF32(wire[off+4*i:], v)
-	}
-	return wire
+	return appendSelection(dst, byte(SchemeRoundRobin), &c.sel)
 }

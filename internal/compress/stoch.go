@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"threelc/internal/encode"
 	"threelc/internal/quant"
 	"threelc/internal/tensor"
 )
@@ -16,9 +15,12 @@ type stochCompressor struct {
 	shape []int
 	n     int
 	rng   *tensor.RNG
+	tv    quant.ThreeValue // quantization scratch, reused across steps
+	qbuf  []byte           // quartic scratch, reused across steps
+	par   int              // chunked-encode fan-out cap (Options.CodecParallelism)
 }
 
-func newStochCompressor(shape []int, seed uint64) *stochCompressor {
+func newStochCompressor(shape []int, seed uint64, par int) *stochCompressor {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -26,6 +28,7 @@ func newStochCompressor(shape []int, seed uint64) *stochCompressor {
 	return &stochCompressor{
 		shape: append([]int(nil), shape...),
 		n:     n,
+		par:   par,
 		rng:   tensor.NewRNG(seed ^ 0x53746f6368335651), // "Stoch3VQ"
 	}
 }
@@ -34,15 +37,20 @@ func (c *stochCompressor) Scheme() Scheme { return SchemeStoch3QE }
 func (c *stochCompressor) Name() string   { return "Stoch 3-value + QE" }
 
 func (c *stochCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *stochCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	tv := quant.QuantizeStochastic3(in, c.rng)
-	qe := encode.QuarticEncode(tv.Q)
-	wire := make([]byte, 1+4+1+len(qe))
-	wire[0] = byte(SchemeStoch3QE)
-	putF32(wire[1:], tv.M)
-	wire[5] = 0 // no ZRE
-	copy(wire[6:], qe)
-	return wire
+	quant.QuantizeStochastic3Into(in, c.rng, &c.tv)
+	// Stochastic draws are sequential in the RNG, so quantization stays
+	// serial; quartic encoding of the result still shards across cores.
+	var qe []byte
+	qe, c.qbuf = encodeQuartic(c.tv.Q, c.qbuf, c.par)
+	dst = append(dst, byte(SchemeStoch3QE))
+	dst = appendF32(dst, c.tv.M)
+	dst = append(dst, 0) // no ZRE
+	return append(dst, qe...)
 }

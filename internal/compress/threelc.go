@@ -8,6 +8,11 @@ import (
 	"threelc/internal/tensor"
 )
 
+func init() {
+	RegisterDecoder(SchemeThreeLC, decodeTernary)
+	RegisterDecoder(SchemeStoch3QE, decodeTernary)
+}
+
 // Ternary wire format, shared by 3LC and the stochastic baseline:
 //
 //	[1B scheme][4B M][1B flags][payload]
@@ -26,10 +31,13 @@ type threeLCCompressor struct {
 	zeroRun  bool
 
 	acc     *quant.ErrorAccumulator
-	dequant *tensor.Tensor // scratch: local dequantization for residual
+	dequant *tensor.Tensor   // scratch: local dequantization for residual
+	tv      quant.ThreeValue // scratch: quantization output, reused
+	qbuf    []byte           // scratch: quartic-encoded bytes, reused
+	par     int              // chunked-encode fan-out cap (Options.CodecParallelism)
 }
 
-func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool) *threeLCCompressor {
+func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool, par int) *threeLCCompressor {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -39,6 +47,7 @@ func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool) *threeLCC
 		n:        n,
 		sparsity: sparsity,
 		zeroRun:  zeroRun,
+		par:      par,
 		acc:      quant.NewErrorAccumulator(shape...),
 		dequant:  tensor.New(shape...),
 	}
@@ -53,34 +62,38 @@ func (c *threeLCCompressor) Name() string {
 	return fmt.Sprintf("3LC (s=%.2f)", c.sparsity)
 }
 
-// Compress runs the Figure-3 pipeline: (1) accumulate the input into the
-// error buffer, (2) 3-value quantize the sum, (a) locally dequantize,
-// (b) keep the residual in the buffer, then (3) quartic-encode and
-// (4) zero-run-encode the quantized data.
 func (c *threeLCCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+// CompressInto runs the Figure-3 pipeline: (1) accumulate the input into
+// the error buffer, (2) 3-value quantize the sum, (a) locally dequantize,
+// (b) keep the residual in the buffer, then (3) quartic-encode and
+// (4) zero-run-encode the quantized data, appending the wire message to
+// dst. All intermediate state lives in context-owned scratch buffers, and
+// quartic encoding shards across cores for large tensors.
+func (c *threeLCCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
 	sum := c.acc.Accumulate(in)
-	tv := quant.Quantize3(sum, c.sparsity)
-	quant.DequantizeInto(tv, c.dequant)
+	quant.Quantize3Into(sum, c.sparsity, &c.tv)
+	quant.DequantizeInto(&c.tv, c.dequant)
 	c.acc.Residual(c.dequant)
 
-	qe := encode.QuarticEncode(tv.Q)
-	var payload []byte
-	var flags byte
+	var qe []byte
+	qe, c.qbuf = encodeQuartic(c.tv.Q, c.qbuf, c.par)
+
+	dst = append(dst, byte(SchemeThreeLC))
+	dst = appendF32(dst, c.tv.M)
 	if c.zeroRun {
-		payload = encode.ZeroRunEncode(qe)
-		flags = ternaryFlagZRE
+		dst = append(dst, ternaryFlagZRE)
+		dst = encode.ZeroRunEncodeAppend(dst, qe)
 	} else {
-		payload = qe
+		dst = append(dst, 0)
+		dst = append(dst, qe...)
 	}
-	wire := make([]byte, 1+4+1+len(payload))
-	wire[0] = byte(SchemeThreeLC)
-	putF32(wire[1:], tv.M)
-	wire[5] = flags
-	copy(wire[6:], payload)
-	return wire
+	return dst
 }
 
 // ErrorNorm exposes the squared norm of the accumulated error (for tests
@@ -89,6 +102,9 @@ func (c *threeLCCompressor) ErrorNorm() float64 {
 	return c.acc.Buffer().SquaredNorm()
 }
 
+// decodeTernary reverses the ternary wire format into dst, fusing quartic
+// decode with dequantization (dst[i] = M * q[i]) so the only intermediate
+// buffer is the pooled zero-run expansion scratch.
 func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 	if len(payload) < 5 {
 		return fmt.Errorf("compress: ternary payload too short (%d bytes)", len(payload))
@@ -100,13 +116,16 @@ func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 	n := dst.Len()
 	qlen := encode.QuarticEncodedLen(n)
 	var qbytes []byte
+	var scratch *[]byte
 	if flags&ternaryFlagZRE != 0 {
 		// Validate the expansion size before touching any buffer: the
 		// payload is untrusted wire data.
 		if got := encode.ZeroRunDecodedLen(body); got != qlen {
 			return fmt.Errorf("compress: zero-run payload expands to %d bytes, want %d", got, qlen)
 		}
-		buf := make([]byte, qlen)
+		scratch = getBuf(qlen)
+		defer putBuf(scratch)
+		buf := (*scratch)[:qlen]
 		encode.ZeroRunDecodeInto(body, buf)
 		qbytes = buf
 	} else {
@@ -115,17 +134,14 @@ func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 		}
 		qbytes = body
 	}
-	for i, b := range qbytes {
-		if b > encode.MaxQuartic {
-			return fmt.Errorf("compress: invalid quartic byte %d at offset %d", b, i)
-		}
-	}
 
-	q := make([]int8, n)
-	encode.QuarticDecodeInto(qbytes, q)
-	d := dst.Data()
-	for i, v := range q {
-		d[i] = m * float32(v)
+	// Decode stays serial: the fused scaled decode runs an order of
+	// magnitude faster than encode (multi-GB/s), so chunking it would buy
+	// little while spawning goroutines inside callers' own fan-out
+	// (package ps decodes many tensors concurrently). The parallel decoder
+	// remains available as encode.QuarticDecodeScaledParallel.
+	if err := encode.QuarticDecodeScaledInto(qbytes, dst.Data(), m); err != nil {
+		return fmt.Errorf("compress: %w", err)
 	}
 	return nil
 }

@@ -2,12 +2,17 @@ package compress
 
 import (
 	"fmt"
+	"math/bits"
 
 	"threelc/internal/encode"
 	"threelc/internal/quant"
 	"threelc/internal/sparse"
 	"threelc/internal/tensor"
 )
+
+func init() {
+	RegisterDecoder(SchemeTopK, decodeTopK)
+}
 
 // topKCompressor is the "25% / 5% sparsification" baseline (§5.1): the
 // largest-magnitude fraction of buffered state changes is transmitted with
@@ -20,6 +25,7 @@ type topKCompressor struct {
 	sp      *sparse.Sparsifier
 	acc     *quant.ErrorAccumulator
 	dequant *tensor.Tensor
+	sel     sparse.Selection // selection scratch, reused across steps
 }
 
 func newTopKCompressor(shape []int, fraction float64, seed uint64) *topKCompressor {
@@ -42,23 +48,31 @@ func (c *topKCompressor) Name() string {
 }
 
 func (c *topKCompressor) Compress(in *tensor.Tensor) []byte {
+	return c.CompressInto(in, nil)
+}
+
+func (c *topKCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
 	sum := c.acc.Accumulate(in)
-	sel := c.sp.Sparsify(sum)
-	sparse.ReconstructInto(sel, c.dequant)
+	c.sp.SparsifyInto(sum, &c.sel)
+	sparse.ReconstructInto(&c.sel, c.dequant)
 	c.acc.Residual(c.dequant)
+	return appendSelection(dst, byte(SchemeTopK), &c.sel)
+}
 
-	bm := sel.Mask.Bytes()
-	wire := make([]byte, 1+len(bm)+4*len(sel.Values))
-	wire[0] = byte(SchemeTopK)
-	copy(wire[1:], bm)
-	off := 1 + len(bm)
+// appendSelection appends the bitmap wire layout shared by the top-k and
+// round-robin schemes.
+func appendSelection(dst []byte, scheme byte, sel *sparse.Selection) []byte {
+	dst = append(dst, scheme)
+	dst = append(dst, sel.Mask.Bytes()...)
+	off := len(dst)
+	dst = growBytes(dst, 4*len(sel.Values))
 	for i, v := range sel.Values {
-		putF32(wire[off+4*i:], v)
+		putF32(dst[off+4*i:], v)
 	}
-	return wire
+	return dst
 }
 
 func decodeTopK(payload []byte, dst *tensor.Tensor) error {
@@ -67,18 +81,22 @@ func decodeTopK(payload []byte, dst *tensor.Tensor) error {
 	if len(payload) < bmLen {
 		return fmt.Errorf("compress: top-k payload %d bytes, bitmap alone needs %d", len(payload), bmLen)
 	}
-	mask := encode.BitmapFromBytes(payload[:bmLen], len(d))
+	bm := payload[:bmLen]
 	vals := payload[bmLen:]
 	if len(vals)%4 != 0 {
 		return fmt.Errorf("compress: top-k value bytes %d not a multiple of 4", len(vals))
 	}
-	if mask.Count()*4 != len(vals) {
-		return fmt.Errorf("compress: top-k bitmap selects %d values, payload has %d", mask.Count(), len(vals)/4)
+	count := 0
+	for _, b := range bm {
+		count += bits.OnesCount8(b)
+	}
+	if count*4 != len(vals) {
+		return fmt.Errorf("compress: top-k bitmap selects %d values, payload has %d", count, len(vals)/4)
 	}
 	dst.Zero()
 	vi := 0
 	for i := range d {
-		if mask.Get(i) {
+		if bm[i>>3]&(1<<(uint(i)&7)) != 0 {
 			d[i] = getF32(vals[4*vi:])
 			vi++
 		}

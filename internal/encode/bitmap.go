@@ -53,5 +53,13 @@ func (m *Bitmap) Count() int {
 // Bytes returns the packed representation (aliased, not copied).
 func (m *Bitmap) Bytes() []byte { return m.bits }
 
+// Reset clears every bit, retaining the backing storage so a selection
+// mask can be rebuilt in place each training step without reallocating.
+func (m *Bitmap) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
+
 // SizeBytes returns the wire size of a bitmap over n elements.
 func BitmapSizeBytes(n int) int { return (n + 7) / 8 }

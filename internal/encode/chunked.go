@@ -1,0 +1,118 @@
+package encode
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Quartic encode dominates 3LC compression CPU time (§5.1 of the paper),
+// and — unlike zero-run encoding, whose runs cross arbitrary byte
+// boundaries — it is embarrassingly parallel: each 5-value group maps to
+// exactly one output byte. Chunked and the *Parallel functions below shard
+// a tensor into contiguous spans aligned to GroupSize and encode or decode
+// the spans concurrently, producing output byte-identical to the serial
+// functions regardless of worker count.
+
+// Chunked partitions [0, n) into up to `workers` contiguous spans whose
+// boundaries (except the final one) are multiples of align, and runs
+// fn(lo, hi) for each span on its own goroutine, returning once all spans
+// complete. workers <= 0 means GOMAXPROCS. When only one span results
+// (small n or workers == 1), fn runs on the calling goroutine with no
+// synchronization overhead. fn must not panic: a panic on a worker
+// goroutine crashes the program.
+func Chunked(n, align, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if align < 1 {
+		align = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	groups := (n + align - 1) / align
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	per := groups / workers
+	rem := groups % workers
+	var wg sync.WaitGroup
+	lo := 0
+	for g := 0; g < workers; g++ {
+		cnt := per
+		if g < rem {
+			cnt++
+		}
+		hi := lo + cnt*align
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// QuarticEncodeParallel packs q into dst like QuarticEncodeInto, sharding
+// the work across up to `workers` goroutines (<= 0: GOMAXPROCS). Output is
+// byte-identical to the serial encoder. It returns the number of bytes
+// written.
+func QuarticEncodeParallel(q []int8, dst []byte, workers int) int {
+	n := QuarticEncodedLen(len(q))
+	if len(dst) < n {
+		panic(fmt.Sprintf("encode: quartic dst too small: %d < %d", len(dst), n))
+	}
+	Chunked(len(q), GroupSize, workers, func(lo, hi int) {
+		QuarticEncodeInto(q[lo:hi], dst[lo/GroupSize:(hi+GroupSize-1)/GroupSize])
+	})
+	return n
+}
+
+// QuarticDecodeParallel unpacks enc into dst like QuarticDecodeInto,
+// sharding across up to `workers` goroutines. Like the serial decoder it
+// panics on short input or bytes above MaxQuartic; use
+// QuarticDecodeScaledParallel for untrusted data.
+func QuarticDecodeParallel(enc []byte, dst []int8, workers int) {
+	need := QuarticEncodedLen(len(dst))
+	if len(enc) < need {
+		panic(fmt.Sprintf("encode: quartic input too short: %d bytes for %d values", len(enc), len(dst)))
+	}
+	Chunked(len(dst), GroupSize, workers, func(lo, hi int) {
+		QuarticDecodeInto(enc[lo/GroupSize:(hi+GroupSize-1)/GroupSize], dst[lo:hi])
+	})
+}
+
+// QuarticDecodeScaledParallel is the chunked parallel form of
+// QuarticDecodeScaledInto: it validates and decodes untrusted quartic data
+// directly into scaled float32 values, returning the first error any chunk
+// hits (dst contents are unspecified on error).
+func QuarticDecodeScaledParallel(enc []byte, dst []float32, scale float32, workers int) error {
+	need := QuarticEncodedLen(len(dst))
+	if len(enc) < need {
+		return fmt.Errorf("encode: quartic input too short: %d bytes for %d values", len(enc), len(dst))
+	}
+	var mu sync.Mutex
+	var firstErr error
+	Chunked(len(dst), GroupSize, workers, func(lo, hi int) {
+		if err := QuarticDecodeScaledInto(enc[lo/GroupSize:(hi+GroupSize-1)/GroupSize], dst[lo:hi], scale); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				// The chunk decoder numbers offsets from its own slice;
+				// record the chunk base so the report points into the
+				// full payload.
+				firstErr = fmt.Errorf("chunk at byte %d: %w", lo/GroupSize, err)
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}

@@ -3,6 +3,16 @@
 // and zero-run encoding (§3.3), a run-length encoder specialized to
 // quartic-encoded data. It also provides the bitmap wire format used by the
 // sparsification baselines (§5.1).
+//
+// Every transformation has an allocation-free form that operates on
+// caller-provided buffers — QuarticEncodeInto, QuarticDecodeInto,
+// QuarticDecodeScaledInto, ZeroRunEncodeAppend, ZeroRunDecodeInto — so a
+// steady-state compression pipeline can recycle its buffers across training
+// steps and keep the per-step allocation count at zero. Quartic encode and
+// decode are also available in chunked parallel form (QuarticEncodeParallel,
+// QuarticDecodeParallel, QuarticDecodeScaledParallel, built on Chunked),
+// which shards large tensors across goroutines at group-aligned boundaries
+// and produces byte-identical output to the serial functions.
 package encode
 
 import "fmt"
@@ -115,6 +125,58 @@ func QuarticDecodeInto(enc []byte, dst []int8) {
 			dst[i] = digits[k] - 1
 		}
 	}
+}
+
+// QuarticDecodeScaledInto unpacks enc directly into float32 values,
+// multiplying each ternary digit by scale: dst[i] = scale * q[i]. This is
+// the fused form of QuarticDecodeInto + dequantization that the compress
+// package's ternary decoder runs on untrusted wire data, so instead of
+// panicking it returns an error when enc is too short or contains a byte
+// above MaxQuartic (un-decoded zero-run data), validating in the same pass
+// that decodes.
+func QuarticDecodeScaledInto(enc []byte, dst []float32, scale float32) error {
+	n := len(dst)
+	need := (n + GroupSize - 1) / GroupSize
+	if len(enc) < need {
+		return fmt.Errorf("encode: quartic input too short: %d bytes for %d values", len(enc), n)
+	}
+	full := n / GroupSize
+	for g := 0; g < full; g++ {
+		v := enc[g]
+		if v > MaxQuartic {
+			return fmt.Errorf("encode: invalid quartic byte %d at offset %d", v, g)
+		}
+		i := g * GroupSize
+		dst[i+4] = scale * float32(int8(v%3)-1)
+		v /= 3
+		dst[i+3] = scale * float32(int8(v%3)-1)
+		v /= 3
+		dst[i+2] = scale * float32(int8(v%3)-1)
+		v /= 3
+		dst[i+1] = scale * float32(int8(v%3)-1)
+		v /= 3
+		dst[i] = scale * float32(int8(v)-1)
+	}
+	if full < need {
+		v := enc[full]
+		if v > MaxQuartic {
+			return fmt.Errorf("encode: invalid quartic byte %d at offset %d", v, full)
+		}
+		var digits [GroupSize]int8
+		digits[4] = int8(v % 3)
+		v /= 3
+		digits[3] = int8(v % 3)
+		v /= 3
+		digits[2] = int8(v % 3)
+		v /= 3
+		digits[1] = int8(v % 3)
+		v /= 3
+		digits[0] = int8(v)
+		for k, i := 0, full*GroupSize; i < n; k, i = k+1, i+1 {
+			dst[i] = scale * float32(digits[k]-1)
+		}
+	}
+	return nil
 }
 
 // QuarticEncodedLen returns the number of bytes quartic encoding produces

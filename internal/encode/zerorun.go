@@ -20,12 +20,18 @@ const (
 // or lookup tables.
 func ZeroRunEncode(in []byte) []byte {
 	// Worst case: no runs, output length == input length.
-	out := make([]byte, 0, len(in))
+	return ZeroRunEncodeAppend(make([]byte, 0, len(in)), in)
+}
+
+// ZeroRunEncodeAppend appends the zero-run encoding of in to dst and
+// returns the extended slice. Steady-state callers that recycle dst across
+// calls (dst[:0]) pay no allocation once its capacity has converged.
+func ZeroRunEncodeAppend(dst, in []byte) []byte {
 	i := 0
 	for i < len(in) {
 		b := in[i]
 		if b != ZeroGroupByte {
-			out = append(out, b)
+			dst = append(dst, b)
 			i++
 			continue
 		}
@@ -40,15 +46,15 @@ func ZeroRunEncode(in []byte) []byte {
 			if k > MaxRun {
 				k = MaxRun
 			}
-			out = append(out, byte(RunBase+k-2))
+			dst = append(dst, byte(RunBase+k-2))
 			run -= k
 		}
 		if run == 1 {
-			out = append(out, ZeroGroupByte)
+			dst = append(dst, ZeroGroupByte)
 		}
 		i = j
 	}
-	return out
+	return dst
 }
 
 // ZeroRunDecode expands zero-run-encoded data back to pure quartic bytes.

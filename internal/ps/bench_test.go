@@ -1,0 +1,140 @@
+package ps
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/tensor"
+)
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 100} {
+			var hits atomic.Int64
+			seen := make([]atomic.Bool, n)
+			parallelFor(n, workers, func(i int) {
+				hits.Add(1)
+				if seen[i].Swap(true) {
+					t.Errorf("workers=%d n=%d: index %d visited twice", workers, n, i)
+				}
+			})
+			if int(hits.Load()) != n {
+				t.Errorf("workers=%d n=%d: %d calls", workers, n, hits.Load())
+			}
+		}
+	}
+}
+
+// TestParallelismMatchesSerial pins the determinism contract of the
+// parallel codec fan-out: a run with Parallelism 8 must produce byte-for-
+// byte the same push and pull wires as Parallelism 1, because every tensor
+// owns its context and its output slot.
+func TestParallelismMatchesSerial(t *testing.T) {
+	mkPair := func(par int) (*Server, *Worker) {
+		cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.5, ZeroRun: true}, 1)
+		cfg.Parallelism = par
+		global := testModel(1)
+		server := NewServer(global, cfg)
+		m := testModel(1)
+		m.CopyParamsFrom(global)
+		return server, NewWorker(0, m, cfg)
+	}
+	sSerial, wSerial := mkPair(1)
+	sPar, wPar := mkPair(8)
+
+	rng := tensor.NewRNG(21)
+	x := tensor.New(5, 8)
+	tensor.FillNormal(x, 1, rng)
+	labels := []int{0, 1, 2, 0, 1}
+
+	for step := 0; step < 4; step++ {
+		wSerial.Model.TrainStep(x, labels)
+		wPar.Model.TrainStep(x, labels)
+
+		wiresSerial, _ := wSerial.CompressGrads()
+		wiresPar, _ := wPar.CompressGrads()
+		if len(wiresSerial) != len(wiresPar) {
+			t.Fatal("wire count mismatch")
+		}
+		for i := range wiresSerial {
+			if string(wiresSerial[i]) != string(wiresPar[i]) {
+				t.Fatalf("step %d: push wire %d differs between serial and parallel", step, i)
+			}
+		}
+
+		sSerial.BeginStep()
+		sPar.BeginStep()
+		if _, err := sSerial.AddPush(0, wiresSerial); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sPar.AddPush(0, wiresPar); err != nil {
+			t.Fatal(err)
+		}
+		pullSerial, _, err := sSerial.FinishStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pullPar, _, err := sPar.FinishStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pullSerial {
+			if string(pullSerial[i]) != string(pullPar[i]) {
+				t.Fatalf("step %d: pull wire %d differs between serial and parallel", step, i)
+			}
+		}
+		if _, err := wSerial.ApplyPull(pullSerial); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wPar.ApplyPull(pullPar); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStatePushPull measures one full codec round trip of the
+// parameter-server hot path — worker compress, server decode+aggregate,
+// server update+shared-pull compress, worker apply — with all buffers
+// recycled. Run with -benchmem: the serial configuration must show ~0
+// allocs/op (the parallel pool's goroutine spawns are the only allocs
+// otherwise).
+func BenchmarkSteadyStatePushPull(b *testing.B) {
+	cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.75, ZeroRun: true}, 1)
+	cfg.Parallelism = 1
+	global := testModel(1)
+	server := NewServer(global, cfg)
+	m := testModel(1)
+	m.CopyParamsFrom(global)
+	worker := NewWorker(0, m, cfg)
+
+	rng := tensor.NewRNG(31)
+	for _, p := range worker.Model.Params() {
+		tensor.FillNormal(p.G, 0.01, rng)
+	}
+	// Warm up buffer capacities.
+	for i := 0; i < 3; i++ {
+		steadyStep(b, server, worker)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steadyStep(b, server, worker)
+	}
+}
+
+func steadyStep(b *testing.B, server *Server, worker *Worker) {
+	b.Helper()
+	wires, _ := worker.CompressGrads()
+	server.BeginStep()
+	if _, err := server.AddPush(0, wires); err != nil {
+		b.Fatal(err)
+	}
+	pull, _, err := server.FinishStep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := worker.ApplyPull(pull); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -24,10 +24,20 @@
 //   - BSP barriers: the step driver (package train) runs all pushes before
 //     the update and all pulls after it, the synchronous mode the paper
 //     evaluates.
+//
+// The codec hot path is allocation-free in steady state: workers and the
+// server recycle per-tensor wire buffers across steps through the
+// append-style compress.CompressInto API, and layer tensors are
+// compressed/decompressed concurrently by a bounded worker pool
+// (Config.Parallelism). Wire sets returned by CompressGrads and FinishStep
+// alias those recycled buffers — valid until the owner's next step.
 package ps
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"threelc/internal/compress"
@@ -49,8 +59,53 @@ type Config struct {
 	// because "avoiding computation overhead far outweighs compacting
 	// already small tensors".
 	MinCompressElems int
+	// Parallelism bounds the worker pool that compresses / decompresses a
+	// node's layer tensors concurrently (contexts are per-tensor, so
+	// per-tensor fan-out is safe). Zero means GOMAXPROCS; 1 forces the
+	// serial path.
+	Parallelism int
 	// Optimizer configures the server-side SGD.
 	Optimizer opt.SGDConfig
+}
+
+// parallelism resolves the configured codec fan-out.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines — a
+// bounded pool fed by an atomic counter, so uneven per-tensor costs (one
+// conv layer dwarfing the biases) balance dynamically. workers <= 1 runs
+// serially on the caller's goroutine.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // shouldCompress applies the paper's small-tensor exemption rule; both
@@ -65,12 +120,31 @@ func (c Config) shouldCompress(p *nn.Param) bool {
 	return p.W.Len() >= c.MinCompressElems
 }
 
-func (c Config) newContext(p *nn.Param, seed uint64) compress.Compressor {
+// newContext builds the compression context for one of `tensors` model
+// tensors on this node.
+func (c Config) newContext(p *nn.Param, seed uint64, tensors int) compress.Compressor {
 	if !c.shouldCompress(p) {
 		return compress.New(compress.SchemeNone, p.W.Shape(), compress.Options{})
 	}
 	o := c.Opts
 	o.Seed ^= seed
+	if o.CodecParallelism == 0 {
+		// Split the node's goroutine budget between the two levels of
+		// fan-out: the per-tensor pool takes min(par, tensors) workers,
+		// and each context's chunked encoder gets the remainder, so the
+		// product stays ~par. A single-tensor model gets full chunk
+		// parallelism; a many-tensor model gets serial codecs under a
+		// wide pool; Parallelism=1 means fully serial everywhere.
+		par := c.parallelism()
+		pool := par
+		if tensors > 0 && tensors < pool {
+			pool = tensors
+		}
+		o.CodecParallelism = par / pool
+		if o.CodecParallelism < 1 {
+			o.CodecParallelism = 1
+		}
+	}
 	return compress.New(c.Scheme, p.W.Shape(), o)
 }
 
@@ -87,7 +161,17 @@ type Server struct {
 	prevW     []*tensor.Tensor
 	delta     []*tensor.Tensor
 	decode    []*tensor.Tensor
+	pullWires [][]byte // per-tensor pull wire buffers, recycled across steps
+	errs      []error  // per-tensor error slots for parallel decode, recycled
 	pushes    int
+
+	// Bound once at construction so the parallelFor call sites pass a
+	// stored func value instead of a closure literal — closure allocation
+	// is the last per-step heap traffic on an otherwise zero-alloc path.
+	addPushFn    func(i int)
+	pullPackFn   func(i int)
+	pushWorkerID int      // argument slot for addPushFn
+	pushSrc      [][]byte // argument slot for addPushFn
 }
 
 // NewServer wraps the global model. The model's current parameters become
@@ -100,12 +184,16 @@ func NewServer(model *nn.Model, cfg Config) *Server {
 		params:    model.Params(),
 	}
 	for i, p := range s.params {
-		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(i))) // "SERVER"
+		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(i), len(s.params))) // "SERVER"
 		s.gradSum = append(s.gradSum, tensor.New(p.W.Shape()...))
 		s.prevW = append(s.prevW, tensor.New(p.W.Shape()...))
 		s.delta = append(s.delta, tensor.New(p.W.Shape()...))
 		s.decode = append(s.decode, tensor.New(p.W.Shape()...))
 	}
+	s.pullWires = make([][]byte, len(s.params))
+	s.errs = make([]error, len(s.params))
+	s.addPushFn = s.addPushOne
+	s.pullPackFn = s.pullPackOne
 	return s
 }
 
@@ -117,7 +205,9 @@ func (s *Server) BeginStep() {
 	s.pushes = 0
 }
 
-// AddPush decompresses one worker's gradient push and accumulates it.
+// AddPush decompresses one worker's gradient push and accumulates it,
+// fanning out across layer tensors (each has its own decode scratch and
+// gradient-sum tensor, so per-tensor parallelism is safe).
 // NoCompress tensors (batch norm) are taken from worker 0 only.
 // It returns the decompression wall time.
 func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
@@ -125,22 +215,39 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 		return 0, fmt.Errorf("ps: push has %d tensors, model has %d", len(wires), len(s.params))
 	}
 	start := time.Now()
-	for i, p := range s.params {
-		if p.NoCompress && workerID != 0 {
-			continue
+	s.pushWorkerID, s.pushSrc = workerID, wires
+	parallelFor(len(s.params), s.cfg.parallelism(), s.addPushFn)
+	s.pushSrc = nil
+	for _, err := range s.errs {
+		if err != nil {
+			return 0, err
 		}
-		if err := compress.DecompressInto(wires[i], s.decode[i]); err != nil {
-			return 0, fmt.Errorf("ps: push tensor %q: %w", p.Name, err)
-		}
-		s.gradSum[i].Add(s.decode[i])
 	}
 	s.pushes++
 	return time.Since(start), nil
 }
 
+// addPushOne decodes and accumulates tensor i of the push staged in
+// pushWorkerID/pushSrc.
+func (s *Server) addPushOne(i int) {
+	p := s.params[i]
+	s.errs[i] = nil
+	if p.NoCompress && s.pushWorkerID != 0 {
+		return
+	}
+	if err := compress.DecompressInto(s.pushSrc[i], s.decode[i]); err != nil {
+		s.errs[i] = fmt.Errorf("ps: push tensor %q: %w", p.Name, err)
+		return
+	}
+	s.gradSum[i].Add(s.decode[i])
+}
+
 // FinishStep averages the aggregated gradients, applies the optimizer to
 // the global model, and returns the compressed model-delta wires shared by
-// all workers, plus the server-side codec wall time.
+// all workers, plus the server-side codec wall time. The wire slices are
+// backed by server-owned buffers recycled across steps: they are valid
+// until the next FinishStep, and callers that keep them longer (stale
+// synchronous emulation) must copy the bytes.
 func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 	if s.pushes == 0 {
 		return nil, 0, fmt.Errorf("ps: FinishStep with no pushes")
@@ -166,13 +273,18 @@ func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 		s.delta[i].Sub(s.prevW[i])
 	}
 
-	// Shared pull compression: one wire per tensor for all workers.
+	// Shared pull compression: one wire per tensor for all workers, built
+	// once into recycled per-tensor buffers (§3, Figure 2b) by the bounded
+	// worker pool. The returned slices are valid until the next FinishStep
+	// call; callers that retain pulls across steps must copy them.
 	start := time.Now()
-	wires := make([][]byte, len(s.params))
-	for i := range s.params {
-		wires[i] = s.pullCtx[i].Compress(s.delta[i])
-	}
-	return wires, time.Since(start), nil
+	parallelFor(len(s.params), s.cfg.parallelism(), s.pullPackFn)
+	return s.pullWires, time.Since(start), nil
+}
+
+// pullPackOne compresses model-delta tensor i into its recycled buffer.
+func (s *Server) pullPackOne(i int) {
+	s.pullWires[i] = s.pullCtx[i].CompressInto(s.delta[i], s.pullWires[i][:0])
 }
 
 // Step returns the number of optimizer updates applied.
@@ -187,10 +299,17 @@ type Worker struct {
 	ID    int
 	Model *nn.Model
 
-	cfg     Config
-	params  []*nn.Param
-	pushCtx []compress.Compressor
-	scratch []*tensor.Tensor
+	cfg       Config
+	params    []*nn.Param
+	pushCtx   []compress.Compressor
+	scratch   []*tensor.Tensor
+	pushWires [][]byte // per-tensor push wire buffers, recycled across steps
+	errs      []error  // per-tensor error slots for parallel decode, recycled
+
+	// Bound method values + argument slot, mirroring Server (see there).
+	compressFn func(i int)
+	applyFn    func(i int)
+	pullSrc    [][]byte
 }
 
 // NewWorker wraps a local model replica (which must start identical to the
@@ -198,38 +317,63 @@ type Worker struct {
 func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
 	w := &Worker{ID: id, Model: model, cfg: cfg, params: model.Params()}
 	for i, p := range w.params {
-		w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i))) // "WORK"
+		w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i), len(w.params))) // "WORK"
 		w.scratch = append(w.scratch, tensor.New(p.W.Shape()...))
 	}
+	w.pushWires = make([][]byte, len(w.params))
+	w.errs = make([]error, len(w.params))
+	w.compressFn = w.compressOne
+	w.applyFn = w.applyOne
 	return w
 }
 
 // CompressGrads compresses the gradients currently held in the local
 // model's parameter tensors (set by Model.TrainStep) and returns the push
-// wires plus the compression wall time.
+// wires plus the compression wall time. Layer tensors are compressed
+// concurrently by a bounded worker pool (each tensor has its own context,
+// so ordering never affects the bytes). The wire slices are backed by
+// worker-owned buffers recycled across steps: they are valid until the
+// next CompressGrads call on this worker.
 func (w *Worker) CompressGrads() ([][]byte, time.Duration) {
 	start := time.Now()
-	wires := make([][]byte, len(w.params))
-	for i, p := range w.params {
-		wires[i] = w.pushCtx[i].Compress(p.G)
-	}
-	return wires, time.Since(start)
+	parallelFor(len(w.params), w.cfg.parallelism(), w.compressFn)
+	return w.pushWires, time.Since(start)
+}
+
+// compressOne compresses gradient tensor i into its recycled buffer.
+func (w *Worker) compressOne(i int) {
+	w.pushWires[i] = w.pushCtx[i].CompressInto(w.params[i].G, w.pushWires[i][:0])
 }
 
 // ApplyPull decompresses the shared model-delta wires and applies them to
-// the local replica. It returns the decompression wall time.
+// the local replica, fanning out across layer tensors. It returns the
+// decompression wall time.
 func (w *Worker) ApplyPull(wires [][]byte) (time.Duration, error) {
 	if len(wires) != len(w.params) {
 		return 0, fmt.Errorf("ps: pull has %d tensors, model has %d", len(wires), len(w.params))
 	}
 	start := time.Now()
-	for i, p := range w.params {
-		if err := compress.DecompressInto(wires[i], w.scratch[i]); err != nil {
-			return 0, fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
+	w.pullSrc = wires
+	parallelFor(len(w.params), w.cfg.parallelism(), w.applyFn)
+	w.pullSrc = nil
+	for _, err := range w.errs {
+		if err != nil {
+			return 0, err
 		}
-		p.W.Add(w.scratch[i])
 	}
 	return time.Since(start), nil
+}
+
+// applyOne decodes pull tensor i of the staged wire set and applies it to
+// the replica.
+func (w *Worker) applyOne(i int) {
+	p := w.params[i]
+	w.errs[i] = nil
+	if err := compress.DecompressInto(w.pullSrc[i], w.scratch[i]); err != nil {
+		w.errs[i] = fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
+		return
+	}
+	p.W.Add(w.scratch[i])
 }
 
 // WireBytes sums the byte sizes of a wire set.

@@ -18,15 +18,28 @@ type Int8Quantized struct {
 
 // QuantizeInt8 maps in onto 255 levels spanning [-max|in|, +max|in|].
 func QuantizeInt8(in *tensor.Tensor) *Int8Quantized {
+	out := &Int8Quantized{}
+	QuantizeInt8Into(in, out)
+	return out
+}
+
+// QuantizeInt8Into is the buffer-reusing form of QuantizeInt8: out.Q grows
+// only when in is larger than any previous input, so a per-tensor context
+// quantizing the same shape every step pays no allocation.
+func QuantizeInt8Into(in *tensor.Tensor, out *Int8Quantized) {
 	data := in.Data()
-	out := &Int8Quantized{
-		Q:     make([]int8, len(data)),
-		Shape: append([]int(nil), in.Shape()...),
+	if cap(out.Q) < len(data) {
+		out.Q = make([]int8, len(data))
 	}
+	out.Q = out.Q[:len(data)]
+	out.Shape = append(out.Shape[:0], in.Shape()...)
 	m := float64(in.MaxAbs())
 	out.M = float32(m)
 	if m == 0 {
-		return out
+		for i := range out.Q {
+			out.Q[i] = 0
+		}
+		return
 	}
 	scale := 127 / m
 	for i, v := range data {
@@ -38,7 +51,6 @@ func QuantizeInt8(in *tensor.Tensor) *Int8Quantized {
 		}
 		out.Q[i] = int8(q)
 	}
-	return out
 }
 
 // DequantizeInt8 reconstructs the approximate tensor.

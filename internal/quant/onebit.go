@@ -23,12 +23,28 @@ type OneBitQuantized struct {
 
 // QuantizeOneBit performs MQE 1-bit quantization of in.
 func QuantizeOneBit(in *tensor.Tensor) *OneBitQuantized {
+	out := &OneBitQuantized{}
+	QuantizeOneBitInto(in, out)
+	return out
+}
+
+// QuantizeOneBitInto is the buffer-reusing form of QuantizeOneBit: the
+// packed bit buffer grows only when in is larger than any previous input,
+// so a per-tensor context quantizing the same shape every training step
+// pays no allocation.
+func QuantizeOneBitInto(in *tensor.Tensor, out *OneBitQuantized) {
 	data := in.Data()
-	out := &OneBitQuantized{
-		Bits:  make([]byte, (len(data)+7)/8),
-		N:     len(data),
-		Shape: append([]int(nil), in.Shape()...),
+	nb := (len(data) + 7) / 8
+	if cap(out.Bits) < nb {
+		out.Bits = make([]byte, nb)
 	}
+	out.Bits = out.Bits[:nb]
+	for i := range out.Bits {
+		out.Bits[i] = 0
+	}
+	out.N = len(data)
+	out.Shape = append(out.Shape[:0], in.Shape()...)
+	out.MPos, out.MNeg = 0, 0
 	var sumPos, sumNeg float64
 	var nPos, nNeg int
 	for i, v := range data {
@@ -47,7 +63,6 @@ func QuantizeOneBit(in *tensor.Tensor) *OneBitQuantized {
 	if nNeg > 0 {
 		out.MNeg = float32(sumNeg / float64(nNeg))
 	}
-	return out
 }
 
 // DequantizeOneBit reconstructs the approximation: non-negative elements

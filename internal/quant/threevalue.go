@@ -48,18 +48,28 @@ type ThreeValue struct {
 // with 1 < s < 2 more elements fall below M/2 and quantize to zero, making
 // the output sparser. Quantize3 panics if s is outside [1, 2).
 func Quantize3(in *tensor.Tensor, s float64) *ThreeValue {
+	out := &ThreeValue{}
+	Quantize3Into(in, s, out)
+	return out
+}
+
+// Quantize3Into is the buffer-reusing form of Quantize3: it quantizes in
+// into out, growing out.Q only when the tensor is larger than any previous
+// input. A per-tensor compression context that keeps one ThreeValue across
+// training steps pays no allocation in steady state.
+func Quantize3Into(in *tensor.Tensor, s float64, out *ThreeValue) {
 	if s < MinSparsity || s >= MaxSparsity {
 		panic(fmt.Sprintf("quant: sparsity multiplier %v outside [1,2)", s))
 	}
 	data := in.Data()
-	out := &ThreeValue{
-		Q:     make([]int8, len(data)),
-		Shape: append([]int(nil), in.Shape()...),
-	}
+	out.reset(in)
 	m := float64(in.MaxAbs()) * s
 	out.M = float32(m)
 	if m == 0 {
-		return out // all-zero input quantizes to all zeros
+		for i := range out.Q {
+			out.Q[i] = 0
+		}
+		return // all-zero input quantizes to all zeros
 	}
 	inv := 1 / m
 	for i, v := range data {
@@ -67,7 +77,17 @@ func Quantize3(in *tensor.Tensor, s float64) *ThreeValue {
 		r := math.Round(float64(v) * inv)
 		out.Q[i] = int8(r)
 	}
-	return out
+}
+
+// reset sizes the quantized output for in, reusing Q's backing array when
+// its capacity suffices.
+func (tv *ThreeValue) reset(in *tensor.Tensor) {
+	n := in.Len()
+	if cap(tv.Q) < n {
+		tv.Q = make([]int8, n)
+	}
+	tv.Q = tv.Q[:n]
+	tv.Shape = append(tv.Shape[:0], in.Shape()...)
 }
 
 // Dequantize3 reverses Quantize3 into a new tensor: out = M * q (Eq. 3).
@@ -112,18 +132,27 @@ func (tv *ThreeValue) Len() int { return len(tv.Q) }
 // value an unbiased estimator of v/M. M = max(|in|) (no sparsity
 // multiplication; TernGrad has no compression-level knob).
 func QuantizeStochastic3(in *tensor.Tensor, rng *tensor.RNG) *ThreeValue {
+	out := &ThreeValue{}
+	QuantizeStochastic3Into(in, rng, out)
+	return out
+}
+
+// QuantizeStochastic3Into is the buffer-reusing form of
+// QuantizeStochastic3, with the same reuse contract as Quantize3Into.
+func QuantizeStochastic3Into(in *tensor.Tensor, rng *tensor.RNG, out *ThreeValue) {
 	data := in.Data()
-	out := &ThreeValue{
-		Q:     make([]int8, len(data)),
-		Shape: append([]int(nil), in.Shape()...),
-	}
+	out.reset(in)
 	m := float64(in.MaxAbs())
 	out.M = float32(m)
 	if m == 0 {
-		return out
+		for i := range out.Q {
+			out.Q[i] = 0
+		}
+		return
 	}
 	inv := 1 / m
 	for i, v := range data {
+		out.Q[i] = 0
 		p := math.Abs(float64(v)) * inv // in [0,1]
 		if rng.Float64() < p {
 			if v > 0 {
@@ -133,5 +162,4 @@ func QuantizeStochastic3(in *tensor.Tensor, rng *tensor.RNG) *ThreeValue {
 			}
 		}
 	}
-	return out
 }

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"threelc/internal/encode"
 	"threelc/internal/tensor"
 )
 
@@ -32,11 +31,16 @@ func NewRoundRobin(parts int) *RoundRobin {
 // Sparsify selects partition (step mod Parts): elements whose index i has
 // i % Parts == step % Parts. It advances the step counter.
 func (r *RoundRobin) Sparsify(in *tensor.Tensor) *Selection {
+	sel := &Selection{}
+	r.SparsifyInto(in, sel)
+	return sel
+}
+
+// SparsifyInto is the buffer-reusing form of Sparsify, with the same reuse
+// contract as Sparsifier.SparsifyInto. It advances the step counter.
+func (r *RoundRobin) SparsifyInto(in *tensor.Tensor, sel *Selection) {
 	data := in.Data()
-	sel := &Selection{
-		Mask:  encode.NewBitmap(len(data)),
-		Shape: append([]int(nil), in.Shape()...),
-	}
+	sel.reset(in)
 	part := r.step % r.Parts
 	r.step++
 	for i := part; i < len(data); i += r.Parts {
@@ -47,5 +51,4 @@ func (r *RoundRobin) Sparsify(in *tensor.Tensor) *Selection {
 			sel.Values = append(sel.Values, data[i])
 		}
 	}
-	return sel
 }

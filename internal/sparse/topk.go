@@ -36,7 +36,8 @@ type Sparsifier struct {
 	// estimation. Zero means DefaultSampleSize.
 	SampleSize int
 
-	rng *tensor.RNG
+	rng  *tensor.RNG
+	mags []float64 // threshold-estimation scratch, reused across steps
 }
 
 // NewSparsifier creates a sparsifier transmitting the given fraction of
@@ -62,7 +63,10 @@ func (s *Sparsifier) threshold(data []float32) float32 {
 	if sample > n {
 		sample = n
 	}
-	mags := make([]float64, sample)
+	if cap(s.mags) < sample {
+		s.mags = make([]float64, sample)
+	}
+	mags := s.mags[:sample]
 	if sample == n {
 		for i, v := range data {
 			mags[i] = math.Abs(float64(v))
@@ -90,12 +94,18 @@ func (s *Sparsifier) threshold(data []float32) float32 {
 // responsible for error-accumulating the unsent remainder (the compress
 // package wires this to quant.ErrorAccumulator).
 func (s *Sparsifier) Sparsify(in *tensor.Tensor) *Selection {
+	sel := &Selection{}
+	s.SparsifyInto(in, sel)
+	return sel
+}
+
+// SparsifyInto is the buffer-reusing form of Sparsify: the selection's
+// bitmap and value slice are rebuilt in place, so a per-tensor context
+// sparsifying the same shape every training step pays no allocation.
+func (s *Sparsifier) SparsifyInto(in *tensor.Tensor, sel *Selection) {
 	data := in.Data()
 	thr := s.threshold(data)
-	sel := &Selection{
-		Mask:  encode.NewBitmap(len(data)),
-		Shape: append([]int(nil), in.Shape()...),
-	}
+	sel.reset(in)
 	// Guard: a zero threshold on a non-zero tensor would select
 	// everything; fall back to selecting only non-zero elements, which is
 	// what "largest magnitude" degenerates to.
@@ -109,7 +119,19 @@ func (s *Sparsifier) Sparsify(in *tensor.Tensor) *Selection {
 			sel.Values = append(sel.Values, v)
 		}
 	}
-	return sel
+}
+
+// reset prepares sel for a fresh selection over in, retaining the bitmap
+// and value storage when the element count is unchanged.
+func (sel *Selection) reset(in *tensor.Tensor) {
+	n := in.Len()
+	if sel.Mask == nil || sel.Mask.Len() != n {
+		sel.Mask = encode.NewBitmap(n)
+	} else {
+		sel.Mask.Reset()
+	}
+	sel.Values = sel.Values[:0]
+	sel.Shape = append(sel.Shape[:0], in.Shape()...)
 }
 
 // Reconstruct expands a Selection into a dense tensor with unselected

@@ -8,6 +8,7 @@ package train
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +53,11 @@ type Config struct {
 	Net netsim.Params
 	// MinCompressElems exempts small tensors (paper behavior). Zero means 256.
 	MinCompressElems int
+	// Parallelism bounds the per-node worker pool that compresses and
+	// decompresses layer tensors concurrently (see ps.Config.Parallelism).
+	// Zero means GOMAXPROCS; 1 forces serial codecs, which the alloc-free
+	// steady-state benchmarks use.
+	Parallelism int
 	// Optimizer overrides the server-side SGD configuration; nil uses
 	// opt.DefaultSGDConfig(Workers, Steps), the paper's hyperparameters.
 	Optimizer *opt.SGDConfig
@@ -217,14 +223,32 @@ func Run(cfg Config) (*Result, error) {
 		optCfg.Workers = cfg.Workers
 		optCfg.TotalSteps = cfg.Steps
 	}
+	workerParallelism := cfg.Parallelism
+	if workerParallelism == 0 {
+		// All simulated workers run their codec phases on concurrent
+		// goroutines, so per-node fan-out multiplies by cfg.Workers;
+		// divide the cores among them instead of letting every node claim
+		// GOMAXPROCS.
+		workerParallelism = runtime.GOMAXPROCS(0) / cfg.Workers
+		if workerParallelism < 1 {
+			workerParallelism = 1
+		}
+	}
 	psCfg := ps.Config{
 		Scheme:           cfg.Design.Scheme,
 		Opts:             cfg.Design.Opts,
 		Workers:          cfg.Workers,
 		MinCompressElems: cfg.MinCompressElems,
+		Parallelism:      workerParallelism,
 		Optimizer:        optCfg,
 	}
-	server := ps.NewServer(global, psCfg)
+	// The server's decode/aggregate and pull-compress phases run alone —
+	// every worker goroutine is parked at the BSP barrier — so the server
+	// keeps the full budget; dividing by Workers would idle cores on the
+	// measured codec critical path.
+	serverCfg := psCfg
+	serverCfg.Parallelism = cfg.Parallelism
+	server := ps.NewServer(global, serverCfg)
 
 	workers := make([]*ps.Worker, cfg.Workers)
 	rngs := make([]*tensor.RNG, cfg.Workers)
@@ -413,8 +437,22 @@ func Run(cfg Config) (*Result, error) {
 
 		// Pull phase: workers decompress and apply, in parallel. Under
 		// stale-synchronous emulation each worker applies the pull from
-		// `delay_w` steps ago instead of the fresh one.
-		pullHistory = append(pullHistory, pullWires)
+		// `delay_w` steps ago instead of the fresh one. FinishStep's wires
+		// alias server-owned buffers that are overwritten next step, so
+		// retaining history (Staleness > 0) requires a deep copy; the
+		// synchronous path uses the fresh wires directly and stays
+		// allocation-free.
+		if cfg.Staleness > 0 {
+			cp := make([][]byte, len(pullWires))
+			for i, w := range pullWires {
+				if w != nil {
+					cp[i] = append([]byte(nil), w...)
+				}
+			}
+			pullHistory = append(pullHistory, cp)
+		} else {
+			pullHistory = append(pullHistory[:0], pullWires)
+		}
 		for w := 0; w < cfg.Workers; w++ {
 			wg.Add(1)
 			go func(w int) {

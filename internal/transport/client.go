@@ -8,9 +8,12 @@ import (
 
 // Client is a worker-side connection to a transport.Server.
 type Client struct {
-	id   int
-	conn net.Conn
-	rw   *bufio.ReadWriter
+	id        int
+	conn      net.Conn
+	rw        *bufio.ReadWriter
+	fr        *FrameReader
+	pushBuf   []byte   // push payload, rebuilt in place each step
+	pullWires [][]byte // parsed pull set, slice headers recycled each step
 }
 
 // Dial connects to the server at addr and registers as workerID.
@@ -24,6 +27,7 @@ func Dial(addr string, workerID int) (*Client, error) {
 		conn: conn,
 		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
 	}
+	c.fr = NewFrameReader(c.rw)
 	var hello [4]byte
 	le.PutUint32(hello[:], uint32(workerID))
 	if err := WriteFrame(c.rw, MsgHello, hello[:]); err != nil {
@@ -39,11 +43,15 @@ func Dial(addr string, workerID int) (*Client, error) {
 
 // PushPull sends this worker's compressed gradient wires for the given
 // step and blocks until the server's shared model-delta wires arrive.
+// The returned wires alias a connection-owned scratch buffer that is
+// recycled on the next PushPull call; consume (decompress) them before
+// pushing again, which the BSP step loop does naturally.
 func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
-	payload := make([]byte, 8, 8+64)
+	payload := append(c.pushBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
 	le.PutUint32(payload, uint32(c.id))
 	le.PutUint32(payload[4:], uint32(step))
 	payload = AppendWireSet(payload, wires)
+	c.pushBuf = payload
 	if err := WriteFrame(c.rw, MsgPush, payload); err != nil {
 		return nil, fmt.Errorf("transport: push step %d: %w", step, err)
 	}
@@ -51,7 +59,7 @@ func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 
-	t, resp, err := ReadFrame(c.rw)
+	t, resp, err := c.fr.ReadFrame()
 	if err != nil {
 		return nil, fmt.Errorf("transport: pull step %d: %w", step, err)
 	}
@@ -65,10 +73,11 @@ func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
 	if gotStep != step {
 		return nil, fmt.Errorf("transport: pull for step %d during step %d", gotStep, step)
 	}
-	pull, _, err := ParseWireSet(resp[4:])
+	pull, _, err := ParseWireSetInto(c.pullWires, resp[4:])
 	if err != nil {
 		return nil, err
 	}
+	c.pullWires = pull
 	return pull, nil
 }
 

@@ -6,7 +6,7 @@
 // the ones package compress produces, so everything the simulator
 // measures also holds on a real link.
 //
-// Framing is deliberately simple and allocation-light:
+// Framing is deliberately simple and allocation-free in steady state:
 //
 //	frame  := [4B LE total payload length][1B type][payload]
 //	hello  := [4B LE workerID]
@@ -15,13 +15,17 @@
 //	wire set := [4B LE tensor count]{[4B LE len][len bytes]}*
 //
 // A zero-length tensor entry encodes a nil wire (the local-steps scheme's
-// non-transmitting step).
+// non-transmitting step). WriteFrame coalesces header and payload into one
+// buffered write (one syscall on an unbuffered conn), and FrameReader
+// reuses a per-connection scratch buffer so the receive path stops
+// allocating once the largest frame size has been seen.
 package transport
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MsgType identifies a frame.
@@ -40,33 +44,97 @@ const MaxFrameBytes = 64 << 20
 
 var le = binary.LittleEndian
 
-// WriteFrame writes one framed message.
+// framePool recycles coalesced write buffers across WriteFrame calls.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledFrame caps the capacity returned to framePool: a frame can be
+// up to MaxFrameBytes (64 MiB), and pooling such a buffer would pin it
+// until the next GC pool drain. Oversized buffers are simply dropped.
+const maxPooledFrame = 1 << 20
+
+// WriteFrame writes one framed message. The 4-byte length prefix, the type
+// byte, and the payload are coalesced into a single pooled buffer and
+// issued as ONE Write call — on an unbuffered net.Conn that is one syscall
+// and one TCP segment boundary instead of two, and on a bufio.Writer it
+// avoids the double copy-in. The length check is definitionally the one
+// ReadFrame enforces: the encoded length n = 1+len(payload) must satisfy
+// 0 < n <= MaxFrameBytes, so every frame WriteFrame accepts is a frame
+// ReadFrame accepts, and vice versa.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
-	if len(payload)+1 > MaxFrameBytes {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	n := 1 + len(payload)
+	if n > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
 	}
 	var hdr [5]byte
-	le.PutUint32(hdr[:4], uint32(len(payload)+1))
+	le.PutUint32(hdr[:4], uint32(n))
 	hdr[4] = byte(t)
-	if _, err := w.Write(hdr[:]); err != nil {
+	if 5+n > maxPooledFrame {
+		// Copying a multi-MiB payload just to coalesce would cost more
+		// than it saves (and the buffer would be too big to pool): fall
+		// back to header-then-payload writes, which a buffered writer
+		// still coalesces and an unbuffered one streams in two syscalls —
+		// negligible at this size.
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
 		return err
 	}
-	_, err := w.Write(payload)
+	bp := framePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf
+	framePool.Put(bp)
 	return err
 }
 
-// ReadFrame reads one framed message.
+// ReadFrame reads one framed message into a fresh buffer. Connection loops
+// should prefer FrameReader, which recycles its buffer across frames.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var fr FrameReader
+	fr.r = r
+	return fr.ReadFrame()
+}
+
+// FrameReader reads framed messages from one connection, reusing a single
+// scratch buffer: after the first few steps of a training run the receive
+// path performs zero allocations. The payload returned by ReadFrame
+// aliases the scratch buffer and is valid only until the next ReadFrame
+// call; callers that need the bytes longer must copy them.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r (typically the buffered read side of a
+// connection).
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// ReadFrame reads one framed message. The returned payload is valid until
+// the next call.
+func (fr *FrameReader) ReadFrame() (MsgType, []byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := le.Uint32(hdr[:])
 	if n == 0 || n > MaxFrameBytes {
 		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return 0, nil, err
 	}
 	return MsgType(buf[0]), buf[1:], nil
@@ -88,6 +156,14 @@ func AppendWireSet(dst []byte, wires [][]byte) []byte {
 // ParseWireSet deserializes a wire set, returning the wires and the number
 // of bytes consumed.
 func ParseWireSet(src []byte) ([][]byte, int, error) {
+	return ParseWireSetInto(nil, src)
+}
+
+// ParseWireSetInto deserializes a wire set into dst's backing storage
+// (grown only when the tensor count exceeds its capacity), so a
+// connection loop parsing one wire set per step reuses the same slice
+// header array. The returned wires alias src.
+func ParseWireSetInto(dst [][]byte, src []byte) ([][]byte, int, error) {
 	if len(src) < 4 {
 		return nil, 0, fmt.Errorf("transport: wire set truncated (no count)")
 	}
@@ -96,8 +172,14 @@ func ParseWireSet(src []byte) ([][]byte, int, error) {
 		return nil, 0, fmt.Errorf("transport: implausible tensor count %d", count)
 	}
 	off := 4
-	wires := make([][]byte, count)
+	var wires [][]byte
+	if cap(dst) >= count {
+		wires = dst[:count]
+	} else {
+		wires = make([][]byte, count)
+	}
 	for i := 0; i < count; i++ {
+		wires[i] = nil
 		if len(src) < off+4 {
 			return nil, 0, fmt.Errorf("transport: wire set truncated at tensor %d", i)
 		}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// writeCounter counts Write calls to verify frame coalescing.
+type writeCounter struct {
+	bytes.Buffer
+	calls int
+}
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.calls++
+	return w.Buffer.Write(p)
+}
+
+// TestWriteFrameSingleWrite pins the coalescing behavior: one frame, one
+// Write call — on an unbuffered connection that is one syscall instead of
+// the former header+payload pair.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w writeCounter
+	payload := make([]byte, 1000)
+	if err := WriteFrame(&w, MsgPush, payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Errorf("WriteFrame issued %d Write calls, want 1", w.calls)
+	}
+	typ, got, err := ReadFrame(&w.Buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgPush || len(got) != len(payload) {
+		t.Errorf("round trip: type %d, %d bytes", typ, len(got))
+	}
+}
+
+// TestWriteFrameLimitMatchesReadFrame checks both directions enforce the
+// same bound: a frame WriteFrame accepts must be readable, and a frame one
+// byte over the limit must be rejected by both.
+func TestWriteFrameLimitMatchesReadFrame(t *testing.T) {
+	// Exactly at the limit: payload of MaxFrameBytes-1 encodes to n ==
+	// MaxFrameBytes, which ReadFrame accepts.
+	var buf bytes.Buffer
+	atLimit := make([]byte, MaxFrameBytes-1)
+	if err := WriteFrame(&buf, MsgPush, atLimit); err != nil {
+		t.Fatalf("frame at limit rejected by WriteFrame: %v", err)
+	}
+	if _, _, err := ReadFrame(&buf); err != nil {
+		t.Fatalf("frame at limit rejected by ReadFrame: %v", err)
+	}
+	// One byte over: rejected by the writer (and unrepresentable to the
+	// reader, which bounds n the same way).
+	if err := WriteFrame(&buf, MsgPush, make([]byte, MaxFrameBytes)); err == nil {
+		t.Error("oversized frame accepted by WriteFrame")
+	}
+}
+
+// TestFrameReaderReusesScratch pins the per-connection reuse contract:
+// payloads alias one scratch buffer, so a second read overwrites the
+// first's bytes (callers must consume before reading again).
+func TestFrameReaderReusesScratch(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgPush, []byte{1, 1, 1, 1})
+	WriteFrame(&buf, MsgPull, []byte{2, 2, 2, 2})
+	fr := NewFrameReader(&buf)
+	_, first, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != 1 {
+		t.Fatalf("first payload %v", first)
+	}
+	_, second, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0] != 2 {
+		t.Fatalf("second payload %v", second)
+	}
+	if &first[0] != &second[0] {
+		t.Error("scratch buffer not reused between equal-size frames")
+	}
+}
+
+func TestParseWireSetIntoReuse(t *testing.T) {
+	wires := [][]byte{{1, 2, 3}, nil, {4, 5}}
+	enc := AppendWireSet(nil, wires)
+	scratch := make([][]byte, 0, 8)
+	dec, n, err := ParseWireSetInto(scratch, enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("parse: %v, consumed %d of %d", err, n, len(enc))
+	}
+	if len(dec) != 3 || dec[1] != nil || !bytes.Equal(dec[0], []byte{1, 2, 3}) || !bytes.Equal(dec[2], []byte{4, 5}) {
+		t.Fatalf("content: %v", dec)
+	}
+	if cap(dec) != cap(scratch) {
+		t.Error("scratch backing array not reused")
+	}
+	// A stale longer scratch must not leak old entries.
+	stale := [][]byte{{9}, {9}, {9}, {9}}
+	enc2 := AppendWireSet(nil, [][]byte{nil, {7}})
+	dec2, _, err := ParseWireSetInto(stale, enc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec2) != 2 || dec2[0] != nil || !bytes.Equal(dec2[1], []byte{7}) {
+		t.Fatalf("stale scratch leaked: %v", dec2)
+	}
+}

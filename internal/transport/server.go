@@ -37,9 +37,11 @@ func (s *Server) TrafficBytes() (push, pull int64) {
 }
 
 type workerConn struct {
-	id int
-	rw *bufio.ReadWriter
-	c  net.Conn
+	id    int
+	rw    *bufio.ReadWriter
+	fr    *FrameReader // per-connection frame reader with recycled scratch
+	wires [][]byte     // parsed push set, slice headers recycled each step
+	c     net.Conn
 }
 
 // Serve accepts the configured number of workers, runs the step loop to
@@ -60,7 +62,8 @@ func (s *Server) Serve() error {
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		rw := bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
-		t, payload, err := ReadFrame(rw)
+		fr := NewFrameReader(rw)
+		t, payload, err := fr.ReadFrame()
 		if err != nil {
 			c.Close()
 			return fmt.Errorf("transport: hello: %w", err)
@@ -75,13 +78,16 @@ func (s *Server) Serve() error {
 			return fmt.Errorf("transport: bad or duplicate worker id %d", id)
 		}
 		seen[id] = true
-		conns = append(conns, &workerConn{id: id, rw: rw, c: c})
+		conns = append(conns, &workerConn{id: id, rw: rw, fr: fr, c: c})
 	}
 
+	var pullBuf []byte // pull payload, rebuilt in place each step
 	for step := 0; step < s.steps; step++ {
 		s.ps.BeginStep()
 		for _, wc := range conns {
-			t, payload, err := ReadFrame(wc.rw)
+			// The payload aliases the connection's scratch; it is fully
+			// consumed (decoded into the ps server) before the next read.
+			t, payload, err := wc.fr.ReadFrame()
 			if err != nil {
 				return fmt.Errorf("transport: step %d push from worker %d: %w", step, wc.id, err)
 			}
@@ -99,10 +105,11 @@ func (s *Server) Serve() error {
 			if gotStep != step {
 				return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
 			}
-			wires, _, err := ParseWireSet(payload[8:])
+			wires, _, err := ParseWireSetInto(wc.wires, payload[8:])
 			if err != nil {
 				return fmt.Errorf("transport: step %d worker %d: %w", step, id, err)
 			}
+			wc.wires = wires
 			if _, err := s.ps.AddPush(id, wires); err != nil {
 				return err
 			}
@@ -115,9 +122,10 @@ func (s *Server) Serve() error {
 		if err != nil {
 			return err
 		}
-		payload := make([]byte, 4, 4+ps.WireBytes(pull)+4*len(pull))
-		le.PutUint32(payload, uint32(step))
-		payload = AppendWireSet(payload, pull)
+		pullBuf = append(pullBuf[:0], 0, 0, 0, 0)
+		le.PutUint32(pullBuf, uint32(step))
+		payload := AppendWireSet(pullBuf, pull)
+		pullBuf = payload
 		for _, wc := range conns {
 			if err := WriteFrame(wc.rw, MsgPull, payload); err != nil {
 				return fmt.Errorf("transport: step %d pull to worker %d: %w", step, wc.id, err)
