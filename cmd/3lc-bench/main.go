@@ -6,6 +6,7 @@
 //	3lc-bench -exp fig4            # Figure 4: time/accuracy @ 10 Mbps
 //	3lc-bench -exp fig7            # Figure 7: loss/accuracy series
 //	3lc-bench -exp fig9            # Figure 9: bits per state change series
+//	3lc-bench -exp shard           # sharded-PS scaling: shard count x codec
 //	3lc-bench -exp all             # everything
 //
 // Runs are cached within a single invocation, so "-exp all" reuses the
@@ -15,9 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"threelc/internal/compress"
@@ -29,9 +33,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | all")
+		exp     = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | all")
 		steps   = flag.Int("steps", 0, "override standard training steps (default from suite)")
 		workers = flag.Int("workers", 0, "override worker count")
+		shards  = flag.String("shards", "1,2,4", "comma-separated shard counts for -exp shard")
 		resnet  = flag.Bool("resnet", false, "use the MicroResNet workload instead of the MLP")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
 		every   = flag.Int("series-every", 10, "subsampling interval for printed series")
@@ -96,6 +101,33 @@ func main() {
 			experiments.PrintArchitectureContrast(os.Stdout, rows)
 		case "codec":
 			codecBench(os.Stdout)
+		case "shard":
+			counts, err := parseShardCounts(*shards)
+			if err != nil {
+				return err
+			}
+			var progress io.Writer
+			if !*quiet {
+				progress = os.Stderr
+			}
+			w := 2
+			if *workers > 0 {
+				w = *workers
+			}
+			st := 6
+			if *steps > 0 {
+				st = *steps
+			}
+			rows, err := experiments.ShardScaling(experiments.ShardScalingDesigns(), counts, w, st, progress)
+			if err != nil {
+				return err
+			}
+			experiments.PrintShardScaling(os.Stdout, rows)
+			if err := writeCSV("shard.csv", func(w *os.File) error {
+				return experiments.WriteShardScalingCSV(w, rows)
+			}); err != nil {
+				return err
+			}
 		case "gradstats":
 			rows, err := experiments.GradientStatistics(suite, 1.0, 25)
 			if err != nil {
@@ -169,7 +201,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shard"}
 	} else {
 		names = []string{*exp}
 	}
@@ -179,6 +211,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseShardCounts parses the -shards flag ("1,2,4") into shard counts.
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want positive integers, e.g. -shards 1,2,4)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-shards lists no counts")
+	}
+	return out, nil
 }
 
 // codecBench is a quick in-process measurement of the zero-allocation

@@ -6,6 +6,12 @@
 // bytes that crossed the network.
 //
 //	3lc-net -design 3lc -sparsity 1.75 -workers 4 -steps 50
+//	3lc-net -design 3lc -workers 4 -steps 50 -shards 2   # sharded PS tier
+//
+// With -shards N > 1 the model's tensors are partitioned across N
+// parameter-server shards (each with its own listener and codec
+// contexts) and every worker holds one multiplexed connection per shard,
+// pushing and pulling against all of them concurrently.
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +29,7 @@ import (
 	"threelc/internal/nn"
 	"threelc/internal/opt"
 	"threelc/internal/ps"
+	"threelc/internal/shard"
 	"threelc/internal/tensor"
 	"threelc/internal/transport"
 )
@@ -33,6 +42,7 @@ func main() {
 		steps      = flag.Int("steps", 50, "training steps")
 		batch      = flag.Int("batch", 16, "per-worker batch size")
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
+		shards     = flag.Int("shards", 1, "parameter-server shard count; shard s listens on -addr's port + s (each shard gets its own listener; workers multiplex)")
 	)
 	flag.Parse()
 
@@ -65,17 +75,86 @@ func main() {
 		Optimizer:        opt.TunedSGDConfig(*workers, *steps),
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "3lc-net:", err)
-		os.Exit(1)
+	if *shards < 1 {
+		*shards = 1
 	}
-	fmt.Printf("parameter server listening on %s\n", ln.Addr())
-
 	global := build()
-	server := transport.NewServer(ln, ps.NewServer(global, psCfg), *workers, *steps)
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- server.Serve() }()
+
+	// trafficFn reports (push, pull) bytes summed over the server tier.
+	var trafficFn func() (int64, int64)
+	addrs := make([]string, *shards)
+	serveErr := make(chan error, *shards)
+	if *shards > 1 {
+		// One listener per shard; workers hold one multiplexed connection
+		// to each. Shard s binds -addr's port + s (kernel-assigned ports
+		// when the requested port is 0).
+		host, portStr, err := net.SplitHostPort(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "3lc-net: bad -addr %q: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		basePort, err := strconv.Atoi(portStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "3lc-net: bad -addr port %q: %v\n", portStr, err)
+			os.Exit(1)
+		}
+		asn := shard.ForModel(global, *shards)
+		// Split the codec-pool budget across the concurrently-serving
+		// shards so the tier as a whole stays within GOMAXPROCS (the same
+		// division train.Run's sharded branch applies).
+		shardCfg := psCfg
+		shardCfg.Parallelism = runtime.GOMAXPROCS(0) / *shards
+		if shardCfg.Parallelism < 1 {
+			shardCfg.Parallelism = 1
+		}
+		subs := shard.SubServers(global, shardCfg, asn)
+		srvs := make([]*transport.ShardServer, *shards)
+		for s := 0; s < *shards; s++ {
+			port := "0"
+			if basePort != 0 {
+				port = strconv.Itoa(basePort + s)
+			}
+			ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "3lc-net:", err)
+				os.Exit(1)
+			}
+			addrs[s] = ln.Addr().String()
+			fmt.Printf("parameter-server shard %d/%d listening on %s (%d tensors)\n",
+				s, *shards, ln.Addr(), len(asn.Tensors(s)))
+			srvs[s] = transport.NewShardServer(ln, subs[s], transport.ShardServerConfig{
+				Shard:          s,
+				NumShards:      *shards,
+				Workers:        *workers,
+				Steps:          *steps,
+				AssignmentHash: asn.Hash(),
+			})
+			go func(s int) { serveErr <- srvs[s].Serve() }(s)
+		}
+		trafficFn = func() (int64, int64) {
+			var push, pull int64
+			for _, srv := range srvs {
+				p, q := srv.TrafficBytes()
+				push += p
+				pull += q
+			}
+			return push, pull
+		}
+	} else {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net:", err)
+			os.Exit(1)
+		}
+		addrs[0] = ln.Addr().String()
+		fmt.Printf("parameter server listening on %s\n", ln.Addr())
+		server := transport.NewServer(ln, ps.NewServer(global, psCfg), *workers, *steps)
+		go func() { serveErr <- server.Serve() }()
+		trafficFn = server.TrafficBytes
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -93,7 +172,18 @@ func main() {
 				firstWorker = worker
 				mu.Unlock()
 			}
-			client, err := transport.Dial(ln.Addr().String(), w)
+			var client interface {
+				PushPull(step int, wires [][]byte) ([][]byte, error)
+				Close() error
+			}
+			var err error
+			if *shards > 1 {
+				// Each worker derives the placement from its own replica;
+				// the handshake hash certifies it matches the server tier.
+				client, err = transport.DialSharded(addrs, w, shard.ForModel(m, *shards))
+			} else {
+				client, err = transport.Dial(addrs[0], w)
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "3lc-net worker:", err)
 				os.Exit(1)
@@ -121,9 +211,11 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
-	if err := <-serveErr; err != nil {
-		fmt.Fprintln(os.Stderr, "3lc-net server:", err)
-		os.Exit(1)
+	for s := 0; s < *shards; s++ {
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net server:", err)
+			os.Exit(1)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -140,7 +232,7 @@ func main() {
 		}
 	}
 
-	push, pull := server.TrafficBytes()
+	push, pull := trafficFn()
 	fmt.Printf("completed %d steps x %d workers over TCP in %v\n", *steps, *workers, elapsed.Round(time.Millisecond))
 	fmt.Printf("test accuracy:    %.2f%%\n", 100*float64(correct)/float64(testSet.Len()))
 	fmt.Printf("push bytes:       %d (received by server)\n", push)

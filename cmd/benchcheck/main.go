@@ -1,0 +1,237 @@
+// Command benchcheck parses `go test -bench` output, enforces allocation
+// budgets on steady-state benchmarks, and emits a machine-readable JSON
+// summary for the CI perf trajectory. It replaces grep-based bench gating:
+// the parser understands the benchmark line format, so a renamed benchmark
+// or a silently empty run fails the gate instead of slipping through.
+//
+//	go test -run='^$' -bench . -benchmem ./... | benchcheck \
+//	    -zero-allocs 'CompressInto|SteadyStatePushPull' -out BENCH_ci.json
+//
+// Rules:
+//   - Benchmarks matching -zero-allocs must report an allocs/op metric
+//     (i.e. the run used -benchmem) and it must be exactly 0.
+//   - -zero-allocs must match at least one parsed benchmark, so the gate
+//     cannot be emptied by a rename.
+//   - Any `--- FAIL` or `FAIL` line in the input fails the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS suffix,
+	// e.g. "BenchmarkSteadyStatePushPull-8".
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op value.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is B/op; -1 when the run lacked -benchmem.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is allocs/op; -1 when the run lacked -benchmem.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom metrics (unit -> value), e.g. "MB/s".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the JSON artifact schema.
+type Report struct {
+	// Benchmarks are all parsed results, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// ZeroAllocPattern is the enforced steady-state pattern.
+	ZeroAllocPattern string `json:"zero_alloc_pattern,omitempty"`
+	// Violations lists benchmarks that failed the allocation gate.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   [metrics...]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// Parse reads `go test -bench` output and returns the benchmark results
+// plus whether the stream contained test failures.
+func Parse(r io.Reader) ([]Benchmark, bool, error) {
+	var out []Benchmark
+	failed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "--- FAIL") || trimmed == "FAIL" || strings.HasPrefix(trimmed, "FAIL\t") {
+			failed = true
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+		fields := strings.Fields(m[3])
+		// Metrics come in value/unit pairs: "456 ns/op 0 B/op 0 allocs/op
+		// 12.5 MB/s".
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					b.NsPerOp = v
+				}
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					b.BytesPerOp = v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					b.AllocsPerOp = v
+				}
+			default:
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					if b.Extra == nil {
+						b.Extra = map[string]float64{}
+					}
+					b.Extra[unit] = v
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out, failed, sc.Err()
+}
+
+// Check applies the zero-allocation gate and returns the violations.
+func Check(benches []Benchmark, zeroAllocs *regexp.Regexp) []string {
+	if zeroAllocs == nil {
+		return nil
+	}
+	var violations []string
+	matched := 0
+	for _, b := range benches {
+		if !zeroAllocs.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		switch {
+		case b.AllocsPerOp < 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: no allocs/op metric (run the benchmark with -benchmem)", b.Name))
+		case b.AllocsPerOp > 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: %d allocs/op, steady state must be 0", b.Name, b.AllocsPerOp))
+		}
+	}
+	if matched == 0 {
+		violations = append(violations,
+			fmt.Sprintf("pattern %q matched no benchmarks — renamed or missing steady-state benches empty the gate", zeroAllocs))
+	}
+	return violations
+}
+
+// CheckRequired verifies each comma-separated pattern individually matches
+// at least one benchmark. The -zero-allocs alternation alone cannot tell a
+// complete run from one where a whole package's benchmarks went missing
+// (crashed, renamed, filtered out): any single alternative satisfies it.
+func CheckRequired(benches []Benchmark, patterns string) []string {
+	var violations []string
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("bad -require pattern %q: %v", pat, err))
+			continue
+		}
+		found := false
+		for _, b := range benches {
+			if re.MatchString(b.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			violations = append(violations,
+				fmt.Sprintf("required benchmark %q missing from input (crashed or renamed?)", pat))
+		}
+	}
+	return violations
+}
+
+func main() {
+	var (
+		in         = flag.String("in", "", "bench output file (default: stdin)")
+		out        = flag.String("out", "", "write JSON report to this file (e.g. BENCH_ci.json)")
+		zeroAlloc  = flag.String("zero-allocs", "", "regexp of steady-state benchmarks that must report 0 allocs/op")
+		require    = flag.String("require", "", "comma-separated regexps; each must match at least one benchmark")
+		requireAny = flag.Bool("require-benchmarks", true, "fail when the input contains no benchmark lines at all")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	benches, failed, err := Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: read:", err)
+		os.Exit(2)
+	}
+
+	var zre *regexp.Regexp
+	if *zeroAlloc != "" {
+		zre, err = regexp.Compile(*zeroAlloc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck: bad -zero-allocs pattern:", err)
+			os.Exit(2)
+		}
+	}
+	violations := Check(benches, zre)
+	violations = append(violations, CheckRequired(benches, *require)...)
+	if *requireAny && len(benches) == 0 {
+		violations = append(violations, "input contains no benchmark result lines")
+	}
+	if failed {
+		violations = append(violations, "input contains go test FAIL lines")
+	}
+
+	rep := Report{Benchmarks: benches, ZeroAllocPattern: *zeroAlloc, Violations: violations}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("benchcheck: %d benchmarks parsed\n", len(benches))
+	for _, v := range violations {
+		fmt.Println("benchcheck: FAIL:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}

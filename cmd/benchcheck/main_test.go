@@ -1,0 +1,115 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: threelc/internal/compress
+cpu: some cpu
+BenchmarkCompressInto3LC-8   	     100	    123456 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCompressIntoInt8-8  	     200	     65432 ns/op	  33.95 MB/s	       0 B/op	       0 allocs/op
+BenchmarkAllocatesALot-8     	      50	    999999 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkNoMemFlag-8         	     300	      1111 ns/op
+PASS
+ok  	threelc/internal/compress	1.234s
+`
+
+func TestParse(t *testing.T) {
+	benches, failed, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("sample has no FAIL lines")
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkCompressInto3LC-8" || b.Iterations != 100 ||
+		b.NsPerOp != 123456 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("bench 0 parsed as %+v", b)
+	}
+	if got := benches[1].Extra["MB/s"]; got != 33.95 {
+		t.Errorf("custom metric MB/s = %v, want 33.95", got)
+	}
+	if benches[2].AllocsPerOp != 12 {
+		t.Errorf("allocs = %d, want 12", benches[2].AllocsPerOp)
+	}
+	if benches[3].AllocsPerOp != -1 || benches[3].BytesPerOp != -1 {
+		t.Errorf("missing -benchmem must parse as -1, got %+v", benches[3])
+	}
+}
+
+func TestParseDetectsFailures(t *testing.T) {
+	for _, in := range []string{
+		"--- FAIL: TestX (0.01s)\n",
+		"FAIL\n",
+		"FAIL\tthreelc/internal/ps\t0.1s\n",
+	} {
+		if _, failed, _ := Parse(strings.NewReader(in)); !failed {
+			t.Errorf("input %q not flagged as failed", in)
+		}
+	}
+	if _, failed, _ := Parse(strings.NewReader("PASS\nok x 1s\n")); failed {
+		t.Error("passing input flagged as failed")
+	}
+}
+
+func TestCheckZeroAllocGate(t *testing.T) {
+	benches, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v := Check(benches, regexp.MustCompile("CompressInto")); len(v) != 0 {
+		t.Errorf("clean steady-state benches violated: %v", v)
+	}
+	// An allocating bench under the pattern must violate.
+	if v := Check(benches, regexp.MustCompile("CompressInto|AllocatesALot")); len(v) != 1 ||
+		!strings.Contains(v[0], "12 allocs/op") {
+		t.Errorf("allocating bench not caught: %v", v)
+	}
+	// A bench without -benchmem data cannot prove the property.
+	if v := Check(benches, regexp.MustCompile("NoMemFlag")); len(v) != 1 ||
+		!strings.Contains(v[0], "-benchmem") {
+		t.Errorf("missing allocs metric not caught: %v", v)
+	}
+	// The gate must not silently match nothing.
+	if v := Check(benches, regexp.MustCompile("Renamed")); len(v) != 1 ||
+		!strings.Contains(v[0], "matched no benchmarks") {
+		t.Errorf("empty match not caught: %v", v)
+	}
+	// No pattern, no gate.
+	if v := Check(benches, nil); v != nil {
+		t.Errorf("nil pattern produced violations: %v", v)
+	}
+}
+
+func TestCheckRequired(t *testing.T) {
+	benches, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckRequired(benches, "CompressInto3LC,CompressIntoInt8, NoMemFlag"); len(v) != 0 {
+		t.Errorf("present benches reported missing: %v", v)
+	}
+	// Each missing pattern is its own violation: a crashed package cannot
+	// hide behind the other packages' benchmarks.
+	v := CheckRequired(benches, "CompressInto,SteadyStatePushPull,Quartic")
+	if len(v) != 2 ||
+		!strings.Contains(v[0], "SteadyStatePushPull") ||
+		!strings.Contains(v[1], "Quartic") {
+		t.Errorf("missing benches not each reported: %v", v)
+	}
+	if v := CheckRequired(benches, "["); len(v) != 1 || !strings.Contains(v[0], "bad -require pattern") {
+		t.Errorf("bad pattern not reported: %v", v)
+	}
+	if v := CheckRequired(benches, ""); v != nil {
+		t.Errorf("empty -require produced violations: %v", v)
+	}
+}

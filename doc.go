@@ -27,15 +27,37 @@
 //	internal/opt         momentum SGD + cosine decay + warmup
 //	internal/netsim      bandwidth-emulating virtual cluster
 //	internal/ps          parameter-server runtime (push/pull, shared pulls,
-//	                     recycled wire buffers, bounded parallel codecs)
+//	                     recycled wire buffers, bounded parallel codecs,
+//	                     param-subset sub-servers for sharding)
+//	internal/shard       sharded parameter-server tier: deterministic
+//	                     tensor→shard placement (size-balanced bin packing
+//	                     with a consistent-hash fallback) and the async
+//	                     push/pull pipeline
 //	internal/transport   framed TCP transport (coalesced single-write
-//	                     frames, per-connection read scratch)
+//	                     frames, per-connection read scratch), plus the
+//	                     versioned shard-aware v2 framing and multiplexed
+//	                     per-shard connections
 //	internal/train       distributed training driver + metrics
 //	internal/experiments per-table/figure reproduction harness
 //
+// The sharded tier (internal/shard) partitions the model's tensors across
+// N parameter-server shards, each running the zero-allocation codec pool
+// on its own goroutine behind a bounded request queue. The pipeline knobs
+// are shard.Config: QueueDepth (per-shard outstanding-request budget),
+// Window (the driver's in-flight request window), and Timeout/Retries
+// (straggler-aware enqueue retry with exponential backoff; only failed
+// enqueues are retried, so requests stay exactly-once and ordered).
+// Placement is deterministic
+// (shard.Assign: size-balanced LPT packing, consistent-hash ring when
+// sizes are unknown) and the sharded tier's model state stays
+// byte-identical to the single server's for every codec. train.Config's
+// Shards knob routes a simulated run through the tier; transport's
+// ShardServer/ShardClient run it over real sockets.
+//
 // Binaries: cmd/3lc-bench (regenerate every table and figure, plus the
-// `-exp codec` pipeline micro-benchmark), cmd/3lc-train (single training
-// run), cmd/3lc-net (training over real TCP), cmd/3lc-compress (codec
-// demo). Runnable examples are under examples/. See README.md for a
-// quickstart.
+// `-exp codec` pipeline micro-benchmark and the `-exp shard` shard-
+// scaling sweep), cmd/3lc-train (single training run), cmd/3lc-net
+// (training over real TCP), cmd/3lc-compress (codec demo), and
+// cmd/benchcheck (CI benchmark parser/gate). Runnable examples are under
+// examples/. See README.md for a quickstart.
 package threelc

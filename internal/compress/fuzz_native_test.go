@@ -1,0 +1,33 @@
+package compress
+
+import (
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+// FuzzDecompressInto is the native fuzz entry point for the decoder
+// registry (the deterministic corruption sweep in fuzz_test.go runs under
+// plain `go test`; this target lets the fuzz engine search beyond it).
+// Every registered decoder sits behind the first wire byte, so a single
+// target covers the whole registry. Decoders operate on untrusted network
+// bytes: any input may error, none may panic — in any destination shape,
+// since a sharded tier can route a wire to a mismatched tensor slot.
+func FuzzDecompressInto(f *testing.F) {
+	shape := []int{257}
+	rng := tensor.NewRNG(99)
+	in := tensor.New(shape[0])
+	tensor.FillNormal(in, 0.1, rng)
+	for _, sc := range fuzzSchemes {
+		f.Add(New(sc.s, shape, sc.o).Compress(in))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	matched := tensor.New(shape[0])
+	mismatched := tensor.New(64)
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		_ = DecompressInto(wire, matched)    // errors fine, panics are not
+		_ = DecompressInto(wire, mismatched) // wrong-shape slot must error, not panic
+	})
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"threelc/internal/train"
+)
+
+func TestShardScalingRows(t *testing.T) {
+	rows, err := ShardScaling([]train.Design{DesignInt8}, []int{1, 2}, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	one, two := rows[0], rows[1]
+	if one.Shards != 1 || two.Shards != 2 {
+		t.Fatalf("shard counts %d, %d", one.Shards, two.Shards)
+	}
+	if one.StepsPerSec <= 0 || two.StepsPerSec <= 0 || one.WireMBPerSec <= 0 {
+		t.Errorf("non-positive throughput: %+v %+v", one, two)
+	}
+	if one.Speedup != 1 {
+		t.Errorf("1-shard speedup = %v, want 1", one.Speedup)
+	}
+	if two.Speedup <= 0 {
+		t.Errorf("2-shard speedup = %v, want > 0", two.Speedup)
+	}
+	// Dividing aggregate traffic across 2 server NICs must not make the
+	// communication-bound virtual step slower.
+	if two.VirtualStepMs > one.VirtualStepMs*1.001 {
+		t.Errorf("virtual step grew with shards: %v -> %v ms", one.VirtualStepMs, two.VirtualStepMs)
+	}
+}

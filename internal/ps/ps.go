@@ -177,14 +177,41 @@ type Server struct {
 // NewServer wraps the global model. The model's current parameters become
 // the initial global state.
 func NewServer(model *nn.Model, cfg Config) *Server {
+	s := newServer(model.Params(), nil, cfg)
+	s.Model = model
+	return s
+}
+
+// NewSubServer builds a server over a subset of a model's parameters — one
+// shard of a horizontally partitioned parameter-server tier (package
+// shard). globalIdx[i] is the index params[i] has in the full model's
+// parameter list; compression contexts are seeded by that global index, so
+// the union of all shards' pull wires is byte-identical to what a single
+// NewServer over the whole model would produce. The optimizer is applied
+// per shard; because SGD state (velocity, schedule step) has no
+// cross-tensor coupling, the per-shard updates equal the single-server
+// ones exactly. Model is nil on a sub-server.
+func NewSubServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
+	if len(globalIdx) != len(params) {
+		panic(fmt.Sprintf("ps: %d params but %d global indices", len(params), len(globalIdx)))
+	}
+	return newServer(params, globalIdx, cfg)
+}
+
+// newServer is the shared constructor: globalIdx == nil means the identity
+// mapping (full-model server).
+func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 	s := &Server{
-		Model:     model,
 		cfg:       cfg,
 		optimizer: opt.NewSGD(cfg.Optimizer),
-		params:    model.Params(),
+		params:    params,
 	}
-	for i, p := range s.params {
-		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(i), len(s.params))) // "SERVER"
+	for i, p := range params {
+		gi := i
+		if globalIdx != nil {
+			gi = globalIdx[i]
+		}
+		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(gi), len(s.params))) // "SERVER"
 		s.gradSum = append(s.gradSum, tensor.New(p.W.Shape()...))
 		s.prevW = append(s.prevW, tensor.New(p.W.Shape()...))
 		s.delta = append(s.delta, tensor.New(p.W.Shape()...))

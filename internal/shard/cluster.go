@@ -1,0 +1,441 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"threelc/internal/nn"
+	"threelc/internal/ps"
+)
+
+// Config tunes the sharded tier and its asynchronous push/pull pipeline.
+type Config struct {
+	// Shards is the parameter-server shard count. Zero or one means a
+	// single shard (still running behind the async pipeline, so the two
+	// paths share every line of code).
+	Shards int
+	// QueueDepth is the per-shard outstanding-request budget: how many
+	// begin/push/finish requests a shard may have queued before the
+	// pipeline applies backpressure. Zero means DefaultQueueDepth.
+	QueueDepth int
+	// Window caps how many per-shard requests one driver call keeps in
+	// flight simultaneously (the async pipeline's in-flight window). Zero
+	// means "all shards at once".
+	Window int
+	// Timeout is how long one enqueue attempt waits on a saturated shard
+	// queue before the straggler-retry logic kicks in. Zero means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Retries is how many times a timed-out enqueue is retried, each
+	// attempt waiting twice as long as the last (a straggling shard —
+	// e.g. one lagging under stale-synchronous emulation — usually just
+	// needs more time; a dead one should fail fast). Zero means
+	// DefaultRetries.
+	Retries int
+	// Assignment overrides the tensor placement. Nil computes the default
+	// size-balanced packing (Assign) over the model's tensors.
+	Assignment *Assignment
+	// SlowShard, if non-nil, is invoked by shard s's service goroutine
+	// before it processes each step's first request — a test hook that
+	// emulates a straggling shard so the timeout+retry path is exercised
+	// deterministically.
+	SlowShard func(shard, step int)
+}
+
+// Pipeline defaults.
+const (
+	DefaultQueueDepth = 16
+	DefaultTimeout    = 5 * time.Second
+	DefaultRetries    = 3
+)
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c Config) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return DefaultRetries
+}
+
+// Cluster is a sharded parameter-server tier over one global model: shard
+// s owns the tensors Assignment.Tensors(s), runs a ps sub-server (with the
+// zero-allocation codec pool) for them on its own service goroutine, and
+// receives work through a bounded request queue. The driver API mirrors
+// ps.Server — BeginStep / AddPush / FinishStep — so the training loop can
+// switch between the single server and the sharded tier freely:
+//
+//   - BeginStep and AddPush are asynchronous: they enqueue per-shard
+//     requests (splitting each worker's wire set by placement) and return
+//     without waiting for the shards to process them. Shards therefore
+//     decode worker w's push while the driver is still enqueuing worker
+//     w+1's — the push pipeline.
+//   - FinishStep is the step barrier: it waits for every shard to drain
+//     its queue, apply its optimizer slice, and compress its pull wires,
+//     then reassembles the shards' pulls into the full-model wire set.
+//
+// Determinism: pushes are enqueued in worker order and each shard services
+// its queue FIFO, so per-tensor gradient accumulation happens in exactly
+// the order the single server uses — the sharded model state is
+// byte-identical to the single-PS state for every codec (the equivalence
+// tests pin this). The straggler retry in send() only re-attempts enqueues
+// that did NOT succeed, so every request reaches its shard at most once
+// and in driver order; retries can delay a step but never reorder or
+// duplicate work within it.
+//
+// Like ps.Server, a Cluster's driver methods are not safe for concurrent
+// use; the concurrency lives behind the queues.
+type Cluster struct {
+	asn   Assignment
+	cfg   Config
+	nodes []*node
+	param int // full-model tensor count
+
+	step  int
+	pull  [][]byte // reassembled full pull set, recycled across steps
+	sem   chan struct{}
+	began bool
+}
+
+// node is one shard: a ps sub-server plus its service goroutine state.
+type node struct {
+	id  int
+	srv *ps.Server
+	idx []int // global tensor indices owned, ascending
+
+	reqs chan request
+	subs sync.Pool // *[]([]byte) scratch for split wire sets
+
+	// Service-goroutine state (touched only by run()).
+	step      int
+	decodeDur time.Duration
+	err       error
+	slow      func(shard, step int)
+}
+
+type reqKind uint8
+
+const (
+	reqBegin reqKind = iota + 1
+	reqPush
+	reqFinish
+)
+
+type request struct {
+	kind   reqKind
+	step   int
+	worker int
+	wires  *[][]byte   // sub wire set (reqPush); returned to the node pool after use
+	done   chan result // reqFinish only
+}
+
+type result struct {
+	pulls [][]byte
+	dur   time.Duration
+	err   error
+}
+
+// NewCluster builds the sharded tier over model. The placement defaults to
+// size-balanced packing of the model's tensors (by byte size) across
+// cfg.Shards shards; psCfg configures each shard's codec and optimizer
+// exactly as it would a single ps.Server. Callers must Close the cluster
+// to stop the shard goroutines.
+func NewCluster(model *nn.Model, psCfg ps.Config, cfg Config) *Cluster {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	params := model.Params()
+	asn := defaultAssignment(params, cfg)
+	if err := asn.Validate(len(params)); err != nil {
+		panic(err)
+	}
+
+	c := &Cluster{asn: asn, cfg: cfg, param: len(params)}
+	c.pull = make([][]byte, len(params))
+	window := cfg.Window
+	if window <= 0 || window > cfg.Shards {
+		window = cfg.Shards
+	}
+	c.sem = make(chan struct{}, window)
+
+	for s := 0; s < cfg.Shards; s++ {
+		idx := asn.Tensors(s)
+		sub := make([]*nn.Param, len(idx))
+		for k, gi := range idx {
+			sub[k] = params[gi]
+		}
+		n := &node{
+			id:   s,
+			srv:  ps.NewSubServer(sub, idx, psCfg),
+			idx:  idx,
+			reqs: make(chan request, cfg.queueDepth()),
+			slow: cfg.SlowShard,
+		}
+		n.subs.New = func() any {
+			b := make([][]byte, len(idx))
+			return &b
+		}
+		c.nodes = append(c.nodes, n)
+		go n.run()
+	}
+	return c
+}
+
+// defaultAssignment resolves cfg.Assignment or computes the size-balanced
+// default over the model's tensor byte sizes.
+func defaultAssignment(params []*nn.Param, cfg Config) Assignment {
+	if cfg.Assignment != nil {
+		return *cfg.Assignment
+	}
+	names := make([]string, len(params))
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+		sizes[i] = p.W.Len() * 4
+	}
+	return Assign(names, sizes, cfg.Shards)
+}
+
+// ForModel computes the default (size-balanced, deterministic) placement
+// of model's tensors across `shards` shards — the one NewCluster uses.
+// Workers and the server tier each call this on their own model replica
+// and arrive at the same placement; Assignment.Hash is exchanged in the
+// sharded transport handshake to verify that.
+func ForModel(model *nn.Model, shards int) Assignment {
+	return defaultAssignment(model.Params(), Config{Shards: shards})
+}
+
+// SubServers builds one ps sub-server per shard over model under the given
+// placement — the building blocks for a multi-process deployment where
+// each shard runs behind its own transport listener (transport.ShardServer).
+func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) []*ps.Server {
+	params := model.Params()
+	if err := asn.Validate(len(params)); err != nil {
+		panic(err)
+	}
+	out := make([]*ps.Server, asn.NumShards)
+	for s := range out {
+		idx := asn.Tensors(s)
+		sub := make([]*nn.Param, len(idx))
+		for k, gi := range idx {
+			sub[k] = params[gi]
+		}
+		out[s] = ps.NewSubServer(sub, idx, psCfg)
+	}
+	return out
+}
+
+// Assignment returns the tensor placement in use.
+func (c *Cluster) Assignment() Assignment { return c.asn }
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return c.asn.NumShards }
+
+// send enqueues req on shard n with the straggler timeout+retry policy:
+// each attempt waits twice as long as the previous, so a shard that is
+// merely slow (stale-sync lag, GC pause) gets absorbed while a wedged one
+// turns into an error after cfg.Retries attempts.
+func (c *Cluster) send(n *node, req request) error {
+	wait := c.cfg.timeout()
+	for attempt := 0; ; attempt++ {
+		select {
+		case n.reqs <- req:
+			return nil
+		default:
+		}
+		if attempt >= c.cfg.retries() {
+			return fmt.Errorf("shard: shard %d queue full after %d attempts (straggler exceeded retry budget)",
+				n.id, attempt+1)
+		}
+		t := time.NewTimer(wait)
+		select {
+		case n.reqs <- req:
+			t.Stop()
+			return nil
+		case <-t.C:
+			wait *= 2
+		}
+	}
+}
+
+// broadcast sends one request per shard (built by mk) with at most
+// `window` sends in flight, collecting the first error.
+func (c *Cluster) broadcast(mk func(n *node) request) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, n := range c.nodes {
+		c.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer func() { <-c.sem; wg.Done() }()
+			errs[i] = c.send(n, mk(n))
+		}(i, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// BeginStep starts a new training step on every shard (asynchronously).
+// A shard that cannot accept its begin request will also fail the step's
+// FinishStep barrier, where the error is returned — this method stays
+// error-free to keep the ps.Server driver shape.
+func (c *Cluster) BeginStep() {
+	c.step++
+	c.began = true
+	_ = c.broadcast(func(n *node) request {
+		return request{kind: reqBegin, step: c.step}
+	})
+}
+
+// AddPush splits one worker's full-model wire set by placement and
+// enqueues the per-shard sub-pushes, pipelined across shards under the
+// in-flight window. It returns as soon as every shard has accepted its
+// sub-request — decode work overlaps with the caller's next AddPush. The
+// returned duration is always zero (decode time is accounted on the
+// FinishStep critical path); the error reports enqueue failures
+// (exhausted straggler retries). Decode errors surface at FinishStep.
+//
+// The wires must stay valid until FinishStep returns: sub-requests alias
+// them.
+func (c *Cluster) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+	if len(wires) != c.param {
+		return 0, fmt.Errorf("shard: push has %d tensors, model has %d", len(wires), c.param)
+	}
+	if !c.began {
+		return 0, fmt.Errorf("shard: AddPush before BeginStep")
+	}
+	err := c.broadcast(func(n *node) request {
+		sp := n.subs.Get().(*[][]byte)
+		sub := (*sp)[:len(n.idx)]
+		for k, gi := range n.idx {
+			sub[k] = wires[gi]
+		}
+		*sp = sub
+		return request{kind: reqPush, step: c.step, worker: workerID, wires: sp}
+	})
+	return 0, err
+}
+
+// FinishStep is the step barrier: every shard drains its queue, averages
+// its gradients, applies its optimizer slice, and compresses its pull
+// wires; the shards' pulls are then reassembled into full-model tensor
+// order. The returned duration is the shard-tier critical path — the
+// slowest shard's decode + optimizer + pull-compress time — which is what
+// a real deployment's step time would include. The wire slices alias
+// shard-owned buffers recycled on that shard's next FinishStep (same
+// contract as ps.Server.FinishStep).
+func (c *Cluster) FinishStep() ([][]byte, time.Duration, error) {
+	if !c.began {
+		return nil, 0, fmt.Errorf("shard: FinishStep before BeginStep")
+	}
+	c.began = false
+	dones := make([]chan result, len(c.nodes))
+	err := c.broadcast(func(n *node) request {
+		done := make(chan result, 1)
+		dones[n.id] = done
+		return request{kind: reqFinish, step: c.step, done: done}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var critical time.Duration
+	errs := make([]error, 0, len(c.nodes))
+	for i := range c.pull {
+		c.pull[i] = nil
+	}
+	for s, done := range dones {
+		r := <-done
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		if r.dur > critical {
+			critical = r.dur
+		}
+		for k, gi := range c.nodes[s].idx {
+			c.pull[gi] = r.pulls[k]
+		}
+	}
+	if len(errs) > 0 {
+		return nil, 0, errors.Join(errs...)
+	}
+	return c.pull, critical, nil
+}
+
+// Close stops the shard service goroutines. The cluster must not be used
+// afterwards.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		close(n.reqs)
+	}
+}
+
+// run services one shard's request queue on a dedicated goroutine.
+func (n *node) run() {
+	for req := range n.reqs {
+		switch req.kind {
+		case reqBegin:
+			if n.slow != nil {
+				n.slow(n.id, req.step)
+			}
+			n.step = req.step
+			n.decodeDur = 0
+			n.err = nil
+			n.srv.BeginStep()
+		case reqPush:
+			n.push(req)
+		case reqFinish:
+			req.done <- n.finish(req)
+		}
+	}
+}
+
+// push applies one sub-push. The enqueue path delivers each request at
+// most once (send() only retries failed enqueues), so a push for the
+// wrong step can only mean a driver-ordering bug — surface it rather than
+// drop it silently.
+func (n *node) push(req request) {
+	defer n.subs.Put(req.wires)
+	if n.err != nil {
+		return
+	}
+	if req.step != n.step {
+		n.err = fmt.Errorf("shard %d: push for step %d during step %d", n.id, req.step, n.step)
+		return
+	}
+	d, err := n.srv.AddPush(req.worker, *req.wires)
+	n.decodeDur += d
+	if err != nil {
+		n.err = fmt.Errorf("shard %d: %w", n.id, err)
+	}
+}
+
+// finish completes the shard's step and reports its pulls and critical-
+// path duration.
+func (n *node) finish(req request) result {
+	if n.err != nil {
+		return result{err: n.err}
+	}
+	if req.step != n.step {
+		return result{err: fmt.Errorf("shard %d: finish for step %d during step %d", n.id, req.step, n.step)}
+	}
+	pulls, compDur, err := n.srv.FinishStep()
+	if err != nil {
+		return result{err: fmt.Errorf("shard %d: %w", n.id, err)}
+	}
+	return result{pulls: pulls, dur: n.decodeDur + compDur}
+}

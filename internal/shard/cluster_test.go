@@ -1,0 +1,340 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/ps"
+	"threelc/internal/tensor"
+)
+
+// allCodecs is one configuration per registered wire scheme — the
+// equivalence tests must hold for every codec, since each has its own
+// error-accumulation and seeding behavior.
+var allCodecs = []struct {
+	name string
+	s    compress.Scheme
+	o    compress.Options
+}{
+	{"float32", compress.SchemeNone, compress.Options{}},
+	{"int8", compress.SchemeInt8, compress.Options{}},
+	{"3lc", compress.SchemeThreeLC, compress.Options{Sparsity: 1.5, ZeroRun: true}},
+	{"stoch3", compress.SchemeStoch3QE, compress.Options{Seed: 9}},
+	{"mqe1bit", compress.SchemeMQE1Bit, compress.Options{}},
+	{"topk", compress.SchemeTopK, compress.Options{Fraction: 0.3, Seed: 9}},
+	{"localsteps", compress.SchemeLocalSteps, compress.Options{Interval: 2}},
+	{"roundrobin", compress.SchemeRoundRobin, compress.Options{Parts: 3}},
+}
+
+func TestAllCodecsCoverRegistry(t *testing.T) {
+	covered := map[compress.Scheme]bool{}
+	for _, c := range allCodecs {
+		covered[c.s] = true
+	}
+	for _, s := range compress.RegisteredSchemes() {
+		if !covered[s] {
+			t.Errorf("registered scheme %v has no sharded-equivalence coverage", s)
+		}
+	}
+}
+
+// stepServer is the driver-facing surface shared by ps.Server and Cluster.
+type stepServer interface {
+	BeginStep()
+	AddPush(workerID int, wires [][]byte) (time.Duration, error)
+	FinishStep() ([][]byte, time.Duration, error)
+}
+
+// runPS drives `steps` BSP steps of a small MLP against srv-built servers
+// and returns every step's pull wire set (deep-copied) plus the final
+// global weights.
+func runPS(t *testing.T, cfg ps.Config, steps, workers int,
+	mkServer func(global *nn.Model) stepServer) ([][][]byte, []float32) {
+	t.Helper()
+	const in, classes, batch = 12, 4, 6
+	build := func() *nn.Model { return nn.NewMLP(in, []int{16, 10}, classes, 7) }
+	global := build()
+	srv := mkServer(global)
+
+	ws := make([]*ps.Worker, workers)
+	rngs := make([]*tensor.RNG, workers)
+	for w := range ws {
+		m := build()
+		m.CopyParamsFrom(global)
+		ws[w] = ps.NewWorker(w, m, cfg)
+		rngs[w] = tensor.NewRNG(1000 + uint64(w))
+	}
+
+	var pullLog [][][]byte
+	for step := 0; step < steps; step++ {
+		srv.BeginStep()
+		wires := make([][][]byte, workers)
+		for w, wk := range ws {
+			x := tensor.New(batch, in)
+			tensor.FillNormal(x, 1, rngs[w])
+			labels := make([]int, batch)
+			for i := range labels {
+				labels[i] = (step + w + i) % classes
+			}
+			wk.Model.TrainStep(x, labels)
+			wires[w], _ = wk.CompressGrads()
+		}
+		for w := range ws {
+			if _, err := srv.AddPush(w, wires[w]); err != nil {
+				t.Fatalf("step %d push %d: %v", step, w, err)
+			}
+		}
+		pulls, _, err := srv.FinishStep()
+		if err != nil {
+			t.Fatalf("step %d finish: %v", step, err)
+		}
+		cp := make([][]byte, len(pulls))
+		for i, p := range pulls {
+			cp[i] = append([]byte(nil), p...)
+		}
+		pullLog = append(pullLog, cp)
+		for _, wk := range ws {
+			if _, err := wk.ApplyPull(pulls); err != nil {
+				t.Fatalf("step %d apply: %v", step, err)
+			}
+		}
+	}
+
+	var flat []float32
+	for _, p := range global.Params() {
+		flat = append(flat, p.W.Data()...)
+	}
+	return pullLog, flat
+}
+
+// TestShardedEquivalentToSinglePS is the end-to-end equivalence gate: for
+// every registered codec, a multi-shard cluster must produce byte-
+// identical pull wires every step and bit-identical final model state to
+// the single parameter server.
+func TestShardedEquivalentToSinglePS(t *testing.T) {
+	const steps, workers = 4, 3
+	for _, codec := range allCodecs {
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", codec.name, shards), func(t *testing.T) {
+				cfg := ps.Config{
+					Scheme:           codec.s,
+					Opts:             codec.o,
+					Workers:          workers,
+					MinCompressElems: 1,
+					Parallelism:      1,
+					Optimizer:        opt.DefaultSGDConfig(workers, steps),
+				}
+				singlePulls, singleW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
+					return ps.NewServer(g, cfg)
+				})
+				var cl *Cluster
+				shardPulls, shardW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
+					cl = NewCluster(g, cfg, Config{Shards: shards})
+					return cl
+				})
+				defer cl.Close()
+
+				for s := range singlePulls {
+					for i := range singlePulls[s] {
+						if !bytes.Equal(singlePulls[s][i], shardPulls[s][i]) {
+							t.Fatalf("step %d tensor %d: pull wires differ (%d vs %d bytes)",
+								s, i, len(singlePulls[s][i]), len(shardPulls[s][i]))
+						}
+					}
+				}
+				if len(singleW) != len(shardW) {
+					t.Fatalf("weight count mismatch: %d vs %d", len(singleW), len(shardW))
+				}
+				for i := range singleW {
+					if singleW[i] != shardW[i] {
+						t.Fatalf("final weight %d differs: %v vs %v", i, singleW[i], shardW[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterMoreShardsThanTensors exercises empty shards (the assignment
+// leaves high shard ids without tensors when the model is small).
+func TestClusterMoreShardsThanTensors(t *testing.T) {
+	cfg := ps.Config{
+		Scheme:           compress.SchemeThreeLC,
+		Opts:             compress.Options{Sparsity: 1.5, ZeroRun: true},
+		Workers:          2,
+		MinCompressElems: 1,
+		Parallelism:      1,
+		Optimizer:        opt.DefaultSGDConfig(2, 3),
+	}
+	_, singleW := runPS(t, cfg, 3, 2, func(g *nn.Model) stepServer { return ps.NewServer(g, cfg) })
+	var cl *Cluster
+	_, shardW := runPS(t, cfg, 3, 2, func(g *nn.Model) stepServer {
+		cl = NewCluster(g, cfg, Config{Shards: 32})
+		return cl
+	})
+	defer cl.Close()
+	for i := range singleW {
+		if singleW[i] != shardW[i] {
+			t.Fatalf("weight %d differs with 32 shards: %v vs %v", i, singleW[i], shardW[i])
+		}
+	}
+}
+
+// TestClusterStragglerRetryRecovers injects a per-step delay into one
+// shard so the enqueue path hits the timeout+retry logic, and checks the
+// run still completes with state identical to an undelayed single server —
+// retries and dedupe must not perturb accumulation order.
+func TestClusterStragglerRetryRecovers(t *testing.T) {
+	cfg := ps.Config{
+		Scheme:           compress.SchemeInt8,
+		Workers:          3,
+		MinCompressElems: 1,
+		Parallelism:      1,
+		Optimizer:        opt.DefaultSGDConfig(3, 3),
+	}
+	_, singleW := runPS(t, cfg, 3, 3, func(g *nn.Model) stepServer { return ps.NewServer(g, cfg) })
+	var cl *Cluster
+	_, shardW := runPS(t, cfg, 3, 3, func(g *nn.Model) stepServer {
+		cl = NewCluster(g, cfg, Config{
+			Shards:     2,
+			QueueDepth: 1,
+			Timeout:    2 * time.Millisecond,
+			Retries:    10,
+			SlowShard: func(shard, step int) {
+				if shard == 1 {
+					time.Sleep(15 * time.Millisecond)
+				}
+			},
+		})
+		return cl
+	})
+	defer cl.Close()
+	for i := range singleW {
+		if singleW[i] != shardW[i] {
+			t.Fatalf("weight %d differs under straggler retries: %v vs %v", i, singleW[i], shardW[i])
+		}
+	}
+}
+
+// TestClusterStragglerExceedsRetryBudget pins the failure mode: a shard
+// wedged for longer than the whole retry schedule turns into an error, not
+// a hang.
+func TestClusterStragglerExceedsRetryBudget(t *testing.T) {
+	cfg := ps.Config{
+		Scheme:           compress.SchemeInt8,
+		Workers:          2,
+		MinCompressElems: 1,
+		Parallelism:      1,
+		Optimizer:        opt.DefaultSGDConfig(2, 1),
+	}
+	global := nn.NewMLP(12, []int{16, 10}, 4, 7)
+	cl := NewCluster(global, cfg, Config{
+		Shards:     2,
+		QueueDepth: 1,
+		Timeout:    time.Millisecond,
+		Retries:    1,
+		SlowShard: func(shard, step int) {
+			if shard == 1 {
+				time.Sleep(200 * time.Millisecond)
+			}
+		},
+	})
+	defer cl.Close()
+
+	m := nn.NewMLP(12, []int{16, 10}, 4, 7)
+	m.CopyParamsFrom(global)
+	wk := ps.NewWorker(0, m, cfg)
+	rng := tensor.NewRNG(3)
+	x := tensor.New(6, 12)
+	tensor.FillNormal(x, 1, rng)
+	wk.Model.TrainStep(x, []int{0, 1, 2, 3, 0, 1})
+	wires, _ := wk.CompressGrads()
+
+	cl.BeginStep()
+	var firstErr error
+	for w := 0; w < 4 && firstErr == nil; w++ {
+		_, firstErr = cl.AddPush(0, wires)
+	}
+	if firstErr == nil {
+		_, _, firstErr = cl.FinishStep()
+	}
+	if firstErr == nil {
+		t.Fatal("wedged shard did not surface an error")
+	}
+	if !strings.Contains(firstErr.Error(), "straggler") {
+		t.Fatalf("error %q does not identify the straggler path", firstErr)
+	}
+}
+
+// TestClusterThroughputScalesWithShards measures aggregate push/pull
+// round-trip throughput at 1 vs 4 shards with each shard pinned to a
+// serial codec (modelling one single-core PS node per shard). Gated on
+// GOMAXPROCS>=4: on smaller hosts sharding cannot add CPU and the test
+// skips (the -exp shard bench prints the same measurement for eyeballing).
+func TestClusterThroughputScalesWithShards(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: shard scaling needs spare cores", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	const workers, steps = 2, 12
+	stepsPerSec := func(shards int) float64 {
+		cfg := ps.Config{
+			Scheme:           compress.SchemeThreeLC,
+			Opts:             compress.Options{Sparsity: 1.75, ZeroRun: true},
+			Workers:          workers,
+			MinCompressElems: 1,
+			Parallelism:      1,
+			Optimizer:        opt.DefaultSGDConfig(workers, steps),
+		}
+		global := nn.NewMLP(256, []int{512, 512, 512, 512}, 32, 7)
+		cl := NewCluster(global, cfg, Config{Shards: shards})
+		defer cl.Close()
+		wires := make([][][]byte, workers)
+		for w := 0; w < workers; w++ {
+			m := nn.NewMLP(256, []int{512, 512, 512, 512}, 32, 7)
+			m.CopyParamsFrom(global)
+			wk := ps.NewWorker(w, m, cfg)
+			rng := tensor.NewRNG(uint64(w) + 5)
+			x := tensor.New(4, 256)
+			tensor.FillNormal(x, 1, rng)
+			wk.Model.TrainStep(x, []int{0, 1, 2, 3})
+			wires[w], _ = wk.CompressGrads()
+		}
+		// Warm up buffer capacities, then measure.
+		for i := 0; i < 2; i++ {
+			cl.BeginStep()
+			for w := 0; w < workers; w++ {
+				cl.AddPush(w, wires[w])
+			}
+			if _, _, err := cl.FinishStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			cl.BeginStep()
+			for w := 0; w < workers; w++ {
+				cl.AddPush(w, wires[w])
+			}
+			if _, _, err := cl.FinishStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(steps) / time.Since(start).Seconds()
+	}
+	one := stepsPerSec(1)
+	four := stepsPerSec(4)
+	t.Logf("steps/sec: 1 shard %.1f, 4 shards %.1f (%.2fx)", one, four, four/one)
+	if four < 1.3*one {
+		t.Errorf("4-shard throughput %.1f steps/s is not >=1.3x the 1-shard %.1f", four, one)
+	}
+}

@@ -19,8 +19,17 @@ import (
 	"threelc/internal/nn"
 	"threelc/internal/opt"
 	"threelc/internal/ps"
+	"threelc/internal/shard"
 	"threelc/internal/tensor"
 )
+
+// stepServer is the driver-facing surface shared by the single parameter
+// server (ps.Server) and the sharded tier (shard.Cluster).
+type stepServer interface {
+	BeginStep()
+	AddPush(workerID int, wires [][]byte) (time.Duration, error)
+	FinishStep() ([][]byte, time.Duration, error)
+}
 
 // Design names one traffic-reduction configuration from §5.1.
 type Design struct {
@@ -35,6 +44,16 @@ type Design struct {
 type Config struct {
 	Design  Design
 	Workers int
+	// Shards is the parameter-server shard count. Values above 1 route
+	// every push/pull through the sharded tier of package shard: tensors
+	// are partitioned across Shards sub-servers (size-balanced, see
+	// shard.Assign) and workers push/pull against all shards through the
+	// async pipeline. The resulting model state is byte-identical to the
+	// single-server path for every codec; what changes is the codec
+	// critical path (shards decode concurrently) and the virtual network
+	// model (aggregate traffic divides across Shards server NICs,
+	// netsim.Params.Servers). Zero or 1 keeps the single in-process server.
+	Shards int
 	// BatchPerWorker is the per-worker minibatch size (paper: 32).
 	BatchPerWorker int
 	// Steps is the number of global training steps.
@@ -121,8 +140,11 @@ type EvalRecord struct {
 
 // Result summarizes a finished run.
 type Result struct {
-	Design   Design
-	Workers  int
+	Design  Design
+	Workers int
+	// Shards is the parameter-server shard count the run used (1 = the
+	// single in-process server).
+	Shards   int
 	Steps    int
 	NumParam int
 	// CompressibleElems is the element count of tensors subject to
@@ -210,6 +232,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.BuildModel == nil {
 		return nil, fmt.Errorf("train: BuildModel is required")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("train: Shards %d must be >= 0", cfg.Shards)
+	}
 	if cfg.MinCompressElems == 0 {
 		cfg.MinCompressElems = 256
 	}
@@ -248,7 +273,25 @@ func Run(cfg Config) (*Result, error) {
 	// measured codec critical path.
 	serverCfg := psCfg
 	serverCfg.Parallelism = cfg.Parallelism
-	server := ps.NewServer(global, serverCfg)
+	var server stepServer
+	if cfg.Shards > 1 {
+		// Each shard is one PS node: split the server budget across the
+		// shard goroutines so the tier as a whole stays within it.
+		scfg := serverCfg
+		par := scfg.Parallelism
+		if par == 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		scfg.Parallelism = par / cfg.Shards
+		if scfg.Parallelism < 1 {
+			scfg.Parallelism = 1
+		}
+		cluster := shard.NewCluster(global, scfg, shard.Config{Shards: cfg.Shards})
+		defer cluster.Close()
+		server = cluster
+	} else {
+		server = ps.NewServer(global, serverCfg)
+	}
 
 	workers := make([]*ps.Worker, cfg.Workers)
 	rngs := make([]*tensor.RNG, cfg.Workers)
@@ -289,10 +332,17 @@ func Run(cfg Config) (*Result, error) {
 	if net.ComputeSec == 0 {
 		net.Calibrate(numParam*4, netsim.Gbps1, 1.5)
 	}
+	// Sharding divides aggregate push/pull traffic across the shard NICs.
+	// Applied after Calibrate so the compute-to-communication calibration
+	// stays anchored to the paper's single-server regime.
+	if cfg.Shards > 1 && net.Servers <= 1 {
+		net.Servers = cfg.Shards
+	}
 
 	res := &Result{
 		Design:            cfg.Design,
 		Workers:           cfg.Workers,
+		Shards:            max(cfg.Shards, 1),
 		Steps:             cfg.Steps,
 		NumParam:          numParam,
 		CompressibleElems: compElems,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"threelc/internal/ps"
@@ -80,6 +81,11 @@ func (s *Server) Serve() error {
 		seen[id] = true
 		conns = append(conns, &workerConn{id: id, rw: rw, fr: fr, c: c})
 	}
+	// Service workers in id order, not accept order: float gradient
+	// accumulation is not associative, so a run-dependent push order would
+	// make the final model state differ in low bits run-to-run (and
+	// against the sharded tier, which orders by worker id).
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
 
 	var pullBuf []byte // pull payload, rebuilt in place each step
 	for step := 0; step < s.steps; step++ {

@@ -1,0 +1,496 @@
+// Sharded transport (wire format v2): workers hold one connection per
+// parameter-server shard and push/pull against all shards concurrently.
+// The v2 frames carry a versioned shard-aware header; the v1 frame types
+// (MsgHello/MsgPush/MsgPull) are untouched, so existing single-server
+// deployments keep working and a 1-shard ShardServer even accepts v1
+// clients (see ShardServerConfig.NumShards).
+//
+//	shard header := [1B version=2][1B flags=0][2B LE shard][4B LE worker][4B LE step]
+//	hello2       := header (step field = 0) [4B LE assignment hash]
+//	push2        := header [wire set]
+//	pull2        := header (worker field = 0) [wire set]
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"threelc/internal/ps"
+	"threelc/internal/shard"
+)
+
+// Sharded (v2) frame types. The numbering continues the v1 space so a
+// receiver can tell the generations apart from the type byte alone.
+const (
+	MsgShardHello MsgType = iota + 4
+	MsgShardPush
+	MsgShardPull
+)
+
+// ShardWireVersion is the current sharded wire-format generation. The
+// version byte leads every shard header: an incompatible layout change
+// must bump it, and receivers reject versions (and flag bits) they do not
+// know instead of misparsing.
+const ShardWireVersion = 2
+
+// ShardHeaderLen is the encoded size of a ShardHeader.
+const ShardHeaderLen = 12
+
+// ShardHeader addresses one v2 frame: which shard, which worker, which
+// step. Hello frames reuse the layout with Step zero and append the
+// 4-byte placement hash after the header.
+type ShardHeader struct {
+	Version byte
+	Flags   byte
+	Shard   uint16
+	Worker  uint32
+	Step    uint32
+}
+
+// AppendShardHeader appends h in wire order.
+func AppendShardHeader(dst []byte, h ShardHeader) []byte {
+	var b [ShardHeaderLen]byte
+	b[0] = h.Version
+	b[1] = h.Flags
+	le.PutUint16(b[2:], h.Shard)
+	le.PutUint32(b[4:], h.Worker)
+	le.PutUint32(b[8:], h.Step)
+	return append(dst, b[:]...)
+}
+
+// ParseShardHeader decodes and validates a shard header, returning the
+// remaining payload. Unknown versions and flag bits are errors — the
+// forward-compatibility contract that lets the layout evolve behind the
+// version byte.
+func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
+	if len(src) < ShardHeaderLen {
+		return ShardHeader{}, nil, fmt.Errorf("transport: short shard header (%d bytes)", len(src))
+	}
+	h := ShardHeader{
+		Version: src[0],
+		Flags:   src[1],
+		Shard:   le.Uint16(src[2:]),
+		Worker:  le.Uint32(src[4:]),
+		Step:    le.Uint32(src[8:]),
+	}
+	if h.Version != ShardWireVersion {
+		return ShardHeader{}, nil, fmt.Errorf("transport: unsupported shard wire version %d (have %d)", h.Version, ShardWireVersion)
+	}
+	if h.Flags != 0 {
+		return ShardHeader{}, nil, fmt.Errorf("transport: unknown shard header flags %#x", h.Flags)
+	}
+	return h, src[ShardHeaderLen:], nil
+}
+
+// ShardServerConfig sizes one shard's transport endpoint.
+type ShardServerConfig struct {
+	// Shard is this server's shard id.
+	Shard int
+	// NumShards is the deployment's total shard count. When it is 1 (and
+	// Shard is 0), the server also accepts v1 clients: a legacy hello is
+	// treated as a v2 hello for shard 0 and the worker is answered with
+	// v1 pull frames. That keeps the old single-server wire format fully
+	// served by the new tier.
+	NumShards int
+	// Workers is the number of workers to accept.
+	Workers int
+	// Steps is the BSP step count to run.
+	Steps int
+	// AssignmentHash is the expected placement checksum
+	// (shard.Assignment.Hash); hellos carrying a different hash are
+	// rejected so a worker with a divergent model layout fails fast
+	// instead of decoding tensors into the wrong slots.
+	AssignmentHash uint32
+}
+
+// ShardServer drives one parameter-server shard (a ps sub-server, see
+// shard.SubServers) over real connections with BSP semantics.
+type ShardServer struct {
+	ps  *ps.Server
+	cfg ShardServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	pushBytes int64
+	pullBytes int64
+}
+
+// NewShardServer wraps sub (the ps sub-server owning this shard's
+// tensors) to serve cfg.Workers workers for cfg.Steps steps on ln.
+func NewShardServer(ln net.Listener, sub *ps.Server, cfg ShardServerConfig) *ShardServer {
+	if cfg.NumShards < 1 {
+		cfg.NumShards = 1
+	}
+	return &ShardServer{ps: sub, cfg: cfg, ln: ln}
+}
+
+// TrafficBytes reports the shard's total received (push) and sent (pull)
+// wire bytes.
+func (s *ShardServer) TrafficBytes() (push, pull int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushBytes, s.pullBytes
+}
+
+type shardWorkerConn struct {
+	id     int
+	legacy bool // v1 client: answer with v1 pull frames
+	rw     *bufio.ReadWriter
+	fr     *FrameReader
+	wires  [][]byte
+	c      net.Conn
+}
+
+// newConnRW pairs a connection's buffered reader and writer, exactly as
+// the v1 endpoints do.
+func newConnRW(c net.Conn) *bufio.ReadWriter {
+	return bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
+}
+
+// Serve accepts the configured workers, runs the step loop, and closes
+// the connections. Workers are serviced in worker-id order each step, so
+// gradient accumulation order — and therefore the shard's state — is
+// deterministic and matches the in-process tier.
+func (s *ShardServer) Serve() error {
+	conns := make([]*shardWorkerConn, 0, s.cfg.Workers)
+	defer func() {
+		for _, wc := range conns {
+			wc.c.Close()
+		}
+	}()
+
+	seen := make(map[int]bool)
+	for len(conns) < s.cfg.Workers {
+		wc, err := s.accept(seen)
+		if err != nil {
+			return err
+		}
+		conns = append(conns, wc)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+
+	// The shared pull payload is serialized once per step per frame
+	// generation (v2, and v1 only when a legacy worker is connected) and
+	// broadcast to every worker, like the v1 server's per-step pullBuf.
+	var v2Buf, v1Buf []byte
+	anyLegacy, anyV2 := false, false
+	for _, wc := range conns {
+		if wc.legacy {
+			anyLegacy = true
+		} else {
+			anyV2 = true
+		}
+	}
+	for step := 0; step < s.cfg.Steps; step++ {
+		s.ps.BeginStep()
+		for _, wc := range conns {
+			if err := s.readPush(wc, step); err != nil {
+				return err
+			}
+		}
+		pull, _, err := s.ps.FinishStep()
+		if err != nil {
+			return err
+		}
+		if anyV2 {
+			v2Buf = AppendShardHeader(v2Buf[:0], ShardHeader{
+				Version: ShardWireVersion,
+				Shard:   uint16(s.cfg.Shard),
+				Step:    uint32(step),
+			})
+			v2Buf = AppendWireSet(v2Buf, pull)
+		}
+		if anyLegacy {
+			v1Buf = append(v1Buf[:0], 0, 0, 0, 0)
+			le.PutUint32(v1Buf, uint32(step))
+			v1Buf = AppendWireSet(v1Buf, pull)
+		}
+		for _, wc := range conns {
+			t, payload := MsgShardPull, v2Buf
+			if wc.legacy {
+				t, payload = MsgPull, v1Buf
+			}
+			if err := WriteFrame(wc.rw, t, payload); err != nil {
+				return fmt.Errorf("transport: shard %d step %d pull to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			}
+			if err := wc.rw.Flush(); err != nil {
+				return fmt.Errorf("transport: shard %d step %d flush to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			}
+			s.mu.Lock()
+			s.pullBytes += int64(len(payload))
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// accept handshakes one worker connection (v2 hello, or v1 hello on a
+// single-shard deployment).
+func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
+	c, err := s.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: shard %d accept: %w", s.cfg.Shard, err)
+	}
+	rw := newConnRW(c)
+	fr := NewFrameReader(rw)
+	t, payload, err := fr.ReadFrame()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: shard %d hello: %w", s.cfg.Shard, err)
+	}
+	var id int
+	var legacy bool
+	switch t {
+	case MsgShardHello:
+		h, rest, err := ParseShardHeader(payload)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if int(h.Shard) != s.cfg.Shard {
+			c.Close()
+			return nil, fmt.Errorf("transport: hello for shard %d on shard %d", h.Shard, s.cfg.Shard)
+		}
+		if len(rest) != 4 {
+			c.Close()
+			return nil, fmt.Errorf("transport: shard hello has %d trailing bytes, want 4", len(rest))
+		}
+		if hash := le.Uint32(rest); hash != s.cfg.AssignmentHash {
+			c.Close()
+			return nil, fmt.Errorf("transport: worker %d placement hash %#x != server %#x (divergent model layout)",
+				h.Worker, hash, s.cfg.AssignmentHash)
+		}
+		id = int(h.Worker)
+	case MsgHello:
+		if s.cfg.NumShards != 1 || s.cfg.Shard != 0 {
+			c.Close()
+			return nil, fmt.Errorf("transport: v1 hello on shard %d of %d (legacy clients need a single-shard tier)",
+				s.cfg.Shard, s.cfg.NumShards)
+		}
+		if len(payload) != 4 {
+			c.Close()
+			return nil, fmt.Errorf("transport: bad v1 hello (%d bytes)", len(payload))
+		}
+		id = int(le.Uint32(payload))
+		legacy = true
+	default:
+		c.Close()
+		return nil, fmt.Errorf("transport: expected hello, got type %d", t)
+	}
+	if id < 0 || id >= s.cfg.Workers || seen[id] {
+		c.Close()
+		return nil, fmt.Errorf("transport: bad or duplicate worker id %d", id)
+	}
+	seen[id] = true
+	return &shardWorkerConn{id: id, legacy: legacy, rw: rw, fr: fr, c: c}, nil
+}
+
+// readPush consumes one worker's push frame for the given step into the
+// shard's ps sub-server.
+func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
+	t, payload, err := wc.fr.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("transport: shard %d step %d push from worker %d: %w", s.cfg.Shard, step, wc.id, err)
+	}
+	var body []byte
+	var id, gotStep int
+	switch {
+	case t == MsgShardPush && !wc.legacy:
+		h, rest, err := ParseShardHeader(payload)
+		if err != nil {
+			return err
+		}
+		if int(h.Shard) != s.cfg.Shard {
+			return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
+		}
+		id, gotStep, body = int(h.Worker), int(h.Step), rest
+	case t == MsgPush && wc.legacy:
+		if len(payload) < 8 {
+			return fmt.Errorf("transport: step %d: short v1 push header", step)
+		}
+		id, gotStep, body = int(le.Uint32(payload)), int(le.Uint32(payload[4:])), payload[8:]
+	default:
+		return fmt.Errorf("transport: step %d: expected push, got type %d", step, t)
+	}
+	if id != wc.id {
+		return fmt.Errorf("transport: push id %d on worker %d's connection", id, wc.id)
+	}
+	if gotStep != step {
+		return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
+	}
+	wires, _, err := ParseWireSetInto(wc.wires, body)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, id, err)
+	}
+	wc.wires = wires
+	if _, err := s.ps.AddPush(id, wires); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.pushBytes += int64(len(payload))
+	s.mu.Unlock()
+	return nil
+}
+
+// ShardClient is a worker's multiplexed view of the sharded tier: one
+// connection per shard, pushed to and pulled from concurrently.
+type ShardClient struct {
+	id    int
+	asn   shard.Assignment
+	idx   [][]int // per-shard global tensor indices, fixed at dial time
+	conns []*shardConn
+	pull  [][]byte // reassembled full-model pull set, recycled
+	subs  [][][]byte
+	errs  []error
+}
+
+type shardConn struct {
+	shard     int
+	c         net.Conn
+	rw        *bufio.ReadWriter
+	fr        *FrameReader
+	pushBuf   []byte
+	pullWires [][]byte
+}
+
+// DialSharded connects to every shard of the tier (addrs[s] is shard s's
+// address) and registers as workerID. The placement asn must be the one
+// the server tier was built with — typically shard.ForModel on the
+// worker's model replica; its hash is verified during the handshake.
+func DialSharded(addrs []string, workerID int, asn shard.Assignment) (*ShardClient, error) {
+	if len(addrs) != asn.NumShards {
+		return nil, fmt.Errorf("transport: %d shard addresses for %d shards", len(addrs), asn.NumShards)
+	}
+	c := &ShardClient{
+		id:   workerID,
+		asn:  asn,
+		idx:  make([][]int, asn.NumShards),
+		pull: make([][]byte, len(asn.ShardOf)),
+		subs: make([][][]byte, asn.NumShards),
+		errs: make([]error, asn.NumShards),
+	}
+	for s := range c.idx {
+		c.idx[s] = asn.Tensors(s)
+		c.subs[s] = make([][]byte, len(c.idx[s]))
+	}
+	for s, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dial shard %d at %s: %w", s, addr, err)
+		}
+		sc := &shardConn{shard: s, c: conn, rw: newConnRW(conn)}
+		sc.fr = NewFrameReader(sc.rw)
+		c.conns = append(c.conns, sc)
+		hello := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
+			Version: ShardWireVersion,
+			Shard:   uint16(s),
+			Worker:  uint32(workerID),
+		})
+		var hb [4]byte
+		le.PutUint32(hb[:], asn.Hash())
+		hello = append(hello, hb[:]...)
+		sc.pushBuf = hello
+		if err := WriteFrame(sc.rw, MsgShardHello, hello); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := sc.rw.Flush(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// PushPull splits the worker's full-model wire set by placement, pushes
+// every shard's slice on its own connection concurrently, waits for all
+// shard pulls, and reassembles them into full-model tensor order. The
+// returned wires alias per-connection scratch recycled on the next call
+// (the same lifetime contract as Client.PushPull).
+func (c *ShardClient) PushPull(step int, wires [][]byte) ([][]byte, error) {
+	if len(wires) != len(c.asn.ShardOf) {
+		return nil, fmt.Errorf("transport: push has %d tensors, placement has %d", len(wires), len(c.asn.ShardOf))
+	}
+	var wg sync.WaitGroup
+	for s, sc := range c.conns {
+		wg.Add(1)
+		go func(s int, sc *shardConn) {
+			defer wg.Done()
+			c.errs[s] = c.pushPullShard(step, s, sc, wires)
+		}(s, sc)
+	}
+	wg.Wait()
+	for _, err := range c.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.pull {
+		c.pull[i] = nil
+	}
+	for s, sc := range c.conns {
+		for k, gi := range c.idx[s] {
+			c.pull[gi] = sc.pullWires[k]
+		}
+	}
+	return c.pull, nil
+}
+
+// pushPullShard runs one shard's round trip of one step.
+func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) error {
+	sub := c.subs[s]
+	for k, gi := range c.idx[s] {
+		sub[k] = wires[gi]
+	}
+
+	payload := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
+		Version: ShardWireVersion,
+		Shard:   uint16(s),
+		Worker:  uint32(c.id),
+		Step:    uint32(step),
+	})
+	payload = AppendWireSet(payload, sub)
+	sc.pushBuf = payload
+	if err := WriteFrame(sc.rw, MsgShardPush, payload); err != nil {
+		return fmt.Errorf("transport: shard %d push step %d: %w", s, step, err)
+	}
+	if err := sc.rw.Flush(); err != nil {
+		return err
+	}
+
+	t, resp, err := sc.fr.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("transport: shard %d pull step %d: %w", s, step, err)
+	}
+	if t != MsgShardPull {
+		return fmt.Errorf("transport: shard %d: expected pull, got type %d", s, t)
+	}
+	h, rest, err := ParseShardHeader(resp)
+	if err != nil {
+		return err
+	}
+	if int(h.Shard) != s || int(h.Step) != step {
+		return fmt.Errorf("transport: pull for shard %d step %d during shard %d step %d", h.Shard, h.Step, s, step)
+	}
+	pulls, _, err := ParseWireSetInto(sc.pullWires, rest)
+	if err != nil {
+		return err
+	}
+	sc.pullWires = pulls
+	return nil
+}
+
+// Close terminates all shard connections.
+func (c *ShardClient) Close() error {
+	var first error
+	for _, sc := range c.conns {
+		if err := sc.c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,294 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/ps"
+	"threelc/internal/shard"
+	"threelc/internal/tensor"
+)
+
+func shardTestConfig(workers, steps int) ps.Config {
+	return ps.Config{
+		Scheme:           compress.SchemeThreeLC,
+		Opts:             compress.Options{Sparsity: 1.5, ZeroRun: true},
+		Workers:          workers,
+		MinCompressElems: 1,
+		Parallelism:      1,
+		Optimizer:        opt.DefaultSGDConfig(workers, steps),
+	}
+}
+
+func buildShardModel() *nn.Model { return nn.NewMLP(12, []int{16, 10}, 4, 7) }
+
+// driveWorker runs one worker's BSP loop through a push/pull function.
+func driveWorker(t *testing.T, w int, steps int, cfg ps.Config,
+	global *nn.Model, pushPull func(step int, wires [][]byte) ([][]byte, error)) {
+	t.Helper()
+	m := buildShardModel()
+	m.CopyParamsFrom(global)
+	wk := ps.NewWorker(w, m, cfg)
+	rng := tensor.NewRNG(1000 + uint64(w))
+	for step := 0; step < steps; step++ {
+		x := tensor.New(6, 12)
+		tensor.FillNormal(x, 1, rng)
+		labels := make([]int, 6)
+		for i := range labels {
+			labels[i] = (step + w + i) % 4
+		}
+		wk.Model.TrainStep(x, labels)
+		wires, _ := wk.CompressGrads()
+		pull, err := pushPull(step, wires)
+		if err != nil {
+			t.Errorf("worker %d step %d: %v", w, step, err)
+			return
+		}
+		if _, err := wk.ApplyPull(pull); err != nil {
+			t.Errorf("worker %d step %d apply: %v", w, step, err)
+			return
+		}
+	}
+}
+
+// referenceWeights runs the same workload through the in-process single
+// server and returns the final global weights.
+func referenceWeights(t *testing.T, workers, steps int) []float32 {
+	cfg := shardTestConfig(workers, steps)
+	global := buildShardModel()
+	srv := ps.NewServer(global, cfg)
+	ws := make([]*ps.Worker, workers)
+	rngs := make([]*tensor.RNG, workers)
+	for w := range ws {
+		m := buildShardModel()
+		m.CopyParamsFrom(global)
+		ws[w] = ps.NewWorker(w, m, cfg)
+		rngs[w] = tensor.NewRNG(1000 + uint64(w))
+	}
+	for step := 0; step < steps; step++ {
+		srv.BeginStep()
+		wires := make([][][]byte, workers)
+		for w, wk := range ws {
+			x := tensor.New(6, 12)
+			tensor.FillNormal(x, 1, rngs[w])
+			labels := make([]int, 6)
+			for i := range labels {
+				labels[i] = (step + w + i) % 4
+			}
+			wk.Model.TrainStep(x, labels)
+			wires[w], _ = wk.CompressGrads()
+		}
+		for w := range ws {
+			if _, err := srv.AddPush(w, wires[w]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pulls, _, err := srv.FinishStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wk := range ws {
+			if _, err := wk.ApplyPull(pulls); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var flat []float32
+	for _, p := range global.Params() {
+		flat = append(flat, p.W.Data()...)
+	}
+	return flat
+}
+
+// TestShardedTCPMatchesSinglePS runs a 3-shard tier over loopback TCP with
+// multiplexed clients and checks the final sharded global state is
+// bit-identical to the in-process single-server run.
+func TestShardedTCPMatchesSinglePS(t *testing.T) {
+	const workers, steps, shards = 2, 3, 3
+	cfg := shardTestConfig(workers, steps)
+
+	global := buildShardModel()
+	asn := shard.ForModel(global, shards)
+	subs := shard.SubServers(global, cfg, asn)
+
+	addrs := make([]string, shards)
+	serveErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[s] = ln.Addr().String()
+		srv := NewShardServer(ln, subs[s], ShardServerConfig{
+			Shard:          s,
+			NumShards:      shards,
+			Workers:        workers,
+			Steps:          steps,
+			AssignmentHash: asn.Hash(),
+		})
+		go func() { serveErr <- srv.Serve() }()
+	}
+
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			// Each worker computes the placement from its own replica —
+			// the determinism the handshake hash then certifies.
+			cl, err := DialSharded(addrs, w, shard.ForModel(buildShardModel(), shards))
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer cl.Close()
+			driveWorker(t, w, steps, cfg, global, cl.PushPull)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for s := 0; s < shards; s++ {
+		if err := <-serveErr; err != nil {
+			t.Fatalf("shard serve: %v", err)
+		}
+	}
+
+	want := referenceWeights(t, workers, steps)
+	var got []float32
+	for _, p := range global.Params() {
+		got = append(got, p.W.Data()...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("weight %d differs: single %v sharded-tcp %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestShardServerAcceptsLegacyV1Client pins backward compatibility: a
+// 1-shard ShardServer speaks the v1 wire format with an old Client.
+func TestShardServerAcceptsLegacyV1Client(t *testing.T) {
+	const workers, steps = 2, 2
+	cfg := shardTestConfig(workers, steps)
+	global := buildShardModel()
+	asn := shard.ForModel(global, 1)
+	subs := shard.SubServers(global, cfg, asn)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewShardServer(ln, subs[0], ShardServerConfig{
+		Shard: 0, NumShards: 1, Workers: workers, Steps: steps, AssignmentHash: asn.Hash(),
+	})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			cl, err := Dial(ln.Addr().String(), w) // v1 client
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer cl.Close()
+			driveWorker(t, w, steps, cfg, global, cl.PushPull)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	want := referenceWeights(t, workers, steps)
+	var got []float32
+	for _, p := range global.Params() {
+		got = append(got, p.W.Data()...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("weight %d differs via legacy client: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestShardServerRejectsPlacementDrift: a worker whose model layout hashes
+// differently must be refused at the handshake.
+func TestShardServerRejectsPlacementDrift(t *testing.T) {
+	cfg := shardTestConfig(1, 1)
+	global := buildShardModel()
+	asn := shard.ForModel(global, 2)
+	subs := shard.SubServers(global, cfg, asn)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewShardServer(ln, subs[0], ShardServerConfig{
+		Shard: 0, NumShards: 2, Workers: 1, Steps: 1, AssignmentHash: asn.Hash(),
+	})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	bad := asn
+	bad.ShardOf = append([]int(nil), asn.ShardOf...)
+	bad.ShardOf[0] = 1 - bad.ShardOf[0]
+	if _, err := DialSharded([]string{ln.Addr().String(), ln.Addr().String()}, 0, bad); err == nil {
+		// Dial itself may succeed (the write is buffered); the server must
+		// still reject the session.
+		t.Log("dial succeeded; checking server-side rejection")
+	}
+	err = <-serveErr
+	if err == nil || !strings.Contains(err.Error(), "placement hash") {
+		t.Fatalf("server error %v, want placement-hash rejection", err)
+	}
+}
+
+func TestShardHeaderRoundTrip(t *testing.T) {
+	h := ShardHeader{Version: ShardWireVersion, Shard: 513, Worker: 70000, Step: 1 << 30}
+	buf := AppendShardHeader(nil, h)
+	if len(buf) != ShardHeaderLen {
+		t.Fatalf("encoded length %d, want %d", len(buf), ShardHeaderLen)
+	}
+	got, rest, err := ParseShardHeader(append(buf, 0xAA, 0xBB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip %+v != %+v", got, h)
+	}
+	if len(rest) != 2 || rest[0] != 0xAA {
+		t.Fatalf("rest = %x", rest)
+	}
+
+	bad := append([]byte(nil), buf...)
+	bad[0] = ShardWireVersion + 1
+	if _, _, err := ParseShardHeader(bad); err == nil {
+		t.Error("future version accepted")
+	}
+	bad = append([]byte(nil), buf...)
+	bad[1] = 0x01
+	if _, _, err := ParseShardHeader(bad); err == nil {
+		t.Error("unknown flag bits accepted")
+	}
+	if _, _, err := ParseShardHeader(buf[:ShardHeaderLen-1]); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+// TestShardClientAddressCountMismatch pins the obvious misconfiguration.
+func TestShardClientAddressCountMismatch(t *testing.T) {
+	asn := shard.Assignment{NumShards: 2, ShardOf: []int{0, 1}}
+	if _, err := DialSharded([]string{"127.0.0.1:1"}, 0, asn); err == nil ||
+		!strings.Contains(err.Error(), "shard addresses") {
+		t.Fatalf("err = %v, want address-count mismatch", err)
+	}
+}
