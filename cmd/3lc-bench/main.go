@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,14 +34,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | all")
-		steps   = flag.Int("steps", 0, "override standard training steps (default from suite)")
-		workers = flag.Int("workers", 0, "override worker count")
-		shards  = flag.String("shards", "1,2,4", "comma-separated shard counts for -exp shard")
-		resnet  = flag.Bool("resnet", false, "use the MicroResNet workload instead of the MLP")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress lines")
-		every   = flag.Int("series-every", 10, "subsampling interval for printed series")
-		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		exp      = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | all")
+		steps    = flag.Int("steps", 0, "override standard training steps (default from suite)")
+		workers  = flag.Int("workers", 0, "override worker count")
+		shards   = flag.String("shards", "1,2,4", "comma-separated shard counts for -exp shard")
+		resnet   = flag.Bool("resnet", false, "use the MicroResNet workload instead of the MLP")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		every    = flag.Int("series-every", 10, "subsampling interval for printed series")
+		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
+		benchOut = flag.String("bench-out", "", "with -exp codec: write a benchcheck-schema JSON baseline (e.g. BENCH_local.json)")
 	)
 	flag.Parse()
 
@@ -100,7 +102,13 @@ func main() {
 			rows := experiments.ArchitectureContrast(16)
 			experiments.PrintArchitectureContrast(os.Stdout, rows)
 		case "codec":
-			codecBench(os.Stdout)
+			records := codecBench(os.Stdout)
+			if *benchOut != "" {
+				if err := writeBenchJSON(*benchOut, records); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+			}
 		case "shard":
 			counts, err := parseShardCounts(*shards)
 			if err != nil {
@@ -233,17 +241,46 @@ func parseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
+// benchRecord is one benchcheck-schema benchmark entry for the
+// BENCH_local.json perf-trajectory baseline (-bench-out). Field names
+// match cmd/benchcheck's Report so the local baseline and the CI artifact
+// diff directly.
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type benchReport struct {
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// writeBenchJSON writes the collected codec measurements as a
+// benchcheck-compatible JSON baseline.
+func writeBenchJSON(path string, records []benchRecord) error {
+	data, err := json.MarshalIndent(benchReport{Benchmarks: records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // codecBench is a quick in-process measurement of the zero-allocation
 // compression pipeline: steady-state CompressInto throughput per scheme at
-// 1M elements, and the chunked parallel quartic-encode speedup. It is the
-// CLI companion of the -benchmem benchmarks (`go test -bench CompressInto
-// -benchmem ./internal/compress`), for eyeballing on a target machine
-// without the test harness.
-func codecBench(w *os.File) {
+// 1M elements, the staged-vs-fused kernel comparison, and the chunked
+// parallel quartic-encode speedup. It is the CLI companion of the
+// -benchmem benchmarks (`go test -bench 'Fused|Staged' -benchmem
+// ./internal/kernel`), for eyeballing on a target machine without the
+// test harness; the returned records feed the -bench-out baseline.
+func codecBench(w *os.File) []benchRecord {
 	const n = 1 << 20
 	rng := tensor.NewRNG(4)
 	in := tensor.New(n)
 	tensor.FillNormal(in, 0.01, rng)
+	var records []benchRecord
 
 	measure := func(iters int, fn func()) time.Duration {
 		fn() // warm up scratch buffers
@@ -280,7 +317,25 @@ func codecBench(w *os.File) {
 		var wire []byte
 		d := measure(3, func() { wire = ctx.CompressInto(in, wire[:0]) })
 		mbps := float64(4*n) / d.Seconds() / 1e6
-		fmt.Fprintf(w, "%-22s %12d %10.0f %12.2f\n", c.name, d.Nanoseconds(), mbps, float64(len(wire))*8/float64(n))
+		bits := float64(len(wire)) * 8 / float64(n)
+		fmt.Fprintf(w, "%-22s %12d %10.0f %12.2f\n", c.name, d.Nanoseconds(), mbps, bits)
+		records = append(records, benchRecord{
+			Name: "CompressInto/" + c.name, Iterations: 3, NsPerOp: float64(d.Nanoseconds()),
+			BytesPerOp: -1, AllocsPerOp: -1,
+			Extra: map[string]float64{"MB/s": mbps, "bits/elem": bits},
+		})
+	}
+
+	// Staged-vs-fused kernel comparison: what collapsing seven sweeps to
+	// two (compress) and two to one (decode) buys on this machine.
+	fmt.Fprintln(w)
+	fusion := experiments.FusionSpeedup(n, 1.75)
+	experiments.PrintFusionSpeedup(w, fusion)
+	for _, r := range fusion {
+		records = append(records,
+			benchRecord{Name: "Staged/" + r.Name, Iterations: 3, NsPerOp: r.StagedNs, BytesPerOp: -1, AllocsPerOp: -1},
+			benchRecord{Name: "Fused/" + r.Name, Iterations: 3, NsPerOp: r.FusedNs, BytesPerOp: -1, AllocsPerOp: -1,
+				Extra: map[string]float64{"speedup": r.Speedup()}})
 	}
 
 	procs := runtime.GOMAXPROCS(0)
@@ -294,4 +349,5 @@ func codecBench(w *os.File) {
 	if procs < 2 {
 		fmt.Fprintln(w, "  (single-CPU host: no speedup expected; output is byte-identical either way)")
 	}
+	return records
 }

@@ -12,6 +12,10 @@
 //     (i.e. the run used -benchmem) and it must be exactly 0.
 //   - -zero-allocs must match at least one parsed benchmark, so the gate
 //     cannot be emptied by a rename.
+//   - -speedup 'fastPat<slowPat:ratio' rules enforce relative performance:
+//     the best ns/op matching fastPat must beat the best ns/op matching
+//     slowPat by at least ratio (the fused-vs-staged kernel regression
+//     gate).
 //   - Any `--- FAIL` or `FAIL` line in the input fails the gate.
 package main
 
@@ -139,6 +143,75 @@ func Check(benches []Benchmark, zeroAllocs *regexp.Regexp) []string {
 	return violations
 }
 
+// CheckSpeedup enforces relative-performance gates. spec is a
+// comma-separated list of "fastPat<slowPat:ratio" rules: the best (lowest)
+// ns/op among benchmarks matching fastPat must be at least `ratio` times
+// faster than the best ns/op matching slowPat. Either side matching
+// nothing is a violation (a renamed benchmark cannot silently empty the
+// gate). Best-of-matches keeps the gate stable under -cpu 1,4 runs, which
+// emit one line per GOMAXPROCS value.
+func CheckSpeedup(benches []Benchmark, spec string) []string {
+	var violations []string
+	for _, rule := range strings.Split(spec, ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			continue
+		}
+		lt := strings.SplitN(rule, "<", 2)
+		if len(lt) != 2 {
+			violations = append(violations, fmt.Sprintf("bad -speedup rule %q: want fastPat<slowPat:ratio", rule))
+			continue
+		}
+		rest := strings.SplitN(lt[1], ":", 2)
+		if len(rest) != 2 {
+			violations = append(violations, fmt.Sprintf("bad -speedup rule %q: missing :ratio", rule))
+			continue
+		}
+		ratio, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil || ratio <= 0 {
+			violations = append(violations, fmt.Sprintf("bad -speedup ratio in %q", rule))
+			continue
+		}
+		fast, err := bestNsPerOp(benches, lt[0])
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("-speedup rule %q: %v", rule, err))
+			continue
+		}
+		slow, err := bestNsPerOp(benches, rest[0])
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("-speedup rule %q: %v", rule, err))
+			continue
+		}
+		if fast*ratio > slow {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op is only %.2fx faster than %s (%.0f ns/op), want >= %.2fx",
+				lt[0], fast, slow/fast, rest[0], slow, ratio))
+		}
+	}
+	return violations
+}
+
+// bestNsPerOp returns the lowest ns/op among benchmarks matching pat.
+func bestNsPerOp(benches []Benchmark, pat string) (float64, error) {
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return 0, fmt.Errorf("bad pattern %q: %v", pat, err)
+	}
+	best, found := 0.0, false
+	for _, b := range benches {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		if !found || b.NsPerOp < best {
+			best, found = b.NsPerOp, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("pattern %q matched no benchmarks", pat)
+	}
+	return best, nil
+}
+
 // CheckRequired verifies each comma-separated pattern individually matches
 // at least one benchmark. The -zero-allocs alternation alone cannot tell a
 // complete run from one where a whole package's benchmarks went missing
@@ -176,6 +249,7 @@ func main() {
 		out        = flag.String("out", "", "write JSON report to this file (e.g. BENCH_ci.json)")
 		zeroAlloc  = flag.String("zero-allocs", "", "regexp of steady-state benchmarks that must report 0 allocs/op")
 		require    = flag.String("require", "", "comma-separated regexps; each must match at least one benchmark")
+		speedup    = flag.String("speedup", "", "comma-separated 'fastPat<slowPat:ratio' rules; best ns/op of fastPat must beat slowPat by ratio")
 		requireAny = flag.Bool("require-benchmarks", true, "fail when the input contains no benchmark lines at all")
 	)
 	flag.Parse()
@@ -207,6 +281,7 @@ func main() {
 	}
 	violations := Check(benches, zre)
 	violations = append(violations, CheckRequired(benches, *require)...)
+	violations = append(violations, CheckSpeedup(benches, *speedup)...)
 	if *requireAny && len(benches) == 0 {
 		violations = append(violations, "input contains no benchmark result lines")
 	}

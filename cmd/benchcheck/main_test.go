@@ -90,6 +90,46 @@ func TestCheckZeroAllocGate(t *testing.T) {
 	}
 }
 
+const speedupSample = `BenchmarkFusedCompress/1M-1     100  2000000 ns/op  0 B/op  0 allocs/op
+BenchmarkFusedCompress/1M-4     100  1500000 ns/op  0 B/op  0 allocs/op
+BenchmarkStagedCompress/1M-1    100  9000000 ns/op  0 B/op  0 allocs/op
+BenchmarkStagedCompress/1M-4    100  8000000 ns/op  0 B/op  0 allocs/op
+`
+
+func TestCheckSpeedup(t *testing.T) {
+	benches, _, err := Parse(strings.NewReader(speedupSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-of-matches: 1.5ms fused vs 8ms staged = 5.3x, passes a 2x gate.
+	if v := CheckSpeedup(benches, "FusedCompress/1M<StagedCompress/1M:2.0"); len(v) != 0 {
+		t.Errorf("passing speedup reported violations: %v", v)
+	}
+	// An unachievable ratio must violate with the measured numbers.
+	v := CheckSpeedup(benches, "FusedCompress/1M<StagedCompress/1M:10")
+	if len(v) != 1 || !strings.Contains(v[0], "want >= 10") {
+		t.Errorf("failing speedup not caught: %v", v)
+	}
+	// Either side matching nothing is a violation, not a silent pass.
+	if v := CheckSpeedup(benches, "Renamed<StagedCompress/1M:1.5"); len(v) != 1 ||
+		!strings.Contains(v[0], "matched no benchmarks") {
+		t.Errorf("empty fast side not caught: %v", v)
+	}
+	if v := CheckSpeedup(benches, "FusedCompress/1M<Gone:1.5"); len(v) != 1 ||
+		!strings.Contains(v[0], "matched no benchmarks") {
+		t.Errorf("empty slow side not caught: %v", v)
+	}
+	// Malformed rules are violations.
+	for _, bad := range []string{"NoSeparator", "A<B", "A<B:zero", "A<B:-1"} {
+		if v := CheckSpeedup(benches, bad); len(v) != 1 {
+			t.Errorf("malformed rule %q not reported: %v", bad, v)
+		}
+	}
+	if v := CheckSpeedup(benches, ""); v != nil {
+		t.Errorf("empty -speedup produced violations: %v", v)
+	}
+}
+
 func TestCheckRequired(t *testing.T) {
 	benches, _, err := Parse(strings.NewReader(sample))
 	if err != nil {

@@ -3,22 +3,47 @@
 // (Lim, Andersen, Kaminsky — MLSys 2019).
 //
 // The hot path — per-tensor compression of gradient pushes and model-delta
-// pulls, every training step — is built as a zero-allocation pipeline:
-// compression contexts expose an append-style CompressInto(in, dst) API
-// and recycle all scratch state across steps, decoding dispatches through
-// a codec registry into caller-owned tensors with sync.Pool scratch, and
-// quartic encoding (the dominant CPU cost, §5.1) shards across cores via
-// encode.Chunked with byte-identical output. In steady state a full
-// push/pull codec round trip performs zero heap allocations (see the
-// -benchmem benchmarks in internal/compress and internal/ps).
+// pulls, every training step — is built as a zero-allocation, fused
+// single-pass pipeline. Compression contexts expose an append-style
+// CompressInto(in, dst) API and recycle all scratch state across steps;
+// decoding dispatches through a codec registry into caller-owned tensors.
+// The per-element work of §3.1–§3.3 runs on internal/kernel's fused
+// kernels rather than as staged sweeps:
+//
+//	stage                     staged sweeps    fused passes
+//	compress (3LC)                 7                2
+//	  accumulate + max|T|          2           1  (AccumulateMaxAbs)
+//	  quantize → dequantize →
+//	  residual → quartic → ZRE     5           1  (EncodeTernary)
+//	decompress                     2                1
+//	  ZRE expand + scaled unpack   2           1  (DecodeTernary, LUT)
+//
+// Decode is driven by a 243-entry lookup table (quartic byte → 5 ternary
+// digits) expanded per wire scale M into byte → 5 scaled float32 values;
+// the per-M expansion costs 243·5 multiplies, so tensors below ~4k
+// elements decode through the int8 table with an inline multiply instead,
+// and the expanded tables are pooled with the last M cached. Both compress
+// passes shard across cores with byte-identical output (two-phase parallel
+// max reduction; group-aligned fused encode with a per-chunk zero-run
+// stitch-up), scheduled pass-count aware: each pass sizes its fan-out to
+// its own per-element cost (kernel.PassWorkers). The staged primitives in
+// internal/quant and internal/encode remain the bit-identical reference,
+// pinned by differential tests and FuzzFusedVsStaged. In steady state a
+// full push/pull codec round trip performs zero heap allocations (see the
+// -benchmem benchmarks in internal/compress, internal/kernel, and
+// internal/ps).
 //
 // The implementation lives under internal/:
 //
+//	internal/kernel      fused single-pass hot-path kernels: two-pass
+//	                     compress (AccumulateMaxAbs + EncodeTernary),
+//	                     one-pass LUT decode (DecodeTernary), chunked
+//	                     parallel forms, pass-count-aware scheduling
 //	internal/quant       3-value quantization with sparsity multiplication,
 //	                     error accumulation, and the quantization baselines
-//	                     (all with buffer-reusing *Into forms)
+//	                     (staged reference for the fused kernels)
 //	internal/encode      quartic + zero-run encoding on caller buffers,
-//	                     chunked parallel encode/decode
+//	                     chunked parallel encode/decode (staged reference)
 //	internal/sparse      top-k sparsification baselines
 //	internal/compress    the Compressor interface, append-style wire
 //	                     builders, and the decoder registry

@@ -17,6 +17,15 @@
 // CompressInto(in, nil) — so one-shot callers and older call sites keep
 // working unchanged.
 //
+// The ternary codecs (3LC and the stochastic baseline) run on the fused
+// single-pass kernels of internal/kernel: compress touches tensor memory
+// exactly twice (accumulate fused with the |max| reduction, then a fused
+// quantize → residual → quartic-pack → zero-run-emit loop that writes
+// wire bytes directly) and decode exactly once (a 243-entry LUT streams
+// wire bytes straight into the destination floats). The staged
+// quant/encode primitives remain as the bit-identical reference
+// implementation.
+//
 // Decoding dispatches through a codec registry indexed by the wire's first
 // byte (see RegisterDecoder): each scheme registers its decoder from an
 // init function in the file that implements its encoder, and
@@ -38,9 +47,7 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
-	"runtime"
 
-	"threelc/internal/encode"
 	"threelc/internal/tensor"
 )
 
@@ -105,9 +112,12 @@ type Options struct {
 	// Seed seeds the RNG used by stochastic quantization and threshold
 	// sampling.
 	Seed uint64
-	// CodecParallelism caps the goroutine fan-out of chunked quartic
-	// encoding for large tensors (>= 256k elements). 0 means
-	// work-proportional up to GOMAXPROCS; 1 forces fully serial encoding
+	// CodecParallelism caps the per-pass goroutine fan-out of the fused
+	// kernels for large tensors (>= kernel.ParallelThresholdElems). The
+	// fan-out is pass-count aware: each of the two fused compress passes
+	// asks kernel.PassWorkers for its own worker count, sized to that
+	// pass's per-element work, under this common cap. 0 means
+	// work-proportional up to GOMAXPROCS; 1 forces fully serial kernels
 	// (no goroutine spawns, the zero-allocation configuration). Callers
 	// that already fan out across tensors (package ps) pass their own
 	// budget down so nested parallelism stays bounded.
@@ -136,55 +146,6 @@ type Compressor interface {
 	// converge. A scheme that transmits nothing this step (local steps)
 	// returns dst unchanged.
 	CompressInto(in *tensor.Tensor, dst []byte) []byte
-}
-
-// parallelThresholdElems is the tensor size above which codecs shard
-// quartic encode/decode across goroutines (encode.Chunked). Below it the
-// fan-out overhead outweighs the win.
-const parallelThresholdElems = 1 << 18
-
-// codecSpanElems is the minimum work per chunk goroutine. Scaling the
-// fan-out with tensor size (instead of always GOMAXPROCS) keeps the
-// goroutine count proportional to actual work, which also bounds the
-// oversubscription when chunk-level parallelism nests inside ps's
-// per-tensor worker pool: only tensors big enough to dominate a step spawn
-// chunks, and each chunk carries >= 64k elements.
-const codecSpanElems = 1 << 16
-
-// codecWorkers returns the goroutine fan-out for a tensor of n elements
-// under a caller-imposed cap (0 = no cap beyond GOMAXPROCS).
-func codecWorkers(n, cap int) int {
-	if n < parallelThresholdElems {
-		return 1
-	}
-	w := runtime.GOMAXPROCS(0)
-	if cap > 0 && w > cap {
-		w = cap
-	}
-	if max := n / codecSpanElems; w > max {
-		w = max
-	}
-	return w
-}
-
-// encodeQuartic quartic-encodes q into scratch — grown only when q exceeds
-// every previous input, sharded across up to `par` goroutines for large
-// tensors (see Options.CodecParallelism) — and returns the encoded bytes
-// plus the (possibly grown) scratch for the caller to retain. Shared by
-// every codec that emits quartic data, so the threshold and buffer policy
-// live in one place.
-func encodeQuartic(q []int8, scratch []byte, par int) (qe, newScratch []byte) {
-	qlen := encode.QuarticEncodedLen(len(q))
-	if cap(scratch) < qlen {
-		scratch = make([]byte, qlen)
-	}
-	qe = scratch[:qlen]
-	if w := codecWorkers(len(q), par); w > 1 {
-		encode.QuarticEncodeParallel(q, qe, w)
-	} else {
-		encode.QuarticEncodeInto(q, qe)
-	}
-	return qe, scratch
 }
 
 // New creates a compression context for a tensor of the given shape.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"threelc/internal/quant"
 	"threelc/internal/tensor"
 )
 
@@ -68,17 +69,22 @@ func TestInt8WireRoundTrip(t *testing.T) {
 func TestThreeLCWireRoundTripMatchesLocalDequant(t *testing.T) {
 	// The receiver must reconstruct exactly what the sender's local
 	// dequantization produced — otherwise error accumulation would
-	// correct the wrong error.
+	// correct the wrong error. The fused compressor no longer keeps a
+	// dequantization tensor, so the expectation is recomputed with the
+	// staged reference pipeline from a snapshot of the error buffer.
 	shape := []int{997} // not a multiple of 5: exercises padding
 	c := New(SchemeThreeLC, shape, Options{Sparsity: 1.5, ZeroRun: true}).(*threeLCCompressor)
 	for round := 0; round < 10; round++ {
 		in := randTensor(uint64(round+10), 997, 0.01)
+		sum := c.acc.Buffer().Clone()
+		sum.Add(in)
+		want := quant.Dequantize3(quant.Quantize3(sum, 1.5))
 		wire := c.Compress(in)
 		out, err := Decompress(wire, shape)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !out.Equal(c.dequant) {
+		if !out.Equal(want) {
 			t.Fatalf("round %d: receiver reconstruction != sender local dequant", round)
 		}
 	}

@@ -1,0 +1,52 @@
+package compress
+
+import (
+	"testing"
+
+	"threelc/internal/kernel"
+	"threelc/internal/tensor"
+)
+
+// TestCompressorPassCounts verifies — through the kernel pass-counting
+// test double — that the whole codec path, not just the kernels in
+// isolation, sweeps tensor memory exactly twice per compress and exactly
+// once per decompress. A regression that reintroduces a staged sweep
+// (separate MaxAbs, a dequantization tensor, a zero-run scratch pass)
+// fails here.
+func TestCompressorPassCounts(t *testing.T) {
+	var passes []string
+	kernel.PassHook = func(name string, elems int) { passes = append(passes, name) }
+	defer func() { kernel.PassHook = nil }()
+
+	const n = 1003
+	in := randTensor(77, n, 0.01)
+	out := tensor.New(n)
+
+	for _, tc := range []struct {
+		name string
+		s    Scheme
+		o    Options
+	}{
+		{"3lc-zre", SchemeThreeLC, Options{Sparsity: 1.75, ZeroRun: true}},
+		{"3lc-nozre", SchemeThreeLC, Options{Sparsity: 1.0, ZeroRun: false}},
+		{"stoch3", SchemeStoch3QE, Options{Seed: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := New(tc.s, []int{n}, tc.o)
+
+			passes = nil
+			wire := ctx.CompressInto(in, nil)
+			if len(passes) != 2 {
+				t.Fatalf("CompressInto swept tensor memory %d times (%v), want exactly 2", len(passes), passes)
+			}
+
+			passes = nil
+			if err := DecompressInto(wire, out); err != nil {
+				t.Fatal(err)
+			}
+			if len(passes) != 1 {
+				t.Fatalf("DecompressInto swept tensor memory %d times (%v), want exactly 1", len(passes), passes)
+			}
+		})
+	}
+}

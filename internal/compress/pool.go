@@ -1,33 +1,10 @@
 package compress
 
-import "sync"
-
-// Wire-buffer pooling. Compression contexts own their steady-state buffers
-// (they recycle the caller's dst slice); the remaining transient need is
-// zero-run expansion scratch inside the ternary decoder, which comes from
-// a sync.Pool so the steady-state pull path allocates nothing.
-
-var bufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 4096)
-		return &b
-	},
-}
-
-// getBuf returns a pooled buffer with capacity >= n. The pointer form
-// avoids re-boxing the slice header on every Get/Put.
-func getBuf(n int) *[]byte {
-	p := bufPool.Get().(*[]byte)
-	if cap(*p) < n {
-		*p = make([]byte, 0, n)
-	}
-	return p
-}
-
-// putBuf returns a buffer obtained from getBuf to the pool.
-func putBuf(p *[]byte) {
-	bufPool.Put(p)
-}
+// Compression contexts own their steady-state buffers (they recycle the
+// caller's dst slice and context-held scratch). The ternary decoder's old
+// zero-run expansion scratch is gone entirely — the fused kernel decoder
+// streams wire bytes straight into the destination tensor, pooling only
+// its per-M scaled LUT (see internal/kernel).
 
 // growBytes extends b by n bytes and returns the enlarged slice, reusing
 // capacity when available. Unlike append(b, make([]byte, n)...) it never

@@ -1,7 +1,7 @@
 package compress
 
 import (
-	"threelc/internal/quant"
+	"threelc/internal/kernel"
 	"threelc/internal/tensor"
 )
 
@@ -11,13 +11,16 @@ import (
 // quantization is unbiased, so — as in the paper, and unlike 3LC — it uses
 // no error-accumulation buffer. It shares the ternary wire format with 3LC
 // but never applies zero-run encoding.
+//
+// Like 3LC it runs as two fused passes: a |max| reduction (parallel — the
+// reduction is deterministic) and a fused stochastic-quantize + quartic-
+// pack loop (serial: RNG draws are sequential, so the quantize pass cannot
+// shard without changing the bytes).
 type stochCompressor struct {
 	shape []int
 	n     int
 	rng   *tensor.RNG
-	tv    quant.ThreeValue // quantization scratch, reused across steps
-	qbuf  []byte           // quartic scratch, reused across steps
-	par   int              // chunked-encode fan-out cap (Options.CodecParallelism)
+	par   int // reduction-pass fan-out cap (Options.CodecParallelism)
 }
 
 func newStochCompressor(shape []int, seed uint64, par int) *stochCompressor {
@@ -44,13 +47,10 @@ func (c *stochCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	quant.QuantizeStochastic3Into(in, c.rng, &c.tv)
-	// Stochastic draws are sequential in the RNG, so quantization stays
-	// serial; quartic encoding of the result still shards across cores.
-	var qe []byte
-	qe, c.qbuf = encodeQuartic(c.tv.Q, c.qbuf, c.par)
+	w1 := kernel.PassWorkers(c.n, c.par, kernel.SpanReduce)
+	m := float64(kernel.MaxAbsParallel(in.Data(), w1))
 	dst = append(dst, byte(SchemeStoch3QE))
-	dst = appendF32(dst, c.tv.M)
+	dst = appendF32(dst, float32(m))
 	dst = append(dst, 0) // no ZRE
-	return append(dst, qe...)
+	return kernel.EncodeStoch(in.Data(), m, c.rng, dst)
 }

@@ -3,7 +3,7 @@ package compress
 import (
 	"fmt"
 
-	"threelc/internal/encode"
+	"threelc/internal/kernel"
 	"threelc/internal/quant"
 	"threelc/internal/tensor"
 )
@@ -23,21 +23,28 @@ const ternaryFlagZRE = 1
 
 // threeLCCompressor is the full 3LC design: error accumulation, 3-value
 // quantization with sparsity multiplication, quartic encoding, and
-// (optionally, for the "No ZRE" ablation) zero-run encoding.
+// (optionally, for the "No ZRE" ablation) zero-run encoding — run as the
+// two fused kernel passes of internal/kernel rather than the staged
+// seven-sweep pipeline. Pass 1 (kernel.AccumulateMaxAbs) folds the input
+// into the error buffer while reducing max|buf|; pass 2
+// (kernel.EncodeTernary) quantizes, keeps the residual in the buffer, and
+// writes quartic/zero-run wire bytes directly. No intermediate ternary
+// tensor or dequantization scratch exists.
 type threeLCCompressor struct {
 	shape    []int
 	n        int
 	sparsity float64
 	zeroRun  bool
 
-	acc     *quant.ErrorAccumulator
-	dequant *tensor.Tensor   // scratch: local dequantization for residual
-	tv      quant.ThreeValue // scratch: quantization output, reused
-	qbuf    []byte           // scratch: quartic-encoded bytes, reused
-	par     int              // chunked-encode fan-out cap (Options.CodecParallelism)
+	acc  *quant.ErrorAccumulator
+	qbuf []byte // scratch: parallel-encode chunk regions, reused
+	par  int    // per-pass fan-out cap (Options.CodecParallelism)
 }
 
 func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool, par int) *threeLCCompressor {
+	if sparsity < quant.MinSparsity || sparsity >= quant.MaxSparsity {
+		panic(fmt.Sprintf("compress: sparsity multiplier %v outside [1,2)", sparsity))
+	}
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -49,7 +56,6 @@ func newThreeLCCompressor(shape []int, sparsity float64, zeroRun bool, par int) 
 		zeroRun:  zeroRun,
 		par:      par,
 		acc:      quant.NewErrorAccumulator(shape...),
-		dequant:  tensor.New(shape...),
 	}
 }
 
@@ -66,32 +72,33 @@ func (c *threeLCCompressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
-// CompressInto runs the Figure-3 pipeline: (1) accumulate the input into
-// the error buffer, (2) 3-value quantize the sum, (a) locally dequantize,
-// (b) keep the residual in the buffer, then (3) quartic-encode and
-// (4) zero-run-encode the quantized data, appending the wire message to
-// dst. All intermediate state lives in context-owned scratch buffers, and
-// quartic encoding shards across cores for large tensors.
+// CompressInto runs the Figure-3 pipeline in exactly two passes over
+// tensor memory: pass 1 accumulates the input into the error buffer fused
+// with the |max| reduction (step 1 of Fig. 3 + Eq. 1), pass 2 fuses
+// quantize → local-dequantize → residual-update → quartic-pack →
+// zero-run-emit (steps 2, a, b, 3, 4), appending the wire message to dst.
+// Each pass shards across cores for large tensors with byte-identical
+// output (kernel.PassWorkers sizes the fan-out per pass).
 func (c *threeLCCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	sum := c.acc.Accumulate(in)
-	quant.Quantize3Into(sum, c.sparsity, &c.tv)
-	quant.DequantizeInto(&c.tv, c.dequant)
-	c.acc.Residual(c.dequant)
-
-	var qe []byte
-	qe, c.qbuf = encodeQuartic(c.tv.Q, c.qbuf, c.par)
+	buf := c.acc.Buffer().Data()
+	w1 := kernel.PassWorkers(c.n, c.par, kernel.SpanReduce)
+	m := float64(kernel.AccumulateMaxAbsParallel(buf, in.Data(), w1)) * c.sparsity
 
 	dst = append(dst, byte(SchemeThreeLC))
-	dst = appendF32(dst, c.tv.M)
+	dst = appendF32(dst, float32(m))
 	if c.zeroRun {
 		dst = append(dst, ternaryFlagZRE)
-		dst = encode.ZeroRunEncodeAppend(dst, qe)
 	} else {
 		dst = append(dst, 0)
-		dst = append(dst, qe...)
+	}
+	w2 := kernel.PassWorkers(c.n, c.par, kernel.SpanEncode)
+	if w2 > 1 {
+		dst, c.qbuf = kernel.EncodeTernaryParallel(buf, m, c.zeroRun, dst, w2, c.qbuf)
+	} else {
+		dst = kernel.EncodeTernary(buf, m, c.zeroRun, dst)
 	}
 	return dst
 }
@@ -102,9 +109,15 @@ func (c *threeLCCompressor) ErrorNorm() float64 {
 	return c.acc.Buffer().SquaredNorm()
 }
 
-// decodeTernary reverses the ternary wire format into dst, fusing quartic
-// decode with dequantization (dst[i] = M * q[i]) so the only intermediate
-// buffer is the pooled zero-run expansion scratch.
+// decodeTernary reverses the ternary wire format into dst in a single
+// LUT-driven pass: kernel.DecodeTernary streams the wire bytes straight
+// into the destination floats, expanding zero runs and applying the scale
+// as it goes — no zero-run expansion scratch or ternary intermediate.
+//
+// Decode stays serial: the fused LUT decode runs an order of magnitude
+// faster than encode (multi-GB/s), so chunking it would buy little while
+// spawning goroutines inside callers' own fan-out (package ps decodes
+// many tensors concurrently).
 func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 	if len(payload) < 5 {
 		return fmt.Errorf("compress: ternary payload too short (%d bytes)", len(payload))
@@ -112,35 +125,7 @@ func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 	m := getF32(payload)
 	flags := payload[5-1]
 	body := payload[5:]
-
-	n := dst.Len()
-	qlen := encode.QuarticEncodedLen(n)
-	var qbytes []byte
-	var scratch *[]byte
-	if flags&ternaryFlagZRE != 0 {
-		// Validate the expansion size before touching any buffer: the
-		// payload is untrusted wire data.
-		if got := encode.ZeroRunDecodedLen(body); got != qlen {
-			return fmt.Errorf("compress: zero-run payload expands to %d bytes, want %d", got, qlen)
-		}
-		scratch = getBuf(qlen)
-		defer putBuf(scratch)
-		buf := (*scratch)[:qlen]
-		encode.ZeroRunDecodeInto(body, buf)
-		qbytes = buf
-	} else {
-		if len(body) != qlen {
-			return fmt.Errorf("compress: quartic payload %d bytes, want %d", len(body), qlen)
-		}
-		qbytes = body
-	}
-
-	// Decode stays serial: the fused scaled decode runs an order of
-	// magnitude faster than encode (multi-GB/s), so chunking it would buy
-	// little while spawning goroutines inside callers' own fan-out
-	// (package ps decodes many tensors concurrently). The parallel decoder
-	// remains available as encode.QuarticDecodeScaledParallel.
-	if err := encode.QuarticDecodeScaledInto(qbytes, dst.Data(), m); err != nil {
+	if err := kernel.DecodeTernary(body, flags&ternaryFlagZRE != 0, m, dst.Data()); err != nil {
 		return fmt.Errorf("compress: %w", err)
 	}
 	return nil

@@ -13,6 +13,12 @@
 // QuarticDecodeParallel, QuarticDecodeScaledParallel, built on Chunked),
 // which shards large tensors across goroutines at group-aligned boundaries
 // and produces byte-identical output to the serial functions.
+//
+// Like package quant, these staged transforms are the reference
+// implementation: the production ternary hot path runs internal/kernel's
+// fused forms (quantize+pack+zero-run in one compress loop, LUT-driven
+// expand+unpack+scale in one decode loop), which are differential-tested
+// and fuzzed against the functions here for byte-identical wires.
 package encode
 
 import "fmt"

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"threelc/internal/encode"
+	"threelc/internal/kernel"
+	"threelc/internal/quant"
+	"threelc/internal/tensor"
+)
+
+// FusionRow compares one codec hot-path direction between the staged
+// multi-sweep pipeline (package quant + encode, kept as the bit-identical
+// reference) and the fused kernels (package kernel) that production code
+// runs on.
+type FusionRow struct {
+	// Name identifies the direction and tensor size, e.g. "compress 1M".
+	Name string
+	// StagedNs / FusedNs are best-of-trials wall times per call.
+	StagedNs float64
+	FusedNs  float64
+	// StagedPasses / FusedPasses count full sweeps over tensor-sized
+	// memory (the quantity the fusion eliminates; wire-byte walks are not
+	// counted).
+	StagedPasses int
+	FusedPasses  int
+}
+
+// Speedup is the staged/fused time ratio.
+func (r FusionRow) Speedup() float64 {
+	if r.FusedNs <= 0 {
+		return 0
+	}
+	return r.StagedNs / r.FusedNs
+}
+
+// FusionSpeedup measures staged-vs-fused 3LC compress and decompress at n
+// elements with recycled buffers on both sides (steady state, serial
+// kernels), so the comparison isolates the pass-count reduction rather
+// than allocation behavior. The two pipelines produce byte-identical
+// wires; the kernel test suite pins that, this measures what it buys.
+func FusionSpeedup(n int, sparsity float64) []FusionRow {
+	rng := tensor.NewRNG(11)
+	in := tensor.New(n)
+	tensor.FillNormal(in, 0.01, rng)
+
+	measure := func(fn func()) float64 {
+		fn() // warm up scratch capacities
+		best := time.Duration(1<<63 - 1)
+		iters := 3
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				fn()
+			}
+			if d := time.Since(start) / time.Duration(iters); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds())
+	}
+
+	// Staged compress: the seven-sweep reference with preallocated scratch
+	// (accumulate, |max|, quantize, dequantize, residual, quartic pack,
+	// zero-run emit).
+	accStaged := tensor.New(n)
+	deq := tensor.New(n)
+	var tv quant.ThreeValue
+	qbuf := make([]byte, encode.QuarticEncodedLen(n))
+	var stagedWire []byte
+	stagedCompress := measure(func() {
+		accStaged.Add(in)
+		quant.Quantize3Into(accStaged, sparsity, &tv)
+		quant.DequantizeInto(&tv, deq)
+		accStaged.Sub(deq)
+		encode.QuarticEncodeInto(tv.Q, qbuf)
+		stagedWire = encode.ZeroRunEncodeAppend(stagedWire[:0], qbuf)
+	})
+
+	// Fused compress: the two kernel passes.
+	accFused := tensor.New(n)
+	var fusedWire []byte
+	var m float64
+	fusedCompress := measure(func() {
+		m = float64(kernel.AccumulateMaxAbs(accFused.Data(), in.Data())) * sparsity
+		fusedWire = kernel.EncodeTernary(accFused.Data(), m, true, fusedWire[:0])
+	})
+
+	// Staged decompress: zero-run expand into scratch, then scaled quartic
+	// decode (two sweeps of tensor-scale memory).
+	out := tensor.New(n)
+	zreScratch := make([]byte, encode.QuarticEncodedLen(n))
+	m32 := float32(m)
+	stagedDecompress := measure(func() {
+		encode.ZeroRunDecodeInto(fusedWire, zreScratch)
+		if err := encode.QuarticDecodeScaledInto(zreScratch, out.Data(), m32); err != nil {
+			panic(err)
+		}
+	})
+
+	// Fused decompress: the single LUT-driven pass.
+	fusedDecompress := measure(func() {
+		if err := kernel.DecodeTernary(fusedWire, true, m32, out.Data()); err != nil {
+			panic(err)
+		}
+	})
+
+	name := fmt.Sprintf("%dk", n>>10)
+	if n >= 1<<20 {
+		name = fmt.Sprintf("%dM", n>>20)
+	}
+	return []FusionRow{
+		{Name: "compress " + name, StagedNs: stagedCompress, FusedNs: fusedCompress, StagedPasses: 7, FusedPasses: 2},
+		{Name: "decompress " + name, StagedNs: stagedDecompress, FusedNs: fusedDecompress, StagedPasses: 2, FusedPasses: 1},
+	}
+}
+
+// PrintFusionSpeedup renders the staged-vs-fused comparison.
+func PrintFusionSpeedup(w io.Writer, rows []FusionRow) {
+	fmt.Fprintln(w, "Staged vs fused kernels (byte-identical wires; sweeps = passes over tensor memory):")
+	fmt.Fprintf(w, "  %-16s %14s %14s %9s %8s %8s\n", "stage", "staged ns/op", "fused ns/op", "speedup", "sweeps", "fused")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %14.0f %14.0f %8.2fx %8d %8d\n",
+			r.Name, r.StagedNs, r.FusedNs, r.Speedup(), r.StagedPasses, r.FusedPasses)
+	}
+}

@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"threelc/internal/encode"
+)
+
+// ternLUT maps each valid quartic byte (0..242) to its five shifted-back
+// ternary digits in {-1, 0, +1}: the decode side's 243-entry lookup table.
+// Built once at init from the same base-3 digit extraction the staged
+// decoder performs per byte.
+var ternLUT [encode.MaxQuartic + 1][encode.GroupSize]int8
+
+func init() {
+	for b := 0; b <= encode.MaxQuartic; b++ {
+		v := byte(b)
+		ternLUT[b][4] = int8(v%3) - 1
+		v /= 3
+		ternLUT[b][3] = int8(v%3) - 1
+		v /= 3
+		ternLUT[b][2] = int8(v%3) - 1
+		v /= 3
+		ternLUT[b][1] = int8(v%3) - 1
+		v /= 3
+		ternLUT[b][0] = int8(v) - 1
+	}
+}
+
+// ScaledLUT is the per-M float32 expansion of ternLUT: tab[b][k] =
+// M · ternLUT[b][k], so the decode loop copies five ready floats per wire
+// byte with no per-element multiply. Build costs 243·5 multiplies, so the
+// fused decoder only uses it for tensors comfortably above that size
+// (scaledLUTMinElems) and caches the last M (by bit pattern — scales from
+// untrusted wires can be NaN) to skip rebuilds when M repeats.
+type ScaledLUT struct {
+	mbits uint32
+	valid bool
+	tab   [encode.MaxQuartic + 1][encode.GroupSize]float32
+}
+
+// Build populates the table for scale m, skipping the work when the table
+// already holds exactly this scale.
+func (l *ScaledLUT) Build(m float32) {
+	bits := math.Float32bits(m)
+	if l.valid && l.mbits == bits {
+		return
+	}
+	for b := range l.tab {
+		for k := 0; k < encode.GroupSize; k++ {
+			l.tab[b][k] = m * float32(ternLUT[b][k])
+		}
+	}
+	l.mbits = bits
+	l.valid = true
+}
+
+// scaledLUTMinElems is the tensor size above which building the per-M
+// ScaledLUT (243·5 multiplies) amortizes; smaller tensors decode through
+// ternLUT with an inline multiply instead, which is the same single pass.
+const scaledLUTMinElems = 4096
+
+// lutPool recycles ScaledLUTs (~4.8 KB each) across decode calls so the
+// steady-state pull path allocates nothing; the cached-M check inside
+// Build makes reuse with a repeated scale free.
+var lutPool = sync.Pool{New: func() any { return new(ScaledLUT) }}
+
+// DecodeTernary decodes a ternary wire body — quartic bytes, zero-run
+// encoded when zre is set — into dst in a single fused pass: each wire
+// byte is either expanded from a run marker into scaled zeros or looked up
+// in the LUT and streamed into dst as five scaled floats (dst[i] = m·q).
+// It never reads or writes any intermediate buffer.
+//
+// The body is untrusted network data, so like encode.QuarticDecodeScaledInto
+// the kernel returns errors instead of panicking: a payload whose group
+// count does not expand to exactly len(dst) values (truncated, overlong,
+// or a run overrunning the end), or — without zre — a byte above
+// encode.MaxQuartic, is rejected. On error dst's contents are unspecified;
+// validation happens in the same pass that decodes.
+func DecodeTernary(body []byte, zre bool, m float32, dst []float32) error {
+	n := len(dst)
+	notePass("lut-decode", n)
+	gTotal := encode.QuarticEncodedLen(n)
+	if !zre && len(body) != gTotal {
+		return fmt.Errorf("kernel: quartic payload %d bytes, want %d", len(body), gTotal)
+	}
+	if n >= scaledLUTMinElems {
+		l := lutPool.Get().(*ScaledLUT)
+		l.Build(m)
+		err := decodeScaled(body, zre, &l.tab, gTotal, dst)
+		lutPool.Put(l)
+		return err
+	}
+	return decodeSmall(body, zre, m, gTotal, dst)
+}
+
+// decodeScaled is the ScaledLUT decode loop.
+func decodeScaled(body []byte, zre bool, tab *[encode.MaxQuartic + 1][encode.GroupSize]float32, gTotal int, dst []float32) error {
+	n := len(dst)
+	zero := tab[encode.ZeroGroupByte][0] // m·0, NaN-propagating like the staged multiply
+	gi, w := 0, 0
+	for off, b := range body {
+		if b > encode.MaxQuartic {
+			if !zre {
+				return fmt.Errorf("kernel: invalid quartic byte %d at offset %d", b, off)
+			}
+			k := int(b) - encode.RunBase + 2
+			if gi+k > gTotal {
+				return fmt.Errorf("kernel: zero run at offset %d expands past %d groups", off, gTotal)
+			}
+			gi += k
+			end := w + k*encode.GroupSize
+			if end > n {
+				end = n
+			}
+			for ; w < end; w++ {
+				dst[w] = zero
+			}
+			continue
+		}
+		if gi >= gTotal {
+			return fmt.Errorf("kernel: payload longer than %d groups", gTotal)
+		}
+		gi++
+		row := &tab[b]
+		if w+encode.GroupSize <= n {
+			dst[w] = row[0]
+			dst[w+1] = row[1]
+			dst[w+2] = row[2]
+			dst[w+3] = row[3]
+			dst[w+4] = row[4]
+			w += encode.GroupSize
+		} else {
+			for k := 0; w < n; k, w = k+1, w+1 {
+				dst[w] = row[k]
+			}
+		}
+	}
+	if gi != gTotal {
+		return fmt.Errorf("kernel: payload expands to %d groups, want %d", gi, gTotal)
+	}
+	return nil
+}
+
+// decodeSmall is the small-tensor decode loop: same single pass, ternLUT
+// digits scaled by an inline multiply instead of a prebuilt ScaledLUT.
+func decodeSmall(body []byte, zre bool, m float32, gTotal int, dst []float32) error {
+	n := len(dst)
+	zero := m * float32(0)
+	gi, w := 0, 0
+	for off, b := range body {
+		if b > encode.MaxQuartic {
+			if !zre {
+				return fmt.Errorf("kernel: invalid quartic byte %d at offset %d", b, off)
+			}
+			k := int(b) - encode.RunBase + 2
+			if gi+k > gTotal {
+				return fmt.Errorf("kernel: zero run at offset %d expands past %d groups", off, gTotal)
+			}
+			gi += k
+			end := w + k*encode.GroupSize
+			if end > n {
+				end = n
+			}
+			for ; w < end; w++ {
+				dst[w] = zero
+			}
+			continue
+		}
+		if gi >= gTotal {
+			return fmt.Errorf("kernel: payload longer than %d groups", gTotal)
+		}
+		gi++
+		row := &ternLUT[b]
+		if w+encode.GroupSize <= n {
+			dst[w] = m * float32(row[0])
+			dst[w+1] = m * float32(row[1])
+			dst[w+2] = m * float32(row[2])
+			dst[w+3] = m * float32(row[3])
+			dst[w+4] = m * float32(row[4])
+			w += encode.GroupSize
+		} else {
+			for k := 0; w < n; k, w = k+1, w+1 {
+				dst[w] = m * float32(row[k])
+			}
+		}
+	}
+	if gi != gTotal {
+		return fmt.Errorf("kernel: payload expands to %d groups, want %d", gi, gTotal)
+	}
+	return nil
+}

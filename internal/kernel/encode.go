@@ -1,0 +1,373 @@
+package kernel
+
+import (
+	"math"
+
+	"threelc/internal/encode"
+	"threelc/internal/tensor"
+)
+
+// EncodeTernary is compress pass 2, the fused 3LC encoder: in a single
+// loop over buf it 3-value quantizes each element against the scale m
+// (q = round(v/m), Eq. 2), locally dequantizes and subtracts the sent
+// value so buf is left holding the residual (steps a–b of Figure 3), packs
+// each 5-element group into one quartic byte (§3.2), and — when zeroRun is
+// set — zero-run encodes on the fly (§3.3), appending the wire payload
+// directly to dst. No intermediate ternary buffer or dequantized tensor
+// ever exists.
+//
+// m is the float64 quantization scale max|buf|·s; the value transmitted on
+// the wire (and used for the local dequantization) is float32(m), exactly
+// as in the staged quant.Quantize3Into/DequantizeInto pair, so wires and
+// residuals are bit-identical to the staged pipeline. m == 0 (an all-zero
+// buffer) quantizes everything to zero without touching buf at all.
+func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
+	n := len(buf)
+	qlen := encode.QuarticEncodedLen(n)
+	if m == 0 {
+		// max|buf| == 0: every element quantizes to zero and the residual
+		// subtraction is a no-op, so the wire — one maximal zero run — is
+		// emitted without a pass over tensor memory.
+		if zeroRun {
+			return appendZeroRun(dst, qlen)
+		}
+		return appendZeroGroups(dst, qlen)
+	}
+	notePass("quantize+pack", n)
+	inv := 1 / m
+	dq := makeDequantTab(float32(m))
+	base := len(dst)
+	dst = growCap(dst, qlen)
+	out := dst[base : base+qlen]
+	w, run := 0, 0
+	i := 0
+	for ; i+encode.GroupSize <= n; i += encode.GroupSize {
+		b := quantPack5(buf, i, inv, &dq)
+		if zeroRun {
+			if b == encode.ZeroGroupByte {
+				run++
+				continue
+			}
+			w = flushZeroRun(out, w, run)
+			run = 0
+		}
+		out[w] = b
+		w++
+	}
+	if i < n {
+		b := quantPackTail(buf, i, n, inv, &dq)
+		if zeroRun && b == encode.ZeroGroupByte {
+			run++
+		} else {
+			if zeroRun {
+				w = flushZeroRun(out, w, run)
+				run = 0
+			}
+			out[w] = b
+			w++
+		}
+	}
+	if zeroRun {
+		w = flushZeroRun(out, w, run)
+	}
+	return dst[:base+w]
+}
+
+// ternChunk is one chunk's contribution to the parallel fused encode: the
+// count of leading zero groups, the fully encoded middle (first through
+// last non-zero-group byte), and the count of trailing zero groups. A
+// chunk containing only zero groups reports them all in lead with allZero
+// set, so boundary-spanning zero runs accumulate across any number of
+// chunks during stitch-up.
+type ternChunk struct {
+	lead    int
+	trail   int
+	mid     []byte
+	allZero bool
+}
+
+// EncodeTernaryParallel is the chunked-parallel form of EncodeTernary:
+// chunks aligned to 5-element group boundaries quantize, update residuals,
+// and pack concurrently, then a serial stitch-up merges zero runs that
+// cross chunk boundaries so the output is byte-identical to the serial
+// kernel for any worker count. scratch holds the per-chunk encodings
+// (grown to the quartic length when needed) and is returned for the caller
+// to retain across steps.
+func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, workers int, scratch []byte) (out, newScratch []byte) {
+	n := len(buf)
+	if workers <= 1 || m == 0 {
+		return EncodeTernary(buf, m, zeroRun, dst), scratch
+	}
+	notePass("quantize+pack", n)
+	inv := 1 / m
+	dq := makeDequantTab(float32(m))
+	qlen := encode.QuarticEncodedLen(n)
+	base := len(dst)
+	dst = growCap(dst, qlen)
+	outBuf := dst[base : base+qlen]
+
+	if !zeroRun {
+		// Without zero-run encoding every group maps to a fixed output
+		// byte, so chunks write disjoint spans of the destination directly.
+		forEachChunk(n, encode.GroupSize, workers, func(_, lo, hi int) {
+			quantPackRange(buf, lo, hi, inv, &dq, outBuf)
+		})
+		return dst[:base+qlen], scratch
+	}
+
+	if cap(scratch) < qlen {
+		scratch = make([]byte, qlen)
+	}
+	sc := scratch[:qlen]
+	res := make([]ternChunk, workers)
+	used := forEachChunk(n, encode.GroupSize, workers, func(idx, lo, hi int) {
+		region := sc[lo/encode.GroupSize : (hi+encode.GroupSize-1)/encode.GroupSize]
+		res[idx] = encodeTernaryChunk(buf, lo, hi, inv, &dq, region)
+	})
+
+	// Serial stitch-up: pending carries the zero run open at the current
+	// chunk boundary; it is flushed exactly where the serial encoder would
+	// flush it (the next non-zero-group byte or end of stream).
+	w, pending := 0, 0
+	for c := 0; c < used; c++ {
+		r := &res[c]
+		pending += r.lead
+		if r.allZero {
+			continue
+		}
+		w = flushZeroRun(outBuf, w, pending)
+		copy(outBuf[w:], r.mid)
+		w += len(r.mid)
+		pending = r.trail
+	}
+	w = flushZeroRun(outBuf, w, pending)
+	return dst[:base+w], scratch
+}
+
+// encodeTernaryChunk runs the fused quantize+pack+ZRE loop over buf[lo:hi],
+// writing the chunk's middle encoding into region and reporting boundary
+// zero runs as counts for the stitch-up.
+func encodeTernaryChunk(buf []float32, lo, hi int, inv float64, dq *dequantTab, region []byte) ternChunk {
+	r := ternChunk{allZero: true}
+	w, run := 0, 0
+	emit := func(b byte) {
+		if b == encode.ZeroGroupByte {
+			if r.allZero {
+				r.lead++
+			} else {
+				run++
+			}
+			return
+		}
+		r.allZero = false
+		w = flushZeroRun(region, w, run)
+		run = 0
+		region[w] = b
+		w++
+	}
+	i := lo
+	for ; i+encode.GroupSize <= hi; i += encode.GroupSize {
+		emit(quantPack5(buf, i, inv, dq))
+	}
+	if i < hi {
+		emit(quantPackTail(buf, i, hi, inv, dq))
+	}
+	r.trail = run
+	r.mid = region[:w]
+	return r
+}
+
+// quantPackRange quantizes full groups (plus a trailing partial group when
+// hi is the end of the tensor) of buf[lo:hi] into their absolute group
+// slots of out. Chunk boundaries are multiples of GroupSize, so only the
+// global last chunk can hold a partial group.
+func quantPackRange(buf []float32, lo, hi int, inv float64, dq *dequantTab, out []byte) {
+	g := lo / encode.GroupSize
+	i := lo
+	for ; i+encode.GroupSize <= hi; i, g = i+encode.GroupSize, g+1 {
+		out[g] = quantPack5(buf, i, inv, dq)
+	}
+	if i < hi {
+		out[g] = quantPackTail(buf, i, hi, inv, dq)
+	}
+}
+
+// dequantTab precomputes the three possible dequantized values
+// {−M, M·0, +M} so the hot loop replaces a convert+multiply per element
+// with an index. The entries are built with the exact staged
+// multiplications (M·float32(q)), so table lookup is bit-identical to the
+// staged DequantizeInto — including M = ±Inf, where M·0 is NaN, not zero.
+type dequantTab [3]float32
+
+func makeDequantTab(m32 float32) dequantTab {
+	return dequantTab{m32 * float32(-1), m32 * float32(0), m32 * float32(1)}
+}
+
+// quantOne quantizes one element in place and returns its shifted ternary
+// digit (q+1 ∈ {0,1,2}), subtracting the locally dequantized value so *p
+// is left holding the residual.
+//
+// The staged reference computes q = int8(math.Round(float64(v)·inv)).
+// Because callers uphold m >= max|buf| (pass 1 derives m from the very
+// buffer pass 2 encodes, and the sparsity multiplier only grows it), the
+// product x = v·inv always lands in [−1−2ulp, 1+2ulp] or is NaN (inv
+// cannot overflow: m is at least the smallest positive float32), so
+// round-half-away collapses to two comparisons: x >= 0.5 → +1,
+// x <= −0.5 → −1, else 0 — with NaN taking the 0 branch exactly as the
+// staged int8(NaN) conversion does. This drops the math.Round call that
+// dominated the staged quantize sweep while staying bit-identical;
+// FuzzFusedVsStaged exercises the boundary cases.
+//
+// The two comparisons are written as independent ifs (the conditions are
+// mutually exclusive) so the compiler emits conditional moves: under
+// steady-state error feedback many elements hover around the ±M/2
+// thresholds, which makes an actual branch here mispredict heavily
+// (measured ~3x slower).
+func quantOne(p *float32, inv float64, dq *dequantTab) int {
+	v := *p
+	x := float64(v) * inv
+	q := 1
+	if x >= 0.5 {
+		q = 2
+	}
+	if x <= -0.5 {
+		q = 0
+	}
+	*p = v - dq[q]
+	return q
+}
+
+// quantPack5 quantizes the full group buf[i:i+5] and packs it into one
+// quartic byte (§3.2), updating the residuals in place.
+func quantPack5(buf []float32, i int, inv float64, dq *dequantTab) byte {
+	a := quantOne(&buf[i], inv, dq)
+	b := quantOne(&buf[i+1], inv, dq)
+	c := quantOne(&buf[i+2], inv, dq)
+	d := quantOne(&buf[i+3], inv, dq)
+	e := quantOne(&buf[i+4], inv, dq)
+	return byte(a*81 + b*27 + c*9 + d*3 + e)
+}
+
+// quantPackTail packs the trailing partial group buf[i:n], zero-padding
+// the missing digits exactly like the staged encoder.
+func quantPackTail(buf []float32, i, n int, inv float64, dq *dequantTab) byte {
+	var digits [encode.GroupSize]int
+	for k := range digits {
+		digits[k] = 1 // ternary 0 after the +1 shift
+	}
+	for k := 0; i < n; k, i = k+1, i+1 {
+		digits[k] = quantOne(&buf[i], inv, dq)
+	}
+	return byte(digits[0]*81 + digits[1]*27 + digits[2]*9 + digits[3]*3 + digits[4])
+}
+
+// EncodeStoch is the fused stochastic-ternary encoder (the "Stoch 3-value
+// + QE" baseline): one loop quantizes each element to sign(v) with
+// probability |v|/m and packs the groups into quartic bytes appended to
+// dst. RNG draws happen element by element in input order — exactly the
+// staged quant.QuantizeStochastic3Into sequence — so wires are
+// byte-identical. data is not modified (the stochastic scheme is unbiased
+// and keeps no error state). m == 0 emits all-zero groups without
+// consuming any RNG draws, like the staged quantizer.
+func EncodeStoch(data []float32, m float64, rng *tensor.RNG, dst []byte) []byte {
+	n := len(data)
+	qlen := encode.QuarticEncodedLen(n)
+	if m == 0 {
+		return appendZeroGroups(dst, qlen)
+	}
+	notePass("stoch-quantize+pack", n)
+	inv := 1 / m
+	base := len(dst)
+	dst = growCap(dst, qlen)
+	out := dst[base : base+qlen]
+	g := 0
+	i := 0
+	for ; i+encode.GroupSize <= n; i, g = i+encode.GroupSize, g+1 {
+		a := stochDigit(data[i], inv, rng)
+		b := stochDigit(data[i+1], inv, rng)
+		c := stochDigit(data[i+2], inv, rng)
+		d := stochDigit(data[i+3], inv, rng)
+		e := stochDigit(data[i+4], inv, rng)
+		out[g] = byte(a*81 + b*27 + c*9 + d*3 + e)
+	}
+	if i < n {
+		var digits [encode.GroupSize]uint16
+		for k := range digits {
+			digits[k] = 1
+		}
+		for k := 0; i < n; k, i = k+1, i+1 {
+			digits[k] = stochDigit(data[i], inv, rng)
+		}
+		out[g] = byte(digits[0]*81 + digits[1]*27 + digits[2]*9 + digits[3]*3 + digits[4])
+	}
+	return dst[:base+qlen]
+}
+
+// stochDigit draws one stochastic ternary digit: sign(v) with probability
+// |v|/m, zero otherwise. One RNG draw per element, always — matching the
+// staged quantizer's consumption order.
+func stochDigit(v float32, inv float64, rng *tensor.RNG) uint16 {
+	p := math.Abs(float64(v)) * inv
+	if rng.Float64() < p {
+		if v > 0 {
+			return 2
+		}
+		return 0
+	}
+	return 1
+}
+
+// flushZeroRun emits the canonical zero-run encoding of a run of `run`
+// zero-group bytes at out[w:], returning the advanced cursor: runs of
+// 2..14 become one byte in [243, 255], longer runs chain greedily, and a
+// lone zero group is copied literally — byte-for-byte the staged
+// encode.ZeroRunEncodeAppend emission.
+func flushZeroRun(out []byte, w, run int) int {
+	for run >= 2 {
+		k := run
+		if k > encode.MaxRun {
+			k = encode.MaxRun
+		}
+		out[w] = byte(encode.RunBase + k - 2)
+		w++
+		run -= k
+	}
+	if run == 1 {
+		out[w] = encode.ZeroGroupByte
+		w++
+	}
+	return w
+}
+
+// appendZeroRun appends the zero-run encoding of `groups` consecutive zero
+// groups — the whole-tensor-is-zero fast path.
+func appendZeroRun(dst []byte, groups int) []byte {
+	// ceil(groups/MaxRun) run bytes, +1 for a possible trailing literal.
+	dst = growCap(dst, groups/encode.MaxRun+2)
+	w := len(dst)
+	out := dst[w : w+groups/encode.MaxRun+2]
+	return dst[:w+flushZeroRun(out, 0, groups)]
+}
+
+// appendZeroGroups appends `groups` literal zero-group bytes (the m == 0
+// fast path without zero-run encoding).
+func appendZeroGroups(dst []byte, groups int) []byte {
+	dst = growCap(dst, groups)
+	for i := 0; i < groups; i++ {
+		dst = append(dst, encode.ZeroGroupByte)
+	}
+	return dst
+}
+
+// growCap ensures cap(dst)-len(dst) >= n without changing len, with 1/8
+// headroom so buffers whose needed size fluctuates step to step converge
+// to a stable capacity instead of reallocating at every new maximum.
+func growCap(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		want := len(b) + n
+		nb := make([]byte, len(b), want+want/8)
+		copy(nb, b)
+		return nb
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+// FuzzFusedVsStaged is the differential fuzz target behind the fused
+// kernels' bit-compatibility guarantee: for arbitrary tensor contents
+// (including NaN/Inf bit patterns), sparsity multipliers, and both ZRE
+// settings, the fused compress path must produce byte-identical wires and
+// bit-identical residual buffers to the staged quant+encode composition —
+// across two accumulating steps, in serial and chunked-parallel form —
+// and the fused LUT decoder must reproduce the staged decode bit-exactly.
+func FuzzFusedVsStaged(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), true)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(128), false)
+	f.Add(bytes.Repeat([]byte{0xff, 0xff, 0x7f, 0x7f}, 9), uint8(255), true) // large finite values
+	f.Add(bytes.Repeat([]byte{0, 0, 0xc0, 0x7f}, 7), uint8(17), true)        // NaNs
+
+	f.Fuzz(func(t *testing.T, data []byte, sByte uint8, zre bool) {
+		n := len(data) / 4
+		if n == 0 || n > 1<<14 {
+			return
+		}
+		// Sparsity in [1, 2): the full legal range of Eq. 1.
+		s := 1 + float64(sByte)/256
+
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+		}
+		in := tensor.FromSlice(append([]float32(nil), vals...), n)
+
+		accStaged := tensor.New(n)
+		bufSerial := make([]float32, n)
+		bufParallel := make([]float32, n)
+
+		for step := 0; step < 2; step++ {
+			wantWire, wantM := stagedTernary(accStaged, in, s, zre)
+
+			parIn := append([]float32(nil), in.Data()...)
+			m := float64(AccumulateMaxAbs(bufSerial, in.Data())) * s
+			mPar := float64(AccumulateMaxAbsParallel(bufParallel, parIn, 3)) * s
+			if math.Float64bits(m) != math.Float64bits(mPar) {
+				t.Fatalf("step %d: serial scale %v != parallel %v", step, m, mPar)
+			}
+			if math.Float32bits(float32(m)) != math.Float32bits(wantM) {
+				t.Fatalf("step %d: fused scale %v != staged %v", step, float32(m), wantM)
+			}
+
+			gotSerial := EncodeTernary(bufSerial, m, zre, nil)
+			gotParallel, _ := EncodeTernaryParallel(bufParallel, m, zre, nil, 3, nil)
+			if !bytes.Equal(gotSerial, wantWire) {
+				t.Fatalf("step %d: serial fused wire != staged wire (%d vs %d bytes)", step, len(gotSerial), len(wantWire))
+			}
+			if !bytes.Equal(gotParallel, wantWire) {
+				t.Fatalf("step %d: parallel fused wire != staged wire", step)
+			}
+			if i, ok := bitsEqual(bufSerial, accStaged.Data()); !ok {
+				t.Fatalf("step %d: serial residual differs at %d", step, i)
+			}
+			if i, ok := bitsEqual(bufParallel, accStaged.Data()); !ok {
+				t.Fatalf("step %d: parallel residual differs at %d", step, i)
+			}
+
+			// Decode side: the fused LUT decoder must agree with the
+			// staged expand+scaled-decode bit for bit. Skip wires the
+			// staged decoder itself rejects (garbage values can quantize
+			// outside the ternary range and produce undecodable bytes).
+			want, errStaged := stagedDecode(wantWire, zre, wantM, n)
+			got := make([]float32, n)
+			errFused := DecodeTernary(wantWire, zre, wantM, got)
+			if (errStaged == nil) != (errFused == nil) {
+				t.Fatalf("step %d: staged decode err=%v, fused err=%v", step, errStaged, errFused)
+			}
+			if errStaged == nil {
+				if i, ok := bitsEqual(got, want); !ok {
+					t.Fatalf("step %d: decode differs at %d: %x vs %x",
+						step, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeTernary feeds arbitrary bytes to the fused decoder: untrusted
+// network payloads may error but must never panic, in any destination
+// size, on both sides of the ScaledLUT threshold.
+func FuzzDecodeTernary(f *testing.F) {
+	f.Add([]byte{121, 121, 121}, uint32(0x3f800000), true)
+	f.Add([]byte{255, 0, 243}, uint32(0x7fc00000), true) // runs + NaN scale
+	f.Add([]byte{242, 121}, uint32(0), false)
+
+	small := make([]float32, 13)
+	big := make([]float32, scaledLUTMinElems+2)
+	f.Fuzz(func(t *testing.T, body []byte, mBits uint32, zre bool) {
+		m := math.Float32frombits(mBits)
+		_ = DecodeTernary(body, zre, m, small)
+		_ = DecodeTernary(body, zre, m, big)
+	})
+}

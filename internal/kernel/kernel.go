@@ -1,0 +1,237 @@
+// Package kernel implements the fused single-pass hot-path kernels of the
+// 3LC compression pipeline.
+//
+// The staged pipeline (package quant + package encode) realizes §3.1–§3.3
+// as seven separate full sweeps over tensor memory — accumulate, |max|
+// reduction, quantize, local dequantize, residual update, quartic pack,
+// zero-run emit — so steady-state step time is memory-bandwidth bound.
+// This package collapses the per-element work so the whole compress side
+// touches tensor memory exactly twice and the decode side exactly once:
+//
+//	pass 1  AccumulateMaxAbs    buf += in fused with the max|buf| reduction
+//	pass 2  EncodeTernary       quantize → local-dequantize → residual →
+//	                            quartic-pack → zero-run-emit in one loop
+//	                            that writes wire bytes directly
+//	decode  DecodeTernary       ZRE-expand → quartic-unpack → scaled-apply
+//	                            in one LUT-driven loop streaming wire bytes
+//	                            straight into the destination floats
+//
+// Every kernel is bit-compatible with the staged reference: wires are
+// byte-identical and residual buffers bit-identical for any input,
+// property-tested (and fuzzed, FuzzFusedVsStaged) against the staged
+// composition. The staged primitives remain in quant/encode as the
+// reference implementation and for callers that need the intermediate
+// representations.
+//
+// Both compress passes have chunked-parallel forms (two-phase parallel max
+// reduction; group-aligned parallel fused encode with a per-chunk zero-run
+// stitch-up) that produce byte-identical output to the serial kernels for
+// any worker count. Scheduling is pass-count aware: see PassWorkers.
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// PassHook, when non-nil, is called once per full sweep a kernel in this
+// package makes over tensor memory, with a pass label and the element
+// count swept. It is the pass-counting test double behind the "compress is
+// exactly two passes, decode exactly one" guarantee: tests install a
+// recording hook, run the pipeline, and count calls. Production code must
+// leave it nil (the hot loops pay only a nil check).
+var PassHook func(pass string, elems int)
+
+func notePass(pass string, n int) {
+	if PassHook != nil {
+		PassHook(pass, n)
+	}
+}
+
+// Pass-count-aware parallel scheduling.
+//
+// With the pipeline fused into two passes, each pass is a large fraction
+// of total step time, so the fan-out decision is made per pass rather than
+// per pipeline: a pass's goroutine count scales with the work *that pass*
+// performs per element. The reduction pass (accumulate + |max|) streams at
+// ~2 flops/element and only amortizes goroutine handoff at about twice the
+// span the quantize+pack pass (~12 flops/element plus the byte emit)
+// needs, so each pass class declares its own minimum span and callers ask
+// PassWorkers once per pass.
+const (
+	// ParallelThresholdElems is the tensor size below which every pass
+	// runs serially: under it, fan-out overhead outweighs any win.
+	ParallelThresholdElems = 1 << 18
+	// SpanReduce is the minimum number of elements per goroutine for the
+	// memory-bound reduction pass (pass 1).
+	SpanReduce = 1 << 17
+	// SpanEncode is the minimum number of elements per goroutine for the
+	// compute-bound fused quantize+pack pass (pass 2).
+	SpanEncode = 1 << 16
+)
+
+// PassWorkers returns the goroutine fan-out for one fused pass over n
+// elements: 1 below ParallelThresholdElems, otherwise GOMAXPROCS capped by
+// the caller's budget (budget <= 0 means no cap) and by work
+// proportionality (at least span elements per goroutine, so small passes
+// never over-spawn even under a generous budget).
+func PassWorkers(n, budget, span int) int {
+	if n < ParallelThresholdElems {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if budget > 0 && w > budget {
+		w = budget
+	}
+	if m := n / span; w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachChunk splits [0, n) into `workers` contiguous spans whose
+// boundaries (except the last) are multiples of align and runs fn(idx, lo,
+// hi) for each span on its own goroutine. With one resulting span, fn runs
+// on the calling goroutine. Unlike encode.Chunked it hands fn the chunk
+// index, which the two-phase reductions and the zero-run stitch-up need to
+// address per-chunk result slots.
+func forEachChunk(n, align, workers int, fn func(idx, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if align < 1 {
+		align = 1
+	}
+	groups := (n + align - 1) / align
+	if workers > groups {
+		workers = groups
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	per := groups / workers
+	rem := groups % workers
+	var wg sync.WaitGroup
+	lo := 0
+	for g := 0; g < workers; g++ {
+		cnt := per
+		if g < rem {
+			cnt++
+		}
+		hi := lo + cnt*align
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(idx, lo, hi int) {
+			defer wg.Done()
+			fn(idx, lo, hi)
+		}(g, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return workers
+}
+
+// AccumulateMaxAbs is compress pass 1: it adds in to buf element-wise and
+// returns max|buf| of the updated buffer, fusing the error-accumulation
+// sweep with the |max| reduction the quantizer needs (the staged pipeline
+// runs them as two separate sweeps). buf and in must have equal length.
+func AccumulateMaxAbs(buf, in []float32) float32 {
+	if len(buf) != len(in) {
+		panic(fmt.Sprintf("kernel: AccumulateMaxAbs length mismatch %d != %d", len(buf), len(in)))
+	}
+	notePass("accumulate+maxabs", len(buf))
+	return accMaxAbsRange(buf, in)
+}
+
+// accMaxAbsRange is the unhooked serial core shared by the serial and
+// chunked-parallel forms. |s| is taken by masking the sign bit rather than
+// a compare-and-negate: the sign of random data makes that branch
+// unpredictable (measured ~7x slower), while the mask is branchless. The
+// reduction result is bit-identical either way — ±0 and NaN lose every
+// `a > m` comparison under both forms.
+func accMaxAbsRange(buf, in []float32) float32 {
+	var m float32
+	buf = buf[:len(in)]
+	for i, v := range in {
+		s := buf[i] + v
+		buf[i] = s
+		a := math.Float32frombits(math.Float32bits(s) &^ (1 << 31))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AccumulateMaxAbsParallel is the chunked form of AccumulateMaxAbs: a
+// two-phase parallel max reduction (each chunk accumulates its span and
+// reduces a local max, then the chunk maxes reduce serially). float32 max
+// is associative, so the result is bit-identical to the serial kernel for
+// any worker count. workers <= 1 runs the serial kernel.
+func AccumulateMaxAbsParallel(buf, in []float32, workers int) float32 {
+	if len(buf) != len(in) {
+		panic(fmt.Sprintf("kernel: AccumulateMaxAbs length mismatch %d != %d", len(buf), len(in)))
+	}
+	notePass("accumulate+maxabs", len(buf))
+	if workers <= 1 || len(buf) == 0 {
+		return accMaxAbsRange(buf, in)
+	}
+	maxes := make([]float32, workers)
+	used := forEachChunk(len(buf), 1, workers, func(idx, lo, hi int) {
+		maxes[idx] = accMaxAbsRange(buf[lo:hi], in[lo:hi])
+	})
+	var m float32
+	for _, v := range maxes[:used] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxAbs returns max|data| in one hooked sweep. It is pass 1 of the fused
+// stochastic-ternary pipeline, which has no error accumulation to fuse the
+// reduction with.
+func MaxAbs(data []float32) float32 {
+	notePass("maxabs", len(data))
+	return maxAbsRange(data)
+}
+
+// MaxAbsParallel is the two-phase chunked form of MaxAbs, bit-identical
+// for any worker count.
+func MaxAbsParallel(data []float32, workers int) float32 {
+	notePass("maxabs", len(data))
+	if workers <= 1 || len(data) == 0 {
+		return maxAbsRange(data)
+	}
+	maxes := make([]float32, workers)
+	used := forEachChunk(len(data), 1, workers, func(idx, lo, hi int) {
+		maxes[idx] = maxAbsRange(data[lo:hi])
+	})
+	var m float32
+	for _, v := range maxes[:used] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxAbsRange(data []float32) float32 {
+	var m float32
+	for _, v := range data {
+		a := math.Float32frombits(math.Float32bits(v) &^ (1 << 31))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"threelc/internal/compress"
+	"threelc/internal/nn"
 	"threelc/internal/tensor"
 )
 
@@ -93,6 +94,13 @@ func TestParallelismMatchesSerial(t *testing.T) {
 	}
 }
 
+// benchModel is sized so the codec hot path dominates the measurement
+// (largest tensor ~200k elements, ResNet-convlayer scale) instead of the
+// per-step fixed overhead a toy model would measure.
+func benchModel(seed uint64) *nn.Model {
+	return nn.NewMLP(784, []int{256}, 10, seed)
+}
+
 // BenchmarkSteadyStatePushPull measures one full codec round trip of the
 // parameter-server hot path — worker compress, server decode+aggregate,
 // server update+shared-pull compress, worker apply — with all buffers
@@ -102,9 +110,9 @@ func TestParallelismMatchesSerial(t *testing.T) {
 func BenchmarkSteadyStatePushPull(b *testing.B) {
 	cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.75, ZeroRun: true}, 1)
 	cfg.Parallelism = 1
-	global := testModel(1)
+	global := benchModel(1)
 	server := NewServer(global, cfg)
-	m := testModel(1)
+	m := benchModel(1)
 	m.CopyParamsFrom(global)
 	worker := NewWorker(0, m, cfg)
 

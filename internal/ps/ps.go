@@ -29,8 +29,12 @@
 // server recycle per-tensor wire buffers across steps through the
 // append-style compress.CompressInto API, and layer tensors are
 // compressed/decompressed concurrently by a bounded worker pool
-// (Config.Parallelism). Wire sets returned by CompressGrads and FinishStep
-// alias those recycled buffers — valid until the owner's next step.
+// (Config.Parallelism). Per tensor, the ternary codecs run on the fused
+// kernels of internal/kernel — two passes over tensor memory to compress,
+// one LUT-driven pass to decompress — so a node's step cost is two
+// streaming sweeps of its model size plus the wire bytes. Wire sets
+// returned by CompressGrads and FinishStep alias those recycled buffers —
+// valid until the owner's next step.
 package ps
 
 import (
@@ -131,10 +135,14 @@ func (c Config) newContext(p *nn.Param, seed uint64, tensors int) compress.Compr
 	if o.CodecParallelism == 0 {
 		// Split the node's goroutine budget between the two levels of
 		// fan-out: the per-tensor pool takes min(par, tensors) workers,
-		// and each context's chunked encoder gets the remainder, so the
-		// product stays ~par. A single-tensor model gets full chunk
-		// parallelism; a many-tensor model gets serial codecs under a
-		// wide pool; Parallelism=1 means fully serial everywhere.
+		// and each context's fused kernels get the remainder, so the
+		// product stays ~par. Below the per-context cap the scheduling is
+		// pass-count aware (kernel.PassWorkers): each of the two fused
+		// compress passes sizes its own fan-out to that pass's per-element
+		// work, so the cap set here is a ceiling, not a fixed spawn count.
+		// A single-tensor model gets full chunk parallelism; a many-tensor
+		// model gets serial kernels under a wide pool; Parallelism=1 means
+		// fully serial everywhere.
 		par := c.parallelism()
 		pool := par
 		if tensors > 0 && tensors < pool {

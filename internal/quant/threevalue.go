@@ -10,6 +10,13 @@
 // All quantizers operate on flat []float32 data and are written as simple
 // loops over dense arrays — the direct analogue of the paper's "vectorizable
 // operations" argument.
+//
+// These staged single-responsibility sweeps are the *reference
+// implementation*: the production hot path (package compress) runs the
+// fused kernels of internal/kernel, which collapse accumulate → |max| →
+// quantize → dequantize → residual into two passes with bit-identical
+// results. The differential tests and FuzzFusedVsStaged pin the fused
+// kernels to the functions in this package.
 package quant
 
 import (

@@ -15,10 +15,15 @@
 //     settings where tensor sizes are unknown or shard membership is
 //     dynamic: adding a shard relocates only ~1/N of the keys.
 //   - Cluster (cluster.go): the runtime tier. Each shard runs the
-//     zero-allocation codec pool of package ps behind a bounded request
-//     queue serviced by its own goroutine, and the push/pull driver
-//     pipelines requests to all shards with an in-flight window,
-//     per-shard outstanding budgets, and straggler-aware timeout+retry.
+//     zero-allocation codec pool of package ps — per tensor, the fused
+//     two-pass compress / one-pass LUT decode kernels of internal/kernel —
+//     behind a bounded request queue serviced by its own goroutine, and
+//     the push/pull driver pipelines requests to all shards with an
+//     in-flight window, per-shard outstanding budgets, and
+//     straggler-aware timeout+retry. Because each shard owns a disjoint
+//     tensor subset, shard goroutines multiply with the kernels'
+//     pass-level fan-out; ps.Config.Parallelism bounds the product per
+//     shard exactly as on a single server.
 //
 // Placement, like compression, is exact: the union of all shards' state
 // is byte-identical to a single parameter server's (see

@@ -74,7 +74,10 @@ type Config struct {
 	MinCompressElems int
 	// Parallelism bounds the per-node worker pool that compresses and
 	// decompresses layer tensors concurrently (see ps.Config.Parallelism).
-	// Zero means GOMAXPROCS; 1 forces serial codecs, which the alloc-free
+	// Within each tensor the budget is spent pass-count aware: the two
+	// fused compress passes of internal/kernel each size their own
+	// goroutine fan-out under this cap (kernel.PassWorkers). Zero means
+	// GOMAXPROCS; 1 forces serial kernels, which the alloc-free
 	// steady-state benchmarks use.
 	Parallelism int
 	// Optimizer overrides the server-side SGD configuration; nil uses

@@ -212,6 +212,151 @@ func TestTCPTrainingMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestTCPAllCodecsMatchInProcess extends the TCP-vs-in-process
+// equivalence gate to every registered codec: the fused kernels behind
+// the ternary schemes (and the staged paths behind the rest) must move
+// byte-identical wires over real sockets, landing the global model on
+// bit-identical weights. The codec list mirrors internal/shard's
+// allCodecs, which TestAllCodecsCoverRegistry pins to the registry.
+func TestTCPAllCodecsMatchInProcess(t *testing.T) {
+	codecs := []struct {
+		name string
+		s    compress.Scheme
+		o    compress.Options
+	}{
+		{"float32", compress.SchemeNone, compress.Options{}},
+		{"int8", compress.SchemeInt8, compress.Options{}},
+		{"3lc", compress.SchemeThreeLC, compress.Options{Sparsity: 1.5, ZeroRun: true}},
+		{"stoch3", compress.SchemeStoch3QE, compress.Options{Seed: 9}},
+		{"mqe1bit", compress.SchemeMQE1Bit, compress.Options{}},
+		{"topk", compress.SchemeTopK, compress.Options{Fraction: 0.3, Seed: 9}},
+		{"localsteps", compress.SchemeLocalSteps, compress.Options{Interval: 2}},
+		{"roundrobin", compress.SchemeRoundRobin, compress.Options{Parts: 3}},
+	}
+	covered := map[compress.Scheme]bool{}
+	for _, c := range codecs {
+		covered[c.s] = true
+	}
+	for _, s := range compress.RegisteredSchemes() {
+		if !covered[s] {
+			t.Errorf("registered scheme %v has no TCP-equivalence coverage", s)
+		}
+	}
+
+	const workers, steps = 2, 4
+	build := func() *nn.Model { return nn.NewMLP(8, []int{6}, 3, 1) }
+	for _, codec := range codecs {
+		t.Run(codec.name, func(t *testing.T) {
+			psCfg := ps.Config{
+				Scheme:           codec.s,
+				Opts:             codec.o,
+				Workers:          workers,
+				MinCompressElems: 1,
+				Parallelism:      1,
+				Optimizer:        opt.DefaultSGDConfig(workers, steps),
+			}
+			type batch struct {
+				x      *tensor.Tensor
+				labels []int
+			}
+			batches := make([][]batch, workers)
+			rng := tensor.NewRNG(7)
+			for w := 0; w < workers; w++ {
+				for s := 0; s < steps; s++ {
+					x := tensor.New(4, 8)
+					tensor.FillNormal(x, 1, rng)
+					batches[w] = append(batches[w], batch{x: x, labels: []int{0, 1, 2, 0}})
+				}
+			}
+
+			// In-process reference.
+			refGlobal := build()
+			refServer := ps.NewServer(refGlobal, psCfg)
+			refWorkers := make([]*ps.Worker, workers)
+			for w := 0; w < workers; w++ {
+				m := build()
+				m.CopyParamsFrom(refGlobal)
+				refWorkers[w] = ps.NewWorker(w, m, psCfg)
+			}
+			for s := 0; s < steps; s++ {
+				refServer.BeginStep()
+				for w := 0; w < workers; w++ {
+					refWorkers[w].Model.TrainStep(batches[w][s].x, batches[w][s].labels)
+					wires, _ := refWorkers[w].CompressGrads()
+					if _, err := refServer.AddPush(w, wires); err != nil {
+						t.Fatal(err)
+					}
+				}
+				pull, _, err := refServer.FinishStep()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for w := 0; w < workers; w++ {
+					if _, err := refWorkers[w].ApplyPull(pull); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Same workload over loopback TCP.
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcpGlobal := build()
+			tcpServer := NewServer(ln, ps.NewServer(tcpGlobal, psCfg), workers, steps)
+			serveErr := make(chan error, 1)
+			go func() { serveErr <- tcpServer.Serve() }()
+
+			var wg sync.WaitGroup
+			workerErr := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					m := build()
+					m.CopyParamsFrom(tcpGlobal)
+					worker := ps.NewWorker(w, m, psCfg)
+					client, err := Dial(ln.Addr().String(), w)
+					if err != nil {
+						workerErr <- err
+						return
+					}
+					defer client.Close()
+					for s := 0; s < steps; s++ {
+						worker.Model.TrainStep(batches[w][s].x, batches[w][s].labels)
+						wires, _ := worker.CompressGrads()
+						pull, err := client.PushPull(s, wires)
+						if err != nil {
+							workerErr <- err
+							return
+						}
+						if _, err := worker.ApplyPull(pull); err != nil {
+							workerErr <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(workerErr)
+			for err := range workerErr {
+				t.Fatal(err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Fatal(err)
+			}
+
+			rp, tp := refGlobal.Params(), tcpGlobal.Params()
+			for i := range rp {
+				if !rp[i].W.Equal(tp[i].W) {
+					t.Errorf("parameter %s differs between TCP and in-process runs", rp[i].Name)
+				}
+			}
+		})
+	}
+}
+
 func TestServerRejectsDuplicateWorkerID(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
