@@ -7,6 +7,7 @@
 //	3lc-bench -exp fig7            # Figure 7: loss/accuracy series
 //	3lc-bench -exp fig9            # Figure 9: bits per state change series
 //	3lc-bench -exp shard           # sharded-PS scaling: shard count x codec
+//	3lc-bench -exp agg             # aggregation: workers x codec decode-add throughput
 //	3lc-bench -exp all             # everything
 //
 // Runs are cached within a single invocation, so "-exp all" reuses the
@@ -28,13 +29,17 @@ import (
 	"threelc/internal/compress"
 	"threelc/internal/encode"
 	"threelc/internal/experiments"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/ps"
 	"threelc/internal/quant"
 	"threelc/internal/tensor"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | all")
+		exp      = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | agg | all")
+		iters    = flag.Int("iters", 20, "iterations per micro-benchmark measurement (-exp codec); the recorded baseline carries this count")
 		steps    = flag.Int("steps", 0, "override standard training steps (default from suite)")
 		workers  = flag.Int("workers", 0, "override worker count")
 		shards   = flag.String("shards", "1,2,4", "comma-separated shard counts for -exp shard")
@@ -102,12 +107,27 @@ func main() {
 			rows := experiments.ArchitectureContrast(16)
 			experiments.PrintArchitectureContrast(os.Stdout, rows)
 		case "codec":
-			records := codecBench(os.Stdout)
+			records := codecBench(os.Stdout, *iters)
 			if *benchOut != "" {
 				if err := writeBenchJSON(*benchOut, records); err != nil {
 					return err
 				}
 				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+			}
+		case "agg":
+			var progress io.Writer
+			if !*quiet {
+				progress = os.Stderr
+			}
+			rows, err := experiments.AggregateScaling(experiments.AggregateScalingDesigns(), []int{1, 2, 4, 8}, 1<<20, progress)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAggregateScaling(os.Stdout, rows)
+			if err := writeCSV("agg.csv", func(w *os.File) error {
+				return experiments.WriteAggregateScalingCSV(w, rows)
+			}); err != nil {
+				return err
 			}
 		case "shard":
 			counts, err := parseShardCounts(*shards)
@@ -209,7 +229,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shard"}
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shard", "agg"}
 	} else {
 		names = []string{*exp}
 	}
@@ -270,13 +290,20 @@ func writeBenchJSON(path string, records []benchRecord) error {
 
 // codecBench is a quick in-process measurement of the zero-allocation
 // compression pipeline: steady-state CompressInto throughput per scheme at
-// 1M elements, the staged-vs-fused kernel comparison, and the chunked
-// parallel quartic-encode speedup. It is the CLI companion of the
-// -benchmem benchmarks (`go test -bench 'Fused|Staged' -benchmem
-// ./internal/kernel`), for eyeballing on a target machine without the
-// test harness; the returned records feed the -bench-out baseline.
-func codecBench(w *os.File) []benchRecord {
+// 1M elements, the staged-vs-fused kernel comparison, the fused
+// decode-accumulate vs decode-then-add aggregation comparison, the full
+// parameter-server push/pull round trip, and the chunked parallel
+// quartic-encode speedup. It is the CLI companion of the -benchmem
+// benchmarks (`go test -bench 'Fused|Staged|DecodeAdd|SteadyState'
+// -benchmem ./internal/...`), for eyeballing on a target machine without
+// the test harness; the returned records feed the -bench-out baseline,
+// with names matching the go-test benchmarks so cmd/benchcheck's
+// -baseline gate can compare them directly.
+func codecBench(w *os.File, iters int) []benchRecord {
 	const n = 1 << 20
+	if iters < 1 {
+		iters = 1
+	}
 	rng := tensor.NewRNG(4)
 	in := tensor.New(n)
 	tensor.FillNormal(in, 0.01, rng)
@@ -315,15 +342,92 @@ func codecBench(w *os.File) []benchRecord {
 	for _, c := range cases {
 		ctx := compress.New(c.s, []int{n}, c.o)
 		var wire []byte
-		d := measure(3, func() { wire = ctx.CompressInto(in, wire[:0]) })
+		d := measure(iters, func() { wire = ctx.CompressInto(in, wire[:0]) })
 		mbps := float64(4*n) / d.Seconds() / 1e6
 		bits := float64(len(wire)) * 8 / float64(n)
 		fmt.Fprintf(w, "%-22s %12d %10.0f %12.2f\n", c.name, d.Nanoseconds(), mbps, bits)
 		records = append(records, benchRecord{
-			Name: "CompressInto/" + c.name, Iterations: 3, NsPerOp: float64(d.Nanoseconds()),
+			Name: "CompressInto/" + c.name, Iterations: int64(iters), NsPerOp: float64(d.Nanoseconds()),
 			BytesPerOp: -1, AllocsPerOp: -1,
 			Extra: map[string]float64{"MB/s": mbps, "bits/elem": bits},
 		})
+	}
+
+	// Aggregation: fused decode-accumulate vs staged decode-then-add on a
+	// 3LC wire (the server-side AddPush hot path). Names match the
+	// go-test benchmarks in internal/kernel.
+	{
+		ctx := compress.New(compress.SchemeThreeLC, []int{n}, compress.Options{Sparsity: 1.75, ZeroRun: true})
+		wire := ctx.CompressInto(in, nil)
+		sum := tensor.New(n)
+		scratch := tensor.New(n)
+		fused := measure(iters, func() {
+			if err := compress.DecompressAddInto(wire, sum, 1); err != nil {
+				panic(err)
+			}
+		})
+		staged := measure(iters, func() {
+			if err := compress.DecompressInto(wire, scratch); err != nil {
+				panic(err)
+			}
+			sum.Add(scratch)
+		})
+		fmt.Fprintf(w, "\nAggregation (decode one 1M-element 3LC push into the gradient sum):\n")
+		fmt.Fprintf(w, "  decode-then-add %8d ns/op\n", staged.Nanoseconds())
+		fmt.Fprintf(w, "  decode-add      %8d ns/op  (%.2fx, single fused pass)\n",
+			fused.Nanoseconds(), float64(staged)/float64(fused))
+		records = append(records,
+			benchRecord{Name: "DecodeThenAdd/1M", Iterations: int64(iters), NsPerOp: float64(staged.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
+			benchRecord{Name: "DecodeAdd/1M", Iterations: int64(iters), NsPerOp: float64(fused.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1,
+				Extra: map[string]float64{"speedup": float64(staged) / float64(fused)}})
+	}
+
+	// Full parameter-server round trip — the committed perf baseline the
+	// CI bench leg gates BenchmarkSteadyStatePushPull against.
+	{
+		mk := func(staged bool) func() {
+			cfg := ps.Config{
+				Scheme:           compress.SchemeThreeLC,
+				Opts:             compress.Options{Sparsity: 1.75, ZeroRun: true},
+				Workers:          1,
+				MinCompressElems: 8, // matches internal/ps's benchmark config
+				Parallelism:      1,
+				StagedAggregate:  staged,
+				Optimizer:        opt.DefaultSGDConfig(1, 1000),
+			}
+			global := nn.NewMLP(784, []int{256}, 10, 1)
+			server := ps.NewServer(global, cfg)
+			m := nn.NewMLP(784, []int{256}, 10, 1)
+			m.CopyParamsFrom(global)
+			worker := ps.NewWorker(0, m, cfg)
+			grng := tensor.NewRNG(31)
+			for _, p := range worker.Model.Params() {
+				tensor.FillNormal(p.G, 0.01, grng)
+			}
+			return func() {
+				wires, _ := worker.CompressGrads()
+				server.BeginStep()
+				if _, err := server.AddPush(0, wires); err != nil {
+					panic(err)
+				}
+				pull, _, err := server.FinishStep()
+				if err != nil {
+					panic(err)
+				}
+				if _, err := worker.ApplyPull(pull); err != nil {
+					panic(err)
+				}
+			}
+		}
+		fusedStep := measure(iters, mk(false))
+		stagedStep := measure(iters, mk(true))
+		fmt.Fprintf(w, "\nSteady-state push/pull round trip (ps, MLP 784-256-10, serial codecs):\n")
+		fmt.Fprintf(w, "  staged aggregate %8d ns/op\n", stagedStep.Nanoseconds())
+		fmt.Fprintf(w, "  fused aggregate  %8d ns/op  (%.2fx)\n",
+			fusedStep.Nanoseconds(), float64(stagedStep)/float64(fusedStep))
+		records = append(records,
+			benchRecord{Name: "SteadyStatePushPull", Iterations: int64(iters), NsPerOp: float64(fusedStep.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
+			benchRecord{Name: "SteadyStatePushPullStaged", Iterations: int64(iters), NsPerOp: float64(stagedStep.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1})
 	}
 
 	// Staged-vs-fused kernel comparison: what collapsing seven sweeps to

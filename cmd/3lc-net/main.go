@@ -43,6 +43,7 @@ func main() {
 		batch      = flag.Int("batch", 16, "per-worker batch size")
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
 		shards     = flag.Int("shards", 1, "parameter-server shard count; shard s listens on -addr's port + s (each shard gets its own listener; workers multiplex)")
+		stream     = flag.Bool("stream", false, "per-tensor streamed pipeline: push each tensor as its compressor finishes (the server decode-aggregates it on arrival) and decode-apply pulls double-buffered; implies the shard-tier transport even at -shards 1")
 	)
 	flag.Parse()
 
@@ -78,13 +79,14 @@ func main() {
 	if *shards < 1 {
 		*shards = 1
 	}
+	useShardTier := *shards > 1 || *stream
 	global := build()
 
 	// trafficFn reports (push, pull) bytes summed over the server tier.
 	var trafficFn func() (int64, int64)
 	addrs := make([]string, *shards)
 	serveErr := make(chan error, *shards)
-	if *shards > 1 {
+	if useShardTier {
 		// One listener per shard; workers hold one multiplexed connection
 		// to each. Shard s binds -addr's port + s (kernel-assigned ports
 		// when the requested port is 0).
@@ -176,11 +178,13 @@ func main() {
 				PushPull(step int, wires [][]byte) ([][]byte, error)
 				Close() error
 			}
+			var shardClient *transport.ShardClient
 			var err error
-			if *shards > 1 {
+			if useShardTier {
 				// Each worker derives the placement from its own replica;
 				// the handshake hash certifies it matches the server tier.
-				client, err = transport.DialSharded(addrs, w, shard.ForModel(m, *shards))
+				shardClient, err = transport.DialSharded(addrs, w, shard.ForModel(m, *shards))
+				client = shardClient
 			} else {
 				client, err = transport.Dial(addrs[0], w)
 			}
@@ -189,6 +193,7 @@ func main() {
 				os.Exit(1)
 			}
 			defer client.Close()
+			params := len(m.Params())
 			rng := tensor.NewRNG(uint64(w)*977 + 3)
 			for s := 0; s < *steps; s++ {
 				idx := make([]int, *batch)
@@ -197,6 +202,22 @@ func main() {
 				}
 				x, labels := trainSet.FlatBatch(idx, nil, nil)
 				worker.Model.TrainStep(x, labels)
+				if *stream {
+					// Overlapped pipeline: tensors enter the wire as their
+					// compressors finish; pulls decode-apply per frame.
+					ch := make(chan transport.IndexedWire, params)
+					go func() {
+						worker.CompressGradsStream(func(i int, wire []byte) {
+							ch <- transport.IndexedWire{I: i, Wire: wire}
+						})
+						close(ch)
+					}()
+					if err := shardClient.PushPullStream(s, ch, worker.ApplyPullTensor); err != nil {
+						fmt.Fprintln(os.Stderr, "3lc-net worker:", err)
+						os.Exit(1)
+					}
+					continue
+				}
 				wires, _ := worker.CompressGrads()
 				pull, err := client.PushPull(s, wires)
 				if err != nil {

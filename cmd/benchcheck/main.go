@@ -212,6 +212,84 @@ func bestNsPerOp(benches []Benchmark, pat string) (float64, error) {
 	return best, nil
 }
 
+// CanonicalName normalizes a benchmark name for cross-source comparison:
+// it strips the "Benchmark" prefix and the "-N" GOMAXPROCS suffix and
+// maps underscores back to spaces (go test encodes sub-benchmark spaces
+// as underscores), so the go-test line "BenchmarkCompressInto/3LC_(s=1.75)-8"
+// and the 3lc-bench baseline entry "CompressInto/3LC (s=1.75)" compare
+// equal.
+func CanonicalName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil && i+1 < len(name) {
+			name = name[:i]
+		}
+	}
+	return strings.ReplaceAll(name, "_", " ")
+}
+
+// CheckBaseline compares the parsed benchmarks against a committed
+// baseline report (the benchcheck JSON schema, e.g. BENCH_local.json):
+// for every baseline entry whose canonical name matches pattern, the best
+// current ns/op with the same canonical name must not exceed the baseline
+// ns/op by more than the tolerance fraction (cur <= base·(1+tolerance)).
+// A matched baseline entry with no current counterpart is a violation —
+// renaming a gated benchmark cannot silently empty the gate — and so is a
+// pattern that matches nothing in the baseline. The tolerance absorbs
+// machine-to-machine variance between where the baseline was recorded and
+// where CI runs; it bounds order-of-magnitude regressions, not noise.
+func CheckBaseline(benches []Benchmark, baseline []Benchmark, pattern string, tolerance float64) []string {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return []string{fmt.Sprintf("bad -baseline-match pattern %q: %v", pattern, err)}
+	}
+	best := map[string]float64{}
+	for _, b := range benches {
+		cn := CanonicalName(b.Name)
+		if cur, ok := best[cn]; !ok || b.NsPerOp < cur {
+			best[cn] = b.NsPerOp
+		}
+	}
+	var violations []string
+	matched := 0
+	for _, base := range baseline {
+		cn := CanonicalName(base.Name)
+		if !re.MatchString(cn) || base.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		cur, ok := best[cn]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("baseline benchmark %q missing from input (renamed or not run?)", cn))
+			continue
+		}
+		if cur > base.NsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op regresses past baseline %.0f ns/op + %.0f%% tolerance",
+				cn, cur, base.NsPerOp, tolerance*100))
+		}
+	}
+	if matched == 0 {
+		violations = append(violations,
+			fmt.Sprintf("-baseline-match %q matched no baseline entries — the regression gate is empty", pattern))
+	}
+	return violations
+}
+
+// LoadBaseline reads a benchcheck-schema JSON report.
+func LoadBaseline(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep.Benchmarks, nil
+}
+
 // CheckRequired verifies each comma-separated pattern individually matches
 // at least one benchmark. The -zero-allocs alternation alone cannot tell a
 // complete run from one where a whole package's benchmarks went missing
@@ -251,6 +329,9 @@ func main() {
 		require    = flag.String("require", "", "comma-separated regexps; each must match at least one benchmark")
 		speedup    = flag.String("speedup", "", "comma-separated 'fastPat<slowPat:ratio' rules; best ns/op of fastPat must beat slowPat by ratio")
 		requireAny = flag.Bool("require-benchmarks", true, "fail when the input contains no benchmark lines at all")
+		baseline   = flag.String("baseline", "", "committed baseline report (benchcheck JSON schema) to gate regressions against")
+		baseMatch  = flag.String("baseline-match", "", "regexp of canonical benchmark names the -baseline gate covers (empty: every baseline entry)")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline (0.25 = 25%)")
 	)
 	flag.Parse()
 
@@ -282,6 +363,14 @@ func main() {
 	violations := Check(benches, zre)
 	violations = append(violations, CheckRequired(benches, *require)...)
 	violations = append(violations, CheckSpeedup(benches, *speedup)...)
+	if *baseline != "" {
+		base, err := LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck: baseline:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, CheckBaseline(benches, base, *baseMatch, *tolerance)...)
+	}
 	if *requireAny && len(benches) == 0 {
 		violations = append(violations, "input contains no benchmark result lines")
 	}

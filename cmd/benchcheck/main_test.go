@@ -130,6 +130,54 @@ func TestCheckSpeedup(t *testing.T) {
 	}
 }
 
+func TestCanonicalName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"BenchmarkSteadyStatePushPull-8", "SteadyStatePushPull"},
+		{"BenchmarkCompressInto/3LC_(s=1.75)-16", "CompressInto/3LC (s=1.75)"},
+		{"SteadyStatePushPull", "SteadyStatePushPull"},
+		{"CompressInto/3LC (s=1.75)", "CompressInto/3LC (s=1.75)"},
+		{"BenchmarkDecodeAdd/1M-4", "DecodeAdd/1M"},
+		{"DecodeAdd/1M", "DecodeAdd/1M"},
+	} {
+		if got := CanonicalName(tc.in); got != tc.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCheckBaseline(t *testing.T) {
+	cur, _, err := Parse(strings.NewReader(
+		"BenchmarkSteadyStatePushPull-8  100  2000000 ns/op  0 B/op  0 allocs/op\n" +
+			"BenchmarkDecodeAdd/1M-8  100  500000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Benchmark{
+		{Name: "SteadyStatePushPull", NsPerOp: 1800000},
+		{Name: "DecodeAdd/1M", NsPerOp: 450000},
+		{Name: "CompressInto/3LC (s=1.75)", NsPerOp: 1},
+	}
+	// Within a 25% tolerance: 2.0ms vs 1.8ms baseline passes.
+	if v := CheckBaseline(cur, base, "SteadyStatePushPull|DecodeAdd", 0.25); len(v) != 0 {
+		t.Errorf("in-tolerance run reported violations: %v", v)
+	}
+	// A tight tolerance catches the 11% slowdown.
+	v := CheckBaseline(cur, base, "SteadyStatePushPull", 0.05)
+	if len(v) != 1 || !strings.Contains(v[0], "regresses past baseline") {
+		t.Errorf("regression not caught: %v", v)
+	}
+	// A gated baseline entry missing from the run is a violation.
+	v = CheckBaseline(cur, base, "CompressInto", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing from input") {
+		t.Errorf("missing benchmark not caught: %v", v)
+	}
+	// A pattern matching nothing in the baseline empties the gate: violation.
+	v = CheckBaseline(cur, base, "Renamed", 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "matched no baseline entries") {
+		t.Errorf("empty gate not caught: %v", v)
+	}
+}
+
 func TestCheckRequired(t *testing.T) {
 	benches, _, err := Parse(strings.NewReader(sample))
 	if err != nil {

@@ -17,6 +17,41 @@
 //	  residual → quartic → ZRE     5           1  (EncodeTernary)
 //	decompress                     2                1
 //	  ZRE expand + scaled unpack   2           1  (DecodeTernary, LUT)
+//	decode + accumulate            2                1
+//	  (aggregation: ZRE expand +
+//	  unpack + sum += M·q)         2           1  (DecodeTernaryAdd, LUT)
+//
+// Aggregation — the server summing every worker's push — runs on the
+// fused decode-accumulate kernels: one LUT-driven pass per payload
+// streams wire bytes and adds M·q directly into the gradient sum, with
+// no intermediate decode tensor (DecodeTernaryAdd; the range-partitioned
+// DecodeTernaryAddParallel shards the sweep across all workers' payloads
+// with deterministic, byte-identical sums). Payloads are validated by a
+// wire-byte pre-scan before the first element is touched, so a malformed
+// push can never corrupt live aggregation state. On the server the whole
+// step is fused end to end: the optimizer update writes each model delta
+// straight into the pull compressor's error-accumulation buffer while
+// reducing max|acc| in the same sweep (opt.ApplyFusedStep +
+// compress.PreAccumulator), so average → update → delta → compress
+// pass 1 collapse into one pass per tensor.
+//
+// The push/aggregate pipeline is overlapped at tensor granularity across
+// every layer:
+//
+//	worker:   compress tensor i+1 ──┐ (CompressGradsStream)
+//	wire:     tensor i in flight ───┤ (per-tensor push frames)
+//	server:   decode-add tensor i-1 ┘ (AddPushTensor, on frame arrival)
+//
+// In-process (train.Run), each accepted worker streams tensors into the
+// aggregator the moment they are compressed and the server ingests them
+// during other workers' compute; per-tensor ingestion stays in strict
+// worker order, so the sums — and all results — are byte-identical to
+// the serial driver. Over TCP, transport's streamed v2 frames
+// (MsgShardPushTensor) let a shard decode-accumulate each tensor as its
+// frame lands rather than after the full wire set, and pulls stream back
+// per tensor into a double-buffered decode on the worker
+// (ShardClient.PushPullStream). The staged decode-then-add aggregation
+// remains as the bit-identical reference behind ps.Config.StagedAggregate.
 //
 // Decode is driven by a 243-entry lookup table (quartic byte → 5 ternary
 // digits) expanded per wire scale M into byte → 5 scaled float32 values;
@@ -37,8 +72,11 @@
 //
 //	internal/kernel      fused single-pass hot-path kernels: two-pass
 //	                     compress (AccumulateMaxAbs + EncodeTernary),
-//	                     one-pass LUT decode (DecodeTernary), chunked
-//	                     parallel forms, pass-count-aware scheduling
+//	                     one-pass LUT decode (DecodeTernary), one-pass
+//	                     decode-accumulate (DecodeTernaryAdd + the
+//	                     range-partitioned multi-payload parallel form),
+//	                     chunked parallel forms, pass-count-aware
+//	                     scheduling
 //	internal/quant       3-value quantization with sparsity multiplication,
 //	                     error accumulation, and the quantization baselines
 //	                     (staged reference for the fused kernels)

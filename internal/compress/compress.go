@@ -148,6 +148,27 @@ type Compressor interface {
 	CompressInto(in *tensor.Tensor, dst []byte) []byte
 }
 
+// PreAccumulator is implemented by compression contexts whose compress
+// pass 1 is an error-accumulation sweep over a context-owned buffer
+// (3LC). It lets a producer whose own final sweep writes the state change
+// — the parameter server's optimizer update writing model deltas — fold
+// that write directly into the accumulation buffer, fusing compress
+// pass 1 away entirely: the producer adds each value into AccData as it
+// computes it, reduces max|AccData| with exactly the kernel's
+// accumulate-max semantics (bit-masked |·|, ascending-index max), and
+// hands the reduction to CompressPreAccumulated, which performs only the
+// encode pass. Wires and residual state are bit-identical to driving
+// CompressInto with a materialized state-change tensor.
+type PreAccumulator interface {
+	// AccData returns the raw error-accumulation buffer (length = tensor
+	// elements) the producer must fold the step's state change into.
+	AccData() []float32
+	// CompressPreAccumulated appends the wire message given maxAbs =
+	// max|AccData| after the producer's fold, advancing residual state
+	// exactly like CompressInto.
+	CompressPreAccumulated(maxAbs float32, dst []byte) []byte
+}
+
 // New creates a compression context for a tensor of the given shape.
 func New(s Scheme, shape []int, opt Options) Compressor {
 	n := 1
@@ -158,7 +179,7 @@ func New(s Scheme, shape []int, opt Options) Compressor {
 	case SchemeNone:
 		return &noneCompressor{shape: shape, n: n}
 	case SchemeInt8:
-		return &int8Compressor{shape: shape, n: n}
+		return &int8Compressor{shape: shape, n: n, par: opt.CodecParallelism}
 	case SchemeThreeLC:
 		sp := opt.Sparsity
 		if sp == 0 {

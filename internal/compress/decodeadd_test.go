@@ -1,0 +1,196 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"threelc/internal/kernel"
+	"threelc/internal/tensor"
+)
+
+// addTestCases is one configuration per implemented scheme — all 8 codecs
+// of the paper's evaluation — used to pin the fused decode-accumulate
+// against the staged decode-then-add reference.
+func addTestCases() []struct {
+	name string
+	s    Scheme
+	o    Options
+} {
+	return []struct {
+		name string
+		s    Scheme
+		o    Options
+	}{
+		{"32-bit float", SchemeNone, Options{}},
+		{"8-bit int", SchemeInt8, Options{}},
+		{"3LC", SchemeThreeLC, Options{Sparsity: 1.75, ZeroRun: true}},
+		{"3LC no-ZRE", SchemeThreeLC, Options{Sparsity: 1.0, ZeroRun: false}},
+		{"Stoch 3-value + QE", SchemeStoch3QE, Options{Seed: 9}},
+		{"MQE 1-bit int", SchemeMQE1Bit, Options{}},
+		{"25% sparsification", SchemeTopK, Options{Fraction: 0.25, Seed: 9}},
+		{"2 local steps", SchemeLocalSteps, Options{Interval: 2}},
+		{"round-robin", SchemeRoundRobin, Options{Parts: 3}},
+	}
+}
+
+// TestDecompressAddMatchesDecodeThenAdd is the aggregation differential
+// test: for every codec, accumulating wires with DecompressAddInto must
+// leave the accumulator byte-identical to DecompressInto-into-scratch
+// followed by Add — across multiple steps (error-accumulation state
+// advancing, including local-steps' empty wires) and both the serial and
+// kernel-parallel fan-outs.
+func TestDecompressAddMatchesDecodeThenAdd(t *testing.T) {
+	const n = 6007
+	for _, tc := range addTestCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := New(tc.s, []int{n}, tc.o)
+			scratch := tensor.New(n)
+			want := tensor.New(n)
+			gotSerial := tensor.New(n)
+			gotPar := tensor.New(n)
+			for step := 0; step < 4; step++ {
+				in := randTensor(uint64(step)+31, n, 0.01)
+				wire := ctx.CompressInto(in, nil)
+
+				if err := DecompressInto(wire, scratch); err != nil {
+					t.Fatal(err)
+				}
+				want.Add(scratch)
+				if err := DecompressAddInto(wire, gotSerial, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := DecompressAddInto(wire, gotPar, 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantBits := want.Data()
+			for i, v := range gotSerial.Data() {
+				if math.Float32bits(v) != math.Float32bits(wantBits[i]) {
+					t.Fatalf("serial fused add differs at %d: %x vs %x",
+						i, math.Float32bits(v), math.Float32bits(wantBits[i]))
+				}
+			}
+			for i, v := range gotPar.Data() {
+				if math.Float32bits(v) != math.Float32bits(wantBits[i]) {
+					t.Fatalf("parallel fused add differs at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDecompressAddIntoRejectsWithoutCorruption truncates and corrupts
+// wires for every scheme and asserts a rejected message leaves the
+// accumulator bit-identical — the accumulator-safety contract of
+// AddDecodeFunc (and of the decode-then-add fallback).
+func TestDecompressAddIntoRejectsWithoutCorruption(t *testing.T) {
+	const n = 1024
+	for _, tc := range addTestCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := New(tc.s, []int{n}, tc.o)
+			var wire []byte
+			for len(wire) == 0 { // skip local-steps' empty first step
+				wire = ctx.CompressInto(randTensor(3, n, 0.01), nil)
+			}
+			acc := randTensor(5, n, 1)
+			snap := acc.Clone()
+			bad := [][]byte{
+				wire[:len(wire)-1],
+				wire[:1],
+				append(append([]byte{}, wire...), 0xff),
+			}
+			for bi, w := range bad {
+				if err := DecompressAddInto(w, acc, 1); err == nil {
+					t.Fatalf("malformed wire %d accepted", bi)
+				}
+				for i, v := range acc.Data() {
+					if math.Float32bits(v) != math.Float32bits(snap.Data()[i]) {
+						t.Fatalf("malformed wire %d corrupted accumulator at %d", bi, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecompressAddEmptyWire pins the empty-wire (local steps,
+// non-transmitting) semantics: an explicit += 0 sweep, which flips
+// negative zeros to +0 exactly as adding a zeroed scratch tensor does.
+func TestDecompressAddEmptyWire(t *testing.T) {
+	acc := tensor.FromSlice([]float32{1, float32(math.Copysign(0, -1)), -2, 0}, 4)
+	want := tensor.FromSlice(append([]float32(nil), acc.Data()...), 4)
+	scratch := tensor.New(4)
+	if err := DecompressInto(nil, scratch); err != nil {
+		t.Fatal(err)
+	}
+	want.Add(scratch)
+	if err := DecompressAddInto(nil, acc, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range acc.Data() {
+		if math.Float32bits(v) != math.Float32bits(want.Data()[i]) {
+			t.Fatalf("empty-wire add differs at %d: %x vs %x",
+				i, math.Float32bits(v), math.Float32bits(want.Data()[i]))
+		}
+	}
+	if math.Signbit(float64(acc.Data()[1])) {
+		t.Fatal("empty-wire add must normalize -0 to +0 like the staged add")
+	}
+}
+
+// TestDecompressAddPassCount extends the pass-count invariant to the
+// aggregation path: DecompressAddInto on a ternary wire is exactly ONE
+// sweep of tensor memory — decode+add = 1 pass.
+func TestDecompressAddPassCount(t *testing.T) {
+	var passes []string
+	kernel.PassHook = func(name string, elems int) { passes = append(passes, name) }
+	defer func() { kernel.PassHook = nil }()
+
+	const n = 9001
+	ctx := New(SchemeThreeLC, []int{n}, Options{Sparsity: 1.75, ZeroRun: true})
+	wire := ctx.CompressInto(randTensor(1, n, 0.01), nil)
+	acc := tensor.New(n)
+
+	passes = nil
+	if err := DecompressAddInto(wire, acc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 1 || passes[0] != "lut-decode-add" {
+		t.Fatalf("DecompressAddInto swept tensor memory %d times (%v), want exactly 1", len(passes), passes)
+	}
+}
+
+// TestInt8FusedEncodeMatchesLegacy pins the chunked-parallel int8 encode
+// against the wire bytes the pre-kernel staged encoder produced (scheme
+// byte + float32 M + one int8 byte per element), serial and parallel.
+func TestInt8FusedEncodeMatchesLegacy(t *testing.T) {
+	const n = 4099
+	in := randTensor(13, n, 0.01)
+	serial := New(SchemeInt8, []int{n}, Options{CodecParallelism: 1})
+	parallel := New(SchemeInt8, []int{n}, Options{CodecParallelism: 8})
+	a := serial.CompressInto(in, nil)
+	b := parallel.CompressInto(in, nil)
+	if string(a) != string(b) {
+		t.Fatal("int8 parallel encode differs from serial")
+	}
+	// Round trip through the registry decoder must reproduce the staged
+	// dequantization exactly.
+	out := tensor.New(n)
+	if err := DecompressInto(a, out); err != nil {
+		t.Fatal(err)
+	}
+	m := in.MaxAbs()
+	scale := m / 127
+	for i, v := range out.Data() {
+		q := math.Round(float64(in.Data()[i]) * float64(127) / float64(m))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		want := scale * float32(int8(q))
+		if math.Float32bits(v) != math.Float32bits(want) {
+			t.Fatalf("int8 round trip differs at %d: %v vs %v", i, v, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }
 
 func init() {
 	RegisterDecoder(SchemeNone, decodeRaw)
+	RegisterAddDecoder(SchemeNone, decodeRawAdd)
 }
 
 // noneCompressor is the "32-bit float" baseline: state changes are
@@ -54,6 +55,20 @@ func decodeRaw(payload []byte, dst *tensor.Tensor) error {
 	}
 	for i := range d {
 		d[i] = getF32(payload[4*i:])
+	}
+	return nil
+}
+
+// decodeRawAdd accumulates raw float payloads in one pass: dst[i] += v is
+// the exact add the staged decode-then-add performs, and the length check
+// rejects malformed payloads before dst is touched.
+func decodeRawAdd(payload []byte, dst *tensor.Tensor, _ int) error {
+	d := dst.Data()
+	if len(payload) != 4*len(d) {
+		return fmt.Errorf("compress: raw payload %d bytes, want %d", len(payload), 4*len(d))
+	}
+	for i := range d {
+		d[i] += getF32(payload[4*i:])
 	}
 	return nil
 }

@@ -3,21 +3,28 @@ package compress
 import (
 	"fmt"
 
-	"threelc/internal/quant"
+	"threelc/internal/kernel"
 	"threelc/internal/tensor"
 )
 
 func init() {
 	RegisterDecoder(SchemeInt8, decodeInt8)
+	RegisterAddDecoder(SchemeInt8, decodeInt8Add)
 }
 
 // int8Compressor is the "8-bit int" baseline (§5.1): 255-level quantization
 // with no error accumulation, approximating TPU-internal 8-bit quantization.
 // Wire format: [scheme][4B M][n bytes int8].
+//
+// The encode runs on the fused kernels through the chunked-parallel path:
+// a two-phase parallel |max| reduction, then kernel.EncodeInt8Parallel
+// quantizing straight into the wire buffer in disjoint spans — two passes
+// over tensor memory and byte-identical output for any worker count. The
+// staged quant.QuantizeInt8Into remains the bit-identical reference.
 type int8Compressor struct {
 	shape []int
 	n     int
-	q     quant.Int8Quantized // quantization scratch, reused across steps
+	par   int // per-pass fan-out cap (Options.CodecParallelism)
 }
 
 func (c *int8Compressor) Scheme() Scheme { return SchemeInt8 }
@@ -31,15 +38,12 @@ func (c *int8Compressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	quant.QuantizeInt8Into(in, &c.q)
+	w1 := kernel.PassWorkers(c.n, c.par, kernel.SpanReduce)
+	m := float64(kernel.MaxAbsParallel(in.Data(), w1))
 	dst = append(dst, byte(SchemeInt8))
-	dst = appendF32(dst, c.q.M)
-	off := len(dst)
-	dst = growBytes(dst, len(c.q.Q))
-	for i, v := range c.q.Q {
-		dst[off+i] = byte(v)
-	}
-	return dst
+	dst = appendF32(dst, float32(m))
+	w2 := kernel.PassWorkers(c.n, c.par, kernel.SpanEncode)
+	return kernel.EncodeInt8Parallel(in.Data(), m, dst, w2)
 }
 
 func decodeInt8(payload []byte, dst *tensor.Tensor) error {
@@ -51,6 +55,22 @@ func decodeInt8(payload []byte, dst *tensor.Tensor) error {
 	scale := m / 127
 	for i := range d {
 		d[i] = scale * float32(int8(payload[4+i]))
+	}
+	return nil
+}
+
+// decodeInt8Add accumulates the int8 payload in one pass: dst[i] +=
+// scale·q is the exact per-element add of decode-then-add; the length
+// check rejects malformed payloads before dst is touched.
+func decodeInt8Add(payload []byte, dst *tensor.Tensor, _ int) error {
+	d := dst.Data()
+	if len(payload) != 4+len(d) {
+		return fmt.Errorf("compress: int8 payload %d bytes, want %d", len(payload), 4+len(d))
+	}
+	m := getF32(payload)
+	scale := m / 127
+	for i := range d {
+		d[i] += scale * float32(int8(payload[4+i]))
 	}
 	return nil
 }

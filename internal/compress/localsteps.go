@@ -9,8 +9,11 @@ import (
 
 func init() {
 	// Local-steps wires carry raw floats, exactly like the uncompressed
-	// baseline; only the scheme byte differs.
+	// baseline; only the scheme byte differs. (The empty non-transmitting
+	// wire never reaches the registry: DecompressInto and
+	// DecompressAddInto both special-case zero-length messages.)
 	RegisterDecoder(SchemeLocalSteps, decodeRaw)
+	RegisterAddDecoder(SchemeLocalSteps, decodeRawAdd)
 }
 
 // localStepsCompressor is the "2 local steps" baseline (§5.1): state

@@ -9,6 +9,7 @@ import (
 
 func init() {
 	RegisterDecoder(SchemeMQE1Bit, decodeOneBit)
+	RegisterAddDecoder(SchemeMQE1Bit, decodeOneBitAdd)
 }
 
 // oneBitCompressor is the "MQE 1-bit int" baseline (§5.1): 1-bit SGD-style
@@ -71,6 +72,28 @@ func decodeOneBit(payload []byte, dst *tensor.Tensor) error {
 			d[i] = mPos
 		} else {
 			d[i] = mNeg
+		}
+	}
+	return nil
+}
+
+// decodeOneBitAdd accumulates the sign-bit payload in one pass (every
+// element decodes to mPos or mNeg, so the add is per-element identical to
+// decode-then-add); the length check runs before dst is touched.
+func decodeOneBitAdd(payload []byte, dst *tensor.Tensor, _ int) error {
+	d := dst.Data()
+	want := 8 + (len(d)+7)/8
+	if len(payload) != want {
+		return fmt.Errorf("compress: 1-bit payload %d bytes, want %d", len(payload), want)
+	}
+	mPos := getF32(payload)
+	mNeg := getF32(payload[4:])
+	bits := payload[8:]
+	for i := range d {
+		if bits[i>>3]&(1<<(uint(i)&7)) != 0 {
+			d[i] += mPos
+		} else {
+			d[i] += mNeg
 		}
 	}
 	return nil

@@ -44,6 +44,40 @@ func RegisteredSchemes() []Scheme {
 	return out
 }
 
+// AddDecodeFunc decodes one scheme's wire payload and ACCUMULATES it into
+// dst (dst += decoded) in a single fused pass, with no intermediate
+// tensor: the aggregation-side counterpart of DecodeFunc. workers caps
+// the kernel-level goroutine fan-out for large tensors (<= 1 means fully
+// serial, the zero-allocation configuration).
+//
+// The accumulator contract is stricter than DecodeFunc's: dst holds live
+// aggregation state (other workers' gradients already summed), so a
+// malformed payload must be rejected BEFORE any element of dst is
+// modified — validate-then-accumulate, never partially apply. The
+// accumulated result must be bit-identical to decoding into scratch and
+// adding the scratch element-wise.
+type AddDecodeFunc func(payload []byte, dst *tensor.Tensor, workers int) error
+
+// addDecoders is the decode-accumulate dispatch table. Schemes without a
+// fused decode-add register nothing and fall back to pooled
+// decode-then-add inside DecompressAddInto, which trivially satisfies the
+// bit-identity contract.
+var addDecoders [256]AddDecodeFunc
+
+// RegisterAddDecoder installs fn as the decode-accumulate path for scheme
+// s, with the same duplicate/nil policing as RegisterDecoder. A scheme
+// must already have a plain decoder registered: the add path is an
+// optimization over decode-then-add, never a replacement.
+func RegisterAddDecoder(s Scheme, fn AddDecodeFunc) {
+	if fn == nil {
+		panic(fmt.Sprintf("compress: RegisterAddDecoder(%v) with nil decoder", s))
+	}
+	if addDecoders[s] != nil {
+		panic(fmt.Sprintf("compress: duplicate add-decoder registration for %v", s))
+	}
+	addDecoders[s] = fn
+}
+
 // Decompress decodes a wire message produced by any Compressor into a new
 // tensor of the given shape. It returns an error for malformed messages.
 func Decompress(wire []byte, shape []int) (*tensor.Tensor, error) {
@@ -69,4 +103,96 @@ func DecompressInto(wire []byte, dst *tensor.Tensor) error {
 		return fmt.Errorf("compress: unknown scheme byte %d", wire[0])
 	}
 	return fn(wire[1:], dst)
+}
+
+// DecompressAddInto decodes wire and accumulates it into dst: dst +=
+// decoded, bit-identical to DecompressInto into scratch followed by
+// dst.Add(scratch), but — for schemes with a registered add-decoder — in
+// a single fused pass with no intermediate tensor. This is the
+// aggregation hot path: the parameter server runs one call per worker per
+// tensor, so fusing here halves the tensor-memory traffic of gradient
+// aggregation. workers caps the kernel fan-out for large tensors.
+//
+// An empty wire message (local steps, non-transmitting) accumulates
+// zeros — an explicit += 0 sweep, because x + 0 is not the identity on
+// negative zeros and the staged composition performs the adds. On error
+// dst is unchanged (see AddDecodeFunc).
+func DecompressAddInto(wire []byte, dst *tensor.Tensor, workers int) error {
+	if len(wire) == 0 {
+		d := dst.Data()
+		for i := range d {
+			d[i] += 0
+		}
+		return nil
+	}
+	if fn := addDecoders[wire[0]]; fn != nil {
+		return fn(wire[1:], dst, workers)
+	}
+	if decoders[wire[0]] == nil {
+		return fmt.Errorf("compress: unknown scheme byte %d", wire[0])
+	}
+	return decodeThenAdd(wire, dst)
+}
+
+// DecompressFirstAddInto decodes wire into dst as the FIRST accumulation
+// of a fresh gradient sum: bit-identical to zeroing dst and then
+// DecompressAddInto, but it skips both the zeroing sweep and the
+// read-modify-write when the wire provably decodes to no negative zeros —
+// then writing the decode over dst IS the zero-and-accumulate result
+// (x + 0 differs from x only at x = −0). Ternary wires with a
+// non-negative scale qualify: every decoded value is M·q with M >= +0,
+// so −0 (only M·(−1) with M = ±0, or negative M) cannot appear. Other
+// schemes (raw floats can carry −0 on the wire) zero and accumulate.
+//
+// On error dst is zeroed — exactly the staged state of a fresh sum whose
+// first accumulation was rejected.
+func DecompressFirstAddInto(wire []byte, dst *tensor.Tensor, workers int) error {
+	if firstAddAsSet(wire) {
+		if err := DecompressInto(wire, dst); err != nil {
+			dst.Zero()
+			return err
+		}
+		return nil
+	}
+	dst.Zero()
+	return DecompressAddInto(wire, dst, workers)
+}
+
+// firstAddAsSet reports whether wire's decode provably contains no
+// negative zeros (see DecompressFirstAddInto): a ternary wire whose scale
+// M is strictly positive (or +NaN/+Inf — their products are never −0).
+// M = ±0 is excluded: a hostile wire can pair a zero scale with nonzero
+// digits, and +0·(−1) = −0. The scale sits at wire bytes [1,5)
+// little-endian, sign bit atop wire[4].
+func firstAddAsSet(wire []byte) bool {
+	if len(wire) < 5 {
+		return false
+	}
+	switch Scheme(wire[0]) {
+	case SchemeThreeLC, SchemeStoch3QE:
+		return wire[4]&0x80 == 0 && wire[1]|wire[2]|wire[3]|wire[4] != 0
+	}
+	return false
+}
+
+// decodeThenAdd is the fallback decode-accumulate: decode into pooled
+// scratch, then add. The scratch slice is pooled (only the small tensor
+// header is rebuilt per call); schemes with subtractive wire formats
+// (top-k bitmaps, whose skipped elements must contribute an exact staged
+// +0) stay on it.
+func decodeThenAdd(wire []byte, dst *tensor.Tensor) error {
+	sp := scratchPool.Get().(*[]float32)
+	s := *sp
+	if cap(s) < dst.Len() {
+		s = make([]float32, dst.Len())
+	}
+	s = s[:dst.Len()]
+	tmp := tensor.FromSlice(s, dst.Len())
+	err := DecompressInto(wire, tmp)
+	if err == nil {
+		dst.Add(tmp)
+	}
+	*sp = s
+	scratchPool.Put(sp)
+	return err
 }

@@ -11,6 +11,8 @@ import (
 func init() {
 	RegisterDecoder(SchemeThreeLC, decodeTernary)
 	RegisterDecoder(SchemeStoch3QE, decodeTernary)
+	RegisterAddDecoder(SchemeThreeLC, decodeTernaryAdd)
+	RegisterAddDecoder(SchemeStoch3QE, decodeTernaryAdd)
 }
 
 // Ternary wire format, shared by 3LC and the stochastic baseline:
@@ -85,8 +87,30 @@ func (c *threeLCCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	}
 	buf := c.acc.Buffer().Data()
 	w1 := kernel.PassWorkers(c.n, c.par, kernel.SpanReduce)
-	m := float64(kernel.AccumulateMaxAbsParallel(buf, in.Data(), w1)) * c.sparsity
+	return c.encodeAccumulated(kernel.AccumulateMaxAbsParallel(buf, in.Data(), w1), dst)
+}
 
+// AccData exposes the error-accumulation buffer for producers that fuse
+// their own final write sweep with compress pass 1 (PreAccumulator).
+func (c *threeLCCompressor) AccData() []float32 {
+	return c.acc.Buffer().Data()
+}
+
+// CompressPreAccumulated appends the wire for a step whose state change
+// the caller already folded into AccData (reporting maxAbs reduced
+// exactly like kernel.AccumulateMaxAbs): compress pass 1 has effectively
+// been absorbed into the producer's sweep, leaving only the fused encode
+// pass here. Wires and residuals are bit-identical to CompressInto on the
+// same state change.
+func (c *threeLCCompressor) CompressPreAccumulated(maxAbs float32, dst []byte) []byte {
+	return c.encodeAccumulated(maxAbs, dst)
+}
+
+// encodeAccumulated is compress pass 2 plus the wire header: quantize the
+// accumulated buffer against max|buf|·s and emit quartic/zero-run bytes.
+func (c *threeLCCompressor) encodeAccumulated(maxAbs float32, dst []byte) []byte {
+	buf := c.acc.Buffer().Data()
+	m := float64(maxAbs) * c.sparsity
 	dst = append(dst, byte(SchemeThreeLC))
 	dst = appendF32(dst, float32(m))
 	if c.zeroRun {
@@ -126,6 +150,31 @@ func decodeTernary(payload []byte, dst *tensor.Tensor) error {
 	flags := payload[5-1]
 	body := payload[5:]
 	if err := kernel.DecodeTernary(body, flags&ternaryFlagZRE != 0, m, dst.Data()); err != nil {
+		return fmt.Errorf("compress: %w", err)
+	}
+	return nil
+}
+
+// decodeTernaryAdd is the aggregation-side path: kernel.DecodeTernaryAdd
+// accumulates M·q straight into dst in one LUT-driven pass, validating
+// the payload before the first element is touched (dst is a live
+// aggregation buffer). Large tensors under a multi-worker budget shard
+// the accumulate sweep range-partitioned, byte-identical to the serial
+// kernel.
+func decodeTernaryAdd(payload []byte, dst *tensor.Tensor, workers int) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("compress: ternary payload too short (%d bytes)", len(payload))
+	}
+	m := getF32(payload)
+	zre := payload[5-1]&ternaryFlagZRE != 0
+	body := payload[5:]
+	var err error
+	if workers > 1 && dst.Len() >= kernel.ParallelThresholdElems {
+		err = kernel.DecodeTernaryAddParallel([]kernel.TernaryWire{{Body: body, ZRE: zre, M: m}}, dst.Data(), workers)
+	} else {
+		err = kernel.DecodeTernaryAdd(body, zre, m, dst.Data())
+	}
+	if err != nil {
 		return fmt.Errorf("compress: %w", err)
 	}
 	return nil

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"threelc/internal/compress"
+	"threelc/internal/tensor"
+	"threelc/internal/train"
+)
+
+// AggRow is one (design, worker count) cell of the aggregation
+// experiment: the server-side cost of decoding and summing all workers'
+// pushes of one large tensor.
+type AggRow struct {
+	Design  string
+	Workers int
+	// StagedNs is decode-then-add per step (all workers): decode each
+	// worker's wire into a scratch tensor, then a separate add sweep.
+	StagedNs float64
+	// FusedNs is the fused decode-accumulate per step: one pass per
+	// worker payload, no scratch tensor (compress.DecompressAddInto,
+	// serial kernels).
+	FusedNs float64
+	// ParallelNs is the fused form with the kernel-level range-partitioned
+	// fan-out enabled (GOMAXPROCS workers; ternary wires shard the
+	// accumulate sweep, byte-identical sums).
+	ParallelNs float64
+	// MBps is the fused serial aggregate bandwidth in decoded-float
+	// megabytes per second across all payloads.
+	MBps float64
+}
+
+// Speedup is the staged/fused time ratio.
+func (r AggRow) Speedup() float64 {
+	if r.FusedNs <= 0 {
+		return 0
+	}
+	return r.StagedNs / r.FusedNs
+}
+
+// AggregateScalingDesigns is the default design set: the paper's
+// strongest codec, the cheap int8 baseline, and the uncompressed floor.
+func AggregateScalingDesigns() []train.Design {
+	return []train.Design{
+		DesignFloat32,
+		DesignInt8,
+		ThreeLC(1.75),
+	}
+}
+
+// AggregateScaling measures workers × codec aggregation throughput — the
+// experiment behind `3lc-bench -exp agg`. For each design and worker
+// count it builds one wire per worker from distinct random gradients of
+// an elems-sized tensor, then times three aggregation strategies over the
+// identical payloads: staged decode-then-add, fused decode-accumulate,
+// and fused with kernel-parallel spans. It also verifies the fused sum is
+// bit-identical to the staged one before reporting a row.
+func AggregateScaling(designs []train.Design, workerCounts []int, elems int, progress io.Writer) ([]AggRow, error) {
+	var rows []AggRow
+	for _, d := range designs {
+		for _, workers := range workerCounts {
+			row, err := measureAggregate(d, workers, elems)
+			if err != nil {
+				return nil, fmt.Errorf("aggregate scaling %s x%d: %w", d.Name, workers, err)
+			}
+			rows = append(rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "agg: %-20s workers=%d  %6.2fx fused speedup\n", d.Name, workers, row.Speedup())
+			}
+		}
+	}
+	return rows, nil
+}
+
+func measureAggregate(d train.Design, workers, elems int) (AggRow, error) {
+	wires := make([][]byte, workers)
+	for w := range wires {
+		opts := d.Opts
+		opts.Seed ^= uint64(w) + 1
+		ctx := compress.New(d.Scheme, []int{elems}, opts)
+		grad := tensor.New(elems)
+		tensor.FillNormal(grad, 0.01, tensor.NewRNG(uint64(w)*131+7))
+		wires[w] = ctx.CompressInto(grad, nil)
+	}
+
+	measure := func(fn func() error) (float64, error) {
+		if err := fn(); err != nil { // warm scratch/LUT pools
+			return 0, err
+		}
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best.Nanoseconds()), nil
+	}
+
+	scratch := tensor.New(elems)
+	sumStaged := tensor.New(elems)
+	stagedNs, err := measure(func() error {
+		sumStaged.Zero()
+		for _, wire := range wires {
+			if err := compress.DecompressInto(wire, scratch); err != nil {
+				return err
+			}
+			sumStaged.Add(scratch)
+		}
+		return nil
+	})
+	if err != nil {
+		return AggRow{}, err
+	}
+
+	sumFused := tensor.New(elems)
+	fusedNs, err := measure(func() error {
+		sumFused.Zero()
+		for _, wire := range wires {
+			if err := compress.DecompressAddInto(wire, sumFused, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return AggRow{}, err
+	}
+	for i, v := range sumFused.Data() {
+		if math.Float32bits(v) != math.Float32bits(sumStaged.Data()[i]) {
+			return AggRow{}, fmt.Errorf("fused aggregate differs from staged at element %d", i)
+		}
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	parNs, err := measure(func() error {
+		sumFused.Zero()
+		for _, wire := range wires {
+			if err := compress.DecompressAddInto(wire, sumFused, procs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return AggRow{}, err
+	}
+
+	return AggRow{
+		Design:     d.Name,
+		Workers:    workers,
+		StagedNs:   stagedNs,
+		FusedNs:    fusedNs,
+		ParallelNs: parNs,
+		MBps:       float64(4*elems*workers) / fusedNs * 1e3,
+	}, nil
+}
+
+// PrintAggregateScaling renders the aggregation table.
+func PrintAggregateScaling(w io.Writer, rows []AggRow) {
+	fmt.Fprintln(w, "Aggregate scaling: server-side decode+sum of all workers' pushes (1M-element tensor)")
+	fmt.Fprintln(w, "(staged = decode into scratch then add; fused = single decode-accumulate pass, bit-identical sums)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s %8s %14s %14s %9s %14s %10s\n",
+		"design", "workers", "staged ns/op", "fused ns/op", "speedup", "parallel ns", "MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %8d %14.0f %14.0f %8.2fx %14.0f %10.0f\n",
+			r.Design, r.Workers, r.StagedNs, r.FusedNs, r.Speedup(), r.ParallelNs, r.MBps)
+	}
+}
+
+// WriteAggregateScalingCSV emits the rows as CSV.
+func WriteAggregateScalingCSV(w io.Writer, rows []AggRow) error {
+	if _, err := fmt.Fprintln(w, "design,workers,staged_ns,fused_ns,speedup,parallel_ns,mb_per_sec"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%q,%d,%.0f,%.0f,%.3f,%.0f,%.1f\n",
+			r.Design, r.Workers, r.StagedNs, r.FusedNs, r.Speedup(), r.ParallelNs, r.MBps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestAggregateScaling runs a miniature aggregation sweep: rows must come
+// back for every (design, workers) cell with positive timings, and the
+// experiment's internal bit-equality check (fused sum == staged sum) must
+// hold — it returns an error otherwise.
+func TestAggregateScaling(t *testing.T) {
+	designs := AggregateScalingDesigns()
+	workerCounts := []int{1, 3}
+	rows, err := AggregateScaling(designs, workerCounts, 1<<13, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(designs) * len(workerCounts); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.StagedNs <= 0 || r.FusedNs <= 0 || r.ParallelNs <= 0 {
+			t.Errorf("%s x%d: non-positive timing %+v", r.Design, r.Workers, r)
+		}
+		if r.Speedup() <= 0 {
+			t.Errorf("%s x%d: speedup %v", r.Design, r.Workers, r.Speedup())
+		}
+		if r.MBps <= 0 {
+			t.Errorf("%s x%d: bandwidth %v", r.Design, r.Workers, r.MBps)
+		}
+	}
+	// CSV and table rendering must not error on real rows.
+	if err := WriteAggregateScalingCSV(discard{}, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

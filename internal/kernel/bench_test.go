@@ -130,6 +130,91 @@ func BenchmarkStagedDecompress(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeAdd measures the fused decode-accumulate: one LUT-driven
+// pass that streams wire bytes and adds M·q directly into the aggregation
+// buffer (the server-side AddPush hot path). Serial — must be 0 allocs/op
+// under -benchmem; benchcheck gates it against BenchmarkDecodeThenAdd.
+func BenchmarkDecodeAdd(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			buf := make([]float32, n)
+			in := tensor.New(n)
+			fillRand(in, 2, 0.01)
+			m := float64(AccumulateMaxAbs(buf, in.Data())) * 1.75
+			wire := EncodeTernary(buf, m, true, nil)
+			acc := make([]float32, n)
+			if err := DecodeTernaryAdd(wire, true, float32(m), acc); err != nil {
+				b.Fatal(err) // also warms the ScaledLUT pool
+			}
+			b.SetBytes(4 * int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeTernaryAdd(wire, true, float32(m), acc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeThenAdd is the staged aggregation baseline the fusion
+// replaces: fused decode into a scratch tensor, then a separate add sweep
+// into the accumulator — two passes of tensor-scale memory per payload.
+func BenchmarkDecodeThenAdd(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(sizeName(n), func(b *testing.B) {
+			buf := make([]float32, n)
+			in := tensor.New(n)
+			fillRand(in, 2, 0.01)
+			m := float64(AccumulateMaxAbs(buf, in.Data())) * 1.75
+			wire := EncodeTernary(buf, m, true, nil)
+			scratch := make([]float32, n)
+			acc := make([]float32, n)
+			if err := DecodeTernary(wire, true, float32(m), scratch); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(4 * int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeTernary(wire, true, float32(m), scratch); err != nil {
+					b.Fatal(err)
+				}
+				for j, v := range scratch {
+					acc[j] += v
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeAddParallel measures the range-partitioned multi-payload
+// aggregation: 4 workers' payloads accumulated into one buffer across the
+// machine's cores (goroutine spawns allocate; outside the zero-alloc
+// gate by name).
+func BenchmarkDecodeAddParallel(b *testing.B) {
+	const n = 1 << 20
+	const payloads = 4
+	workers := runtime.GOMAXPROCS(0)
+	wires := make([]TernaryWire, payloads)
+	for p := range wires {
+		buf := make([]float32, n)
+		in := tensor.New(n)
+		fillRand(in, uint64(p)+2, 0.01)
+		m := float64(AccumulateMaxAbs(buf, in.Data())) * 1.75
+		wires[p] = TernaryWire{Body: EncodeTernary(buf, m, true, nil), ZRE: true, M: float32(m)}
+	}
+	acc := make([]float32, n)
+	b.SetBytes(4 * int64(n) * payloads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeTernaryAddParallel(wires, acc, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFusedCompressParallel measures the chunked-parallel fused
 // encode at 1M elements across the machine's cores (goroutine spawns
 // allocate; excluded from the zero-alloc gate by name).

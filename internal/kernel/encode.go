@@ -34,7 +34,7 @@ func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
 		return appendZeroGroups(dst, qlen)
 	}
 	notePass("quantize+pack", n)
-	inv := 1 / m
+	tpos := ternaryThreshold(1 / m)
 	dq := makeDequantTab(float32(m))
 	base := len(dst)
 	dst = growCap(dst, qlen)
@@ -42,7 +42,7 @@ func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
 	w, run := 0, 0
 	i := 0
 	for ; i+encode.GroupSize <= n; i += encode.GroupSize {
-		b := quantPack5(buf, i, inv, &dq)
+		b := quantPack5(buf, i, tpos, &dq)
 		if zeroRun {
 			if b == encode.ZeroGroupByte {
 				run++
@@ -55,7 +55,7 @@ func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
 		w++
 	}
 	if i < n {
-		b := quantPackTail(buf, i, n, inv, &dq)
+		b := quantPackTail(buf, i, n, tpos, &dq)
 		if zeroRun && b == encode.ZeroGroupByte {
 			run++
 		} else {
@@ -99,7 +99,7 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 		return EncodeTernary(buf, m, zeroRun, dst), scratch
 	}
 	notePass("quantize+pack", n)
-	inv := 1 / m
+	tpos := ternaryThreshold(1 / m)
 	dq := makeDequantTab(float32(m))
 	qlen := encode.QuarticEncodedLen(n)
 	base := len(dst)
@@ -110,7 +110,7 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 		// Without zero-run encoding every group maps to a fixed output
 		// byte, so chunks write disjoint spans of the destination directly.
 		forEachChunk(n, encode.GroupSize, workers, func(_, lo, hi int) {
-			quantPackRange(buf, lo, hi, inv, &dq, outBuf)
+			quantPackRange(buf, lo, hi, tpos, &dq, outBuf)
 		})
 		return dst[:base+qlen], scratch
 	}
@@ -122,7 +122,7 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 	res := make([]ternChunk, workers)
 	used := forEachChunk(n, encode.GroupSize, workers, func(idx, lo, hi int) {
 		region := sc[lo/encode.GroupSize : (hi+encode.GroupSize-1)/encode.GroupSize]
-		res[idx] = encodeTernaryChunk(buf, lo, hi, inv, &dq, region)
+		res[idx] = encodeTernaryChunk(buf, lo, hi, tpos, &dq, region)
 	})
 
 	// Serial stitch-up: pending carries the zero run open at the current
@@ -147,7 +147,7 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 // encodeTernaryChunk runs the fused quantize+pack+ZRE loop over buf[lo:hi],
 // writing the chunk's middle encoding into region and reporting boundary
 // zero runs as counts for the stitch-up.
-func encodeTernaryChunk(buf []float32, lo, hi int, inv float64, dq *dequantTab, region []byte) ternChunk {
+func encodeTernaryChunk(buf []float32, lo, hi int, tpos float32, dq *dequantTab, region []byte) ternChunk {
 	r := ternChunk{allZero: true}
 	w, run := 0, 0
 	emit := func(b byte) {
@@ -167,10 +167,10 @@ func encodeTernaryChunk(buf []float32, lo, hi int, inv float64, dq *dequantTab, 
 	}
 	i := lo
 	for ; i+encode.GroupSize <= hi; i += encode.GroupSize {
-		emit(quantPack5(buf, i, inv, dq))
+		emit(quantPack5(buf, i, tpos, dq))
 	}
 	if i < hi {
-		emit(quantPackTail(buf, i, hi, inv, dq))
+		emit(quantPackTail(buf, i, hi, tpos, dq))
 	}
 	r.trail = run
 	r.mid = region[:w]
@@ -181,14 +181,14 @@ func encodeTernaryChunk(buf []float32, lo, hi int, inv float64, dq *dequantTab, 
 // hi is the end of the tensor) of buf[lo:hi] into their absolute group
 // slots of out. Chunk boundaries are multiples of GroupSize, so only the
 // global last chunk can hold a partial group.
-func quantPackRange(buf []float32, lo, hi int, inv float64, dq *dequantTab, out []byte) {
+func quantPackRange(buf []float32, lo, hi int, tpos float32, dq *dequantTab, out []byte) {
 	g := lo / encode.GroupSize
 	i := lo
 	for ; i+encode.GroupSize <= hi; i, g = i+encode.GroupSize, g+1 {
-		out[g] = quantPack5(buf, i, inv, dq)
+		out[g] = quantPack5(buf, i, tpos, dq)
 	}
 	if i < hi {
-		out[g] = quantPackTail(buf, i, hi, inv, dq)
+		out[g] = quantPackTail(buf, i, hi, tpos, dq)
 	}
 }
 
@@ -203,34 +203,72 @@ func makeDequantTab(m32 float32) dequantTab {
 	return dequantTab{m32 * float32(-1), m32 * float32(0), m32 * float32(1)}
 }
 
+// ternaryThreshold precomputes the float32 decision threshold of the
+// quantizer so the per-element work needs no float64 arithmetic at all.
+//
+// The staged reference quantizes v to +1 iff x = fl64(float64(v)·inv) >=
+// 0.5 (see the quantOne history: round-half-away over the in-range
+// product collapses to that comparison, with x <= −0.5 for −1). For a
+// fixed inv > 0, x is a monotone non-decreasing function of v — float32
+// to float64 conversion is exact and IEEE multiplication rounds
+// monotonically — so there is a unique smallest float32 t with
+// fl64(t·inv) >= 0.5, and for EVERY float32 v: v·inv >= 0.5 ⟺ v >= t.
+// The negative side is exactly symmetric (negation is sign-exact under
+// round-to-nearest: fl64(−v·inv) = −fl64(v·inv)), so x <= −0.5 ⟺
+// v <= −t. The per-element quantizer therefore reduces to two float32
+// comparisons against ±t, bit-identical to the staged float64 product
+// for every input including NaN (all comparisons false → digit 0, like
+// int8(NaN)).
+//
+// t is found by converting the real-valued crossing point 0.5/inv to
+// float32 and walking ULPs (math.Nextafter32) to the exact boundary — at
+// most a couple of steps, once per tensor per pass.
+//
+// Degenerate scales take the all-zeros digit everywhere in the staged
+// pipeline — inv == 0 (M = +Inf: every finite product is ±0, and
+// Inf·0 = NaN) and inv = NaN both make every comparison false — and are
+// represented by t = NaN, which likewise fails every comparison. (m < 0
+// cannot reach the encoder: it is a |max| reduction result.)
+func ternaryThreshold(inv float64) float32 {
+	if !(inv > 0) {
+		return float32(math.NaN())
+	}
+	t := float32(0.5 / inv)
+	if math.IsNaN(float64(t)) {
+		t = float32(math.MaxFloat32)
+	}
+	for float64(t)*inv < 0.5 {
+		t = math.Nextafter32(t, float32(math.Inf(1)))
+	}
+	for {
+		p := math.Nextafter32(t, float32(math.Inf(-1)))
+		if float64(p)*inv >= 0.5 {
+			t = p
+			continue
+		}
+		return t
+	}
+}
+
 // quantOne quantizes one element in place and returns its shifted ternary
 // digit (q+1 ∈ {0,1,2}), subtracting the locally dequantized value so *p
-// is left holding the residual.
-//
-// The staged reference computes q = int8(math.Round(float64(v)·inv)).
-// Because callers uphold m >= max|buf| (pass 1 derives m from the very
-// buffer pass 2 encodes, and the sparsity multiplier only grows it), the
-// product x = v·inv always lands in [−1−2ulp, 1+2ulp] or is NaN (inv
-// cannot overflow: m is at least the smallest positive float32), so
-// round-half-away collapses to two comparisons: x >= 0.5 → +1,
-// x <= −0.5 → −1, else 0 — with NaN taking the 0 branch exactly as the
-// staged int8(NaN) conversion does. This drops the math.Round call that
-// dominated the staged quantize sweep while staying bit-identical;
-// FuzzFusedVsStaged exercises the boundary cases.
+// is left holding the residual. tpos is the precomputed float32 decision
+// threshold (ternaryThreshold): v >= tpos → +1, v <= −tpos → −1, else 0,
+// bit-identical to the staged float64 round(v·inv) — without the
+// per-element convert+multiply that dominated the fused encode pass.
 //
 // The two comparisons are written as independent ifs (the conditions are
-// mutually exclusive) so the compiler emits conditional moves: under
-// steady-state error feedback many elements hover around the ±M/2
-// thresholds, which makes an actual branch here mispredict heavily
+// mutually exclusive: tpos > 0 or NaN) so the compiler emits conditional
+// moves: under steady-state error feedback many elements hover around the
+// ±M/2 thresholds, which makes an actual branch here mispredict heavily
 // (measured ~3x slower).
-func quantOne(p *float32, inv float64, dq *dequantTab) int {
+func quantOne(p *float32, tpos float32, dq *dequantTab) int {
 	v := *p
-	x := float64(v) * inv
 	q := 1
-	if x >= 0.5 {
+	if v >= tpos {
 		q = 2
 	}
-	if x <= -0.5 {
+	if v <= -tpos {
 		q = 0
 	}
 	*p = v - dq[q]
@@ -239,24 +277,25 @@ func quantOne(p *float32, inv float64, dq *dequantTab) int {
 
 // quantPack5 quantizes the full group buf[i:i+5] and packs it into one
 // quartic byte (§3.2), updating the residuals in place.
-func quantPack5(buf []float32, i int, inv float64, dq *dequantTab) byte {
-	a := quantOne(&buf[i], inv, dq)
-	b := quantOne(&buf[i+1], inv, dq)
-	c := quantOne(&buf[i+2], inv, dq)
-	d := quantOne(&buf[i+3], inv, dq)
-	e := quantOne(&buf[i+4], inv, dq)
+func quantPack5(buf []float32, i int, tpos float32, dq *dequantTab) byte {
+	g := buf[i : i+encode.GroupSize : i+encode.GroupSize]
+	a := quantOne(&g[0], tpos, dq)
+	b := quantOne(&g[1], tpos, dq)
+	c := quantOne(&g[2], tpos, dq)
+	d := quantOne(&g[3], tpos, dq)
+	e := quantOne(&g[4], tpos, dq)
 	return byte(a*81 + b*27 + c*9 + d*3 + e)
 }
 
 // quantPackTail packs the trailing partial group buf[i:n], zero-padding
 // the missing digits exactly like the staged encoder.
-func quantPackTail(buf []float32, i, n int, inv float64, dq *dequantTab) byte {
+func quantPackTail(buf []float32, i, n int, tpos float32, dq *dequantTab) byte {
 	var digits [encode.GroupSize]int
 	for k := range digits {
 		digits[k] = 1 // ternary 0 after the +1 shift
 	}
 	for k := 0; i < n; k, i = k+1, i+1 {
-		digits[k] = quantOne(&buf[i], inv, dq)
+		digits[k] = quantOne(&buf[i], tpos, dq)
 	}
 	return byte(digits[0]*81 + digits[1]*27 + digits[2]*9 + digits[3]*3 + digits[4])
 }

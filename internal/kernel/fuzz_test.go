@@ -88,6 +88,72 @@ func FuzzFusedVsStaged(f *testing.F) {
 	})
 }
 
+// FuzzDecodeTernaryAdd feeds arbitrary bytes to the fused
+// decode-accumulate kernels: untrusted payloads may error but must never
+// panic, and — stronger than the decode-into contract — a rejected
+// payload must leave the accumulator bit-identical to its prior state, in
+// every form (serial, scaled, multi-payload parallel). Accepted payloads
+// must accumulate bit-identically to decode-then-add.
+func FuzzDecodeTernaryAdd(f *testing.F) {
+	f.Add([]byte{121, 121, 121}, uint32(0x3f800000), true)
+	f.Add([]byte{255, 0, 243}, uint32(0x7fc00000), true) // runs + NaN scale
+	f.Add([]byte{242, 121}, uint32(0), false)
+	f.Add([]byte{250, 250, 250, 7}, uint32(0xbf000000), true)
+
+	small := make([]float32, 13)
+	big := make([]float32, scaledLUTMinElems+2)
+	snapBuf := make([]float32, len(big))
+	tmpBuf := make([]float32, len(big))
+	f.Fuzz(func(t *testing.T, body []byte, mBits uint32, zre bool) {
+		m := math.Float32frombits(mBits)
+		for _, dst := range [][]float32{small, big} {
+			for i := range dst {
+				dst[i] = float32(i%7) - 3
+			}
+			snap := snapBuf[:len(dst)]
+			copy(snap, dst)
+
+			want := tmpBuf[:len(dst)]
+			errRef := DecodeTernary(body, zre, m, want)
+			err := DecodeTernaryAdd(body, zre, m, dst)
+			if (err == nil) != (errRef == nil) {
+				t.Fatalf("decode err=%v, decode-add err=%v", errRef, err)
+			}
+			if err != nil {
+				if i, ok := bitsEqual(dst, snap); !ok {
+					t.Fatalf("rejected payload corrupted accumulator at %d", i)
+				}
+			} else {
+				for i := range snap {
+					snap[i] += want[i]
+				}
+				if i, ok := bitsEqual(dst, snap); !ok {
+					t.Fatalf("decode-add differs from decode-then-add at %d", i)
+				}
+			}
+
+			copy(snap, dst)
+			if err := DecodeTernaryAddScaled(body, zre, m, -0.5, dst); (err == nil) != (errRef == nil) {
+				t.Fatalf("scaled decode-add err=%v, decode err=%v", err, errRef)
+			} else if err != nil {
+				if i, ok := bitsEqual(dst, snap); !ok {
+					t.Fatalf("rejected payload corrupted accumulator at %d (scaled)", i)
+				}
+			}
+
+			wires := []TernaryWire{{Body: body, ZRE: zre, M: m}, {Body: body, ZRE: zre, M: m}}
+			copy(snap, dst)
+			if err := DecodeTernaryAddParallel(wires, dst, 3); (err == nil) != (errRef == nil) {
+				t.Fatalf("parallel decode-add err=%v, decode err=%v", err, errRef)
+			} else if err != nil {
+				if i, ok := bitsEqual(dst, snap); !ok {
+					t.Fatalf("rejected payload corrupted accumulator at %d (parallel)", i)
+				}
+			}
+		}
+	})
+}
+
 // FuzzDecodeTernary feeds arbitrary bytes to the fused decoder: untrusted
 // network payloads may error but must never panic, in any destination
 // size, on both sides of the ScaledLUT threshold.

@@ -129,6 +129,108 @@ func (o *SGD) Apply(params []*nn.Param) {
 	}
 }
 
+// ApplyWithDelta performs the same update as Apply and additionally
+// records each parameter's model delta — delta[i] = w_new - w_old — in
+// the same sweep. The per-element arithmetic is exactly Apply followed by
+// a weight snapshot diff (the parameter server's staged sequence:
+// snapshot prevW, Apply, delta = W - prevW), so the weights, velocity,
+// and deltas are bit-identical to that three-sweep composition while
+// touching each tensor once.
+func (o *SGD) ApplyWithDelta(params []*nn.Param, deltas []*tensor.Tensor) {
+	if len(params) != len(deltas) {
+		panic("opt: delta count mismatch")
+	}
+	lr := float32(o.LR(o.step))
+	o.step++
+	mom := float32(o.cfg.Momentum)
+	wd := float32(o.cfg.WeightDecay)
+	for pi, p := range params {
+		v, ok := o.velocity[p.Name]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			o.velocity[p.Name] = v
+		}
+		vd, wdta, gd := v.Data(), p.W.Data(), p.G.Data()
+		// Reslice to a common length so the compiler drops the per-index
+		// bounds checks in the fused update loop.
+		wdta = wdta[:len(vd)]
+		gd = gd[:len(vd)]
+		dd := deltas[pi].Data()[:len(vd)]
+		for i := range vd {
+			old := wdta[i]
+			g := gd[i] + wd*old
+			vv := mom*vd[i] + g
+			vd[i] = vv
+			nw := old - lr*vv
+			wdta[i] = nw
+			dd[i] = nw - old
+		}
+	}
+}
+
+// ApplyFusedStep is the parameter server's fully fused update sweep. It
+// differs from ApplyWithDelta in where the gradient comes from:
+// instead of p.G, each parameter's gradient is read through gradFor as a
+// raw accumulation buffer plus a scale, and the averaging multiply is
+// fused into the update — g = gsum[i]·gscale + wd·w, the exact product of
+// materializing the averaged gradient first (and, at gscale = 1, the
+// float32 multiplicative identity, matching a straight copy bitwise).
+// Combined with the accFor delta folding, the server's entire
+// average → update → delta → accumulate-max chain touches each tensor
+// exactly once; weights, velocity, residuals, and reductions are
+// bit-identical to the staged sweeps. p.G is neither read nor written.
+func (o *SGD) ApplyFusedStep(params []*nn.Param, gradFor func(pi int) ([]float32, float32), deltas []*tensor.Tensor, accFor func(pi int) []float32, maxAbs []float32) {
+	if len(params) != len(deltas) {
+		panic("opt: delta count mismatch")
+	}
+	lr := float32(o.LR(o.step))
+	o.step++
+	mom := float32(o.cfg.Momentum)
+	wd := float32(o.cfg.WeightDecay)
+	for pi, p := range params {
+		v, ok := o.velocity[p.Name]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			o.velocity[p.Name] = v
+		}
+		vd, wdta := v.Data(), p.W.Data()
+		wdta = wdta[:len(vd)]
+		gs, gscale := gradFor(pi)
+		gs = gs[:len(vd)]
+		acc := accFor(pi)
+		if acc == nil {
+			dd := deltas[pi].Data()[:len(vd)]
+			for i := range vd {
+				old := wdta[i]
+				g := gs[i]*gscale + wd*old
+				vv := mom*vd[i] + g
+				vd[i] = vv
+				nw := old - lr*vv
+				wdta[i] = nw
+				dd[i] = nw - old
+			}
+			continue
+		}
+		acc = acc[:len(vd)]
+		var m float32
+		for i := range vd {
+			old := wdta[i]
+			g := gs[i]*gscale + wd*old
+			vv := mom*vd[i] + g
+			vd[i] = vv
+			nw := old - lr*vv
+			wdta[i] = nw
+			sum := acc[i] + (nw - old)
+			acc[i] = sum
+			a := math.Float32frombits(math.Float32bits(sum) &^ (1 << 31))
+			if a > m {
+				m = a
+			}
+		}
+		maxAbs[pi] = m
+	}
+}
+
 // ApplyDelta applies a precomputed model delta to params: w += delta[i].
 // The parameter server uses this on workers when applying pulled deltas.
 func ApplyDelta(params []*nn.Param, deltas []*tensor.Tensor) {

@@ -1,0 +1,147 @@
+package ps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/tensor"
+)
+
+// runPair drives `steps` full push/pull rounds on a 2-worker cluster with
+// the given config mutation, returning the final global parameter data.
+func runPair(t *testing.T, mut func(*Config), ingest func(t *testing.T, s *Server, workerID int, wires [][]byte)) [][]float32 {
+	t.Helper()
+	cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.75, ZeroRun: true}, 2)
+	if mut != nil {
+		mut(&cfg)
+	}
+	global := testModel(1)
+	server := NewServer(global, cfg)
+	workers := make([]*Worker, 2)
+	for id := range workers {
+		m := testModel(1)
+		m.CopyParamsFrom(global)
+		workers[id] = NewWorker(id, m, cfg)
+	}
+	rng := tensor.NewRNG(77)
+	x := tensor.New(5, 8)
+	tensor.FillNormal(x, 1, rng)
+	labels := []int{0, 1, 2, 0, 1}
+
+	for step := 0; step < 4; step++ {
+		server.BeginStep()
+		for _, w := range workers {
+			w.Model.TrainStep(x, labels)
+			wires, _ := w.CompressGrads()
+			ingest(t, server, w.ID, wires)
+		}
+		pull, _, err := server.FinishStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if _, err := w.ApplyPull(pull); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var out [][]float32
+	for _, p := range global.Params() {
+		out = append(out, append([]float32(nil), p.W.Data()...))
+	}
+	return out
+}
+
+func ingestWhole(t *testing.T, s *Server, workerID int, wires [][]byte) {
+	t.Helper()
+	if _, err := s.AddPush(workerID, wires); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedAggregateMatchesStaged pins the fused decode-accumulate server
+// (and fused worker apply) against the staged decode-then-add reference:
+// after several training steps the global model state must be
+// bit-identical.
+func TestFusedAggregateMatchesStaged(t *testing.T) {
+	fused := runPair(t, nil, ingestWhole)
+	staged := runPair(t, func(c *Config) { c.StagedAggregate = true }, ingestWhole)
+	assertSameState(t, fused, staged, "staged")
+}
+
+// TestAddPushTensorMatchesAddPush pins the per-tensor ingestion API
+// (AddPushTensor + EndPush, the overlapped-pipeline entry) against the
+// whole-set AddPush driver.
+func TestAddPushTensorMatchesAddPush(t *testing.T) {
+	whole := runPair(t, nil, ingestWhole)
+	perTensor := runPair(t, nil, func(t *testing.T, s *Server, workerID int, wires [][]byte) {
+		t.Helper()
+		for i, wire := range wires {
+			if err := s.AddPushTensor(workerID, i, wire); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.EndPush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertSameState(t, perTensor, whole, "whole-set")
+}
+
+func assertSameState(t *testing.T, got, want [][]float32, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("tensor count %d vs %d", len(got), len(want))
+	}
+	for ti := range got {
+		for i := range got[ti] {
+			if math.Float32bits(got[ti][i]) != math.Float32bits(want[ti][i]) {
+				t.Fatalf("tensor %d elem %d: %x differs from %s reference %x",
+					ti, i, math.Float32bits(got[ti][i]), label, math.Float32bits(want[ti][i]))
+			}
+		}
+	}
+}
+
+// TestCompressGradsStreamMatches pins the streaming compressor: the
+// emitted (index, wire) pairs must cover every tensor exactly once and
+// byte-match the whole-set CompressGrads output of an identical worker.
+func TestCompressGradsStreamMatches(t *testing.T) {
+	cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.5, ZeroRun: true}, 1)
+	cfg.Parallelism = 4
+	mk := func() *Worker {
+		m := testModel(3)
+		return NewWorker(0, m, cfg)
+	}
+	a, b := mk(), mk()
+	rng := tensor.NewRNG(9)
+	x := tensor.New(5, 8)
+	tensor.FillNormal(x, 1, rng)
+	labels := []int{0, 1, 2, 0, 1}
+	for step := 0; step < 3; step++ {
+		a.Model.TrainStep(x, labels)
+		b.Model.TrainStep(x, labels)
+		want, _ := a.CompressGrads()
+
+		got := make([][]byte, len(want))
+		var mu sync.Mutex
+		_, _ = b.CompressGradsStream(func(i int, wire []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if got[i] != nil {
+				t.Errorf("tensor %d emitted twice", i)
+			}
+			got[i] = append([]byte(nil), wire...)
+		})
+		for i := range want {
+			if got[i] == nil {
+				t.Fatalf("step %d: tensor %d never emitted", step, i)
+			}
+			if string(got[i]) != string(want[i]) {
+				t.Fatalf("step %d: streamed wire %d differs from CompressGrads", step, i)
+			}
+		}
+	}
+}

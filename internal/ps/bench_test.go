@@ -131,6 +131,33 @@ func BenchmarkSteadyStatePushPull(b *testing.B) {
 	}
 }
 
+// BenchmarkSteadyStatePushPullStaged is the same round trip through the
+// staged decode-then-add reference (Config.StagedAggregate): the
+// aggregation baseline the fused decode-accumulate is gated against.
+func BenchmarkSteadyStatePushPullStaged(b *testing.B) {
+	cfg := testConfig(compress.SchemeThreeLC, compress.Options{Sparsity: 1.75, ZeroRun: true}, 1)
+	cfg.Parallelism = 1
+	cfg.StagedAggregate = true
+	global := benchModel(1)
+	server := NewServer(global, cfg)
+	m := benchModel(1)
+	m.CopyParamsFrom(global)
+	worker := NewWorker(0, m, cfg)
+
+	rng := tensor.NewRNG(31)
+	for _, p := range worker.Model.Params() {
+		tensor.FillNormal(p.G, 0.01, rng)
+	}
+	for i := 0; i < 3; i++ {
+		steadyStep(b, server, worker)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steadyStep(b, server, worker)
+	}
+}
+
 func steadyStep(b *testing.B, server *Server, worker *Worker) {
 	b.Helper()
 	wires, _ := worker.CompressGrads()

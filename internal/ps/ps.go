@@ -30,11 +30,27 @@
 // append-style compress.CompressInto API, and layer tensors are
 // compressed/decompressed concurrently by a bounded worker pool
 // (Config.Parallelism). Per tensor, the ternary codecs run on the fused
-// kernels of internal/kernel — two passes over tensor memory to compress,
-// one LUT-driven pass to decompress — so a node's step cost is two
-// streaming sweeps of its model size plus the wire bytes. Wire sets
-// returned by CompressGrads and FinishStep alias those recycled buffers —
-// valid until the owner's next step.
+// kernels of internal/kernel — two passes over tensor memory to compress
+// and, on the aggregation side, ONE fused decode-accumulate pass per
+// worker payload that streams wire bytes and adds M·q straight into the
+// gradient sum (no intermediate decode tensor; payloads are validated
+// before the accumulator is touched). Server-side, the step is fused end
+// to end: FinishStep's optimizer sweep averages the gradient on the fly,
+// applies the update, and folds the model delta directly into the pull
+// compressor's error-accumulation buffer with its |max| reduction
+// (opt.ApplyFusedStep + compress.PreAccumulator), so compress pass 1
+// never runs as its own sweep. The staged decode-then-add / materialized
+// delta pipeline remains behind Config.StagedAggregate as the
+// bit-identical reference.
+//
+// Pushes can be ingested per tensor (AddPushTensor + EndPush) so drivers
+// overlap aggregation with compression and transport: the server
+// decode-adds tensor i the moment its wire exists while tensor i+1 is
+// still compressing (see Worker.CompressGradsStream and the streamed
+// frames in internal/transport). Per-tensor ingestion in worker order is
+// byte-identical to the whole-set AddPush driver. Wire sets returned by
+// CompressGrads and FinishStep alias recycled buffers — valid until the
+// owner's next step.
 package ps
 
 import (
@@ -68,8 +84,32 @@ type Config struct {
 	// per-tensor fan-out is safe). Zero means GOMAXPROCS; 1 forces the
 	// serial path.
 	Parallelism int
+	// StagedAggregate routes the decode-accumulate hot paths — server-side
+	// push aggregation and worker-side pull apply — through the staged
+	// decode-then-add reference (decode into scratch, then a separate add
+	// sweep) instead of the fused single-pass kernels. The two are
+	// bit-identical for every codec (pinned by differential tests); the
+	// staged path remains as the reference implementation and the
+	// benchmark baseline.
+	StagedAggregate bool
 	// Optimizer configures the server-side SGD.
 	Optimizer opt.SGDConfig
+}
+
+// kernelBudget splits the node's goroutine budget between the two levels
+// of fan-out: the per-tensor pool takes min(par, tensors) workers and
+// each tensor's kernels get the remainder, so the product stays ~par.
+func (c Config) kernelBudget(tensors int) int {
+	par := c.parallelism()
+	pool := par
+	if tensors > 0 && tensors < pool {
+		pool = tensors
+	}
+	b := par / pool
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // parallelism resolves the configured codec fan-out.
@@ -133,25 +173,16 @@ func (c Config) newContext(p *nn.Param, seed uint64, tensors int) compress.Compr
 	o := c.Opts
 	o.Seed ^= seed
 	if o.CodecParallelism == 0 {
-		// Split the node's goroutine budget between the two levels of
-		// fan-out: the per-tensor pool takes min(par, tensors) workers,
-		// and each context's fused kernels get the remainder, so the
-		// product stays ~par. Below the per-context cap the scheduling is
-		// pass-count aware (kernel.PassWorkers): each of the two fused
-		// compress passes sizes its own fan-out to that pass's per-element
-		// work, so the cap set here is a ceiling, not a fixed spawn count.
-		// A single-tensor model gets full chunk parallelism; a many-tensor
-		// model gets serial kernels under a wide pool; Parallelism=1 means
-		// fully serial everywhere.
-		par := c.parallelism()
-		pool := par
-		if tensors > 0 && tensors < pool {
-			pool = tensors
-		}
-		o.CodecParallelism = par / pool
-		if o.CodecParallelism < 1 {
-			o.CodecParallelism = 1
-		}
+		// Split the node's goroutine budget across the per-tensor pool and
+		// each context's fused kernels (kernelBudget). Below the
+		// per-context cap the scheduling is pass-count aware
+		// (kernel.PassWorkers): each of the two fused compress passes sizes
+		// its own fan-out to that pass's per-element work, so the cap set
+		// here is a ceiling, not a fixed spawn count. A single-tensor model
+		// gets full chunk parallelism; a many-tensor model gets serial
+		// kernels under a wide pool; Parallelism=1 means fully serial
+		// everywhere.
+		o.CodecParallelism = c.kernelBudget(tensors)
 	}
 	return compress.New(c.Scheme, p.W.Shape(), o)
 }
@@ -166,11 +197,14 @@ type Server struct {
 	params    []*nn.Param
 	pullCtx   []compress.Compressor
 	gradSum   []*tensor.Tensor
-	prevW     []*tensor.Tensor
 	delta     []*tensor.Tensor
-	decode    []*tensor.Tensor
-	pullWires [][]byte // per-tensor pull wire buffers, recycled across steps
-	errs      []error  // per-tensor error slots for parallel decode, recycled
+	decode    []*tensor.Tensor          // staged-reference decode scratch (StagedAggregate only)
+	pullWires [][]byte                  // per-tensor pull wire buffers, recycled across steps
+	errs      []error                   // per-tensor error slots for parallel decode, recycled
+	decPar    int                       // per-tensor kernel fan-out for fused decode-add
+	dirty     []bool                    // per-tensor: gradSum holds this step's data (fused path)
+	preAcc    []compress.PreAccumulator // pull contexts with a fusable accumulate pass (nil slots otherwise)
+	accMax    []float32                 // per-tensor max|acc| from the fused optimizer sweep
 	pushes    int
 
 	// Bound once at construction so the parallelFor call sites pass a
@@ -178,6 +212,9 @@ type Server struct {
 	// is the last per-step heap traffic on an otherwise zero-alloc path.
 	addPushFn    func(i int)
 	pullPackFn   func(i int)
+	accForFn     func(i int) []float32
+	gradForFn    func(i int) ([]float32, float32)
+	inv          float32  // averaging scale of the step being finished
 	pushWorkerID int      // argument slot for addPushFn
 	pushSrc      [][]byte // argument slot for addPushFn
 }
@@ -221,28 +258,79 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 		}
 		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(gi), len(s.params))) // "SERVER"
 		s.gradSum = append(s.gradSum, tensor.New(p.W.Shape()...))
-		s.prevW = append(s.prevW, tensor.New(p.W.Shape()...))
 		s.delta = append(s.delta, tensor.New(p.W.Shape()...))
-		s.decode = append(s.decode, tensor.New(p.W.Shape()...))
+		if cfg.StagedAggregate {
+			// The fused decode-accumulate needs no per-tensor decode
+			// scratch; only the staged reference path does.
+			s.decode = append(s.decode, tensor.New(p.W.Shape()...))
+		}
 	}
+	s.decPar = cfg.kernelBudget(len(s.params))
+	s.dirty = make([]bool, len(s.params))
 	s.pullWires = make([][]byte, len(s.params))
 	s.errs = make([]error, len(s.params))
+	s.preAcc = make([]compress.PreAccumulator, len(s.params))
+	s.accMax = make([]float32, len(s.params))
+	for i, ctx := range s.pullCtx {
+		if pa, ok := ctx.(compress.PreAccumulator); ok {
+			s.preAcc[i] = pa
+		}
+	}
 	s.addPushFn = s.addPushOne
 	s.pullPackFn = s.pullPackOne
+	s.accForFn = s.accBufFor
+	s.gradForFn = s.gradBufFor
 	return s
 }
 
-// BeginStep resets gradient aggregation for a new training step.
+// gradBufFor hands the optimizer tensor i's raw gradient sum plus the
+// averaging scale to fuse into the read — 1 for the batch-norm tensors a
+// single designated worker owns (and 1 is the float32 multiplicative
+// identity, so the fused multiply equals the staged straight copy
+// whenever only one push was accepted).
+func (s *Server) gradBufFor(i int) ([]float32, float32) {
+	if s.params[i].NoCompress {
+		return s.gradSum[i].Data(), 1
+	}
+	return s.gradSum[i].Data(), s.inv
+}
+
+// accBufFor hands the optimizer the pull context's error-accumulation
+// buffer for tensors whose compress pass 1 can absorb the delta write
+// (compress.PreAccumulator); nil keeps the materialized-delta path. The
+// staged reference configuration keeps every pass separate.
+func (s *Server) accBufFor(i int) []float32 {
+	if s.cfg.StagedAggregate || s.preAcc[i] == nil {
+		return nil
+	}
+	return s.preAcc[i].AccData()
+}
+
+// BeginStep resets gradient aggregation for a new training step. The
+// fused path resets per-tensor dirty flags instead of sweeping the sum
+// buffers to zero: each tensor's first accumulation of the step either
+// decodes straight over the stale buffer (DecompressFirstAddInto, when
+// bit-safe) or zeroes it just-in-time. The staged reference keeps the
+// explicit zeroing sweep.
 func (s *Server) BeginStep() {
-	for _, g := range s.gradSum {
-		g.Zero()
+	if s.cfg.StagedAggregate {
+		for _, g := range s.gradSum {
+			g.Zero()
+		}
+	} else {
+		for i := range s.dirty {
+			s.dirty[i] = false
+		}
 	}
 	s.pushes = 0
 }
 
-// AddPush decompresses one worker's gradient push and accumulates it,
-// fanning out across layer tensors (each has its own decode scratch and
-// gradient-sum tensor, so per-tensor parallelism is safe).
+// AddPush decode-accumulates one worker's gradient push, fanning out
+// across layer tensors (each tensor owns its gradient-sum buffer, so
+// per-tensor parallelism is safe). Each tensor runs the fused
+// decode-accumulate — one LUT-driven pass that adds M·q straight into the
+// aggregation buffer, no intermediate decode tensor — unless
+// Config.StagedAggregate selects the staged decode-then-add reference.
 // NoCompress tensors (batch norm) are taken from worker 0 only.
 // It returns the decompression wall time.
 func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
@@ -262,7 +350,7 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// addPushOne decodes and accumulates tensor i of the push staged in
+// addPushOne decode-accumulates tensor i of the push staged in
 // pushWorkerID/pushSrc.
 func (s *Server) addPushOne(i int) {
 	p := s.params[i]
@@ -270,11 +358,68 @@ func (s *Server) addPushOne(i int) {
 	if p.NoCompress && s.pushWorkerID != 0 {
 		return
 	}
-	if err := compress.DecompressInto(s.pushSrc[i], s.decode[i]); err != nil {
+	if err := s.decodeAdd(i, s.pushSrc[i]); err != nil {
 		s.errs[i] = fmt.Errorf("ps: push tensor %q: %w", p.Name, err)
-		return
 	}
-	s.gradSum[i].Add(s.decode[i])
+}
+
+// decodeAdd accumulates one wire into gradSum[i]: the fused single-pass
+// registry path by default, the staged decode-then-add reference under
+// StagedAggregate. Both leave the accumulator bit-identical; a malformed
+// wire leaves it untouched either way.
+func (s *Server) decodeAdd(i int, wire []byte) error {
+	if s.cfg.StagedAggregate {
+		if err := compress.DecompressInto(wire, s.decode[i]); err != nil {
+			return err
+		}
+		s.gradSum[i].Add(s.decode[i])
+		return nil
+	}
+	if !s.dirty[i] {
+		s.dirty[i] = true
+		return compress.DecompressFirstAddInto(wire, s.gradSum[i], s.decPar)
+	}
+	return compress.DecompressAddInto(wire, s.gradSum[i], s.decPar)
+}
+
+// AddPushTensor decode-accumulates a single tensor of workerID's push —
+// the per-tensor ingestion entry behind the overlapped push/aggregate
+// pipeline: a driver can feed each tensor the moment its wire is
+// available (a transport frame landing, a compressor finishing) instead
+// of staging the worker's full wire set. Different tensors may be
+// ingested concurrently; pushes of the SAME tensor must arrive in worker
+// order — per-tensor accumulation order is what keeps the aggregate
+// byte-identical to the serial AddPush driver. After a worker's last
+// tensor, call EndPush exactly once.
+func (s *Server) AddPushTensor(workerID, i int, wire []byte) error {
+	if i < 0 || i >= len(s.params) {
+		return fmt.Errorf("ps: push tensor index %d out of range (model has %d tensors)", i, len(s.params))
+	}
+	p := s.params[i]
+	if p.NoCompress && workerID != 0 {
+		return nil
+	}
+	if err := s.decodeAdd(i, wire); err != nil {
+		return fmt.Errorf("ps: push tensor %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// NumTensors returns the number of model tensors this server owns — the
+// tensor count a per-tensor push must cover (transports use it to verify
+// stream completeness).
+func (s *Server) NumTensors() int {
+	return len(s.params)
+}
+
+// EndPush marks one worker's per-tensor push (AddPushTensor) complete,
+// advancing the push count FinishStep's averaging divides by. AddPush
+// counts implicitly; per-tensor drivers must call EndPush themselves.
+// The error is always nil (the signature matches the sharded tier's
+// EndPush, whose enqueue can fail).
+func (s *Server) EndPush() error {
+	s.pushes++
+	return nil
 }
 
 // FinishStep averages the aggregated gradients, applies the optimizer to
@@ -287,25 +432,39 @@ func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 	if s.pushes == 0 {
 		return nil, 0, fmt.Errorf("ps: FinishStep with no pushes")
 	}
-	inv := 1 / float32(s.pushes)
-	for i, p := range s.params {
-		if p.NoCompress {
-			// Single designated owner: gradient used as-is.
+	s.inv = 1 / float32(s.pushes)
+	if s.cfg.StagedAggregate {
+		// Staged reference: materialize the averaged gradient in p.G, run
+		// the optimizer against it, materialize delta tensors, and let the
+		// pull contexts run their own accumulate pass.
+		for i, p := range s.params {
+			if p.NoCompress {
+				// Single designated owner: gradient used as-is.
+				p.G.CopyFrom(s.gradSum[i])
+				continue
+			}
+			s.gradSum[i].Scale(s.inv)
 			p.G.CopyFrom(s.gradSum[i])
-			continue
 		}
-		s.gradSum[i].Scale(inv)
-		p.G.CopyFrom(s.gradSum[i])
-	}
-
-	// Snapshot weights, update, compute deltas.
-	for i, p := range s.params {
-		s.prevW[i].CopyFrom(p.W)
-	}
-	s.optimizer.Apply(s.params)
-	for i, p := range s.params {
-		s.delta[i].CopyFrom(p.W)
-		s.delta[i].Sub(s.prevW[i])
+		s.optimizer.ApplyWithDelta(s.params, s.delta)
+	} else {
+		for i := range s.params {
+			if !s.dirty[i] {
+				// Defensive: a tensor that received no push this step must
+				// average as zero even though the fused path skipped the
+				// up-front zeroing sweep. (Every driver pushes every
+				// tensor — worker 0 is never dropped — so this is
+				// unreachable in practice.)
+				s.gradSum[i].Zero()
+			}
+		}
+		// One fused sweep per tensor: average (scale fused into the read),
+		// momentum update, delta, and — for 3LC pull contexts — the
+		// delta fold into the compressor's error-accumulation buffer with
+		// its |max| reduction. Bit-identical to the staged average →
+		// Apply → delta = W - prevW → AccumulateMaxAbs sequence; the
+		// averaged gradient is not materialized (p.G is untouched).
+		s.optimizer.ApplyFusedStep(s.params, s.gradForFn, s.delta, s.accForFn, s.accMax)
 	}
 
 	// Shared pull compression: one wire per tensor for all workers, built
@@ -317,8 +476,14 @@ func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 	return s.pullWires, time.Since(start), nil
 }
 
-// pullPackOne compresses model-delta tensor i into its recycled buffer.
+// pullPackOne compresses model-delta tensor i into its recycled buffer:
+// encode-only for contexts whose accumulate pass the optimizer sweep
+// already absorbed, the full CompressInto otherwise.
 func (s *Server) pullPackOne(i int) {
+	if pa := s.preAcc[i]; pa != nil && !s.cfg.StagedAggregate {
+		s.pullWires[i] = pa.CompressPreAccumulated(s.accMax[i], s.pullWires[i][:0])
+		return
+	}
 	s.pullWires[i] = s.pullCtx[i].CompressInto(s.delta[i], s.pullWires[i][:0])
 }
 
@@ -337,9 +502,10 @@ type Worker struct {
 	cfg       Config
 	params    []*nn.Param
 	pushCtx   []compress.Compressor
-	scratch   []*tensor.Tensor
-	pushWires [][]byte // per-tensor push wire buffers, recycled across steps
-	errs      []error  // per-tensor error slots for parallel decode, recycled
+	scratch   []*tensor.Tensor // staged-reference decode scratch (StagedAggregate only)
+	pushWires [][]byte         // per-tensor push wire buffers, recycled across steps
+	errs      []error          // per-tensor error slots for parallel decode, recycled
+	decPar    int              // per-tensor kernel fan-out for fused decode-add
 
 	// Bound method values + argument slot, mirroring Server (see there).
 	compressFn func(i int)
@@ -353,8 +519,11 @@ func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
 	w := &Worker{ID: id, Model: model, cfg: cfg, params: model.Params()}
 	for i, p := range w.params {
 		w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i), len(w.params))) // "WORK"
-		w.scratch = append(w.scratch, tensor.New(p.W.Shape()...))
+		if cfg.StagedAggregate {
+			w.scratch = append(w.scratch, tensor.New(p.W.Shape()...))
+		}
 	}
+	w.decPar = cfg.kernelBudget(len(w.params))
 	w.pushWires = make([][]byte, len(w.params))
 	w.errs = make([]error, len(w.params))
 	w.compressFn = w.compressOne
@@ -380,6 +549,24 @@ func (w *Worker) compressOne(i int) {
 	w.pushWires[i] = w.pushCtx[i].CompressInto(w.params[i].G, w.pushWires[i][:0])
 }
 
+// CompressGradsStream compresses exactly like CompressGrads but hands
+// each tensor's wire to emit the moment it is encoded, so a driver can
+// push tensor i — frame it, enqueue it, start server-side decode-add —
+// while tensor i+1 is still compressing: the worker half of the
+// overlapped push/aggregate pipeline. emit may be invoked concurrently
+// from the codec pool's goroutines (tensors finish in arbitrary order;
+// the index identifies the slot) and must not retain the wire past the
+// next CompressGrads* call. The returned full wire set and duration match
+// CompressGrads.
+func (w *Worker) CompressGradsStream(emit func(i int, wire []byte)) ([][]byte, time.Duration) {
+	start := time.Now()
+	parallelFor(len(w.params), w.cfg.parallelism(), func(i int) {
+		w.compressOne(i)
+		emit(i, w.pushWires[i])
+	})
+	return w.pushWires, time.Since(start)
+}
+
 // ApplyPull decompresses the shared model-delta wires and applies them to
 // the local replica, fanning out across layer tensors. It returns the
 // decompression wall time.
@@ -399,16 +586,39 @@ func (w *Worker) ApplyPull(wires [][]byte) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// applyOne decodes pull tensor i of the staged wire set and applies it to
-// the replica.
+// applyOne decode-applies pull tensor i of the staged wire set to the
+// replica: the fused decode-accumulate adds M·q straight into the weight
+// tensor in one pass (the staged decode-then-add under StagedAggregate).
 func (w *Worker) applyOne(i int) {
+	w.errs[i] = w.applyTensor(i, w.pullSrc[i])
+}
+
+// applyTensor decode-applies one pull wire into weight tensor i.
+func (w *Worker) applyTensor(i int, wire []byte) error {
 	p := w.params[i]
-	w.errs[i] = nil
-	if err := compress.DecompressInto(w.pullSrc[i], w.scratch[i]); err != nil {
-		w.errs[i] = fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
-		return
+	if w.cfg.StagedAggregate {
+		if err := compress.DecompressInto(wire, w.scratch[i]); err != nil {
+			return fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
+		}
+		p.W.Add(w.scratch[i])
+		return nil
 	}
-	p.W.Add(w.scratch[i])
+	if err := compress.DecompressAddInto(wire, p.W, w.decPar); err != nil {
+		return fmt.Errorf("ps: pull tensor %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// ApplyPullTensor decode-applies a single tensor of the shared pull — the
+// worker-side counterpart of Server.AddPushTensor, for transports that
+// stream per-tensor pull frames: the replica applies tensor i while
+// tensor i+1 is still in flight (double-buffered pull decode). Different
+// tensors may be applied concurrently.
+func (w *Worker) ApplyPullTensor(i int, wire []byte) error {
+	if i < 0 || i >= len(w.params) {
+		return fmt.Errorf("ps: pull tensor index %d out of range (model has %d tensors)", i, len(w.params))
+	}
+	return w.applyTensor(i, wire)
 }
 
 // WireBytes sums the byte sizes of a wire set.

@@ -103,7 +103,8 @@ type Cluster struct {
 	asn   Assignment
 	cfg   Config
 	nodes []*node
-	param int // full-model tensor count
+	param int   // full-model tensor count
+	local []int // global tensor index -> shard-local index
 
 	step  int
 	pull  [][]byte // reassembled full pull set, recycled across steps
@@ -132,6 +133,8 @@ type reqKind uint8
 const (
 	reqBegin reqKind = iota + 1
 	reqPush
+	reqPushTensor
+	reqPushEnd
 	reqFinish
 )
 
@@ -139,6 +142,8 @@ type request struct {
 	kind   reqKind
 	step   int
 	worker int
+	tensor int         // shard-local tensor index (reqPushTensor)
+	wire   []byte      // single tensor wire (reqPushTensor); aliases the caller's buffer
 	wires  *[][]byte   // sub wire set (reqPush); returned to the node pool after use
 	done   chan result // reqFinish only
 }
@@ -166,6 +171,12 @@ func NewCluster(model *nn.Model, psCfg ps.Config, cfg Config) *Cluster {
 
 	c := &Cluster{asn: asn, cfg: cfg, param: len(params)}
 	c.pull = make([][]byte, len(params))
+	c.local = make([]int, len(params))
+	for s := 0; s < cfg.Shards; s++ {
+		for k, gi := range asn.Tensors(s) {
+			c.local[gi] = k
+		}
+	}
 	window := cfg.Window
 	if window <= 0 || window > cfg.Shards {
 		window = cfg.Shards
@@ -330,6 +341,38 @@ func (c *Cluster) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 	return 0, err
 }
 
+// AddPushTensor routes a single tensor of workerID's push to the shard
+// that owns it, asynchronously: the owning shard begins decode-accumulate
+// on the tensor as soon as the request lands in its queue — typically
+// while the worker is still compressing its next tensor — instead of
+// after the worker's full wire set has been staged. Per-tensor requests
+// for the same tensor must be issued in worker order (the FIFO queue then
+// preserves it, keeping the aggregate byte-identical to the whole-set
+// driver); after a worker's last tensor, call EndPush once. The wire must
+// stay valid until FinishStep returns.
+func (c *Cluster) AddPushTensor(workerID, gi int, wire []byte) error {
+	if gi < 0 || gi >= c.param {
+		return fmt.Errorf("shard: push tensor index %d out of range (model has %d tensors)", gi, c.param)
+	}
+	if !c.began {
+		return fmt.Errorf("shard: AddPushTensor before BeginStep")
+	}
+	n := c.nodes[c.asn.ShardOf[gi]]
+	return c.send(n, request{kind: reqPushTensor, step: c.step, worker: workerID, tensor: c.local[gi], wire: wire})
+}
+
+// EndPush marks one worker's per-tensor push complete on every shard
+// (each shard's sub-server advances the push count its averaging divides
+// by). Pair with AddPushTensor; the whole-set AddPush needs no EndPush.
+func (c *Cluster) EndPush() error {
+	if !c.began {
+		return fmt.Errorf("shard: EndPush before BeginStep")
+	}
+	return c.broadcast(func(n *node) request {
+		return request{kind: reqPushEnd, step: c.step}
+	})
+}
+
 // FinishStep is the step barrier: every shard drains its queue, averages
 // its gradients, applies its optimizer slice, and compresses its pull
 // wires; the shards' pulls are then reassembled into full-model tensor
@@ -398,9 +441,38 @@ func (n *node) run() {
 			n.srv.BeginStep()
 		case reqPush:
 			n.push(req)
+		case reqPushTensor:
+			n.pushTensor(req)
+		case reqPushEnd:
+			if n.err != nil {
+				break
+			}
+			if req.step != n.step {
+				n.err = fmt.Errorf("shard %d: push end for step %d during step %d", n.id, req.step, n.step)
+				break
+			}
+			_ = n.srv.EndPush() // always nil on a sub-server
 		case reqFinish:
 			req.done <- n.finish(req)
 		}
+	}
+}
+
+// pushTensor decode-accumulates one tensor of one worker's push the
+// moment its request is serviced.
+func (n *node) pushTensor(req request) {
+	if n.err != nil {
+		return
+	}
+	if req.step != n.step {
+		n.err = fmt.Errorf("shard %d: push tensor for step %d during step %d", n.id, req.step, n.step)
+		return
+	}
+	start := time.Now()
+	err := n.srv.AddPushTensor(req.worker, req.tensor, req.wire)
+	n.decodeDur += time.Since(start)
+	if err != nil {
+		n.err = fmt.Errorf("shard %d: %w", n.id, err)
 	}
 }
 

@@ -162,6 +162,67 @@ func TestShardedEquivalentToSinglePS(t *testing.T) {
 	}
 }
 
+// tensorStreamAdapter routes whole-set pushes through the per-tensor
+// ingestion API (AddPushTensor + EndPush), so the existing equivalence
+// driver exercises the overlapped-pipeline entry points.
+type tensorStreamAdapter struct{ *Cluster }
+
+func (a tensorStreamAdapter) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+	for gi, wire := range wires {
+		if err := a.Cluster.AddPushTensor(workerID, gi, wire); err != nil {
+			return 0, err
+		}
+	}
+	return 0, a.Cluster.EndPush()
+}
+
+// TestClusterPerTensorPushEquivalent pins the per-tensor streamed
+// ingestion against the whole-set AddPush driver: byte-identical pull
+// wires every step and bit-identical final weights, across shard counts.
+func TestClusterPerTensorPushEquivalent(t *testing.T) {
+	const steps, workers = 4, 3
+	for _, codec := range []int{0, 2} { // float32 and 3lc from allCodecs
+		c := allCodecs[codec]
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/shards=%d", c.name, shards), func(t *testing.T) {
+				cfg := ps.Config{
+					Scheme:           c.s,
+					Opts:             c.o,
+					Workers:          workers,
+					MinCompressElems: 1,
+					Parallelism:      1,
+					Optimizer:        opt.DefaultSGDConfig(workers, steps),
+				}
+				var wholeCl *Cluster
+				wholePulls, wholeW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
+					wholeCl = NewCluster(g, cfg, Config{Shards: shards})
+					return wholeCl
+				})
+				defer wholeCl.Close()
+				var streamCl *Cluster
+				streamPulls, streamW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
+					streamCl = NewCluster(g, cfg, Config{Shards: shards})
+					return tensorStreamAdapter{streamCl}
+				})
+				defer streamCl.Close()
+
+				for s := range wholePulls {
+					for i := range wholePulls[s] {
+						if !bytes.Equal(wholePulls[s][i], streamPulls[s][i]) {
+							t.Fatalf("step %d tensor %d: pull wires differ", s, i)
+						}
+					}
+				}
+				for i := range wholeW {
+					if wholeW[i] != streamW[i] {
+						t.Fatalf("final weight %d differs: %v vs %v", i, wholeW[i], streamW[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestClusterMoreShardsThanTensors exercises empty shards (the assignment
 // leaves high shard ids without tensors when the model is small).
 func TestClusterMoreShardsThanTensors(t *testing.T) {

@@ -24,10 +24,15 @@ import (
 )
 
 // stepServer is the driver-facing surface shared by the single parameter
-// server (ps.Server) and the sharded tier (shard.Cluster).
+// server (ps.Server) and the sharded tier (shard.Cluster). The driver
+// ingests pushes per tensor (AddPushTensor/EndPush), which is what lets
+// the aggregation overlap the compute/compress phase; the whole-set
+// AddPush remains for completeness and external drivers.
 type stepServer interface {
 	BeginStep()
 	AddPush(workerID int, wires [][]byte) (time.Duration, error)
+	AddPushTensor(workerID, i int, wire []byte) error
+	EndPush() error
 	FinishStep() ([][]byte, time.Duration, error)
 }
 
@@ -375,34 +380,10 @@ func Run(cfg Config) (*Result, error) {
 	var pullHistory [][][]byte                                // ring of recent pull wire sets (SSP emulation)
 
 	for step := 0; step < cfg.Steps; step++ {
-		// Local computation + gradient compression, in parallel.
-		var wg sync.WaitGroup
-		for w := 0; w < cfg.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				idx := make([]int, cfg.BatchPerWorker)
-				for i := range idx {
-					idx[i] = shards[w][rngs[w].Intn(len(shards[w]))]
-				}
-				var x *tensor.Tensor
-				var labels []int
-				if cfg.FlatInput {
-					x, labels = trainSet.FlatBatch(idx, augment, rngs[w])
-				} else {
-					x, labels = trainSet.Batch(idx, augment, rngs[w])
-				}
-				outs[w].loss = workers[w].Model.TrainStep(x, labels)
-				if w == 0 && cfg.OnGradients != nil {
-					cfg.OnGradients(step, workers[0].Model.Params())
-				}
-				outs[w].wires, outs[w].compDur = workers[w].CompressGrads()
-			}(w)
-		}
-		wg.Wait()
-
-		// Straggler model: draw per-worker compute-time multipliers. Under
-		// plain BSP the barrier waits for the slowest worker; with backup
+		// Straggler model: draw per-worker compute-time multipliers up
+		// front (the jitter RNG is independent of the compute phase, so
+		// the draw order — and every result — is unchanged). Under plain
+		// BSP the barrier waits for the slowest worker; with backup
 		// workers (§2.1), the step advances once Workers-BackupWorkers
 		// pushes arrive and the stragglers' updates are discarded. The
 		// chief (worker 0, batch-norm owner) is never dropped.
@@ -446,9 +427,90 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// Push phase: server decompresses and aggregates (serial at server).
+		// Overlapped push/aggregate pipeline: local computation + gradient
+		// compression run in parallel across workers, and each ACCEPTED
+		// worker streams its tensors into a buffered channel the moment
+		// they are compressed. The aggregator below ingests them — in
+		// strict worker order per tensor, which keeps the gradient sums
+		// byte-identical to the staged serial driver — while later workers
+		// are still computing and compressing: the server aggregates
+		// worker w's push during worker w+1's compute instead of after the
+		// whole barrier. Dropped workers still compress (their error-
+		// accumulation contexts must advance) but nothing is ingested.
 		server.BeginStep()
+		type tensorWire struct {
+			i    int
+			wire []byte
+		}
+		streams := make([]chan tensorWire, cfg.Workers)
+		for w := range streams {
+			if accepted[w] {
+				// Buffered to the tensor count: emitters never block, so
+				// a slow aggregator cannot stall the compute phase.
+				streams[w] = make(chan tensorWire, len(params))
+			}
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				idx := make([]int, cfg.BatchPerWorker)
+				for i := range idx {
+					idx[i] = shards[w][rngs[w].Intn(len(shards[w]))]
+				}
+				var x *tensor.Tensor
+				var labels []int
+				if cfg.FlatInput {
+					x, labels = trainSet.FlatBatch(idx, augment, rngs[w])
+				} else {
+					x, labels = trainSet.Batch(idx, augment, rngs[w])
+				}
+				outs[w].loss = workers[w].Model.TrainStep(x, labels)
+				if w == 0 && cfg.OnGradients != nil {
+					cfg.OnGradients(step, workers[0].Model.Params())
+				}
+				if accepted[w] {
+					outs[w].wires, outs[w].compDur = workers[w].CompressGradsStream(func(i int, wire []byte) {
+						streams[w] <- tensorWire{i: i, wire: wire}
+					})
+					close(streams[w])
+				} else {
+					outs[w].wires, outs[w].compDur = workers[w].CompressGrads()
+				}
+			}(w)
+		}
+
+		// Aggregator: per-tensor ingestion in worker order, concurrent
+		// with the compute goroutines above. serverDecode accumulates only
+		// the time spent inside the server (channel waits are compute
+		// overlap, not codec cost).
 		var serverDecode time.Duration
+		var aggErr error
+		for w := 0; w < cfg.Workers; w++ {
+			if streams[w] == nil {
+				continue
+			}
+			for tw := range streams[w] {
+				if aggErr != nil {
+					continue // drain so the emitter's close is reached
+				}
+				t0 := time.Now()
+				err := server.AddPushTensor(w, tw.i, tw.wire)
+				serverDecode += time.Since(t0)
+				if err != nil {
+					aggErr = err
+				}
+			}
+			if aggErr == nil {
+				aggErr = server.EndPush()
+			}
+		}
+		wg.Wait()
+		if aggErr != nil {
+			return nil, aggErr
+		}
+
 		pushBytes := make([]int, cfg.Workers)
 		var compPush float64
 		nAccepted := 0
@@ -457,11 +519,6 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			nAccepted++
-			d, err := server.AddPush(w, outs[w].wires)
-			if err != nil {
-				return nil, err
-			}
-			serverDecode += d
 			pushBytes[w] = ps.WireBytes(outs[w].wires)
 			for i, wire := range outs[w].wires {
 				if compressible[i] {

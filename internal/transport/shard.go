@@ -9,6 +9,20 @@
 //	hello2       := header (step field = 0) [4B LE assignment hash]
 //	push2        := header [wire set]
 //	pull2        := header (worker field = 0) [wire set]
+//
+// The streamed (per-tensor) frames overlap communication with codec work:
+// a worker that pushes MsgShardPushTensor frames sends each tensor the
+// moment its compressor finishes — the shard begins decode-accumulate on
+// tensor i while tensor i+1 is still compressing or in flight — and is
+// answered with per-tensor pull frames its decode loop applies while the
+// next frame is still being read (double-buffered pull decode):
+//
+//	pushT := header [4B LE shard-local tensor][tensor wire]
+//	pushE := header                                          (end of push)
+//	pullT := header (worker field = 0) [4B LE shard-local tensor][tensor wire]
+//
+// Whole-set and streamed workers interoperate freely on one shard: the
+// mode is per worker per step, chosen by the first push frame.
 package transport
 
 import (
@@ -28,6 +42,15 @@ const (
 	MsgShardHello MsgType = iota + 4
 	MsgShardPush
 	MsgShardPull
+	// MsgShardPushTensor carries one tensor of a worker's push: header +
+	// 4-byte shard-local tensor index + that tensor's wire. The shard
+	// decode-accumulates it as soon as the frame lands.
+	MsgShardPushTensor
+	// MsgShardPushEnd terminates a streamed push (header only).
+	MsgShardPushEnd
+	// MsgShardPullTensor carries one tensor of the shared pull, same
+	// layout as MsgShardPushTensor; sent to workers that pushed streamed.
+	MsgShardPullTensor
 )
 
 // ShardWireVersion is the current sharded wire-format generation. The
@@ -136,12 +159,14 @@ func (s *ShardServer) TrafficBytes() (push, pull int64) {
 }
 
 type shardWorkerConn struct {
-	id     int
-	legacy bool // v1 client: answer with v1 pull frames
-	rw     *bufio.ReadWriter
-	fr     *FrameReader
-	wires  [][]byte
-	c      net.Conn
+	id       int
+	legacy   bool   // v1 client: answer with v1 pull frames
+	streamed bool   // this step's push arrived as per-tensor frames
+	seen     []bool // per-tensor received flags for one streamed push, recycled
+	rw       *bufio.ReadWriter
+	fr       *FrameReader
+	wires    [][]byte
+	c        net.Conn
 }
 
 // newConnRW pairs a connection's buffered reader and writer, exactly as
@@ -175,13 +200,14 @@ func (s *ShardServer) Serve() error {
 	// The shared pull payload is serialized once per step per frame
 	// generation (v2, and v1 only when a legacy worker is connected) and
 	// broadcast to every worker, like the v1 server's per-step pullBuf.
-	var v2Buf, v1Buf []byte
-	anyLegacy, anyV2 := false, false
+	// Workers that pushed streamed this step are answered with per-tensor
+	// pull frames instead, so their decode can start on tensor 0 while
+	// tensor 1 is still in flight.
+	var v2Buf, v1Buf, tBuf []byte
+	anyLegacy := false
 	for _, wc := range conns {
 		if wc.legacy {
 			anyLegacy = true
-		} else {
-			anyV2 = true
 		}
 	}
 	for step := 0; step < s.cfg.Steps; step++ {
@@ -195,7 +221,13 @@ func (s *ShardServer) Serve() error {
 		if err != nil {
 			return err
 		}
-		if anyV2 {
+		anyWhole := false
+		for _, wc := range conns {
+			if !wc.legacy && !wc.streamed {
+				anyWhole = true
+			}
+		}
+		if anyWhole {
 			v2Buf = AppendShardHeader(v2Buf[:0], ShardHeader{
 				Version: ShardWireVersion,
 				Shard:   uint16(s.cfg.Shard),
@@ -209,6 +241,12 @@ func (s *ShardServer) Serve() error {
 			v1Buf = AppendWireSet(v1Buf, pull)
 		}
 		for _, wc := range conns {
+			if wc.streamed {
+				if err := s.writePullStream(wc, step, pull, &tBuf); err != nil {
+					return err
+				}
+				continue
+			}
 			t, payload := MsgShardPull, v2Buf
 			if wc.legacy {
 				t, payload = MsgPull, v1Buf
@@ -224,6 +262,36 @@ func (s *ShardServer) Serve() error {
 			s.mu.Unlock()
 		}
 	}
+	return nil
+}
+
+// writePullStream answers one streamed worker with per-tensor pull
+// frames, flushing after each so the worker's double-buffered decode can
+// start on the first tensor while the rest are still being written.
+func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]byte, tBuf *[]byte) error {
+	sent := int64(0)
+	for k, wire := range pull {
+		b := AppendShardHeader((*tBuf)[:0], ShardHeader{
+			Version: ShardWireVersion,
+			Shard:   uint16(s.cfg.Shard),
+			Step:    uint32(step),
+		})
+		var sb [4]byte
+		le.PutUint32(sb[:], uint32(k))
+		b = append(b, sb[:]...)
+		b = append(b, wire...)
+		*tBuf = b
+		if err := WriteFrame(wc.rw, MsgShardPullTensor, b); err != nil {
+			return fmt.Errorf("transport: shard %d step %d pull tensor %d to worker %d: %w", s.cfg.Shard, step, k, wc.id, err)
+		}
+		if err := wc.rw.Flush(); err != nil {
+			return fmt.Errorf("transport: shard %d step %d flush to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+		}
+		sent += int64(len(b))
+	}
+	s.mu.Lock()
+	s.pullBytes += sent
+	s.mu.Unlock()
 	return nil
 }
 
@@ -288,16 +356,22 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 	return &shardWorkerConn{id: id, legacy: legacy, rw: rw, fr: fr, c: c}, nil
 }
 
-// readPush consumes one worker's push frame for the given step into the
-// shard's ps sub-server.
+// readPush consumes one worker's push for the given step into the
+// shard's ps sub-server: a single whole-set frame, or — when the worker
+// streams — a sequence of per-tensor frames, each decode-accumulated the
+// moment it lands, terminated by MsgShardPushEnd.
 func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 	t, payload, err := wc.fr.ReadFrame()
 	if err != nil {
 		return fmt.Errorf("transport: shard %d step %d push from worker %d: %w", s.cfg.Shard, step, wc.id, err)
 	}
+	wc.streamed = false
 	var body []byte
 	var id, gotStep int
 	switch {
+	case (t == MsgShardPushTensor || t == MsgShardPushEnd) && !wc.legacy:
+		wc.streamed = true
+		return s.readPushStream(wc, step, t, payload)
 	case t == MsgShardPush && !wc.legacy:
 		h, rest, err := ParseShardHeader(payload)
 		if err != nil {
@@ -335,12 +409,85 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 	return nil
 }
 
+// readPushStream consumes a streamed push: the already-read first frame
+// (t/payload) and every following frame until MsgShardPushEnd. Each
+// tensor wire aliases the connection's frame scratch and is consumed by
+// AddPushTensor before the next read — the server never stages the full
+// wire set. Workers must send every tensor of the shard (an empty wire
+// for non-transmitting schemes), in any order, each exactly once;
+// duplicate or missing slots are protocol errors, enforced here so a
+// malformed stream can never silently skew the aggregate (the same
+// validate-don't-trust stance the decode-add kernels take).
+func (s *ShardServer) readPushStream(wc *shardWorkerConn, step int, t MsgType, payload []byte) error {
+	want := s.ps.NumTensors()
+	if cap(wc.seen) < want {
+		wc.seen = make([]bool, want)
+	}
+	wc.seen = wc.seen[:want]
+	for i := range wc.seen {
+		wc.seen[i] = false
+	}
+	tensors := 0
+	received := int64(0)
+	for {
+		h, rest, err := ParseShardHeader(payload)
+		if err != nil {
+			return err
+		}
+		if int(h.Shard) != s.cfg.Shard {
+			return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
+		}
+		if int(h.Worker) != wc.id {
+			return fmt.Errorf("transport: push id %d on worker %d's connection", h.Worker, wc.id)
+		}
+		if int(h.Step) != step {
+			return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", wc.id, h.Step, step)
+		}
+		received += int64(len(payload))
+		if t == MsgShardPushEnd {
+			if len(rest) != 0 {
+				return fmt.Errorf("transport: push end carries %d trailing bytes", len(rest))
+			}
+			if tensors != want {
+				return fmt.Errorf("transport: shard %d step %d worker %d streamed %d of %d tensors (incomplete push)",
+					s.cfg.Shard, step, wc.id, tensors, want)
+			}
+			_ = s.ps.EndPush() // always nil on a ps.Server
+			s.mu.Lock()
+			s.pushBytes += received
+			s.mu.Unlock()
+			return nil
+		}
+		if len(rest) < 4 {
+			return fmt.Errorf("transport: short push tensor frame (%d bytes after header)", len(rest))
+		}
+		slot := int(le.Uint32(rest))
+		if slot < 0 || slot >= want || wc.seen[slot] {
+			return fmt.Errorf("transport: shard %d step %d worker %d: bad or duplicate push tensor slot %d",
+				s.cfg.Shard, step, wc.id, slot)
+		}
+		wc.seen[slot] = true
+		tensors++
+		if err := s.ps.AddPushTensor(wc.id, slot, rest[4:]); err != nil {
+			return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+		}
+		t, payload, err = wc.fr.ReadFrame()
+		if err != nil {
+			return fmt.Errorf("transport: shard %d step %d push stream from worker %d: %w", s.cfg.Shard, step, wc.id, err)
+		}
+		if t != MsgShardPushTensor && t != MsgShardPushEnd {
+			return fmt.Errorf("transport: step %d: expected push tensor or end, got type %d", step, t)
+		}
+	}
+}
+
 // ShardClient is a worker's multiplexed view of the sharded tier: one
 // connection per shard, pushed to and pulled from concurrently.
 type ShardClient struct {
 	id    int
 	asn   shard.Assignment
 	idx   [][]int // per-shard global tensor indices, fixed at dial time
+	slot  []int   // global tensor index -> shard-local index
 	conns []*shardConn
 	pull  [][]byte // reassembled full-model pull set, recycled
 	subs  [][][]byte
@@ -354,6 +501,10 @@ type shardConn struct {
 	fr        *FrameReader
 	pushBuf   []byte
 	pullWires [][]byte
+	// pullBufA/B are the two slots of the streamed pull's double buffer,
+	// retained across steps so the steady-state receive path stops
+	// allocating once the largest tensor wire has been seen.
+	pullBufA, pullBufB []byte
 }
 
 // DialSharded connects to every shard of the tier (addrs[s] is shard s's
@@ -372,9 +523,13 @@ func DialSharded(addrs []string, workerID int, asn shard.Assignment) (*ShardClie
 		subs: make([][][]byte, asn.NumShards),
 		errs: make([]error, asn.NumShards),
 	}
+	c.slot = make([]int, len(asn.ShardOf))
 	for s := range c.idx {
 		c.idx[s] = asn.Tensors(s)
 		c.subs[s] = make([][]byte, len(c.idx[s]))
+		for k, gi := range c.idx[s] {
+			c.slot[gi] = k
+		}
 	}
 	for s, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
@@ -482,6 +637,165 @@ func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) 
 	}
 	sc.pullWires = pulls
 	return nil
+}
+
+// IndexedWire is one tensor's compressed wire tagged with its global
+// tensor index, the unit of the streamed push/pull pipeline.
+type IndexedWire struct {
+	I    int
+	Wire []byte
+}
+
+// PushPullStream runs one step in streamed mode. Tensors arriving on
+// `tensors` (any order — typically straight from a concurrent compressor,
+// ps.Worker.CompressGradsStream) are framed and sent to their owning
+// shard immediately, so the servers decode-accumulate tensor i while
+// tensor i+1 is still compressing or in flight. The caller must send
+// every tensor exactly once (an empty Wire for non-transmitting schemes)
+// and close the channel; wires must stay valid until the call returns.
+//
+// The pull comes back as per-tensor frames: apply is invoked once per
+// tensor — concurrently across shards, and per shard overlapped with the
+// next frame's socket read through a two-slot buffer (double-buffered
+// pull decode). apply must be safe for concurrent calls on different
+// tensors (ps.Worker.ApplyPullTensor is); its wire argument is valid only
+// for the duration of the call.
+func (c *ShardClient) PushPullStream(step int, tensors <-chan IndexedWire, apply func(gi int, wire []byte) error) error {
+	chans := make([]chan IndexedWire, len(c.conns))
+	var wg sync.WaitGroup
+	for s, sc := range c.conns {
+		chans[s] = make(chan IndexedWire, len(c.idx[s]))
+		wg.Add(1)
+		go func(s int, sc *shardConn, ch <-chan IndexedWire) {
+			defer wg.Done()
+			c.errs[s] = c.streamShard(step, s, sc, ch, apply)
+		}(s, sc, chans[s])
+	}
+	for iw := range tensors {
+		if iw.I < 0 || iw.I >= len(c.slot) {
+			for _, ch := range chans {
+				close(ch)
+			}
+			wg.Wait()
+			return fmt.Errorf("transport: streamed tensor index %d out of range", iw.I)
+		}
+		chans[c.asn.ShardOf[iw.I]] <- iw
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	for _, err := range c.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamShard drives one shard connection through a streamed step:
+// per-tensor push frames as they arrive, the end-of-push marker, then the
+// double-buffered pull decode loop.
+func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedWire, apply func(gi int, wire []byte) error) error {
+	hdr := ShardHeader{
+		Version: ShardWireVersion,
+		Shard:   uint16(s),
+		Worker:  uint32(c.id),
+		Step:    uint32(step),
+	}
+	for iw := range ch {
+		payload := AppendShardHeader(sc.pushBuf[:0], hdr)
+		var sb [4]byte
+		le.PutUint32(sb[:], uint32(c.slot[iw.I]))
+		payload = append(payload, sb[:]...)
+		payload = append(payload, iw.Wire...)
+		sc.pushBuf = payload
+		if err := WriteFrame(sc.rw, MsgShardPushTensor, payload); err != nil {
+			return fmt.Errorf("transport: shard %d push tensor %d step %d: %w", s, iw.I, step, err)
+		}
+		// Flush per frame: the point of streaming is that the server sees
+		// tensor i before tensor i+1 exists.
+		if err := sc.rw.Flush(); err != nil {
+			return err
+		}
+	}
+	payload := AppendShardHeader(sc.pushBuf[:0], hdr)
+	sc.pushBuf = payload
+	if err := WriteFrame(sc.rw, MsgShardPushEnd, payload); err != nil {
+		return fmt.Errorf("transport: shard %d push end step %d: %w", s, step, err)
+	}
+	if err := sc.rw.Flush(); err != nil {
+		return err
+	}
+
+	// Double-buffered pull decode: a reader goroutine copies each frame
+	// into one of two recycled slots while this goroutine decode-applies
+	// the previous one.
+	type pulled struct {
+		gi  int
+		buf []byte
+		err error
+	}
+	slots := make(chan []byte, 2)
+	slots <- sc.pullBufA[:0]
+	slots <- sc.pullBufB[:0]
+	frames := make(chan pulled, 2)
+	go func() {
+		defer close(frames)
+		seen := make(map[int]bool, len(c.idx[s]))
+		for range c.idx[s] {
+			t, resp, err := sc.fr.ReadFrame()
+			if err != nil {
+				frames <- pulled{err: fmt.Errorf("transport: shard %d pull step %d: %w", s, step, err)}
+				return
+			}
+			if t != MsgShardPullTensor {
+				frames <- pulled{err: fmt.Errorf("transport: shard %d: expected pull tensor, got type %d", s, t)}
+				return
+			}
+			h, rest, err := ParseShardHeader(resp)
+			if err != nil {
+				frames <- pulled{err: err}
+				return
+			}
+			if int(h.Shard) != s || int(h.Step) != step {
+				frames <- pulled{err: fmt.Errorf("transport: pull for shard %d step %d during shard %d step %d", h.Shard, h.Step, s, step)}
+				return
+			}
+			if len(rest) < 4 {
+				frames <- pulled{err: fmt.Errorf("transport: short pull tensor frame")}
+				return
+			}
+			slot := int(le.Uint32(rest))
+			if slot < 0 || slot >= len(c.idx[s]) || seen[slot] {
+				frames <- pulled{err: fmt.Errorf("transport: bad or duplicate pull tensor slot %d", slot)}
+				return
+			}
+			seen[slot] = true
+			buf := <-slots
+			buf = append(buf[:0], rest[4:]...)
+			frames <- pulled{gi: c.idx[s][slot], buf: buf}
+		}
+	}()
+	var firstErr error
+	for p := range frames {
+		if p.err != nil {
+			if firstErr == nil {
+				firstErr = p.err
+			}
+			continue
+		}
+		if firstErr == nil {
+			if err := apply(p.gi, p.buf); err != nil {
+				firstErr = err
+			}
+		}
+		slots <- p.buf
+	}
+	// Both slots are back in the channel once frames closes; retain them
+	// (and their grown capacities) for the next step.
+	sc.pullBufA, sc.pullBufB = <-slots, <-slots
+	return firstErr
 }
 
 // Close terminates all shard connections.

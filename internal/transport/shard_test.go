@@ -169,6 +169,179 @@ func TestShardedTCPMatchesSinglePS(t *testing.T) {
 	}
 }
 
+// driveWorkerStream runs one worker's BSP loop through the streamed
+// per-tensor pipeline: compression emits tensors into the push stream as
+// they finish, and the pull is decode-applied per tensor as frames land.
+func driveWorkerStream(t *testing.T, w int, steps int, cfg ps.Config, global *nn.Model, cl *ShardClient) {
+	t.Helper()
+	m := buildShardModel()
+	m.CopyParamsFrom(global)
+	wk := ps.NewWorker(w, m, cfg)
+	params := len(m.Params())
+	rng := tensor.NewRNG(1000 + uint64(w))
+	for step := 0; step < steps; step++ {
+		x := tensor.New(6, 12)
+		tensor.FillNormal(x, 1, rng)
+		labels := make([]int, 6)
+		for i := range labels {
+			labels[i] = (step + w + i) % 4
+		}
+		wk.Model.TrainStep(x, labels)
+		ch := make(chan IndexedWire, params)
+		go func() {
+			wk.CompressGradsStream(func(i int, wire []byte) {
+				ch <- IndexedWire{I: i, Wire: wire}
+			})
+			close(ch)
+		}()
+		if err := cl.PushPullStream(step, ch, wk.ApplyPullTensor); err != nil {
+			t.Errorf("worker %d step %d stream: %v", w, step, err)
+			return
+		}
+	}
+}
+
+// TestStreamedTCPMatchesSinglePS runs the per-tensor streamed pipeline —
+// worker 0 streams (push frames emitted while later tensors still
+// compress, pull frames decode-applied double-buffered), worker 1 stays
+// on the whole-set path — over a 2-shard TCP tier and checks the final
+// global state is bit-identical to the in-process single server. Mixing
+// the modes on one tier pins their interoperability.
+func TestStreamedTCPMatchesSinglePS(t *testing.T) {
+	const workers, steps, shards = 2, 3, 2
+	cfg := shardTestConfig(workers, steps)
+
+	global := buildShardModel()
+	asn := shard.ForModel(global, shards)
+	subs := shard.SubServers(global, cfg, asn)
+
+	addrs := make([]string, shards)
+	serveErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[s] = ln.Addr().String()
+		srv := NewShardServer(ln, subs[s], ShardServerConfig{
+			Shard:          s,
+			NumShards:      shards,
+			Workers:        workers,
+			Steps:          steps,
+			AssignmentHash: asn.Hash(),
+		})
+		go func() { serveErr <- srv.Serve() }()
+	}
+
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			cl, err := DialSharded(addrs, w, shard.ForModel(buildShardModel(), shards))
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer cl.Close()
+			if w == 0 {
+				driveWorkerStream(t, w, steps, cfg, global, cl)
+			} else {
+				driveWorker(t, w, steps, cfg, global, cl.PushPull)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for s := 0; s < shards; s++ {
+		if err := <-serveErr; err != nil {
+			t.Fatalf("shard serve: %v", err)
+		}
+	}
+
+	want := referenceWeights(t, workers, steps)
+	var got []float32
+	for _, p := range global.Params() {
+		got = append(got, p.W.Data()...)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("weight %d differs: single %v streamed-tcp %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestStreamedPushRejectsMalformedStream pins the streamed push's
+// protocol enforcement: a duplicate tensor slot, and an end-of-push with
+// tensors missing, must fail the step with an error instead of silently
+// skewing the aggregate.
+func TestStreamedPushRejectsMalformedStream(t *testing.T) {
+	run := func(t *testing.T, drive func(rw interface {
+		Flush() error
+	}, write func(mt MsgType, payload []byte)), wantErr string) {
+		t.Helper()
+		cfg := shardTestConfig(1, 1)
+		global := buildShardModel()
+		asn := shard.ForModel(global, 1)
+		subs := shard.SubServers(global, cfg, asn)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewShardServer(ln, subs[0], ShardServerConfig{
+			Shard: 0, NumShards: 1, Workers: 1, Steps: 1, AssignmentHash: asn.Hash(),
+		})
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve() }()
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rw := newConnRW(c)
+		write := func(mt MsgType, payload []byte) {
+			if err := WriteFrame(rw, mt, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hello := AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion})
+		var hb [4]byte
+		le.PutUint32(hb[:], asn.Hash())
+		write(MsgShardHello, append(hello, hb[:]...))
+		drive(rw, write)
+		if err := rw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		serveErr := <-errc
+		if serveErr == nil || !strings.Contains(serveErr.Error(), wantErr) {
+			t.Fatalf("Serve() = %v, want error containing %q", serveErr, wantErr)
+		}
+	}
+
+	tensorFrame := func(slot uint32) []byte {
+		p := AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion})
+		var sb [4]byte
+		le.PutUint32(sb[:], slot)
+		return append(p, sb[:]...) // empty wire body
+	}
+	endFrame := func() []byte {
+		return AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion})
+	}
+
+	t.Run("duplicate slot", func(t *testing.T) {
+		run(t, func(_ interface{ Flush() error }, write func(MsgType, []byte)) {
+			write(MsgShardPushTensor, tensorFrame(0))
+			write(MsgShardPushTensor, tensorFrame(0))
+		}, "duplicate push tensor slot")
+	})
+	t.Run("incomplete push", func(t *testing.T) {
+		run(t, func(_ interface{ Flush() error }, write func(MsgType, []byte)) {
+			write(MsgShardPushTensor, tensorFrame(0))
+			write(MsgShardPushEnd, endFrame())
+		}, "incomplete push")
+	})
+}
+
 // TestShardServerAcceptsLegacyV1Client pins backward compatibility: a
 // 1-shard ShardServer speaks the v1 wire format with an old Client.
 func TestShardServerAcceptsLegacyV1Client(t *testing.T) {
