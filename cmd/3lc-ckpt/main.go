@@ -1,8 +1,20 @@
-// Command 3lc-ckpt inspects and evaluates model checkpoints written by
-// 3lc-train -save.
+// Command 3lc-ckpt inspects and evaluates checkpoints.
+//
+// Model checkpoints (v1, written by 3lc-train -save):
 //
 //	3lc-ckpt -info model.ckpt            # list tensors and statistics
 //	3lc-ckpt -eval model.ckpt            # test accuracy on synthetic data
+//
+// Full-state checkpoints (v2, written by 3lc-train -state):
+//
+//	3lc-ckpt -state train.ckpt           # sections + configuration fingerprint
+//	3lc-ckpt -resume train.ckpt -design 3lc -sparsity 1.75 \
+//	         -workers 10 -steps 300      # continue the killed run
+//
+// -resume rebuilds the training configuration exactly as 3lc-train does
+// (the flags must match the original run; the checkpoint's fingerprint is
+// verified) and continues from the captured step. The resumed loss
+// trajectory is bit-identical to the run the checkpoint was cut from.
 package main
 
 import (
@@ -12,6 +24,7 @@ import (
 
 	"threelc/internal/checkpoint"
 	"threelc/internal/data"
+	"threelc/internal/netsim"
 	"threelc/internal/nn"
 	"threelc/internal/stats"
 	"threelc/internal/train"
@@ -19,37 +32,125 @@ import (
 
 func main() {
 	var (
-		info      = flag.String("info", "", "checkpoint to describe")
-		eval      = flag.String("eval", "", "checkpoint to evaluate on the synthetic test set")
+		info      = flag.String("info", "", "model checkpoint to describe")
+		eval      = flag.String("eval", "", "model checkpoint to evaluate on the synthetic test set")
+		statePath = flag.String("state", "", "full-state checkpoint to describe")
+		resume    = flag.String("resume", "", "full-state checkpoint to resume training from")
 		useResNet = flag.Bool("resnet", false, "checkpoint holds a MicroResNet (default: MLP workload)")
 		seed      = flag.Uint64("seed", 1, "model seed (must match the training run)")
+
+		// -resume configuration: must mirror the original 3lc-train flags.
+		designName = flag.String("design", "3lc", "design of the original run (see 3lc-train)")
+		sparsity   = flag.Float64("sparsity", 1.0, "3LC sparsity multiplier of the original run")
+		noZRE      = flag.Bool("no-zre", false, "original run disabled zero-run encoding")
+		workers    = flag.Int("workers", 10, "worker count of the original run")
+		steps      = flag.Int("steps", 300, "total step count of the original run")
+		batch      = flag.Int("batch", 32, "per-worker batch size of the original run")
+		bandwidth  = flag.Float64("bandwidth", netsim.Mbps10, "emulated link bandwidth (bits/sec)")
+		evalEvery  = flag.Int("eval-every", 50, "evaluate test accuracy every N steps while resuming")
+		backup     = flag.Int("backup-workers", 0, "backup worker count of the original run")
+		jitter     = flag.Float64("jitter", 0, "compute-jitter std of the original run")
 	)
 	flag.Parse()
 
-	path := *info
-	if path == "" {
-		path = *eval
-	}
-	if path == "" {
-		fmt.Fprintln(os.Stderr, "3lc-ckpt: pass -info or -eval with a checkpoint path")
+	switch {
+	case *statePath != "":
+		describeState(*statePath)
+	case *resume != "":
+		resumeRun(*resume, *designName, *sparsity, *noZRE, *workers, *steps, *batch, *bandwidth, *evalEvery, *backup, *jitter, *useResNet, *seed)
+	case *info != "" || *eval != "":
+		modelCheckpoint(*info, *eval, *useResNet, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "3lc-ckpt: pass -info/-eval (model checkpoint) or -state/-resume (full-state checkpoint)")
 		os.Exit(2)
 	}
+}
 
+// describeState prints a full-state checkpoint's fingerprint and sections.
+func describeState(path string) {
+	st, err := checkpoint.LoadStateFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-ckpt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("full-state checkpoint: %s (%d sections, all CRCs verified)\n", path, len(st.Sections()))
+	if info, err := train.ReadStateInfo(st); err == nil {
+		fmt.Printf("captured at step:   %d of %d\n", info.Step, info.Steps)
+		fmt.Printf("design scheme:      %s\n", info.Scheme)
+		fmt.Printf("workers x shards:   %d x %d (batch %d, backup %d, staleness %d)\n",
+			info.Workers, info.Shards, info.BatchPerWorker, info.BackupWorkers, info.Staleness)
+		fmt.Printf("seed:               %d\n", info.Seed)
+	} else {
+		fmt.Printf("meta:               %v\n", err)
+	}
+	fmt.Printf("%-24s %12s\n", "section", "bytes")
+	for _, sec := range st.Sections() {
+		fmt.Printf("%-24s %12d\n", sec.Name, len(sec.Payload))
+	}
+}
+
+// resumeRun continues a training run from a full-state checkpoint.
+func resumeRun(path, designName string, sparsity float64, noZRE bool,
+	workers, steps, batch int, bandwidth float64, evalEvery, backup int, jitter float64, useResNet bool, seed uint64) {
+
+	design, err := train.ParseDesign(designName, sparsity, noZRE)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-ckpt:", err)
+		os.Exit(2)
+	}
+	// The exact builder 3lc-train uses: the two commands can never drift
+	// on model architecture, optimizer tuning, or network calibration.
+	cfg := train.CLIConfig(train.CLIOptions{
+		Design:    design,
+		Workers:   workers,
+		Steps:     steps,
+		Batch:     batch,
+		Bandwidth: bandwidth,
+		EvalEvery: evalEvery,
+		Backup:    backup,
+		Jitter:    jitter,
+		ResNet:    useResNet,
+		Seed:      seed,
+	})
+	cfg.ResumeFrom = path
+
+	res, err := train.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-ckpt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("resumed %s to step %d (%s)\n", path, steps, res.Design.Name)
+	if len(res.StepRecords) > 0 {
+		fmt.Printf("steps replayed:     %d (from step %d)\n", len(res.StepRecords), res.StepRecords[0].Step)
+	}
+	fmt.Printf("final loss:         %.4f\n", res.FinalLoss)
+	fmt.Printf("final accuracy:     %.2f%%\n", res.FinalAccuracy*100)
+	for _, e := range res.Evals {
+		fmt.Printf("  step %5d  accuracy %.2f%%\n", e.Step, e.Accuracy*100)
+	}
+}
+
+// modelCheckpoint handles the v1 -info / -eval modes.
+func modelCheckpoint(info, eval string, useResNet bool, seed uint64) {
+	path := info
+	if path == "" {
+		path = eval
+	}
 	dcfg := data.DefaultConfig()
 	var m *nn.Model
-	if *useResNet {
+	if useResNet {
 		cfg := nn.DefaultMicroResNet()
-		cfg.Seed = *seed
+		cfg.Seed = seed
 		m = nn.NewMicroResNet(cfg)
 	} else {
-		m = nn.NewMLP(dcfg.C*dcfg.H*dcfg.W, []int{48}, dcfg.Classes, *seed)
+		m = nn.NewMLP(dcfg.C*dcfg.H*dcfg.W, []int{48}, dcfg.Classes, seed)
 	}
 	if err := checkpoint.LoadFile(path, m); err != nil {
 		fmt.Fprintln(os.Stderr, "3lc-ckpt:", err)
 		os.Exit(1)
 	}
 
-	if *info != "" {
+	if info != "" {
 		fmt.Printf("checkpoint: %s (%d parameters in %d tensors)\n", path, m.NumParams(), len(m.Params()))
 		fmt.Printf("%-24s %10s %10s %10s %10s\n", "tensor", "elems", "std", "max|w|", "mean|w|")
 		for _, p := range m.Params() {
@@ -57,9 +158,9 @@ func main() {
 			fmt.Printf("%-24s %10d %10.3g %10.3g %10.3g\n", p.Name, p.W.Len(), s.Std, s.MaxAbs, s.MeanAbs)
 		}
 	}
-	if *eval != "" {
+	if eval != "" {
 		_, testSet := data.Synthetic(dcfg)
-		acc := train.Evaluate(m, testSet, 100, !*useResNet)
+		acc := train.Evaluate(m, testSet, 100, !useResNet)
 		fmt.Printf("test accuracy: %.2f%% (%d examples)\n", acc*100, testSet.Len())
 	}
 }

@@ -7,14 +7,23 @@
 //
 //	3lc-net -design 3lc -sparsity 1.75 -workers 4 -steps 50
 //	3lc-net -design 3lc -workers 4 -steps 50 -shards 2   # sharded PS tier
+//	3lc-net -shards 2 -replicas -kill-shard 0 -kill-step 25  # failover demo
 //
 // With -shards N > 1 the model's tensors are partitioned across N
 // parameter-server shards (each with its own listener and codec
 // contexts) and every worker holds one multiplexed connection per shard,
 // pushing and pulling against all of them concurrently.
+//
+// With -replicas every shard gets a standby (transport.ShardReplica) fed
+// by primary push forwarding; -kill-shard S -kill-step K then crashes
+// shard S's primary at step K mid-run. Workers detect the death (read
+// deadline or EOF), reconnect to the replica, replay the in-flight push
+// (deduplicated on the per-step push identity), and finish the run — with
+// final model state byte-identical to an unkilled run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -44,6 +53,10 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
 		shards     = flag.Int("shards", 1, "parameter-server shard count; shard s listens on -addr's port + s (each shard gets its own listener; workers multiplex)")
 		stream     = flag.Bool("stream", false, "per-tensor streamed pipeline: push each tensor as its compressor finishes (the server decode-aggregates it on arrival) and decode-apply pulls double-buffered; implies the shard-tier transport even at -shards 1")
+		replicas   = flag.Bool("replicas", false, "run one standby replica per shard (primary forwards pushes; workers fail over on primary death); implies the shard tier")
+		killShard  = flag.Int("kill-shard", -1, "crash this shard's primary mid-run (requires -replicas)")
+		killStep   = flag.Int("kill-step", -1, "step at which -kill-shard fires (default steps/2)")
+		netTimeout = flag.Duration("net-timeout", 0, "per-frame read/write deadline on worker connections (failure detector for dead shards); 0 disables, except with -replicas where it defaults to 10s")
 	)
 	flag.Parse()
 
@@ -79,13 +92,42 @@ func main() {
 	if *shards < 1 {
 		*shards = 1
 	}
-	useShardTier := *shards > 1 || *stream
+	if *replicas && *stream {
+		fmt.Fprintln(os.Stderr, "3lc-net: -stream pushes are not replicated; drop -stream or -replicas")
+		os.Exit(2)
+	}
+	if *killShard >= 0 && !*replicas {
+		fmt.Fprintln(os.Stderr, "3lc-net: -kill-shard needs -replicas (no standby to fail over to)")
+		os.Exit(2)
+	}
+	if *killShard >= *shards {
+		fmt.Fprintf(os.Stderr, "3lc-net: -kill-shard %d out of range (%d shards)\n", *killShard, *shards)
+		os.Exit(2)
+	}
+	if *killStep < 0 {
+		*killStep = *steps / 2
+	}
+	if *killShard >= 0 && (*killStep < 1 || *killStep >= *steps) {
+		fmt.Fprintf(os.Stderr, "3lc-net: -kill-step %d must be in [1, steps) to fire mid-run\n", *killStep)
+		os.Exit(2)
+	}
+	if *replicas && *netTimeout == 0 {
+		// Failover needs a failure detector: without a read deadline only
+		// an abrupt connection error (EOF/RST) would trigger it.
+		*netTimeout = 10 * time.Second
+	}
+	useShardTier := *shards > 1 || *stream || *replicas
 	global := build()
+	timeouts := transport.Timeouts{Read: *netTimeout, Write: *netTimeout}
 
 	// trafficFn reports (push, pull) bytes summed over the server tier.
 	var trafficFn func() (int64, int64)
 	addrs := make([]string, *shards)
+	raddrs := make([]string, *shards)
+	var replicaModel *nn.Model
+	var replicaAsn shard.Assignment
 	serveErr := make(chan error, *shards)
+	repErr := make(chan error, *shards)
 	if useShardTier {
 		// One listener per shard; workers hold one multiplexed connection
 		// to each. Shard s binds -addr's port + s (kernel-assigned ports
@@ -113,6 +155,39 @@ func main() {
 			shardCfg.Parallelism = 1
 		}
 		subs := shard.SubServers(global, shardCfg, asn)
+		var reps []*transport.ShardReplica
+		if *replicas {
+			// Standby tier: one replica per shard over its OWN model clone
+			// (replicated state must not alias the primary's tensors).
+			// Replica s binds -addr's port + shards + s.
+			replicaModel = build()
+			replicaModel.CopyParamsFrom(global)
+			replicaAsn = asn
+			repSubs := shard.SubServers(replicaModel, shardCfg, asn)
+			reps = make([]*transport.ShardReplica, *shards)
+			for s := 0; s < *shards; s++ {
+				port := "0"
+				if basePort != 0 {
+					port = strconv.Itoa(basePort + *shards + s)
+				}
+				rln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "3lc-net:", err)
+					os.Exit(1)
+				}
+				raddrs[s] = rln.Addr().String()
+				fmt.Printf("replica shard %d/%d standing by on %s\n", s, *shards, rln.Addr())
+				reps[s] = transport.NewShardReplica(rln, repSubs[s], transport.ShardServerConfig{
+					Shard:          s,
+					NumShards:      *shards,
+					Workers:        *workers,
+					Steps:          *steps,
+					AssignmentHash: asn.Hash(),
+					Timeouts:       timeouts,
+				})
+				go func(s int) { repErr <- reps[s].Serve() }(s)
+			}
+		}
 		srvs := make([]*transport.ShardServer, *shards)
 		for s := 0; s < *shards; s++ {
 			port := "0"
@@ -127,19 +202,33 @@ func main() {
 			addrs[s] = ln.Addr().String()
 			fmt.Printf("parameter-server shard %d/%d listening on %s (%d tensors)\n",
 				s, *shards, ln.Addr(), len(asn.Tensors(s)))
-			srvs[s] = transport.NewShardServer(ln, subs[s], transport.ShardServerConfig{
+			scfg := transport.ShardServerConfig{
 				Shard:          s,
 				NumShards:      *shards,
 				Workers:        *workers,
 				Steps:          *steps,
 				AssignmentHash: asn.Hash(),
-			})
+			}
+			if *replicas {
+				scfg.ReplicaAddr = raddrs[s]
+				scfg.Timeouts = transport.Timeouts{Read: 5 * time.Minute, Write: *netTimeout}
+			}
+			if s == *killShard {
+				scfg.KillAtStep = *killStep
+				fmt.Printf("shard %d primary will be killed at step %d\n", s, *killStep)
+			}
+			srvs[s] = transport.NewShardServer(ln, subs[s], scfg)
 			go func(s int) { serveErr <- srvs[s].Serve() }(s)
 		}
 		trafficFn = func() (int64, int64) {
 			var push, pull int64
 			for _, srv := range srvs {
 				p, q := srv.TrafficBytes()
+				push += p
+				pull += q
+			}
+			for _, rep := range reps {
+				p, q := rep.TrafficBytes()
 				push += p
 				pull += q
 			}
@@ -154,6 +243,12 @@ func main() {
 		addrs[0] = ln.Addr().String()
 		fmt.Printf("parameter server listening on %s\n", ln.Addr())
 		server := transport.NewServer(ln, ps.NewServer(global, psCfg), *workers, *steps)
+		if *netTimeout > 0 {
+			// The server's push read spans the whole BSP barrier (every
+			// worker's compute), so its read deadline is much wider than
+			// the per-frame worker deadline.
+			server.SetTimeouts(transport.Timeouts{Read: 5 * time.Minute, Write: *netTimeout})
+		}
 		go func() { serveErr <- server.Serve() }()
 		trafficFn = server.TrafficBytes
 	}
@@ -183,10 +278,14 @@ func main() {
 			if useShardTier {
 				// Each worker derives the placement from its own replica;
 				// the handshake hash certifies it matches the server tier.
-				shardClient, err = transport.DialSharded(addrs, w, shard.ForModel(m, *shards))
+				ccfg := transport.ShardClientConfig{Timeouts: timeouts}
+				if *replicas {
+					ccfg.Replicas = raddrs
+				}
+				shardClient, err = transport.DialShardedConfig(addrs, w, shard.ForModel(m, *shards), ccfg)
 				client = shardClient
 			} else {
-				client, err = transport.Dial(addrs[0], w)
+				client, err = transport.DialTimeout(addrs[0], w, timeouts)
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "3lc-net worker:", err)
@@ -233,12 +332,36 @@ func main() {
 	}
 	wg.Wait()
 	for s := 0; s < *shards; s++ {
-		if err := <-serveErr; err != nil {
-			fmt.Fprintln(os.Stderr, "3lc-net server:", err)
-			os.Exit(1)
+		err := <-serveErr
+		if err == nil {
+			continue
+		}
+		if *killShard >= 0 && errors.Is(err, transport.ErrShardKilled) {
+			continue // the injected crash — the replica takes over
+		}
+		fmt.Fprintln(os.Stderr, "3lc-net server:", err)
+		os.Exit(1)
+	}
+	if *replicas {
+		for s := 0; s < *shards; s++ {
+			if err := <-repErr; err != nil {
+				fmt.Fprintln(os.Stderr, "3lc-net replica:", err)
+				os.Exit(1)
+			}
 		}
 	}
 	elapsed := time.Since(start)
+
+	if *killShard >= 0 {
+		// The killed shard's authoritative state lives on its replica:
+		// graft it into the global model before evaluating.
+		gp, rp := global.Params(), replicaModel.Params()
+		for _, gi := range replicaAsn.Tensors(*killShard) {
+			gp[gi].W.CopyFrom(rp[gi].W)
+		}
+		fmt.Printf("shard %d primary killed at step %d; replica served the remaining steps\n",
+			*killShard, *killStep)
+	}
 
 	nn.CopyBatchNormStats(global, firstWorker.Model)
 	correct := 0

@@ -11,14 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"threelc/internal/checkpoint"
 	"threelc/internal/compress"
-	"threelc/internal/data"
 	"threelc/internal/netsim"
 	"threelc/internal/nn"
-	"threelc/internal/opt"
 	"threelc/internal/train"
 )
 
@@ -35,52 +32,38 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		evalEvery  = flag.Int("eval-every", 50, "evaluate test accuracy every N steps")
 		savePath   = flag.String("save", "", "write the trained global model to this checkpoint file")
+		statePath  = flag.String("state", "", "write periodic full-state checkpoints (model+optimizer+codec state) to this file")
+		stateEvery = flag.Int("state-every", 50, "full-state checkpoint interval in steps (with -state)")
+		resumeFrom = flag.String("resume", "", "resume from a full-state checkpoint written by an identical configuration (see 3lc-ckpt -state)")
 		backup     = flag.Int("backup-workers", 0, "accept workers-N pushes per step (straggler mitigation)")
 		jitter     = flag.Float64("jitter", 0, "per-worker compute-time jitter std (straggler model)")
 	)
 	flag.Parse()
 
-	design, err := parseDesign(*designName, *sparsity, *noZRE)
+	design, err := train.ParseDesign(*designName, *sparsity, *noZRE)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "3lc-train:", err)
 		os.Exit(2)
 	}
 
-	dcfg := data.DefaultConfig()
-	var build func() *nn.Model
-	flat := true
-	if *useResNet {
-		flat = false
-		build = func() *nn.Model {
-			cfg := nn.DefaultMicroResNet()
-			cfg.Seed = *seed
-			return nn.NewMicroResNet(cfg)
-		}
-	} else {
-		in := dcfg.C * dcfg.H * dcfg.W
-		build = func() *nn.Model { return nn.NewMLP(in, []int{48}, dcfg.Classes, *seed) }
+	cfg := train.CLIConfig(train.CLIOptions{
+		Design:    design,
+		Workers:   *workers,
+		Steps:     *steps,
+		Batch:     *batch,
+		Bandwidth: *bandwidth,
+		EvalEvery: *evalEvery,
+		Backup:    *backup,
+		Jitter:    *jitter,
+		ResNet:    *useResNet,
+		Seed:      *seed,
+	})
+	cfg.CheckpointPath = *statePath
+	cfg.CheckpointEvery = *stateEvery
+	cfg.ResumeFrom = *resumeFrom
+	if *statePath == "" {
+		cfg.CheckpointEvery = 0
 	}
-
-	optCfg := opt.TunedSGDConfig(*workers, *steps)
-	cfg := train.Config{
-		Design:         design,
-		Workers:        *workers,
-		BatchPerWorker: *batch,
-		Steps:          *steps,
-		Data:           dcfg,
-		BuildModel:     build,
-		FlatInput:      flat,
-		Augment:        *useResNet,
-		Net:            netsim.DefaultParams(*bandwidth),
-		Optimizer:      &optCfg,
-		EvalEvery:      *evalEvery,
-		RecordSteps:    true,
-		Seed:           *seed,
-
-		BackupWorkers:    *backup,
-		ComputeJitterStd: *jitter,
-	}
-	cfg.Net.Workers = *workers
 
 	var trained *nn.Model
 	if *savePath != "" {
@@ -102,6 +85,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "3lc-train:", err)
 		os.Exit(1)
+	}
+	if *resumeFrom != "" {
+		fmt.Printf("resumed from %s (continuing to step %d)\n", *resumeFrom, *steps)
 	}
 	if *savePath != "" {
 		if err := checkpoint.SaveFile(*savePath, trained); err != nil {
@@ -127,36 +113,6 @@ func main() {
 	for _, e := range res.Evals {
 		fmt.Printf("  step %5d  accuracy %.2f%%\n", e.Step, e.Accuracy*100)
 	}
-}
-
-func parseDesign(name string, sparsity float64, noZRE bool) (train.Design, error) {
-	switch strings.ToLower(name) {
-	case "float32", "none", "baseline":
-		return train.Design{Name: "32-bit float", Scheme: compress.SchemeNone}, nil
-	case "int8":
-		return train.Design{Name: "8-bit int", Scheme: compress.SchemeInt8}, nil
-	case "stoch3":
-		return train.Design{Name: "Stoch 3-value + QE", Scheme: compress.SchemeStoch3QE}, nil
-	case "mqe1bit":
-		return train.Design{Name: "MQE 1-bit int", Scheme: compress.SchemeMQE1Bit}, nil
-	case "sparse25":
-		return train.Design{Name: "25% sparsification", Scheme: compress.SchemeTopK,
-			Opts: compress.Options{Fraction: 0.25}}, nil
-	case "sparse5":
-		return train.Design{Name: "5% sparsification", Scheme: compress.SchemeTopK,
-			Opts: compress.Options{Fraction: 0.05}}, nil
-	case "local2":
-		return train.Design{Name: "2 local steps", Scheme: compress.SchemeLocalSteps,
-			Opts: compress.Options{Interval: 2}}, nil
-	case "3lc":
-		label := fmt.Sprintf("3LC (s=%.2f)", sparsity)
-		if noZRE {
-			label += " no ZRE"
-		}
-		return train.Design{Name: label, Scheme: compress.SchemeThreeLC,
-			Opts: compress.Options{Sparsity: sparsity, ZeroRun: !noZRE}}, nil
-	}
-	return train.Design{}, fmt.Errorf("unknown design %q", name)
 }
 
 func bwName(bps float64) string {

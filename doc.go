@@ -117,10 +117,40 @@
 // Shards knob routes a simulated run through the tier; transport's
 // ShardServer/ShardClient run it over real sockets.
 //
+// Fault tolerance. The per-endpoint error-accumulation state that makes
+// 3LC correct (unsent changes are retried at later steps) is exactly what
+// makes it recoverable, and the system checkpoints, drops, and fails over
+// around that state. internal/checkpoint's v2 format is a versioned,
+// length-prefixed, CRC-checked section container capturing FULL training
+// state — every model replica, opt.SGD momentum and schedule step, every
+// codec's error-accumulation buffer and RNG stream (compress.Stateful),
+// and the step counter — and train.Run writes it periodically off the hot
+// path (serialize at the step boundary, write in the background;
+// CheckpointPath/CheckpointEvery) with atomic temp-file + fsync + rename
+// saves that keep the prior snapshot at .bak. A run resumed from a
+// checkpoint (ResumeFrom, or `3lc-ckpt -resume`) reproduces the
+// uninterrupted run's loss trajectory bit-identically for every codec.
+// train.Config.Dropouts makes runs elastic: an absent worker's barrier
+// slot is released (averaging divides by the pushes received), and on
+// rejoin it replays the pulls it missed while its frozen push contexts
+// fold the pre-dropout residual into its first push back — the paper's
+// dropout-tolerance argument, pinned bit-identical to a staged reference
+// driver. On the wire, every endpoint takes read/write deadlines
+// (transport.Timeouts) so a dead peer surfaces as a net.Error timeout
+// instead of a hang, and each shard can run a standby replica
+// (transport.ShardReplica) fed by primary push forwarding: when a primary
+// dies — abruptly or silently — workers reconnect to the replica and
+// replay the in-flight push, deduplicated on the (worker, step) identity
+// every push frame carries, with the surviving tier's model state
+// byte-identical to the single-PS reference.
+//
 // Binaries: cmd/3lc-bench (regenerate every table and figure, plus the
 // `-exp codec` pipeline micro-benchmark and the `-exp shard` shard-
-// scaling sweep), cmd/3lc-train (single training run), cmd/3lc-net
-// (training over real TCP), cmd/3lc-compress (codec demo), and
-// cmd/benchcheck (CI benchmark parser/gate). Runnable examples are under
-// examples/. See README.md for a quickstart.
+// scaling sweep), cmd/3lc-train (single training run, with `-state`
+// full-state checkpointing and `-resume`), cmd/3lc-net (training over
+// real TCP, with `-replicas`/`-kill-shard` failover demo),
+// cmd/3lc-compress (codec demo), cmd/3lc-ckpt (checkpoint inspection,
+// evaluation, and resume), and cmd/benchcheck (CI benchmark
+// parser/gate). Runnable examples are under examples/. See README.md for
+// a quickstart.
 package threelc

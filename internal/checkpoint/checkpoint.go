@@ -97,71 +97,19 @@ func Save(w io.Writer, m *nn.Model) error {
 // Load restores parameters and batch-norm statistics into m, which must
 // have the same architecture (parameter names, shapes, BN layout) as the
 // model that was saved.
+//
+// Load is transactional: the checkpoint is fully parsed and validated into
+// staging buffers before the first byte of the model is modified, so a
+// malformed or truncated checkpoint returns an error with the model
+// untouched (FuzzCheckpointLoad pins this).
 func Load(r io.Reader, m *nn.Model) error {
-	br := bufio.NewReader(r)
-	var gotMagic [8]byte
-	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
-		return fmt.Errorf("checkpoint: reading magic: %w", err)
-	}
-	if gotMagic != magic {
-		return fmt.Errorf("checkpoint: bad magic %q", gotMagic)
-	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+	staged, bn, err := parse(r, m)
+	if err != nil {
 		return err
 	}
 	params := m.Params()
-	byName := make(map[string]*nn.Param, len(params))
-	for _, p := range params {
-		byName[p.Name] = p
-	}
-	if int(count) != len(params) {
-		return fmt.Errorf("checkpoint: %d parameters, model has %d", count, len(params))
-	}
-	for i := 0; i < int(count); i++ {
-		var nameLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return err
-		}
-		nameBuf := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBuf); err != nil {
-			return err
-		}
-		name := string(nameBuf)
-		p, ok := byName[name]
-		if !ok {
-			return fmt.Errorf("checkpoint: unknown parameter %q", name)
-		}
-		rank, err := br.ReadByte()
-		if err != nil {
-			return err
-		}
-		n := 1
-		shape := make([]int, rank)
-		for d := range shape {
-			var dim uint32
-			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
-				return err
-			}
-			shape[d] = int(dim)
-			n *= int(dim)
-		}
-		if n != p.W.Len() {
-			return fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d", name, n, p.W.Len())
-		}
-		data := p.W.Data()
-		for j := 0; j < n; j++ {
-			var bits uint32
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return fmt.Errorf("checkpoint: parameter %q truncated: %w", name, err)
-			}
-			data[j] = math.Float32frombits(bits)
-		}
-	}
-
-	var bnCount uint32
-	if err := binary.Read(br, binary.LittleEndian, &bnCount); err != nil {
-		return err
+	for i, p := range params {
+		copy(p.W.Data(), staged[i])
 	}
 	var layers []nn.Layer
 	nn.Walk(m.Net, func(l nn.Layer) {
@@ -169,47 +117,134 @@ func Load(r io.Reader, m *nn.Model) error {
 			layers = append(layers, l)
 		}
 	})
-	if int(bnCount) != len(layers) {
-		return fmt.Errorf("checkpoint: %d batch-norm layers, model has %d", bnCount, len(layers))
-	}
-	for _, l := range layers {
+	for li, l := range layers {
 		mean, variance, _ := bnStats(l)
+		copy(mean, bn[li][0])
+		copy(variance, bn[li][1])
+	}
+	return nil
+}
+
+// parse reads and validates a v1 checkpoint against m's architecture,
+// returning staged parameter data (in m.Params() order) and staged
+// batch-norm statistics (in Walk order) without touching the model.
+func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err error) {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, nil, fmt.Errorf("checkpoint: bad magic %q", gotMagic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, nil, err
+	}
+	params := m.Params()
+	byName := make(map[string]int, len(params))
+	for i, p := range params {
+		byName[p.Name] = i
+	}
+	if int(count) != len(params) {
+		return nil, nil, fmt.Errorf("checkpoint: %d parameters, model has %d", count, len(params))
+	}
+	staged = make([][]float32, len(params))
+	for i := 0; i < int(count); i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, nil, err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, nil, err
+		}
+		name := string(nameBuf)
+		pi, ok := byName[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("checkpoint: unknown parameter %q", name)
+		}
+		if staged[pi] != nil {
+			return nil, nil, fmt.Errorf("checkpoint: duplicate parameter %q", name)
+		}
+		p := params[pi]
+		rank, err := br.ReadByte()
+		if err != nil {
+			return nil, nil, err
+		}
+		n := 1
+		shape := make([]int, rank)
+		for d := range shape {
+			var dim uint32
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return nil, nil, err
+			}
+			shape[d] = int(dim)
+			n *= int(dim)
+		}
+		if n != p.W.Len() {
+			return nil, nil, fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d", name, n, p.W.Len())
+		}
+		data := make([]float32, n)
+		for j := 0; j < n; j++ {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, nil, fmt.Errorf("checkpoint: parameter %q truncated: %w", name, err)
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+		staged[pi] = data
+	}
+
+	var bnCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &bnCount); err != nil {
+		return nil, nil, err
+	}
+	var widths []int
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if mean, _, ok := bnStats(l); ok {
+			widths = append(widths, len(mean))
+		}
+	})
+	if int(bnCount) != len(widths) {
+		return nil, nil, fmt.Errorf("checkpoint: %d batch-norm layers, model has %d", bnCount, len(widths))
+	}
+	bn = make([][2][]float64, len(widths))
+	for li, want := range widths {
 		var width uint32
 		if err := binary.Read(br, binary.LittleEndian, &width); err != nil {
-			return err
+			return nil, nil, err
 		}
-		if int(width) != len(mean) {
-			return fmt.Errorf("checkpoint: batch-norm width %d, model wants %d", width, len(mean))
+		if int(width) != want {
+			return nil, nil, fmt.Errorf("checkpoint: batch-norm width %d, model wants %d", width, want)
 		}
+		mean := make([]float64, want)
+		variance := make([]float64, want)
 		for j := range mean {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return err
+				return nil, nil, err
 			}
 			mean[j] = math.Float64frombits(bits)
 		}
 		for j := range variance {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return err
+				return nil, nil, err
 			}
 			variance[j] = math.Float64frombits(bits)
 		}
+		bn[li] = [2][]float64{mean, variance}
 	}
-	return nil
+	return staged, bn, nil
 }
 
-// SaveFile writes a checkpoint to path.
+// SaveFile writes a checkpoint to path atomically: the bytes go to a temp
+// file in the same directory, are fsynced, and are renamed over path only
+// once complete, with the prior snapshot preserved at path.bak. A crash
+// mid-save can therefore never destroy the previous good checkpoint.
 func SaveFile(path string, m *nn.Model) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Save(f, m); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFileAtomic(path, func(w io.Writer) error { return Save(w, m) })
 }
 
 // LoadFile restores a checkpoint from path.

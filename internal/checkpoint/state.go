@@ -1,0 +1,284 @@
+// Full-training-state checkpoints (format v2). The v1 format (Save/Load)
+// captures a model's weights; v2 wraps arbitrary named sections so a
+// training run can snapshot EVERYTHING its bit-identical resume needs:
+// model replicas, optimizer momentum, every codec's error-accumulation
+// state, RNG stream positions, and the step counter. Package train
+// assembles and consumes the sections; this file owns only the container.
+//
+// Format (all little-endian):
+//
+//	magic "3LCCKPT2"
+//	u32 format version (currently 1)
+//	u32 section count
+//	per section:
+//	  u16 nameLen, name
+//	  u32 CRC-32 (IEEE) of payload
+//	  u64 payloadLen, payload
+//
+// Every section is length-prefixed and CRC-checked: truncation, bit rot,
+// and splices are detected at read time and returned as errors — a
+// corrupt checkpoint can never be silently restored (FuzzCheckpointLoad
+// pins the never-panic contract).
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+var stateMagic = [8]byte{'3', 'L', 'C', 'C', 'K', 'P', 'T', '2'}
+
+// StateVersion is the current v2 format generation. Incompatible layout
+// changes must bump it; readers reject versions they do not know.
+const StateVersion = 1
+
+// Section caps, bounding what a corrupt length prefix can make the reader
+// allocate.
+const (
+	maxSectionName  = 1 << 10
+	maxSectionBytes = 1 << 30
+	maxSections     = 1 << 16
+)
+
+// Section is one named payload of a full-state checkpoint.
+type Section struct {
+	Name    string
+	Payload []byte
+}
+
+// State is an ordered collection of named sections — one full training
+// snapshot. Order is preserved and serialized, so identical snapshots
+// produce identical bytes.
+type State struct {
+	sections []Section
+	index    map[string]int
+}
+
+// NewState returns an empty snapshot.
+func NewState() *State {
+	return &State{index: make(map[string]int)}
+}
+
+// Add appends a section. Adding a name twice replaces the payload (the
+// checkpoint writer runs once per snapshot, so this is defensive).
+func (st *State) Add(name string, payload []byte) {
+	if i, ok := st.index[name]; ok {
+		st.sections[i].Payload = payload
+		return
+	}
+	st.index[name] = len(st.sections)
+	st.sections = append(st.sections, Section{Name: name, Payload: payload})
+}
+
+// Section returns the payload stored under name.
+func (st *State) Section(name string) ([]byte, bool) {
+	i, ok := st.index[name]
+	if !ok {
+		return nil, false
+	}
+	return st.sections[i].Payload, true
+}
+
+// Sections returns the sections in insertion order.
+func (st *State) Sections() []Section { return st.sections }
+
+// WriteState serializes st to w.
+func WriteState(w io.Writer, st *State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(stateMagic[:]); err != nil {
+		return err
+	}
+	var b8 [8]byte
+	le := binary.LittleEndian
+	le.PutUint32(b8[:4], StateVersion)
+	le.PutUint32(b8[4:], uint32(len(st.sections)))
+	if _, err := bw.Write(b8[:]); err != nil {
+		return err
+	}
+	for _, sec := range st.sections {
+		if len(sec.Name) == 0 || len(sec.Name) > maxSectionName {
+			return fmt.Errorf("checkpoint: bad section name length %d", len(sec.Name))
+		}
+		if len(sec.Payload) > maxSectionBytes {
+			return fmt.Errorf("checkpoint: section %q payload %d bytes exceeds limit", sec.Name, len(sec.Payload))
+		}
+		le.PutUint16(b8[:2], uint16(len(sec.Name)))
+		if _, err := bw.Write(b8[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(sec.Name); err != nil {
+			return err
+		}
+		le.PutUint32(b8[:4], crc32.ChecksumIEEE(sec.Payload))
+		if _, err := bw.Write(b8[:4]); err != nil {
+			return err
+		}
+		le.PutUint64(b8[:], uint64(len(sec.Payload)))
+		if _, err := bw.Write(b8[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(sec.Payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadState parses a v2 checkpoint. Malformed input — bad magic, unknown
+// version, truncation, CRC mismatch, implausible lengths — returns an
+// error; ReadState never panics and never returns a partially-checked
+// state.
+func ReadState(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading state header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != stateMagic {
+		return nil, fmt.Errorf("checkpoint: bad state magic %q", hdr[:8])
+	}
+	if v := le.Uint32(hdr[8:12]); v != StateVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported state version %d (have %d)", v, StateVersion)
+	}
+	count := int(le.Uint32(hdr[12:16]))
+	if count > maxSections {
+		return nil, fmt.Errorf("checkpoint: implausible section count %d", count)
+	}
+	st := NewState()
+	var b8 [8]byte
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, b8[:2]); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %d: %w", i, err)
+		}
+		nameLen := int(le.Uint16(b8[:2]))
+		if nameLen == 0 || nameLen > maxSectionName {
+			return nil, fmt.Errorf("checkpoint: section %d: bad name length %d", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %d name: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, b8[:4]); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q CRC: %w", name, err)
+		}
+		wantCRC := le.Uint32(b8[:4])
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q length: %w", name, err)
+		}
+		size := le.Uint64(b8[:])
+		if size > maxSectionBytes {
+			return nil, fmt.Errorf("checkpoint: section %q payload %d bytes exceeds limit", name, size)
+		}
+		payload, err := readPayload(br, int(size))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: section %q payload: %w", name, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+			return nil, fmt.Errorf("checkpoint: section %q CRC mismatch (%#x != %#x)", name, got, wantCRC)
+		}
+		if _, dup := st.Section(string(name)); dup {
+			return nil, fmt.Errorf("checkpoint: duplicate section %q", name)
+		}
+		st.Add(string(name), payload)
+	}
+	return st, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer in bounded chunks
+// so a corrupt length prefix on a truncated file fails with a read error
+// before a large allocation, not after.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// SaveStateFile atomically writes a full-state checkpoint to path (see
+// writeFileAtomic: temp file + fsync + rename, prior snapshot kept as
+// path.bak).
+func SaveStateFile(path string, st *State) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return WriteState(w, st) })
+}
+
+// LoadStateFile reads a full-state checkpoint from path.
+func LoadStateFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadState(f)
+}
+
+// BakPath returns the sibling path the previous snapshot is preserved at
+// by the atomic save.
+func BakPath(path string) string { return path + ".bak" }
+
+// writeFileAtomic writes via `write` into a temp file in path's directory,
+// fsyncs it, preserves any existing snapshot as path.bak, and renames the
+// temp file over path. A crash at any point leaves either the old
+// checkpoint at path or the new one — never a torn file: the classic
+// os.Create-in-place save window (old bytes destroyed before the new ones
+// are durable) does not exist.
+func writeFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Preserve the previous good snapshot. The hard link keeps `path`
+	// present at every instant; the rename fallback (filesystems without
+	// link support) opens a brief window where only the .bak name exists,
+	// which recovery tooling must probe — still never a torn file.
+	if _, err := os.Stat(path); err == nil {
+		bak := BakPath(path)
+		os.Remove(bak)
+		if err := os.Link(path, bak); err != nil {
+			if err := os.Rename(path, bak); err != nil {
+				os.Remove(tmpName)
+				return err
+			}
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Make the rename itself durable (best-effort: not all platforms
+	// support fsync on directories).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

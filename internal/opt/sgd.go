@@ -5,7 +5,10 @@
 package opt
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
+	"sort"
 
 	"threelc/internal/nn"
 	"threelc/internal/tensor"
@@ -229,6 +232,89 @@ func (o *SGD) ApplyFusedStep(params []*nn.Param, gradFor func(pi int) ([]float32
 		}
 		maxAbs[pi] = m
 	}
+}
+
+// AppendState serializes the optimizer's full mutable state — the
+// schedule step and every velocity tensor, sorted by parameter name so the
+// bytes are deterministic — and appends it to dst. Together with the model
+// weights this is everything a resumed run needs to continue the update
+// sequence bit-identically (the LR schedule is a pure function of the
+// step counter).
+func (o *SGD) AppendState(dst []byte) []byte {
+	le := binary.LittleEndian
+	var b8 [8]byte
+	le.PutUint64(b8[:], uint64(o.step))
+	dst = append(dst, b8[:]...)
+	names := make([]string, 0, len(o.velocity))
+	for name := range o.velocity {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b4 [4]byte
+	le.PutUint32(b4[:], uint32(len(names)))
+	dst = append(dst, b4[:]...)
+	for _, name := range names {
+		v := o.velocity[name].Data()
+		var b2 [2]byte
+		le.PutUint16(b2[:], uint16(len(name)))
+		dst = append(dst, b2[:]...)
+		dst = append(dst, name...)
+		le.PutUint32(b4[:], uint32(len(v)))
+		dst = append(dst, b4[:]...)
+		for _, x := range v {
+			le.PutUint32(b4[:], math.Float32bits(x))
+			dst = append(dst, b4[:]...)
+		}
+	}
+	return dst
+}
+
+// RestoreState replaces the optimizer's state with one captured by
+// AppendState. Malformed input returns an error without panicking; the
+// optimizer is only mutated after the whole blob parses.
+func (o *SGD) RestoreState(src []byte) error {
+	le := binary.LittleEndian
+	if len(src) < 12 {
+		return fmt.Errorf("opt: state blob truncated (%d bytes)", len(src))
+	}
+	step := int(le.Uint64(src))
+	count := int(le.Uint32(src[8:]))
+	src = src[12:]
+	// The count is untrusted until the entries parse; cap the capacity
+	// hint so a corrupt blob cannot force a huge up-front allocation.
+	vel := make(map[string]*tensor.Tensor, min(count, 1024))
+	for i := 0; i < count; i++ {
+		if len(src) < 2 {
+			return fmt.Errorf("opt: state blob truncated at entry %d", i)
+		}
+		nameLen := int(le.Uint16(src))
+		src = src[2:]
+		if len(src) < nameLen+4 {
+			return fmt.Errorf("opt: state blob truncated at entry %d name", i)
+		}
+		name := string(src[:nameLen])
+		n := int(le.Uint32(src[nameLen:]))
+		src = src[nameLen+4:]
+		if len(src) < 4*n {
+			return fmt.Errorf("opt: state blob truncated at entry %q (%d of %d value bytes)", name, len(src), 4*n)
+		}
+		if _, dup := vel[name]; dup {
+			return fmt.Errorf("opt: duplicate velocity entry %q", name)
+		}
+		t := tensor.New(n)
+		d := t.Data()
+		for j := range d {
+			d[j] = math.Float32frombits(le.Uint32(src[4*j:]))
+		}
+		src = src[4*n:]
+		vel[name] = t
+	}
+	if len(src) != 0 {
+		return fmt.Errorf("opt: %d trailing state bytes", len(src))
+	}
+	o.step = step
+	o.velocity = vel
+	return nil
 }
 
 // ApplyDelta applies a precomputed model delta to params: w += delta[i].

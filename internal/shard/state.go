@@ -1,0 +1,61 @@
+// Sharded-tier state capture: the cluster's mutable training state is the
+// union of its shard sub-servers' states (per-shard optimizer slice +
+// pull contexts). Both methods must only be called between steps — after
+// FinishStep has returned and before the next BeginStep. At that point
+// every shard's service goroutine is parked on its empty request queue,
+// and the FinishStep result channel (capture) / the next request enqueue
+// (restore) provide the happens-before edges that make the direct
+// sub-server access race-free.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendState serializes every shard sub-server's mutable state to dst,
+// in shard order. The model weights are checkpointed separately.
+func (c *Cluster) AppendState(dst []byte) []byte {
+	le := binary.LittleEndian
+	var b4 [4]byte
+	le.PutUint32(b4[:], uint32(len(c.nodes)))
+	dst = append(dst, b4[:]...)
+	for _, n := range c.nodes {
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		dst = n.srv.AppendState(dst)
+		le.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	}
+	return dst
+}
+
+// RestoreState restores state captured by AppendState on a cluster with
+// the same shard count and configuration.
+func (c *Cluster) RestoreState(src []byte) error {
+	le := binary.LittleEndian
+	if len(src) < 4 {
+		return fmt.Errorf("shard: cluster state truncated")
+	}
+	if n := int(le.Uint32(src)); n != len(c.nodes) {
+		return fmt.Errorf("shard: checkpoint has %d shards, cluster has %d", n, len(c.nodes))
+	}
+	src = src[4:]
+	for s, n := range c.nodes {
+		if len(src) < 4 {
+			return fmt.Errorf("shard: shard %d state length truncated", s)
+		}
+		size := int(le.Uint32(src))
+		src = src[4:]
+		if len(src) < size {
+			return fmt.Errorf("shard: shard %d state truncated (%d of %d bytes)", s, len(src), size)
+		}
+		if err := n.srv.RestoreState(src[:size]); err != nil {
+			return fmt.Errorf("shard: shard %d: %w", s, err)
+		}
+		src = src[size:]
+	}
+	if len(src) != 0 {
+		return fmt.Errorf("shard: %d trailing cluster state bytes", len(src))
+	}
+	return nil
+}

@@ -20,6 +20,14 @@ type RoundRobin struct {
 	step  int
 }
 
+// Step returns the number of Sparsify calls performed — which partition
+// the next call transmits (step mod Parts). Checkpoints capture it so a
+// resumed run continues the cycle where it left off.
+func (r *RoundRobin) Step() int { return r.step }
+
+// SetStep restores a step counter captured by Step.
+func (r *RoundRobin) SetStep(step int) { r.step = step }
+
 // NewRoundRobin creates a selector cycling through parts partitions.
 func NewRoundRobin(parts int) *RoundRobin {
 	if parts < 1 {

@@ -49,6 +49,10 @@ func NewSparsifier(fraction float64, rng *tensor.RNG) *Sparsifier {
 	return &Sparsifier{Fraction: fraction, rng: rng}
 }
 
+// RNG exposes the threshold-sampling generator so checkpoints can capture
+// and restore the selection stream (see tensor.RNG.State).
+func (s *Sparsifier) RNG() *tensor.RNG { return s.rng }
+
 // threshold estimates the magnitude cutoff that keeps ~Fraction of the
 // elements, by sorting a sample of |values|.
 func (s *Sparsifier) threshold(data []float32) float32 {

@@ -1,6 +1,10 @@
 package tensor
 
-import "math"
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
 
 // RNG is a small, fast, deterministic pseudo-random generator
 // (SplitMix64 core) used for reproducible weight initialization, synthetic
@@ -23,6 +27,49 @@ func NewRNG(seed uint64) *RNG {
 // The parent stream advances by one step.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// State exposes the generator's full internal state — the SplitMix64
+// counter plus the cached Box-Muller spare — so checkpoints can capture a
+// stream mid-flight and SetState can resume it bit-exactly.
+func (r *RNG) State() (state uint64, hasSpare bool, spare float64) {
+	return r.state, r.hasSpare, r.spare
+}
+
+// SetState restores state previously captured by State. After SetState the
+// generator produces exactly the stream the captured generator would have.
+func (r *RNG) SetState(state uint64, hasSpare bool, spare float64) {
+	r.state, r.hasSpare, r.spare = state, hasSpare, spare
+}
+
+// RNGStateLen is the serialized size of an RNG state (AppendState).
+const RNGStateLen = 17
+
+// AppendState appends the generator's serialized state (RNGStateLen
+// bytes, little-endian) to dst — the single wire layout every checkpoint
+// section uses for RNG streams.
+func (r *RNG) AppendState(dst []byte) []byte {
+	var b [RNGStateLen]byte
+	binary.LittleEndian.PutUint64(b[:], r.state)
+	if r.hasSpare {
+		b[8] = 1
+	}
+	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(r.spare))
+	return append(dst, b[:]...)
+}
+
+// RestoreState restores a state serialized by AppendState (exactly
+// RNGStateLen bytes). Malformed input returns an error with the
+// generator untouched.
+func (r *RNG) RestoreState(src []byte) error {
+	if len(src) != RNGStateLen {
+		return errors.New("tensor: RNG state must be exactly RNGStateLen bytes")
+	}
+	if src[8] > 1 {
+		return errors.New("tensor: corrupt RNG state flag")
+	}
+	r.SetState(binary.LittleEndian.Uint64(src), src[8] == 1, math.Float64frombits(binary.LittleEndian.Uint64(src[9:])))
+	return nil
 }
 
 // Uint64 returns the next 64 uniformly random bits.

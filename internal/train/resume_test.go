@@ -1,0 +1,183 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+)
+
+// allDesigns enumerates every implemented codec — the full Table-2 set.
+func allDesigns() []Design {
+	return []Design{
+		{Name: "32-bit float", Scheme: compress.SchemeNone},
+		{Name: "8-bit int", Scheme: compress.SchemeInt8},
+		{Name: "3LC (s=1.75)", Scheme: compress.SchemeThreeLC, Opts: compress.Options{Sparsity: 1.75, ZeroRun: true}},
+		{Name: "Stoch 3-value + QE", Scheme: compress.SchemeStoch3QE, Opts: compress.Options{Seed: 11}},
+		{Name: "MQE 1-bit int", Scheme: compress.SchemeMQE1Bit},
+		{Name: "25% sparsification", Scheme: compress.SchemeTopK, Opts: compress.Options{Fraction: 0.25, Seed: 5}},
+		{Name: "2 local steps", Scheme: compress.SchemeLocalSteps, Opts: compress.Options{Interval: 2}},
+		{Name: "round-robin exchange", Scheme: compress.SchemeRoundRobin, Opts: compress.Options{Parts: 4}},
+	}
+}
+
+// captureGlobal wires cfg.BuildModel so the first constructed model — the
+// run's global model — is captured for post-run inspection.
+func captureGlobal(cfg *Config) **nn.Model {
+	var global *nn.Model
+	orig := cfg.BuildModel
+	cfg.BuildModel = func() *nn.Model {
+		m := orig()
+		if global == nil {
+			global = m
+		}
+		return m
+	}
+	return &global
+}
+
+func paramsBits(m *nn.Model) []uint32 {
+	var out []uint32
+	for _, p := range m.Params() {
+		for _, v := range p.W.Data() {
+			out = append(out, math.Float32bits(v))
+		}
+	}
+	return out
+}
+
+// runResumeCase checks the tentpole guarantee for one configuration: a run
+// checkpointed every 3 steps and "killed" after step 6 (between two
+// checkpoint boundaries), then resumed from the latest checkpoint, must
+// reproduce the uninterrupted run's per-step loss trajectory and final
+// model state bit-for-bit.
+func runResumeCase(t *testing.T, cfg Config) {
+	t.Helper()
+	const steps = 8
+	cfg.Steps = steps
+	cfg.MinCompressElems = 1 // exercise the codec on every tensor
+
+	// Reference: uninterrupted run.
+	ref := cfg
+	refGlobal := captureGlobal(&ref)
+	refRes, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoint after steps 3 and 6, crash after step 6.
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	boom := errors.New("simulated crash")
+	crashed := cfg
+	crashed.CheckpointPath = path
+	crashed.CheckpointEvery = 3
+	crashed.OnStep = func(step int) error {
+		if step == 6 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := Run(crashed); !errors.Is(err, boom) {
+		t.Fatalf("crash run: got err %v, want simulated crash", err)
+	}
+
+	// Resume from the latest checkpoint (step 6) and finish the run.
+	resumed := cfg
+	resumed.ResumeFrom = path
+	resGlobal := captureGlobal(&resumed)
+	resRes, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := len(resRes.StepRecords), steps-6; got != want {
+		t.Fatalf("resumed run recorded %d steps, want %d", got, want)
+	}
+	for i, sr := range resRes.StepRecords {
+		want := refRes.StepRecords[6+i]
+		if sr.Step != want.Step {
+			t.Fatalf("resumed record %d is step %d, want %d", i, sr.Step, want.Step)
+		}
+		if math.Float64bits(sr.Loss) != math.Float64bits(want.Loss) {
+			t.Errorf("step %d loss %v != uninterrupted %v (not bit-identical)", sr.Step, sr.Loss, want.Loss)
+		}
+		if sr.PushBytes != want.PushBytes || sr.PullBytes != want.PullBytes {
+			t.Errorf("step %d traffic (%d,%d) != uninterrupted (%d,%d)",
+				sr.Step, sr.PushBytes, sr.PullBytes, want.PushBytes, want.PullBytes)
+		}
+	}
+	if math.Float64bits(resRes.FinalLoss) != math.Float64bits(refRes.FinalLoss) {
+		t.Errorf("final loss %v != uninterrupted %v", resRes.FinalLoss, refRes.FinalLoss)
+	}
+	if resRes.FinalAccuracy != refRes.FinalAccuracy {
+		t.Errorf("final accuracy %v != uninterrupted %v", resRes.FinalAccuracy, refRes.FinalAccuracy)
+	}
+	a, b := paramsBits(*refGlobal), paramsBits(*resGlobal)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("global model diverges at element %d after resume", i)
+		}
+	}
+}
+
+func TestResumeBitIdenticalAllCodecs(t *testing.T) {
+	for _, d := range allDesigns() {
+		t.Run(d.Name, func(t *testing.T) {
+			runResumeCase(t, tinyConfig(d, 8))
+		})
+	}
+}
+
+func TestResumeBitIdenticalSharded(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "3LC (s=1.50)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.5, ZeroRun: true}}, 8)
+	cfg.Shards = 2
+	runResumeCase(t, cfg)
+}
+
+func TestResumeBitIdenticalStale(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "3LC (s=1.75)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.75, ZeroRun: true}}, 8)
+	cfg.Staleness = 1
+	runResumeCase(t, cfg)
+}
+
+func TestResumeBitIdenticalJitter(t *testing.T) {
+	cfg := tinyConfig(Design{Name: "3LC (s=1.75)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.75, ZeroRun: true}}, 8)
+	cfg.ComputeJitterStd = 0.3
+	cfg.BackupWorkers = 1
+	runResumeCase(t, cfg)
+}
+
+func TestResumeConfigMismatch(t *testing.T) {
+	d := Design{Name: "3LC (s=1.75)", Scheme: compress.SchemeThreeLC,
+		Opts: compress.Options{Sparsity: 1.75, ZeroRun: true}}
+	cfg := tinyConfig(d, 8)
+	cfg.MinCompressElems = 1
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 4
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	wrong := tinyConfig(d, 8)
+	wrong.MinCompressElems = 1
+	wrong.Seed = 999 // fingerprint mismatch
+	wrong.ResumeFrom = path
+	if _, err := Run(wrong); err == nil {
+		t.Fatal("expected resume with mismatched seed to fail")
+	}
+	// Codec options are fingerprinted too: the scheme byte alone would
+	// match, but a different sparsity multiplier changes every wire.
+	wrong = tinyConfig(d, 8)
+	wrong.MinCompressElems = 1
+	wrong.Design.Opts.Sparsity = 1.25
+	wrong.ResumeFrom = path
+	if _, err := Run(wrong); err == nil {
+		t.Fatal("expected resume with mismatched sparsity to fail")
+	}
+}

@@ -1,0 +1,460 @@
+// Full-state checkpoint assembly for train.Run. A snapshot captures
+// everything the run's bit-identical continuation depends on:
+//
+//	meta            step counter + configuration fingerprint
+//	model/global    global model weights + BN stats (checkpoint v1 body)
+//	model/worker/N  every worker replica (weights + its own BN stats)
+//	server          optimizer momentum/step + server pull contexts
+//	worker/N        worker push contexts (error accumulation, RNG streams)
+//	rng             jitter + per-worker data-sampling RNG positions
+//	pullhist        stale-synchronous pull history (Staleness > 0 only)
+//	missed          pulls retained for absent workers' rejoin replay
+//
+// Restore validates the configuration fingerprint first: resuming under a
+// different worker count, shard count, scheme, step budget, staleness, or
+// seed would silently diverge, so it is an error instead.
+package train
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"threelc/internal/checkpoint"
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+	"threelc/internal/ps"
+	"threelc/internal/tensor"
+)
+
+const trainStateVersion = 1
+
+var tle = binary.LittleEndian
+
+// ckptWriter runs at most one checkpoint file write in the background.
+// write hands the serialized snapshot to a goroutine after joining the
+// previous one, so the training loop never blocks on disk while at most
+// one snapshot is in flight.
+type ckptWriter struct {
+	path    string
+	pending chan error
+}
+
+func (cw *ckptWriter) write(st *checkpoint.State) error {
+	if err := cw.wait(); err != nil {
+		return err
+	}
+	cw.pending = make(chan error, 1)
+	go func() { cw.pending <- checkpoint.SaveStateFile(cw.path, st) }()
+	return nil
+}
+
+func (cw *ckptWriter) wait() error {
+	if cw.pending == nil {
+		return nil
+	}
+	err := <-cw.pending
+	cw.pending = nil
+	return err
+}
+
+// --- serialization helpers --------------------------------------------------
+
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	tle.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64v(dst []byte, v uint64) []byte {
+	var b [8]byte
+	tle.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func readU32(src []byte) (uint32, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, fmt.Errorf("train: state blob truncated")
+	}
+	return tle.Uint32(src), src[4:], nil
+}
+
+func appendRNG(dst []byte, r *tensor.RNG) []byte {
+	return r.AppendState(dst)
+}
+
+func readRNG(src []byte, r *tensor.RNG) ([]byte, error) {
+	if len(src) < tensor.RNGStateLen {
+		return nil, fmt.Errorf("train: RNG state truncated")
+	}
+	if err := r.RestoreState(src[:tensor.RNGStateLen]); err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	return src[tensor.RNGStateLen:], nil
+}
+
+// appendWireSets serializes a list of pull wire sets (deep copies, since
+// the snapshot outlives the buffers they came from).
+func appendWireSets(dst []byte, sets [][][]byte) []byte {
+	dst = appendU32(dst, uint32(len(sets)))
+	for _, set := range sets {
+		dst = appendU32(dst, uint32(len(set)))
+		for _, w := range set {
+			dst = appendU32(dst, uint32(len(w)))
+			dst = append(dst, w...)
+		}
+	}
+	return dst
+}
+
+func readWireSets(src []byte) ([][][]byte, []byte, error) {
+	count, src, err := readU32(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Counts are untrusted until their contents parse: every element is
+	// appended after its bytes are validated, so a corrupt count fails
+	// with a truncation error instead of forcing a huge allocation.
+	sets := make([][][]byte, 0, min(int(count), 1024))
+	for i := 0; i < int(count); i++ {
+		var tensors uint32
+		tensors, src, err = readU32(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		set := make([][]byte, 0, min(int(tensors), 1024))
+		for t := 0; t < int(tensors); t++ {
+			var n uint32
+			n, src, err = readU32(src)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(src) < int(n) {
+				return nil, nil, fmt.Errorf("train: wire set truncated (%d of %d bytes)", len(src), n)
+			}
+			var w []byte
+			if n > 0 {
+				w = append([]byte(nil), src[:n]...)
+			}
+			set = append(set, w)
+			src = src[n:]
+		}
+		sets = append(sets, set)
+	}
+	return sets, src, nil
+}
+
+// --- capture ----------------------------------------------------------------
+
+// captureRunState assembles a full-state snapshot at the boundary after
+// `step` completed steps. Every payload is freshly serialized (copied), so
+// the snapshot is immutable once built and safe to write asynchronously.
+func captureRunState(cfg *Config, step int, global *nn.Model, server stepServer,
+	workers []*ps.Worker, rngs []*tensor.RNG, jitter *tensor.RNG,
+	pullHistory [][][]byte, missed [][][][]byte) (*checkpoint.State, error) {
+
+	st := checkpoint.NewState()
+
+	meta := appendU32(nil, trainStateVersion)
+	meta = appendU64v(meta, uint64(step))
+	meta = appendU32(meta, uint32(cfg.Workers))
+	meta = appendU32(meta, uint32(max(cfg.Shards, 1)))
+	meta = append(meta, byte(cfg.Design.Scheme))
+	meta = appendU32(meta, uint32(cfg.Steps))
+	meta = appendU32(meta, uint32(cfg.Staleness))
+	meta = appendU64v(meta, cfg.Seed)
+	meta = appendU32(meta, uint32(cfg.BackupWorkers))
+	meta = appendU32(meta, uint32(cfg.BatchPerWorker))
+	meta = appendU64v(meta, math.Float64bits(cfg.Design.Opts.Sparsity))
+	meta = appendU64v(meta, math.Float64bits(cfg.Design.Opts.Fraction))
+	meta = appendU32(meta, uint32(cfg.Design.Opts.Interval))
+	meta = appendU32(meta, uint32(cfg.Design.Opts.Parts))
+	if cfg.Design.Opts.ZeroRun {
+		meta = append(meta, 1)
+	} else {
+		meta = append(meta, 0)
+	}
+	meta = appendU64v(meta, cfg.Design.Opts.Seed)
+	meta = appendU64v(meta, math.Float64bits(cfg.ComputeJitterStd))
+	meta = appendU32(meta, uint32(len(cfg.Dropouts)))
+	for _, d := range cfg.Dropouts {
+		meta = appendU32(meta, uint32(d.Worker))
+		meta = appendU32(meta, uint32(d.From))
+		meta = appendU32(meta, uint32(d.To))
+	}
+	st.Add("meta", meta)
+
+	var buf bytes.Buffer
+	if err := checkpoint.Save(&buf, global); err != nil {
+		return nil, fmt.Errorf("train: checkpoint global model: %w", err)
+	}
+	st.Add("model/global", append([]byte(nil), buf.Bytes()...))
+	for w, wk := range workers {
+		buf.Reset()
+		if err := checkpoint.Save(&buf, wk.Model); err != nil {
+			return nil, fmt.Errorf("train: checkpoint worker %d model: %w", w, err)
+		}
+		st.Add(fmt.Sprintf("model/worker/%d", w), append([]byte(nil), buf.Bytes()...))
+	}
+
+	st.Add("server", server.AppendState(nil))
+	for w, wk := range workers {
+		st.Add(fmt.Sprintf("worker/%d", w), wk.AppendState(nil))
+	}
+
+	rng := appendRNG(nil, jitter)
+	for _, r := range rngs {
+		rng = appendRNG(rng, r)
+	}
+	st.Add("rng", rng)
+
+	if cfg.Staleness > 0 {
+		st.Add("pullhist", appendWireSets(nil, pullHistory))
+	}
+	anyMissed := false
+	for _, m := range missed {
+		if len(m) > 0 {
+			anyMissed = true
+			break
+		}
+	}
+	if anyMissed {
+		blob := appendU32(nil, uint32(len(missed)))
+		for _, m := range missed {
+			blob = appendWireSets(blob, m)
+		}
+		st.Add("missed", blob)
+	}
+	return st, nil
+}
+
+// --- restore ----------------------------------------------------------------
+
+func section(st *checkpoint.State, name string) ([]byte, error) {
+	sec, ok := st.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("train: checkpoint has no %q section", name)
+	}
+	return sec, nil
+}
+
+// StateInfo is a full-state checkpoint's configuration fingerprint plus
+// the step it was captured at — what a resume must match, and what
+// inspection tooling (3lc-ckpt -state) reports.
+type StateInfo struct {
+	Step           int
+	Workers        int
+	Shards         int
+	Scheme         compress.Scheme
+	Steps          int
+	Staleness      int
+	Seed           uint64
+	BackupWorkers  int
+	BatchPerWorker int
+	// Opts is the codec configuration (sparsity, fraction, interval,
+	// parts, zero-run flag, stochastic seed) the run used — any of these
+	// change the trajectory, so all are fingerprinted.
+	Opts compress.Options
+	// ComputeJitterStd and Dropouts likewise alter the step sequence.
+	ComputeJitterStd float64
+	Dropouts         []Dropout
+}
+
+// ReadStateInfo decodes the meta section of a full-state checkpoint.
+func ReadStateInfo(st *checkpoint.State) (StateInfo, error) {
+	meta, err := section(st, "meta")
+	if err != nil {
+		return StateInfo{}, err
+	}
+	const metaFixed = 4 + 8 + 4 + 4 + 1 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 4 + 4 + 1 + 8 + 8 + 4
+	if len(meta) < metaFixed {
+		return StateInfo{}, fmt.Errorf("train: meta section is %d bytes, want >= %d", len(meta), metaFixed)
+	}
+	if v := tle.Uint32(meta); v != trainStateVersion {
+		return StateInfo{}, fmt.Errorf("train: unsupported train-state version %d (have %d)", v, trainStateVersion)
+	}
+	info := StateInfo{
+		Step:           int(tle.Uint64(meta[4:])),
+		Workers:        int(tle.Uint32(meta[12:])),
+		Shards:         int(tle.Uint32(meta[16:])),
+		Scheme:         compress.Scheme(meta[20]),
+		Steps:          int(tle.Uint32(meta[21:])),
+		Staleness:      int(tle.Uint32(meta[25:])),
+		Seed:           tle.Uint64(meta[29:]),
+		BackupWorkers:  int(tle.Uint32(meta[37:])),
+		BatchPerWorker: int(tle.Uint32(meta[41:])),
+		Opts: compress.Options{
+			Sparsity: math.Float64frombits(tle.Uint64(meta[45:])),
+			Fraction: math.Float64frombits(tle.Uint64(meta[53:])),
+			Interval: int(tle.Uint32(meta[61:])),
+			Parts:    int(tle.Uint32(meta[65:])),
+			ZeroRun:  meta[69] == 1,
+			Seed:     tle.Uint64(meta[70:]),
+		},
+		ComputeJitterStd: math.Float64frombits(tle.Uint64(meta[78:])),
+	}
+	nDrop := int(tle.Uint32(meta[86:]))
+	if len(meta) != metaFixed+12*nDrop {
+		return StateInfo{}, fmt.Errorf("train: meta section is %d bytes, want %d for %d dropouts", len(meta), metaFixed+12*nDrop, nDrop)
+	}
+	for i := 0; i < nDrop; i++ {
+		off := metaFixed + 12*i
+		info.Dropouts = append(info.Dropouts, Dropout{
+			Worker: int(tle.Uint32(meta[off:])),
+			From:   int(tle.Uint32(meta[off+4:])),
+			To:     int(tle.Uint32(meta[off+8:])),
+		})
+	}
+	return info, nil
+}
+
+// restoreRunState rebuilds the run's full mutable state from a snapshot
+// and returns the step to continue from. The configuration fingerprint
+// must match the snapshot's; anything else is an error, never a silent
+// divergence.
+func restoreRunState(st *checkpoint.State, cfg *Config, global *nn.Model, server stepServer,
+	workers []*ps.Worker, rngs []*tensor.RNG, jitter *tensor.RNG,
+	pullHistory *[][][]byte, missed [][][][]byte) (int, error) {
+
+	info, err := ReadStateInfo(st)
+	if err != nil {
+		return 0, err
+	}
+	step := info.Step
+	check := func(name string, got, want uint64) error {
+		if got != want {
+			return fmt.Errorf("train: checkpoint %s %d does not match run configuration %d", name, got, want)
+		}
+		return nil
+	}
+	if err := check("workers", uint64(info.Workers), uint64(cfg.Workers)); err != nil {
+		return 0, err
+	}
+	if err := check("shards", uint64(info.Shards), uint64(max(cfg.Shards, 1))); err != nil {
+		return 0, err
+	}
+	if err := check("scheme", uint64(info.Scheme), uint64(cfg.Design.Scheme)); err != nil {
+		return 0, err
+	}
+	if err := check("steps", uint64(info.Steps), uint64(cfg.Steps)); err != nil {
+		return 0, err
+	}
+	if err := check("staleness", uint64(info.Staleness), uint64(cfg.Staleness)); err != nil {
+		return 0, err
+	}
+	if err := check("seed", info.Seed, cfg.Seed); err != nil {
+		return 0, err
+	}
+	if err := check("backup workers", uint64(info.BackupWorkers), uint64(cfg.BackupWorkers)); err != nil {
+		return 0, err
+	}
+	if err := check("batch size", uint64(info.BatchPerWorker), uint64(cfg.BatchPerWorker)); err != nil {
+		return 0, err
+	}
+	// The remaining knobs also change the trajectory; a mismatch on any
+	// of them must be an error, never a silent divergence.
+	wantOpts, gotOpts := cfg.Design.Opts, info.Opts
+	wantOpts.CodecParallelism, gotOpts.CodecParallelism = 0, 0 // fan-out never changes bytes
+	if gotOpts != wantOpts {
+		return 0, fmt.Errorf("train: checkpoint codec options %+v do not match run configuration %+v", gotOpts, wantOpts)
+	}
+	if math.Float64bits(info.ComputeJitterStd) != math.Float64bits(cfg.ComputeJitterStd) {
+		return 0, fmt.Errorf("train: checkpoint jitter std %v does not match run configuration %v", info.ComputeJitterStd, cfg.ComputeJitterStd)
+	}
+	if len(info.Dropouts) != len(cfg.Dropouts) {
+		return 0, fmt.Errorf("train: checkpoint has %d dropouts, run configuration has %d", len(info.Dropouts), len(cfg.Dropouts))
+	}
+	for i, d := range info.Dropouts {
+		if d != cfg.Dropouts[i] {
+			return 0, fmt.Errorf("train: checkpoint dropout %d (%+v) does not match run configuration (%+v)", i, d, cfg.Dropouts[i])
+		}
+	}
+	if step <= 0 || step > cfg.Steps {
+		return 0, fmt.Errorf("train: checkpoint step %d outside (0, %d]", step, cfg.Steps)
+	}
+
+	sec, err := section(st, "model/global")
+	if err != nil {
+		return 0, err
+	}
+	if err := checkpoint.Load(bytes.NewReader(sec), global); err != nil {
+		return 0, fmt.Errorf("train: restore global model: %w", err)
+	}
+	for w, wk := range workers {
+		if sec, err = section(st, fmt.Sprintf("model/worker/%d", w)); err != nil {
+			return 0, err
+		}
+		if err := checkpoint.Load(bytes.NewReader(sec), wk.Model); err != nil {
+			return 0, fmt.Errorf("train: restore worker %d model: %w", w, err)
+		}
+	}
+
+	if sec, err = section(st, "server"); err != nil {
+		return 0, err
+	}
+	if err := server.RestoreState(sec); err != nil {
+		return 0, err
+	}
+	for w, wk := range workers {
+		if sec, err = section(st, fmt.Sprintf("worker/%d", w)); err != nil {
+			return 0, err
+		}
+		if err := wk.RestoreState(sec); err != nil {
+			return 0, fmt.Errorf("train: restore worker %d contexts: %w", w, err)
+		}
+	}
+
+	if sec, err = section(st, "rng"); err != nil {
+		return 0, err
+	}
+	if sec, err = readRNG(sec, jitter); err != nil {
+		return 0, err
+	}
+	for _, r := range rngs {
+		if sec, err = readRNG(sec, r); err != nil {
+			return 0, err
+		}
+	}
+	if len(sec) != 0 {
+		return 0, fmt.Errorf("train: %d trailing RNG state bytes", len(sec))
+	}
+
+	if cfg.Staleness > 0 {
+		if sec, err = section(st, "pullhist"); err != nil {
+			return 0, err
+		}
+		hist, rest, err := readWireSets(sec)
+		if err != nil {
+			return 0, err
+		}
+		if len(rest) != 0 {
+			return 0, fmt.Errorf("train: %d trailing pull-history bytes", len(rest))
+		}
+		*pullHistory = hist
+	}
+
+	if sec, ok := st.Section("missed"); ok {
+		count, rest, err := readU32(sec)
+		if err != nil {
+			return 0, err
+		}
+		if int(count) != len(missed) {
+			return 0, fmt.Errorf("train: missed-pull section has %d workers, run has %d", count, len(missed))
+		}
+		for w := range missed {
+			var sets [][][]byte
+			sets, rest, err = readWireSets(rest)
+			if err != nil {
+				return 0, err
+			}
+			if len(sets) > 0 {
+				missed[w] = sets
+			}
+		}
+		if len(rest) != 0 {
+			return 0, fmt.Errorf("train: %d trailing missed-pull bytes", len(rest))
+		}
+	}
+	return step, nil
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"threelc/internal/checkpoint"
 	"threelc/internal/compress"
 	"threelc/internal/data"
 	"threelc/internal/netsim"
@@ -34,6 +35,11 @@ type stepServer interface {
 	AddPushTensor(workerID, i int, wire []byte) error
 	EndPush() error
 	FinishStep() ([][]byte, time.Duration, error)
+	// AppendState / RestoreState capture the server tier's mutable
+	// training state (optimizer + pull contexts) for full-state
+	// checkpoints; both are step-boundary operations.
+	AppendState(dst []byte) []byte
+	RestoreState(src []byte) error
 }
 
 // Design names one traffic-reduction configuration from §5.1.
@@ -116,8 +122,57 @@ type Config struct {
 	// stale updates need more steps for the same accuracy — is
 	// reproducible by sweeping this knob.
 	Staleness int
+	// Dropouts schedules elastic worker dropout and rejoin. During
+	// [From, To) the worker is down: it neither computes, pushes, nor
+	// pulls, and the step barrier advances without it (the server's
+	// gradient average divides by the pushes actually received). At step
+	// To the worker rejoins: it first catches up its replica by applying,
+	// in order, the shared pull wires it missed (the driver retains copies
+	// while a worker is away), then trains normally. Its push-side
+	// error-accumulation contexts are untouched during the absence, so the
+	// residual accumulated before the dropout folds into its first push
+	// after rejoining — the paper's dropout-tolerance argument (§3.1:
+	// unsent changes are retried at later steps). Worker 0 (the chief,
+	// batch-norm owner) must never drop. Dropouts cannot be combined with
+	// Staleness > 0: a stale worker applies pulls from `delay` steps ago,
+	// so the catch-up replay of fresh pull sets would double-apply some
+	// and skip others — Run rejects the combination.
+	Dropouts []Dropout
+
+	// CheckpointPath + CheckpointEvery enable periodic full-state
+	// checkpointing: after every CheckpointEvery-th step the run snapshots
+	// its complete training state — every model replica, optimizer
+	// momentum, all 3LC/codec error-accumulation buffers (worker push and
+	// server pull contexts), RNG stream positions, and the step counter —
+	// and writes it to CheckpointPath asynchronously (the serialization
+	// captures copies at the step boundary; the file write overlaps the
+	// next steps' compute, so steady-state step time is unaffected). The
+	// write is atomic with the prior snapshot kept at CheckpointPath.bak
+	// (checkpoint.SaveStateFile).
+	CheckpointPath  string
+	CheckpointEvery int
+	// ResumeFrom restores a full-state checkpoint written by an identical
+	// configuration and continues the run from the captured step. The
+	// resumed trajectory — per-step losses, wire bytes, final model state —
+	// is bit-identical to the uninterrupted run's for every codec; the
+	// returned Result covers only the resumed segment (steps from the
+	// checkpoint to Steps).
+	ResumeFrom string
+	// OnStep, if non-nil, runs after each completed step (after any
+	// checkpoint for that step has been scheduled). Returning an error
+	// aborts the run with that error — tests use it to emulate a crash at
+	// an arbitrary step.
+	OnStep func(step int) error
+
 	// Seed controls data sampling; model init comes from BuildModel.
 	Seed uint64
+}
+
+// Dropout is one worker-absence interval: the worker is down for steps
+// [From, To) and rejoins at step To (To >= Steps means it never returns).
+type Dropout struct {
+	Worker   int
+	From, To int
 }
 
 // StepRecord is the per-step series entry.
@@ -367,6 +422,7 @@ func Run(cfg Config) (*Result, error) {
 		loss     float64
 		compDur  time.Duration
 		applyDur time.Duration
+		err      error // rejoin-replay or pull-decode failure, surfaced by Run
 	}
 	outs := make([]workerOut, cfg.Workers)
 
@@ -376,10 +432,58 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Staleness < 0 {
 		return nil, fmt.Errorf("train: Staleness %d must be >= 0", cfg.Staleness)
 	}
+	if len(cfg.Dropouts) > 0 && cfg.Staleness > 0 {
+		// A worker with SSP delay d applies the pull from d steps ago; the
+		// rejoin replay of the fresh per-step sets would double-apply the
+		// last d of them and never apply the d sets before the dropout.
+		return nil, fmt.Errorf("train: Dropouts cannot be combined with Staleness > 0")
+	}
+	for _, d := range cfg.Dropouts {
+		if d.Worker <= 0 || d.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("train: dropout worker %d must be in [1, workers) — the chief cannot drop", d.Worker)
+		}
+		if d.From < 0 || d.To <= d.From {
+			return nil, fmt.Errorf("train: dropout interval [%d, %d) invalid", d.From, d.To)
+		}
+	}
 	jitterRNG := tensor.NewRNG(cfg.Seed ^ 0x4a49545445520000) // "JITTER"
 	var pullHistory [][][]byte                                // ring of recent pull wire sets (SSP emulation)
 
-	for step := 0; step < cfg.Steps; step++ {
+	// Elastic-dropout bookkeeping: down tells whether a worker is absent
+	// at a step; returnStep is the step it next computes at; missed[w]
+	// retains the pull wire sets an absent worker must replay on rejoin.
+	down := func(w, step int) bool {
+		for _, d := range cfg.Dropouts {
+			if d.Worker == w && step >= d.From && step < d.To {
+				return true
+			}
+		}
+		return false
+	}
+	returnStep := func(w, step int) int {
+		t := step + 1
+		for t < cfg.Steps && down(w, t) {
+			t++
+		}
+		return t
+	}
+	missed := make([][][][]byte, cfg.Workers)
+
+	startStep := 0
+	if cfg.ResumeFrom != "" {
+		st, err := checkpoint.LoadStateFile(cfg.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("train: resume: %w", err)
+		}
+		startStep, err = restoreRunState(st, &cfg, global, server, workers, rngs, jitterRNG, &pullHistory, missed)
+		if err != nil {
+			return nil, fmt.Errorf("train: resume: %w", err)
+		}
+	}
+	ckpt := ckptWriter{path: cfg.CheckpointPath}
+	defer ckpt.wait() // join any in-flight write on early error returns
+
+	for step := startStep; step < cfg.Steps; step++ {
 		// Straggler model: draw per-worker compute-time multipliers up
 		// front (the jitter RNG is independent of the compute phase, so
 		// the draw order — and every result — is unchanged). Under plain
@@ -387,15 +491,31 @@ func Run(cfg Config) (*Result, error) {
 		// workers (§2.1), the step advances once Workers-BackupWorkers
 		// pushes arrive and the stragglers' updates are discarded. The
 		// chief (worker 0, batch-norm owner) is never dropped.
+		// Elastic dropout: absent workers take no part in the step at all.
+		active := make([]bool, cfg.Workers)
+		nActive := 0
+		for w := range active {
+			if !down(w, step) {
+				active[w] = true
+				nActive++
+			}
+		}
+
 		accepted := make([]bool, cfg.Workers)
 		computeMult := 1.0
 		if cfg.ComputeJitterStd > 0 {
+			// Multipliers are drawn for every worker — absent ones
+			// included — so the jitter stream stays aligned with the
+			// no-dropout run and with checkpoint/resume.
 			mults := make([]float64, cfg.Workers)
 			for w := range mults {
 				sd := cfg.ComputeJitterStd
 				mults[w] = math.Exp(sd*jitterRNG.Norm() - 0.5*sd*sd)
 			}
-			need := cfg.Workers - cfg.BackupWorkers
+			need := nActive - cfg.BackupWorkers
+			if need < 1 {
+				need = 1
+			}
 			order := make([]int, cfg.Workers)
 			for i := range order {
 				order[i] = i
@@ -405,7 +525,7 @@ func Run(cfg Config) (*Result, error) {
 			computeMult = mults[0]
 			count := 1
 			for _, w := range order {
-				if w == 0 || count >= need {
+				if w == 0 || !active[w] || count >= need {
 					continue
 				}
 				accepted[w] = true
@@ -415,14 +535,16 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		} else {
-			for w := range accepted {
-				accepted[w] = true
-			}
+			copy(accepted, active)
 			if cfg.BackupWorkers > 0 {
 				// No jitter: dropping is arbitrary; keep the first
-				// Workers-BackupWorkers workers for determinism.
-				for w := cfg.Workers - cfg.BackupWorkers; w < cfg.Workers; w++ {
-					accepted[w] = false
+				// active workers for determinism.
+				dropped := 0
+				for w := cfg.Workers - 1; w > 0 && dropped < cfg.BackupWorkers; w-- {
+					if accepted[w] {
+						accepted[w] = false
+						dropped++
+					}
 				}
 			}
 		}
@@ -452,9 +574,29 @@ func Run(cfg Config) (*Result, error) {
 		}
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.Workers; w++ {
+			outs[w] = workerOut{}
+			if !active[w] {
+				continue
+			}
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				// Rejoin catch-up: a worker returning from a dropout first
+				// replays, in order, the shared pulls it missed, bringing
+				// its replica to the exact state an always-present replica
+				// holds at this step. Its push contexts were frozen while
+				// away, so the pre-dropout residual folds into this step's
+				// push.
+				for _, ws := range missed[w] {
+					if _, err := workers[w].ApplyPull(ws); err != nil {
+						outs[w].err = fmt.Errorf("train: worker %d rejoin catch-up: %w", w, err)
+						if streams[w] != nil {
+							close(streams[w])
+						}
+						return
+					}
+				}
+				missed[w] = nil
 				idx := make([]int, cfg.BatchPerWorker)
 				for i := range idx {
 					idx[i] = shards[w][rngs[w].Intn(len(shards[w]))]
@@ -510,6 +652,11 @@ func Run(cfg Config) (*Result, error) {
 		if aggErr != nil {
 			return nil, aggErr
 		}
+		for w := range outs {
+			if outs[w].err != nil {
+				return nil, outs[w].err
+			}
+		}
 
 		pushBytes := make([]int, cfg.Workers)
 		var compPush float64
@@ -542,7 +689,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		for w := range pullBytes {
-			pullBytes[w] = pullPerWorker
+			if active[w] {
+				pullBytes[w] = pullPerWorker
+			}
 		}
 
 		// Pull phase: workers decompress and apply, in parallel. Under
@@ -564,6 +713,9 @@ func Run(cfg Config) (*Result, error) {
 			pullHistory = append(pullHistory[:0], pullWires)
 		}
 		for w := 0; w < cfg.Workers; w++ {
+			if !active[w] {
+				continue
+			}
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
@@ -577,12 +729,40 @@ func Run(cfg Config) (*Result, error) {
 				}
 				d, err := workers[w].ApplyPull(pullHistory[idx])
 				if err != nil {
-					panic(err) // programming error: shared wires must decode
+					// A wire that fails to decode — a corrupted shared pull —
+					// must kill the step, not the process: elastic recovery
+					// (dropout, resume) lives above this error path.
+					outs[w].err = fmt.Errorf("train: worker %d pull apply: %w", w, err)
+					return
 				}
 				outs[w].applyDur = d
 			}(w)
 		}
 		wg.Wait()
+		for w := range outs {
+			if outs[w].err != nil {
+				return nil, outs[w].err
+			}
+		}
+		// Retain the shared pull for workers that are away and will rejoin:
+		// their replicas replay these sets, in order, at the rejoin step.
+		// All of a step's absentees share one deep copy (applies are
+		// read-only); workers that never return retain nothing.
+		var missedCopy [][]byte
+		for w := 0; w < cfg.Workers; w++ {
+			if active[w] || returnStep(w, step) >= cfg.Steps {
+				continue
+			}
+			if missedCopy == nil {
+				missedCopy = make([][]byte, len(pullWires))
+				for i, pw := range pullWires {
+					if pw != nil {
+						missedCopy[i] = append([]byte(nil), pw...)
+					}
+				}
+			}
+			missed[w] = append(missed[w], missedCopy)
+		}
 		if drop := len(pullHistory) - (cfg.Staleness + 1); drop > 0 {
 			pullHistory = pullHistory[drop:]
 		}
@@ -606,9 +786,11 @@ func Run(cfg Config) (*Result, error) {
 
 		var meanLoss float64
 		for w := 0; w < cfg.Workers; w++ {
-			meanLoss += outs[w].loss
+			if active[w] {
+				meanLoss += outs[w].loss
+			}
 		}
-		meanLoss /= float64(cfg.Workers)
+		meanLoss /= float64(nActive)
 
 		for _, b := range pushBytes {
 			res.TotalPushBytes += int64(b)
@@ -642,6 +824,28 @@ func Run(cfg Config) (*Result, error) {
 			acc := Evaluate(global, testSet, 100, cfg.FlatInput)
 			res.Evals = append(res.Evals, EvalRecord{Step: step + 1, Accuracy: acc})
 		}
+
+		// Periodic full-state checkpoint: serialize the snapshot here, at
+		// the step boundary (AppendState/checkpoint.Save copy every buffer
+		// they touch), and hand the finished bytes to a background writer —
+		// the file I/O overlaps the following steps' compute.
+		if cfg.CheckpointPath != "" && cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
+			st, err := captureRunState(&cfg, step+1, global, server, workers, rngs, jitterRNG, pullHistory, missed)
+			if err != nil {
+				return nil, err
+			}
+			if err := ckpt.write(st); err != nil {
+				return nil, fmt.Errorf("train: checkpoint write: %w", err)
+			}
+		}
+		if cfg.OnStep != nil {
+			if err := cfg.OnStep(step); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ckpt.wait(); err != nil {
+		return nil, fmt.Errorf("train: checkpoint write: %w", err)
 	}
 
 	nn.CopyBatchNormStats(global, workers[0].Model)

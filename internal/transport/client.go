@@ -12,12 +12,22 @@ type Client struct {
 	conn      net.Conn
 	rw        *bufio.ReadWriter
 	fr        *FrameReader
+	to        Timeouts
 	pushBuf   []byte   // push payload, rebuilt in place each step
 	pullWires [][]byte // parsed pull set, slice headers recycled each step
 }
 
-// Dial connects to the server at addr and registers as workerID.
+// Dial connects to the server at addr and registers as workerID, with no
+// I/O deadlines (a dead server blocks forever — see DialTimeout).
 func Dial(addr string, workerID int) (*Client, error) {
+	return DialTimeout(addr, workerID, Timeouts{})
+}
+
+// DialTimeout is Dial with per-operation I/O deadlines: every frame read
+// and write on the connection is bounded by `to`, and a silently dead
+// server surfaces as a net.Error timeout from PushPull instead of an
+// indefinite hang.
+func DialTimeout(addr string, workerID int, to Timeouts) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -25,11 +35,13 @@ func Dial(addr string, workerID int) (*Client, error) {
 	c := &Client{
 		id:   workerID,
 		conn: conn,
+		to:   to,
 		rw:   bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
 	}
 	c.fr = NewFrameReader(c.rw)
 	var hello [4]byte
 	le.PutUint32(hello[:], uint32(workerID))
+	c.to.beforeWrite(conn)
 	if err := WriteFrame(c.rw, MsgHello, hello[:]); err != nil {
 		conn.Close()
 		return nil, err
@@ -52,6 +64,7 @@ func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
 	le.PutUint32(payload[4:], uint32(step))
 	payload = AppendWireSet(payload, wires)
 	c.pushBuf = payload
+	c.to.beforeWrite(c.conn)
 	if err := WriteFrame(c.rw, MsgPush, payload); err != nil {
 		return nil, fmt.Errorf("transport: push step %d: %w", step, err)
 	}
@@ -59,6 +72,7 @@ func (c *Client) PushPull(step int, wires [][]byte) ([][]byte, error) {
 		return nil, err
 	}
 
+	c.to.beforeRead(c.conn)
 	t, resp, err := c.fr.ReadFrame()
 	if err != nil {
 		return nil, fmt.Errorf("transport: pull step %d: %w", step, err)

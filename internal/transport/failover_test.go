@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"threelc/internal/shard"
+)
+
+// runFailoverScenario runs a replicated 2-shard tier over loopback TCP,
+// kills shard 0's primary at killStep (abruptly or silently), lets the
+// workers fail over to the replica, and checks the surviving tier's model
+// state is bit-identical to the in-process single-PS reference.
+func runFailoverScenario(t *testing.T, silent bool) {
+	const workers, steps, shards, killStep = 2, 6, 2, 3
+	cfg := shardTestConfig(workers, steps)
+	// Server-side deadlines stay wide: a BSP push read legitimately spans
+	// the barrier, which includes another worker's 1s failover detection.
+	to := Timeouts{Read: 30 * time.Second, Write: 10 * time.Second}
+	clientTo := to
+	if silent {
+		// A silently dead primary is only detectable through the CLIENT's
+		// read deadline; keep it short so the test converges quickly.
+		clientTo.Read = time.Second
+	}
+
+	global := buildShardModel()
+	asn := shard.ForModel(global, shards)
+	subs := shard.SubServers(global, cfg, asn)
+	// The replicas run their own sub-servers over their OWN model replica:
+	// replicated state must never alias the primary's tensors.
+	replicaModel := buildShardModel()
+	replicaModel.CopyParamsFrom(global)
+	repSubs := shard.SubServers(replicaModel, cfg, asn)
+
+	listen := func() (net.Listener, string) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ln, ln.Addr().String()
+	}
+	addrs := make([]string, shards)
+	raddrs := make([]string, shards)
+	repErr := make(chan error, shards)
+	primErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		rln, raddr := listen()
+		raddrs[s] = raddr
+		go func(s int) {
+			repErr <- NewShardReplica(rln, repSubs[s], ShardServerConfig{
+				Shard:          s,
+				NumShards:      shards,
+				Workers:        workers,
+				Steps:          steps,
+				AssignmentHash: asn.Hash(),
+				Timeouts:       to,
+			}).Serve()
+		}(s)
+	}
+	for s := 0; s < shards; s++ {
+		ln, addr := listen()
+		addrs[s] = addr
+		scfg := ShardServerConfig{
+			Shard:          s,
+			NumShards:      shards,
+			Workers:        workers,
+			Steps:          steps,
+			AssignmentHash: asn.Hash(),
+			Timeouts:       to,
+			ReplicaAddr:    raddrs[s],
+		}
+		if s == 0 {
+			scfg.KillAtStep = killStep
+			scfg.KillSilent = silent
+		}
+		srv := NewShardServer(ln, subs[s], scfg)
+		go func() { primErr <- srv.Serve() }()
+	}
+
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			cl, err := DialShardedConfig(addrs, w, shard.ForModel(buildShardModel(), shards),
+				ShardClientConfig{Replicas: raddrs, Timeouts: clientTo})
+			if err != nil {
+				t.Errorf("worker %d dial: %v", w, err)
+				return
+			}
+			defer cl.Close()
+			driveWorker(t, w, steps, cfg, global, cl.PushPull)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	killed, alive := 0, 0
+	for s := 0; s < shards; s++ {
+		switch err := <-primErr; {
+		case err == nil:
+			alive++
+		case errors.Is(err, ErrShardKilled):
+			killed++
+		default:
+			t.Fatalf("primary serve: %v", err)
+		}
+	}
+	if killed != 1 || alive != 1 {
+		t.Fatalf("expected 1 killed + 1 surviving primary, got %d + %d", killed, alive)
+	}
+	for s := 0; s < shards; s++ {
+		if err := <-repErr; err != nil {
+			t.Fatalf("replica serve: %v", err)
+		}
+	}
+
+	// The replica tier — which took over shard 0 mid-run and followed
+	// shard 1 by forwarding — must hold the single-PS reference state
+	// bit-for-bit for EVERY tensor.
+	want := referenceWeights(t, workers, steps)
+	var rep []float32
+	for _, p := range replicaModel.Params() {
+		rep = append(rep, p.W.Data()...)
+	}
+	for i := range want {
+		if want[i] != rep[i] {
+			t.Fatalf("replica weight %d differs from single-PS reference: %v != %v", i, rep[i], want[i])
+		}
+	}
+	// The surviving primary's slice (shard 1 lives in `global`) must agree
+	// too — replication never disturbed the primary path.
+	gp := global.Params()
+	for _, gi := range asn.Tensors(1) {
+		a, b := gp[gi].W.Data(), replicaModel.Params()[gi].W.Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("surviving shard tensor %d diverges between primary and replica", gi)
+			}
+		}
+	}
+}
+
+func TestFailoverKilledShardMatchesSinglePS(t *testing.T) {
+	runFailoverScenario(t, false)
+}
+
+func TestFailoverSilentDeathDetectedByDeadline(t *testing.T) {
+	runFailoverScenario(t, true)
+}
+
+// TestDialShardedUnreachableShardReturnsError: a dead shard address at
+// dial time must come back as an error from DialSharded, not a panic
+// from closing a never-opened connection.
+func TestDialShardedUnreachableShardReturnsError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, _ := net.Listen("tcp", "127.0.0.1:0")
+	deadAddr := dead.Addr().String()
+	dead.Close() // nothing listens here anymore
+	defer ln.Close()
+	asn := shard.ForModel(buildShardModel(), 2)
+	if _, err := DialSharded([]string{ln.Addr().String(), deadAddr}, 0, asn); err == nil {
+		t.Fatal("expected dial error for unreachable shard")
+	}
+}
+
+// TestClientReadDeadlineSurfacesTimeout: a server that accepts a worker
+// and then goes silent must fail the blocked PushPull with a net.Error
+// timeout once the read deadline passes — not hang forever.
+func TestClientReadDeadlineSurfacesTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	defer close(hold)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		<-hold // read nothing, answer nothing: a silently dead server
+	}()
+
+	cl, err := DialTimeout(ln.Addr().String(), 0, Timeouts{Read: 100 * time.Millisecond, Write: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.PushPull(0, [][]byte{{byte(0)}})
+	if err == nil {
+		t.Fatal("expected timeout error from PushPull against a silent server")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("error %v is not a net.Error timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}

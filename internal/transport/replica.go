@@ -1,0 +1,306 @@
+// ShardReplica: the standby half of a replicated parameter-server shard.
+//
+// During normal operation the primary (a ShardServer with ReplicaAddr
+// set) forwards every validated worker push over a single upstream
+// connection; the replica buffers each step's pushes until all Workers
+// have arrived, then applies them to its own ps sub-server in worker-id
+// order — the exact aggregation sequence the primary and the in-process
+// tier use — so its optimizer state and weights remain byte-identical to
+// the primary's at every step boundary.
+//
+// When the primary dies, workers fail over (ShardClientConfig.Replicas):
+// each reconnects here with the normal v2 hello and replays its in-flight
+// step's push. Replays are deduplicated on the (worker, step) identity
+// every push frame carries: a push the primary managed to forward before
+// dying is recognized and not applied twice, and a worker whose step the
+// replica has already completed (the primary died between forwarding the
+// last push and broadcasting pulls) is answered immediately from the
+// retained last pull. From then on the replica serves the remaining steps
+// exactly like a primary.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"threelc/internal/ps"
+)
+
+// ShardReplica serves one shard's replica endpoint.
+type ShardReplica struct {
+	ps  *ps.Server
+	cfg ShardServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	pushBytes int64
+	pullBytes int64
+}
+
+// NewShardReplica wraps sub (a ps sub-server over this shard's tensors,
+// built from its OWN model replica — it must not share parameter tensors
+// with the primary's sub-server) to stand by for cfg.Workers workers and
+// cfg.Steps steps on ln.
+func NewShardReplica(ln net.Listener, sub *ps.Server, cfg ShardServerConfig) *ShardReplica {
+	if cfg.NumShards < 1 {
+		cfg.NumShards = 1
+	}
+	return &ShardReplica{ps: sub, cfg: cfg, ln: ln}
+}
+
+// TrafficBytes reports received push and sent pull wire bytes.
+func (r *ShardReplica) TrafficBytes() (push, pull int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushBytes, r.pullBytes
+}
+
+// repConn is one inbound connection: the primary's forwarding link or a
+// failed-over worker.
+type repConn struct {
+	c        net.Conn
+	rw       *bufio.ReadWriter
+	upstream bool
+	worker   int
+	lastPush int // step of the worker's most recent direct push
+	closed   bool
+}
+
+// repEvent is one frame (or connection failure) delivered to the serve
+// loop. Payloads are copied out of the reader's scratch: the loop may
+// buffer them across many subsequent frames.
+type repEvent struct {
+	wc      *repConn
+	t       MsgType
+	payload []byte
+	err     error
+}
+
+// Serve runs the replica until it has observed all cfg.Steps steps —
+// through primary forwarding, failed-over workers, or any mix — then
+// closes its connections and returns. It never initiates traffic to
+// workers that have not connected to it.
+func (r *ShardReplica) Serve() error {
+	events := make(chan repEvent, 4*(r.cfg.Workers+1))
+	done := make(chan struct{})
+	var connsMu sync.Mutex
+	var all []net.Conn
+	defer func() {
+		// Unblock and retire every reader goroutine, then close sockets.
+		close(done)
+		connsMu.Lock()
+		defer connsMu.Unlock()
+		r.ln.Close()
+		for _, c := range all {
+			c.Close()
+		}
+	}()
+
+	// Accept loop: each connection gets a reader goroutine that
+	// handshakes, registers via an event, and then streams frames.
+	go func() {
+		for {
+			c, err := r.ln.Accept()
+			if err != nil {
+				return // listener closed: Serve is done
+			}
+			connsMu.Lock()
+			all = append(all, c)
+			connsMu.Unlock()
+			go r.readConn(c, events, done)
+		}
+	}()
+
+	pending := make(map[int][]byte) // worker id -> current step's push payload
+	var workers []*repConn          // failed-over worker connections
+	var upstream *repConn
+	var lastPull []byte // retained pull payload of the last finished step
+	finished := 0       // completed steps
+	var wires [][]byte  // wire-set parse scratch
+
+	for finished < r.cfg.Steps {
+		ev := <-events
+		switch {
+		case ev.err != nil:
+			if ev.wc == nil {
+				return ev.err // listener-level failure
+			}
+			// A dead upstream means the primary crashed (or finished and
+			// closed): keep serving — the workers will fail over to us. A
+			// dead worker conn just drops out of the broadcast set.
+			ev.wc.closed = true
+			if ev.wc.upstream {
+				upstream = nil
+			}
+		case ev.t == MsgReplicaHello:
+			if upstream != nil {
+				return fmt.Errorf("transport: replica shard %d: second upstream connection", r.cfg.Shard)
+			}
+			upstream = ev.wc
+		case ev.t == MsgShardHello:
+			for _, wc := range workers {
+				if !wc.closed && wc.worker == ev.wc.worker {
+					return fmt.Errorf("transport: replica shard %d: duplicate worker %d", r.cfg.Shard, ev.wc.worker)
+				}
+			}
+			workers = append(workers, ev.wc)
+		case ev.t == MsgReplicaPush || ev.t == MsgShardPush:
+			h, _, err := ParseShardHeader(ev.payload)
+			if err != nil {
+				return err
+			}
+			if int(h.Shard) != r.cfg.Shard {
+				return fmt.Errorf("transport: replica shard %d: push for shard %d", r.cfg.Shard, h.Shard)
+			}
+			w, step := int(h.Worker), int(h.Step)
+			if w < 0 || w >= r.cfg.Workers {
+				return fmt.Errorf("transport: replica shard %d: bad worker id %d", r.cfg.Shard, w)
+			}
+			if !ev.wc.upstream {
+				ev.wc.lastPush = step
+			}
+			r.mu.Lock()
+			r.pushBytes += int64(len(ev.payload))
+			r.mu.Unlock()
+			switch {
+			case step == finished-1:
+				// Replay of a step this replica already completed: the
+				// primary died after the full step was forwarded. Nothing
+				// to apply — answer the worker from the retained pull.
+				if !ev.wc.upstream {
+					if err := r.sendPull(ev.wc, lastPull); err != nil {
+						ev.wc.closed = true
+					}
+				}
+			case step == finished:
+				if _, dup := pending[w]; !dup { // (worker, step) dedupe
+					pending[w] = ev.payload
+				}
+			default:
+				return fmt.Errorf("transport: replica shard %d: push for step %d while at step %d", r.cfg.Shard, step, finished)
+			}
+		default:
+			return fmt.Errorf("transport: replica shard %d: unexpected frame type %d", r.cfg.Shard, ev.t)
+		}
+
+		if len(pending) < r.cfg.Workers {
+			continue
+		}
+		// Full step: apply in worker-id order (float accumulation order is
+		// state), advance the sub-server, retain the pull, answer the
+		// workers that pushed this step directly.
+		r.ps.BeginStep()
+		for id := 0; id < r.cfg.Workers; id++ {
+			_, body, err := ParseShardHeader(pending[id])
+			if err != nil {
+				return err
+			}
+			var werr error
+			wires, _, werr = ParseWireSetInto(wires, body)
+			if werr != nil {
+				return fmt.Errorf("transport: replica shard %d worker %d: %w", r.cfg.Shard, id, werr)
+			}
+			if _, err := r.ps.AddPush(id, wires); err != nil {
+				return fmt.Errorf("transport: replica shard %d: %w", r.cfg.Shard, err)
+			}
+		}
+		pull, _, err := r.ps.FinishStep()
+		if err != nil {
+			return fmt.Errorf("transport: replica shard %d: %w", r.cfg.Shard, err)
+		}
+		lastPull = AppendShardHeader(lastPull[:0], ShardHeader{
+			Version: ShardWireVersion,
+			Shard:   uint16(r.cfg.Shard),
+			Step:    uint32(finished),
+		})
+		lastPull = AppendWireSet(lastPull, pull)
+		for _, wc := range workers {
+			if wc.closed || wc.lastPush != finished {
+				continue
+			}
+			if err := r.sendPull(wc, lastPull); err != nil {
+				wc.closed = true
+			}
+		}
+		for id := range pending {
+			delete(pending, id)
+		}
+		finished++
+	}
+	return nil
+}
+
+// sendPull writes one retained pull payload to a failed-over worker.
+func (r *ShardReplica) sendPull(wc *repConn, payload []byte) error {
+	r.cfg.Timeouts.beforeWrite(wc.c)
+	if err := WriteFrame(wc.rw, MsgShardPull, payload); err != nil {
+		return err
+	}
+	if err := wc.rw.Flush(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.pullBytes += int64(len(payload))
+	r.mu.Unlock()
+	return nil
+}
+
+// readConn handshakes one inbound connection and streams its frames to
+// the serve loop, copying each payload out of the reader scratch.
+func (r *ShardReplica) readConn(c net.Conn, events chan<- repEvent, done <-chan struct{}) {
+	send := func(ev repEvent) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-done:
+			return false
+		}
+	}
+	rw := newConnRW(c)
+	fr := NewFrameReader(rw)
+	wc := &repConn{c: c, rw: rw}
+	// Every read is deadline-armed (cfg.Timeouts.Read must exceed a step
+	// interval, the frame cadence of both the upstream forwarding link
+	// and failed-over workers): a silently dead peer surfaces as a
+	// timeout event instead of parking this reader forever.
+	r.cfg.Timeouts.beforeRead(c)
+	t, payload, err := fr.ReadFrame()
+	if err != nil {
+		send(repEvent{wc: wc, err: err})
+		return
+	}
+	switch t {
+	case MsgReplicaHello, MsgShardHello:
+		h, rest, err := ParseShardHeader(payload)
+		if err != nil {
+			send(repEvent{wc: wc, err: err})
+			return
+		}
+		if int(h.Shard) != r.cfg.Shard || len(rest) != 4 || le.Uint32(rest) != r.cfg.AssignmentHash {
+			send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: bad hello (shard %d)", r.cfg.Shard, h.Shard)})
+			return
+		}
+		wc.upstream = t == MsgReplicaHello
+		wc.worker = int(h.Worker)
+		wc.lastPush = -1
+		if !send(repEvent{wc: wc, t: t}) {
+			return
+		}
+	default:
+		send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: expected hello, got type %d", r.cfg.Shard, t)})
+		return
+	}
+	for {
+		r.cfg.Timeouts.beforeRead(c)
+		t, payload, err := fr.ReadFrame()
+		if err != nil {
+			send(repEvent{wc: wc, err: err})
+			return
+		}
+		if !send(repEvent{wc: wc, t: t, payload: append([]byte(nil), payload...)}) {
+			return
+		}
+	}
+}

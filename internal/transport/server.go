@@ -18,6 +18,7 @@ type Server struct {
 	workers  int
 	steps    int
 	listener net.Listener
+	to       Timeouts
 
 	mu        sync.Mutex
 	pushBytes int64
@@ -28,6 +29,12 @@ type Server struct {
 func NewServer(ln net.Listener, srv *ps.Server, workers, steps int) *Server {
 	return &Server{ps: srv, workers: workers, steps: steps, listener: ln}
 }
+
+// SetTimeouts bounds every per-worker frame read and write in the step
+// loop (call before Serve). A worker that dies mid-run then fails the
+// step with a net.Error timeout instead of blocking the barrier forever.
+// The read deadline must cover a full compute phase, not a round trip.
+func (s *Server) SetTimeouts(to Timeouts) { s.to = to }
 
 // TrafficBytes reports the total wire bytes received (pushes) and sent
 // (pulls, summed over workers).
@@ -64,6 +71,9 @@ func (s *Server) Serve() error {
 		}
 		rw := bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
 		fr := NewFrameReader(rw)
+		// Deadline-armed like every step-loop read: a connection that
+		// never sends its hello must not stall the serial accept loop.
+		s.to.beforeRead(c)
 		t, payload, err := fr.ReadFrame()
 		if err != nil {
 			c.Close()
@@ -93,6 +103,7 @@ func (s *Server) Serve() error {
 		for _, wc := range conns {
 			// The payload aliases the connection's scratch; it is fully
 			// consumed (decoded into the ps server) before the next read.
+			s.to.beforeRead(wc.c)
 			t, payload, err := wc.fr.ReadFrame()
 			if err != nil {
 				return fmt.Errorf("transport: step %d push from worker %d: %w", step, wc.id, err)
@@ -133,6 +144,7 @@ func (s *Server) Serve() error {
 		payload := AppendWireSet(pullBuf, pull)
 		pullBuf = payload
 		for _, wc := range conns {
+			s.to.beforeWrite(wc.c)
 			if err := WriteFrame(wc.rw, MsgPull, payload); err != nil {
 				return fmt.Errorf("transport: step %d pull to worker %d: %w", step, wc.id, err)
 			}

@@ -27,6 +27,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -51,7 +52,20 @@ const (
 	// MsgShardPullTensor carries one tensor of the shared pull, same
 	// layout as MsgShardPushTensor; sent to workers that pushed streamed.
 	MsgShardPullTensor
+	// MsgReplicaHello opens a primary→replica forwarding connection:
+	// header (worker and step zero) + the 4-byte placement hash, exactly
+	// like a worker hello but identifying the peer as the primary.
+	MsgReplicaHello
+	// MsgReplicaPush forwards one worker's whole-set push to the replica.
+	// The payload is the worker's original MsgShardPush payload verbatim —
+	// shard header (with the worker's id and step, the dedupe identity)
+	// plus wire set.
+	MsgReplicaPush
 )
+
+// ErrShardKilled is returned by ShardServer.Serve when the configured
+// KillAtStep fires — the demo/test hook that emulates a shard crash.
+var ErrShardKilled = errors.New("transport: shard killed at configured step")
 
 // ShardWireVersion is the current sharded wire-format generation. The
 // version byte leads every shard header: an incompatible layout change
@@ -127,6 +141,25 @@ type ShardServerConfig struct {
 	// rejected so a worker with a divergent model layout fails fast
 	// instead of decoding tensors into the wrong slots.
 	AssignmentHash uint32
+	// Timeouts bounds each frame read and write in the step loop. The
+	// read deadline must cover a full compute phase (a BSP push read
+	// spans the barrier, not a round trip); zero disables deadlines.
+	Timeouts Timeouts
+	// ReplicaAddr, when non-empty, names this shard's replica (a
+	// ShardReplica endpoint). The primary dials it at Serve start and
+	// forwards every validated whole-set push there BEFORE decoding it
+	// locally, so the replica replays the identical worker-id-ordered
+	// aggregation sequence and its sub-server state stays byte-identical
+	// to the primary's. Only v2 whole-set pushes are replicated; streamed
+	// and legacy-v1 pushes are rejected on a replicated shard.
+	ReplicaAddr string
+	// KillAtStep, when > 0, makes Serve abort at the top of that step —
+	// the crash-injection hook behind `3lc-net -kill-shard` and the
+	// failover tests. The abrupt default closes every connection (peers
+	// see EOF); KillSilent leaves them open, so only read deadlines can
+	// detect the death. Serve returns ErrShardKilled.
+	KillAtStep int
+	KillSilent bool
 }
 
 // ShardServer drives one parameter-server shard (a ps sub-server, see
@@ -135,6 +168,9 @@ type ShardServer struct {
 	ps  *ps.Server
 	cfg ShardServerConfig
 	ln  net.Listener
+
+	replicaConn net.Conn          // primary→replica forwarding link (nil: unreplicated)
+	replica     *bufio.ReadWriter // buffered writer over replicaConn
 
 	mu        sync.Mutex
 	pushBytes int64
@@ -181,11 +217,26 @@ func newConnRW(c net.Conn) *bufio.ReadWriter {
 // deterministic and matches the in-process tier.
 func (s *ShardServer) Serve() error {
 	conns := make([]*shardWorkerConn, 0, s.cfg.Workers)
+	silentDeath := false
 	defer func() {
+		if silentDeath {
+			// Emulated silent crash: leave every socket established so the
+			// peers' read deadlines are the only failure detector.
+			return
+		}
 		for _, wc := range conns {
 			wc.c.Close()
 		}
+		if s.replicaConn != nil {
+			s.replicaConn.Close()
+		}
 	}()
+
+	if s.cfg.ReplicaAddr != "" {
+		if err := s.dialReplica(); err != nil {
+			return err
+		}
+	}
 
 	seen := make(map[int]bool)
 	for len(conns) < s.cfg.Workers {
@@ -211,6 +262,10 @@ func (s *ShardServer) Serve() error {
 		}
 	}
 	for step := 0; step < s.cfg.Steps; step++ {
+		if s.cfg.KillAtStep > 0 && step == s.cfg.KillAtStep {
+			silentDeath = s.cfg.KillSilent
+			return ErrShardKilled
+		}
 		s.ps.BeginStep()
 		for _, wc := range conns {
 			if err := s.readPush(wc, step); err != nil {
@@ -251,6 +306,7 @@ func (s *ShardServer) Serve() error {
 			if wc.legacy {
 				t, payload = MsgPull, v1Buf
 			}
+			s.cfg.Timeouts.beforeWrite(wc.c)
 			if err := WriteFrame(wc.rw, t, payload); err != nil {
 				return fmt.Errorf("transport: shard %d step %d pull to worker %d: %w", s.cfg.Shard, step, wc.id, err)
 			}
@@ -281,6 +337,7 @@ func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]by
 		b = append(b, sb[:]...)
 		b = append(b, wire...)
 		*tBuf = b
+		s.cfg.Timeouts.beforeWrite(wc.c)
 		if err := WriteFrame(wc.rw, MsgShardPullTensor, b); err != nil {
 			return fmt.Errorf("transport: shard %d step %d pull tensor %d to worker %d: %w", s.cfg.Shard, step, k, wc.id, err)
 		}
@@ -295,6 +352,51 @@ func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]by
 	return nil
 }
 
+// dialReplica opens the primary→replica forwarding link and identifies
+// this endpoint as the shard's primary.
+func (s *ShardServer) dialReplica() error {
+	conn, err := net.Dial("tcp", s.cfg.ReplicaAddr)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d dial replica %s: %w", s.cfg.Shard, s.cfg.ReplicaAddr, err)
+	}
+	s.replicaConn = conn
+	s.replica = newConnRW(conn)
+	hello := AppendShardHeader(nil, ShardHeader{
+		Version: ShardWireVersion,
+		Shard:   uint16(s.cfg.Shard),
+	})
+	var hb [4]byte
+	le.PutUint32(hb[:], s.cfg.AssignmentHash)
+	hello = append(hello, hb[:]...)
+	s.cfg.Timeouts.beforeWrite(conn)
+	if err := WriteFrame(s.replica, MsgReplicaHello, hello); err != nil {
+		return fmt.Errorf("transport: shard %d replica hello: %w", s.cfg.Shard, err)
+	}
+	if err := s.replica.Flush(); err != nil {
+		return fmt.Errorf("transport: shard %d replica hello: %w", s.cfg.Shard, err)
+	}
+	return nil
+}
+
+// forwardPush relays one validated whole-set push payload to the replica
+// before it is decoded locally, keeping the replica at least as informed
+// as the primary at every instant (a push the primary aggregated but
+// never forwarded would be lost with it; the reverse is harmless, since
+// the worker replays on failover and the replica dedupes).
+func (s *ShardServer) forwardPush(payload []byte) error {
+	if s.replica == nil {
+		return nil
+	}
+	s.cfg.Timeouts.beforeWrite(s.replicaConn)
+	if err := WriteFrame(s.replica, MsgReplicaPush, payload); err != nil {
+		return fmt.Errorf("transport: shard %d forward to replica: %w", s.cfg.Shard, err)
+	}
+	if err := s.replica.Flush(); err != nil {
+		return fmt.Errorf("transport: shard %d forward to replica: %w", s.cfg.Shard, err)
+	}
+	return nil
+}
+
 // accept handshakes one worker connection (v2 hello, or v1 hello on a
 // single-shard deployment).
 func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
@@ -304,6 +406,10 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 	}
 	rw := newConnRW(c)
 	fr := NewFrameReader(rw)
+	// The hello read is deadline-armed too: a connection that never
+	// speaks (a prober, a wedged peer) must not block the accept loop —
+	// and with it the whole tier's startup — forever.
+	s.cfg.Timeouts.beforeRead(c)
 	t, payload, err := fr.ReadFrame()
 	if err != nil {
 		c.Close()
@@ -361,6 +467,7 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 // streams — a sequence of per-tensor frames, each decode-accumulated the
 // moment it lands, terminated by MsgShardPushEnd.
 func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
+	s.cfg.Timeouts.beforeRead(wc.c)
 	t, payload, err := wc.fr.ReadFrame()
 	if err != nil {
 		return fmt.Errorf("transport: shard %d step %d push from worker %d: %w", s.cfg.Shard, step, wc.id, err)
@@ -370,6 +477,9 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 	var id, gotStep int
 	switch {
 	case (t == MsgShardPushTensor || t == MsgShardPushEnd) && !wc.legacy:
+		if s.replica != nil {
+			return fmt.Errorf("transport: shard %d: streamed pushes are not replicated (worker %d must push whole-set)", s.cfg.Shard, wc.id)
+		}
 		wc.streamed = true
 		return s.readPushStream(wc, step, t, payload)
 	case t == MsgShardPush && !wc.legacy:
@@ -382,6 +492,9 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 		}
 		id, gotStep, body = int(h.Worker), int(h.Step), rest
 	case t == MsgPush && wc.legacy:
+		if s.replica != nil {
+			return fmt.Errorf("transport: shard %d: legacy v1 pushes are not replicated", s.cfg.Shard)
+		}
 		if len(payload) < 8 {
 			return fmt.Errorf("transport: step %d: short v1 push header", step)
 		}
@@ -394,6 +507,9 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 	}
 	if gotStep != step {
 		return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
+	}
+	if err := s.forwardPush(payload); err != nil {
+		return err
 	}
 	wires, _, err := ParseWireSetInto(wc.wires, body)
 	if err != nil {
@@ -471,6 +587,7 @@ func (s *ShardServer) readPushStream(wc *shardWorkerConn, step int, t MsgType, p
 		if err := s.ps.AddPushTensor(wc.id, slot, rest[4:]); err != nil {
 			return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
 		}
+		s.cfg.Timeouts.beforeRead(wc.c)
 		t, payload, err = wc.fr.ReadFrame()
 		if err != nil {
 			return fmt.Errorf("transport: shard %d step %d push stream from worker %d: %w", s.cfg.Shard, step, wc.id, err)
@@ -481,11 +598,29 @@ func (s *ShardServer) readPushStream(wc *shardWorkerConn, step int, t MsgType, p
 	}
 }
 
+// ShardClientConfig tunes a worker's sharded connections.
+type ShardClientConfig struct {
+	// Replicas[s], when non-empty, is shard s's replica address. On a
+	// push/pull failure against the primary — connection error, EOF, or a
+	// read-deadline timeout — the client dials the replica, re-handshakes,
+	// and REPLAYS the in-flight step's push; the replica deduplicates on
+	// the (worker, step) identity every push frame already carries, so a
+	// push the dead primary managed to forward is never double-counted.
+	// Subsequent steps use the replica directly. Failover applies to the
+	// whole-set PushPull path (streamed pushes are not replicated).
+	Replicas []string
+	// Timeouts bounds each frame read/write. A read deadline is the
+	// failure detector for silently dead shards: without one, only
+	// connection-level errors (RST/EOF) trigger failover.
+	Timeouts Timeouts
+}
+
 // ShardClient is a worker's multiplexed view of the sharded tier: one
 // connection per shard, pushed to and pulled from concurrently.
 type ShardClient struct {
 	id    int
 	asn   shard.Assignment
+	ccfg  ShardClientConfig
 	idx   [][]int // per-shard global tensor indices, fixed at dial time
 	slot  []int   // global tensor index -> shard-local index
 	conns []*shardConn
@@ -499,6 +634,7 @@ type shardConn struct {
 	c         net.Conn
 	rw        *bufio.ReadWriter
 	fr        *FrameReader
+	onReplica bool // failed over: this conn now points at the replica
 	pushBuf   []byte
 	pullWires [][]byte
 	// pullBufA/B are the two slots of the streamed pull's double buffer,
@@ -512,12 +648,22 @@ type shardConn struct {
 // the server tier was built with — typically shard.ForModel on the
 // worker's model replica; its hash is verified during the handshake.
 func DialSharded(addrs []string, workerID int, asn shard.Assignment) (*ShardClient, error) {
+	return DialShardedConfig(addrs, workerID, asn, ShardClientConfig{})
+}
+
+// DialShardedConfig is DialSharded with failover replicas and I/O
+// deadlines (see ShardClientConfig).
+func DialShardedConfig(addrs []string, workerID int, asn shard.Assignment, ccfg ShardClientConfig) (*ShardClient, error) {
 	if len(addrs) != asn.NumShards {
 		return nil, fmt.Errorf("transport: %d shard addresses for %d shards", len(addrs), asn.NumShards)
+	}
+	if ccfg.Replicas != nil && len(ccfg.Replicas) != asn.NumShards {
+		return nil, fmt.Errorf("transport: %d replica addresses for %d shards", len(ccfg.Replicas), asn.NumShards)
 	}
 	c := &ShardClient{
 		id:   workerID,
 		asn:  asn,
+		ccfg: ccfg,
 		idx:  make([][]int, asn.NumShards),
 		pull: make([][]byte, len(asn.ShardOf)),
 		subs: make([][][]byte, asn.NumShards),
@@ -532,33 +678,60 @@ func DialSharded(addrs []string, workerID int, asn shard.Assignment) (*ShardClie
 		}
 	}
 	for s, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("transport: dial shard %d at %s: %w", s, addr, err)
+		sc := &shardConn{shard: s}
+		if err := c.connect(sc, addr); err != nil {
+			c.Close() // closes the successfully-dialed prefix only
+			return nil, err
 		}
-		sc := &shardConn{shard: s, c: conn, rw: newConnRW(conn)}
-		sc.fr = NewFrameReader(sc.rw)
 		c.conns = append(c.conns, sc)
-		hello := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
-			Version: ShardWireVersion,
-			Shard:   uint16(s),
-			Worker:  uint32(workerID),
-		})
-		var hb [4]byte
-		le.PutUint32(hb[:], asn.Hash())
-		hello = append(hello, hb[:]...)
-		sc.pushBuf = hello
-		if err := WriteFrame(sc.rw, MsgShardHello, hello); err != nil {
-			c.Close()
-			return nil, err
-		}
-		if err := sc.rw.Flush(); err != nil {
-			c.Close()
-			return nil, err
-		}
 	}
 	return c, nil
+}
+
+// connect dials addr for sc's shard and performs the v2 hello handshake.
+// It is used both at dial time (primary) and during failover (replica).
+func (c *ShardClient) connect(sc *shardConn, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial shard %d at %s: %w", sc.shard, addr, err)
+	}
+	sc.c = conn
+	sc.rw = newConnRW(conn)
+	sc.fr = NewFrameReader(sc.rw)
+	hello := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
+		Version: ShardWireVersion,
+		Shard:   uint16(sc.shard),
+		Worker:  uint32(c.id),
+	})
+	var hb [4]byte
+	le.PutUint32(hb[:], c.asn.Hash())
+	hello = append(hello, hb[:]...)
+	sc.pushBuf = hello
+	c.ccfg.Timeouts.beforeWrite(conn)
+	if err := WriteFrame(sc.rw, MsgShardHello, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := sc.rw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// failover retargets sc at its shard's replica after `cause` broke the
+// primary connection, or returns cause when no failover is possible (no
+// replica configured, or already on the replica).
+func (c *ShardClient) failover(sc *shardConn, cause error) error {
+	if sc.onReplica || c.ccfg.Replicas == nil || c.ccfg.Replicas[sc.shard] == "" {
+		return cause
+	}
+	sc.c.Close()
+	if err := c.connect(sc, c.ccfg.Replicas[sc.shard]); err != nil {
+		return errors.Join(cause, err)
+	}
+	sc.onReplica = true
+	return nil
 }
 
 // PushPull splits the worker's full-model wire set by placement, pushes
@@ -595,8 +768,25 @@ func (c *ShardClient) PushPull(step int, wires [][]byte) ([][]byte, error) {
 	return c.pull, nil
 }
 
-// pushPullShard runs one shard's round trip of one step.
+// pushPullShard runs one shard's round trip of one step, failing over to
+// the shard's replica — reconnect, re-handshake, and REPLAY this step's
+// push — when the primary breaks mid-round-trip. The replayed push
+// carries the same (worker, step) identity as the original, so a replica
+// that already received it through primary forwarding applies it exactly
+// once.
 func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) error {
+	err := c.tryPushPull(step, s, sc, wires)
+	if err == nil {
+		return nil
+	}
+	if ferr := c.failover(sc, err); ferr != nil {
+		return ferr
+	}
+	return c.tryPushPull(step, s, sc, wires)
+}
+
+// tryPushPull is one push/pull attempt on the current connection.
+func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) error {
 	sub := c.subs[s]
 	for k, gi := range c.idx[s] {
 		sub[k] = wires[gi]
@@ -610,6 +800,7 @@ func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) 
 	})
 	payload = AppendWireSet(payload, sub)
 	sc.pushBuf = payload
+	c.ccfg.Timeouts.beforeWrite(sc.c)
 	if err := WriteFrame(sc.rw, MsgShardPush, payload); err != nil {
 		return fmt.Errorf("transport: shard %d push step %d: %w", s, step, err)
 	}
@@ -617,6 +808,7 @@ func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) 
 		return err
 	}
 
+	c.ccfg.Timeouts.beforeRead(sc.c)
 	t, resp, err := sc.fr.ReadFrame()
 	if err != nil {
 		return fmt.Errorf("transport: shard %d pull step %d: %w", s, step, err)
@@ -710,6 +902,7 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 		payload = append(payload, sb[:]...)
 		payload = append(payload, iw.Wire...)
 		sc.pushBuf = payload
+		c.ccfg.Timeouts.beforeWrite(sc.c)
 		if err := WriteFrame(sc.rw, MsgShardPushTensor, payload); err != nil {
 			return fmt.Errorf("transport: shard %d push tensor %d step %d: %w", s, iw.I, step, err)
 		}
@@ -721,6 +914,7 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 	}
 	payload := AppendShardHeader(sc.pushBuf[:0], hdr)
 	sc.pushBuf = payload
+	c.ccfg.Timeouts.beforeWrite(sc.c)
 	if err := WriteFrame(sc.rw, MsgShardPushEnd, payload); err != nil {
 		return fmt.Errorf("transport: shard %d push end step %d: %w", s, step, err)
 	}
@@ -744,6 +938,7 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 		defer close(frames)
 		seen := make(map[int]bool, len(c.idx[s]))
 		for range c.idx[s] {
+			c.ccfg.Timeouts.beforeRead(sc.c)
 			t, resp, err := sc.fr.ReadFrame()
 			if err != nil {
 				frames <- pulled{err: fmt.Errorf("transport: shard %d pull step %d: %w", s, step, err)}
@@ -802,6 +997,9 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 func (c *ShardClient) Close() error {
 	var first error
 	for _, sc := range c.conns {
+		if sc.c == nil {
+			continue
+		}
 		if err := sc.c.Close(); err != nil && first == nil {
 			first = err
 		}
