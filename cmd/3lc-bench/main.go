@@ -29,6 +29,8 @@ import (
 	"threelc/internal/compress"
 	"threelc/internal/encode"
 	"threelc/internal/experiments"
+	"threelc/internal/kernel"
+	"threelc/internal/kernel/simd"
 	"threelc/internal/nn"
 	"threelc/internal/opt"
 	"threelc/internal/ps"
@@ -382,45 +384,51 @@ func codecBench(w *os.File, iters int) []benchRecord {
 				Extra: map[string]float64{"speedup": float64(staged) / float64(fused)}})
 	}
 
+	// mkStep builds one full push/pull round trip (the ps steady-state
+	// benchmark workload) over the given model maker and config tweak.
+	mkStep := func(model func() *nn.Model, tweak func(*ps.Config)) func() {
+		cfg := ps.Config{
+			Scheme:           compress.SchemeThreeLC,
+			Opts:             compress.Options{Sparsity: 1.75, ZeroRun: true},
+			Workers:          1,
+			MinCompressElems: 8, // matches internal/ps's benchmark config
+			Parallelism:      1,
+			Optimizer:        opt.DefaultSGDConfig(1, 1000),
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		global := model()
+		server := ps.NewServer(global, cfg)
+		m := model()
+		m.CopyParamsFrom(global)
+		worker := ps.NewWorker(0, m, cfg)
+		grng := tensor.NewRNG(31)
+		for _, p := range worker.Model.Params() {
+			tensor.FillNormal(p.G, 0.01, grng)
+		}
+		return func() {
+			wires, _ := worker.CompressGrads()
+			server.BeginStep()
+			if _, err := server.AddPush(0, wires); err != nil {
+				panic(err)
+			}
+			pull, _, err := server.FinishStep()
+			if err != nil {
+				panic(err)
+			}
+			if _, err := worker.ApplyPull(pull); err != nil {
+				panic(err)
+			}
+		}
+	}
+	benchModel := func() *nn.Model { return nn.NewMLP(784, []int{256}, 10, 1) }
+
 	// Full parameter-server round trip — the committed perf baseline the
 	// CI bench leg gates BenchmarkSteadyStatePushPull against.
 	{
-		mk := func(staged bool) func() {
-			cfg := ps.Config{
-				Scheme:           compress.SchemeThreeLC,
-				Opts:             compress.Options{Sparsity: 1.75, ZeroRun: true},
-				Workers:          1,
-				MinCompressElems: 8, // matches internal/ps's benchmark config
-				Parallelism:      1,
-				StagedAggregate:  staged,
-				Optimizer:        opt.DefaultSGDConfig(1, 1000),
-			}
-			global := nn.NewMLP(784, []int{256}, 10, 1)
-			server := ps.NewServer(global, cfg)
-			m := nn.NewMLP(784, []int{256}, 10, 1)
-			m.CopyParamsFrom(global)
-			worker := ps.NewWorker(0, m, cfg)
-			grng := tensor.NewRNG(31)
-			for _, p := range worker.Model.Params() {
-				tensor.FillNormal(p.G, 0.01, grng)
-			}
-			return func() {
-				wires, _ := worker.CompressGrads()
-				server.BeginStep()
-				if _, err := server.AddPush(0, wires); err != nil {
-					panic(err)
-				}
-				pull, _, err := server.FinishStep()
-				if err != nil {
-					panic(err)
-				}
-				if _, err := worker.ApplyPull(pull); err != nil {
-					panic(err)
-				}
-			}
-		}
-		fusedStep := measure(iters, mk(false))
-		stagedStep := measure(iters, mk(true))
+		fusedStep := measure(iters, mkStep(benchModel, nil))
+		stagedStep := measure(iters, mkStep(benchModel, func(c *ps.Config) { c.StagedAggregate = true }))
 		fmt.Fprintf(w, "\nSteady-state push/pull round trip (ps, MLP 784-256-10, serial codecs):\n")
 		fmt.Fprintf(w, "  staged aggregate %8d ns/op\n", stagedStep.Nanoseconds())
 		fmt.Fprintf(w, "  fused aggregate  %8d ns/op  (%.2fx)\n",
@@ -428,6 +436,83 @@ func codecBench(w *os.File, iters int) []benchRecord {
 		records = append(records,
 			benchRecord{Name: "SteadyStatePushPull", Iterations: int64(iters), NsPerOp: float64(fusedStep.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
 			benchRecord{Name: "SteadyStatePushPullStaged", Iterations: int64(iters), NsPerOp: float64(stagedStep.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1})
+	}
+
+	// Small-tensor batching: the same round trip on a many-tiny-tensor
+	// model (100 hidden layers of width 8, ~200 tensors of at most 64
+	// elements) with the batched arena path on vs off. Wires and state are
+	// bit-identical either way; on a serial host the contract is parity
+	// (per-member kernel work dominates), with the batch collapsing ~200
+	// pool jobs per phase into one.
+	{
+		tinyModel := func() *nn.Model {
+			hidden := make([]int, 100)
+			for i := range hidden {
+				hidden[i] = 8
+			}
+			return nn.NewMLP(8, hidden, 3, 1)
+		}
+		batched := measure(iters, mkStep(tinyModel, nil))
+		unbatched := measure(iters, mkStep(tinyModel, func(c *ps.Config) { c.SmallTensorElems = -1 }))
+		fmt.Fprintf(w, "\nSmall-tensor batching (push/pull round trip, MLP 8-8x100-3, ~200 tiny tensors):\n")
+		fmt.Fprintf(w, "  per-tensor jobs  %8d ns/op\n", unbatched.Nanoseconds())
+		fmt.Fprintf(w, "  batched arena    %8d ns/op  (%.2fx)\n",
+			batched.Nanoseconds(), float64(unbatched)/float64(batched))
+		records = append(records,
+			benchRecord{Name: "SteadyStatePushPullTiny", Iterations: int64(iters), NsPerOp: float64(batched.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
+			benchRecord{Name: "SteadyStatePushPullTinyUnbatched", Iterations: int64(iters), NsPerOp: float64(unbatched.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1})
+	}
+
+	// Dispatched kernel tiers: the fused ternary encode and the LUT
+	// decode-add sweep at 1M elements on every tier this CPU/build can run,
+	// against the memcpy roofline for scale. Record names match
+	// internal/kernel's tier benchmarks.
+	{
+		orig := kernel.ActiveTier()
+		feats := simd.Detect()
+		snapshot := make([]float32, n)
+		m := float64(kernel.AccumulateMaxAbs(snapshot, in.Data())) * 1.75
+		buf := make([]float32, n)
+		acc := make([]float32, n)
+		dst := make([]float32, n)
+		cp := measure(iters, func() { copy(dst, snapshot) })
+		gbs := func(d time.Duration) float64 { return float64(4*n) / d.Seconds() / 1e9 }
+		fmt.Fprintf(w, "\nKernel tiers at %d elements (auto tier %s, AVX2=%v, asm=%v; memcpy roofline %.1f GB/s):\n",
+			n, orig, feats.AVX2, simd.HasAsm, gbs(cp))
+		fmt.Fprintf(w, "  %-8s %14s %7s %18s %7s\n", "tier", "encode ns/op", "GB/s", "decode-add ns/op", "GB/s")
+		var wire []byte
+		for _, tier := range kernel.AvailableTiers() {
+			kernel.SetTier(tier)
+			// The encode consumes its buffer (it leaves the residual
+			// behind), so each call restores from the snapshot and times
+			// only the encode itself.
+			copy(buf, snapshot)
+			wire = kernel.EncodeTernary(buf, m, true, wire[:0]) // converge wire capacity
+			encBest := time.Duration(1<<63 - 1)
+			for trial := 0; trial < 3; trial++ {
+				var total time.Duration
+				for i := 0; i < iters; i++ {
+					copy(buf, snapshot)
+					start := time.Now()
+					wire = kernel.EncodeTernary(buf, m, true, wire[:0])
+					total += time.Since(start)
+				}
+				if d := total / time.Duration(iters); d < encBest {
+					encBest = d
+				}
+			}
+			dec := measure(iters, func() {
+				if err := kernel.DecodeTernaryAdd(wire, true, float32(m), acc); err != nil {
+					panic(err)
+				}
+			})
+			fmt.Fprintf(w, "  %-8s %14d %7.1f %18d %7.1f\n",
+				tier, encBest.Nanoseconds(), gbs(encBest), dec.Nanoseconds(), gbs(dec))
+			records = append(records,
+				benchRecord{Name: "EncodeTernaryKernel/" + tier.String() + "/1M", Iterations: int64(iters), NsPerOp: float64(encBest.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
+				benchRecord{Name: "DecodeAddKernel/" + tier.String() + "/1M", Iterations: int64(iters), NsPerOp: float64(dec.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1})
+		}
+		kernel.SetTier(orig)
 	}
 
 	// Staged-vs-fused kernel comparison: what collapsing seven sweeps to

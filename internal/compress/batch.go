@@ -1,0 +1,145 @@
+package compress
+
+import (
+	"fmt"
+
+	"threelc/internal/kernel"
+	"threelc/internal/tensor"
+)
+
+// TernaryBatch coalesces many small 3LC compression contexts into one
+// batched compression unit: the members' error-accumulation buffers are
+// adjacent slices of a single contiguous float32 arena, their wire
+// messages are adjacent regions of a single shared byte arena addressed
+// by an offset table, and one CompressAll call runs every member's two
+// fused passes back to back as plain serial kernels.
+//
+// The point is dispatch overhead, not algorithmic change: a model's long
+// tail of tiny tensors (bias vectors, norm scales) pays per-tensor pool
+// scheduling, PassWorkers sizing, and wire-buffer bookkeeping that can
+// exceed the actual kernel work. Batched, the whole tail is one pool job
+// sweeping contiguous accumulator memory with zero goroutine spawns and
+// zero ZRE chunk-stitching (serial encode emits final bytes directly).
+//
+// Each member is a real *threeLCCompressor, so wires, residuals, and
+// checkpoint state are bit-identical to unbatched per-tensor contexts:
+// Member(k) hands callers the ordinary Compressor / PreAccumulator /
+// Stateful interfaces and package ps's checkpointing works unchanged.
+type TernaryBatch struct {
+	members []*threeLCCompressor
+	arena   []float32 // contiguous error-accumulation backing store
+
+	wire  []byte   // shared wire arena, reused across steps
+	ends  []int    // offset table: member k's wire is wire[ends[k-1]:ends[k]]
+	wires [][]byte // per-member views into wire, rebuilt each step
+}
+
+// NewTernaryBatch builds a batch of 3LC contexts, one per shape, whose
+// accumulation buffers tile one contiguous arena in member order. opt is
+// interpreted exactly as New(SchemeThreeLC, ...) would: Sparsity 0 means
+// 1. Members always run their kernels serially (the batch itself is the
+// unit of parallelism — callers schedule whole batches onto their pools),
+// so CodecParallelism is ignored.
+func NewTernaryBatch(shapes [][]int, opt Options) *TernaryBatch {
+	sp := opt.Sparsity
+	if sp == 0 {
+		sp = 1
+	}
+	total := 0
+	for _, shape := range shapes {
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		total += n
+	}
+	b := &TernaryBatch{
+		members: make([]*threeLCCompressor, 0, len(shapes)),
+		arena:   make([]float32, total),
+		ends:    make([]int, len(shapes)),
+		wires:   make([][]byte, len(shapes)),
+	}
+	off := 0
+	for _, shape := range shapes {
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		acc := tensor.FromSlice(b.arena[off:off+n], shape...)
+		b.members = append(b.members, newThreeLCCompressorOver(shape, sp, opt.ZeroRun, 1, acc))
+		off += n
+	}
+	return b
+}
+
+// Len returns the number of member contexts.
+func (b *TernaryBatch) Len() int { return len(b.members) }
+
+// Elems returns the total element count across all members (the arena
+// length) — the batch's cost measure for pool scheduling.
+func (b *TernaryBatch) Elems() int { return len(b.arena) }
+
+// Member returns member k's compression context. It implements
+// Compressor, PreAccumulator, and Stateful like any standalone 3LC
+// context; driving it directly (outside CompressAll) stays bit-exact but
+// forfeits the batching.
+func (b *TernaryBatch) Member(k int) Compressor { return b.members[k] }
+
+// CompressAll runs one full compression step for every member: member
+// k's input is get(k) (length must match the member's element count),
+// accumulated into its arena slice fused with the |max| reduction, then
+// encoded into the shared wire arena. The returned slice holds one wire
+// message per member, valid until the next CompressAll /
+// EncodePreAccumulated call; steady state allocates nothing once the
+// wire arena's capacity converges.
+//
+// Wires and residuals are bit-identical to calling each member's
+// CompressInto with the same inputs.
+func (b *TernaryBatch) CompressAll(get func(k int) []float32) [][]byte {
+	w := b.wire[:0]
+	for k, c := range b.members {
+		in := get(k)
+		if len(in) != c.n {
+			panic(fmt.Sprintf("compress: batch member %d input has %d elements, want %d", k, len(in), c.n))
+		}
+		// Serial fused pass 1 + pass 2 (see CompressInto): members are
+		// below the parallel threshold by construction, so the dispatch
+		// through PassWorkers is skipped, not just short-circuited.
+		w = c.encodeAccumulated(kernel.AccumulateMaxAbs(c.acc.Buffer().Data(), in), w)
+		b.ends[k] = len(w)
+	}
+	b.wire = w
+	return b.reslice()
+}
+
+// EncodePreAccumulated runs only compress pass 2 for every member, for
+// producers that already folded the step's state change into the
+// members' accumulation buffers (the PreAccumulator protocol): maxes[k]
+// must be max|member k's AccData| reduced with the kernel's
+// accumulate-max semantics. The parameter server's pull leg uses this
+// after its fused optimizer sweep.
+func (b *TernaryBatch) EncodePreAccumulated(maxes []float32) [][]byte {
+	if len(maxes) != len(b.members) {
+		panic(fmt.Sprintf("compress: batch got %d maxes for %d members", len(maxes), len(b.members)))
+	}
+	w := b.wire[:0]
+	for k, c := range b.members {
+		w = c.encodeAccumulated(maxes[k], w)
+		b.ends[k] = len(w)
+	}
+	b.wire = w
+	return b.reslice()
+}
+
+// reslice rebuilds the per-member wire views from the offset table. It
+// must run after the encode loop, not inside it: appending member k+1's
+// wire can grow (reallocate) the shared arena, which would strand views
+// taken of member k mid-loop.
+func (b *TernaryBatch) reslice() [][]byte {
+	start := 0
+	for k, end := range b.ends {
+		b.wires[k] = b.wire[start:end:end]
+		start = end
+	}
+	return b.wires
+}

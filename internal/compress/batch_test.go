@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"threelc/internal/kernel"
+	"threelc/internal/tensor"
+)
+
+// batchShapes is a tiny-tensor mix exercising odd group remainders and a
+// scalar member.
+var batchShapes = [][]int{{7}, {3, 5}, {1}, {64}, {2, 2, 2}, {33}}
+
+// TestTernaryBatchMatchesStandalone drives a TernaryBatch and a set of
+// standalone 3LC contexts with identical inputs over several accumulating
+// steps: wires must be byte-identical and every member's residual buffer
+// bit-identical, for both ZRE settings.
+func TestTernaryBatchMatchesStandalone(t *testing.T) {
+	for _, zre := range []bool{true, false} {
+		opt := Options{Sparsity: 1.0, ZeroRun: zre}
+		batch := NewTernaryBatch(batchShapes, opt)
+		solo := make([]Compressor, len(batchShapes))
+		for k, shape := range batchShapes {
+			solo[k] = New(SchemeThreeLC, shape, opt)
+		}
+
+		ins := make([]*tensor.Tensor, len(batchShapes))
+		for step := 0; step < 4; step++ {
+			for k, shape := range batchShapes {
+				n := 1
+				for _, d := range shape {
+					n *= d
+				}
+				ins[k] = randTensor(uint64(1000*step+k), n, 0.3)
+			}
+			wires := batch.CompressAll(func(k int) []float32 { return ins[k].Data() })
+			if len(wires) != len(batchShapes) {
+				t.Fatalf("zre=%v: CompressAll returned %d wires, want %d", zre, len(wires), len(batchShapes))
+			}
+			for k := range batchShapes {
+				want := solo[k].CompressInto(ins[k], nil)
+				if !bytes.Equal(wires[k], want) {
+					t.Fatalf("zre=%v step %d member %d: batched wire differs from standalone (%d vs %d bytes)",
+						zre, step, k, len(wires[k]), len(want))
+				}
+				got := batch.members[k].acc.Buffer().Data()
+				ref := solo[k].(*threeLCCompressor).acc.Buffer().Data()
+				for i := range ref {
+					if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+						t.Fatalf("zre=%v step %d member %d: residual differs at %d", zre, step, k, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTernaryBatchPreAccumulated checks the pull-leg protocol: folding
+// state changes into members' AccData and handing kernel-reduced maxes to
+// EncodePreAccumulated must match the standalone PreAccumulator path.
+func TestTernaryBatchPreAccumulated(t *testing.T) {
+	opt := Options{Sparsity: 1.25, ZeroRun: true}
+	batch := NewTernaryBatch(batchShapes, opt)
+	solo := make([]Compressor, len(batchShapes))
+	for k, shape := range batchShapes {
+		solo[k] = New(SchemeThreeLC, shape, opt)
+	}
+
+	maxes := make([]float32, len(batchShapes))
+	for step := 0; step < 3; step++ {
+		soloWires := make([][]byte, len(batchShapes))
+		for k := range batchShapes {
+			m := batch.Member(k).(PreAccumulator)
+			in := randTensor(uint64(500*step+k), len(m.AccData()), 0.2)
+			maxes[k] = kernel.AccumulateMaxAbs(m.AccData(), in.Data())
+			sm := solo[k].(PreAccumulator)
+			soloWires[k] = solo[k].(*threeLCCompressor).CompressPreAccumulated(
+				kernel.AccumulateMaxAbs(sm.AccData(), in.Data()), nil)
+		}
+		wires := batch.EncodePreAccumulated(maxes)
+		for k := range batchShapes {
+			if !bytes.Equal(wires[k], soloWires[k]) {
+				t.Fatalf("step %d member %d: pre-accumulated batched wire differs", step, k)
+			}
+		}
+	}
+}
+
+// TestTernaryBatchMemberStateful checks that batch members expose the
+// ordinary checkpoint protocol: state captured from a standalone context
+// restores into a batch member and reproduces its wire stream.
+func TestTernaryBatchMemberStateful(t *testing.T) {
+	opt := Options{Sparsity: 1.0, ZeroRun: true}
+	shape := []int{33}
+	ref := New(SchemeThreeLC, shape, opt)
+	in := randTensor(7, 33, 0.4)
+	ref.CompressInto(in, nil) // leave nonzero residual state
+
+	batch := NewTernaryBatch([][]int{{5}, shape}, opt)
+	st, ok := batch.Member(1).(Stateful)
+	if !ok {
+		t.Fatal("batch member does not implement Stateful")
+	}
+	if err := st.RestoreState(ref.(Stateful).AppendState(nil)); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	in2 := randTensor(8, 33, 0.4)
+	want := ref.CompressInto(in2, nil)
+	got := batch.Member(1).CompressInto(in2, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatal("restored batch member wire differs from reference context")
+	}
+	// The restore must have landed in the shared arena, not a detached
+	// buffer.
+	if &batch.members[1].acc.Buffer().Data()[0] != &batch.arena[5] {
+		t.Fatal("batch member accumulator no longer aliases the arena")
+	}
+}
+
+// TestTernaryBatchZeroAllocSteadyState: after the first step converges
+// the wire arena, CompressAll must allocate nothing.
+func TestTernaryBatchZeroAllocSteadyState(t *testing.T) {
+	batch := NewTernaryBatch(batchShapes, Options{Sparsity: 1.0, ZeroRun: true})
+	ins := make([][]float32, len(batchShapes))
+	for k := range batchShapes {
+		n := 1
+		for _, d := range batchShapes[k] {
+			n *= d
+		}
+		ins[k] = randTensor(uint64(k+40), n, 0.3).Data()
+	}
+	get := func(k int) []float32 { return ins[k] }
+	batch.CompressAll(get)
+	batch.CompressAll(get)
+	if allocs := testing.AllocsPerRun(20, func() { batch.CompressAll(get) }); allocs != 0 {
+		t.Fatalf("steady-state CompressAll allocates %.1f times per step, want 0", allocs)
+	}
+}

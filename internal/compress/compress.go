@@ -189,12 +189,12 @@ func New(s Scheme, shape []int, opt Options) Compressor {
 	case SchemeStoch3QE:
 		return newStochCompressor(shape, opt.Seed, opt.CodecParallelism)
 	case SchemeMQE1Bit:
-		return newOneBitCompressor(shape)
+		return newOneBitCompressor(shape, opt.CodecParallelism)
 	case SchemeTopK:
 		if opt.Fraction <= 0 || opt.Fraction > 1 {
 			panic("compress: TopK needs Fraction in (0,1]")
 		}
-		return newTopKCompressor(shape, opt.Fraction, opt.Seed)
+		return newTopKCompressor(shape, opt.Fraction, opt.Seed, opt.CodecParallelism)
 	case SchemeLocalSteps:
 		k := opt.Interval
 		if k < 1 {

@@ -3,6 +3,7 @@ package compress
 import (
 	"fmt"
 
+	"threelc/internal/kernel"
 	"threelc/internal/quant"
 	"threelc/internal/tensor"
 )
@@ -15,24 +16,33 @@ func init() {
 // oneBitCompressor is the "MQE 1-bit int" baseline (§5.1): 1-bit SGD-style
 // quantization with minimum squared quantization error and error feedback.
 // Wire format: [scheme][4B MPos][4B MNeg][packed sign bits].
+//
+// The encode runs on the fused kernels: kernel.AccumulateSignStats folds
+// the error-accumulation sweep, the sign bit-pack, and the partition sums
+// into pass 1 (serial — the MQE means are order-dependent float64 sums),
+// then kernel.OneBitResidualParallel fuses dequantize+residual into one
+// chunked pass 2. Two passes over tensor memory instead of the staged
+// four; wires and residual state stay bit-identical to the staged
+// quant.QuantizeOneBitInto composition, which remains the reference.
 type oneBitCompressor struct {
-	shape   []int
-	n       int
-	acc     *quant.ErrorAccumulator
-	dequant *tensor.Tensor
-	q       quant.OneBitQuantized // quantization scratch, reused across steps
+	shape []int
+	n     int
+	par   int                     // per-pass fan-out cap (Options.CodecParallelism)
+	acc   *quant.ErrorAccumulator // error-feedback buffer (checkpointed state)
+	bits  []byte                  // sign bit-pack scratch, reused across steps
 }
 
-func newOneBitCompressor(shape []int) *oneBitCompressor {
+func newOneBitCompressor(shape []int, par int) *oneBitCompressor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	return &oneBitCompressor{
-		shape:   append([]int(nil), shape...),
-		n:       n,
-		acc:     quant.NewErrorAccumulator(shape...),
-		dequant: tensor.New(shape...),
+		shape: append([]int(nil), shape...),
+		n:     n,
+		par:   par,
+		acc:   quant.NewErrorAccumulator(shape...),
+		bits:  make([]byte, (n+7)/8),
 	}
 }
 
@@ -47,15 +57,15 @@ func (c *oneBitCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	sum := c.acc.Accumulate(in)
-	quant.QuantizeOneBitInto(sum, &c.q)
-	quant.DequantizeOneBitInto(&c.q, c.dequant)
-	c.acc.Residual(c.dequant)
-
+	buf := c.acc.Buffer().Data()
+	mPos, mNeg := kernel.AccumulateSignStats(buf, in.Data(), c.bits)
 	dst = append(dst, byte(SchemeMQE1Bit))
-	dst = appendF32(dst, c.q.MPos)
-	dst = appendF32(dst, c.q.MNeg)
-	return append(dst, c.q.Bits...)
+	dst = appendF32(dst, mPos)
+	dst = appendF32(dst, mNeg)
+	dst = append(dst, c.bits...)
+	w := kernel.PassWorkers(c.n, c.par, kernel.SpanEncode)
+	kernel.OneBitResidualParallel(buf, c.bits, mPos, mNeg, w)
+	return dst
 }
 
 func decodeOneBit(payload []byte, dst *tensor.Tensor) error {

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"threelc/internal/encode"
+	"threelc/internal/kernel"
 	"threelc/internal/quant"
 	"threelc/internal/sparse"
 	"threelc/internal/tensor"
@@ -19,26 +20,34 @@ func init() {
 // a 1-bit-per-element bitmap plus 4 bytes per selected value; unsent
 // changes stay in the error-accumulation buffer.
 // Wire format: [scheme][bitmap ceil(n/8)B][4B per selected value].
+//
+// The encode runs on the fused kernels: kernel.AddParallel chunks the
+// error-accumulation sweep (pass 1), then — after the sampled threshold
+// estimate, which touches only the sample — kernel.SparsifyResidual fuses
+// select, value emission, and the residual subtract into one serial pass 2
+// with no dense scratch tensor. Two passes over tensor memory instead of
+// the staged four; wires and residual state stay bit-identical to the
+// staged sparse.SparsifyInto composition, which remains the reference.
 type topKCompressor struct {
-	shape   []int
-	n       int
-	sp      *sparse.Sparsifier
-	acc     *quant.ErrorAccumulator
-	dequant *tensor.Tensor
-	sel     sparse.Selection // selection scratch, reused across steps
+	shape []int
+	n     int
+	par   int // per-pass fan-out cap (Options.CodecParallelism)
+	sp    *sparse.Sparsifier
+	acc   *quant.ErrorAccumulator
+	sel   sparse.Selection // selection scratch, reused across steps
 }
 
-func newTopKCompressor(shape []int, fraction float64, seed uint64) *topKCompressor {
+func newTopKCompressor(shape []int, fraction float64, seed uint64, par int) *topKCompressor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
 	return &topKCompressor{
-		shape:   append([]int(nil), shape...),
-		n:       n,
-		sp:      sparse.NewSparsifier(fraction, tensor.NewRNG(seed^0x546f704b)), // "TopK"
-		acc:     quant.NewErrorAccumulator(shape...),
-		dequant: tensor.New(shape...),
+		shape: append([]int(nil), shape...),
+		n:     n,
+		par:   par,
+		sp:    sparse.NewSparsifier(fraction, tensor.NewRNG(seed^0x546f704b)), // "TopK"
+		acc:   quant.NewErrorAccumulator(shape...),
 	}
 }
 
@@ -55,10 +64,18 @@ func (c *topKCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")
 	}
-	sum := c.acc.Accumulate(in)
-	c.sp.SparsifyInto(sum, &c.sel)
-	sparse.ReconstructInto(&c.sel, c.dequant)
-	c.acc.Residual(c.dequant)
+	buf := c.acc.Buffer().Data()
+	w := kernel.PassWorkers(c.n, c.par, kernel.SpanReduce)
+	kernel.AddParallel(buf, in.Data(), w)
+	thr := c.sp.Threshold(buf)
+	if c.sel.Mask == nil || c.sel.Mask.Len() != c.n {
+		c.sel.Mask = encode.NewBitmap(c.n)
+	} else {
+		c.sel.Mask.Reset()
+	}
+	c.sel.Values = c.sel.Values[:0]
+	c.sel.Shape = append(c.sel.Shape[:0], in.Shape()...)
+	c.sel.Values = kernel.SparsifyResidual(buf, thr, c.sel.Mask.Bytes(), c.sel.Values)
 	return appendSelection(dst, byte(SchemeTopK), &c.sel)
 }
 

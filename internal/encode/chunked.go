@@ -14,13 +14,21 @@ import (
 // the spans concurrently, producing output byte-identical to the serial
 // functions regardless of worker count.
 
+// SpawnHook, when non-nil, is called once per goroutine Chunked spawns.
+// It is the scheduling test double behind the "small tensors spawn zero
+// goroutines, a k-span fan-out spawns k-1" guarantee (the caller always
+// runs the last span itself instead of idling in Wait). Production code
+// must leave it nil.
+var SpawnHook func()
+
 // Chunked partitions [0, n) into up to `workers` contiguous spans whose
 // boundaries (except the final one) are multiples of align, and runs
-// fn(lo, hi) for each span on its own goroutine, returning once all spans
-// complete. workers <= 0 means GOMAXPROCS. When only one span results
-// (small n or workers == 1), fn runs on the calling goroutine with no
-// synchronization overhead. fn must not panic: a panic on a worker
-// goroutine crashes the program.
+// fn(lo, hi) for each span, returning once all spans complete. workers
+// <= 0 means GOMAXPROCS. When only one span results (small n or workers
+// == 1), fn runs on the calling goroutine with zero spawns and no
+// synchronization overhead; with k spans, k-1 goroutines are spawned and
+// the caller runs the final span itself. fn must not panic: a panic on a
+// worker goroutine crashes the program.
 func Chunked(n, align, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -43,6 +51,7 @@ func Chunked(n, align, workers int, fn func(lo, hi int)) {
 	rem := groups % workers
 	var wg sync.WaitGroup
 	lo := 0
+	lastLo := 0
 	for g := 0; g < workers; g++ {
 		cnt := per
 		if g < rem {
@@ -52,13 +61,21 @@ func Chunked(n, align, workers int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
+		if g == workers-1 {
+			lastLo = lo
+			break
+		}
 		wg.Add(1)
+		if SpawnHook != nil {
+			SpawnHook()
+		}
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(lo, hi)
 		lo = hi
 	}
+	fn(lastLo, n)
 	wg.Wait()
 }
 

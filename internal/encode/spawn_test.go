@@ -1,0 +1,42 @@
+package encode
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestChunkedSpawnCounts pins Chunked's caller-runs-last pool shape: k
+// spans spawn exactly k-1 goroutines, and a single-span fan-out (small n,
+// one worker, or fewer align-groups than workers) spawns none.
+func TestChunkedSpawnCounts(t *testing.T) {
+	cases := []struct {
+		name              string
+		n, align, workers int
+		wantGoro          int
+	}{
+		{"serial", 100, 1, 1, 0},
+		{"four spans", 100, 5, 4, 3},
+		{"smaller than one group", 3, 5, 8, 0},
+		{"fewer groups than workers", 10, 5, 8, 1},
+		{"empty", 0, 5, 8, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var spawns, calls atomic.Int64
+			SpawnHook = func() { spawns.Add(1) }
+			defer func() { SpawnHook = nil }()
+			Chunked(tc.n, tc.align, tc.workers, func(lo, hi int) {
+				calls.Add(1)
+				if lo < 0 || hi > tc.n || lo >= hi {
+					t.Errorf("bad span [%d,%d) for n=%d", lo, hi, tc.n)
+				}
+			})
+			if int(spawns.Load()) != tc.wantGoro {
+				t.Errorf("spawned %d goroutines, want %d", spawns.Load(), tc.wantGoro)
+			}
+			if tc.n > 0 && calls.Load() == 0 {
+				t.Error("fn never ran")
+			}
+		})
+	}
+}

@@ -11,8 +11,10 @@ import (
 // ternLUT maps each valid quartic byte (0..242) to its five shifted-back
 // ternary digits in {-1, 0, +1}: the decode side's 243-entry lookup table.
 // Built once at init from the same base-3 digit extraction the staged
-// decoder performs per byte.
-var ternLUT [encode.MaxQuartic + 1][encode.GroupSize]int8
+// decoder performs per byte. The table is padded to 256 rows (run-marker
+// rows stay zero and are never decoded from) so byte-indexed lookups need
+// no bounds check and the vector tiers' 16-byte row loads stay in bounds.
+var ternLUT [256][encode.GroupSize]int8
 
 func init() {
 	for b := 0; b <= encode.MaxQuartic; b++ {
@@ -38,7 +40,8 @@ func init() {
 type ScaledLUT struct {
 	mbits uint32
 	valid bool
-	tab   [encode.MaxQuartic + 1][encode.GroupSize]float32
+	// tab is padded to 256 rows like ternLUT (see scaledTab).
+	tab scaledTab
 }
 
 // Build populates the table for scale m, skipping the work when the table
@@ -89,15 +92,15 @@ func DecodeTernary(body []byte, zre bool, m float32, dst []float32) error {
 	if n >= scaledLUTMinElems {
 		l := lutPool.Get().(*ScaledLUT)
 		l.Build(m)
-		err := decodeScaled(body, zre, &l.tab, gTotal, dst)
+		err := decodeCore(body, zre, &l.tab, gTotal, dst)
 		lutPool.Put(l)
 		return err
 	}
 	return decodeSmall(body, zre, m, gTotal, dst)
 }
 
-// decodeScaled is the ScaledLUT decode loop.
-func decodeScaled(body []byte, zre bool, tab *[encode.MaxQuartic + 1][encode.GroupSize]float32, gTotal int, dst []float32) error {
+// decodeScaled is the scalar-tier ScaledLUT decode loop.
+func decodeScaled(body []byte, zre bool, tab *scaledTab, gTotal int, dst []float32) error {
 	n := len(dst)
 	zero := tab[encode.ZeroGroupByte][0] // m·0, NaN-propagating like the staged multiply
 	gi, w := 0, 0

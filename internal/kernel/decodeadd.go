@@ -85,7 +85,7 @@ func addValidated(body []byte, m float32, dst []float32) {
 	if len(dst) >= scaledLUTMinElems {
 		l := lutPool.Get().(*ScaledLUT)
 		l.Build(m)
-		addScaledSpan(body, &l.tab, dst, 0, len(dst), 0, 0)
+		addSpanCore(body, &l.tab, dst, 0, len(dst), 0, 0)
 		lutPool.Put(l)
 		return
 	}
@@ -96,8 +96,9 @@ func addValidated(body []byte, m float32, dst []float32) {
 // through a prebuilt ScaledLUT: decoding starts at body[off], whose first
 // skip groups belong to the preceding span (skip is non-zero only when a
 // zero run straddles a span boundary). Serial callers pass the full range
-// with off = skip = 0.
-func addScaledSpan(body []byte, tab *[encode.MaxQuartic + 1][encode.GroupSize]float32, dst []float32, lo, hi, off, skip int) {
+// with off = skip = 0. This is the scalar tier; addScaledSpanVec is the
+// dispatched unrolled form.
+func addScaledSpan(body []byte, tab *scaledTab, dst []float32, lo, hi, off, skip int) {
 	zero := tab[encode.ZeroGroupByte][0] // m·0, NaN-propagating like the staged multiply
 	w := lo
 	for ; w < hi; off++ {
@@ -277,7 +278,7 @@ func DecodeTernaryAddParallel(wires []TernaryWire, dst []float32, workers int) e
 			lo, hi := bounds[s], bounds[s+1]
 			for wi := range wires {
 				e := ents[wi*spans+s]
-				addScaledSpan(wires[wi].Body, &luts[wi].tab, dst, lo, hi, e.off, e.skip)
+				addSpanCore(wires[wi].Body, &luts[wi].tab, dst, lo, hi, e.off, e.skip)
 			}
 		}(s)
 	}

@@ -1,0 +1,159 @@
+package kernel
+
+import (
+	"fmt"
+	"os"
+
+	"threelc/internal/encode"
+	"threelc/internal/kernel/simd"
+)
+
+// CPU-feature-dispatched kernel registry.
+//
+// The three hot inner loops — the fused accumulate+|max| reduction, the
+// ternary quantize→pack encode, and the LUT decode-add — exist in up to
+// three implementations ("tiers"):
+//
+//	scalar  the portable loops in this package, the reference tier
+//	vec     explicitly unrolled pure-Go cores (package simd): 8-chain
+//	        reductions, 4-byte-unrolled LUT literal loops. Runs anywhere.
+//	        The encode pass stays on the scalar core: the cmov-based
+//	        scalar quantize loop is the fastest pure-Go formulation
+//	        (every unrolled rewrite measured slower), so only asm
+//	        accelerates encode.
+//	asm     vec, plus AVX2 amd64 assembly for the byte-level
+//	        quantize/pack and LUT-row loops. Requires AVX2.
+//
+// The tier is chosen once at init — asm when the CPU supports it, else
+// vec — and can be pinned with THREELC_KERNEL=scalar|vec|asm (malformed
+// or unavailable values fail fast with a panic, so CI legs can't silently
+// test the wrong tier). Every tier produces byte-identical wires for
+// every input, and float outputs bit-identical up to NaN payloads (see
+// package simd); the fuzz oracles sweep all available tiers.
+var (
+	activeTier Tier
+
+	// Dispatched cores. The scalar tier binds the loops defined in this
+	// package; SetTier swaps them as a set so a tier is always coherent.
+	accMaxCore   func(buf, in []float32) float32
+	maxAbsCore   func(data []float32) float32
+	addSpanCore  func(body []byte, tab *scaledTab, dst []float32, lo, hi, off, skip int)
+	decodeCore   func(body []byte, zre bool, tab *scaledTab, gTotal int, dst []float32) error
+	litsAddCore  func(tab *scaledTab, body []byte, dst []float32) int
+	litsSetCore  func(tab *scaledTab, body []byte, dst []float32) int
+	packBlocksFn func(buf []float32, out []byte, blocks int, tpos, dqNeg, dqZero, dqPos float32)
+)
+
+// scaledTab is the padded 256-row scaled LUT type shared with package
+// simd; rows above encode.MaxQuartic are never decoded from (literal
+// loops stop at run markers) and exist so 16-byte row loads stay in
+// bounds.
+type scaledTab = [256][encode.GroupSize]float32
+
+// Tier identifies one kernel implementation tier.
+type Tier int
+
+const (
+	TierScalar Tier = iota
+	TierVec
+	TierAsm
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierScalar:
+		return "scalar"
+	case TierVec:
+		return "vec"
+	case TierAsm:
+		return "asm"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// kernelEnv is the environment variable that pins the kernel tier.
+const kernelEnv = "THREELC_KERNEL"
+
+// selectTier resolves the tier from the CPU feature report and the
+// THREELC_KERNEL override ("" means auto). Split out from init so the
+// cpuid-fallback paths are unit-testable on any machine.
+func selectTier(f simd.Features, env string) (Tier, error) {
+	asmOK := simd.HasAsm && f.AVX2
+	switch env {
+	case "":
+		if asmOK {
+			return TierAsm, nil
+		}
+		return TierVec, nil
+	case "scalar":
+		return TierScalar, nil
+	case "vec":
+		return TierVec, nil
+	case "asm":
+		if !asmOK {
+			return 0, fmt.Errorf("kernel: %s=asm but CPU/build lacks AVX2 assembly support", kernelEnv)
+		}
+		return TierAsm, nil
+	}
+	return 0, fmt.Errorf("kernel: invalid %s=%q (want scalar, vec, or asm)", kernelEnv, env)
+}
+
+func init() {
+	t, err := selectTier(simd.Detect(), os.Getenv(kernelEnv))
+	if err != nil {
+		panic(err)
+	}
+	SetTier(t)
+}
+
+// SetTier swaps every dispatched core to the given tier. It panics when
+// the tier is unavailable on this CPU/build. It is not concurrency-safe:
+// it exists for init and for tests/benchmarks that sweep tiers while no
+// kernel call is in flight.
+func SetTier(t Tier) {
+	switch t {
+	case TierScalar:
+		accMaxCore = accMaxAbsRange
+		maxAbsCore = maxAbsRange
+		addSpanCore = addScaledSpan
+		decodeCore = decodeScaled
+		litsAddCore = nil
+		litsSetCore = nil
+		packBlocksFn = nil
+	case TierVec:
+		accMaxCore = simd.AccMaxAbs
+		maxAbsCore = simd.MaxAbs
+		addSpanCore = addScaledSpanVec
+		decodeCore = decodeScaledVec
+		litsAddCore = simd.AddScaledLiterals
+		litsSetCore = simd.SetScaledLiterals
+		packBlocksFn = nil
+	case TierAsm:
+		if !simd.HasAsm || !simd.Detect().AVX2 {
+			panic("kernel: asm tier unavailable on this CPU/build")
+		}
+		accMaxCore = simd.AccMaxAbs
+		maxAbsCore = simd.MaxAbs
+		addSpanCore = addScaledSpanVec
+		decodeCore = decodeScaledVec
+		litsAddCore = simd.AddScaledLiteralsAsm
+		litsSetCore = simd.SetScaledLiteralsAsm
+		packBlocksFn = simd.QuantPackBlocks
+	default:
+		panic(fmt.Sprintf("kernel: unknown tier %v", t))
+	}
+	activeTier = t
+}
+
+// ActiveTier reports the currently dispatched tier.
+func ActiveTier() Tier { return activeTier }
+
+// AvailableTiers lists the tiers this CPU/build can run, in ascending
+// order. Tests and benchmarks sweep it.
+func AvailableTiers() []Tier {
+	tiers := []Tier{TierScalar, TierVec}
+	if simd.HasAsm && simd.Detect().AVX2 {
+		tiers = append(tiers, TierAsm)
+	}
+	return tiers
+}

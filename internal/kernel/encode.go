@@ -39,6 +39,16 @@ func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
 	base := len(dst)
 	dst = growCap(dst, qlen)
 	out := dst[base : base+qlen]
+	if packBlocksFn != nil {
+		// Asm tier: pack every group to its absolute slot through the block
+		// core, then zero-run compact in place. Byte-identical to the inline
+		// ZRE loop below (zreCompact replays flushZeroRun's sequencing).
+		packRangeFast(buf, 0, n, tpos, &dq, out)
+		if !zeroRun {
+			return dst[:base+qlen]
+		}
+		return dst[:base+zreCompact(out)]
+	}
 	w, run := 0, 0
 	i := 0
 	for ; i+encode.GroupSize <= n; i += encode.GroupSize {
@@ -110,7 +120,7 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 		// Without zero-run encoding every group maps to a fixed output
 		// byte, so chunks write disjoint spans of the destination directly.
 		forEachChunk(n, encode.GroupSize, workers, func(_, lo, hi int) {
-			quantPackRange(buf, lo, hi, tpos, &dq, outBuf)
+			quantPackRangeDispatch(buf, lo, hi, tpos, &dq, outBuf)
 		})
 		return dst[:base+qlen], scratch
 	}
@@ -122,7 +132,11 @@ func EncodeTernaryParallel(buf []float32, m float64, zeroRun bool, dst []byte, w
 	res := make([]ternChunk, workers)
 	used := forEachChunk(n, encode.GroupSize, workers, func(idx, lo, hi int) {
 		region := sc[lo/encode.GroupSize : (hi+encode.GroupSize-1)/encode.GroupSize]
-		res[idx] = encodeTernaryChunk(buf, lo, hi, tpos, &dq, region)
+		if packBlocksFn != nil {
+			res[idx] = encodeTernaryChunkFast(buf, lo, hi, tpos, &dq, region)
+		} else {
+			res[idx] = encodeTernaryChunk(buf, lo, hi, tpos, &dq, region)
+		}
 	})
 
 	// Serial stitch-up: pending carries the zero run open at the current

@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"fmt"
+
+	"threelc/internal/encode"
+	"threelc/internal/kernel/simd"
+)
+
+// Vectorized-tier forms of the decode loops and the packed encode path.
+// Each mirrors its scalar counterpart byte-for-byte on the wire and
+// bit-for-bit on floats (up to NaN payloads, see package simd): the fast
+// paths only regroup WHICH loop processes each wire byte, never the
+// per-element operations or their order.
+
+// addScaledSpanVec is the vec/asm-tier addScaledSpan: maximal stretches
+// of literal bytes go through the dispatched unrolled literal core, runs
+// through the unrolled fill, and only partial tail groups fall back to
+// the per-element loop. Same contract as addScaledSpan.
+func addScaledSpanVec(body []byte, tab *scaledTab, dst []float32, lo, hi, off, skip int) {
+	zero := tab[encode.ZeroGroupByte][0] // m·0, NaN-propagating like the staged multiply
+	lits := litsAddCore
+	w := lo
+	for w < hi {
+		b := body[off]
+		if b > encode.MaxQuartic {
+			k := int(b) - encode.RunBase + 2 - skip
+			skip = 0
+			end := w + k*encode.GroupSize
+			if end > hi {
+				end = hi
+			}
+			simd.AddFill(dst[w:end], zero)
+			w = end
+			off++
+			continue
+		}
+		skip = 0
+		if lim := hi - w; lim >= encode.GroupSize {
+			lim -= lim % encode.GroupSize
+			nb := lits(tab, body[off:], dst[w:w+lim])
+			if nb > 0 {
+				off += nb
+				w += nb * encode.GroupSize
+				continue
+			}
+		}
+		// Partial tail group (hi is the tensor end mid-group).
+		row := &tab[b]
+		for k := 0; w < hi; k, w = k+1, w+1 {
+			dst[w] += row[k]
+		}
+		off++
+	}
+}
+
+// decodeScaledVec is the vec/asm-tier decodeScaled: identical validation
+// semantics, with literal stretches through the dispatched set-literal
+// core and runs through the unrolled fill.
+func decodeScaledVec(body []byte, zre bool, tab *scaledTab, gTotal int, dst []float32) error {
+	n := len(dst)
+	zero := tab[encode.ZeroGroupByte][0]
+	lits := litsSetCore
+	gi, w, off := 0, 0, 0
+	for off < len(body) {
+		b := body[off]
+		if b > encode.MaxQuartic {
+			if !zre {
+				return fmt.Errorf("kernel: invalid quartic byte %d at offset %d", b, off)
+			}
+			k := int(b) - encode.RunBase + 2
+			if gi+k > gTotal {
+				return fmt.Errorf("kernel: zero run at offset %d expands past %d groups", off, gTotal)
+			}
+			gi += k
+			end := w + k*encode.GroupSize
+			if end > n {
+				end = n
+			}
+			simd.SetFill(dst[w:end], zero)
+			w = end
+			off++
+			continue
+		}
+		if gi >= gTotal {
+			return fmt.Errorf("kernel: payload longer than %d groups", gTotal)
+		}
+		if lim := n - w; lim >= encode.GroupSize {
+			lim -= lim % encode.GroupSize
+			// Every byte the literal core consumes is a valid literal
+			// producing one full in-bounds group, so the per-byte checks
+			// above are preserved: lim/GroupSize never exceeds the groups
+			// remaining to gTotal.
+			nb := lits(tab, body[off:], dst[w:w+lim])
+			if nb > 0 {
+				off += nb
+				gi += nb
+				w += nb * encode.GroupSize
+				continue
+			}
+		}
+		gi++
+		row := &tab[b]
+		if w+encode.GroupSize <= n {
+			dst[w] = row[0]
+			dst[w+1] = row[1]
+			dst[w+2] = row[2]
+			dst[w+3] = row[3]
+			dst[w+4] = row[4]
+			w += encode.GroupSize
+		} else {
+			for k := 0; w < n; k, w = k+1, w+1 {
+				dst[w] = row[k]
+			}
+		}
+		off++
+	}
+	if gi != gTotal {
+		return fmt.Errorf("kernel: payload expands to %d groups, want %d", gi, gTotal)
+	}
+	return nil
+}
+
+// packRangeFast quantizes buf[lo:hi] into out (indexed from out[0], one
+// byte per group, absolute-slot layout with no zero-run encoding),
+// routing whole 8-group blocks through the assembly core and the
+// remainder through the scalar group loops. Residual updates are
+// identical to the scalar path: the asm core performs the same compares
+// against ±tpos and the same v - dq[q] subtraction per element.
+func packRangeFast(buf []float32, lo, hi int, tpos float32, dq *dequantTab, out []byte) {
+	g := 0
+	if blocks := (hi - lo) / (8 * encode.GroupSize); blocks > 0 {
+		packBlocksFn(buf[lo:hi], out, blocks, tpos, dq[0], dq[1], dq[2])
+		lo += blocks * 8 * encode.GroupSize
+		g = blocks * 8
+	}
+	i := lo
+	for ; i+encode.GroupSize <= hi; i, g = i+encode.GroupSize, g+1 {
+		out[g] = quantPack5(buf, i, tpos, dq)
+	}
+	if i < hi {
+		out[g] = quantPackTail(buf, i, hi, tpos, dq)
+	}
+}
+
+// quantPackRangeDispatch is quantPackRange (absolute group slots in the
+// full output buffer) with the asm block core when dispatched.
+func quantPackRangeDispatch(buf []float32, lo, hi int, tpos float32, dq *dequantTab, out []byte) {
+	if packBlocksFn != nil {
+		packRangeFast(buf, lo, hi, tpos, dq, out[lo/encode.GroupSize:])
+		return
+	}
+	quantPackRange(buf, lo, hi, tpos, dq, out)
+}
+
+// zreCompact zero-run encodes a packed quartic byte stream in place,
+// returning the compacted length. The write cursor never passes the read
+// cursor (runs only ever shrink), and the emission — runs of 2..14 as one
+// marker byte, chained greedily, lone zero groups literal — is exactly
+// the serial encoder's flushZeroRun sequencing, so compacting a packed
+// stream is byte-identical to encoding with inline ZRE.
+func zreCompact(out []byte) int {
+	w, run := 0, 0
+	for _, b := range out {
+		if b == encode.ZeroGroupByte {
+			run++
+			continue
+		}
+		w = flushZeroRun(out, w, run)
+		run = 0
+		out[w] = b
+		w++
+	}
+	return flushZeroRun(out, w, run)
+}
+
+// compactChunk derives one chunk's parallel-encode contribution from its
+// packed (absolute-slot) region: leading/trailing zero-group counts for
+// the cross-chunk stitch-up, and the in-place zero-run compacted middle.
+// Matches encodeTernaryChunk's reporting exactly.
+func compactChunk(region []byte) ternChunk {
+	lead := 0
+	for lead < len(region) && region[lead] == encode.ZeroGroupByte {
+		lead++
+	}
+	if lead == len(region) {
+		return ternChunk{lead: lead, allZero: true}
+	}
+	trail := 0
+	for region[len(region)-1-trail] == encode.ZeroGroupByte {
+		trail++
+	}
+	mid := region[lead : len(region)-trail]
+	return ternChunk{lead: lead, trail: trail, mid: mid[:zreCompact(mid)]}
+}
+
+// encodeTernaryChunkFast is the asm-tier encodeTernaryChunk: pack the
+// chunk to absolute slots, then compact.
+func encodeTernaryChunkFast(buf []float32, lo, hi int, tpos float32, dq *dequantTab, region []byte) ternChunk {
+	packRangeFast(buf, lo, hi, tpos, dq, region)
+	return compactChunk(region)
+}

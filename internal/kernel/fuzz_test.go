@@ -9,13 +9,41 @@ import (
 	"threelc/internal/tensor"
 )
 
+// tierSweep runs fn once under every kernel tier this CPU/build supports,
+// restoring the entry tier afterwards. Fuzz callbacks run serially within
+// a worker process, so the global SetTier swap is safe here.
+func tierSweep(fn func(tier Tier)) {
+	prev := ActiveTier()
+	defer SetTier(prev)
+	for _, tier := range AvailableTiers() {
+		SetTier(tier)
+		fn(tier)
+	}
+}
+
+// nanClassEqual is bitsEqual relaxed by the one cross-tier exception the
+// simd package documents: when BOTH operands of an accumulate are NaN, the
+// surviving payload is whichever operand the hardware add kept, which can
+// differ between code shapes. Slots that are NaN in both buffers therefore
+// compare equal regardless of payload; everything else must be
+// bit-identical.
+func nanClassEqual(a, b []float32) (int, bool) {
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) && !(a[i] != a[i] && b[i] != b[i]) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
 // FuzzFusedVsStaged is the differential fuzz target behind the fused
 // kernels' bit-compatibility guarantee: for arbitrary tensor contents
 // (including NaN/Inf bit patterns), sparsity multipliers, and both ZRE
 // settings, the fused compress path must produce byte-identical wires and
-// bit-identical residual buffers to the staged quant+encode composition —
-// across two accumulating steps, in serial and chunked-parallel form —
-// and the fused LUT decoder must reproduce the staged decode bit-exactly.
+// bit-identical residual buffers (up to NaN payload class) to the staged
+// quant+encode composition — across two accumulating steps, in serial and
+// chunked-parallel form, under EVERY available kernel tier — and the fused
+// LUT decoder must reproduce the staged decode bit-exactly.
 func FuzzFusedVsStaged(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0}, uint8(0), true)
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(128), false)
@@ -27,65 +55,71 @@ func FuzzFusedVsStaged(f *testing.F) {
 		if n == 0 || n > 1<<14 {
 			return
 		}
-		// Sparsity in [1, 2): the full legal range of Eq. 1.
-		s := 1 + float64(sByte)/256
-
-		vals := make([]float32, n)
-		for i := range vals {
-			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
-		}
-		in := tensor.FromSlice(append([]float32(nil), vals...), n)
-
-		accStaged := tensor.New(n)
-		bufSerial := make([]float32, n)
-		bufParallel := make([]float32, n)
-
-		for step := 0; step < 2; step++ {
-			wantWire, wantM := stagedTernary(accStaged, in, s, zre)
-
-			parIn := append([]float32(nil), in.Data()...)
-			m := float64(AccumulateMaxAbs(bufSerial, in.Data())) * s
-			mPar := float64(AccumulateMaxAbsParallel(bufParallel, parIn, 3)) * s
-			if math.Float64bits(m) != math.Float64bits(mPar) {
-				t.Fatalf("step %d: serial scale %v != parallel %v", step, m, mPar)
-			}
-			if math.Float32bits(float32(m)) != math.Float32bits(wantM) {
-				t.Fatalf("step %d: fused scale %v != staged %v", step, float32(m), wantM)
-			}
-
-			gotSerial := EncodeTernary(bufSerial, m, zre, nil)
-			gotParallel, _ := EncodeTernaryParallel(bufParallel, m, zre, nil, 3, nil)
-			if !bytes.Equal(gotSerial, wantWire) {
-				t.Fatalf("step %d: serial fused wire != staged wire (%d vs %d bytes)", step, len(gotSerial), len(wantWire))
-			}
-			if !bytes.Equal(gotParallel, wantWire) {
-				t.Fatalf("step %d: parallel fused wire != staged wire", step)
-			}
-			if i, ok := bitsEqual(bufSerial, accStaged.Data()); !ok {
-				t.Fatalf("step %d: serial residual differs at %d", step, i)
-			}
-			if i, ok := bitsEqual(bufParallel, accStaged.Data()); !ok {
-				t.Fatalf("step %d: parallel residual differs at %d", step, i)
-			}
-
-			// Decode side: the fused LUT decoder must agree with the
-			// staged expand+scaled-decode bit for bit. Skip wires the
-			// staged decoder itself rejects (garbage values can quantize
-			// outside the ternary range and produce undecodable bytes).
-			want, errStaged := stagedDecode(wantWire, zre, wantM, n)
-			got := make([]float32, n)
-			errFused := DecodeTernary(wantWire, zre, wantM, got)
-			if (errStaged == nil) != (errFused == nil) {
-				t.Fatalf("step %d: staged decode err=%v, fused err=%v", step, errStaged, errFused)
-			}
-			if errStaged == nil {
-				if i, ok := bitsEqual(got, want); !ok {
-					t.Fatalf("step %d: decode differs at %d: %x vs %x",
-						step, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
-				}
-			}
-		}
+		tierSweep(func(tier Tier) {
+			fuzzFusedVsStagedBody(t, data, sByte, zre, n, tier)
+		})
 	})
+}
+
+func fuzzFusedVsStagedBody(t *testing.T, data []byte, sByte uint8, zre bool, n int, tier Tier) {
+	// Sparsity in [1, 2): the full legal range of Eq. 1.
+	s := 1 + float64(sByte)/256
+
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	in := tensor.FromSlice(append([]float32(nil), vals...), n)
+
+	accStaged := tensor.New(n)
+	bufSerial := make([]float32, n)
+	bufParallel := make([]float32, n)
+
+	for step := 0; step < 2; step++ {
+		wantWire, wantM := stagedTernary(accStaged, in, s, zre)
+
+		parIn := append([]float32(nil), in.Data()...)
+		m := float64(AccumulateMaxAbs(bufSerial, in.Data())) * s
+		mPar := float64(AccumulateMaxAbsParallel(bufParallel, parIn, 3)) * s
+		if math.Float64bits(m) != math.Float64bits(mPar) {
+			t.Fatalf("step %d: serial scale %v != parallel %v", step, m, mPar)
+		}
+		if math.Float32bits(float32(m)) != math.Float32bits(wantM) {
+			t.Fatalf("step %d: fused scale %v != staged %v", step, float32(m), wantM)
+		}
+
+		gotSerial := EncodeTernary(bufSerial, m, zre, nil)
+		gotParallel, _ := EncodeTernaryParallel(bufParallel, m, zre, nil, 3, nil)
+		if !bytes.Equal(gotSerial, wantWire) {
+			t.Fatalf("tier %v step %d: serial fused wire != staged wire (%d vs %d bytes)", tier, step, len(gotSerial), len(wantWire))
+		}
+		if !bytes.Equal(gotParallel, wantWire) {
+			t.Fatalf("tier %v step %d: parallel fused wire != staged wire", tier, step)
+		}
+		if i, ok := nanClassEqual(bufSerial, accStaged.Data()); !ok {
+			t.Fatalf("tier %v step %d: serial residual differs at %d", tier, step, i)
+		}
+		if i, ok := nanClassEqual(bufParallel, accStaged.Data()); !ok {
+			t.Fatalf("tier %v step %d: parallel residual differs at %d", tier, step, i)
+		}
+
+		// Decode side: the fused LUT decoder must agree with the
+		// staged expand+scaled-decode bit for bit. Skip wires the
+		// staged decoder itself rejects (garbage values can quantize
+		// outside the ternary range and produce undecodable bytes).
+		want, errStaged := stagedDecode(wantWire, zre, wantM, n)
+		got := make([]float32, n)
+		errFused := DecodeTernary(wantWire, zre, wantM, got)
+		if (errStaged == nil) != (errFused == nil) {
+			t.Fatalf("tier %v step %d: staged decode err=%v, fused err=%v", tier, step, errStaged, errFused)
+		}
+		if errStaged == nil {
+			if i, ok := bitsEqual(got, want); !ok {
+				t.Fatalf("tier %v step %d: decode differs at %d: %x vs %x",
+					tier, step, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+	}
 }
 
 // FuzzDecodeTernaryAdd feeds arbitrary bytes to the fused
@@ -106,51 +140,53 @@ func FuzzDecodeTernaryAdd(f *testing.F) {
 	tmpBuf := make([]float32, len(big))
 	f.Fuzz(func(t *testing.T, body []byte, mBits uint32, zre bool) {
 		m := math.Float32frombits(mBits)
-		for _, dst := range [][]float32{small, big} {
-			for i := range dst {
-				dst[i] = float32(i%7) - 3
-			}
-			snap := snapBuf[:len(dst)]
-			copy(snap, dst)
+		tierSweep(func(Tier) {
+			for _, dst := range [][]float32{small, big} {
+				for i := range dst {
+					dst[i] = float32(i%7) - 3
+				}
+				snap := snapBuf[:len(dst)]
+				copy(snap, dst)
 
-			want := tmpBuf[:len(dst)]
-			errRef := DecodeTernary(body, zre, m, want)
-			err := DecodeTernaryAdd(body, zre, m, dst)
-			if (err == nil) != (errRef == nil) {
-				t.Fatalf("decode err=%v, decode-add err=%v", errRef, err)
-			}
-			if err != nil {
-				if i, ok := bitsEqual(dst, snap); !ok {
-					t.Fatalf("rejected payload corrupted accumulator at %d", i)
+				want := tmpBuf[:len(dst)]
+				errRef := DecodeTernary(body, zre, m, want)
+				err := DecodeTernaryAdd(body, zre, m, dst)
+				if (err == nil) != (errRef == nil) {
+					t.Fatalf("decode err=%v, decode-add err=%v", errRef, err)
 				}
-			} else {
-				for i := range snap {
-					snap[i] += want[i]
+				if err != nil {
+					if i, ok := bitsEqual(dst, snap); !ok {
+						t.Fatalf("rejected payload corrupted accumulator at %d", i)
+					}
+				} else {
+					for i := range snap {
+						snap[i] += want[i]
+					}
+					if i, ok := bitsEqual(dst, snap); !ok {
+						t.Fatalf("decode-add differs from decode-then-add at %d", i)
+					}
 				}
-				if i, ok := bitsEqual(dst, snap); !ok {
-					t.Fatalf("decode-add differs from decode-then-add at %d", i)
-				}
-			}
 
-			copy(snap, dst)
-			if err := DecodeTernaryAddScaled(body, zre, m, -0.5, dst); (err == nil) != (errRef == nil) {
-				t.Fatalf("scaled decode-add err=%v, decode err=%v", err, errRef)
-			} else if err != nil {
-				if i, ok := bitsEqual(dst, snap); !ok {
-					t.Fatalf("rejected payload corrupted accumulator at %d (scaled)", i)
+				copy(snap, dst)
+				if err := DecodeTernaryAddScaled(body, zre, m, -0.5, dst); (err == nil) != (errRef == nil) {
+					t.Fatalf("scaled decode-add err=%v, decode err=%v", err, errRef)
+				} else if err != nil {
+					if i, ok := bitsEqual(dst, snap); !ok {
+						t.Fatalf("rejected payload corrupted accumulator at %d (scaled)", i)
+					}
 				}
-			}
 
-			wires := []TernaryWire{{Body: body, ZRE: zre, M: m}, {Body: body, ZRE: zre, M: m}}
-			copy(snap, dst)
-			if err := DecodeTernaryAddParallel(wires, dst, 3); (err == nil) != (errRef == nil) {
-				t.Fatalf("parallel decode-add err=%v, decode err=%v", err, errRef)
-			} else if err != nil {
-				if i, ok := bitsEqual(dst, snap); !ok {
-					t.Fatalf("rejected payload corrupted accumulator at %d (parallel)", i)
+				wires := []TernaryWire{{Body: body, ZRE: zre, M: m}, {Body: body, ZRE: zre, M: m}}
+				copy(snap, dst)
+				if err := DecodeTernaryAddParallel(wires, dst, 3); (err == nil) != (errRef == nil) {
+					t.Fatalf("parallel decode-add err=%v, decode err=%v", err, errRef)
+				} else if err != nil {
+					if i, ok := bitsEqual(dst, snap); !ok {
+						t.Fatalf("rejected payload corrupted accumulator at %d (parallel)", i)
+					}
 				}
 			}
-		}
+		})
 	})
 }
 
@@ -166,7 +202,9 @@ func FuzzDecodeTernary(f *testing.F) {
 	big := make([]float32, scaledLUTMinElems+2)
 	f.Fuzz(func(t *testing.T, body []byte, mBits uint32, zre bool) {
 		m := math.Float32frombits(mBits)
-		_ = DecodeTernary(body, zre, m, small)
-		_ = DecodeTernary(body, zre, m, big)
+		tierSweep(func(Tier) {
+			_ = DecodeTernary(body, zre, m, small)
+			_ = DecodeTernary(body, zre, m, big)
+		})
 	})
 }

@@ -27,6 +27,23 @@
 // reduction; group-aligned parallel fused encode with a per-chunk zero-run
 // stitch-up) that produce byte-identical output to the serial kernels for
 // any worker count. Scheduling is pass-count aware: see PassWorkers.
+//
+// The inner loops behind the three kernels are dispatched through a
+// CPU-feature-selected registry (see dispatch.go) with up to three tiers
+// per core:
+//
+//	core                  scalar              vec                     asm (AVX2)
+//	accumulate+|max|      range loop          8-chain unrolled        = vec
+//	|max| reduction       range loop          8-chain unrolled        = vec
+//	ternary quantize/pack cmov quantize loop  = scalar (fastest       32-elem AVX2
+//	                                          pure-Go formulation)    quantize+pack blocks
+//	LUT decode-add/set    byte-at-a-time      4-byte-unrolled rows,   AVX2 gather rows,
+//	                      row apply           vectorized literals     asm literal loops
+//
+// The tier is picked once at init from CPUID (asm when AVX2 is present,
+// else vec) and can be pinned with THREELC_KERNEL=scalar|vec|asm; every
+// tier emits byte-identical wires, so the choice is invisible outside
+// timing.
 package kernel
 
 import (
@@ -47,6 +64,19 @@ var PassHook func(pass string, elems int)
 func notePass(pass string, n int) {
 	if PassHook != nil {
 		PassHook(pass, n)
+	}
+}
+
+// SpawnHook, when non-nil, is called once per goroutine a kernel fan-out
+// spawns. It is the scheduling test double behind the "small tensors
+// spawn zero goroutines, a k-chunk fan-out spawns k-1" guarantee (the
+// caller always runs the last chunk itself instead of idling in Wait).
+// Production code must leave it nil.
+var SpawnHook func()
+
+func noteSpawn() {
+	if SpawnHook != nil {
+		SpawnHook()
 	}
 }
 
@@ -96,10 +126,13 @@ func PassWorkers(n, budget, span int) int {
 
 // forEachChunk splits [0, n) into `workers` contiguous spans whose
 // boundaries (except the last) are multiples of align and runs fn(idx, lo,
-// hi) for each span on its own goroutine. With one resulting span, fn runs
-// on the calling goroutine. Unlike encode.Chunked it hands fn the chunk
-// index, which the two-phase reductions and the zero-run stitch-up need to
-// address per-chunk result slots.
+// hi) for each span. With one resulting span, fn runs on the calling
+// goroutine with zero spawns; with k spans, k-1 goroutines are spawned and
+// the caller runs the final span itself instead of idling in Wait (one
+// fewer handoff per fan-out, and tiny tensors never pay a spawn at all).
+// Unlike encode.Chunked it hands fn the chunk index, which the two-phase
+// reductions and the zero-run stitch-up need to address per-chunk result
+// slots.
 func forEachChunk(n, align, workers int, fn func(idx, lo, hi int)) int {
 	if n <= 0 {
 		return 0
@@ -119,6 +152,7 @@ func forEachChunk(n, align, workers int, fn func(idx, lo, hi int)) int {
 	rem := groups % workers
 	var wg sync.WaitGroup
 	lo := 0
+	lastLo := 0
 	for g := 0; g < workers; g++ {
 		cnt := per
 		if g < rem {
@@ -128,13 +162,19 @@ func forEachChunk(n, align, workers int, fn func(idx, lo, hi int)) int {
 		if hi > n {
 			hi = n
 		}
+		if g == workers-1 {
+			lastLo = lo
+			break
+		}
 		wg.Add(1)
+		noteSpawn()
 		go func(idx, lo, hi int) {
 			defer wg.Done()
 			fn(idx, lo, hi)
 		}(g, lo, hi)
 		lo = hi
 	}
+	fn(workers-1, lastLo, n)
 	wg.Wait()
 	return workers
 }
@@ -148,7 +188,7 @@ func AccumulateMaxAbs(buf, in []float32) float32 {
 		panic(fmt.Sprintf("kernel: AccumulateMaxAbs length mismatch %d != %d", len(buf), len(in)))
 	}
 	notePass("accumulate+maxabs", len(buf))
-	return accMaxAbsRange(buf, in)
+	return accMaxCore(buf, in)
 }
 
 // accMaxAbsRange is the unhooked serial core shared by the serial and
@@ -182,11 +222,11 @@ func AccumulateMaxAbsParallel(buf, in []float32, workers int) float32 {
 	}
 	notePass("accumulate+maxabs", len(buf))
 	if workers <= 1 || len(buf) == 0 {
-		return accMaxAbsRange(buf, in)
+		return accMaxCore(buf, in)
 	}
 	maxes := make([]float32, workers)
 	used := forEachChunk(len(buf), 1, workers, func(idx, lo, hi int) {
-		maxes[idx] = accMaxAbsRange(buf[lo:hi], in[lo:hi])
+		maxes[idx] = accMaxCore(buf[lo:hi], in[lo:hi])
 	})
 	var m float32
 	for _, v := range maxes[:used] {
@@ -202,7 +242,7 @@ func AccumulateMaxAbsParallel(buf, in []float32, workers int) float32 {
 // reduction with.
 func MaxAbs(data []float32) float32 {
 	notePass("maxabs", len(data))
-	return maxAbsRange(data)
+	return maxAbsCore(data)
 }
 
 // MaxAbsParallel is the two-phase chunked form of MaxAbs, bit-identical
@@ -210,11 +250,11 @@ func MaxAbs(data []float32) float32 {
 func MaxAbsParallel(data []float32, workers int) float32 {
 	notePass("maxabs", len(data))
 	if workers <= 1 || len(data) == 0 {
-		return maxAbsRange(data)
+		return maxAbsCore(data)
 	}
 	maxes := make([]float32, workers)
 	used := forEachChunk(len(data), 1, workers, func(idx, lo, hi int) {
-		maxes[idx] = maxAbsRange(data[lo:hi])
+		maxes[idx] = maxAbsCore(data[lo:hi])
 	})
 	var m float32
 	for _, v := range maxes[:used] {

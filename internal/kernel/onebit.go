@@ -1,0 +1,112 @@
+package kernel
+
+// Fused MQE 1-bit kernels. The staged baseline (quant.QuantizeOneBitInto
+// plus ErrorAccumulator and DequantizeOneBitInto) sweeps tensor memory
+// four times per step: accumulate, quantize (bit-pack + partition sums),
+// dequantize into scratch, residual subtract. The two kernels here fuse
+// the sweeps pairwise so the whole compress side touches tensor memory
+// exactly twice, matching the ternary pipeline's shape:
+//
+//	pass 1  AccumulateSignStats    buf += in fused with the sign bit-pack
+//	                               and the two partition sums
+//	pass 2  OneBitResidualParallel buf[i] -= (bit ? mPos : mNeg), the
+//	                               dequantize+residual fused and chunked
+//
+// Pass 1 is serial by contract: the partition means are float64 sums taken
+// in element-index order, and float64 addition is not associative, so any
+// chunked reordering would change the transmitted MPos/MNeg bits. Pass 2
+// is element-wise independent and parallelizes like the int8 encode.
+
+// AccumulateSignStats is the fused 1-bit compress pass 1: buf += in, the
+// sign bit of each updated element packed into bits (bit=1 for v >= 0,
+// little-endian within each byte), and the two partition sums accumulated
+// in element order. bits must hold (len(buf)+7)/8 bytes; it is cleared
+// first. The per-element operations and their order are exactly the
+// staged accumulate-then-QuantizeOneBitInto sequence, so bits, both sums,
+// and the residual state are bit-identical to the staged composition.
+func AccumulateSignStats(buf, in []float32, bits []byte) (mPos, mNeg float32) {
+	if len(buf) != len(in) {
+		panic("kernel: AccumulateSignStats length mismatch")
+	}
+	for i := range bits {
+		bits[i] = 0
+	}
+	notePass("accumulate+signstats", len(buf))
+	var sumPos, sumNeg float64
+	var nPos, nNeg int
+	buf = buf[:len(in)]
+	for i, v := range in {
+		s := buf[i] + v
+		buf[i] = s
+		if s >= 0 {
+			bits[i>>3] |= 1 << (uint(i) & 7)
+			sumPos += float64(s)
+			nPos++
+		} else {
+			sumNeg += float64(s)
+			nNeg++
+		}
+	}
+	if nPos > 0 {
+		mPos = float32(sumPos / float64(nPos))
+	}
+	if nNeg > 0 {
+		mNeg = float32(sumNeg / float64(nNeg))
+	}
+	return mPos, mNeg
+}
+
+// OneBitResidualParallel is the fused 1-bit compress pass 2: for every
+// element, buf[i] -= mPos when its transmitted bit is set, mNeg otherwise
+// — the staged dequantize-into-scratch followed by the residual subtract,
+// without the scratch tensor. Element-wise independent, so chunks (byte-
+// aligned in the bit buffer) produce bit-identical residuals for any
+// worker count. workers <= 1 runs serially.
+func OneBitResidualParallel(buf []float32, bits []byte, mPos, mNeg float32, workers int) {
+	notePass("onebit-residual", len(buf))
+	if workers <= 1 {
+		oneBitResidualRange(buf, bits, mPos, mNeg, 0, len(buf))
+		return
+	}
+	forEachChunk(len(buf), 8, workers, func(_, lo, hi int) {
+		oneBitResidualRange(buf, bits, mPos, mNeg, lo, hi)
+	})
+}
+
+func oneBitResidualRange(buf []float32, bits []byte, mPos, mNeg float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if bits[i>>3]&(1<<(uint(i)&7)) != 0 {
+			buf[i] -= mPos
+		} else {
+			buf[i] -= mNeg
+		}
+	}
+}
+
+// AddParallel is the plain chunked accumulate buf += in, for codecs whose
+// quantization statistics cannot fuse with the accumulation sweep (the
+// top-k sparsifier estimates its threshold from a sample, not a
+// reduction). Element-wise independent and bit-identical for any worker
+// count.
+func AddParallel(buf, in []float32, workers int) {
+	if len(buf) != len(in) {
+		panic("kernel: AddParallel length mismatch")
+	}
+	notePass("accumulate", len(buf))
+	if workers <= 1 {
+		addRange(buf, in, 0, len(buf))
+		return
+	}
+	forEachChunk(len(buf), 1, workers, func(_, lo, hi int) {
+		addRange(buf, in, lo, hi)
+	})
+}
+
+func addRange(buf, in []float32, lo, hi int) {
+	b := buf[lo:hi]
+	v := in[lo:hi]
+	b = b[:len(v)]
+	for i := range v {
+		b[i] += v[i]
+	}
+}

@@ -1,0 +1,61 @@
+package simd
+
+// HasAsm reports whether the assembly fast paths are compiled into this
+// binary. They additionally require AVX2 at runtime (Detect().AVX2).
+const HasAsm = true
+
+//go:noescape
+func quantPackBlocks(buf *float32, out *byte, blocks int, tpos, tneg, dqNeg, dqZero, dqPos float32)
+
+//go:noescape
+func addScaledLiteralsAsm(tab *[256][5]float32, body *byte, n int, dst *float32) int
+
+//go:noescape
+func setScaledLiteralsAsm(tab *[256][5]float32, body *byte, n int, dst *float32) int
+
+// QuantPackBlocks runs the AVX2 fused quantize→residual→quartic-pack over
+// blocks of 8 quartic groups (40 elements): for each element of buf it
+// computes the ternary digit against ±tpos, subtracts the selected
+// dequantization level (dqNeg/dqZero/dqPos) in place, and writes one
+// packed quartic byte per group to out. buf must hold blocks*40 elements
+// and out blocks*8 bytes. Requires AVX2; callers gate on Detect().AVX2.
+//
+// Bit-identity with the scalar kernel: the digit compares use the ordered
+// predicates GE_OS/LE_OS (false on NaN, like Go's >= and <=), the
+// residual subtract keeps buf as operand 1 exactly as the compiled scalar
+// SUBSS does (so NaN payload selection matches), and the pack is integer.
+func QuantPackBlocks(buf []float32, out []byte, blocks int, tpos, dqNeg, dqZero, dqPos float32) {
+	if blocks <= 0 {
+		return
+	}
+	_ = buf[blocks*40-1]
+	_ = out[blocks*8-1]
+	quantPackBlocks(&buf[0], &out[0], blocks, tpos, -tpos, dqNeg, dqZero, dqPos)
+}
+
+// AddScaledLiteralsAsm is the AVX LUT-row form of AddScaledLiterals: one
+// 16-byte + 4-byte row load and add per literal byte. Same contract and
+// bit-identity as the Go form (dst is operand 1 of every add). Requires
+// AVX; callers gate on Detect().AVX2.
+func AddScaledLiteralsAsm(tab *[256][5]float32, body []byte, dst []float32) int {
+	n := len(body)
+	if g := len(dst) / 5; n > g {
+		n = g
+	}
+	if n <= 0 {
+		return 0
+	}
+	return addScaledLiteralsAsm(tab, &body[0], n, &dst[0])
+}
+
+// SetScaledLiteralsAsm is the write form of AddScaledLiteralsAsm.
+func SetScaledLiteralsAsm(tab *[256][5]float32, body []byte, dst []float32) int {
+	n := len(body)
+	if g := len(dst) / 5; n > g {
+		n = g
+	}
+	if n <= 0 {
+		return 0
+	}
+	return setScaledLiteralsAsm(tab, &body[0], n, &dst[0])
+}

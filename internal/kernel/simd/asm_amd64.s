@@ -1,0 +1,230 @@
+#include "textflag.h"
+
+// The ternary digit of v against threshold t>0 is
+//
+//	q = 1 - (v >= t) + (v <= -t)   with the compares as 0/-1 masks,
+//
+// the selected dequantization level is dqPos/dqNeg/dqZero by the same
+// masks, and the packed quartic byte of digits d0..d4 is
+// 81*d0 + 27*d1 + 9*d2 + 3*d3 + d4.
+//
+// The pack uses a multiply trick: loading 8 little-endian digit bytes as
+// a uint64 x and multiplying by
+//
+//	C = 81<<32 | 27<<24 | 9<<16 | 3<<8 | 1 = 0x511B090301
+//
+// makes byte 4 of x*C exactly 81*d0+27*d1+9*d2+3*d3+d4: every partial
+// product below byte 4 sums to < 256 for digits <= 2 (worst case 80), so
+// no carry reaches byte 4, and bytes beyond d4 only contribute to bytes
+// >= 5. One MOVQ/IMULQ/SHRQ/MOVB per group replaces 5 scalar multiplies.
+
+// func quantPackBlocks(buf *float32, out *byte, blocks int, tpos, tneg, dqNeg, dqZero, dqPos float32)
+//
+// Register plan per 8-float vector:
+//	Y0 = v            Y1 = mask(v >= tpos)    Y2 = mask(v <= tneg)
+//	Y3 = digits       Y4 = dequant selection  Y5 = residual
+// Constants: Y15=tpos Y14=tneg Y13=dqNeg Y12=dqZero Y11=dqPos Y10=int32(1)
+// Digit bytes for one block (8 groups = 5 vectors) land in 40 stack
+// bytes; the combine loop folds each 5-byte run into one wire byte.
+TEXT ·quantPackBlocks(SB), NOSPLIT, $48-44
+	MOVQ buf+0(FP), SI
+	MOVQ out+8(FP), DI
+	MOVQ blocks+16(FP), CX
+	VBROADCASTSS tpos+24(FP), Y15
+	VBROADCASTSS tneg+28(FP), Y14
+	VBROADCASTSS dqNeg+32(FP), Y13
+	VBROADCASTSS dqZero+36(FP), Y12
+	VBROADCASTSS dqPos+40(FP), Y11
+	VPCMPEQD Y10, Y10, Y10
+	VPSRLD $31, Y10, Y10
+	MOVQ $0x511B090301, R9
+
+blockloop:
+	TESTQ CX, CX
+	JZ done
+
+	// vector 0: elements 0..7 -> digit bytes 0..7 on the stack
+	VMOVUPS (SI), Y0
+	VCMPPS $13, Y15, Y0, Y1    // GE_OS: false on NaN, like Go >=
+	VCMPPS $2, Y14, Y0, Y2     // LE_OS
+	VPSUBD Y1, Y10, Y3
+	VPADDD Y2, Y3, Y3
+	VBLENDVPS Y1, Y11, Y12, Y4
+	VBLENDVPS Y2, Y13, Y4, Y4
+	VSUBPS Y4, Y0, Y5          // residual = v - dq[q], v as operand 1
+	VMOVUPS Y5, (SI)
+	VPACKSSDW Y3, Y3, Y6       // dwords -> words, per 128-bit lane
+	VPERMQ $0x08, Y6, Y6       // gather the two low-qword word runs
+	VPACKUSWB X6, X6, X6       // words -> bytes
+	VMOVQ X6, 0(SP)
+
+	// vector 1
+	VMOVUPS 32(SI), Y0
+	VCMPPS $13, Y15, Y0, Y1
+	VCMPPS $2, Y14, Y0, Y2
+	VPSUBD Y1, Y10, Y3
+	VPADDD Y2, Y3, Y3
+	VBLENDVPS Y1, Y11, Y12, Y4
+	VBLENDVPS Y2, Y13, Y4, Y4
+	VSUBPS Y4, Y0, Y5
+	VMOVUPS Y5, 32(SI)
+	VPACKSSDW Y3, Y3, Y6
+	VPERMQ $0x08, Y6, Y6
+	VPACKUSWB X6, X6, X6
+	VMOVQ X6, 8(SP)
+
+	// vector 2
+	VMOVUPS 64(SI), Y0
+	VCMPPS $13, Y15, Y0, Y1
+	VCMPPS $2, Y14, Y0, Y2
+	VPSUBD Y1, Y10, Y3
+	VPADDD Y2, Y3, Y3
+	VBLENDVPS Y1, Y11, Y12, Y4
+	VBLENDVPS Y2, Y13, Y4, Y4
+	VSUBPS Y4, Y0, Y5
+	VMOVUPS Y5, 64(SI)
+	VPACKSSDW Y3, Y3, Y6
+	VPERMQ $0x08, Y6, Y6
+	VPACKUSWB X6, X6, X6
+	VMOVQ X6, 16(SP)
+
+	// vector 3
+	VMOVUPS 96(SI), Y0
+	VCMPPS $13, Y15, Y0, Y1
+	VCMPPS $2, Y14, Y0, Y2
+	VPSUBD Y1, Y10, Y3
+	VPADDD Y2, Y3, Y3
+	VBLENDVPS Y1, Y11, Y12, Y4
+	VBLENDVPS Y2, Y13, Y4, Y4
+	VSUBPS Y4, Y0, Y5
+	VMOVUPS Y5, 96(SI)
+	VPACKSSDW Y3, Y3, Y6
+	VPERMQ $0x08, Y6, Y6
+	VPACKUSWB X6, X6, X6
+	VMOVQ X6, 24(SP)
+
+	// vector 4
+	VMOVUPS 128(SI), Y0
+	VCMPPS $13, Y15, Y0, Y1
+	VCMPPS $2, Y14, Y0, Y2
+	VPSUBD Y1, Y10, Y3
+	VPADDD Y2, Y3, Y3
+	VBLENDVPS Y1, Y11, Y12, Y4
+	VBLENDVPS Y2, Y13, Y4, Y4
+	VSUBPS Y4, Y0, Y5
+	VMOVUPS Y5, 128(SI)
+	VPACKSSDW Y3, Y3, Y6
+	VPERMQ $0x08, Y6, Y6
+	VPACKUSWB X6, X6, X6
+	VMOVQ X6, 32(SP)
+
+	// combine: groups g=0..7 read 8 digit bytes at 5g, emit byte 4 of x*C
+	MOVQ 0(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, (DI)
+	MOVQ 5(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 1(DI)
+	MOVQ 10(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 2(DI)
+	MOVQ 15(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 3(DI)
+	MOVQ 20(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 4(DI)
+	MOVQ 25(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 5(DI)
+	MOVQ 30(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 6(DI)
+	MOVQ 35(SP), AX
+	IMULQ R9, AX
+	SHRQ $32, AX
+	MOVB AX, 7(DI)
+
+	ADDQ $160, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP blockloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func addScaledLiteralsAsm(tab *[256][5]float32, body *byte, n int, dst *float32) int
+//
+// Per literal byte b: dst[0:5] += tab[b] as one 16-byte VADDPS plus one
+// scalar VADDSS (the 16-byte loads are safe because tab has 256 padded
+// rows, so row+16 is always in bounds). dst is operand 1 of both adds to
+// match the scalar loop's NaN behavior. Exits at the first marker byte
+// (> 242), returning bytes consumed.
+TEXT ·addScaledLiteralsAsm(SB), NOSPLIT, $0-40
+	MOVQ tab+0(FP), R8
+	MOVQ body+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ dst+24(FP), DI
+	XORQ DX, DX
+
+addloop:
+	CMPQ DX, CX
+	JGE adddone
+	MOVBLZX (SI)(DX*1), AX
+	CMPL AX, $242
+	JA adddone
+	LEAQ (AX)(AX*4), AX        // row offset = b * 20
+	SHLQ $2, AX
+	VMOVUPS (R8)(AX*1), X0
+	VMOVSS 16(R8)(AX*1), X1
+	VMOVUPS (DI), X2
+	VMOVSS 16(DI), X3
+	VADDPS X0, X2, X2          // dst + row, dst as operand 1
+	VADDSS X1, X3, X3
+	VMOVUPS X2, (DI)
+	VMOVSS X3, 16(DI)
+	ADDQ $20, DI
+	INCQ DX
+	JMP addloop
+
+adddone:
+	MOVQ DX, ret+32(FP)
+	RET
+
+// func setScaledLiteralsAsm(tab *[256][5]float32, body *byte, n int, dst *float32) int
+//
+// Write form: dst[0:5] = tab[b].
+TEXT ·setScaledLiteralsAsm(SB), NOSPLIT, $0-40
+	MOVQ tab+0(FP), R8
+	MOVQ body+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ dst+24(FP), DI
+	XORQ DX, DX
+
+setloop:
+	CMPQ DX, CX
+	JGE setdone
+	MOVBLZX (SI)(DX*1), AX
+	CMPL AX, $242
+	JA setdone
+	LEAQ (AX)(AX*4), AX
+	SHLQ $2, AX
+	VMOVUPS (R8)(AX*1), X0
+	VMOVSS 16(R8)(AX*1), X1
+	VMOVUPS X0, (DI)
+	VMOVSS X1, 16(DI)
+	ADDQ $20, DI
+	INCQ DX
+	JMP setloop
+
+setdone:
+	MOVQ DX, ret+32(FP)
+	RET

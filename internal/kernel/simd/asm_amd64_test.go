@@ -1,0 +1,80 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refQuantPack mirrors the scalar kernel's quantize→residual→pack loop
+// over full quartic groups: two independent threshold compares (so NaN
+// quantizes to the zero digit), residual via v - dq[q] with v first, and
+// the quartic byte folded most-significant-digit-first.
+func refQuantPack(buf []float32, out []byte, groups int, tpos, dqNeg, dqZero, dqPos float32) {
+	for g := 0; g < groups; g++ {
+		b := 0
+		for k := 0; k < 5; k++ {
+			v := buf[g*5+k]
+			q := 1
+			d := dqZero
+			if v >= tpos {
+				q = 2
+				d = dqPos
+			}
+			if v <= -tpos {
+				q = 0
+				d = dqNeg
+			}
+			buf[g*5+k] = v - d
+			b = b*3 + q
+		}
+		out[g] = byte(b)
+	}
+}
+
+func TestQuantPackBlocksMatchesScalar(t *testing.T) {
+	if !Detect().AVX2 {
+		t.Skip("no AVX2")
+	}
+	rng := rand.New(rand.NewSource(7))
+	type mcase struct{ tpos, dqNeg, dqZero, dqPos float32 }
+	inf := float32(math.Inf(1))
+	cases := []mcase{
+		{0.5, -1.5, 0, 1.5},
+		{1e-30, -2e-30, 0, 2e-30},
+		{float32(math.NaN()), -1, 0, 1},
+		{0.5, -inf, float32(math.NaN()), inf},
+	}
+	for _, mc := range cases {
+		for _, blocks := range []int{1, 2, 3, 7} {
+			n := blocks * 40
+			buf := make([]float32, n)
+			fillMixed(rng, buf)
+			refBuf := append([]float32(nil), buf...)
+			out := make([]byte, blocks*8)
+			refOut := make([]byte, blocks*8)
+			refQuantPack(refBuf, refOut, blocks*8, mc.tpos, mc.dqNeg, mc.dqZero, mc.dqPos)
+			QuantPackBlocks(buf, out, blocks, mc.tpos, mc.dqNeg, mc.dqZero, mc.dqPos)
+			for g := range out {
+				if out[g] != refOut[g] {
+					t.Fatalf("tpos=%v blocks=%d: byte %d = %d, want %d", mc.tpos, blocks, g, out[g], refOut[g])
+				}
+			}
+			for i := range buf {
+				if !eqf(buf[i], refBuf[i]) {
+					t.Fatalf("tpos=%v blocks=%d: residual[%d] %x != %x (v=%x)", mc.tpos, blocks, i, math.Float32bits(buf[i]), math.Float32bits(refBuf[i]), math.Float32bits(refBuf[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestScaledLiteralsAsmMatchesScalar(t *testing.T) {
+	if !Detect().AVX2 {
+		t.Skip("no AVX2")
+	}
+	for _, m := range []float32{1.5, 0.25, float32(math.Inf(1)), float32(math.NaN()), math.Float32frombits(0x80000000)} {
+		testLiteralForms(t, "asm-add", m, AddScaledLiteralsAsm, refAddLiterals)
+		testLiteralForms(t, "asm-set", m, SetScaledLiteralsAsm, refSetLiterals)
+	}
+}

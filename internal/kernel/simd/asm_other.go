@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package simd
+
+// HasAsm reports whether the assembly fast paths are compiled into this
+// binary; on non-amd64 the dispatch never selects the asm tier, so these
+// stubs are unreachable.
+const HasAsm = false
+
+func QuantPackBlocks(buf []float32, out []byte, blocks int, tpos, dqNeg, dqZero, dqPos float32) {
+	panic("simd: no assembly kernels on this architecture")
+}
+
+func AddScaledLiteralsAsm(tab *[256][5]float32, body []byte, dst []float32) int {
+	panic("simd: no assembly kernels on this architecture")
+}
+
+func SetScaledLiteralsAsm(tab *[256][5]float32, body []byte, dst []float32) int {
+	panic("simd: no assembly kernels on this architecture")
+}

@@ -1,0 +1,39 @@
+package simd
+
+// cpuid executes the CPUID instruction with the given leaf (EAX) and
+// sub-leaf (ECX). Implemented in cpuid_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which reports which
+// vector register state the OS saves across context switches. Only valid
+// when CPUID leaf 1 reports OSXSAVE. Implemented in cpuid_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+const (
+	cpuid1ECXOSXSAVE = 1 << 27
+	cpuid1ECXAVX     = 1 << 28
+	cpuid7EBXAVX2    = 1 << 5
+	xcr0XMM          = 1 << 1
+	xcr0YMM          = 1 << 2
+)
+
+func detect() Features {
+	var f Features
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuid1ECXOSXSAVE == 0 || ecx1&cpuid1ECXAVX == 0 {
+		return f
+	}
+	// The OS must save YMM state or AVX registers are silently corrupted
+	// across context switches.
+	xcr0, _ := xgetbv()
+	if xcr0&(xcr0XMM|xcr0YMM) != xcr0XMM|xcr0YMM {
+		return f
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	f.AVX2 = ebx7&cpuid7EBXAVX2 != 0
+	return f
+}

@@ -1,0 +1,44 @@
+// Package simd holds the hand-vectorized cores behind the kernel
+// package's CPU-feature-dispatched registry (kernel dispatch, PR 6 of the
+// roadmap): explicitly unrolled, branch-minimized Go forms of the three
+// hot inner loops — the fused accumulate+|max| reduction, the ternary
+// quantize→quartic-pack encode, and the 243-entry LUT decode-add — plus
+// amd64 assembly fast paths for the byte-level pack and LUT loops, where
+// pure Go cannot reach the instruction shapes the loops need (packed
+// compares, byte shuffles, 20-byte row copies).
+//
+// Every core is bit-identical to the scalar kernels in package kernel for
+// every input — including ±Inf, negative zero, and denormals — with one
+// precisely-bounded exception: when BOTH operands of an accumulate are
+// NaN, the surviving payload is whichever operand the hardware add kept,
+// and Go itself does not pin ADDSS operand order between differently
+// shaped code bodies (SSA canonicalization commutes float adds), so the
+// payload may differ between tiers. NaN-ness itself is exact, a NaN slot
+// always quantizes to the zero digit, and wire bytes therefore remain
+// byte-identical for every input on every tier; only the payload bits of
+// floats that are NaN on all tiers can vary. The kernel package's
+// differential fuzz oracles sweep all tiers under exactly this relation.
+//
+// This package has no dispatch logic of its own: it exposes raw cores and
+// the Features report, and package kernel decides which core runs
+// (THREELC_KERNEL / cpuid; see kernel.SetTier).
+package simd
+
+// Features reports the CPU capabilities the kernel dispatch consults.
+// On amd64 it is populated from CPUID/XGETBV at Detect time; on other
+// architectures every field is false and the dispatch stays on the
+// portable tiers.
+type Features struct {
+	// AVX2 is true when the CPU and OS support 256-bit AVX2 integer and
+	// float vectors (CPUID leaf 7 AVX2, leaf 1 AVX+OSXSAVE, and XCR0
+	// enabling XMM+YMM state) — the x86-64-v3 baseline the assembly fast
+	// paths require.
+	AVX2 bool
+}
+
+// Detect probes the CPU once and returns its feature report. It is cheap
+// enough to call repeatedly (two CPUID leaves and one XGETBV), but the
+// kernel package calls it once at init.
+func Detect() Features {
+	return detect()
+}

@@ -1,0 +1,97 @@
+package kernel
+
+import (
+	"testing"
+
+	"threelc/internal/tensor"
+)
+
+// Tier-sweep benchmarks for the dispatched kernel registry: the same
+// workload on each available tier, so benchcheck can gate the vectorized
+// and assembly tiers against the scalar reference by name
+// (EncodeTernaryKernel/asm vs EncodeTernaryKernel/scalar, etc.). Serial
+// kernels: 0 allocs/op under -benchmem.
+
+// BenchmarkEncodeTernaryKernel measures the fused ternary
+// quantize→pack→zero-run encode pass at 1M elements per tier. The encode
+// consumes the accumulated buffer (it leaves the residual behind), so
+// each iteration restores the buffer from a snapshot outside the timer.
+func BenchmarkEncodeTernaryKernel(b *testing.B) {
+	const n = 1 << 20
+	orig := ActiveTier()
+	defer SetTier(orig)
+	in := tensor.New(n)
+	fillRand(in, 1, 0.01)
+	snapshot := make([]float32, n)
+	m := float64(AccumulateMaxAbs(snapshot, in.Data())) * 1.75
+	buf := make([]float32, n)
+	var wire []byte
+	for _, tier := range AvailableTiers() {
+		b.Run(tier.String()+"/1M", func(b *testing.B) {
+			SetTier(tier)
+			copy(buf, snapshot)
+			wire = EncodeTernary(buf, m, true, wire[:0]) // converge wire capacity
+			b.SetBytes(4 * int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(buf, snapshot)
+				b.StartTimer()
+				wire = EncodeTernary(buf, m, true, wire[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeAddKernel measures the LUT decode-accumulate pass at 1M
+// elements per tier (the server-side aggregation inner loop).
+func BenchmarkDecodeAddKernel(b *testing.B) {
+	const n = 1 << 20
+	orig := ActiveTier()
+	defer SetTier(orig)
+	buf := make([]float32, n)
+	in := tensor.New(n)
+	fillRand(in, 2, 0.01)
+	m := float64(AccumulateMaxAbs(buf, in.Data())) * 1.75
+	wire := EncodeTernary(buf, m, true, nil)
+	acc := make([]float32, n)
+	for _, tier := range AvailableTiers() {
+		b.Run(tier.String()+"/1M", func(b *testing.B) {
+			SetTier(tier)
+			if err := DecodeTernaryAdd(wire, true, float32(m), acc); err != nil {
+				b.Fatal(err) // also warms the ScaledLUT pool
+			}
+			b.SetBytes(4 * int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeTernaryAdd(wire, true, float32(m), acc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccumulateMaxAbsKernel measures the fused error-accumulate +
+// |max| reduction at 1M elements per tier (compress pass 1).
+func BenchmarkAccumulateMaxAbsKernel(b *testing.B) {
+	const n = 1 << 20
+	orig := ActiveTier()
+	defer SetTier(orig)
+	in := tensor.New(n)
+	fillRand(in, 3, 0.01)
+	buf := make([]float32, n)
+	for _, tier := range AvailableTiers() {
+		b.Run(tier.String()+"/1M", func(b *testing.B) {
+			SetTier(tier)
+			b.SetBytes(4 * int64(n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AccumulateMaxAbs(buf, in.Data())
+			}
+		})
+	}
+}

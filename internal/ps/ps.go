@@ -90,11 +90,89 @@ type Config struct {
 	// sweep) instead of the fused single-pass kernels. The two are
 	// bit-identical for every codec (pinned by differential tests); the
 	// staged path remains as the reference implementation and the
-	// benchmark baseline.
+	// benchmark baseline. It also disables small-tensor batching (the
+	// reference configuration keeps every per-tensor stage separate).
 	StagedAggregate bool
+	// SmallTensorElems coalesces a node's compressed 3LC tensors with
+	// fewer elements than this into one batched compression unit
+	// (compress.TernaryBatch): their error-accumulation buffers share a
+	// contiguous arena and each push/pull runs them as a single pool job
+	// with serial kernels and a shared wire arena, eliminating per-tensor
+	// dispatch, pool scheduling, and wire bookkeeping on a model's long
+	// tail of bias/scale vectors. Wires and state are bit-identical to
+	// unbatched contexts. Zero means DefaultSmallTensorElems; negative
+	// disables batching. Only SchemeThreeLC tensors batch (other schemes
+	// and exempt tensors keep per-tensor contexts), and batching engages
+	// only when at least two tensors qualify.
+	SmallTensorElems int
 	// Optimizer configures the server-side SGD.
 	Optimizer opt.SGDConfig
 }
+
+// DefaultSmallTensorElems is the batching threshold Config.SmallTensorElems
+// selects when zero: tensors this size compress in a few microseconds, so
+// per-tensor pool dispatch is a measurable fraction of their cost.
+const DefaultSmallTensorElems = 4096
+
+// batchThreshold resolves the small-tensor batching threshold: 0 means
+// batching is disabled (negative setting, or the staged reference
+// configuration).
+func (c Config) batchThreshold() int {
+	if c.SmallTensorElems < 0 || c.StagedAggregate {
+		return 0
+	}
+	if c.SmallTensorElems == 0 {
+		return DefaultSmallTensorElems
+	}
+	return c.SmallTensorElems
+}
+
+// batchEligible reports whether tensor p joins the node's ternary batch:
+// a compressed 3LC tensor below the batching threshold.
+func (c Config) batchEligible(p *nn.Param) bool {
+	thr := c.batchThreshold()
+	return thr > 0 && c.Scheme == compress.SchemeThreeLC &&
+		c.shouldCompress(p) && p.W.Len() < thr
+}
+
+// buildBatch partitions a node's tensors into the coalesced tiny-tensor
+// batch and the per-tensor job list. It returns the batch (nil when
+// fewer than two tensors qualify — one tiny tensor gains nothing from an
+// arena), the model indices of its members in member order, and the pool
+// job list: one entry per unbatched tensor holding its model index, plus
+// a single batchJob sentinel covering every member. Job order does not
+// affect bytes (the pool is dynamic and per-tensor state is
+// independent); the batch job leads so the longest job starts first.
+func (c Config) buildBatch(params []*nn.Param) (batch *compress.TernaryBatch, batchIdx, jobs []int) {
+	var shapes [][]int
+	for i, p := range params {
+		if c.batchEligible(p) {
+			batchIdx = append(batchIdx, i)
+			shapes = append(shapes, p.W.Shape())
+		}
+	}
+	if len(batchIdx) < 2 {
+		jobs = make([]int, len(params))
+		for i := range jobs {
+			jobs[i] = i
+		}
+		return nil, nil, jobs
+	}
+	jobs = append(jobs, batchJob)
+	inBatch := make(map[int]bool, len(batchIdx))
+	for _, i := range batchIdx {
+		inBatch[i] = true
+	}
+	for i := range params {
+		if !inBatch[i] {
+			jobs = append(jobs, i)
+		}
+	}
+	return compress.NewTernaryBatch(shapes, c.Opts), batchIdx, jobs
+}
+
+// batchJob is the job-list sentinel for the coalesced tiny-tensor batch.
+const batchJob = -1
 
 // kernelBudget splits the node's goroutine budget between the two levels
 // of fan-out: the per-tensor pool takes min(par, tensors) workers and
@@ -120,10 +198,17 @@ func (c Config) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// spawnHook, when non-nil, is called once per goroutine parallelFor
+// spawns — the scheduling test double for the caller-runs-too pool shape.
+// Production code must leave it nil.
+var spawnHook func()
+
 // parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines — a
 // bounded pool fed by an atomic counter, so uneven per-tensor costs (one
 // conv layer dwarfing the biases) balance dynamically. workers <= 1 runs
-// serially on the caller's goroutine.
+// serially on the caller's goroutine with zero spawns; otherwise workers-1
+// goroutines are spawned and the caller joins the pool itself instead of
+// idling in Wait.
 func parallelFor(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -136,19 +221,26 @@ func parallelFor(n, workers int, fn func(i int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
+	loop := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(workers - 1)
+	for g := 0; g < workers-1; g++ {
+		if spawnHook != nil {
+			spawnHook()
+		}
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
+			loop()
 		}()
 	}
+	loop()
 	wg.Wait()
 }
 
@@ -207,6 +299,13 @@ type Server struct {
 	accMax    []float32                 // per-tensor max|acc| from the fused optimizer sweep
 	pushes    int
 
+	// Small-tensor batching (Config.SmallTensorElems): tiny 3LC pull
+	// contexts coalesced over one arena, run as a single pool job.
+	batch    *compress.TernaryBatch
+	batchIdx []int     // model indices of batch members, in member order
+	jobs     []int     // pool job list: model index, or batchJob sentinel
+	batchMax []float32 // argument slot: accMax gathered in member order
+
 	// Bound once at construction so the parallelFor call sites pass a
 	// stored func value instead of a closure literal — closure allocation
 	// is the last per-step heap traffic on an otherwise zero-alloc path.
@@ -251,12 +350,23 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 		optimizer: opt.NewSGD(cfg.Optimizer),
 		params:    params,
 	}
+	s.batch, s.batchIdx, s.jobs = cfg.buildBatch(params)
+	member := 0
 	for i, p := range params {
 		gi := i
 		if globalIdx != nil {
 			gi = globalIdx[i]
 		}
-		s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(gi), len(s.params))) // "SERVER"
+		if member < len(s.batchIdx) && s.batchIdx[member] == i {
+			// Batched tiny tensor: the context is the batch's member, so
+			// per-tensor decode, checkpointing (state.go walks pullCtx),
+			// and any direct CompressInto work unchanged — only the
+			// pull-pack job routes through the coalesced encode.
+			s.pullCtx = append(s.pullCtx, s.batch.Member(member))
+			member++
+		} else {
+			s.pullCtx = append(s.pullCtx, cfg.newContext(p, 0x5345525645520000+uint64(gi), len(s.params))) // "SERVER"
+		}
 		s.gradSum = append(s.gradSum, tensor.New(p.W.Shape()...))
 		s.delta = append(s.delta, tensor.New(p.W.Shape()...))
 		if cfg.StagedAggregate {
@@ -265,6 +375,7 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 			s.decode = append(s.decode, tensor.New(p.W.Shape()...))
 		}
 	}
+	s.batchMax = make([]float32, len(s.batchIdx))
 	s.decPar = cfg.kernelBudget(len(s.params))
 	s.dirty = make([]bool, len(s.params))
 	s.pullWires = make([][]byte, len(s.params))
@@ -276,8 +387,8 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 			s.preAcc[i] = pa
 		}
 	}
-	s.addPushFn = s.addPushOne
-	s.pullPackFn = s.pullPackOne
+	s.addPushFn = s.addPushJob
+	s.pullPackFn = s.pullPackJob
 	s.accForFn = s.accBufFor
 	s.gradForFn = s.gradBufFor
 	return s
@@ -339,7 +450,7 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 	}
 	start := time.Now()
 	s.pushWorkerID, s.pushSrc = workerID, wires
-	parallelFor(len(s.params), s.cfg.parallelism(), s.addPushFn)
+	parallelFor(len(s.jobs), s.cfg.parallelism(), s.addPushFn)
 	s.pushSrc = nil
 	for _, err := range s.errs {
 		if err != nil {
@@ -348,6 +459,22 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 	}
 	s.pushes++
 	return time.Since(start), nil
+}
+
+// addPushJob runs pool job j of the push staged in pushWorkerID/pushSrc:
+// one tensor, or — for the batch job — every batched tiny tensor back to
+// back on this goroutine (their individual decodes cost less than a pool
+// hand-off; per-tensor decode-add semantics are unchanged, so the
+// aggregate stays bit-identical to unbatched).
+func (s *Server) addPushJob(j int) {
+	i := s.jobs[j]
+	if i != batchJob {
+		s.addPushOne(i)
+		return
+	}
+	for _, bi := range s.batchIdx {
+		s.addPushOne(bi)
+	}
 }
 
 // addPushOne decode-accumulates tensor i of the push staged in
@@ -472,8 +599,29 @@ func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 	// worker pool. The returned slices are valid until the next FinishStep
 	// call; callers that retain pulls across steps must copy them.
 	start := time.Now()
-	parallelFor(len(s.params), s.cfg.parallelism(), s.pullPackFn)
+	parallelFor(len(s.jobs), s.cfg.parallelism(), s.pullPackFn)
 	return s.pullWires, time.Since(start), nil
+}
+
+// pullPackJob runs pull-compression pool job j: one tensor, or — for the
+// batch job — the coalesced encode of every batched tiny tensor. The
+// fused optimizer sweep already folded each member's delta into the
+// shared arena (members' AccData slices tile it) and reduced accMax, so
+// the batch runs encode-only, one contiguous sweep emitting every
+// member's wire into the shared wire arena.
+func (s *Server) pullPackJob(j int) {
+	i := s.jobs[j]
+	if i != batchJob {
+		s.pullPackOne(i)
+		return
+	}
+	for k, bi := range s.batchIdx {
+		s.batchMax[k] = s.accMax[bi]
+	}
+	wires := s.batch.EncodePreAccumulated(s.batchMax)
+	for k, bi := range s.batchIdx {
+		s.pullWires[bi] = wires[k]
+	}
 }
 
 // pullPackOne compresses model-delta tensor i into its recycled buffer:
@@ -507,18 +655,34 @@ type Worker struct {
 	errs      []error          // per-tensor error slots for parallel decode, recycled
 	decPar    int              // per-tensor kernel fan-out for fused decode-add
 
-	// Bound method values + argument slot, mirroring Server (see there).
-	compressFn func(i int)
-	applyFn    func(i int)
-	pullSrc    [][]byte
+	// Small-tensor batching, mirroring Server: tiny 3LC push contexts
+	// coalesced over one arena, run as a single pool job.
+	batch    *compress.TernaryBatch
+	batchIdx []int
+	jobs     []int
+
+	// Bound method values + argument slots, mirroring Server (see there).
+	compressFn   func(j int)
+	applyFn      func(j int)
+	batchGradFn  func(k int) []float32
+	pullSrc      [][]byte
+	streamEmitFn func(i int, wire []byte) // argument slot for CompressGradsStream
+	streamFn     func(j int)
 }
 
 // NewWorker wraps a local model replica (which must start identical to the
 // server's global model).
 func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
 	w := &Worker{ID: id, Model: model, cfg: cfg, params: model.Params()}
+	w.batch, w.batchIdx, w.jobs = cfg.buildBatch(w.params)
+	member := 0
 	for i, p := range w.params {
-		w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i), len(w.params))) // "WORK"
+		if member < len(w.batchIdx) && w.batchIdx[member] == i {
+			w.pushCtx = append(w.pushCtx, w.batch.Member(member))
+			member++
+		} else {
+			w.pushCtx = append(w.pushCtx, cfg.newContext(p, 0x574f524b00000000+uint64(id)<<16+uint64(i), len(w.params))) // "WORK"
+		}
 		if cfg.StagedAggregate {
 			w.scratch = append(w.scratch, tensor.New(p.W.Shape()...))
 		}
@@ -526,8 +690,10 @@ func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
 	w.decPar = cfg.kernelBudget(len(w.params))
 	w.pushWires = make([][]byte, len(w.params))
 	w.errs = make([]error, len(w.params))
-	w.compressFn = w.compressOne
-	w.applyFn = w.applyOne
+	w.compressFn = w.compressJob
+	w.applyFn = w.applyJob
+	w.batchGradFn = w.batchGrad
+	w.streamFn = w.streamJob
 	return w
 }
 
@@ -540,8 +706,29 @@ func NewWorker(id int, model *nn.Model, cfg Config) *Worker {
 // next CompressGrads call on this worker.
 func (w *Worker) CompressGrads() ([][]byte, time.Duration) {
 	start := time.Now()
-	parallelFor(len(w.params), w.cfg.parallelism(), w.compressFn)
+	parallelFor(len(w.jobs), w.cfg.parallelism(), w.compressFn)
 	return w.pushWires, time.Since(start)
+}
+
+// compressJob runs compression pool job j: one tensor, or — for the
+// batch job — the coalesced CompressAll over every batched tiny tensor
+// (one arena-order sweep of their error state, one shared wire arena, no
+// per-tensor dispatch).
+func (w *Worker) compressJob(j int) {
+	i := w.jobs[j]
+	if i != batchJob {
+		w.compressOne(i)
+		return
+	}
+	wires := w.batch.CompressAll(w.batchGradFn)
+	for k, bi := range w.batchIdx {
+		w.pushWires[bi] = wires[k]
+	}
+}
+
+// batchGrad hands CompressAll batch member k's gradient data.
+func (w *Worker) batchGrad(k int) []float32 {
+	return w.params[w.batchIdx[k]].G.Data()
 }
 
 // compressOne compresses gradient tensor i into its recycled buffer.
@@ -560,11 +747,28 @@ func (w *Worker) compressOne(i int) {
 // CompressGrads.
 func (w *Worker) CompressGradsStream(emit func(i int, wire []byte)) ([][]byte, time.Duration) {
 	start := time.Now()
-	parallelFor(len(w.params), w.cfg.parallelism(), func(i int) {
-		w.compressOne(i)
-		emit(i, w.pushWires[i])
-	})
+	w.streamEmitFn = emit
+	parallelFor(len(w.jobs), w.cfg.parallelism(), w.streamFn)
+	w.streamEmitFn = nil
 	return w.pushWires, time.Since(start)
+}
+
+// streamJob is compressJob plus per-tensor emission: batched tiny
+// tensors are emitted member by member the moment the coalesced encode
+// finishes (their wires materialize together, so there is nothing
+// earlier to overlap with).
+func (w *Worker) streamJob(j int) {
+	i := w.jobs[j]
+	if i != batchJob {
+		w.compressOne(i)
+		w.streamEmitFn(i, w.pushWires[i])
+		return
+	}
+	wires := w.batch.CompressAll(w.batchGradFn)
+	for k, bi := range w.batchIdx {
+		w.pushWires[bi] = wires[k]
+		w.streamEmitFn(bi, wires[k])
+	}
 }
 
 // ApplyPull decompresses the shared model-delta wires and applies them to
@@ -576,7 +780,7 @@ func (w *Worker) ApplyPull(wires [][]byte) (time.Duration, error) {
 	}
 	start := time.Now()
 	w.pullSrc = wires
-	parallelFor(len(w.params), w.cfg.parallelism(), w.applyFn)
+	parallelFor(len(w.jobs), w.cfg.parallelism(), w.applyFn)
 	w.pullSrc = nil
 	for _, err := range w.errs {
 		if err != nil {
@@ -584,6 +788,19 @@ func (w *Worker) ApplyPull(wires [][]byte) (time.Duration, error) {
 		}
 	}
 	return time.Since(start), nil
+}
+
+// applyJob runs pull-apply pool job j: one tensor, or every batched tiny
+// tensor back to back (per-tensor decode-add semantics unchanged).
+func (w *Worker) applyJob(j int) {
+	i := w.jobs[j]
+	if i != batchJob {
+		w.applyOne(i)
+		return
+	}
+	for _, bi := range w.batchIdx {
+		w.applyOne(bi)
+	}
 }
 
 // applyOne decode-applies pull tensor i of the staged wire set to the

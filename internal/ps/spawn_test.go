@@ -1,0 +1,43 @@
+package ps
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForSpawnCounts pins the caller-joins-the-pool shape: a pool
+// of w workers spawns exactly w-1 goroutines (the caller drains the atomic
+// counter too), a serial run spawns none, and every index runs exactly
+// once either way.
+func TestParallelForSpawnCounts(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, workers int
+		wantGoro   int
+	}{
+		{"serial", 10, 1, 0},
+		{"single item", 1, 8, 0},
+		{"pool of four", 100, 4, 3},
+		{"more workers than items", 3, 8, 2},
+		{"empty", 0, 8, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var spawns atomic.Int64
+			spawnHook = func() { spawns.Add(1) }
+			defer func() { spawnHook = nil }()
+			seen := make([]atomic.Int64, tc.n)
+			parallelFor(tc.n, tc.workers, func(i int) {
+				seen[i].Add(1)
+			})
+			if int(spawns.Load()) != tc.wantGoro {
+				t.Errorf("spawned %d goroutines, want %d", spawns.Load(), tc.wantGoro)
+			}
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Errorf("index %d ran %d times, want 1", i, seen[i].Load())
+				}
+			}
+		})
+	}
+}

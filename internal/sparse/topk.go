@@ -53,9 +53,12 @@ func NewSparsifier(fraction float64, rng *tensor.RNG) *Sparsifier {
 // and restore the selection stream (see tensor.RNG.State).
 func (s *Sparsifier) RNG() *tensor.RNG { return s.rng }
 
-// threshold estimates the magnitude cutoff that keeps ~Fraction of the
-// elements, by sorting a sample of |values|.
-func (s *Sparsifier) threshold(data []float32) float32 {
+// Threshold estimates the magnitude cutoff that keeps ~Fraction of the
+// elements, by sorting a sample of |values|. It is exported for fused
+// callers (package compress drives kernel.SparsifyResidual with it); each
+// call consumes the same RNG draws the staged SparsifyInto would, so fused
+// and staged selection streams stay interchangeable.
+func (s *Sparsifier) Threshold(data []float32) float32 {
 	n := len(data)
 	if n == 0 {
 		return 0
@@ -108,7 +111,7 @@ func (s *Sparsifier) Sparsify(in *tensor.Tensor) *Selection {
 // sparsifying the same shape every training step pays no allocation.
 func (s *Sparsifier) SparsifyInto(in *tensor.Tensor, sel *Selection) {
 	data := in.Data()
-	thr := s.threshold(data)
+	thr := s.Threshold(data)
 	sel.reset(in)
 	// Guard: a zero threshold on a non-zero tensor would select
 	// everything; fall back to selecting only non-zero elements, which is
