@@ -8,6 +8,15 @@
 //	3lc-net -design 3lc -sparsity 1.75 -workers 4 -steps 50
 //	3lc-net -design 3lc -workers 4 -steps 50 -shards 2   # sharded PS tier
 //	3lc-net -shards 2 -replicas -kill-shard 0 -kill-step 25  # failover demo
+//	3lc-net -tenants 8 -shards 2 -workers 2 -steps 20    # multi-tenant tier
+//
+// With -tenants N > 1 the tier becomes a multi-tenant service: N
+// independent jobs — each with its own model, dataset, and -workers
+// worker connections — are admitted to ONE shared set of shards and run
+// concurrently. Every shard has a single multiplexed listener
+// (transport.MuxShardServer); the shard scheduler serves the tenants'
+// aggregation work deficit-round-robin, and the run reports per-tenant
+// accuracy, traffic, and queue-wait accounting.
 //
 // With -shards N > 1 the model's tensors are partitioned across N
 // parameter-server shards (each with its own listener and codec
@@ -39,6 +48,7 @@ import (
 	"threelc/internal/opt"
 	"threelc/internal/ps"
 	"threelc/internal/shard"
+	"threelc/internal/tenant"
 	"threelc/internal/tensor"
 	"threelc/internal/transport"
 )
@@ -53,6 +63,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
 		shards     = flag.Int("shards", 1, "parameter-server shard count; shard s listens on -addr's port + s (each shard gets its own listener; workers multiplex)")
 		stream     = flag.Bool("stream", false, "per-tensor streamed pipeline: push each tensor as its compressor finishes (the server decode-aggregates it on arrival) and decode-apply pulls double-buffered; implies the shard-tier transport even at -shards 1")
+		tenants    = flag.Int("tenants", 1, "concurrent tenant jobs multiplexed over one shared shard tier; each tenant trains its own model with its own -workers workers")
 		replicas   = flag.Bool("replicas", false, "run one standby replica per shard (primary forwards pushes; workers fail over on primary death); implies the shard tier")
 		killShard  = flag.Int("kill-shard", -1, "crash this shard's primary mid-run (requires -replicas)")
 		killStep   = flag.Int("kill-step", -1, "step at which -kill-shard fires (default steps/2)")
@@ -91,6 +102,14 @@ func main() {
 
 	if *shards < 1 {
 		*shards = 1
+	}
+	if *tenants > 1 {
+		if *stream || *replicas || *killShard >= 0 {
+			fmt.Fprintln(os.Stderr, "3lc-net: -tenants is incompatible with -stream, -replicas, and -kill-shard")
+			os.Exit(2)
+		}
+		runMultiTenant(*tenants, *shards, *workers, *steps, *batch, *addr, scheme, opts, *netTimeout)
+		return
 	}
 	if *replicas && *stream {
 		fmt.Fprintln(os.Stderr, "3lc-net: -stream pushes are not replicated; drop -stream or -replicas")
@@ -383,4 +402,181 @@ func main() {
 	fmt.Printf("pull bytes:       %d (sent to workers)\n", pull)
 	raw := int64(global.NumParams()) * 4 * int64(*steps) * int64(*workers)
 	fmt.Printf("raw equivalent:   %d bytes each way; push compression %.1fx\n", raw, float64(raw)/float64(push))
+}
+
+// runMultiTenant is the -tenants N mode: N independent training jobs
+// multiplexed over ONE shared shard tier behind real TCP endpoints. Each
+// tenant gets its own model (fresh seed), its own synthetic dataset, and
+// its own worker connections tagged with the admitted (tenant, epoch)
+// identity; each shard runs a single multiplexed listener whose DRR
+// scheduler fair-shares the aggregation loop across the jobs.
+func runMultiTenant(tenants, shards, workers, steps, batch int, addr string,
+	scheme compress.Scheme, opts compress.Options, netTimeout time.Duration) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "3lc-net: bad -addr %q: %v\n", addr, err)
+		os.Exit(1)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "3lc-net: bad -addr port %q: %v\n", portStr, err)
+		os.Exit(1)
+	}
+	timeouts := transport.Timeouts{Read: netTimeout, Write: netTimeout}
+
+	svc := shard.NewService(shard.Config{Shards: shards}, tenant.NewRegistry(tenants))
+	defer svc.Close()
+
+	// Per-tenant jobs: model seed, dataset seed, and worker RNG streams all
+	// derive from the tenant id, so no two jobs do the same arithmetic.
+	type job struct {
+		id       tenant.ID
+		epoch    tenant.Epoch
+		global   *nn.Model
+		psCfg    ps.Config
+		build    func() *nn.Model
+		trainSet *data.Dataset
+		testSet  *data.Dataset
+	}
+	dcfg := data.DefaultConfig()
+	dcfg.Train, dcfg.Test = 400, 100
+	in := dcfg.C * dcfg.H * dcfg.W
+	jobs := make([]*job, tenants)
+	for t := 0; t < tenants; t++ {
+		seed := uint64(t + 1)
+		j := &job{
+			id:    tenant.ID(t + 1),
+			build: func() *nn.Model { return nn.NewMLP(in, []int{48}, dcfg.Classes, seed) },
+			psCfg: ps.Config{
+				Scheme:           scheme,
+				Opts:             opts,
+				Workers:          workers,
+				MinCompressElems: 256,
+				Parallelism:      1, // tenants already saturate the cores
+				Optimizer:        opt.TunedSGDConfig(workers, steps),
+			},
+		}
+		jcfg := dcfg
+		jcfg.Seed = dcfg.Seed + uint64(t)
+		j.trainSet, j.testSet = data.Synthetic(jcfg)
+		j.global = j.build()
+		h, err := svc.Admit(j.id, j.global, j.psCfg, tenant.Limits{MaxSteps: uint64(steps)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net admit:", err)
+			os.Exit(1)
+		}
+		j.epoch = h.Tenant().Epoch
+		jobs[t] = j
+	}
+
+	// One multiplexed listener per shard, shared by every tenant's workers.
+	addrs := make([]string, shards)
+	serveErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		port := "0"
+		if basePort != 0 {
+			port = strconv.Itoa(basePort + s)
+		}
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net:", err)
+			os.Exit(1)
+		}
+		addrs[s] = ln.Addr().String()
+		fmt.Printf("multi-tenant shard %d/%d listening on %s (%d tenants)\n", s, shards, ln.Addr(), tenants)
+		mux := transport.NewMuxShardServer(ln, svc, transport.MuxShardServerConfig{
+			Shard:    s,
+			Tenants:  tenants,
+			Timeouts: timeouts,
+		})
+		go func() { serveErr <- mux.Serve() }()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	firstWorkers := make([]*ps.Worker, tenants)
+	for t, j := range jobs {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(t int, j *job, w int) {
+				defer wg.Done()
+				m := j.build()
+				m.CopyParamsFrom(j.global)
+				worker := ps.NewWorker(w, m, j.psCfg)
+				if w == 0 {
+					firstWorkers[t] = worker
+				}
+				cl, err := transport.DialShardedConfig(addrs, w, shard.ForModel(m, shards), transport.ShardClientConfig{
+					Timeouts: timeouts,
+					Tenant:   uint32(j.id),
+					Epoch:    uint32(j.epoch),
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "3lc-net worker:", err)
+					os.Exit(1)
+				}
+				defer cl.Close()
+				rng := tensor.NewRNG(uint64(t)*7919 + uint64(w)*977 + 3)
+				for s := 0; s < steps; s++ {
+					idx := make([]int, batch)
+					for i := range idx {
+						idx[i] = rng.Intn(j.trainSet.Len())
+					}
+					x, labels := j.trainSet.FlatBatch(idx, nil, nil)
+					worker.Model.TrainStep(x, labels)
+					wires, _ := worker.CompressGrads()
+					pull, err := cl.PushPull(s, wires)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "3lc-net tenant %d worker %d: %v\n", j.id, w, err)
+						os.Exit(1)
+					}
+					if _, err := worker.ApplyPull(pull); err != nil {
+						fmt.Fprintf(os.Stderr, "3lc-net tenant %d worker %d: %v\n", j.id, w, err)
+						os.Exit(1)
+					}
+				}
+			}(t, j, w)
+		}
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		if err := <-serveErr; err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net server:", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("completed %d tenants x %d steps x %d workers over one %d-shard tier in %v\n",
+		tenants, steps, workers, shards, elapsed.Round(time.Millisecond))
+	var totPush, totPull uint64
+	for t, j := range jobs {
+		ten, err := svc.Retire(j.id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net retire:", err)
+			os.Exit(1)
+		}
+		nn.CopyBatchNormStats(j.global, firstWorkers[t].Model)
+		correct := 0
+		idx := make([]int, j.testSet.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		x, labels := j.testSet.FlatBatch(idx, nil, nil)
+		for i, p := range j.global.Predict(x) {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		snap := ten.Stats.Snapshot()
+		totPush += snap.PushBytes
+		totPull += snap.PullBytes
+		fmt.Printf("tenant %-3d  acc %5.1f%%  steps %d  push %d B  pull %d B  queue-wait %v\n",
+			j.id, 100*float64(correct)/float64(j.testSet.Len()), snap.Steps,
+			snap.PushBytes, snap.PullBytes, time.Duration(snap.QueueWaitNs).Round(time.Microsecond))
+	}
+	fmt.Printf("tier totals:      push %d B, pull %d B across %d tenants\n", totPush, totPull, tenants)
 }

@@ -1,0 +1,78 @@
+// Package ps implements the parameter-server architecture of Figure 1/2:
+// a server holding the global model and N workers holding local replicas.
+// Each training step, workers push compressed gradients, the server
+// decompresses and averages them, updates the global model with the local
+// optimizer, and publishes compressed model deltas that every worker pulls
+// and applies to its replica.
+//
+// Faithful details from the paper:
+//
+//   - One compression context per tensor per direction (§3, Figure 2):
+//     each worker owns a push context per layer tensor, the server owns a
+//     pull context per layer tensor. Contexts carry the error-accumulation
+//     state across steps.
+//   - Shared compressed pulls (§3, Figure 2b): the server compresses each
+//     model delta once and every worker receives the same bytes, avoiding
+//     redundant compression work (workers still each consume egress
+//     bandwidth, which netsim accounts).
+//   - Small-tensor exemption (§5.1): tensors flagged NoCompress (batch
+//     norm) or smaller than MinCompressElems bypass compression and travel
+//     as raw 32-bit floats.
+//   - Batch-norm ownership (§5.2): one designated worker (worker 0) is
+//     responsible for batch-norm parameter updates; other workers'
+//     NoCompress gradients are ignored by aggregation.
+//   - BSP barriers: the step driver (package train) runs all pushes before
+//     the update and all pulls after it, the synchronous mode the paper
+//     evaluates.
+//
+// The codec hot path is allocation-free in steady state: workers and the
+// server recycle per-tensor wire buffers across steps through the
+// append-style compress.CompressInto API, and layer tensors are
+// compressed/decompressed concurrently by a bounded worker pool
+// (Config.Parallelism). Per tensor, the ternary codecs run on the fused
+// kernels of internal/kernel — two passes over tensor memory to compress
+// and, on the aggregation side, ONE fused decode-accumulate pass per
+// worker payload that streams wire bytes and adds M·q straight into the
+// gradient sum (no intermediate decode tensor; payloads are validated
+// before the accumulator is touched). Server-side, the step is fused end
+// to end: FinishStep's optimizer sweep averages the gradient on the fly,
+// applies the update, and folds the model delta directly into the pull
+// compressor's error-accumulation buffer with its |max| reduction
+// (opt.ApplyFusedStep + compress.PreAccumulator), so compress pass 1
+// never runs as its own sweep. The staged decode-then-add / materialized
+// delta pipeline remains behind Config.StagedAggregate as the
+// bit-identical reference.
+//
+// Pushes can be ingested per tensor (PushSession.Tensor) so drivers
+// overlap aggregation with compression and transport: the server
+// decode-adds tensor i the moment its wire exists while tensor i+1 is
+// still compressing (see Worker.CompressGradsStream and the streamed
+// frames in internal/transport). Per-tensor ingestion in worker order is
+// byte-identical to the whole-set AddPush driver. Wire sets returned by
+// CompressGrads and FinishStep alias recycled buffers — valid until the
+// owner's next step.
+//
+// # Migrating from the single-job Server API
+//
+// The multi-tenant service split renamed the server-side types; every old
+// name remains as a deprecated alias or shim, so existing code compiles
+// unchanged. New code should use the new names:
+//
+//   - Server is now Job: one job's complete server-side state (codec
+//     contexts, error accumulation, optimizer slice, step counters, pull
+//     buffers, checkpoint state). `type Server = Job` is a deprecated
+//     alias; NewServer and NewSubServer forward to NewJob and NewSubJob.
+//   - Service is the tenant-keyed job table (tenant.ID -> *Job) that
+//     shared machinery — a shard executor serving many jobs — indexes
+//     into. Single-job callers never need it.
+//   - Push ingestion flows through one choke point: Job.BeginPush(worker)
+//     returns a PushSession whose Set (whole wire set), Tensor (one
+//     streamed tensor), and End subsume the three legacy entrypoints.
+//     AddPush(w, wires) is now BeginPush(w).Set(wires) followed by End();
+//     AddPushTensor(w, i, wire) is BeginPush(w).Tensor(i, wire); EndPush
+//     is PushSession.End. The legacy methods remain as thin shims over
+//     sessions with identical byte-level behavior.
+//
+// The BSP step surface (BeginStep / push ingestion / FinishStep) and all
+// wire, state, and determinism contracts are unchanged by the rename.
+package ps

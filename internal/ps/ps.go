@@ -1,56 +1,3 @@
-// Package ps implements the parameter-server architecture of Figure 1/2:
-// a server holding the global model and N workers holding local replicas.
-// Each training step, workers push compressed gradients, the server
-// decompresses and averages them, updates the global model with the local
-// optimizer, and publishes compressed model deltas that every worker pulls
-// and applies to its replica.
-//
-// Faithful details from the paper:
-//
-//   - One compression context per tensor per direction (§3, Figure 2):
-//     each worker owns a push context per layer tensor, the server owns a
-//     pull context per layer tensor. Contexts carry the error-accumulation
-//     state across steps.
-//   - Shared compressed pulls (§3, Figure 2b): the server compresses each
-//     model delta once and every worker receives the same bytes, avoiding
-//     redundant compression work (workers still each consume egress
-//     bandwidth, which netsim accounts).
-//   - Small-tensor exemption (§5.1): tensors flagged NoCompress (batch
-//     norm) or smaller than MinCompressElems bypass compression and travel
-//     as raw 32-bit floats.
-//   - Batch-norm ownership (§5.2): one designated worker (worker 0) is
-//     responsible for batch-norm parameter updates; other workers'
-//     NoCompress gradients are ignored by aggregation.
-//   - BSP barriers: the step driver (package train) runs all pushes before
-//     the update and all pulls after it, the synchronous mode the paper
-//     evaluates.
-//
-// The codec hot path is allocation-free in steady state: workers and the
-// server recycle per-tensor wire buffers across steps through the
-// append-style compress.CompressInto API, and layer tensors are
-// compressed/decompressed concurrently by a bounded worker pool
-// (Config.Parallelism). Per tensor, the ternary codecs run on the fused
-// kernels of internal/kernel — two passes over tensor memory to compress
-// and, on the aggregation side, ONE fused decode-accumulate pass per
-// worker payload that streams wire bytes and adds M·q straight into the
-// gradient sum (no intermediate decode tensor; payloads are validated
-// before the accumulator is touched). Server-side, the step is fused end
-// to end: FinishStep's optimizer sweep averages the gradient on the fly,
-// applies the update, and folds the model delta directly into the pull
-// compressor's error-accumulation buffer with its |max| reduction
-// (opt.ApplyFusedStep + compress.PreAccumulator), so compress pass 1
-// never runs as its own sweep. The staged decode-then-add / materialized
-// delta pipeline remains behind Config.StagedAggregate as the
-// bit-identical reference.
-//
-// Pushes can be ingested per tensor (AddPushTensor + EndPush) so drivers
-// overlap aggregation with compression and transport: the server
-// decode-adds tensor i the moment its wire exists while tensor i+1 is
-// still compressing (see Worker.CompressGradsStream and the streamed
-// frames in internal/transport). Per-tensor ingestion in worker order is
-// byte-identical to the whole-set AddPush driver. Wire sets returned by
-// CompressGrads and FinishStep alias recycled buffers — valid until the
-// owner's next step.
 package ps
 
 import (
@@ -279,9 +226,17 @@ func (c Config) newContext(p *nn.Param, seed uint64, tensors int) compress.Compr
 	return compress.New(c.Scheme, p.W.Shape(), o)
 }
 
-// Server owns the global model, the optimizer, and the pull-side
-// compression contexts.
-type Server struct {
+// Job owns ALL of one training job's server-side state: the global
+// model, the optimizer (momentum, schedule step), the pull-side
+// compression contexts with their error-accumulation buffers, the
+// gradient aggregation buffers, and the step/push counters. A Job holds
+// no shared machinery — shards, queues, transports, and schedulers live
+// elsewhere and treat a Job as a value in a job table (ps.Service,
+// package shard) keyed by tenant, which is what lets many independent
+// jobs multiplex over one shard tier.
+//
+// Job was previously exported as Server; see the Deprecated aliases.
+type Job struct {
 	Model *nn.Model
 
 	cfg       Config
@@ -316,36 +271,41 @@ type Server struct {
 	inv          float32  // averaging scale of the step being finished
 	pushWorkerID int      // argument slot for addPushFn
 	pushSrc      [][]byte // argument slot for addPushFn
+
+	// Per-worker push sessions, recycled across steps so BeginPush stays
+	// allocation-free in steady state (grown on first contact with a
+	// worker id, never during a step's hot path).
+	sessions []pushSession
 }
 
-// NewServer wraps the global model. The model's current parameters become
-// the initial global state.
-func NewServer(model *nn.Model, cfg Config) *Server {
-	s := newServer(model.Params(), nil, cfg)
+// NewJob wraps the global model of one training job. The model's current
+// parameters become the initial global state.
+func NewJob(model *nn.Model, cfg Config) *Job {
+	s := newJob(model.Params(), nil, cfg)
 	s.Model = model
 	return s
 }
 
-// NewSubServer builds a server over a subset of a model's parameters — one
+// NewSubJob builds a job over a subset of a model's parameters — one
 // shard of a horizontally partitioned parameter-server tier (package
 // shard). globalIdx[i] is the index params[i] has in the full model's
 // parameter list; compression contexts are seeded by that global index, so
 // the union of all shards' pull wires is byte-identical to what a single
-// NewServer over the whole model would produce. The optimizer is applied
+// NewJob over the whole model would produce. The optimizer is applied
 // per shard; because SGD state (velocity, schedule step) has no
 // cross-tensor coupling, the per-shard updates equal the single-server
-// ones exactly. Model is nil on a sub-server.
-func NewSubServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
+// ones exactly. Model is nil on a sub-job.
+func NewSubJob(params []*nn.Param, globalIdx []int, cfg Config) *Job {
 	if len(globalIdx) != len(params) {
 		panic(fmt.Sprintf("ps: %d params but %d global indices", len(params), len(globalIdx)))
 	}
-	return newServer(params, globalIdx, cfg)
+	return newJob(params, globalIdx, cfg)
 }
 
-// newServer is the shared constructor: globalIdx == nil means the identity
-// mapping (full-model server).
-func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
-	s := &Server{
+// newJob is the shared constructor: globalIdx == nil means the identity
+// mapping (full-model job).
+func newJob(params []*nn.Param, globalIdx []int, cfg Config) *Job {
+	s := &Job{
 		cfg:       cfg,
 		optimizer: opt.NewSGD(cfg.Optimizer),
 		params:    params,
@@ -391,6 +351,14 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 	s.pullPackFn = s.pullPackJob
 	s.accForFn = s.accBufFor
 	s.gradForFn = s.gradBufFor
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	s.sessions = make([]pushSession, workers)
+	for i := range s.sessions {
+		s.sessions[i].j = s
+	}
 	return s
 }
 
@@ -399,7 +367,7 @@ func newServer(params []*nn.Param, globalIdx []int, cfg Config) *Server {
 // single designated worker owns (and 1 is the float32 multiplicative
 // identity, so the fused multiply equals the staged straight copy
 // whenever only one push was accepted).
-func (s *Server) gradBufFor(i int) ([]float32, float32) {
+func (s *Job) gradBufFor(i int) ([]float32, float32) {
 	if s.params[i].NoCompress {
 		return s.gradSum[i].Data(), 1
 	}
@@ -410,7 +378,7 @@ func (s *Server) gradBufFor(i int) ([]float32, float32) {
 // buffer for tensors whose compress pass 1 can absorb the delta write
 // (compress.PreAccumulator); nil keeps the materialized-delta path. The
 // staged reference configuration keeps every pass separate.
-func (s *Server) accBufFor(i int) []float32 {
+func (s *Job) accBufFor(i int) []float32 {
 	if s.cfg.StagedAggregate || s.preAcc[i] == nil {
 		return nil
 	}
@@ -423,7 +391,7 @@ func (s *Server) accBufFor(i int) []float32 {
 // decodes straight over the stale buffer (DecompressFirstAddInto, when
 // bit-safe) or zeroes it just-in-time. The staged reference keeps the
 // explicit zeroing sweep.
-func (s *Server) BeginStep() {
+func (s *Job) BeginStep() {
 	if s.cfg.StagedAggregate {
 		for _, g := range s.gradSum {
 			g.Zero()
@@ -436,15 +404,31 @@ func (s *Server) BeginStep() {
 	s.pushes = 0
 }
 
-// AddPush decode-accumulates one worker's gradient push, fanning out
+// AddPush decode-accumulates one worker's gradient push and completes it
+// (no EndPush needed). It returns the decompression wall time.
+//
+// Deprecated: use BeginPush — Set on the session is this call, End is the
+// implicit completion. AddPush remains as a thin shim for existing
+// drivers.
+func (s *Job) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+	d, err := s.ingestSet(workerID, wires)
+	if err != nil {
+		return 0, err
+	}
+	s.pushes++
+	return d, nil
+}
+
+// ingestSet decode-accumulates one worker's whole-set push, fanning out
 // across layer tensors (each tensor owns its gradient-sum buffer, so
 // per-tensor parallelism is safe). Each tensor runs the fused
 // decode-accumulate — one LUT-driven pass that adds M·q straight into the
 // aggregation buffer, no intermediate decode tensor — unless
 // Config.StagedAggregate selects the staged decode-then-add reference.
-// NoCompress tensors (batch norm) are taken from worker 0 only.
-// It returns the decompression wall time.
-func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+// NoCompress tensors (batch norm) are taken from worker 0 only. It does
+// NOT advance the push count — that is the session End (or the AddPush
+// shim).
+func (s *Job) ingestSet(workerID int, wires [][]byte) (time.Duration, error) {
 	if len(wires) != len(s.params) {
 		return 0, fmt.Errorf("ps: push has %d tensors, model has %d", len(wires), len(s.params))
 	}
@@ -457,7 +441,6 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 			return 0, err
 		}
 	}
-	s.pushes++
 	return time.Since(start), nil
 }
 
@@ -466,7 +449,7 @@ func (s *Server) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
 // back on this goroutine (their individual decodes cost less than a pool
 // hand-off; per-tensor decode-add semantics are unchanged, so the
 // aggregate stays bit-identical to unbatched).
-func (s *Server) addPushJob(j int) {
+func (s *Job) addPushJob(j int) {
 	i := s.jobs[j]
 	if i != batchJob {
 		s.addPushOne(i)
@@ -479,7 +462,7 @@ func (s *Server) addPushJob(j int) {
 
 // addPushOne decode-accumulates tensor i of the push staged in
 // pushWorkerID/pushSrc.
-func (s *Server) addPushOne(i int) {
+func (s *Job) addPushOne(i int) {
 	p := s.params[i]
 	s.errs[i] = nil
 	if p.NoCompress && s.pushWorkerID != 0 {
@@ -494,7 +477,7 @@ func (s *Server) addPushOne(i int) {
 // registry path by default, the staged decode-then-add reference under
 // StagedAggregate. Both leave the accumulator bit-identical; a malformed
 // wire leaves it untouched either way.
-func (s *Server) decodeAdd(i int, wire []byte) error {
+func (s *Job) decodeAdd(i int, wire []byte) error {
 	if s.cfg.StagedAggregate {
 		if err := compress.DecompressInto(wire, s.decode[i]); err != nil {
 			return err
@@ -509,16 +492,24 @@ func (s *Server) decodeAdd(i int, wire []byte) error {
 	return compress.DecompressAddInto(wire, s.gradSum[i], s.decPar)
 }
 
-// AddPushTensor decode-accumulates a single tensor of workerID's push —
-// the per-tensor ingestion entry behind the overlapped push/aggregate
+// AddPushTensor decode-accumulates a single tensor of workerID's push.
+//
+// Deprecated: use BeginPush — Tensor on the session is this call. The
+// shim remains for existing per-tensor drivers.
+func (s *Job) AddPushTensor(workerID, i int, wire []byte) error {
+	return s.ingestTensor(workerID, i, wire)
+}
+
+// ingestTensor decode-accumulates a single tensor of workerID's push —
+// the per-tensor ingestion path behind the overlapped push/aggregate
 // pipeline: a driver can feed each tensor the moment its wire is
 // available (a transport frame landing, a compressor finishing) instead
 // of staging the worker's full wire set. Different tensors may be
 // ingested concurrently; pushes of the SAME tensor must arrive in worker
 // order — per-tensor accumulation order is what keeps the aggregate
-// byte-identical to the serial AddPush driver. After a worker's last
-// tensor, call EndPush exactly once.
-func (s *Server) AddPushTensor(workerID, i int, wire []byte) error {
+// byte-identical to the serial whole-set driver. After a worker's last
+// tensor, the session End must run exactly once.
+func (s *Job) ingestTensor(workerID, i int, wire []byte) error {
 	if i < 0 || i >= len(s.params) {
 		return fmt.Errorf("ps: push tensor index %d out of range (model has %d tensors)", i, len(s.params))
 	}
@@ -535,7 +526,7 @@ func (s *Server) AddPushTensor(workerID, i int, wire []byte) error {
 // NumTensors returns the number of model tensors this server owns — the
 // tensor count a per-tensor push must cover (transports use it to verify
 // stream completeness).
-func (s *Server) NumTensors() int {
+func (s *Job) NumTensors() int {
 	return len(s.params)
 }
 
@@ -544,9 +535,16 @@ func (s *Server) NumTensors() int {
 // counts implicitly; per-tensor drivers must call EndPush themselves.
 // The error is always nil (the signature matches the sharded tier's
 // EndPush, whose enqueue can fail).
-func (s *Server) EndPush() error {
-	s.pushes++
+//
+// Deprecated: use BeginPush — End on the session is this call.
+func (s *Job) EndPush() error {
+	s.endPush()
 	return nil
+}
+
+// endPush advances the push count FinishStep's averaging divides by.
+func (s *Job) endPush() {
+	s.pushes++
 }
 
 // FinishStep averages the aggregated gradients, applies the optimizer to
@@ -555,7 +553,7 @@ func (s *Server) EndPush() error {
 // backed by server-owned buffers recycled across steps: they are valid
 // until the next FinishStep, and callers that keep them longer (stale
 // synchronous emulation) must copy the bytes.
-func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
+func (s *Job) FinishStep() ([][]byte, time.Duration, error) {
 	if s.pushes == 0 {
 		return nil, 0, fmt.Errorf("ps: FinishStep with no pushes")
 	}
@@ -609,7 +607,7 @@ func (s *Server) FinishStep() ([][]byte, time.Duration, error) {
 // shared arena (members' AccData slices tile it) and reduced accMax, so
 // the batch runs encode-only, one contiguous sweep emitting every
 // member's wire into the shared wire arena.
-func (s *Server) pullPackJob(j int) {
+func (s *Job) pullPackJob(j int) {
 	i := s.jobs[j]
 	if i != batchJob {
 		s.pullPackOne(i)
@@ -627,7 +625,7 @@ func (s *Server) pullPackJob(j int) {
 // pullPackOne compresses model-delta tensor i into its recycled buffer:
 // encode-only for contexts whose accumulate pass the optimizer sweep
 // already absorbed, the full CompressInto otherwise.
-func (s *Server) pullPackOne(i int) {
+func (s *Job) pullPackOne(i int) {
 	if pa := s.preAcc[i]; pa != nil && !s.cfg.StagedAggregate {
 		s.pullWires[i] = pa.CompressPreAccumulated(s.accMax[i], s.pullWires[i][:0])
 		return
@@ -636,10 +634,10 @@ func (s *Server) pullPackOne(i int) {
 }
 
 // Step returns the number of optimizer updates applied.
-func (s *Server) Step() int { return s.optimizer.Step() }
+func (s *Job) Step() int { return s.optimizer.Step() }
 
 // LR returns the learning rate the optimizer will use at its current step.
-func (s *Server) LR() float64 { return s.optimizer.LR(s.optimizer.Step()) }
+func (s *Job) LR() float64 { return s.optimizer.LR(s.optimizer.Step()) }
 
 // Worker is one training node: a local model replica plus push-side
 // compression contexts.

@@ -1,0 +1,79 @@
+// Service: the job table half of the Job/Service split. A Job owns one
+// training job's state; a Service owns NOTHING per job beyond the table
+// itself — it is the shared-machinery registry that maps a tenant ID to
+// its Job, which is how one process (a shard executor, a transport
+// endpoint) hosts many independent jobs. The sharded tier (package
+// shard) keeps one Service per shard as that shard's job table.
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"threelc/internal/tenant"
+)
+
+// Service is a table of independent Jobs keyed by tenant ID. All methods
+// are safe for concurrent use; the Jobs themselves keep their own
+// single-driver contract.
+type Service struct {
+	mu   sync.RWMutex
+	jobs map[tenant.ID]*Job
+}
+
+// NewService returns an empty job table.
+func NewService() *Service {
+	return &Service{jobs: make(map[tenant.ID]*Job)}
+}
+
+// Put registers id's Job. Registering a live id is an error — retire the
+// old job first.
+func (s *Service) Put(id tenant.ID, j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		return fmt.Errorf("ps: tenant %d already has a job", id)
+	}
+	s.jobs[id] = j
+	return nil
+}
+
+// Get returns id's Job.
+func (s *Service) Get(id tenant.ID) (*Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Remove retires id's Job from the table and returns it (nil, false if
+// id has no job).
+func (s *Service) Remove(id tenant.ID) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if ok {
+		delete(s.jobs, id)
+	}
+	return j, ok
+}
+
+// Len reports the number of live jobs.
+func (s *Service) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.jobs)
+}
+
+// IDs returns the live tenant IDs in ascending order.
+func (s *Service) IDs() []tenant.ID {
+	s.mu.RLock()
+	out := make([]tenant.ID, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -92,7 +92,7 @@ func restoreCtxStates(src []byte, ctxs []compress.Compressor) ([]byte, error) {
 // optimizer (momentum, schedule step) and every pull-side compression
 // context — to dst. The global model weights are NOT included; checkpoint
 // them with package checkpoint.
-func (s *Server) AppendState(dst []byte) []byte {
+func (s *Job) AppendState(dst []byte) []byte {
 	le := binary.LittleEndian
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
@@ -104,7 +104,7 @@ func (s *Server) AppendState(dst []byte) []byte {
 // RestoreState restores state captured by AppendState on a server with
 // the same configuration (tensor set, scheme, options). Malformed input
 // returns an error and never panics.
-func (s *Server) RestoreState(src []byte) error {
+func (s *Job) RestoreState(src []byte) error {
 	le := binary.LittleEndian
 	if len(src) < 4 {
 		return fmt.Errorf("ps: server state truncated")

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"testing"
+
+	"threelc/internal/compress"
+	"threelc/internal/nn"
+	"threelc/internal/opt"
+	"threelc/internal/ps"
+	"threelc/internal/tenant"
+	"threelc/internal/tensor"
+)
+
+// benchConfig mirrors the ps package's SteadyStatePushPull workload so
+// the tenancy layer's cost is directly comparable: same model scale, same
+// codec, same serial decode path.
+func benchConfig() ps.Config {
+	return ps.Config{
+		Scheme:           compress.SchemeThreeLC,
+		Opts:             compress.Options{Sparsity: 1.75, ZeroRun: true},
+		Workers:          1,
+		MinCompressElems: 8,
+		Parallelism:      1,
+		Optimizer: opt.SGDConfig{
+			BaseLR: 0.1, FinalLR: 0.01, Momentum: 0.9, WeightDecay: 1e-4,
+			Workers: 1, TotalSteps: 100, WarmupFrac: 0,
+		},
+	}
+}
+
+func benchTierModel(seed uint64) *nn.Model {
+	return nn.NewMLP(784, []int{256}, 10, seed)
+}
+
+// BenchmarkTenantServicePushPull is the single-tenant parity gate for the
+// multi-tenant tier: one job, one shard, driven through its JobHandle —
+// the full lane hop, DRR scheduling, and quota accounting — against the
+// same workload BenchmarkSteadyStatePushPull runs directly on a ps
+// server. The benchcheck speedup rule pins this at >=0.95x of the direct
+// path: multi-tenancy must stay out of the single-job hot path.
+func BenchmarkTenantServicePushPull(b *testing.B) {
+	cfg := benchConfig()
+	svc := NewService(Config{Shards: 1}, tenant.NewRegistry(1))
+	defer svc.Close()
+	global := benchTierModel(1)
+	h, err := svc.Admit(1, global, cfg, tenant.Limits{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchTierModel(1)
+	m.CopyParamsFrom(global)
+	worker := ps.NewWorker(0, m, cfg)
+
+	rng := tensor.NewRNG(31)
+	for _, p := range worker.Model.Params() {
+		tensor.FillNormal(p.G, 0.01, rng)
+	}
+	step := func() {
+		wires, _ := worker.CompressGrads()
+		h.BeginStep()
+		sess := h.BeginPush(0)
+		if err := sess.Set(wires); err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.End(); err != nil {
+			b.Fatal(err)
+		}
+		pull, _, err := h.FinishStep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := worker.ApplyPull(pull); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm up buffer capacities.
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

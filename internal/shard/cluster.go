@@ -1,13 +1,11 @@
 package shard
 
 import (
-	"errors"
-	"fmt"
-	"sync"
 	"time"
 
 	"threelc/internal/nn"
 	"threelc/internal/ps"
+	"threelc/internal/tenant"
 )
 
 // Config tunes the sharded tier and its asynchronous push/pull pipeline.
@@ -16,9 +14,10 @@ type Config struct {
 	// single shard (still running behind the async pipeline, so the two
 	// paths share every line of code).
 	Shards int
-	// QueueDepth is the per-shard outstanding-request budget: how many
-	// begin/push/finish requests a shard may have queued before the
-	// pipeline applies backpressure. Zero means DefaultQueueDepth.
+	// QueueDepth is the per-tenant, per-shard outstanding-request budget:
+	// how many begin/push/finish requests one job may have queued on a
+	// shard before the pipeline applies backpressure. Zero means
+	// DefaultQueueDepth. A tenant's Limits.MaxOutstanding overrides it.
 	QueueDepth int
 	// Window caps how many per-shard requests one driver call keeps in
 	// flight simultaneously (the async pipeline's in-flight window). Zero
@@ -35,9 +34,11 @@ type Config struct {
 	// DefaultRetries.
 	Retries int
 	// Assignment overrides the tensor placement. Nil computes the default
-	// size-balanced packing (Assign) over the model's tensors.
+	// size-balanced packing (Assign) over the model's tensors. Only
+	// meaningful for a dedicated Cluster: jobs admitted to a shared
+	// Service always get the default placement over their own model.
 	Assignment *Assignment
-	// SlowShard, if non-nil, is invoked by shard s's service goroutine
+	// SlowShard, if non-nil, is invoked by shard s's scheduler goroutine
 	// before it processes each step's first request — a test hook that
 	// emulates a straggling shard so the timeout+retry path is exercised
 	// deterministically.
@@ -72,62 +73,6 @@ func (c Config) retries() int {
 	return DefaultRetries
 }
 
-// Cluster is a sharded parameter-server tier over one global model: shard
-// s owns the tensors Assignment.Tensors(s), runs a ps sub-server (with the
-// zero-allocation codec pool) for them on its own service goroutine, and
-// receives work through a bounded request queue. The driver API mirrors
-// ps.Server — BeginStep / AddPush / FinishStep — so the training loop can
-// switch between the single server and the sharded tier freely:
-//
-//   - BeginStep and AddPush are asynchronous: they enqueue per-shard
-//     requests (splitting each worker's wire set by placement) and return
-//     without waiting for the shards to process them. Shards therefore
-//     decode worker w's push while the driver is still enqueuing worker
-//     w+1's — the push pipeline.
-//   - FinishStep is the step barrier: it waits for every shard to drain
-//     its queue, apply its optimizer slice, and compress its pull wires,
-//     then reassembles the shards' pulls into the full-model wire set.
-//
-// Determinism: pushes are enqueued in worker order and each shard services
-// its queue FIFO, so per-tensor gradient accumulation happens in exactly
-// the order the single server uses — the sharded model state is
-// byte-identical to the single-PS state for every codec (the equivalence
-// tests pin this). The straggler retry in send() only re-attempts enqueues
-// that did NOT succeed, so every request reaches its shard at most once
-// and in driver order; retries can delay a step but never reorder or
-// duplicate work within it.
-//
-// Like ps.Server, a Cluster's driver methods are not safe for concurrent
-// use; the concurrency lives behind the queues.
-type Cluster struct {
-	asn   Assignment
-	cfg   Config
-	nodes []*node
-	param int   // full-model tensor count
-	local []int // global tensor index -> shard-local index
-
-	step  int
-	pull  [][]byte // reassembled full pull set, recycled across steps
-	sem   chan struct{}
-	began bool
-}
-
-// node is one shard: a ps sub-server plus its service goroutine state.
-type node struct {
-	id  int
-	srv *ps.Server
-	idx []int // global tensor indices owned, ascending
-
-	reqs chan request
-	subs sync.Pool // *[]([]byte) scratch for split wire sets
-
-	// Service-goroutine state (touched only by run()).
-	step      int
-	decodeDur time.Duration
-	err       error
-	slow      func(shard, step int)
-}
-
 type reqKind uint8
 
 const (
@@ -144,8 +89,9 @@ type request struct {
 	worker int
 	tensor int         // shard-local tensor index (reqPushTensor)
 	wire   []byte      // single tensor wire (reqPushTensor); aliases the caller's buffer
-	wires  *[][]byte   // sub wire set (reqPush); returned to the node pool after use
+	wires  *[][]byte   // sub wire set (reqPush); returned to the lane pool after use
 	done   chan result // reqFinish only
+	enq    time.Time   // enqueue instant, for tenant queue-wait stats
 }
 
 type result struct {
@@ -154,56 +100,55 @@ type result struct {
 	err   error
 }
 
-// NewCluster builds the sharded tier over model. The placement defaults to
-// size-balanced packing of the model's tensors (by byte size) across
-// cfg.Shards shards; psCfg configures each shard's codec and optimizer
-// exactly as it would a single ps.Server. Callers must Close the cluster
-// to stop the shard goroutines.
+// Cluster is a dedicated sharded parameter-server tier over one global
+// model: a single-tenant Service plus the JobHandle of its one job (the
+// default tenant), kept as one object so the classic driver shape —
+// BeginStep / AddPush / FinishStep, mirroring ps.Job — survives
+// unchanged. Shard s owns the tensors Assignment.Tensors(s), runs a ps
+// sub-job (with the zero-allocation codec pool) for them on its own
+// scheduler goroutine, and receives work through a bounded request
+// queue:
+//
+//   - BeginStep and AddPush are asynchronous: they enqueue per-shard
+//     requests (splitting each worker's wire set by placement) and return
+//     without waiting for the shards to process them. Shards therefore
+//     decode worker w's push while the driver is still enqueuing worker
+//     w+1's — the push pipeline.
+//   - FinishStep is the step barrier: it waits for every shard to drain
+//     the job's lane, apply its optimizer slice, and compress its pull
+//     wires, then reassembles the shards' pulls into the full-model wire
+//     set.
+//
+// Determinism: pushes are enqueued in worker order and each shard
+// services a tenant's lane FIFO, so per-tensor gradient accumulation
+// happens in exactly the order the single server uses — the sharded
+// model state is byte-identical to the single-PS state for every codec
+// (the equivalence tests pin this). The straggler retry in send() only
+// re-attempts enqueues that did NOT succeed, so every request reaches
+// its shard at most once and in driver order; retries can delay a step
+// but never reorder or duplicate work within it.
+//
+// Like ps.Job, a Cluster's driver methods are not safe for concurrent
+// use; the concurrency lives behind the queues. To share one shard tier
+// between many jobs, use Service/Admit directly.
+type Cluster struct {
+	svc *Service
+	h   *JobHandle
+}
+
+// NewCluster builds a dedicated sharded tier over model. The placement
+// defaults to size-balanced packing of the model's tensors (by byte
+// size) across cfg.Shards shards; psCfg configures each shard's codec
+// and optimizer exactly as it would a single ps.Job. Callers must Close
+// the cluster to stop the shard goroutines.
 func NewCluster(model *nn.Model, psCfg ps.Config, cfg Config) *Cluster {
-	if cfg.Shards < 1 {
-		cfg.Shards = 1
-	}
-	params := model.Params()
-	asn := defaultAssignment(params, cfg)
-	if err := asn.Validate(len(params)); err != nil {
+	svc := NewService(cfg, tenant.NewRegistry(1))
+	h, err := svc.Admit(tenant.Default, model, psCfg, tenant.Limits{})
+	if err != nil {
+		svc.Close()
 		panic(err)
 	}
-
-	c := &Cluster{asn: asn, cfg: cfg, param: len(params)}
-	c.pull = make([][]byte, len(params))
-	c.local = make([]int, len(params))
-	for s := 0; s < cfg.Shards; s++ {
-		for k, gi := range asn.Tensors(s) {
-			c.local[gi] = k
-		}
-	}
-	window := cfg.Window
-	if window <= 0 || window > cfg.Shards {
-		window = cfg.Shards
-	}
-	c.sem = make(chan struct{}, window)
-
-	for s := 0; s < cfg.Shards; s++ {
-		idx := asn.Tensors(s)
-		sub := make([]*nn.Param, len(idx))
-		for k, gi := range idx {
-			sub[k] = params[gi]
-		}
-		n := &node{
-			id:   s,
-			srv:  ps.NewSubServer(sub, idx, psCfg),
-			idx:  idx,
-			reqs: make(chan request, cfg.queueDepth()),
-			slow: cfg.SlowShard,
-		}
-		n.subs.New = func() any {
-			b := make([][]byte, len(idx))
-			return &b
-		}
-		c.nodes = append(c.nodes, n)
-		go n.run()
-	}
-	return c
+	return &Cluster{svc: svc, h: h}
 }
 
 // defaultAssignment resolves cfg.Assignment or computes the size-balanced
@@ -222,292 +167,107 @@ func defaultAssignment(params []*nn.Param, cfg Config) Assignment {
 }
 
 // ForModel computes the default (size-balanced, deterministic) placement
-// of model's tensors across `shards` shards — the one NewCluster uses.
-// Workers and the server tier each call this on their own model replica
-// and arrive at the same placement; Assignment.Hash is exchanged in the
-// sharded transport handshake to verify that.
+// of model's tensors across `shards` shards — the one NewCluster and
+// Service.Admit use. Workers and the server tier each call this on their
+// own model replica and arrive at the same placement; Assignment.Hash is
+// exchanged in the sharded transport handshake to verify that.
 func ForModel(model *nn.Model, shards int) Assignment {
 	return defaultAssignment(model.Params(), Config{Shards: shards})
 }
 
-// SubServers builds one ps sub-server per shard over model under the given
+// SubServers builds one ps sub-job per shard over model under the given
 // placement — the building blocks for a multi-process deployment where
 // each shard runs behind its own transport listener (transport.ShardServer).
-func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) []*ps.Server {
+func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) []*ps.Job {
 	params := model.Params()
 	if err := asn.Validate(len(params)); err != nil {
 		panic(err)
 	}
-	out := make([]*ps.Server, asn.NumShards)
+	out := make([]*ps.Job, asn.NumShards)
 	for s := range out {
 		idx := asn.Tensors(s)
 		sub := make([]*nn.Param, len(idx))
 		for k, gi := range idx {
 			sub[k] = params[gi]
 		}
-		out[s] = ps.NewSubServer(sub, idx, psCfg)
+		out[s] = ps.NewSubJob(sub, idx, psCfg)
 	}
 	return out
 }
 
+// Service returns the underlying (single-tenant) shard tier.
+func (c *Cluster) Service() *Service { return c.svc }
+
+// Handle returns the cluster's job handle — the default tenant's driver.
+func (c *Cluster) Handle() *JobHandle { return c.h }
+
 // Assignment returns the tensor placement in use.
-func (c *Cluster) Assignment() Assignment { return c.asn }
+func (c *Cluster) Assignment() Assignment { return c.h.asn }
 
 // NumShards returns the shard count.
-func (c *Cluster) NumShards() int { return c.asn.NumShards }
-
-// send enqueues req on shard n with the straggler timeout+retry policy:
-// each attempt waits twice as long as the previous, so a shard that is
-// merely slow (stale-sync lag, GC pause) gets absorbed while a wedged one
-// turns into an error after cfg.Retries attempts.
-func (c *Cluster) send(n *node, req request) error {
-	wait := c.cfg.timeout()
-	for attempt := 0; ; attempt++ {
-		select {
-		case n.reqs <- req:
-			return nil
-		default:
-		}
-		if attempt >= c.cfg.retries() {
-			return fmt.Errorf("shard: shard %d queue full after %d attempts (straggler exceeded retry budget)",
-				n.id, attempt+1)
-		}
-		t := time.NewTimer(wait)
-		select {
-		case n.reqs <- req:
-			t.Stop()
-			return nil
-		case <-t.C:
-			wait *= 2
-		}
-	}
-}
-
-// broadcast sends one request per shard (built by mk) with at most
-// `window` sends in flight, collecting the first error.
-func (c *Cluster) broadcast(mk func(n *node) request) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.nodes))
-	for i, n := range c.nodes {
-		c.sem <- struct{}{}
-		wg.Add(1)
-		go func(i int, n *node) {
-			defer func() { <-c.sem; wg.Done() }()
-			errs[i] = c.send(n, mk(n))
-		}(i, n)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
+func (c *Cluster) NumShards() int { return c.h.asn.NumShards }
 
 // BeginStep starts a new training step on every shard (asynchronously).
 // A shard that cannot accept its begin request will also fail the step's
 // FinishStep barrier, where the error is returned — this method stays
-// error-free to keep the ps.Server driver shape.
-func (c *Cluster) BeginStep() {
-	c.step++
-	c.began = true
-	_ = c.broadcast(func(n *node) request {
-		return request{kind: reqBegin, step: c.step}
-	})
-}
+// error-free to keep the ps.Job driver shape.
+func (c *Cluster) BeginStep() { c.h.BeginStep() }
 
-// AddPush splits one worker's full-model wire set by placement and
-// enqueues the per-shard sub-pushes, pipelined across shards under the
-// in-flight window. It returns as soon as every shard has accepted its
-// sub-request — decode work overlaps with the caller's next AddPush. The
-// returned duration is always zero (decode time is accounted on the
+// BeginPush opens workerID's push session for the current step (the
+// PushSession choke point shared with ps.Job).
+func (c *Cluster) BeginPush(workerID int) ps.PushSession { return c.h.BeginPush(workerID) }
+
+// AddPush pushes one worker's full-model wire set.
+//
+// Deprecated: use BeginPush — Set then End on the session is this call.
+// The returned duration is always zero (decode time is accounted on the
 // FinishStep critical path); the error reports enqueue failures
 // (exhausted straggler retries). Decode errors surface at FinishStep.
-//
 // The wires must stay valid until FinishStep returns: sub-requests alias
 // them.
 func (c *Cluster) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
-	if len(wires) != c.param {
-		return 0, fmt.Errorf("shard: push has %d tensors, model has %d", len(wires), c.param)
+	sess := c.h.BeginPush(workerID)
+	if err := sess.Set(wires); err != nil {
+		return 0, err
 	}
-	if !c.began {
-		return 0, fmt.Errorf("shard: AddPush before BeginStep")
-	}
-	err := c.broadcast(func(n *node) request {
-		sp := n.subs.Get().(*[][]byte)
-		sub := (*sp)[:len(n.idx)]
-		for k, gi := range n.idx {
-			sub[k] = wires[gi]
-		}
-		*sp = sub
-		return request{kind: reqPush, step: c.step, worker: workerID, wires: sp}
-	})
-	return 0, err
+	return 0, sess.End()
 }
 
 // AddPushTensor routes a single tensor of workerID's push to the shard
-// that owns it, asynchronously: the owning shard begins decode-accumulate
-// on the tensor as soon as the request lands in its queue — typically
-// while the worker is still compressing its next tensor — instead of
-// after the worker's full wire set has been staged. Per-tensor requests
-// for the same tensor must be issued in worker order (the FIFO queue then
-// preserves it, keeping the aggregate byte-identical to the whole-set
-// driver); after a worker's last tensor, call EndPush once. The wire must
-// stay valid until FinishStep returns.
+// that owns it.
+//
+// Deprecated: use BeginPush — Tensor on the session is this call.
 func (c *Cluster) AddPushTensor(workerID, gi int, wire []byte) error {
-	if gi < 0 || gi >= c.param {
-		return fmt.Errorf("shard: push tensor index %d out of range (model has %d tensors)", gi, c.param)
-	}
-	if !c.began {
-		return fmt.Errorf("shard: AddPushTensor before BeginStep")
-	}
-	n := c.nodes[c.asn.ShardOf[gi]]
-	return c.send(n, request{kind: reqPushTensor, step: c.step, worker: workerID, tensor: c.local[gi], wire: wire})
+	return c.h.addPushTensor(workerID, gi, wire)
 }
 
-// EndPush marks one worker's per-tensor push complete on every shard
-// (each shard's sub-server advances the push count its averaging divides
-// by). Pair with AddPushTensor; the whole-set AddPush needs no EndPush.
+// EndPush marks the streaming worker's per-tensor push complete on every
+// shard.
+//
+// Deprecated: use BeginPush — End on the session is this call (and
+// carries the worker identity the multi-tenant tier wants).
 func (c *Cluster) EndPush() error {
-	if !c.began {
-		return fmt.Errorf("shard: EndPush before BeginStep")
-	}
-	return c.broadcast(func(n *node) request {
-		return request{kind: reqPushEnd, step: c.step}
-	})
+	return c.h.endPush(0)
 }
 
-// FinishStep is the step barrier: every shard drains its queue, averages
-// its gradients, applies its optimizer slice, and compresses its pull
-// wires; the shards' pulls are then reassembled into full-model tensor
-// order. The returned duration is the shard-tier critical path — the
-// slowest shard's decode + optimizer + pull-compress time — which is what
-// a real deployment's step time would include. The wire slices alias
-// shard-owned buffers recycled on that shard's next FinishStep (same
-// contract as ps.Server.FinishStep).
-func (c *Cluster) FinishStep() ([][]byte, time.Duration, error) {
-	if !c.began {
-		return nil, 0, fmt.Errorf("shard: FinishStep before BeginStep")
-	}
-	c.began = false
-	dones := make([]chan result, len(c.nodes))
-	err := c.broadcast(func(n *node) request {
-		done := make(chan result, 1)
-		dones[n.id] = done
-		return request{kind: reqFinish, step: c.step, done: done}
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	var critical time.Duration
-	errs := make([]error, 0, len(c.nodes))
-	for i := range c.pull {
-		c.pull[i] = nil
-	}
-	for s, done := range dones {
-		r := <-done
-		if r.err != nil {
-			errs = append(errs, r.err)
-			continue
-		}
-		if r.dur > critical {
-			critical = r.dur
-		}
-		for k, gi := range c.nodes[s].idx {
-			c.pull[gi] = r.pulls[k]
-		}
-	}
-	if len(errs) > 0 {
-		return nil, 0, errors.Join(errs...)
-	}
-	return c.pull, critical, nil
-}
+// FinishStep is the step barrier: every shard drains the job's lane,
+// averages its gradients, applies its optimizer slice, and compresses
+// its pull wires; the shards' pulls are then reassembled into full-model
+// tensor order. The returned duration is the shard-tier critical path —
+// the slowest shard's decode + optimizer + pull-compress time — which is
+// what a real deployment's step time would include. The wire slices
+// alias shard-owned buffers recycled on that shard's next FinishStep
+// (same contract as ps.Job.FinishStep).
+func (c *Cluster) FinishStep() ([][]byte, time.Duration, error) { return c.h.FinishStep() }
 
-// Close stops the shard service goroutines. The cluster must not be used
-// afterwards.
-func (c *Cluster) Close() {
-	for _, n := range c.nodes {
-		close(n.reqs)
-	}
-}
+// AppendState serializes every shard sub-job's mutable state to dst, in
+// shard order. The model weights are checkpointed separately.
+func (c *Cluster) AppendState(dst []byte) []byte { return c.h.AppendState(dst) }
 
-// run services one shard's request queue on a dedicated goroutine.
-func (n *node) run() {
-	for req := range n.reqs {
-		switch req.kind {
-		case reqBegin:
-			if n.slow != nil {
-				n.slow(n.id, req.step)
-			}
-			n.step = req.step
-			n.decodeDur = 0
-			n.err = nil
-			n.srv.BeginStep()
-		case reqPush:
-			n.push(req)
-		case reqPushTensor:
-			n.pushTensor(req)
-		case reqPushEnd:
-			if n.err != nil {
-				break
-			}
-			if req.step != n.step {
-				n.err = fmt.Errorf("shard %d: push end for step %d during step %d", n.id, req.step, n.step)
-				break
-			}
-			_ = n.srv.EndPush() // always nil on a sub-server
-		case reqFinish:
-			req.done <- n.finish(req)
-		}
-	}
-}
+// RestoreState restores state captured by AppendState on a cluster with
+// the same shard count and configuration.
+func (c *Cluster) RestoreState(src []byte) error { return c.h.RestoreState(src) }
 
-// pushTensor decode-accumulates one tensor of one worker's push the
-// moment its request is serviced.
-func (n *node) pushTensor(req request) {
-	if n.err != nil {
-		return
-	}
-	if req.step != n.step {
-		n.err = fmt.Errorf("shard %d: push tensor for step %d during step %d", n.id, req.step, n.step)
-		return
-	}
-	start := time.Now()
-	err := n.srv.AddPushTensor(req.worker, req.tensor, req.wire)
-	n.decodeDur += time.Since(start)
-	if err != nil {
-		n.err = fmt.Errorf("shard %d: %w", n.id, err)
-	}
-}
-
-// push applies one sub-push. The enqueue path delivers each request at
-// most once (send() only retries failed enqueues), so a push for the
-// wrong step can only mean a driver-ordering bug — surface it rather than
-// drop it silently.
-func (n *node) push(req request) {
-	defer n.subs.Put(req.wires)
-	if n.err != nil {
-		return
-	}
-	if req.step != n.step {
-		n.err = fmt.Errorf("shard %d: push for step %d during step %d", n.id, req.step, n.step)
-		return
-	}
-	d, err := n.srv.AddPush(req.worker, *req.wires)
-	n.decodeDur += d
-	if err != nil {
-		n.err = fmt.Errorf("shard %d: %w", n.id, err)
-	}
-}
-
-// finish completes the shard's step and reports its pulls and critical-
-// path duration.
-func (n *node) finish(req request) result {
-	if n.err != nil {
-		return result{err: n.err}
-	}
-	if req.step != n.step {
-		return result{err: fmt.Errorf("shard %d: finish for step %d during step %d", n.id, req.step, n.step)}
-	}
-	pulls, compDur, err := n.srv.FinishStep()
-	if err != nil {
-		return result{err: fmt.Errorf("shard %d: %w", n.id, err)}
-	}
-	return result{pulls: pulls, dur: n.decodeDur + compDur}
-}
+// Close stops the shard scheduler goroutines. The cluster must not be
+// used afterwards.
+func (c *Cluster) Close() { c.svc.Close() }

@@ -1,11 +1,12 @@
-// Sharded-tier state capture: the cluster's mutable training state is the
-// union of its shard sub-servers' states (per-shard optimizer slice +
+// Sharded-tier state capture: one job's mutable training state is the
+// union of its per-shard sub-jobs' states (per-shard optimizer slice +
 // pull contexts). Both methods must only be called between steps — after
 // FinishStep has returned and before the next BeginStep. At that point
-// every shard's service goroutine is parked on its empty request queue,
-// and the FinishStep result channel (capture) / the next request enqueue
-// (restore) provide the happens-before edges that make the direct
-// sub-server access race-free.
+// the job's lane on every shard is empty and the scheduler goroutines
+// are not touching its sub-jobs; the FinishStep result channel (capture)
+// / the next request enqueue (restore) provide the happens-before edges
+// that make the direct sub-job access race-free. Other tenants' traffic
+// may keep flowing — their sub-jobs are disjoint.
 package shard
 
 import (
@@ -13,34 +14,34 @@ import (
 	"fmt"
 )
 
-// AppendState serializes every shard sub-server's mutable state to dst,
-// in shard order. The model weights are checkpointed separately.
-func (c *Cluster) AppendState(dst []byte) []byte {
+// AppendState serializes every shard sub-job's mutable state to dst, in
+// shard order. The model weights are checkpointed separately.
+func (h *JobHandle) AppendState(dst []byte) []byte {
 	le := binary.LittleEndian
 	var b4 [4]byte
-	le.PutUint32(b4[:], uint32(len(c.nodes)))
+	le.PutUint32(b4[:], uint32(len(h.tqs)))
 	dst = append(dst, b4[:]...)
-	for _, n := range c.nodes {
+	for _, q := range h.tqs {
 		lenAt := len(dst)
 		dst = append(dst, 0, 0, 0, 0)
-		dst = n.srv.AppendState(dst)
+		dst = q.job.AppendState(dst)
 		le.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	}
 	return dst
 }
 
-// RestoreState restores state captured by AppendState on a cluster with
-// the same shard count and configuration.
-func (c *Cluster) RestoreState(src []byte) error {
+// RestoreState restores state captured by AppendState on a job with the
+// same shard count and configuration.
+func (h *JobHandle) RestoreState(src []byte) error {
 	le := binary.LittleEndian
 	if len(src) < 4 {
 		return fmt.Errorf("shard: cluster state truncated")
 	}
-	if n := int(le.Uint32(src)); n != len(c.nodes) {
-		return fmt.Errorf("shard: checkpoint has %d shards, cluster has %d", n, len(c.nodes))
+	if n := int(le.Uint32(src)); n != len(h.tqs) {
+		return fmt.Errorf("shard: checkpoint has %d shards, cluster has %d", n, len(h.tqs))
 	}
 	src = src[4:]
-	for s, n := range c.nodes {
+	for s, q := range h.tqs {
 		if len(src) < 4 {
 			return fmt.Errorf("shard: shard %d state length truncated", s)
 		}
@@ -49,7 +50,7 @@ func (c *Cluster) RestoreState(src []byte) error {
 		if len(src) < size {
 			return fmt.Errorf("shard: shard %d state truncated (%d of %d bytes)", s, len(src), size)
 		}
-		if err := n.srv.RestoreState(src[:size]); err != nil {
+		if err := q.job.RestoreState(src[:size]); err != nil {
 			return fmt.Errorf("shard: shard %d: %w", s, err)
 		}
 		src = src[size:]

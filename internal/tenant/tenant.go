@@ -1,0 +1,232 @@
+// Package tenant provides identity, admission control, quotas, and
+// accounting for jobs multiplexed over one shared parameter-server tier.
+//
+// A tenant is one training job: one model, one codec configuration, one
+// set of workers. The Registry admits and retires tenants at runtime and
+// is the single authority on which tenant IDs are live. Each admission
+// mints a fresh epoch, so a frame tagged with a stale (ID, epoch) pair —
+// e.g. from a worker of a retired job whose ID was recycled — is
+// rejectable at the transport boundary instead of corrupting the new
+// job's state.
+//
+// Tenant 0 (Default) is reserved for untagged traffic: v1 wire clients
+// and single-job in-process callers that predate the multi-tenant
+// service map onto it, which keeps the tenancy layer invisible (and
+// free) when only one job runs.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ID names one tenant (one training job) inside a shared tier. IDs are
+// caller-assigned: the service keys job state by ID, and workers tag
+// every wire frame with their job's ID.
+type ID uint32
+
+// Default is the tenant that untagged (v1 or flag-less v2) traffic and
+// legacy single-job callers map onto.
+const Default ID = 0
+
+// Epoch distinguishes successive admissions of the same ID. Epochs are
+// minted by the Registry and strictly increase across all admissions.
+type Epoch uint32
+
+// Limits bounds one tenant's use of the shared tier. Zero values mean
+// "unlimited" for the quota fields and "use the service default" for
+// the scheduling fields.
+type Limits struct {
+	// MaxOutstanding caps the tenant's per-shard request queue depth
+	// (its outstanding budget). Requests beyond the budget block the
+	// tenant's own driver; they never displace other tenants.
+	MaxOutstanding int
+
+	// MaxSteps is a hard quota on training steps. Once exhausted,
+	// further steps fail with ErrQuota.
+	MaxSteps uint64
+
+	// MaxBytes is a hard quota on total wire bytes (push + pull).
+	// Charged at aggregation time; once exhausted, further steps fail
+	// with ErrQuota.
+	MaxBytes uint64
+
+	// Quantum is the tenant's deficit-round-robin refill in bytes per
+	// scheduling round. Larger quanta give a tenant a proportionally
+	// larger share of each shard's aggregation loop.
+	Quantum int
+}
+
+// Stats is one tenant's running usage, updated atomically by the shard
+// tier. Read with the Snapshot method.
+type Stats struct {
+	Steps       atomic.Uint64 // completed aggregation steps
+	PushBytes   atomic.Uint64 // wire bytes received from workers
+	PullBytes   atomic.Uint64 // wire bytes served back to workers
+	QueueWaitNs atomic.Int64  // cumulative request queue wait
+}
+
+// Snapshot is a plain-value copy of a tenant's Stats.
+type Snapshot struct {
+	Steps       uint64
+	PushBytes   uint64
+	PullBytes   uint64
+	QueueWaitNs int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting. Individual
+// fields are atomic; the set is not taken under one lock, which is fine
+// for monitoring output.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Steps:       s.Steps.Load(),
+		PushBytes:   s.PushBytes.Load(),
+		PullBytes:   s.PullBytes.Load(),
+		QueueWaitNs: s.QueueWaitNs.Load(),
+	}
+}
+
+// Registry errors.
+var (
+	// ErrAdmitLimit is returned by Admit when the registry is at its
+	// concurrent-tenant capacity.
+	ErrAdmitLimit = errors.New("tenant: admission rejected: registry full")
+	// ErrDuplicate is returned by Admit when the ID is already live.
+	ErrDuplicate = errors.New("tenant: admission rejected: id already admitted")
+	// ErrUnknown is returned when an operation names an ID that is not
+	// (or is no longer) admitted.
+	ErrUnknown = errors.New("tenant: unknown tenant")
+	// ErrEpoch is returned when a frame or request carries a stale
+	// epoch for a live ID.
+	ErrEpoch = errors.New("tenant: stale epoch")
+	// ErrQuota is returned when a step or byte quota is exhausted.
+	ErrQuota = errors.New("tenant: quota exhausted")
+)
+
+// Tenant is one admitted job's identity, limits, and accounting. It is
+// created by Registry.Admit and stays valid (for stats reads) after
+// Retire.
+type Tenant struct {
+	ID     ID
+	Epoch  Epoch
+	Limits Limits
+	Stats  Stats
+
+	steps atomic.Uint64 // quota counter, separate from Stats so charging is one CAS-free Add
+	bytes atomic.Uint64
+}
+
+// ChargeStep consumes one step of quota. It returns ErrQuota once the
+// tenant has used Limits.MaxSteps steps (0 = unlimited).
+func (t *Tenant) ChargeStep() error {
+	n := t.steps.Add(1)
+	if max := t.Limits.MaxSteps; max != 0 && n > max {
+		return fmt.Errorf("%w: tenant %d used %d/%d steps", ErrQuota, t.ID, n, max)
+	}
+	t.Stats.Steps.Add(1)
+	return nil
+}
+
+// ChargeBytes consumes wire-byte quota (push + pull share one budget).
+// It returns ErrQuota once cumulative bytes exceed Limits.MaxBytes
+// (0 = unlimited). The overshooting charge itself is still recorded so
+// accounting stays truthful.
+func (t *Tenant) ChargeBytes(n uint64) error {
+	total := t.bytes.Add(n)
+	if max := t.Limits.MaxBytes; max != 0 && total > max {
+		return fmt.Errorf("%w: tenant %d used %d/%d wire bytes", ErrQuota, t.ID, total, max)
+	}
+	return nil
+}
+
+// Registry tracks the live tenants of one shared tier. All methods are
+// safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	max     int
+	nextEp  uint32
+	tenants map[ID]*Tenant
+}
+
+// NewRegistry returns a registry admitting at most max concurrent
+// tenants (0 = unlimited).
+func NewRegistry(max int) *Registry {
+	return &Registry{max: max, tenants: make(map[ID]*Tenant)}
+}
+
+// Admit registers id with the given limits and returns its Tenant,
+// carrying a freshly minted epoch. It fails with ErrAdmitLimit when the
+// registry is full and ErrDuplicate when id is already live.
+func (r *Registry) Admit(id ID, limits Limits) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.max > 0 && len(r.tenants) >= r.max {
+		return nil, fmt.Errorf("%w (%d live, max %d)", ErrAdmitLimit, len(r.tenants), r.max)
+	}
+	if _, ok := r.tenants[id]; ok {
+		return nil, fmt.Errorf("%w (id %d)", ErrDuplicate, id)
+	}
+	r.nextEp++
+	t := &Tenant{ID: id, Epoch: Epoch(r.nextEp), Limits: limits}
+	r.tenants[id] = t
+	return t, nil
+}
+
+// Retire removes id from the live set. The returned Tenant (valid for
+// final stats reads) is nil with ErrUnknown if id is not live.
+func (r *Registry) Retire(id ID) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w (id %d)", ErrUnknown, id)
+	}
+	delete(r.tenants, id)
+	return t, nil
+}
+
+// Get returns the live tenant for id, or ErrUnknown.
+func (r *Registry) Get(id ID) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w (id %d)", ErrUnknown, id)
+	}
+	return t, nil
+}
+
+// Check validates a frame's (id, epoch) identity pair against the live
+// set: ErrUnknown for a dead ID, ErrEpoch for a stale epoch.
+func (r *Registry) Check(id ID, ep Epoch) (*Tenant, error) {
+	t, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if t.Epoch != ep {
+		return nil, fmt.Errorf("%w (id %d: frame epoch %d, live epoch %d)", ErrEpoch, id, ep, t.Epoch)
+	}
+	return t, nil
+}
+
+// Live returns the live tenants sorted by ID, for stable reporting.
+func (r *Registry) Live() []*Tenant {
+	r.mu.Lock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of live tenants.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tenants)
+}

@@ -1,0 +1,148 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAdmitRejectTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		max     int
+		pre     []ID // admitted before the probe
+		probe   ID
+		wantErr error
+	}{
+		{name: "empty registry admits", max: 4, probe: 7},
+		{name: "duplicate id rejected", max: 4, pre: []ID{7}, probe: 7, wantErr: ErrDuplicate},
+		{name: "full registry rejected", max: 2, pre: []ID{1, 2}, probe: 3, wantErr: ErrAdmitLimit},
+		{name: "unlimited registry admits", max: 0, pre: []ID{1, 2, 3, 4, 5}, probe: 6},
+		{name: "default tenant admits like any other", max: 1, probe: Default},
+		{name: "duplicate beats spare capacity", max: 2, pre: []ID{9}, probe: 9, wantErr: ErrDuplicate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry(tc.max)
+			for _, id := range tc.pre {
+				if _, err := r.Admit(id, Limits{}); err != nil {
+					t.Fatalf("pre-admit %d: %v", id, err)
+				}
+			}
+			_, err := r.Admit(tc.probe, Limits{})
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Admit(%d) err = %v, want %v", tc.probe, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRetireFreesSlotAndMintsNewEpoch(t *testing.T) {
+	r := NewRegistry(1)
+	t1, err := r.Admit(3, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit(4, Limits{}); !errors.Is(err, ErrAdmitLimit) {
+		t.Fatalf("expected ErrAdmitLimit while full, got %v", err)
+	}
+	if _, err := r.Retire(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retire(3); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("double retire err = %v, want ErrUnknown", err)
+	}
+	t2, err := r.Admit(3, Limits{})
+	if err != nil {
+		t.Fatalf("re-admit after retire: %v", err)
+	}
+	if t2.Epoch == t1.Epoch {
+		t.Fatalf("re-admission reused epoch %d; epochs must be fresh", t2.Epoch)
+	}
+	// The stale epoch must now be rejectable at the frame boundary.
+	if _, err := r.Check(3, t1.Epoch); !errors.Is(err, ErrEpoch) {
+		t.Fatalf("Check(stale epoch) err = %v, want ErrEpoch", err)
+	}
+	if _, err := r.Check(3, t2.Epoch); err != nil {
+		t.Fatalf("Check(live epoch) err = %v", err)
+	}
+	if _, err := r.Check(99, 1); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Check(unknown id) err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestQuotaExhaustionTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		limits   Limits
+		steps    int    // steps to charge
+		bytes    uint64 // bytes per step to charge
+		failStep int    // 1-based step at which a charge must fail; 0 = never
+	}{
+		{name: "unlimited never fails", limits: Limits{}, steps: 100, bytes: 1 << 20},
+		{name: "step quota exact boundary", limits: Limits{MaxSteps: 3}, steps: 4, failStep: 4},
+		{name: "single step quota", limits: Limits{MaxSteps: 1}, steps: 2, failStep: 2},
+		{name: "byte quota mid-run", limits: Limits{MaxBytes: 250}, steps: 5, bytes: 100, failStep: 3},
+		{name: "byte quota exact fit passes", limits: Limits{MaxBytes: 500}, steps: 5, bytes: 100},
+		{name: "both quotas, steps bind first", limits: Limits{MaxSteps: 2, MaxBytes: 1 << 30}, steps: 3, bytes: 10, failStep: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ten := &Tenant{ID: 1, Limits: tc.limits}
+			for i := 1; i <= tc.steps; i++ {
+				err := ten.ChargeStep()
+				if err == nil && tc.bytes > 0 {
+					err = ten.ChargeBytes(tc.bytes)
+				}
+				if tc.failStep != 0 && i >= tc.failStep {
+					if !errors.Is(err, ErrQuota) {
+						t.Fatalf("step %d: err = %v, want ErrQuota", i, err)
+					}
+				} else if err != nil {
+					t.Fatalf("step %d: unexpected err %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestAdmitConcurrentRespectsCapacity(t *testing.T) {
+	const cap, tries = 8, 64
+	r := NewRegistry(cap)
+	var wg sync.WaitGroup
+	errs := make([]error, tries)
+	for i := 0; i < tries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Admit(ID(i), Limits{})
+		}(i)
+	}
+	wg.Wait()
+	admitted := 0
+	for _, err := range errs {
+		if err == nil {
+			admitted++
+		} else if !errors.Is(err, ErrAdmitLimit) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if admitted != cap || r.Len() != cap {
+		t.Fatalf("admitted %d (registry %d), want %d", admitted, r.Len(), cap)
+	}
+	if got := len(r.Live()); got != cap {
+		t.Fatalf("Live() = %d tenants, want %d", got, cap)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	var s Stats
+	s.Steps.Add(2)
+	s.PushBytes.Add(100)
+	s.PullBytes.Add(200)
+	s.QueueWaitNs.Add(42)
+	snap := s.Snapshot()
+	if snap.Steps != 2 || snap.PushBytes != 100 || snap.PullBytes != 200 || snap.QueueWaitNs != 42 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}

@@ -21,19 +21,19 @@ import (
 	"threelc/internal/opt"
 	"threelc/internal/ps"
 	"threelc/internal/shard"
+	"threelc/internal/tenant"
 	"threelc/internal/tensor"
 )
 
 // stepServer is the driver-facing surface shared by the single parameter
-// server (ps.Server) and the sharded tier (shard.Cluster). The driver
-// ingests pushes per tensor (AddPushTensor/EndPush), which is what lets
-// the aggregation overlap the compute/compress phase; the whole-set
-// AddPush remains for completeness and external drivers.
+// server (ps.Job), the dedicated sharded tier (shard.Cluster), and a
+// job's handle on a shared multi-tenant tier (shard.JobHandle). The
+// driver ingests pushes through per-worker PushSessions, feeding tensors
+// as they compress — which is what lets the aggregation overlap the
+// compute/compress phase.
 type stepServer interface {
 	BeginStep()
-	AddPush(workerID int, wires [][]byte) (time.Duration, error)
-	AddPushTensor(workerID, i int, wire []byte) error
-	EndPush() error
+	BeginPush(workerID int) ps.PushSession
 	FinishStep() ([][]byte, time.Duration, error)
 	// AppendState / RestoreState capture the server tier's mutable
 	// training state (optimizer + pull contexts) for full-state
@@ -168,6 +168,21 @@ type Config struct {
 	// aborts the run with that error — tests use it to emulate a crash at
 	// an arbitrary step.
 	OnStep func(step int) error
+
+	// Service, when non-nil, runs this job over a shared multi-tenant
+	// shard tier (shard.Service) instead of a dedicated server: the run
+	// is admitted as Tenant under TenantLimits at start and retired when
+	// it returns. Many Runs may share one Service concurrently — each
+	// job's aggregation stays bit-identical to a solo run because the
+	// tier's fairness reorders only BETWEEN tenants. Mutually exclusive
+	// with Shards > 1 (the shared tier's shard count is the Service's).
+	Service *shard.Service
+	// Tenant is the job's identity on the shared Service. The default
+	// zero value is the default tenant, so single-job runs need no id.
+	Tenant tenant.ID
+	// TenantLimits bounds the job on the shared Service (outstanding
+	// budget, step/byte quotas, DRR quantum). Zero means unlimited.
+	TenantLimits tenant.Limits
 
 	// Seed controls data sampling; model init comes from BuildModel.
 	Seed uint64
@@ -342,23 +357,37 @@ func Run(cfg Config) (*Result, error) {
 	// measured codec critical path.
 	serverCfg := psCfg
 	serverCfg.Parallelism = cfg.Parallelism
-	var server stepServer
-	if cfg.Shards > 1 {
-		// Each shard is one PS node: split the server budget across the
-		// shard goroutines so the tier as a whole stays within it.
+	// shardSplit divides the server budget across `shards` PS nodes so
+	// the tier as a whole stays within it.
+	shardSplit := func(shards int) ps.Config {
 		scfg := serverCfg
 		par := scfg.Parallelism
 		if par == 0 {
 			par = runtime.GOMAXPROCS(0)
 		}
-		scfg.Parallelism = par / cfg.Shards
+		scfg.Parallelism = par / shards
 		if scfg.Parallelism < 1 {
 			scfg.Parallelism = 1
 		}
-		cluster := shard.NewCluster(global, scfg, shard.Config{Shards: cfg.Shards})
+		return scfg
+	}
+	var server stepServer
+	switch {
+	case cfg.Service != nil:
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("train: Shards and Service are mutually exclusive (the shared tier's shard count is the Service's)")
+		}
+		h, err := cfg.Service.Admit(cfg.Tenant, global, shardSplit(cfg.Service.NumShards()), cfg.TenantLimits)
+		if err != nil {
+			return nil, fmt.Errorf("train: admit tenant %d: %w", cfg.Tenant, err)
+		}
+		defer cfg.Service.Retire(cfg.Tenant)
+		server = h
+	case cfg.Shards > 1:
+		cluster := shard.NewCluster(global, shardSplit(cfg.Shards), shard.Config{Shards: cfg.Shards})
 		defer cluster.Close()
 		server = cluster
-	} else {
+	default:
 		server = ps.NewServer(global, serverCfg)
 	}
 
@@ -404,14 +433,18 @@ func Run(cfg Config) (*Result, error) {
 	// Sharding divides aggregate push/pull traffic across the shard NICs.
 	// Applied after Calibrate so the compute-to-communication calibration
 	// stays anchored to the paper's single-server regime.
-	if cfg.Shards > 1 && net.Servers <= 1 {
-		net.Servers = cfg.Shards
+	tierShards := cfg.Shards
+	if cfg.Service != nil {
+		tierShards = cfg.Service.NumShards()
+	}
+	if tierShards > 1 && net.Servers <= 1 {
+		net.Servers = tierShards
 	}
 
 	res := &Result{
 		Design:            cfg.Design,
 		Workers:           cfg.Workers,
-		Shards:            max(cfg.Shards, 1),
+		Shards:            max(tierShards, 1),
 		Steps:             cfg.Steps,
 		NumParam:          numParam,
 		CompressibleElems: compElems,
@@ -639,19 +672,20 @@ func Run(cfg Config) (*Result, error) {
 			if streams[w] == nil {
 				continue
 			}
+			sess := server.BeginPush(w)
 			for tw := range streams[w] {
 				if aggErr != nil {
 					continue // drain so the emitter's close is reached
 				}
 				t0 := time.Now()
-				err := server.AddPushTensor(w, tw.i, tw.wire)
+				err := sess.Tensor(tw.i, tw.wire)
 				serverDecode += time.Since(t0)
 				if err != nil {
 					aggErr = err
 				}
 			}
 			if aggErr == nil {
-				aggErr = server.EndPush()
+				aggErr = sess.End()
 			}
 		}
 		wg.Wait()

@@ -1,0 +1,322 @@
+// MuxShardServer: one shard's multi-tenant transport endpoint. Where
+// ShardServer serves exactly one job, the mux fronts one shard of a
+// shared shard.Service: every admitted tenant's workers connect to the
+// SAME listener, are grouped by the tenant identity their hello carries
+// (FlagTenant extension; an untagged hello addresses the default
+// tenant), and each complete group is driven by its own BSP goroutine
+// against the tenant's shard.Port — so jobs step independently while the
+// shard's DRR scheduler multiplexes their decode work underneath.
+//
+// Group lifecycle: a tenant's group forms when Port.Workers()
+// connections have handshaked; it runs whole-set push/pull steps until
+// its workers close their connections (EOF at a step boundary), which is
+// the job-complete signal — tenants need no pre-agreed step count.
+// Tenant identity is validated against the service registry at hello
+// time (unknown tenants and stale epochs are rejected) and against the
+// group's wire identity on every subsequent frame.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"threelc/internal/shard"
+	"threelc/internal/tenant"
+)
+
+// MuxShardServerConfig sizes one shard's multi-tenant endpoint.
+type MuxShardServerConfig struct {
+	// Shard is this endpoint's shard id within the service tier.
+	Shard int
+	// Tenants is how many tenant groups Serve hosts before returning.
+	// Zero means 1.
+	Tenants int
+	// Timeouts bounds each frame read and write, exactly as for
+	// ShardServer.
+	Timeouts Timeouts
+}
+
+// MuxShardServer serves one shard of a multi-tenant shard.Service on a
+// listener shared by every tenant's workers.
+type MuxShardServer struct {
+	svc *shard.Service
+	cfg MuxShardServerConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	pushBytes int64
+	pullBytes int64
+}
+
+// NewMuxShardServer wraps svc's shard cfg.Shard to serve cfg.Tenants
+// tenant groups on ln.
+func NewMuxShardServer(ln net.Listener, svc *shard.Service, cfg MuxShardServerConfig) *MuxShardServer {
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	return &MuxShardServer{svc: svc, cfg: cfg, ln: ln}
+}
+
+// TrafficBytes reports the endpoint's total received (push) and sent
+// (pull) wire bytes across all tenants.
+func (s *MuxShardServer) TrafficBytes() (push, pull int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushBytes, s.pullBytes
+}
+
+// muxConn is one handshaked worker connection of one tenant group.
+type muxConn struct {
+	worker int
+	c      net.Conn
+	rw     *bufio.ReadWriter
+	fr     *FrameReader
+	wires  [][]byte
+}
+
+// muxGroup accumulates one tenant's connections until the group is
+// complete.
+type muxGroup struct {
+	port *shard.Port
+	// wireTenant/wireEpoch is the identity the group's frames carry on
+	// the wire: the admitted (id, epoch) for tagged clients, 0/0 for
+	// untagged ones. Every member — and every later frame — must match.
+	wireTenant uint32
+	wireEpoch  uint32
+	conns      []*muxConn
+}
+
+// Serve accepts connections, forms tenant groups, and drives each
+// complete group's BSP step loop on its own goroutine until the group's
+// workers disconnect. It returns once cfg.Tenants groups have finished,
+// with their errors joined.
+func (s *MuxShardServer) Serve() error {
+	groups := make(map[tenant.ID]*muxGroup)
+	errs := make([]error, s.cfg.Tenants)
+	var wg sync.WaitGroup
+	launched := 0
+	for launched < s.cfg.Tenants {
+		wc, g, err := s.accept(groups)
+		if err != nil {
+			// A malformed or unauthorized connection is that peer's
+			// problem, not the tier's: keep serving the tenants.
+			continue
+		}
+		g.conns = append(g.conns, wc)
+		if len(g.conns) < g.port.Workers() {
+			continue
+		}
+		delete(groups, g.port.Tenant().ID)
+		conns := g.conns
+		sort.Slice(conns, func(i, j int) bool { return conns[i].worker < conns[j].worker })
+		slot := launched
+		launched++
+		wg.Add(1)
+		go func(g *muxGroup) {
+			defer wg.Done()
+			errs[slot] = s.serveTenant(g)
+			for _, wc := range g.conns {
+				wc.c.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// accept handshakes one connection: a v2 hello whose tenant identity
+// must resolve in the service registry (untagged = default tenant,
+// epoch unchecked — the pre-multi-tenant compatibility contract) and
+// whose placement hash must match that tenant's own placement.
+func (s *MuxShardServer) accept(groups map[tenant.ID]*muxGroup) (*muxConn, *muxGroup, error) {
+	c, err := s.ln.Accept()
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*muxConn, *muxGroup, error) {
+		c.Close()
+		return nil, nil, err
+	}
+	rw := newConnRW(c)
+	fr := NewFrameReader(rw)
+	s.cfg.Timeouts.beforeRead(c)
+	t, payload, err := fr.ReadFrame()
+	if err != nil {
+		return fail(fmt.Errorf("transport: mux shard %d hello: %w", s.cfg.Shard, err))
+	}
+	if t != MsgShardHello {
+		return fail(fmt.Errorf("transport: mux shard %d: expected hello, got type %d", s.cfg.Shard, t))
+	}
+	h, rest, err := ParseShardHeader(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if int(h.Shard) != s.cfg.Shard {
+		return fail(fmt.Errorf("transport: hello for shard %d on shard %d", h.Shard, s.cfg.Shard))
+	}
+	if len(rest) != 4 {
+		return fail(fmt.Errorf("transport: shard hello has %d trailing bytes, want 4", len(rest)))
+	}
+	id := tenant.ID(h.Tenant)
+	if h.Flags&FlagTenant != 0 {
+		// Tagged hello: the epoch must be the live admission's.
+		if _, err := s.svc.Registry().Check(id, tenant.Epoch(h.Epoch)); err != nil {
+			return fail(fmt.Errorf("transport: mux shard %d: %w", s.cfg.Shard, err))
+		}
+	} else if _, err := s.svc.Registry().Get(tenant.Default); err != nil {
+		return fail(fmt.Errorf("transport: mux shard %d: %w", s.cfg.Shard, err))
+	}
+	g, ok := groups[id]
+	if !ok {
+		port, ok := s.svc.Port(id, s.cfg.Shard)
+		if !ok {
+			return fail(fmt.Errorf("transport: mux shard %d: tenant %d has no job on this tier", s.cfg.Shard, id))
+		}
+		g = &muxGroup{port: port, wireTenant: h.Tenant, wireEpoch: h.Epoch}
+		groups[id] = g
+	}
+	if h.Tenant != g.wireTenant || h.Epoch != g.wireEpoch {
+		return fail(fmt.Errorf("transport: mux shard %d: tenant %d hello epoch %d differs from group epoch %d",
+			s.cfg.Shard, h.Tenant, h.Epoch, g.wireEpoch))
+	}
+	if hash := le.Uint32(rest); hash != g.port.Hash() {
+		return fail(fmt.Errorf("transport: tenant %d worker %d placement hash %#x != server %#x (divergent model layout)",
+			id, h.Worker, hash, g.port.Hash()))
+	}
+	w := int(h.Worker)
+	if w < 0 || w >= g.port.Workers() {
+		return fail(fmt.Errorf("transport: tenant %d: bad worker id %d", id, w))
+	}
+	for _, wc := range g.conns {
+		if wc.worker == w {
+			return fail(fmt.Errorf("transport: tenant %d: duplicate worker id %d", id, w))
+		}
+	}
+	return &muxConn{worker: w, c: c, rw: rw, fr: fr}, g, nil
+}
+
+// serveTenant drives one complete tenant group's BSP loop: per step,
+// read every worker's whole-set push in worker-id order into the
+// tenant's lane, hit the Finish barrier, broadcast the pull. A clean
+// EOF from worker 0 at the top of a step is the group's job-complete
+// signal.
+func (s *MuxShardServer) serveTenant(g *muxGroup) error {
+	id := g.port.Tenant().ID
+	var pullBuf []byte
+	for step := 0; ; step++ {
+		// Worker 0's frame is read before the step opens so a closed
+		// group ends the loop without charging a step.
+		h0, body0, eof, err := s.readMuxPush(g, g.conns[0], step)
+		if eof {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := g.port.Begin(step); err != nil {
+			return fmt.Errorf("transport: mux shard %d tenant %d step %d: %w", s.cfg.Shard, id, step, err)
+		}
+		wires, _, err := ParseWireSetInto(g.conns[0].wires, body0)
+		if err != nil {
+			return fmt.Errorf("transport: mux shard %d tenant %d worker %d: %w", s.cfg.Shard, id, h0.Worker, err)
+		}
+		g.conns[0].wires = wires
+		if err := g.port.Push(g.conns[0].worker, wires); err != nil {
+			return err
+		}
+		if err := g.port.EndPush(g.conns[0].worker); err != nil {
+			return err
+		}
+		for _, wc := range g.conns[1:] {
+			h, body, eof, err := s.readMuxPush(g, wc, step)
+			if eof {
+				return fmt.Errorf("transport: mux shard %d tenant %d: worker %d closed mid-step %d", s.cfg.Shard, id, wc.worker, step)
+			}
+			if err != nil {
+				return err
+			}
+			wires, _, err := ParseWireSetInto(wc.wires, body)
+			if err != nil {
+				return fmt.Errorf("transport: mux shard %d tenant %d worker %d: %w", s.cfg.Shard, id, h.Worker, err)
+			}
+			wc.wires = wires
+			if err := g.port.Push(wc.worker, wires); err != nil {
+				return err
+			}
+			if err := g.port.EndPush(wc.worker); err != nil {
+				return err
+			}
+		}
+		pull, _, err := g.port.Finish()
+		if err != nil {
+			return fmt.Errorf("transport: mux shard %d tenant %d step %d: %w", s.cfg.Shard, id, step, err)
+		}
+		pullBuf = AppendShardHeader(pullBuf[:0], ShardHeader{
+			Version: ShardWireVersion,
+			Shard:   uint16(s.cfg.Shard),
+			Step:    uint32(step),
+			Tenant:  g.wireTenant,
+			Epoch:   g.wireEpoch,
+		})
+		pullBuf = AppendWireSet(pullBuf, pull)
+		for _, wc := range g.conns {
+			s.cfg.Timeouts.beforeWrite(wc.c)
+			if err := WriteFrame(wc.rw, MsgShardPull, pullBuf); err != nil {
+				return fmt.Errorf("transport: mux shard %d tenant %d step %d pull to worker %d: %w", s.cfg.Shard, id, step, wc.worker, err)
+			}
+			if err := wc.rw.Flush(); err != nil {
+				return fmt.Errorf("transport: mux shard %d tenant %d step %d flush to worker %d: %w", s.cfg.Shard, id, step, wc.worker, err)
+			}
+			s.mu.Lock()
+			s.pullBytes += int64(len(pullBuf))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// readMuxPush reads and validates one worker's whole-set push frame for
+// the given step. A clean EOF before any frame bytes reports eof=true —
+// the worker closed at a step boundary.
+func (s *MuxShardServer) readMuxPush(g *muxGroup, wc *muxConn, step int) (ShardHeader, []byte, bool, error) {
+	id := g.port.Tenant().ID
+	s.cfg.Timeouts.beforeRead(wc.c)
+	t, payload, err := wc.fr.ReadFrame()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return ShardHeader{}, nil, true, nil
+		}
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: mux shard %d tenant %d step %d push from worker %d: %w",
+			s.cfg.Shard, id, step, wc.worker, err)
+	}
+	if t != MsgShardPush {
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: mux shard %d tenant %d: expected whole-set push, got type %d (streamed pushes are not multiplexed)",
+			s.cfg.Shard, id, t)
+	}
+	h, body, err := ParseShardHeader(payload)
+	if err != nil {
+		return ShardHeader{}, nil, false, err
+	}
+	if int(h.Shard) != s.cfg.Shard {
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
+	}
+	if h.Tenant != g.wireTenant || h.Epoch != g.wireEpoch {
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: mux shard %d: push for tenant %d epoch %d on tenant %d epoch %d group",
+			s.cfg.Shard, h.Tenant, h.Epoch, g.wireTenant, g.wireEpoch)
+	}
+	if int(h.Worker) != wc.worker {
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: push id %d on worker %d's connection", h.Worker, wc.worker)
+	}
+	if int(h.Step) != step {
+		return ShardHeader{}, nil, false, fmt.Errorf("transport: tenant %d worker %d pushed step %d during step %d (barrier violation)",
+			id, h.Worker, h.Step, step)
+	}
+	s.mu.Lock()
+	s.pushBytes += int64(len(payload))
+	s.mu.Unlock()
+	return h, body, false, nil
+}

@@ -10,13 +10,15 @@
 //
 // When the primary dies, workers fail over (ShardClientConfig.Replicas):
 // each reconnects here with the normal v2 hello and replays its in-flight
-// step's push. Replays are deduplicated on the (worker, step) identity
-// every push frame carries: a push the primary managed to forward before
-// dying is recognized and not applied twice, and a worker whose step the
-// replica has already completed (the primary died between forwarding the
-// last push and broadcasting pulls) is answered immediately from the
-// retained last pull. From then on the replica serves the remaining steps
-// exactly like a primary.
+// step's push. Replays are deduplicated on the (tenant, worker, step)
+// identity every push frame carries: a push the primary managed to
+// forward before dying is recognized and not applied twice, a worker
+// whose step the replica has already completed (the primary died between
+// forwarding the last push and broadcasting pulls) is answered
+// immediately from the retained last pull, and a frame from another
+// tenant — or a stale epoch of this one — is rejected outright rather
+// than mistaken for a replay of a same-numbered worker's push. From then
+// on the replica serves the remaining steps exactly like a primary.
 package transport
 
 import (
@@ -154,6 +156,10 @@ func (r *ShardReplica) Serve() error {
 			if int(h.Shard) != r.cfg.Shard {
 				return fmt.Errorf("transport: replica shard %d: push for shard %d", r.cfg.Shard, h.Shard)
 			}
+			if h.Tenant != r.cfg.Tenant || h.Epoch != r.cfg.Epoch {
+				return fmt.Errorf("transport: replica shard %d: push for tenant %d epoch %d on endpoint serving tenant %d epoch %d",
+					r.cfg.Shard, h.Tenant, h.Epoch, r.cfg.Tenant, r.cfg.Epoch)
+			}
 			w, step := int(h.Worker), int(h.Step)
 			if w < 0 || w >= r.cfg.Workers {
 				return fmt.Errorf("transport: replica shard %d: bad worker id %d", r.cfg.Shard, w)
@@ -175,7 +181,10 @@ func (r *ShardReplica) Serve() error {
 					}
 				}
 			case step == finished:
-				if _, dup := pending[w]; !dup { // (worker, step) dedupe
+				// (tenant, worker, step) dedupe: the tenant matched above,
+				// step == finished here, so the worker id completes the
+				// identity.
+				if _, dup := pending[w]; !dup {
 					pending[w] = ev.payload
 				}
 			default:
@@ -214,6 +223,8 @@ func (r *ShardReplica) Serve() error {
 			Version: ShardWireVersion,
 			Shard:   uint16(r.cfg.Shard),
 			Step:    uint32(finished),
+			Tenant:  r.cfg.Tenant,
+			Epoch:   r.cfg.Epoch,
 		})
 		lastPull = AppendWireSet(lastPull, pull)
 		for _, wc := range workers {
@@ -280,6 +291,11 @@ func (r *ShardReplica) readConn(c net.Conn, events chan<- repEvent, done <-chan 
 		}
 		if int(h.Shard) != r.cfg.Shard || len(rest) != 4 || le.Uint32(rest) != r.cfg.AssignmentHash {
 			send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: bad hello (shard %d)", r.cfg.Shard, h.Shard)})
+			return
+		}
+		if h.Tenant != r.cfg.Tenant || h.Epoch != r.cfg.Epoch {
+			send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: hello for tenant %d epoch %d on endpoint serving tenant %d epoch %d",
+				r.cfg.Shard, h.Tenant, h.Epoch, r.cfg.Tenant, r.cfg.Epoch)})
 			return
 		}
 		wc.upstream = t == MsgReplicaHello

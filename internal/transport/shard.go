@@ -73,35 +73,61 @@ var ErrShardKilled = errors.New("transport: shard killed at configured step")
 // know instead of misparsing.
 const ShardWireVersion = 2
 
-// ShardHeaderLen is the encoded size of a ShardHeader.
+// ShardHeaderLen is the encoded size of a ShardHeader's fixed part; a
+// header with flag extensions is longer (see FlagTenant).
 const ShardHeaderLen = 12
 
+// FlagTenant marks a header carrying the tenant extension: 8 extra bytes
+// — [4B LE tenant id][4B LE tenant epoch] — after the fixed part. An
+// untagged header (flag clear) addresses the default tenant at epoch
+// zero, which is how pre-multi-tenant clients keep working against a
+// tenant-aware endpoint unchanged.
+const FlagTenant byte = 1 << 0
+
+// shardTenantExtLen is the FlagTenant extension size.
+const shardTenantExtLen = 8
+
 // ShardHeader addresses one v2 frame: which shard, which worker, which
-// step. Hello frames reuse the layout with Step zero and append the
-// 4-byte placement hash after the header.
+// step — and, when the tenant flag is set, which job (tenant id + the
+// admission epoch that makes stale frames from a retired incarnation
+// rejectable). Hello frames reuse the layout with Step zero and append
+// the 4-byte placement hash after the header.
 type ShardHeader struct {
 	Version byte
 	Flags   byte
 	Shard   uint16
 	Worker  uint32
 	Step    uint32
+	Tenant  uint32 // FlagTenant extension; 0 = default tenant
+	Epoch   uint32 // FlagTenant extension; admission epoch
 }
 
-// AppendShardHeader appends h in wire order.
+// AppendShardHeader appends h in wire order. A nonzero Tenant or Epoch
+// turns on FlagTenant and appends the extension, so single-tenant
+// callers emit byte-for-byte the pre-multi-tenant header.
 func AppendShardHeader(dst []byte, h ShardHeader) []byte {
-	var b [ShardHeaderLen]byte
+	if h.Tenant != 0 || h.Epoch != 0 {
+		h.Flags |= FlagTenant
+	}
+	var b [ShardHeaderLen + shardTenantExtLen]byte
 	b[0] = h.Version
 	b[1] = h.Flags
 	le.PutUint16(b[2:], h.Shard)
 	le.PutUint32(b[4:], h.Worker)
 	le.PutUint32(b[8:], h.Step)
+	if h.Flags&FlagTenant == 0 {
+		return append(dst, b[:ShardHeaderLen]...)
+	}
+	le.PutUint32(b[12:], h.Tenant)
+	le.PutUint32(b[16:], h.Epoch)
 	return append(dst, b[:]...)
 }
 
 // ParseShardHeader decodes and validates a shard header, returning the
 // remaining payload. Unknown versions and flag bits are errors — the
 // forward-compatibility contract that lets the layout evolve behind the
-// version byte.
+// version byte. A header without FlagTenant parses with Tenant and Epoch
+// zero: the default tenant.
 func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
 	if len(src) < ShardHeaderLen {
 		return ShardHeader{}, nil, fmt.Errorf("transport: short shard header (%d bytes)", len(src))
@@ -116,10 +142,19 @@ func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
 	if h.Version != ShardWireVersion {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unsupported shard wire version %d (have %d)", h.Version, ShardWireVersion)
 	}
-	if h.Flags != 0 {
+	if h.Flags&^FlagTenant != 0 {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unknown shard header flags %#x", h.Flags)
 	}
-	return h, src[ShardHeaderLen:], nil
+	rest := src[ShardHeaderLen:]
+	if h.Flags&FlagTenant != 0 {
+		if len(rest) < shardTenantExtLen {
+			return ShardHeader{}, nil, fmt.Errorf("transport: short tenant header extension (%d bytes)", len(rest))
+		}
+		h.Tenant = le.Uint32(rest)
+		h.Epoch = le.Uint32(rest[4:])
+		rest = rest[shardTenantExtLen:]
+	}
+	return h, rest, nil
 }
 
 // ShardServerConfig sizes one shard's transport endpoint.
@@ -160,6 +195,15 @@ type ShardServerConfig struct {
 	// detect the death. Serve returns ErrShardKilled.
 	KillAtStep int
 	KillSilent bool
+	// Tenant and Epoch pin the job identity this endpoint serves. Every
+	// frame's tenant header (absent = default tenant 0, epoch 0) must
+	// match, so a client of another job — or of a retired incarnation of
+	// this one — is rejected instead of aggregated. A dedicated
+	// single-job deployment leaves both zero and the wire format is
+	// byte-identical to the pre-multi-tenant one. Multi-job endpoints use
+	// MuxShardServer instead.
+	Tenant uint32
+	Epoch  uint32
 }
 
 // ShardServer drives one parameter-server shard (a ps sub-server, see
@@ -192,6 +236,16 @@ func (s *ShardServer) TrafficBytes() (push, pull int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pushBytes, s.pullBytes
+}
+
+// checkTenant rejects frames that do not carry this endpoint's job
+// identity (an untagged frame carries the default identity 0/0).
+func (s *ShardServer) checkTenant(h ShardHeader) error {
+	if h.Tenant != s.cfg.Tenant || h.Epoch != s.cfg.Epoch {
+		return fmt.Errorf("transport: shard %d: frame for tenant %d epoch %d on endpoint serving tenant %d epoch %d",
+			s.cfg.Shard, h.Tenant, h.Epoch, s.cfg.Tenant, s.cfg.Epoch)
+	}
+	return nil
 }
 
 type shardWorkerConn struct {
@@ -287,6 +341,8 @@ func (s *ShardServer) Serve() error {
 				Version: ShardWireVersion,
 				Shard:   uint16(s.cfg.Shard),
 				Step:    uint32(step),
+				Tenant:  s.cfg.Tenant,
+				Epoch:   s.cfg.Epoch,
 			})
 			v2Buf = AppendWireSet(v2Buf, pull)
 		}
@@ -331,6 +387,8 @@ func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]by
 			Version: ShardWireVersion,
 			Shard:   uint16(s.cfg.Shard),
 			Step:    uint32(step),
+			Tenant:  s.cfg.Tenant,
+			Epoch:   s.cfg.Epoch,
 		})
 		var sb [4]byte
 		le.PutUint32(sb[:], uint32(k))
@@ -364,6 +422,8 @@ func (s *ShardServer) dialReplica() error {
 	hello := AppendShardHeader(nil, ShardHeader{
 		Version: ShardWireVersion,
 		Shard:   uint16(s.cfg.Shard),
+		Tenant:  s.cfg.Tenant,
+		Epoch:   s.cfg.Epoch,
 	})
 	var hb [4]byte
 	le.PutUint32(hb[:], s.cfg.AssignmentHash)
@@ -428,6 +488,10 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 			c.Close()
 			return nil, fmt.Errorf("transport: hello for shard %d on shard %d", h.Shard, s.cfg.Shard)
 		}
+		if err := s.checkTenant(h); err != nil {
+			c.Close()
+			return nil, err
+		}
 		if len(rest) != 4 {
 			c.Close()
 			return nil, fmt.Errorf("transport: shard hello has %d trailing bytes, want 4", len(rest))
@@ -489,6 +553,9 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 		}
 		if int(h.Shard) != s.cfg.Shard {
 			return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
+		}
+		if err := s.checkTenant(h); err != nil {
+			return err
 		}
 		id, gotStep, body = int(h.Worker), int(h.Step), rest
 	case t == MsgPush && wc.legacy:
@@ -553,6 +620,9 @@ func (s *ShardServer) readPushStream(wc *shardWorkerConn, step int, t MsgType, p
 		if int(h.Shard) != s.cfg.Shard {
 			return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
 		}
+		if err := s.checkTenant(h); err != nil {
+			return err
+		}
 		if int(h.Worker) != wc.id {
 			return fmt.Errorf("transport: push id %d on worker %d's connection", h.Worker, wc.id)
 		}
@@ -613,6 +683,11 @@ type ShardClientConfig struct {
 	// failure detector for silently dead shards: without one, only
 	// connection-level errors (RST/EOF) trigger failover.
 	Timeouts Timeouts
+	// Tenant and Epoch tag every frame with the worker's job identity (as
+	// admitted by the service tier's registry). Zero values emit the
+	// untagged pre-multi-tenant header and address the default tenant.
+	Tenant uint32
+	Epoch  uint32
 }
 
 // ShardClient is a worker's multiplexed view of the sharded tier: one
@@ -702,6 +777,8 @@ func (c *ShardClient) connect(sc *shardConn, addr string) error {
 		Version: ShardWireVersion,
 		Shard:   uint16(sc.shard),
 		Worker:  uint32(c.id),
+		Tenant:  c.ccfg.Tenant,
+		Epoch:   c.ccfg.Epoch,
 	})
 	var hb [4]byte
 	le.PutUint32(hb[:], c.asn.Hash())
@@ -797,6 +874,8 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 		Shard:   uint16(s),
 		Worker:  uint32(c.id),
 		Step:    uint32(step),
+		Tenant:  c.ccfg.Tenant,
+		Epoch:   c.ccfg.Epoch,
 	})
 	payload = AppendWireSet(payload, sub)
 	sc.pushBuf = payload
@@ -822,6 +901,9 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 	}
 	if int(h.Shard) != s || int(h.Step) != step {
 		return fmt.Errorf("transport: pull for shard %d step %d during shard %d step %d", h.Shard, h.Step, s, step)
+	}
+	if h.Tenant != c.ccfg.Tenant || h.Epoch != c.ccfg.Epoch {
+		return fmt.Errorf("transport: pull for tenant %d epoch %d on tenant %d epoch %d client", h.Tenant, h.Epoch, c.ccfg.Tenant, c.ccfg.Epoch)
 	}
 	pulls, _, err := ParseWireSetInto(sc.pullWires, rest)
 	if err != nil {
@@ -894,6 +976,8 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 		Shard:   uint16(s),
 		Worker:  uint32(c.id),
 		Step:    uint32(step),
+		Tenant:  c.ccfg.Tenant,
+		Epoch:   c.ccfg.Epoch,
 	}
 	for iw := range ch {
 		payload := AppendShardHeader(sc.pushBuf[:0], hdr)
@@ -955,6 +1039,10 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 			}
 			if int(h.Shard) != s || int(h.Step) != step {
 				frames <- pulled{err: fmt.Errorf("transport: pull for shard %d step %d during shard %d step %d", h.Shard, h.Step, s, step)}
+				return
+			}
+			if h.Tenant != c.ccfg.Tenant || h.Epoch != c.ccfg.Epoch {
+				frames <- pulled{err: fmt.Errorf("transport: pull for tenant %d epoch %d on tenant %d epoch %d client", h.Tenant, h.Epoch, c.ccfg.Tenant, c.ccfg.Epoch)}
 				return
 			}
 			if len(rest) < 4 {
