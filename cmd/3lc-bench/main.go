@@ -8,6 +8,7 @@
 //	3lc-bench -exp fig9            # Figure 9: bits per state change series
 //	3lc-bench -exp shard           # sharded-PS scaling: shard count x codec
 //	3lc-bench -exp agg             # aggregation: workers x codec decode-add throughput
+//	3lc-bench -exp wan             # hierarchical aggregation over slow inter-region links
 //	3lc-bench -exp all             # everything
 //
 // Runs are cached within a single invocation, so "-exp all" reuses the
@@ -28,6 +29,7 @@ import (
 
 	"threelc/internal/compress"
 	"threelc/internal/encode"
+	"threelc/internal/entropy"
 	"threelc/internal/experiments"
 	"threelc/internal/kernel"
 	"threelc/internal/kernel/simd"
@@ -35,12 +37,13 @@ import (
 	"threelc/internal/opt"
 	"threelc/internal/ps"
 	"threelc/internal/quant"
+	"threelc/internal/region"
 	"threelc/internal/tensor"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | agg | all")
+		exp      = flag.String("exp", "all", "experiment: table1 | table2 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | arch | gradstats | codec | shard | agg | wan | all")
 		iters    = flag.Int("iters", 20, "iterations per micro-benchmark measurement (-exp codec); the recorded baseline carries this count")
 		steps    = flag.Int("steps", 0, "override standard training steps (default from suite)")
 		workers  = flag.Int("workers", 0, "override worker count")
@@ -49,6 +52,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		every    = flag.Int("series-every", 10, "subsampling interval for printed series")
 		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
+		regions  = flag.Int("regions", 2, "region count for -exp wan")
+		wanMbps  = flag.Float64("wan-mbps", 100, "inter-region link bandwidth in Mbps for -exp wan")
+		wanLatMs = flag.Float64("wan-latency-ms", 20, "one-way inter-region latency in ms for -exp wan")
 		benchOut = flag.String("bench-out", "", "with -exp codec: write a benchcheck-schema JSON baseline (e.g. BENCH_local.json)")
 	)
 	flag.Parse()
@@ -158,6 +164,29 @@ func main() {
 			}); err != nil {
 				return err
 			}
+		case "wan":
+			var progress io.Writer
+			if !*quiet {
+				progress = os.Stderr
+			}
+			w, st := 4, 12
+			if *workers > 0 {
+				w = *workers
+			}
+			if *steps > 0 {
+				st = *steps
+			}
+			bw, lat := *wanMbps*1e6, *wanLatMs*1e-3
+			rows, err := experiments.WANSweep(experiments.WANDesigns(), experiments.WANTopologies(*regions), w, st, bw, lat, progress)
+			if err != nil {
+				return err
+			}
+			experiments.PrintWANSweep(os.Stdout, rows, bw, lat)
+			if err := writeCSV("wan.csv", func(w *os.File) error {
+				return experiments.WriteWANSweepCSV(w, rows)
+			}); err != nil {
+				return err
+			}
 		case "gradstats":
 			rows, err := experiments.GradientStatistics(suite, 1.0, 25)
 			if err != nil {
@@ -231,7 +260,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shard", "agg"}
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "shard", "agg", "wan"}
 	} else {
 		names = []string{*exp}
 	}
@@ -461,6 +490,111 @@ func codecBench(w *os.File, iters int) []benchRecord {
 		records = append(records,
 			benchRecord{Name: "SteadyStatePushPullTiny", Iterations: int64(iters), NsPerOp: float64(batched.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1},
 			benchRecord{Name: "SteadyStatePushPullTinyUnbatched", Iterations: int64(iters), NsPerOp: float64(unbatched.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1})
+	}
+
+	// Streaming entropy second stage over the 1M-element 3LC quartic wire
+	// (the paper's §5.3 comparison workload). Record names match
+	// internal/entropy's BenchmarkEntropyStage sub-benchmarks; the encode
+	// ratio feeds the CI -min-metric floor.
+	{
+		ctx := compress.New(compress.SchemeThreeLC, []int{n}, compress.Options{Sparsity: 1.0, ZeroRun: true})
+		raw := ctx.CompressInto(in, nil)
+		fmt.Fprintf(w, "\nEntropy second stage (over the %d-byte 3LC s=1.00 quartic wire):\n", len(raw))
+		fmt.Fprintf(w, "  %-8s %14s %7s %14s %7s\n", "stage", "encode ns/op", "ratio", "decode ns/op", "MB/s")
+		stages := []struct {
+			name   string
+			encode func(dst, src []byte) []byte
+			decode func(dst, src []byte) ([]byte, error)
+		}{
+			{"huffman", entropy.HuffmanEncodeInto, entropy.HuffmanDecodeInto},
+			{"lz", entropy.LZEncodeInto, entropy.LZDecodeInto},
+		}
+		for _, s := range stages {
+			var coded, back []byte
+			enc := measure(iters, func() { coded = s.encode(coded[:0], raw) })
+			ratio := float64(len(raw)) / float64(len(coded))
+			dec := measure(iters, func() {
+				var err error
+				if back, err = s.decode(back[:0], coded); err != nil {
+					panic(err)
+				}
+			})
+			decMBps := float64(len(raw)) / dec.Seconds() / 1e6
+			fmt.Fprintf(w, "  %-8s %14d %6.2fx %14d %7.0f\n",
+				s.name, enc.Nanoseconds(), ratio, dec.Nanoseconds(), decMBps)
+			records = append(records,
+				benchRecord{Name: "EntropyStage/" + s.name + "-encode", Iterations: int64(iters), NsPerOp: float64(enc.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1,
+					Extra: map[string]float64{"ratio": ratio}},
+				benchRecord{Name: "EntropyStage/" + s.name + "-decode", Iterations: int64(iters), NsPerOp: float64(dec.Nanoseconds()), BytesPerOp: -1, AllocsPerOp: -1,
+					Extra: map[string]float64{"MB/s": decMBps}})
+		}
+	}
+
+	// Hierarchical push/pull: a full two-region recompress step (fused
+	// decode-accumulate, re-encode with the entropy stage, global tier
+	// update) against a real parameter server. Mirrors internal/region's
+	// BenchmarkHierarchicalPushPull workload.
+	{
+		model := nn.NewMLP(256, []int{64}, 8, 1)
+		cfg := ps.Config{
+			Scheme:           compress.SchemeThreeLC,
+			Opts:             compress.Options{Sparsity: 1.0, ZeroRun: true},
+			Workers:          4,
+			MinCompressElems: 1,
+			Parallelism:      1,
+			Optimizer:        opt.DefaultSGDConfig(4, 1000),
+		}
+		inner := ps.NewServer(model, cfg)
+		tier, err := region.NewTier(inner, model.Params(), region.Config{
+			Regions: 2, Workers: 4, Recompress: true,
+			Scheme:           compress.SchemeThreeLC,
+			Opts:             compress.Options{Sparsity: 1.0, ZeroRun: true},
+			Entropy:          compress.EntropyHuffman,
+			MinCompressElems: 1,
+			Parallelism:      1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		params := model.Params()
+		rng := tensor.NewRNG(7)
+		wires := make([][][]byte, 4)
+		for wk := range wires {
+			wires[wk] = make([][]byte, len(params))
+			for i, p := range params {
+				g := tensor.New(p.W.Shape()...)
+				tensor.FillNormal(g, 0.01, rng)
+				c := compress.New(compress.SchemeThreeLC, p.W.Shape(), compress.Options{Sparsity: 1.0, ZeroRun: true, Seed: uint64(wk*31 + i)})
+				wires[wk][i] = c.CompressInto(g, nil)
+			}
+		}
+		d := measure(iters, func() {
+			tier.BeginStep()
+			for wk := 0; wk < 4; wk++ {
+				sess := tier.BeginPush(wk)
+				if err := sess.Set(wires[wk]); err != nil {
+					panic(err)
+				}
+				if err := sess.End(); err != nil {
+					panic(err)
+				}
+			}
+			if _, _, err := tier.FinishStep(); err != nil {
+				panic(err)
+			}
+		})
+		push, pull := tier.WANBytes()
+		wan := 0
+		for r := range push {
+			wan += push[r] + pull[r]
+		}
+		fmt.Fprintf(w, "\nHierarchical push/pull (2 regions x 2 workers, recompress + Huffman WAN stage, MLP 256-64-8):\n")
+		fmt.Fprintf(w, "  %8d ns/op  %d WAN bytes/step\n", d.Nanoseconds(), wan)
+		records = append(records, benchRecord{
+			Name: "HierarchicalPushPull", Iterations: int64(iters), NsPerOp: float64(d.Nanoseconds()),
+			BytesPerOp: -1, AllocsPerOp: -1,
+			Extra: map[string]float64{"wan-bytes/step": float64(wan)},
+		})
 	}
 
 	// Dispatched kernel tiers: the fused ternary encode and the LUT

@@ -16,6 +16,9 @@
 //     the best ns/op matching fastPat must beat the best ns/op matching
 //     slowPat by at least ratio (the fused-vs-staged kernel regression
 //     gate).
+//   - -min-metric 'pattern:unit:min' rules enforce custom-metric floors:
+//     the best value of the metric among matching benchmarks must reach
+//     min (the entropy-stage compression-ratio gate).
 //   - Any `--- FAIL` or `FAIL` line in the input fails the gate.
 package main
 
@@ -191,6 +194,65 @@ func CheckSpeedup(benches []Benchmark, spec string) []string {
 	return violations
 }
 
+// CheckMinMetric enforces custom-metric floors. spec is a comma-separated
+// list of "pattern:unit:min" rules: among benchmarks matching pattern that
+// report the custom metric unit, the best (highest) value must be at least
+// min. The entropy-stage gate uses it ("EntropyStage.*huffman:ratio:1.1" —
+// the coded stream must stay >= 1.1x smaller than its input). A pattern
+// matching no benchmark, or matching only benchmarks without the metric,
+// is a violation: a renamed benchmark or dropped ReportMetric cannot
+// silently empty the gate.
+func CheckMinMetric(benches []Benchmark, spec string) []string {
+	var violations []string
+	for _, rule := range strings.Split(spec, ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			continue
+		}
+		// Split from the right: the unit and min value never contain
+		// colons, the name pattern may.
+		mi := strings.LastIndex(rule, ":")
+		ui := strings.LastIndex(rule[:max(mi, 0)], ":")
+		if mi <= 0 || ui <= 0 {
+			violations = append(violations, fmt.Sprintf("bad -min-metric rule %q: want pattern:unit:min", rule))
+			continue
+		}
+		pat, unit, minStr := rule[:ui], rule[ui+1:mi], rule[mi+1:]
+		minVal, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("bad -min-metric floor in %q", rule))
+			continue
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("bad -min-metric pattern %q: %v", pat, err))
+			continue
+		}
+		best, found := 0.0, false
+		for _, b := range benches {
+			if !re.MatchString(b.Name) {
+				continue
+			}
+			v, ok := b.Extra[unit]
+			if !ok {
+				continue
+			}
+			if !found || v > best {
+				best, found = v, true
+			}
+		}
+		switch {
+		case !found:
+			violations = append(violations,
+				fmt.Sprintf("-min-metric rule %q: no benchmark matching %q reports a %q metric", rule, pat, unit))
+		case best < minVal:
+			violations = append(violations,
+				fmt.Sprintf("%s: best %s %.3f below required %.3f", pat, unit, best, minVal))
+		}
+	}
+	return violations
+}
+
 // bestNsPerOp returns the lowest ns/op among benchmarks matching pat.
 func bestNsPerOp(benches []Benchmark, pat string) (float64, error) {
 	re, err := regexp.Compile(pat)
@@ -328,6 +390,7 @@ func main() {
 		zeroAlloc  = flag.String("zero-allocs", "", "regexp of steady-state benchmarks that must report 0 allocs/op")
 		require    = flag.String("require", "", "comma-separated regexps; each must match at least one benchmark")
 		speedup    = flag.String("speedup", "", "comma-separated 'fastPat<slowPat:ratio' rules; best ns/op of fastPat must beat slowPat by ratio")
+		minMetric  = flag.String("min-metric", "", "comma-separated 'pattern:unit:min' rules; best custom metric of matching benchmarks must reach min")
 		requireAny = flag.Bool("require-benchmarks", true, "fail when the input contains no benchmark lines at all")
 		baseline   = flag.String("baseline", "", "committed baseline report (benchcheck JSON schema) to gate regressions against")
 		baseMatch  = flag.String("baseline-match", "", "regexp of canonical benchmark names the -baseline gate covers (empty: every baseline entry)")
@@ -363,6 +426,7 @@ func main() {
 	violations := Check(benches, zre)
 	violations = append(violations, CheckRequired(benches, *require)...)
 	violations = append(violations, CheckSpeedup(benches, *speedup)...)
+	violations = append(violations, CheckMinMetric(benches, *minMetric)...)
 	if *baseline != "" {
 		base, err := LoadBaseline(*baseline)
 		if err != nil {

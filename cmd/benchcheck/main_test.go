@@ -201,3 +201,46 @@ func TestCheckRequired(t *testing.T) {
 		t.Errorf("empty -require produced violations: %v", v)
 	}
 }
+
+func TestCheckMinMetric(t *testing.T) {
+	sample := `
+BenchmarkEntropyStage/huffman-8    100    5000 ns/op    1.42 ratio    120 MB/s
+BenchmarkEntropyStage/lz-8         100    4000 ns/op    1.18 ratio
+BenchmarkEntropyStage/stored-8     100     900 ns/op
+`
+	benches, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckMinMetric(benches, "EntropyStage:ratio:1.1"); len(v) != 0 {
+		t.Errorf("passing min-metric reported violations: %v", v)
+	}
+	// Best-of-matches: huffman's 1.42 carries the shared pattern.
+	if v := CheckMinMetric(benches, "EntropyStage:ratio:1.3"); len(v) != 0 {
+		t.Errorf("best-of-matches not applied: %v", v)
+	}
+	v := CheckMinMetric(benches, "EntropyStage/lz:ratio:1.3")
+	if len(v) != 1 || !strings.Contains(v[0], "below required") {
+		t.Errorf("failing floor not caught: %v", v)
+	}
+	// Matching benchmarks that never report the metric is a violation.
+	if v := CheckMinMetric(benches, "EntropyStage/stored:ratio:1.1"); len(v) != 1 ||
+		!strings.Contains(v[0], "reports a") {
+		t.Errorf("missing metric not caught: %v", v)
+	}
+	if v := CheckMinMetric(benches, "Renamed:ratio:1.1"); len(v) != 1 {
+		t.Errorf("empty pattern not caught: %v", v)
+	}
+	// Multiple rules accumulate independently.
+	if v := CheckMinMetric(benches, "EntropyStage:ratio:1.1, EntropyStage:MB/s:100"); len(v) != 0 {
+		t.Errorf("multi-rule spec failed: %v", v)
+	}
+	for _, bad := range []string{"NoColons", "A:ratio", "A:ratio:x"} {
+		if v := CheckMinMetric(benches, bad); len(v) != 1 {
+			t.Errorf("malformed rule %q not reported: %v", bad, v)
+		}
+	}
+	if v := CheckMinMetric(benches, ""); v != nil {
+		t.Errorf("empty -min-metric produced violations: %v", v)
+	}
+}

@@ -68,6 +68,11 @@ const (
 	// step transmits one of P interleaved partitions in full, with error
 	// accumulation carrying the rest. Shares the TopK bitmap wire layout.
 	SchemeRoundRobin
+	// SchemeEntropy marks a wire message whose payload is another
+	// scheme's wire passed through the optional entropy second stage
+	// (see WithEntropy in entropy.go). It is a wrapper, not a base
+	// design: New rejects it — set Options.Entropy on a base scheme.
+	SchemeEntropy
 	schemeCount
 )
 
@@ -90,6 +95,8 @@ func (s Scheme) String() string {
 		return "local steps"
 	case SchemeRoundRobin:
 		return "round-robin exchange"
+	case SchemeEntropy:
+		return "entropy-wrapped"
 	default:
 		return fmt.Sprintf("scheme(%d)", uint8(s))
 	}
@@ -112,6 +119,12 @@ type Options struct {
 	// Seed seeds the RNG used by stochastic quantization and threshold
 	// sampling.
 	Seed uint64
+	// Entropy selects the optional entropy second stage (Huffman or LZ)
+	// applied to every wire message the context emits — the
+	// general-purpose coders the paper benchmarks ZRE against, wired in
+	// for WAN links where wire bytes dominate step time. Off by default;
+	// see WithEntropy.
+	Entropy EntropyAlgo
 	// CodecParallelism caps the per-pass goroutine fan-out of the fused
 	// kernels for large tensors (>= kernel.ParallelThresholdElems). The
 	// fan-out is pass-count aware: each of the two fused compress passes
@@ -170,46 +183,52 @@ type PreAccumulator interface {
 }
 
 // New creates a compression context for a tensor of the given shape.
+// With Options.Entropy set, the context is wrapped with the entropy
+// second stage (WithEntropy) and its wires carry SchemeEntropy.
 func New(s Scheme, shape []int, opt Options) Compressor {
 	n := 1
 	for _, d := range shape {
 		n *= d
 	}
+	var c Compressor
 	switch s {
 	case SchemeNone:
-		return &noneCompressor{shape: shape, n: n}
+		c = &noneCompressor{shape: shape, n: n}
 	case SchemeInt8:
-		return &int8Compressor{shape: shape, n: n, par: opt.CodecParallelism}
+		c = &int8Compressor{shape: shape, n: n, par: opt.CodecParallelism}
 	case SchemeThreeLC:
 		sp := opt.Sparsity
 		if sp == 0 {
 			sp = 1
 		}
-		return newThreeLCCompressor(shape, sp, opt.ZeroRun, opt.CodecParallelism)
+		c = newThreeLCCompressor(shape, sp, opt.ZeroRun, opt.CodecParallelism)
 	case SchemeStoch3QE:
-		return newStochCompressor(shape, opt.Seed, opt.CodecParallelism)
+		c = newStochCompressor(shape, opt.Seed, opt.CodecParallelism)
 	case SchemeMQE1Bit:
-		return newOneBitCompressor(shape, opt.CodecParallelism)
+		c = newOneBitCompressor(shape, opt.CodecParallelism)
 	case SchemeTopK:
 		if opt.Fraction <= 0 || opt.Fraction > 1 {
 			panic("compress: TopK needs Fraction in (0,1]")
 		}
-		return newTopKCompressor(shape, opt.Fraction, opt.Seed, opt.CodecParallelism)
+		c = newTopKCompressor(shape, opt.Fraction, opt.Seed, opt.CodecParallelism)
 	case SchemeLocalSteps:
 		k := opt.Interval
 		if k < 1 {
 			k = 2
 		}
-		return newLocalStepsCompressor(shape, k)
+		c = newLocalStepsCompressor(shape, k)
 	case SchemeRoundRobin:
 		p := opt.Parts
 		if p < 1 {
 			p = 4
 		}
-		return newRoundRobinCompressor(shape, p)
+		c = newRoundRobinCompressor(shape, p)
+	case SchemeEntropy:
+		panic("compress: SchemeEntropy is a wrapper; set Options.Entropy on a base scheme")
 	default:
 		panic(fmt.Sprintf("compress: unknown scheme %d", s))
 	}
+	return WithEntropy(c, opt.Entropy)
 }
 
 // --- shared little-endian helpers ------------------------------------------

@@ -170,6 +170,10 @@ func BenchmarkCompressIntoAllSchemes(b *testing.B) {
 		{"mqe1bit", SchemeMQE1Bit, Options{}},
 		{"sparse25", SchemeTopK, Options{Fraction: 0.25, Seed: 1}},
 		{"3lc-s1.75", SchemeThreeLC, Options{Sparsity: 1.75, ZeroRun: true}},
+		// Entropy-wrapped variants: CI bounds the second stage's encode
+		// cost against the plain 3LC row (<= 1.25x) and requires 0 allocs.
+		{"3lc-s1.75+huffman", SchemeThreeLC, Options{Sparsity: 1.75, ZeroRun: true, Entropy: EntropyHuffman}},
+		{"3lc-s1.75+lz", SchemeThreeLC, Options{Sparsity: 1.75, ZeroRun: true, Entropy: EntropyLZ}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

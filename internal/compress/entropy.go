@@ -1,0 +1,257 @@
+package compress
+
+import (
+	"fmt"
+	"sync"
+
+	"threelc/internal/entropy"
+	"threelc/internal/tensor"
+)
+
+// Optional streaming entropy second stage (§3.3, §6 of the paper): the
+// general-purpose byte coders 3LC deliberately avoids on fast links pay
+// for themselves on WAN links, where every wire byte costs real time.
+// WithEntropy wraps any base codec so its wire messages pass through a
+// Huffman or LZ stage after zero-run encoding.
+//
+// Wire format (self-describing, like every scheme):
+//
+//	[SchemeEntropy][1B stage id][stage body]
+//	stage id := 0  stored   — body is the inner wire message verbatim
+//	          | 1  huffman  — body is entropy.HuffmanEncode(inner wire)
+//	          | 2  lz       — body is entropy.LZEncode(inner wire)
+//
+// The encoder codes optimistically and falls back to stored when the
+// coded body would not beat the raw inner wire, so the stage's overhead
+// is bounded at 2 bytes per message. Nesting is rejected: an inner wire
+// that itself starts with SchemeEntropy fails to decode.
+//
+// The stage preserves the repo's steady-state zero-allocation contract:
+// the inner wire is staged in a context-owned recycled buffer, the
+// coders draw scratch from sync.Pools, and decode stages the inner wire
+// in a pooled buffer before dispatching through the registry.
+
+// EntropyAlgo selects the optional entropy second stage of a codec.
+type EntropyAlgo uint8
+
+// Entropy stage selectors for Options.Entropy.
+const (
+	EntropyOff EntropyAlgo = iota
+	EntropyHuffman
+	EntropyLZ
+)
+
+// String names the stage for design tables and wire diagnostics.
+func (a EntropyAlgo) String() string {
+	switch a {
+	case EntropyOff:
+		return "off"
+	case EntropyHuffman:
+		return "huffman"
+	case EntropyLZ:
+		return "lz"
+	default:
+		return fmt.Sprintf("entropy(%d)", uint8(a))
+	}
+}
+
+// ParseEntropyAlgo parses a command-line stage name.
+func ParseEntropyAlgo(s string) (EntropyAlgo, error) {
+	switch s {
+	case "", "off", "none":
+		return EntropyOff, nil
+	case "huffman":
+		return EntropyHuffman, nil
+	case "lz":
+		return EntropyLZ, nil
+	default:
+		return EntropyOff, fmt.Errorf("compress: unknown entropy stage %q (want off|huffman|lz)", s)
+	}
+}
+
+// Stage ids on the wire (the byte after SchemeEntropy).
+const (
+	entropyWireStored  = 0
+	entropyWireHuffman = 1
+	entropyWireLZ      = 2
+)
+
+// WithEntropy wraps c so every wire message passes through the entropy
+// second stage. The wrapper forwards c's optional capabilities — a
+// Stateful inner context keeps checkpointing (the stage itself is
+// stateless), and a PreAccumulator inner context keeps the server's
+// fused optimizer path (the stage re-wraps CompressPreAccumulated's
+// output). algo EntropyOff returns c unchanged; wrapping a wrapper
+// panics (nested stages never pay).
+func WithEntropy(c Compressor, algo EntropyAlgo) Compressor {
+	if algo == EntropyOff {
+		return c
+	}
+	if algo != EntropyHuffman && algo != EntropyLZ {
+		panic(fmt.Sprintf("compress: unknown entropy stage %d", algo))
+	}
+	if c.Scheme() == SchemeEntropy {
+		panic("compress: WithEntropy applied to an already-wrapped context")
+	}
+	base := entropyCompressor{inner: c, algo: algo}
+	st, hasSt := c.(Stateful)
+	pa, hasPA := c.(PreAccumulator)
+	switch {
+	case hasSt && hasPA:
+		return &entropyStatefulPreAcc{entropyStateful{base, st}, pa}
+	case hasSt:
+		return &entropyStateful{base, st}
+	case hasPA:
+		return &entropyPreAcc{base, pa}
+	default:
+		return &base
+	}
+}
+
+type entropyCompressor struct {
+	inner Compressor
+	algo  EntropyAlgo
+	buf   []byte // inner wire staging, recycled across steps
+}
+
+func (e *entropyCompressor) Scheme() Scheme { return SchemeEntropy }
+
+func (e *entropyCompressor) Name() string {
+	return e.inner.Name() + "+" + e.algo.String()
+}
+
+func (e *entropyCompressor) Compress(in *tensor.Tensor) []byte {
+	return e.CompressInto(in, nil)
+}
+
+func (e *entropyCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
+	e.buf = e.inner.CompressInto(in, e.buf[:0])
+	if len(e.buf) == 0 {
+		return dst // local steps: transmit nothing
+	}
+	return appendEntropyWire(dst, e.algo, e.buf)
+}
+
+type entropyStateful struct {
+	entropyCompressor
+	st Stateful
+}
+
+func (e *entropyStateful) AppendState(dst []byte) []byte { return e.st.AppendState(dst) }
+func (e *entropyStateful) RestoreState(src []byte) error { return e.st.RestoreState(src) }
+
+type entropyPreAcc struct {
+	entropyCompressor
+	pa PreAccumulator
+}
+
+func (e *entropyPreAcc) AccData() []float32 { return e.pa.AccData() }
+
+func (e *entropyPreAcc) CompressPreAccumulated(maxAbs float32, dst []byte) []byte {
+	return entropyPreAccumulated(&e.entropyCompressor, e.pa, maxAbs, dst)
+}
+
+type entropyStatefulPreAcc struct {
+	entropyStateful
+	pa PreAccumulator
+}
+
+func (e *entropyStatefulPreAcc) AccData() []float32 { return e.pa.AccData() }
+
+func (e *entropyStatefulPreAcc) CompressPreAccumulated(maxAbs float32, dst []byte) []byte {
+	return entropyPreAccumulated(&e.entropyCompressor, e.pa, maxAbs, dst)
+}
+
+func entropyPreAccumulated(e *entropyCompressor, pa PreAccumulator, maxAbs float32, dst []byte) []byte {
+	e.buf = pa.CompressPreAccumulated(maxAbs, e.buf[:0])
+	if len(e.buf) == 0 {
+		return dst
+	}
+	return appendEntropyWire(dst, e.algo, e.buf)
+}
+
+// appendEntropyWire appends [SchemeEntropy][stage id][body] for inner,
+// coding with algo and falling back to stored when coding does not beat
+// the raw inner wire.
+func appendEntropyWire(dst []byte, algo EntropyAlgo, inner []byte) []byte {
+	base := len(dst)
+	dst = append(dst, byte(SchemeEntropy), entropyWireStored)
+	mark := len(dst)
+	switch algo {
+	case EntropyHuffman:
+		dst = entropy.HuffmanEncodeInto(dst, inner)
+		dst[base+1] = entropyWireHuffman
+	case EntropyLZ:
+		dst = entropy.LZEncodeInto(dst, inner)
+		dst[base+1] = entropyWireLZ
+	default:
+		panic(fmt.Sprintf("compress: unknown entropy stage %d", algo))
+	}
+	if len(dst)-mark >= len(inner) {
+		dst = dst[:mark]
+		dst[base+1] = entropyWireStored
+		dst = append(dst, inner...)
+	}
+	return dst
+}
+
+// entropyBufPool stages decoded inner wires so the decode path allocates
+// nothing in steady state.
+var entropyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// entropyInner recovers the inner wire message from an entropy payload
+// (the bytes after the SchemeEntropy identifier), staging coded bodies
+// in *buf. The returned slice aliases either payload (stored) or *buf
+// (coded); callers must not retain it past the pooled buffer's return.
+func entropyInner(payload []byte, buf *[]byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("compress: entropy payload missing stage id")
+	}
+	stage, body := payload[0], payload[1:]
+	var inner []byte
+	switch stage {
+	case entropyWireStored:
+		inner = body
+	case entropyWireHuffman:
+		b, err := entropy.HuffmanDecodeInto((*buf)[:0], body)
+		if err != nil {
+			return nil, err
+		}
+		*buf, inner = b, b
+	case entropyWireLZ:
+		b, err := entropy.LZDecodeInto((*buf)[:0], body)
+		if err != nil {
+			return nil, err
+		}
+		*buf, inner = b, b
+	default:
+		return nil, fmt.Errorf("compress: unknown entropy stage id %d", stage)
+	}
+	if len(inner) > 0 && Scheme(inner[0]) == SchemeEntropy {
+		return nil, fmt.Errorf("compress: nested entropy stage rejected")
+	}
+	return inner, nil
+}
+
+func init() {
+	RegisterDecoder(SchemeEntropy, func(payload []byte, dst *tensor.Tensor) error {
+		bp := entropyBufPool.Get().(*[]byte)
+		inner, err := entropyInner(payload, bp)
+		if err == nil {
+			err = DecompressInto(inner, dst)
+		}
+		entropyBufPool.Put(bp)
+		return err
+	})
+	// The add path inherits the inner decoder's validate-then-accumulate
+	// contract: every entropy-stage failure happens before dst is touched.
+	RegisterAddDecoder(SchemeEntropy, func(payload []byte, dst *tensor.Tensor, workers int) error {
+		bp := entropyBufPool.Get().(*[]byte)
+		inner, err := entropyInner(payload, bp)
+		if err == nil {
+			err = DecompressAddInto(inner, dst, workers)
+		}
+		entropyBufPool.Put(bp)
+		return err
+	})
+}

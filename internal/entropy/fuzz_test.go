@@ -1,0 +1,96 @@
+package entropy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHuffmanDecode drives the canonical-table decoder with arbitrary
+// streams: it must return an error for malformed input — over-subscribed
+// length tables, truncated bit streams, codes overrunning maxCodeLen —
+// and never panic. Accepted streams are cross-checked by re-encoding the
+// decoded bytes and decoding again (round-trip oracle), and the fuzz
+// input is also exercised as plaintext through a full encode/decode
+// round trip that must reproduce it exactly.
+func FuzzHuffmanDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(HuffmanEncode(nil))
+	f.Add(HuffmanEncode([]byte("the quick brown fox jumps over the lazy dog")))
+	f.Add(HuffmanEncode(bytes.Repeat([]byte{121}, 300)))
+	f.Add(HuffmanEncode(quarticData(11, 2000, 1.75)))
+	over := make([]byte, 4+256) // every symbol 1 bit: over-subscribed
+	over[0] = 8
+	for i := 4; i < 4+256; i++ {
+		over[i] = 1
+	}
+	f.Add(over)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		dec, err := HuffmanDecodeInto(nil, in)
+		if err == nil {
+			re := HuffmanEncodeInto(nil, dec)
+			dec2, err2 := HuffmanDecodeInto(nil, re)
+			if err2 != nil {
+				t.Fatalf("re-encode of accepted stream failed to decode: %v", err2)
+			}
+			if !bytes.Equal(dec, dec2) {
+				t.Fatalf("re-encode round trip mismatch: %d vs %d bytes", len(dec), len(dec2))
+			}
+		}
+
+		// The input as plaintext must always survive a round trip, and
+		// decoding must leave a pre-existing dst prefix untouched.
+		enc := HuffmanEncodeInto(nil, in)
+		prefix := []byte{0xAA, 0xBB, 0xCC}
+		out, err := HuffmanDecodeInto(append([]byte(nil), prefix...), enc)
+		if err != nil {
+			t.Fatalf("round trip decode error: %v", err)
+		}
+		if !bytes.Equal(out[:3], prefix) {
+			t.Fatalf("decode corrupted dst prefix: %x", out[:3])
+		}
+		if !bytes.Equal(out[3:], in) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out)-3, len(in))
+		}
+	})
+}
+
+// FuzzLZDecode is the LZ counterpart: arbitrary streams must decode or
+// error (truncated tokens, invalid offsets, length mismatches) without
+// panicking, accepted output must re-encode losslessly, and the input as
+// plaintext must round-trip byte-exact.
+func FuzzLZDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2})
+	f.Add([]byte{5, 0, 0, 0, 0x01, 4, 9, 0})
+	f.Add(LZEncode(nil))
+	f.Add(LZEncode([]byte("abcabcabcabcabc")))
+	f.Add(LZEncode(bytes.Repeat([]byte{121}, 300)))
+	f.Add(LZEncode(quarticData(12, 2000, 1.75)))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		dec, err := LZDecodeInto(nil, in)
+		if err == nil {
+			re := LZEncodeInto(nil, dec)
+			dec2, err2 := LZDecodeInto(nil, re)
+			if err2 != nil {
+				t.Fatalf("re-encode of accepted stream failed to decode: %v", err2)
+			}
+			if !bytes.Equal(dec, dec2) {
+				t.Fatalf("re-encode round trip mismatch: %d vs %d bytes", len(dec), len(dec2))
+			}
+		}
+
+		enc := LZEncodeInto(nil, in)
+		prefix := []byte{0xAA, 0xBB, 0xCC}
+		out, err := LZDecodeInto(append([]byte(nil), prefix...), enc)
+		if err != nil {
+			t.Fatalf("round trip decode error: %v", err)
+		}
+		if !bytes.Equal(out[:3], prefix) {
+			t.Fatalf("decode corrupted dst prefix: %x", out[:3])
+		}
+		if !bytes.Equal(out[3:], in) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out)-3, len(in))
+		}
+	})
+}

@@ -6,12 +6,22 @@
 // any bit-level operation and lookup tables" — and the ablation benchmark
 // quantifies that trade: comparable ratios on quartic-encoded data at a
 // fraction of the cost.
+//
+// Since the WAN/hierarchical work the package is wired into the codec
+// path as an optional second stage (compress.WithEntropy), so the coders
+// follow the repo's zero-allocation convention: the hot-path API is
+// append-style (HuffmanEncodeInto / HuffmanDecodeInto / LZEncodeInto /
+// LZDecodeInto) with every table and scratch buffer drawn from a
+// sync.Pool. A caller that recycles its destination buffers performs
+// zero heap allocations per call in steady state. The original
+// one-shot names remain as shims over the Into forms, and the stream
+// formats are byte-identical to the seed implementation.
 package entropy
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"sync"
 )
 
 // Huffman-coded stream format:
@@ -19,231 +29,346 @@ import (
 //	[4B LE decoded length][256B code lengths][bit stream]
 //
 // Code lengths define a canonical Huffman code; a zero length means the
-// symbol does not occur.
+// symbol does not occur. Codes are assigned canonically — symbols sorted
+// by (length, value) receive consecutive codes — and each code is
+// emitted LSB-first after bit-reversal, so the bit stream delivers the
+// canonical code MSB-first and the decoder can walk it with the
+// table-driven first/count/offset scheme with no per-stream map.
 
 const maxCodeLen = 31
 
-// HuffmanEncode compresses data with a canonical Huffman code built from
-// its own byte frequencies.
-func HuffmanEncode(data []byte) []byte {
-	lengths := buildCodeLengths(data)
-	codes := canonicalCodes(lengths)
+// huffScratch holds every table both directions of the coder need, so a
+// pooled instance makes encode and decode allocation-free. ~8 KiB.
+type huffScratch struct {
+	freq    [256]int
+	lengths [256]byte
+	codes   [256]uint32
 
-	out := make([]byte, 4+256, 4+256+len(data)/2)
-	binary.LittleEndian.PutUint32(out, uint32(len(data)))
-	copy(out[4:], lengths[:])
+	// Tree construction (encode): up to 256 leaves + 255 internal nodes.
+	nodeWeight [511]int
+	nodeSym    [511]int16 // >= 0 for leaves
+	nodeLeft   [511]int16
+	nodeRight  [511]int16
+	heap       [256]int16 // min-heap of node indices by weight
+	nHeap      int
+
+	// Depth assignment (encode): explicit DFS stack.
+	stackIdx   [511]int16
+	stackDepth [511]byte
+
+	// Canonical decode tables: per-length code counts, the first
+	// (MSB-first) code of each length, and the offset of each length's
+	// symbol run inside symbols.
+	count   [maxCodeLen + 1]uint32
+	first   [maxCodeLen + 1]uint32
+	offset  [maxCodeLen + 1]uint32
+	symbols [256]byte
+}
+
+var huffPool = sync.Pool{New: func() any { return new(huffScratch) }}
+
+// HuffmanEncode compresses data with a canonical Huffman code built from
+// its own byte frequencies. It is HuffmanEncodeInto(nil, data).
+func HuffmanEncode(data []byte) []byte {
+	return HuffmanEncodeInto(nil, data)
+}
+
+// HuffmanEncodeInto appends the Huffman-coded stream for data to dst and
+// returns the extended slice. All coder state comes from a pooled
+// scratch, so driving it with a recycled dst performs zero heap
+// allocations per call once capacities converge.
+func HuffmanEncodeInto(dst, data []byte) []byte {
+	hs := huffPool.Get().(*huffScratch)
+	hs.buildCodeLengths(data)
+	hs.buildCodes()
+
+	base := len(dst)
+	var hdr [4 + 256]byte
+	dst = append(dst, hdr[:]...)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(data)))
+	copy(dst[base+4:], hs.lengths[:])
 
 	var acc uint64
 	var nbits uint
 	for _, b := range data {
-		c := codes[b]
-		l := uint(lengths[b])
-		acc |= uint64(c) << nbits
-		nbits += l
+		acc |= uint64(hs.codes[b]) << nbits
+		nbits += uint(hs.lengths[b])
 		for nbits >= 8 {
-			out = append(out, byte(acc))
+			dst = append(dst, byte(acc))
 			acc >>= 8
 			nbits -= 8
 		}
 	}
 	if nbits > 0 {
-		out = append(out, byte(acc))
+		dst = append(dst, byte(acc))
 	}
-	return out
+	huffPool.Put(hs)
+	return dst
 }
 
-// HuffmanDecode reverses HuffmanEncode.
+// HuffmanDecode reverses HuffmanEncode. It is HuffmanDecodeInto(nil, enc).
 func HuffmanDecode(enc []byte) ([]byte, error) {
+	return HuffmanDecodeInto(nil, enc)
+}
+
+// HuffmanDecodeInto appends the decoded bytes to dst and returns the
+// extended slice. enc is untrusted network data: malformed streams
+// (truncation, over-subscribed code-length tables, codes that overrun
+// maxCodeLen) return an error with dst unmodified (the returned slice is
+// dst re-sliced to its original length), and never panic. Decoding uses
+// canonical first/count/offset tables from a pooled scratch — no
+// per-stream map — so a recycled dst makes the call allocation-free.
+func HuffmanDecodeInto(dst, enc []byte) ([]byte, error) {
+	base := len(dst)
 	if len(enc) < 4+256 {
-		return nil, fmt.Errorf("entropy: huffman stream too short (%d bytes)", len(enc))
+		return dst, fmt.Errorf("entropy: huffman stream too short (%d bytes)", len(enc))
 	}
 	n := int(binary.LittleEndian.Uint32(enc))
-	var lengths [256]byte
-	copy(lengths[:], enc[4:4+256])
-	body := enc[4+256:]
-
 	if n == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	codes := canonicalCodes(lengths)
-
-	// Build a decode map keyed by (length, code).
-	type key struct {
-		l uint8
-		c uint32
-	}
-	decode := make(map[key]byte)
-	single := -1 // the only symbol, if exactly one occurs
-	nsyms := 0
-	for s := 0; s < 256; s++ {
-		if lengths[s] > 0 {
-			decode[key{lengths[s], codes[s]}] = byte(s)
-			single = s
-			nsyms++
-		}
+	hs := huffPool.Get().(*huffScratch)
+	defer huffPool.Put(hs)
+	copy(hs.lengths[:], enc[4:4+256])
+	nsyms, err := hs.buildDecodeTables()
+	if err != nil {
+		return dst, err
 	}
 	if nsyms == 0 {
-		return nil, fmt.Errorf("entropy: huffman stream declares no symbols for %d bytes", n)
+		return dst, fmt.Errorf("entropy: huffman stream declares no symbols for %d bytes", n)
 	}
-	if nsyms == 1 {
-		out := make([]byte, n)
-		for i := range out {
-			out[i] = byte(single)
-		}
-		return out, nil
-	}
+	body := enc[4+256:]
 
-	out := make([]byte, 0, n)
 	var code uint32
-	var codeLen uint8
+	codeLen := 0
 	for _, b := range body {
 		for bit := 0; bit < 8; bit++ {
-			// Codes are emitted LSB-first; reconstruct in emission order.
-			code |= uint32((b>>uint(bit))&1) << codeLen
+			code = code<<1 | uint32(b>>uint(bit))&1
 			codeLen++
-			if codeLen > maxCodeLen {
-				return nil, fmt.Errorf("entropy: code overruns %d bits", maxCodeLen)
-			}
-			if s, ok := decode[key{codeLen, code}]; ok {
-				out = append(out, s)
+			// Canonical invariant: at every length code >= first[l], and
+			// the live codes of length l are [first[l], first[l]+count[l]).
+			if idx := code - hs.first[codeLen]; idx < hs.count[codeLen] {
+				dst = append(dst, hs.symbols[hs.offset[codeLen]+idx])
 				code, codeLen = 0, 0
-				if len(out) == n {
-					return out, nil
+				if len(dst)-base == n {
+					return dst, nil
 				}
+			} else if codeLen == maxCodeLen {
+				return dst[:base], fmt.Errorf("entropy: code overruns %d bits", maxCodeLen)
 			}
 		}
 	}
-	return nil, fmt.Errorf("entropy: huffman stream truncated (%d of %d bytes decoded)", len(out), n)
+	return dst[:base], fmt.Errorf("entropy: huffman stream truncated (%d of %d bytes decoded)", len(dst)-base, n)
 }
 
-// buildCodeLengths constructs Huffman code lengths from byte frequencies,
-// capped at maxCodeLen (frequencies at this scale never hit the cap).
-func buildCodeLengths(data []byte) [256]byte {
-	var freq [256]int
+// buildCodeLengths constructs Huffman code lengths from data's byte
+// frequencies into hs.lengths. Lengths are capped at maxCodeLen with a
+// Kraft-preserving adjustment, so the resulting canonical code is always
+// a valid prefix code (the cap needs multi-megabyte adversarial
+// frequency skews to even trigger).
+func (hs *huffScratch) buildCodeLengths(data []byte) {
+	for i := range hs.freq {
+		hs.freq[i] = 0
+	}
 	for _, b := range data {
-		freq[b]++
+		hs.freq[b]++
 	}
-	type node struct {
-		weight      int
-		sym         int // >= 0 for leaves
-		left, right int // indices into nodes
-	}
-	var nodes []node
-	var heap []int // indices, min-heap by weight
-
-	push := func(i int) {
-		heap = append(heap, i)
-		c := len(heap) - 1
-		for c > 0 {
-			p := (c - 1) / 2
-			if nodes[heap[p]].weight <= nodes[heap[c]].weight {
-				break
-			}
-			heap[p], heap[c] = heap[c], heap[p]
-			c = p
-		}
-	}
-	pop := func() int {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		c := 0
-		for {
-			l, r := 2*c+1, 2*c+2
-			small := c
-			if l < len(heap) && nodes[heap[l]].weight < nodes[heap[small]].weight {
-				small = l
-			}
-			if r < len(heap) && nodes[heap[r]].weight < nodes[heap[small]].weight {
-				small = r
-			}
-			if small == c {
-				break
-			}
-			heap[c], heap[small] = heap[small], heap[c]
-			c = small
-		}
-		return top
+	for i := range hs.lengths {
+		hs.lengths[i] = 0
 	}
 
+	nNodes := 0
+	hs.nHeap = 0
 	for s := 0; s < 256; s++ {
-		if freq[s] > 0 {
-			nodes = append(nodes, node{weight: freq[s], sym: s, left: -1, right: -1})
-			push(len(nodes) - 1)
+		if hs.freq[s] > 0 {
+			hs.nodeWeight[nNodes] = hs.freq[s]
+			hs.nodeSym[nNodes] = int16(s)
+			hs.nodeLeft[nNodes], hs.nodeRight[nNodes] = -1, -1
+			hs.heapPush(int16(nNodes))
+			nNodes++
 		}
 	}
-	var lengths [256]byte
-	if len(nodes) == 0 {
-		return lengths
+	if nNodes == 0 {
+		return
 	}
-	if len(nodes) == 1 {
-		lengths[nodes[0].sym] = 1
-		return lengths
+	if nNodes == 1 {
+		hs.lengths[hs.nodeSym[0]] = 1
+		return
 	}
-	for len(heap) > 1 {
-		a, b := pop(), pop()
-		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, sym: -1, left: a, right: b})
-		push(len(nodes) - 1)
+	for hs.nHeap > 1 {
+		a, b := hs.heapPop(), hs.heapPop()
+		hs.nodeWeight[nNodes] = hs.nodeWeight[a] + hs.nodeWeight[b]
+		hs.nodeSym[nNodes] = -1
+		hs.nodeLeft[nNodes], hs.nodeRight[nNodes] = a, b
+		hs.heapPush(int16(nNodes))
+		nNodes++
 	}
-	root := heap[0]
+
 	// Depth-first assignment of depths as code lengths.
-	type walkItem struct {
-		idx   int
-		depth byte
-	}
-	stack := []walkItem{{root, 0}}
-	for len(stack) > 0 {
-		it := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nd := nodes[it.idx]
-		if nd.sym >= 0 {
-			d := it.depth
+	top := 0
+	hs.stackIdx[0], hs.stackDepth[0] = hs.heap[0], 0
+	top++
+	overlong := false
+	for top > 0 {
+		top--
+		idx, depth := hs.stackIdx[top], hs.stackDepth[top]
+		if sym := hs.nodeSym[idx]; sym >= 0 {
+			d := depth
 			if d == 0 {
 				d = 1
 			}
 			if d > maxCodeLen {
 				d = maxCodeLen
+				overlong = true
 			}
-			lengths[nd.sym] = d
+			hs.lengths[sym] = d
 			continue
 		}
-		stack = append(stack, walkItem{nd.left, it.depth + 1}, walkItem{nd.right, it.depth + 1})
+		hs.stackIdx[top], hs.stackDepth[top] = hs.nodeLeft[idx], depth+1
+		top++
+		hs.stackIdx[top], hs.stackDepth[top] = hs.nodeRight[idx], depth+1
+		top++
 	}
-	return lengths
+	if overlong {
+		hs.restoreKraft()
+	}
 }
 
-// canonicalCodes derives canonical codes (LSB-first bit order) from code
-// lengths: symbols sorted by (length, value) receive consecutive codes.
-func canonicalCodes(lengths [256]byte) [256]uint32 {
-	type sl struct {
-		sym int
-		l   byte
+// restoreKraft repairs the code-length multiset after depths were capped
+// at maxCodeLen: capping shortens codes, which can over-subscribe the
+// code space. Lengthening the deepest still-lengthenable codes restores
+// Kraft validity with minimal ratio damage.
+func (hs *huffScratch) restoreKraft() {
+	const limit = uint64(1) << maxCodeLen
+	kraft := uint64(0)
+	for _, l := range hs.lengths {
+		if l > 0 {
+			kraft += uint64(1) << (maxCodeLen - l)
+		}
 	}
-	var syms []sl
+	for kraft > limit {
+		// Deepest symbol shorter than the cap: lengthening it frees the
+		// least code space per step, so the loop converges exactly.
+		deepest, dl := -1, byte(0)
+		for s, l := range hs.lengths {
+			if l > dl && l < maxCodeLen {
+				deepest, dl = s, l
+			}
+		}
+		if deepest < 0 {
+			return // all symbols at the cap: kraft <= 256 << 0 <= limit
+		}
+		hs.lengths[deepest] = dl + 1
+		kraft -= uint64(1) << (maxCodeLen - dl - 1)
+	}
+}
+
+// buildCodes derives canonical codes from hs.lengths into hs.codes,
+// stored bit-reversed so LSB-first emission yields the canonical code
+// MSB-first on the wire.
+func (hs *huffScratch) buildCodes() {
+	for i := range hs.count {
+		hs.count[i] = 0
+	}
+	for _, l := range hs.lengths {
+		if l > 0 {
+			hs.count[l]++
+		}
+	}
+	var next [maxCodeLen + 1]uint32
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + hs.count[l-1]) << 1
+		next[l] = code
+	}
 	for s := 0; s < 256; s++ {
-		if lengths[s] > 0 {
-			syms = append(syms, sl{s, lengths[s]})
+		if l := hs.lengths[s]; l > 0 {
+			hs.codes[s] = reverseBits(next[l], uint(l))
+			next[l]++
 		}
 	}
-	sort.Slice(syms, func(a, b int) bool {
-		if syms[a].l != syms[b].l {
-			return syms[a].l < syms[b].l
-		}
-		return syms[a].sym < syms[b].sym
-	})
-	var codes [256]uint32
-	var code uint32
-	var prevLen byte
-	for _, s := range syms {
-		code <<= uint(s.l - prevLen)
-		prevLen = s.l
-		// Store bit-reversed so that emission LSB-first preserves the
-		// prefix property when read bit by bit.
-		codes[s.sym] = reverseBits(code, uint(s.l))
-		code++
+}
+
+// buildDecodeTables validates hs.lengths as an untrusted code-length
+// table and fills the canonical decode tables (count, first, offset,
+// symbols). It returns the number of declared symbols, or an error if
+// the lengths over-subscribe the code space (no prefix code exists).
+func (hs *huffScratch) buildDecodeTables() (int, error) {
+	for i := range hs.count {
+		hs.count[i] = 0
 	}
-	return codes
+	nsyms := 0
+	for _, l := range hs.lengths {
+		if l == 0 {
+			continue
+		}
+		if l > maxCodeLen {
+			return 0, fmt.Errorf("entropy: code length %d exceeds %d bits", l, maxCodeLen)
+		}
+		hs.count[l]++
+		nsyms++
+	}
+	var kraft uint64
+	for l := 1; l <= maxCodeLen; l++ {
+		kraft += uint64(hs.count[l]) << uint(maxCodeLen-l)
+	}
+	if kraft > uint64(1)<<maxCodeLen {
+		return nsyms, fmt.Errorf("entropy: huffman code lengths over-subscribe the code space")
+	}
+	code := uint32(0)
+	off := uint32(0)
+	var next [maxCodeLen + 1]uint32
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + hs.count[l-1]) << 1
+		hs.first[l] = code
+		hs.offset[l] = off
+		next[l] = off
+		off += hs.count[l]
+	}
+	for s := 0; s < 256; s++ {
+		if l := hs.lengths[s]; l > 0 {
+			hs.symbols[next[l]] = byte(s)
+			next[l]++
+		}
+	}
+	return nsyms, nil
+}
+
+func (hs *huffScratch) heapPush(i int16) {
+	hs.heap[hs.nHeap] = i
+	c := hs.nHeap
+	hs.nHeap++
+	for c > 0 {
+		p := (c - 1) / 2
+		if hs.nodeWeight[hs.heap[p]] <= hs.nodeWeight[hs.heap[c]] {
+			break
+		}
+		hs.heap[p], hs.heap[c] = hs.heap[c], hs.heap[p]
+		c = p
+	}
+}
+
+func (hs *huffScratch) heapPop() int16 {
+	top := hs.heap[0]
+	hs.nHeap--
+	hs.heap[0] = hs.heap[hs.nHeap]
+	c := 0
+	for {
+		l, r := 2*c+1, 2*c+2
+		small := c
+		if l < hs.nHeap && hs.nodeWeight[hs.heap[l]] < hs.nodeWeight[hs.heap[small]] {
+			small = l
+		}
+		if r < hs.nHeap && hs.nodeWeight[hs.heap[r]] < hs.nodeWeight[hs.heap[small]] {
+			small = r
+		}
+		if small == c {
+			break
+		}
+		hs.heap[c], hs.heap[small] = hs.heap[small], hs.heap[c]
+		c = small
+	}
+	return top
 }
 
 func reverseBits(v uint32, n uint) uint32 {

@@ -1,0 +1,118 @@
+package entropy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestIntoMatchesShims pins the append-style forms to the one-shot
+// shims: identical wire bytes, identical decode, and appending after a
+// non-empty prefix leaves the prefix intact.
+func TestIntoMatchesShims(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{42},
+		{1, 1, 1, 1, 1},
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		quarticData(21, 10000, 1.0),
+		quarticData(22, 10000, 1.9),
+	}
+	prefix := []byte{9, 9, 9}
+	for i, data := range cases {
+		hShim, hInto := HuffmanEncode(data), HuffmanEncodeInto(append([]byte(nil), prefix...), data)
+		if !bytes.Equal(hInto[:3], prefix) || !bytes.Equal(hShim, hInto[3:]) {
+			t.Fatalf("case %d: HuffmanEncodeInto diverges from shim", i)
+		}
+		lShim, lInto := LZEncode(data), LZEncodeInto(append([]byte(nil), prefix...), data)
+		if !bytes.Equal(lInto[:3], prefix) || !bytes.Equal(lShim, lInto[3:]) {
+			t.Fatalf("case %d: LZEncodeInto diverges from shim", i)
+		}
+		hDec, err := HuffmanDecodeInto(append([]byte(nil), prefix...), hShim)
+		if err != nil || !bytes.Equal(hDec[:3], prefix) || !bytes.Equal(hDec[3:], data) {
+			t.Fatalf("case %d: HuffmanDecodeInto mismatch (err=%v)", i, err)
+		}
+		lDec, err := LZDecodeInto(append([]byte(nil), prefix...), lShim)
+		if err != nil || !bytes.Equal(lDec[:3], prefix) || !bytes.Equal(lDec[3:], data) {
+			t.Fatalf("case %d: LZDecodeInto mismatch (err=%v)", i, err)
+		}
+	}
+}
+
+// TestDecodeIntoErrorLeavesDst pins the error contract: a malformed
+// stream returns dst re-sliced to its original length.
+func TestDecodeIntoErrorLeavesDst(t *testing.T) {
+	dst := []byte{1, 2, 3}
+	enc := HuffmanEncode(bytes.Repeat([]byte{1, 2, 3, 4}, 100))
+	out, err := HuffmanDecodeInto(dst, enc[:len(enc)-5])
+	if err == nil {
+		t.Fatal("expected error for truncated huffman body")
+	}
+	if !bytes.Equal(out, dst) {
+		t.Fatalf("dst not restored on error: %v", out)
+	}
+	out, err = LZDecodeInto(dst, []byte{5, 0, 0, 0, 0x01, 4, 9, 0})
+	if err == nil {
+		t.Fatal("expected error for invalid lz offset")
+	}
+	if !bytes.Equal(out, dst) {
+		t.Fatalf("dst not restored on error: %v", out)
+	}
+}
+
+// TestLZDecodeIntoOffsetsIgnorePrefix pins that match offsets resolve
+// only within the current stream: a stream whose first token is a match
+// must error even when dst already holds bytes.
+func TestLZDecodeIntoOffsetsIgnorePrefix(t *testing.T) {
+	// 4 decoded bytes declared, immediate match at offset 2.
+	bad := []byte{4, 0, 0, 0, 0x01, 4, 2, 0}
+	if _, err := LZDecodeInto([]byte{7, 7, 7, 7, 7, 7}, bad); err == nil {
+		t.Fatal("match offset resolved against pre-existing dst prefix")
+	}
+}
+
+// TestEncodeDecodeZeroAllocs pins the steady-state allocation contract
+// of the Into forms: with recycled destination buffers, encode and
+// decode of both coders perform zero heap allocations per call.
+func TestEncodeDecodeZeroAllocs(t *testing.T) {
+	data := quarticData(23, 65536, 1.75)
+	encBuf := make([]byte, 0, 2*len(data)+512)
+	decBuf := make([]byte, 0, 2*len(data)+512)
+
+	encBuf = HuffmanEncodeInto(encBuf[:0], data) // warm the pool
+	if allocs := testing.AllocsPerRun(10, func() {
+		encBuf = HuffmanEncodeInto(encBuf[:0], data)
+	}); allocs != 0 {
+		t.Errorf("HuffmanEncodeInto: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		var err error
+		decBuf, err = HuffmanDecodeInto(decBuf[:0], encBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("HuffmanDecodeInto: %v allocs/op, want 0", allocs)
+	}
+	if !bytes.Equal(decBuf, data) {
+		t.Fatal("huffman round trip mismatch")
+	}
+
+	encBuf = LZEncodeInto(encBuf[:0], data)
+	if allocs := testing.AllocsPerRun(10, func() {
+		encBuf = LZEncodeInto(encBuf[:0], data)
+	}); allocs != 0 {
+		t.Errorf("LZEncodeInto: %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		var err error
+		decBuf, err = LZDecodeInto(decBuf[:0], encBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("LZDecodeInto: %v allocs/op, want 0", allocs)
+	}
+	if !bytes.Equal(decBuf, data) {
+		t.Fatal("lz round trip mismatch")
+	}
+}

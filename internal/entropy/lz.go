@@ -3,6 +3,7 @@ package entropy
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // LZ is a small Snappy-flavoured byte-level LZ77 coder: greedy
@@ -24,28 +25,46 @@ const (
 	lzHashBits  = 14
 )
 
-// LZEncode compresses data.
-func LZEncode(data []byte) []byte {
-	out := make([]byte, 4, 4+len(data)/2+16)
-	binary.LittleEndian.PutUint32(out, uint32(len(data)))
+// lzScratch is the 64 KiB encoder hash table, pooled so LZEncodeInto
+// allocates nothing per call.
+type lzScratch struct {
+	table [1 << lzHashBits]int32
+}
 
-	var table [1 << lzHashBits]int32
+var lzPool = sync.Pool{New: func() any { return new(lzScratch) }}
+
+// LZEncode compresses data. It is LZEncodeInto(nil, data).
+func LZEncode(data []byte) []byte {
+	return LZEncodeInto(nil, data)
+}
+
+// LZEncodeInto appends the LZ stream for data to dst and returns the
+// extended slice. The hash table comes from a sync.Pool, so recycling
+// dst makes the call allocation-free in steady state.
+func LZEncodeInto(dst, data []byte) []byte {
+	ls := lzPool.Get().(*lzScratch)
+	table := &ls.table
 	for i := range table {
 		table[i] = -1
 	}
+
+	base := len(dst)
+	var hdr [4]byte
+	dst = append(dst, hdr[:]...)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(data)))
+
 	hash := func(i int) uint32 {
 		v := binary.LittleEndian.Uint32(data[i:])
 		return (v * 2654435761) >> (32 - lzHashBits)
 	}
-
 	emitLiterals := func(lo, hi int) {
 		for lo < hi {
 			n := hi - lo
 			if n > 255 {
 				n = 255
 			}
-			out = append(out, 0x00, byte(n))
-			out = append(out, data[lo:lo+n]...)
+			dst = append(dst, 0x00, byte(n))
+			dst = append(dst, data[lo:lo+n]...)
 			lo += n
 		}
 	}
@@ -64,11 +83,10 @@ func LZEncode(data []byte) []byte {
 				m++
 			}
 			emitLiterals(litStart, i)
-			out = append(out, 0x01, byte(m))
+			dst = append(dst, 0x01, byte(m))
 			var off [2]byte
-			le16 := uint16(i - int(cand))
-			binary.LittleEndian.PutUint16(off[:], le16)
-			out = append(out, off[:]...)
+			binary.LittleEndian.PutUint16(off[:], uint16(i-int(cand)))
+			dst = append(dst, off[:]...)
 			i += m
 			litStart = i
 			continue
@@ -76,50 +94,61 @@ func LZEncode(data []byte) []byte {
 		i++
 	}
 	emitLiterals(litStart, len(data))
-	return out
+	lzPool.Put(ls)
+	return dst
 }
 
-// LZDecode reverses LZEncode.
+// LZDecode reverses LZEncode. It is LZDecodeInto(nil, enc).
 func LZDecode(enc []byte) ([]byte, error) {
+	return LZDecodeInto(nil, enc)
+}
+
+// LZDecodeInto appends the decoded bytes to dst and returns the extended
+// slice. Match offsets are resolved against the bytes decoded from THIS
+// stream only, never against pre-existing dst content. enc is untrusted:
+// malformed streams return an error with dst unmodified (the returned
+// slice is dst re-sliced to its original length), and never panic.
+func LZDecodeInto(dst, enc []byte) ([]byte, error) {
 	if len(enc) < 4 {
-		return nil, fmt.Errorf("entropy: lz stream too short")
+		return dst, fmt.Errorf("entropy: lz stream too short")
 	}
+	base := len(dst)
 	n := int(binary.LittleEndian.Uint32(enc))
 	body := enc[4:]
-	out := make([]byte, 0, n)
 	i := 0
 	for i < len(body) {
 		switch body[i] {
 		case 0x00:
 			if i+2 > len(body) {
-				return nil, fmt.Errorf("entropy: literal token truncated")
+				return dst[:base], fmt.Errorf("entropy: literal token truncated")
 			}
 			l := int(body[i+1])
 			if i+2+l > len(body) {
-				return nil, fmt.Errorf("entropy: literal run truncated")
+				return dst[:base], fmt.Errorf("entropy: literal run truncated")
 			}
-			out = append(out, body[i+2:i+2+l]...)
+			dst = append(dst, body[i+2:i+2+l]...)
 			i += 2 + l
 		case 0x01:
 			if i+4 > len(body) {
-				return nil, fmt.Errorf("entropy: match token truncated")
+				return dst[:base], fmt.Errorf("entropy: match token truncated")
 			}
 			m := int(body[i+1])
 			off := int(binary.LittleEndian.Uint16(body[i+2:]))
-			if off == 0 || off > len(out) {
-				return nil, fmt.Errorf("entropy: match offset %d invalid at %d decoded bytes", off, len(out))
+			if off == 0 || off > len(dst)-base {
+				return dst[:base], fmt.Errorf("entropy: match offset %d invalid at %d decoded bytes", off, len(dst)-base)
 			}
-			src := len(out) - off
+			src := len(dst) - off
 			for k := 0; k < m; k++ {
-				out = append(out, out[src+k])
+				dst = append(dst, dst[src+k])
 			}
 			i += 4
 		default:
-			return nil, fmt.Errorf("entropy: unknown token 0x%02x", body[i])
+			return dst[:base], fmt.Errorf("entropy: unknown token 0x%02x", body[i])
 		}
 	}
-	if len(out) != n {
-		return nil, fmt.Errorf("entropy: decoded %d bytes, header says %d", len(out), n)
+	if len(dst)-base != n {
+		err := fmt.Errorf("entropy: decoded %d bytes, header says %d", len(dst)-base, n)
+		return dst[:base], err
 	}
-	return out, nil
+	return dst, nil
 }

@@ -163,3 +163,71 @@ func TestClock(t *testing.T) {
 		t.Error("empty clock PerStep should be 0")
 	}
 }
+
+func TestWANTimeFlatOrUnconfiguredIsZero(t *testing.T) {
+	p := DefaultParams(Gbps1)
+	if p.WANTime(nil, nil) != 0 {
+		t.Error("flat topology must have zero WAN time")
+	}
+	p.Regions = 1
+	if p.WANTime([]int{100}, []int{100}) != 0 {
+		t.Error("single region is flat; want zero WAN time")
+	}
+	p.Regions = 2
+	p.WANBandwidthBps = 0
+	if p.WANTime([]int{100, 100}, []int{100, 100}) != 0 {
+		t.Error("no WAN bandwidth configured; want zero WAN time")
+	}
+}
+
+func TestWANTimeSlowestRegionGates(t *testing.T) {
+	p := DefaultParams(Gbps1)
+	p.Regions = 3
+	p.WANBandwidthBps = Mbps10
+	p.WANLatencySec = 0
+	// Regions transfer concurrently over private links: only region 2's
+	// 9000-byte push matters.
+	got := p.WANTime([]int{1000, 2000, 9000}, []int{500, 500, 500})
+	want := 9000.0 * 8 / Mbps10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WANTime = %v, want slowest region %v", got, want)
+	}
+}
+
+func TestWANTimeFullDuplex(t *testing.T) {
+	p := DefaultParams(Gbps1)
+	p.Regions = 2
+	p.WANBandwidthBps = Mbps10
+	p.WANLatencySec = 0
+	// Push and pull are full duplex: the larger direction dominates, the
+	// smaller rides for free.
+	got := p.WANTime([]int{4000, 4000}, []int{6000, 6000})
+	want := 6000.0 * 8 / Mbps10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WANTime = %v, want pull-dominated %v", got, want)
+	}
+}
+
+func TestWANTimeLatencyAdded(t *testing.T) {
+	p := DefaultParams(Gbps1)
+	p.Regions = 2
+	p.WANBandwidthBps = Mbps100
+	p.WANLatencySec = 20e-3
+	got := p.WANTime([]int{1000, 1000}, []int{1000, 1000})
+	want := 1000.0*8/Mbps100 + 2*20e-3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WANTime = %v, want transfer+2*RTT/2 %v", got, want)
+	}
+}
+
+func TestWANTimeRegionCountValidation(t *testing.T) {
+	p := DefaultParams(Gbps1)
+	p.Regions = 3
+	p.WANBandwidthBps = Mbps10
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched region slice lengths should panic")
+		}
+	}()
+	p.WANTime([]int{1, 2}, []int{1, 2})
+}

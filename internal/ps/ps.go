@@ -75,10 +75,14 @@ func (c Config) batchThreshold() int {
 }
 
 // batchEligible reports whether tensor p joins the node's ternary batch:
-// a compressed 3LC tensor below the batching threshold.
+// a compressed 3LC tensor below the batching threshold. The entropy
+// second stage opts out — TernaryBatch members emit into a shared wire
+// arena without the wrapper, and WAN configurations care about bytes,
+// not tiny-tensor dispatch overhead.
 func (c Config) batchEligible(p *nn.Param) bool {
 	thr := c.batchThreshold()
 	return thr > 0 && c.Scheme == compress.SchemeThreeLC &&
+		c.Opts.Entropy == compress.EntropyOff &&
 		c.shouldCompress(p) && p.W.Len() < thr
 }
 

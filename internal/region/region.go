@@ -1,0 +1,498 @@
+// Package region implements hierarchical two-level aggregation for
+// WAN-aware training: workers are grouped into regions (racks, sites,
+// datacenters), each region's aggregator ingests its local workers'
+// pushes over the fast local network, and only one stream per region
+// crosses the slow inter-region link to the global shard tier.
+//
+// Two forwarding modes cover the fidelity/byte trade-off:
+//
+//   - Exact (default): the aggregator bundles its workers' wire messages
+//     and forwards them verbatim, in worker order. The global tier
+//     ingests exactly the byte stream a flat topology would have
+//     produced, so model state is bit-identical to flat training for
+//     every codec — the hierarchy changes only where bytes travel. The
+//     optional entropy second stage codes each region's bundled stream
+//     across tensor (and worker) boundaries, which is where cross-wire
+//     redundancy lives.
+//
+//   - Recompress: the aggregator fuses local pushes into a per-region
+//     gradient sum with the fused decode-accumulate kernels
+//     (compress.DecompressAddInto over kernel.DecodeTernaryAddParallel
+//     for ternary wires), then re-encodes ONE residual stream per tensor
+//     with a region-owned error-accumulating compression context. The
+//     slow link carries one coded set per region — W/R times fewer
+//     streams — at the cost of a second quantization; the region's
+//     error-accumulation buffer retries what the re-quantization drops,
+//     exactly the paper's §3.1 argument applied at the aggregator.
+//
+// The Tier presents the same step-server surface the training driver
+// already speaks (BeginStep / per-worker push sessions / FinishStep), so
+// hierarchical topologies drop into package train unchanged.
+package region
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"threelc/internal/compress"
+	"threelc/internal/entropy"
+	"threelc/internal/nn"
+	"threelc/internal/ps"
+	"threelc/internal/tensor"
+)
+
+// Server is the global tier a region tier forwards to: the step-server
+// surface of ps.Job and the sharded equivalents.
+type Server interface {
+	BeginStep()
+	BeginPush(workerID int) ps.PushSession
+	FinishStep() ([][]byte, time.Duration, error)
+	AppendState(dst []byte) []byte
+	RestoreState(src []byte) error
+}
+
+// Config shapes a region tier.
+type Config struct {
+	// Regions is the number of regional aggregators. Workers are assigned
+	// contiguously (RegionOf), so every region is non-empty when
+	// Workers >= Regions.
+	Regions int
+	// Workers is the global worker count.
+	Workers int
+	// Recompress selects the fused re-encode mode; false forwards worker
+	// wires verbatim (bit-identical to flat training).
+	Recompress bool
+	// Entropy selects the entropy second stage on the inter-region link.
+	// In exact mode it codes each region's bundled wire stream; in
+	// recompress mode it wraps the region's re-encode contexts, so the
+	// forwarded wires themselves carry compress.SchemeEntropy.
+	Entropy compress.EntropyAlgo
+	// Scheme and Opts configure the recompress contexts, normally the
+	// run's own design (the region re-quantizes with the same codec).
+	// MinCompressElems carries the small-tensor exemption: below it (or
+	// for NoCompress tensors) the region forwards raw floats instead of
+	// re-quantizing. Ignored in exact mode.
+	Scheme           compress.Scheme
+	Opts             compress.Options
+	MinCompressElems int
+	// Parallelism bounds the fused decode-accumulate fan-out per tensor.
+	// Zero means work-proportional; 1 forces serial kernels (the
+	// allocation-free configuration).
+	Parallelism int
+}
+
+// RegionOf maps a worker to its region: contiguous balanced blocks, so
+// worker 0 (the chief, batch-norm owner) is always in region 0.
+func RegionOf(worker, workers, regions int) int {
+	return worker * regions / workers
+}
+
+// Tier is a two-level aggregation topology over an inner global tier.
+// Like the servers it wraps, a Tier is driven by a single-threaded step
+// loop: BeginStep, one push session per worker (sessions ingest
+// concurrently-produced tensors but are themselves opened and completed
+// in worker order), then FinishStep.
+type Tier struct {
+	inner Server
+	cfg   Config
+
+	params []*nn.Param
+	comp   []bool // per tensor: region re-quantizes (recompress mode)
+
+	sessions []session
+
+	// Exact mode: per-region bundles of forwarded worker wires.
+	bundles [][]byte
+
+	// Recompress mode.
+	sums    [][]*tensor.Tensor      // [region][tensor] fused gradient sums
+	dirty   [][]bool                // sums[r][i] holds this step's data
+	ctx     [][]compress.Compressor // [region][tensor] re-encode contexts
+	setBufs [][][]byte              // [region][tensor] recycled wire buffers
+	ncWire  [][]byte                // worker-0 wires of NoCompress tensors, copied
+	fuseDur time.Duration           // decode-accumulate time inside sessions
+
+	codeBuf []byte // framed pull set, recycled
+	scratch []byte // entropy coding scratch for WAN accounting
+	wanPush []int  // per region, last completed step
+	wanPull []int
+}
+
+// NewTier wraps inner with a region tier. params describes the model's
+// tensor set (shapes and compression exemptions) — typically
+// model.Params() of the global replica; the tier allocates its own
+// aggregation buffers and never writes through params.
+func NewTier(inner Server, params []*nn.Param, cfg Config) (*Tier, error) {
+	if cfg.Regions < 1 {
+		return nil, fmt.Errorf("region: Regions %d must be >= 1", cfg.Regions)
+	}
+	if cfg.Workers < cfg.Regions {
+		return nil, fmt.Errorf("region: %d workers cannot populate %d regions", cfg.Workers, cfg.Regions)
+	}
+	t := &Tier{
+		inner:    inner,
+		cfg:      cfg,
+		params:   params,
+		sessions: make([]session, cfg.Workers),
+		wanPush:  make([]int, cfg.Regions),
+		wanPull:  make([]int, cfg.Regions),
+	}
+	for w := range t.sessions {
+		t.sessions[w] = session{t: t, worker: w, region: RegionOf(w, cfg.Workers, cfg.Regions)}
+	}
+	if !cfg.Recompress {
+		t.bundles = make([][]byte, cfg.Regions)
+		return t, nil
+	}
+
+	t.comp = make([]bool, len(params))
+	for i, p := range params {
+		t.comp[i] = cfg.Scheme != compress.SchemeNone && !p.NoCompress &&
+			p.W.Len() >= cfg.MinCompressElems
+	}
+	t.sums = make([][]*tensor.Tensor, cfg.Regions)
+	t.dirty = make([][]bool, cfg.Regions)
+	t.ctx = make([][]compress.Compressor, cfg.Regions)
+	t.setBufs = make([][][]byte, cfg.Regions)
+	t.ncWire = make([][]byte, len(params))
+	for r := 0; r < cfg.Regions; r++ {
+		t.sums[r] = make([]*tensor.Tensor, len(params))
+		t.dirty[r] = make([]bool, len(params))
+		t.ctx[r] = make([]compress.Compressor, len(params))
+		t.setBufs[r] = make([][]byte, len(params))
+		for i, p := range params {
+			t.sums[r][i] = tensor.New(p.W.Shape()...)
+			if p.NoCompress {
+				continue // forwarded verbatim from worker 0, never fused
+			}
+			if t.comp[i] {
+				o := cfg.Opts
+				o.Entropy = cfg.Entropy
+				o.Seed ^= 0x524547 ^ uint64(r)<<40 ^ uint64(i)<<16
+				o.CodecParallelism = cfg.Parallelism
+				t.ctx[r][i] = compress.New(cfg.Scheme, p.W.Shape(), o)
+			} else {
+				t.ctx[r][i] = compress.New(compress.SchemeNone, p.W.Shape(), compress.Options{})
+			}
+		}
+	}
+	return t, nil
+}
+
+// BeginStep starts a step on the inner tier and resets per-step region
+// state.
+func (t *Tier) BeginStep() {
+	t.inner.BeginStep()
+	t.fuseDur = 0
+	if t.cfg.Recompress {
+		for r := range t.dirty {
+			for i := range t.dirty[r] {
+				t.dirty[r][i] = false
+			}
+		}
+		return
+	}
+	for r := range t.bundles {
+		t.bundles[r] = t.bundles[r][:0]
+	}
+}
+
+// BeginPush opens worker workerID's push session. Sessions are recycled
+// per worker; open and complete them in worker order.
+func (t *Tier) BeginPush(workerID int) ps.PushSession {
+	s := &t.sessions[workerID]
+	if !t.cfg.Recompress {
+		s.fwd = t.inner.BeginPush(workerID)
+	}
+	return s
+}
+
+// AddPush ingests one worker's complete wire-set push — BeginPush, Set,
+// End in a single call. It adapts the tier to drivers that speak
+// ps.Job's AddPush surface (notably transport.Server's step loop, so a
+// region aggregator can sit behind a real TCP front door). The returned
+// duration is this push's share of the region's fused decode-accumulate
+// time.
+func (t *Tier) AddPush(workerID int, wires [][]byte) (time.Duration, error) {
+	if workerID < 0 || workerID >= t.cfg.Workers {
+		return 0, fmt.Errorf("region: push worker id %d out of range (%d workers)", workerID, t.cfg.Workers)
+	}
+	before := t.fuseDur
+	s := t.BeginPush(workerID)
+	if err := s.Set(wires); err != nil {
+		return 0, err
+	}
+	if err := s.End(); err != nil {
+		return 0, err
+	}
+	return t.fuseDur - before, nil
+}
+
+// session ingests one worker's push into its region.
+type session struct {
+	t      *Tier
+	worker int
+	region int
+	fwd    ps.PushSession // exact mode: inner pass-through
+}
+
+func (s *session) Set(wires [][]byte) error {
+	if len(wires) != len(s.t.params) {
+		return fmt.Errorf("region: push has %d tensors, model has %d", len(wires), len(s.t.params))
+	}
+	for i, w := range wires {
+		if err := s.Tensor(i, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *session) Tensor(i int, wire []byte) error {
+	t := s.t
+	if i < 0 || i >= len(t.params) {
+		return fmt.Errorf("region: push tensor index %d out of range (model has %d tensors)", i, len(t.params))
+	}
+	if !t.cfg.Recompress {
+		// Exact mode: forward verbatim AND retain a framed copy in the
+		// region's bundle — that bundle is what crosses the slow link.
+		t.bundles[s.region] = appendFramed(t.bundles[s.region], wire)
+		return s.fwd.Tensor(i, wire)
+	}
+	if t.params[i].NoCompress {
+		// Batch-norm statistics have a single designated owner; the
+		// region relays worker 0's wire untouched instead of fusing.
+		if s.worker == 0 {
+			t.ncWire[i] = append(t.ncWire[i][:0], wire...)
+		}
+		return nil
+	}
+	start := time.Now()
+	var err error
+	if !t.dirty[s.region][i] {
+		t.dirty[s.region][i] = true
+		err = compress.DecompressFirstAddInto(wire, t.sums[s.region][i], t.cfg.Parallelism)
+	} else {
+		err = compress.DecompressAddInto(wire, t.sums[s.region][i], t.cfg.Parallelism)
+	}
+	t.fuseDur += time.Since(start)
+	if err != nil {
+		return fmt.Errorf("region %d: push tensor %q: %w", s.region, t.params[i].Name, err)
+	}
+	return nil
+}
+
+func (s *session) End() error {
+	if s.fwd != nil {
+		err := s.fwd.End()
+		s.fwd = nil
+		return err
+	}
+	return nil
+}
+
+// FinishStep forwards each region's stream to the global tier (recompress
+// mode; exact mode already forwarded inside the sessions), completes the
+// inner step, and accounts the bytes each region moved across the
+// inter-region link. The returned codec duration includes the regions'
+// fuse and re-encode time on top of the inner tier's.
+func (t *Tier) FinishStep() ([][]byte, time.Duration, error) {
+	regionDur := t.fuseDur
+	if t.cfg.Recompress {
+		// Scale so the inner tier's division by its push count (one per
+		// region) lands on the flat global mean: each region forwards
+		// (R/W)·Σ_{w∈r} g_w, and (1/R)·Σ_r of that is (1/W)·Σ_w g_w.
+		scale := float32(t.cfg.Regions) / float32(t.cfg.Workers)
+		start := time.Now()
+		for r := 0; r < t.cfg.Regions; r++ {
+			set := t.setBufs[r]
+			for i, p := range t.params {
+				switch {
+				case p.NoCompress:
+					if r == 0 {
+						set[i] = t.ncWire[i]
+					} else {
+						set[i] = nil
+					}
+				default:
+					if !t.dirty[r][i] {
+						return nil, 0, fmt.Errorf("region %d: tensor %q received no push this step", r, p.Name)
+					}
+					t.sums[r][i].Scale(scale)
+					set[i] = t.ctx[r][i].CompressInto(t.sums[r][i], set[i][:0])
+				}
+			}
+		}
+		regionDur += time.Since(start)
+		for r := 0; r < t.cfg.Regions; r++ {
+			sess := t.inner.BeginPush(r)
+			if err := sess.Set(t.setBufs[r]); err != nil {
+				return nil, 0, err
+			}
+			if err := sess.End(); err != nil {
+				return nil, 0, err
+			}
+			t.wanPush[r] = wireSetBytes(t.setBufs[r])
+		}
+	} else {
+		for r := range t.bundles {
+			t.wanPush[r] = t.wanLinkBytes(t.bundles[r])
+		}
+	}
+
+	pulls, innerDur, err := t.inner.FinishStep()
+	if err != nil {
+		return nil, 0, err
+	}
+	// The shared pull crosses every region's slow link once; regions fan
+	// it out locally. One coded size serves all regions (same bytes).
+	t.codeBuf = t.codeBuf[:0]
+	for _, w := range pulls {
+		t.codeBuf = appendFramed(t.codeBuf, w)
+	}
+	pullBytes := t.wanLinkBytes(t.codeBuf)
+	for r := range t.wanPull {
+		t.wanPull[r] = pullBytes
+	}
+	return pulls, innerDur + regionDur, nil
+}
+
+// wanLinkBytes is the size of raw on the inter-region link: coded by the
+// configured entropy stage with a one-byte stage tag (the stored
+// fallback bounds the stage's overhead at that tag), or plain when the
+// stage is off. Coding is performed, not estimated — the reported
+// reduction is measured. (Recompress-mode push wires are already
+// entropy-wrapped by their contexts and bypass this.)
+func (t *Tier) wanLinkBytes(raw []byte) int {
+	if len(raw) == 0 {
+		return 0
+	}
+	switch t.cfg.Entropy {
+	case compress.EntropyHuffman:
+		t.scratch = entropy.HuffmanEncodeInto(t.scratch[:0], raw)
+	case compress.EntropyLZ:
+		t.scratch = entropy.LZEncodeInto(t.scratch[:0], raw)
+	default:
+		return len(raw)
+	}
+	if len(t.scratch) < len(raw) {
+		return 1 + len(t.scratch)
+	}
+	return 1 + len(raw)
+}
+
+// WANBytes reports the bytes each region moved across the inter-region
+// link in the last completed step: per-region forwarded push bytes and
+// per-region pull bytes. The slices are recycled; copy to retain.
+func (t *Tier) WANBytes() (push, pull []int) {
+	return t.wanPush, t.wanPull
+}
+
+// AppendState serializes the tier's mutable state: the inner tier's blob
+// (length-prefixed) plus, in recompress mode, every region re-encode
+// context's error-accumulation state.
+func (t *Tier) AppendState(dst []byte) []byte {
+	le := binary.LittleEndian
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = t.inner.AppendState(dst)
+	le.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	if !t.cfg.Recompress {
+		return dst
+	}
+	for r := range t.ctx {
+		for _, c := range t.ctx[r] {
+			sf, ok := c.(compress.Stateful)
+			if !ok {
+				dst = append(dst, 0)
+				continue
+			}
+			dst = append(dst, 1)
+			lenAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0)
+			dst = sf.AppendState(dst)
+			le.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+		}
+	}
+	return dst
+}
+
+// RestoreState restores state captured by AppendState on an identically
+// configured tier. Malformed input errors and never panics.
+func (t *Tier) RestoreState(src []byte) error {
+	le := binary.LittleEndian
+	if len(src) < 4 {
+		return fmt.Errorf("region: tier state truncated")
+	}
+	n := int(le.Uint32(src))
+	src = src[4:]
+	if len(src) < n {
+		return fmt.Errorf("region: inner state truncated (%d of %d bytes)", len(src), n)
+	}
+	if err := t.inner.RestoreState(src[:n]); err != nil {
+		return err
+	}
+	src = src[n:]
+	if !t.cfg.Recompress {
+		if len(src) != 0 {
+			return fmt.Errorf("region: %d trailing tier state bytes", len(src))
+		}
+		return nil
+	}
+	for r := range t.ctx {
+		for i, c := range t.ctx[r] {
+			if len(src) < 1 {
+				return fmt.Errorf("region: context %d/%d state truncated", r, i)
+			}
+			has := src[0]
+			src = src[1:]
+			sf, stateful := c.(compress.Stateful)
+			switch has {
+			case 0:
+				if stateful {
+					return fmt.Errorf("region: context %d/%d is stateful but checkpoint has no state for it", r, i)
+				}
+			case 1:
+				if len(src) < 4 {
+					return fmt.Errorf("region: context %d/%d state length truncated", r, i)
+				}
+				n := int(le.Uint32(src))
+				src = src[4:]
+				if len(src) < n || !stateful {
+					return fmt.Errorf("region: context %d/%d state mismatch", r, i)
+				}
+				if err := sf.RestoreState(src[:n]); err != nil {
+					return fmt.Errorf("region: context %d/%d: %w", r, i, err)
+				}
+				src = src[n:]
+			default:
+				return fmt.Errorf("region: corrupt context presence byte %d", has)
+			}
+		}
+	}
+	if len(src) != 0 {
+		return fmt.Errorf("region: %d trailing tier state bytes", len(src))
+	}
+	return nil
+}
+
+// appendFramed appends [4B LE len][wire] to dst — the framing the
+// bundled inter-region stream uses, matching the transport's wire-set
+// element layout.
+func appendFramed(dst, wire []byte) []byte {
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(wire)))
+	dst = append(dst, b4[:]...)
+	return append(dst, wire...)
+}
+
+// wireSetBytes is the framed size of a wire set on the inter-region
+// link.
+func wireSetBytes(wires [][]byte) int {
+	n := 0
+	for _, w := range wires {
+		n += 4 + len(w)
+	}
+	return n
+}

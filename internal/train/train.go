@@ -20,6 +20,7 @@ import (
 	"threelc/internal/nn"
 	"threelc/internal/opt"
 	"threelc/internal/ps"
+	"threelc/internal/region"
 	"threelc/internal/shard"
 	"threelc/internal/tenant"
 	"threelc/internal/tensor"
@@ -65,6 +66,27 @@ type Config struct {
 	// model (aggregate traffic divides across Shards server NICs,
 	// netsim.Params.Servers). Zero or 1 keeps the single in-process server.
 	Shards int
+	// Regions enables hierarchical two-level aggregation (package
+	// region): workers are grouped into this many regions, each region's
+	// aggregator ingests local pushes over the fast network, and only one
+	// stream per region crosses the simulated slow inter-region link to
+	// the global tier (Net.WANBandwidthBps / Net.WANLatencySec; defaults
+	// to 100 Mbps at 20 ms when unset). Zero or 1 keeps the flat
+	// topology. The default exact mode forwards worker wires verbatim, so
+	// model state is bit-identical to the flat run for every codec;
+	// RegionRecompress trades that for fewer WAN streams. Requires the
+	// single in-process server (no Shards/Service) and no elastic
+	// features (Dropouts, BackupWorkers).
+	Regions int
+	// RegionRecompress switches the regional aggregators to fused
+	// re-encode: local pushes are decode-accumulated into one per-region
+	// gradient sum and a region-owned error-accumulating context
+	// re-encodes a single residual stream per tensor for the WAN leg.
+	RegionRecompress bool
+	// RegionEntropy applies the streaming entropy second stage (Huffman
+	// or LZ) to the inter-region streams — the bundled worker wires in
+	// exact mode, the re-encoded wires and pull sets in recompress mode.
+	RegionEntropy compress.EntropyAlgo
 	// BatchPerWorker is the per-worker minibatch size (paper: 32).
 	BatchPerWorker int
 	// Steps is the number of global training steps.
@@ -213,6 +235,9 @@ type StepRecord struct {
 	ComputeMult float64
 	// VirtualSec is the step's simulated duration.
 	VirtualSec float64
+	// WANBytes totals the step's inter-region traffic across all regions
+	// and both directions (hierarchical topologies only).
+	WANBytes int
 }
 
 // EvalRecord is a test-accuracy measurement during training.
@@ -227,7 +252,9 @@ type Result struct {
 	Workers int
 	// Shards is the parameter-server shard count the run used (1 = the
 	// single in-process server).
-	Shards   int
+	Shards int
+	// Regions is the hierarchical region count (1 = flat topology).
+	Regions  int
 	Steps    int
 	NumParam int
 	// CompressibleElems is the element count of tensors subject to
@@ -244,6 +271,9 @@ type Result struct {
 	TotalPullBytes int64
 	// RawBytes is what the 32-bit float baseline would have moved in total.
 	RawBytes int64
+	// TotalWANBytes totals inter-region traffic over the run, both
+	// directions across all regions (hierarchical topologies only).
+	TotalWANBytes int64
 	// CompPushBytes / CompPullBytes total the compressible-tensor wire
 	// bytes (per-worker average), for compression-ratio accounting.
 	CompPushBytes float64
@@ -391,6 +421,33 @@ func Run(cfg Config) (*Result, error) {
 		server = ps.NewServer(global, serverCfg)
 	}
 
+	// Hierarchical topology: interpose the region tier between the
+	// driver's per-worker sessions and the global server.
+	var tier *region.Tier
+	if cfg.Regions > 1 {
+		if cfg.Shards > 1 || cfg.Service != nil {
+			return nil, fmt.Errorf("train: Regions requires the single in-process server (no Shards/Service)")
+		}
+		if len(cfg.Dropouts) > 0 || cfg.BackupWorkers > 0 {
+			return nil, fmt.Errorf("train: Regions cannot be combined with Dropouts or BackupWorkers")
+		}
+		var err error
+		tier, err = region.NewTier(server, global.Params(), region.Config{
+			Regions:          cfg.Regions,
+			Workers:          cfg.Workers,
+			Recompress:       cfg.RegionRecompress,
+			Entropy:          cfg.RegionEntropy,
+			Scheme:           cfg.Design.Scheme,
+			Opts:             cfg.Design.Opts,
+			MinCompressElems: cfg.MinCompressElems,
+			Parallelism:      cfg.Parallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		server = tier
+	}
+
 	workers := make([]*ps.Worker, cfg.Workers)
 	rngs := make([]*tensor.RNG, cfg.Workers)
 	shards := make([][]int, cfg.Workers)
@@ -440,11 +497,21 @@ func Run(cfg Config) (*Result, error) {
 	if tierShards > 1 && net.Servers <= 1 {
 		net.Servers = tierShards
 	}
+	if cfg.Regions > 1 {
+		net.Regions = cfg.Regions
+		if net.WANBandwidthBps == 0 {
+			// Default WAN regime: 100 Mbps inter-region links at 20 ms
+			// one-way latency, far below the local star's bandwidth.
+			net.WANBandwidthBps = netsim.Mbps100
+			net.WANLatencySec = 20e-3
+		}
+	}
 
 	res := &Result{
 		Design:            cfg.Design,
 		Workers:           cfg.Workers,
 		Shards:            max(tierShards, 1),
+		Regions:           max(cfg.Regions, 1),
 		Steps:             cfg.Steps,
 		NumParam:          numParam,
 		CompressibleElems: compElems,
@@ -822,6 +889,15 @@ func Run(cfg Config) (*Result, error) {
 		netStep := net
 		netStep.ComputeSec *= computeMult
 		dt := netStep.StepTime(pushBytes, pullBytes, codec)
+		var wanBytes int
+		if tier != nil {
+			// The WAN leg starts only after regional aggregation, so it
+			// adds to the step un-overlapped (see netsim.WANTime).
+			wanPush, wanPull := tier.WANBytes()
+			dt += netStep.WANTime(wanPush, wanPull)
+			wanBytes = sum(wanPush) + sum(wanPull)
+			res.TotalWANBytes += int64(wanBytes)
+		}
 		clock.Advance(dt)
 
 		var meanLoss float64
@@ -854,6 +930,7 @@ func Run(cfg Config) (*Result, error) {
 				CodecSec:      codec,
 				ComputeMult:   computeMult,
 				VirtualSec:    dt,
+				WANBytes:      wanBytes,
 			})
 		}
 		if cfg.EvalEvery > 0 && (step+1)%cfg.EvalEvery == 0 {

@@ -6,15 +6,25 @@ import (
 	"net"
 	"sort"
 	"sync"
-
-	"threelc/internal/ps"
+	"time"
 )
 
-// Server drives a ps.Server over real connections with BSP semantics:
+// StepServer is the aggregation surface Server drives each BSP step:
+// open the step, ingest one complete wire-set push per worker, close the
+// step and collect the shared pull. The flat parameter server (*ps.Job)
+// implements it directly; region.Tier implements it so a hierarchical
+// aggregator can sit behind the same front door.
+type StepServer interface {
+	BeginStep()
+	AddPush(workerID int, wires [][]byte) (time.Duration, error)
+	FinishStep() ([][]byte, time.Duration, error)
+}
+
+// Server drives a StepServer over real connections with BSP semantics:
 // every step it waits for a push from each connected worker, applies the
 // update, and broadcasts the shared pull.
 type Server struct {
-	ps       *ps.Server
+	ps       StepServer
 	workers  int
 	steps    int
 	listener net.Listener
@@ -26,7 +36,7 @@ type Server struct {
 }
 
 // NewServer wraps srv to serve `workers` workers for `steps` steps on ln.
-func NewServer(ln net.Listener, srv *ps.Server, workers, steps int) *Server {
+func NewServer(ln net.Listener, srv StepServer, workers, steps int) *Server {
 	return &Server{ps: srv, workers: workers, steps: steps, listener: ln}
 }
 

@@ -10,6 +10,13 @@
 //	push2        := header [wire set]
 //	pull2        := header (worker field = 0) [wire set]
 //
+// With the entropy stage negotiated (hello2 grows a trailing stage byte,
+// see FlagEntropy), whole-set bodies are coded:
+//
+//	hello2e      := header (step field = 0) [4B LE assignment hash][1B algo]
+//	push2e       := header (FlagEntropy) [1B stage id][coded wire set]
+//	pull2e       := header (FlagEntropy, worker field = 0) [1B stage id][coded wire set]
+//
 // The streamed (per-tensor) frames overlap communication with codec work:
 // a worker that pushes MsgShardPushTensor frames sends each tensor the
 // moment its compressor finishes — the shard begins decode-accumulate on
@@ -33,6 +40,8 @@ import (
 	"sort"
 	"sync"
 
+	"threelc/internal/compress"
+	"threelc/internal/entropy"
 	"threelc/internal/ps"
 	"threelc/internal/shard"
 )
@@ -86,6 +95,27 @@ const FlagTenant byte = 1 << 0
 
 // shardTenantExtLen is the FlagTenant extension size.
 const shardTenantExtLen = 8
+
+// FlagEntropy marks a push or pull frame whose wire-set body passed
+// through the entropy second stage: the bytes after the header are
+// [1B stage id][coded wire-set], stage ids mirroring the codec's
+// SchemeEntropy wire (0 stored, 1 huffman, 2 lz). The stage is
+// negotiated in the v2 hello (a trailing algo byte after the placement
+// hash); a client that does not negotiate it — including every
+// pre-entropy binary — emits and receives frames byte-identical to the
+// pre-entropy wire format, and an entropy-capable server serves both
+// kinds of client in the same tier. Streamed per-tensor frames are
+// exempt: their payoff is overlap, not bytes, and coding tensor-sized
+// fragments would forfeit cross-tensor redundancy anyway.
+const FlagEntropy byte = 1 << 1
+
+// Entropy stage ids for FlagEntropy bodies (mirror the codec's
+// SchemeEntropy stage ids).
+const (
+	entropyBodyStored  = 0
+	entropyBodyHuffman = 1
+	entropyBodyLZ      = 2
+)
 
 // ShardHeader addresses one v2 frame: which shard, which worker, which
 // step — and, when the tenant flag is set, which job (tenant id + the
@@ -142,7 +172,7 @@ func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
 	if h.Version != ShardWireVersion {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unsupported shard wire version %d (have %d)", h.Version, ShardWireVersion)
 	}
-	if h.Flags&^FlagTenant != 0 {
+	if h.Flags&^(FlagTenant|FlagEntropy) != 0 {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unknown shard header flags %#x", h.Flags)
 	}
 	rest := src[ShardHeaderLen:]
@@ -155,6 +185,59 @@ func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
 		rest = rest[shardTenantExtLen:]
 	}
 	return h, rest, nil
+}
+
+// appendEntropyBody appends [stage id][coded raw] to dst, falling back
+// to the stored stage when coding would not beat raw (bounding the
+// stage's overhead at one byte per frame).
+func appendEntropyBody(dst []byte, algo compress.EntropyAlgo, raw []byte) []byte {
+	base := len(dst)
+	switch algo {
+	case compress.EntropyHuffman:
+		dst = append(dst, entropyBodyHuffman)
+		dst = entropy.HuffmanEncodeInto(dst, raw)
+	case compress.EntropyLZ:
+		dst = append(dst, entropyBodyLZ)
+		dst = entropy.LZEncodeInto(dst, raw)
+	default:
+		dst = append(dst, entropyBodyStored)
+		return append(dst, raw...)
+	}
+	if len(dst)-base-1 >= len(raw) {
+		dst = dst[:base]
+		dst = append(dst, entropyBodyStored)
+		dst = append(dst, raw...)
+	}
+	return dst
+}
+
+// parseEntropyBody recovers the raw body of a FlagEntropy frame, staging
+// coded bodies in *buf (recycled by the caller). The returned slice
+// aliases src (stored) or *buf (coded).
+func parseEntropyBody(src []byte, buf *[]byte) ([]byte, error) {
+	if len(src) < 1 {
+		return nil, fmt.Errorf("transport: entropy frame body missing stage id")
+	}
+	switch src[0] {
+	case entropyBodyStored:
+		return src[1:], nil
+	case entropyBodyHuffman:
+		b, err := entropy.HuffmanDecodeInto((*buf)[:0], src[1:])
+		if err != nil {
+			return nil, fmt.Errorf("transport: entropy frame body: %w", err)
+		}
+		*buf = b
+		return b, nil
+	case entropyBodyLZ:
+		b, err := entropy.LZDecodeInto((*buf)[:0], src[1:])
+		if err != nil {
+			return nil, fmt.Errorf("transport: entropy frame body: %w", err)
+		}
+		*buf = b
+		return b, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown entropy stage id %d", src[0])
+	}
 }
 
 // ShardServerConfig sizes one shard's transport endpoint.
@@ -250,12 +333,14 @@ func (s *ShardServer) checkTenant(h ShardHeader) error {
 
 type shardWorkerConn struct {
 	id       int
-	legacy   bool   // v1 client: answer with v1 pull frames
-	streamed bool   // this step's push arrived as per-tensor frames
-	seen     []bool // per-tensor received flags for one streamed push, recycled
+	legacy   bool                 // v1 client: answer with v1 pull frames
+	streamed bool                 // this step's push arrived as per-tensor frames
+	entropy  compress.EntropyAlgo // hello-negotiated entropy stage (off: pre-entropy wire)
+	seen     []bool               // per-tensor received flags for one streamed push, recycled
 	rw       *bufio.ReadWriter
 	fr       *FrameReader
 	wires    [][]byte
+	entBuf   []byte // decoded entropy push bodies, recycled
 	c        net.Conn
 }
 
@@ -303,12 +388,14 @@ func (s *ShardServer) Serve() error {
 	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
 
 	// The shared pull payload is serialized once per step per frame
-	// generation (v2, and v1 only when a legacy worker is connected) and
+	// generation (v2 — plain or one coded payload per negotiated entropy
+	// stage — and v1 only when a legacy worker is connected) and
 	// broadcast to every worker, like the v1 server's per-step pullBuf.
 	// Workers that pushed streamed this step are answered with per-tensor
 	// pull frames instead, so their decode can start on tensor 0 while
 	// tensor 1 is still in flight.
-	var v2Buf, v1Buf, tBuf []byte
+	var v2Buf, v1Buf, tBuf, setBuf []byte
+	var entBufs [3][]byte // per-stage coded pull payloads, indexed by EntropyAlgo
 	anyLegacy := false
 	for _, wc := range conns {
 		if wc.legacy {
@@ -330,13 +417,19 @@ func (s *ShardServer) Serve() error {
 		if err != nil {
 			return err
 		}
-		anyWhole := false
+		anyWhole, anyPlain := false, false
 		for _, wc := range conns {
 			if !wc.legacy && !wc.streamed {
 				anyWhole = true
+				if wc.entropy == compress.EntropyOff {
+					anyPlain = true
+				}
 			}
 		}
 		if anyWhole {
+			setBuf = AppendWireSet(setBuf[:0], pull)
+		}
+		if anyPlain {
 			v2Buf = AppendShardHeader(v2Buf[:0], ShardHeader{
 				Version: ShardWireVersion,
 				Shard:   uint16(s.cfg.Shard),
@@ -344,13 +437,14 @@ func (s *ShardServer) Serve() error {
 				Tenant:  s.cfg.Tenant,
 				Epoch:   s.cfg.Epoch,
 			})
-			v2Buf = AppendWireSet(v2Buf, pull)
+			v2Buf = append(v2Buf, setBuf...)
 		}
 		if anyLegacy {
 			v1Buf = append(v1Buf[:0], 0, 0, 0, 0)
 			le.PutUint32(v1Buf, uint32(step))
 			v1Buf = AppendWireSet(v1Buf, pull)
 		}
+		var entBuilt [3]bool
 		for _, wc := range conns {
 			if wc.streamed {
 				if err := s.writePullStream(wc, step, pull, &tBuf); err != nil {
@@ -359,8 +453,24 @@ func (s *ShardServer) Serve() error {
 				continue
 			}
 			t, payload := MsgShardPull, v2Buf
-			if wc.legacy {
+			switch {
+			case wc.legacy:
 				t, payload = MsgPull, v1Buf
+			case wc.entropy != compress.EntropyOff:
+				a := wc.entropy
+				if !entBuilt[a] {
+					entBufs[a] = AppendShardHeader(entBufs[a][:0], ShardHeader{
+						Version: ShardWireVersion,
+						Flags:   FlagEntropy,
+						Shard:   uint16(s.cfg.Shard),
+						Step:    uint32(step),
+						Tenant:  s.cfg.Tenant,
+						Epoch:   s.cfg.Epoch,
+					})
+					entBufs[a] = appendEntropyBody(entBufs[a], a, setBuf)
+					entBuilt[a] = true
+				}
+				payload = entBufs[a]
 			}
 			s.cfg.Timeouts.beforeWrite(wc.c)
 			if err := WriteFrame(wc.rw, t, payload); err != nil {
@@ -477,6 +587,7 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 	}
 	var id int
 	var legacy bool
+	var entAlgo compress.EntropyAlgo
 	switch t {
 	case MsgShardHello:
 		h, rest, err := ParseShardHeader(payload)
@@ -492,14 +603,35 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 			c.Close()
 			return nil, err
 		}
-		if len(rest) != 4 {
+		if len(rest) != 4 && len(rest) != 5 {
 			c.Close()
-			return nil, fmt.Errorf("transport: shard hello has %d trailing bytes, want 4", len(rest))
+			return nil, fmt.Errorf("transport: shard hello has %d trailing bytes, want 4 (5 with an entropy stage)", len(rest))
 		}
 		if hash := le.Uint32(rest); hash != s.cfg.AssignmentHash {
 			c.Close()
 			return nil, fmt.Errorf("transport: worker %d placement hash %#x != server %#x (divergent model layout)",
 				h.Worker, hash, s.cfg.AssignmentHash)
+		}
+		if len(rest) == 5 {
+			// Entropy-stage negotiation: pushes from this worker may carry
+			// FlagEntropy bodies, and its whole-set pulls are coded with
+			// the negotiated stage.
+			switch rest[4] {
+			case entropyBodyHuffman:
+				entAlgo = compress.EntropyHuffman
+			case entropyBodyLZ:
+				entAlgo = compress.EntropyLZ
+			default:
+				c.Close()
+				return nil, fmt.Errorf("transport: hello requests unknown entropy stage %d", rest[4])
+			}
+			if s.cfg.ReplicaAddr != "" {
+				// The replica replays raw push payloads into its own
+				// wire-set parse; keep replicated shards on the plain
+				// format rather than teaching the replay path to decode.
+				c.Close()
+				return nil, fmt.Errorf("transport: shard %d: entropy frames are not replicated (drop the entropy stage or the replica)", s.cfg.Shard)
+			}
 		}
 		id = int(h.Worker)
 	case MsgHello:
@@ -523,7 +655,7 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 		return nil, fmt.Errorf("transport: bad or duplicate worker id %d", id)
 	}
 	seen[id] = true
-	return &shardWorkerConn{id: id, legacy: legacy, rw: rw, fr: fr, c: c}, nil
+	return &shardWorkerConn{id: id, legacy: legacy, entropy: entAlgo, rw: rw, fr: fr, c: c}, nil
 }
 
 // readPush consumes one worker's push for the given step into the
@@ -556,6 +688,15 @@ func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
 		}
 		if err := s.checkTenant(h); err != nil {
 			return err
+		}
+		if h.Flags&FlagEntropy != 0 {
+			if s.replica != nil {
+				return fmt.Errorf("transport: shard %d: entropy pushes are not replicated (worker %d must push plain)", s.cfg.Shard, wc.id)
+			}
+			rest, err = parseEntropyBody(rest, &wc.entBuf)
+			if err != nil {
+				return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			}
 		}
 		id, gotStep, body = int(h.Worker), int(h.Step), rest
 	case t == MsgPush && wc.legacy:
@@ -688,6 +829,13 @@ type ShardClientConfig struct {
 	// untagged pre-multi-tenant header and address the default tenant.
 	Tenant uint32
 	Epoch  uint32
+	// Entropy negotiates the wire entropy stage for this worker's
+	// whole-set push/pull bodies (see FlagEntropy): the hello advertises
+	// the stage, pushes are coded with it, and the server codes this
+	// worker's pulls the same way. Off emits the pre-entropy wire format
+	// byte-for-byte. Incompatible with Replicas (entropy frames are not
+	// replicated); streamed per-tensor frames are exempt and stay plain.
+	Entropy compress.EntropyAlgo
 }
 
 // ShardClient is a worker's multiplexed view of the sharded tier: one
@@ -716,6 +864,11 @@ type shardConn struct {
 	// retained across steps so the steady-state receive path stops
 	// allocating once the largest tensor wire has been seen.
 	pullBufA, pullBufB []byte
+	// setBuf/entBuf stage the entropy second stage when negotiated:
+	// setBuf holds the plain wire set before coding the push body, entBuf
+	// holds the decoded body of a FlagEntropy pull. Both recycle across
+	// steps.
+	setBuf, entBuf []byte
 }
 
 // DialSharded connects to every shard of the tier (addrs[s] is shard s's
@@ -734,6 +887,9 @@ func DialShardedConfig(addrs []string, workerID int, asn shard.Assignment, ccfg 
 	}
 	if ccfg.Replicas != nil && len(ccfg.Replicas) != asn.NumShards {
 		return nil, fmt.Errorf("transport: %d replica addresses for %d shards", len(ccfg.Replicas), asn.NumShards)
+	}
+	if ccfg.Entropy != compress.EntropyOff && ccfg.Replicas != nil {
+		return nil, fmt.Errorf("transport: entropy stage is incompatible with replica failover (entropy frames are not replicated)")
 	}
 	c := &ShardClient{
 		id:   workerID,
@@ -783,6 +939,12 @@ func (c *ShardClient) connect(sc *shardConn, addr string) error {
 	var hb [4]byte
 	le.PutUint32(hb[:], c.asn.Hash())
 	hello = append(hello, hb[:]...)
+	switch c.ccfg.Entropy {
+	case compress.EntropyHuffman:
+		hello = append(hello, entropyBodyHuffman)
+	case compress.EntropyLZ:
+		hello = append(hello, entropyBodyLZ)
+	}
 	sc.pushBuf = hello
 	c.ccfg.Timeouts.beforeWrite(conn)
 	if err := WriteFrame(sc.rw, MsgShardHello, hello); err != nil {
@@ -869,15 +1031,25 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 		sub[k] = wires[gi]
 	}
 
+	var flags byte
+	if c.ccfg.Entropy != compress.EntropyOff {
+		flags |= FlagEntropy
+	}
 	payload := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
 		Version: ShardWireVersion,
+		Flags:   flags,
 		Shard:   uint16(s),
 		Worker:  uint32(c.id),
 		Step:    uint32(step),
 		Tenant:  c.ccfg.Tenant,
 		Epoch:   c.ccfg.Epoch,
 	})
-	payload = AppendWireSet(payload, sub)
+	if c.ccfg.Entropy != compress.EntropyOff {
+		sc.setBuf = AppendWireSet(sc.setBuf[:0], sub)
+		payload = appendEntropyBody(payload, c.ccfg.Entropy, sc.setBuf)
+	} else {
+		payload = AppendWireSet(payload, sub)
+	}
 	sc.pushBuf = payload
 	c.ccfg.Timeouts.beforeWrite(sc.c)
 	if err := WriteFrame(sc.rw, MsgShardPush, payload); err != nil {
@@ -904,6 +1076,15 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 	}
 	if h.Tenant != c.ccfg.Tenant || h.Epoch != c.ccfg.Epoch {
 		return fmt.Errorf("transport: pull for tenant %d epoch %d on tenant %d epoch %d client", h.Tenant, h.Epoch, c.ccfg.Tenant, c.ccfg.Epoch)
+	}
+	if h.Flags&FlagEntropy != 0 {
+		if c.ccfg.Entropy == compress.EntropyOff {
+			return fmt.Errorf("transport: shard %d sent an entropy-coded pull to a plain client", s)
+		}
+		rest, err = parseEntropyBody(rest, &sc.entBuf)
+		if err != nil {
+			return fmt.Errorf("transport: shard %d pull step %d: %w", s, step, err)
+		}
 	}
 	pulls, _, err := ParseWireSetInto(sc.pullWires, rest)
 	if err != nil {
