@@ -10,6 +10,18 @@
 //	3lc-net -shards 2 -replicas -kill-shard 0 -kill-step 25  # failover demo
 //	3lc-net -tenants 8 -shards 2 -workers 2 -steps 20    # multi-tenant tier
 //	3lc-net -regions 2 -workers 4 -steps 50              # hierarchical WAN tier
+//	3lc-net -chaos -chaos-seed 7 -shards 2 -workers 2 -steps 6  # chaos soak
+//
+// With -chaos the run becomes the chaos soak: every registered codec is
+// trained twice — once in-process (the clean reference) and once over
+// real TCP with a deterministic fault injector (internal/chaos) wrapping
+// every listener and dial while the connections run the full defense
+// stack (CRC-32C frame checksums, resilient reconnect-and-replay, seeded
+// retry backoff). The soak demands the faulted run's final model state
+// be BIT-IDENTICAL to the clean reference for every codec, prints the
+// injected-fault census, and exits non-zero on any divergence (or if no
+// faults fired, which would prove nothing). -chaos ignores -design and
+// is incompatible with the other topology modes.
 //
 // With -regions R > 1 the run becomes a two-level hierarchy: workers are
 // split into R regions, each fronted by an aggregator (a region.Tier in
@@ -54,6 +66,7 @@ import (
 	"sync"
 	"time"
 
+	"threelc/internal/chaos"
 	"threelc/internal/compress"
 	"threelc/internal/data"
 	"threelc/internal/nn"
@@ -83,8 +96,22 @@ func main() {
 		netTimeout = flag.Duration("net-timeout", 0, "per-frame read/write deadline on worker connections (failure detector for dead shards); 0 disables, except with -replicas where it defaults to 10s")
 		regions    = flag.Int("regions", 1, "hierarchical two-level aggregation: split the workers into this many regions, each fronted by an aggregator that fuses local pushes and forwards ONE re-encoded stream per step across the inter-region leg; requires workers to divide evenly into regions")
 		wanEntropy = flag.String("wan-entropy", "huffman", "entropy second stage on the inter-region leg (with -regions): huffman | lz | off")
+		chaosSoak  = flag.Bool("chaos", false, "chaos soak: train every codec clean (in-process) and under deterministic fault injection (over TCP with checksums + resilient reconnect) and demand bit-identical final state; ignores -design")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault schedule seed for -chaos (same seed, same per-connection fault schedule)")
 	)
 	flag.Parse()
+
+	if *chaosSoak {
+		if *stream || *replicas || *killShard >= 0 || *tenants > 1 || *regions > 1 {
+			fmt.Fprintln(os.Stderr, "3lc-net: -chaos is incompatible with -stream, -replicas, -kill-shard, -tenants, and -regions")
+			os.Exit(2)
+		}
+		if *shards < 1 {
+			*shards = 1
+		}
+		runChaosSoak(*chaosSeed, *shards, *workers, *steps, *batch)
+		return
+	}
 
 	var scheme compress.Scheme
 	var opts compress.Options
@@ -206,7 +233,11 @@ func main() {
 		if shardCfg.Parallelism < 1 {
 			shardCfg.Parallelism = 1
 		}
-		subs := shard.SubServers(global, shardCfg, asn)
+		subs, err := shard.SubServers(global, shardCfg, asn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "3lc-net:", err)
+			os.Exit(1)
+		}
 		var reps []*transport.ShardReplica
 		if *replicas {
 			// Standby tier: one replica per shard over its OWN model clone
@@ -215,7 +246,11 @@ func main() {
 			replicaModel = build()
 			replicaModel.CopyParamsFrom(global)
 			replicaAsn = asn
-			repSubs := shard.SubServers(replicaModel, shardCfg, asn)
+			repSubs, err := shard.SubServers(replicaModel, shardCfg, asn)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "3lc-net:", err)
+				os.Exit(1)
+			}
 			reps = make([]*transport.ShardReplica, *shards)
 			for s := 0; s < *shards; s++ {
 				port := "0"
@@ -538,7 +573,11 @@ func runHierarchical(regions, shards, workers, steps, batch int, addr string,
 	if globalCfg.Parallelism < 1 {
 		globalCfg.Parallelism = 1
 	}
-	subs := shard.SubServers(global, globalCfg, asn)
+	subs, err := shard.SubServers(global, globalCfg, asn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3lc-net:", err)
+		os.Exit(1)
+	}
 	addrs := make([]string, shards)
 	srvs := make([]*transport.ShardServer, shards)
 	serveErr := make(chan error, shards)
@@ -875,4 +914,270 @@ func runMultiTenant(tenants, shards, workers, steps, batch int, addr string,
 			snap.PushBytes, snap.PullBytes, time.Duration(snap.QueueWaitNs).Round(time.Microsecond))
 	}
 	fmt.Printf("tier totals:      push %d B, pull %d B across %d tenants\n", totPush, totPull, tenants)
+}
+
+// chaosCodecs is the soak's codec roster: one configuration per
+// registered wire scheme, so every codec's aggregation path is proven
+// exact under injected faults.
+var chaosCodecs = []struct {
+	name   string
+	scheme compress.Scheme
+	opts   compress.Options
+}{
+	{"float32", compress.SchemeNone, compress.Options{}},
+	{"int8", compress.SchemeInt8, compress.Options{}},
+	{"3lc", compress.SchemeThreeLC, compress.Options{Sparsity: 1.5, ZeroRun: true}},
+	{"stoch3", compress.SchemeStoch3QE, compress.Options{Seed: 9}},
+	{"mqe1bit", compress.SchemeMQE1Bit, compress.Options{}},
+	{"topk", compress.SchemeTopK, compress.Options{Fraction: 0.3, Seed: 9}},
+	{"localsteps", compress.SchemeLocalSteps, compress.Options{Interval: 2}},
+	{"roundrobin", compress.SchemeRoundRobin, compress.Options{Parts: 3}},
+}
+
+// runChaosSoak is the -chaos mode: for every codec, train once clean
+// in-process and once over real TCP with the chaos injector on every
+// connection and the full defense stack engaged (checksums + resilient
+// reconnect-and-replay + seeded retry backoff), then demand the two
+// final model states match bit for bit. Any divergence — or a soak in
+// which no fault actually fired — exits non-zero.
+func runChaosSoak(seed uint64, shards, workers, steps, batch int) {
+	dcfg := data.DefaultConfig()
+	dcfg.Train, dcfg.Test = 200, 50
+	trainSet, _ := data.Synthetic(dcfg)
+	in := dcfg.C * dcfg.H * dcfg.W
+	build := func() *nn.Model { return nn.NewMLP(in, []int{24}, dcfg.Classes, 1) }
+
+	fmt.Printf("chaos soak: %d codecs x %d steps x %d workers over a %d-shard tier (seed %d)\n",
+		len(chaosCodecs), steps, workers, shards, seed)
+
+	failed := false
+	var totalFaults int64
+	for ci, c := range chaosCodecs {
+		psCfg := ps.Config{
+			Scheme:           c.scheme,
+			Opts:             c.opts,
+			Workers:          workers,
+			MinCompressElems: 1, // the soak model is small; make every codec engage
+			Parallelism:      1,
+			Optimizer:        opt.TunedSGDConfig(workers, steps),
+		}
+		ref, err := chaosReferenceRun(build, psCfg, trainSet, workers, steps, batch)
+		if err != nil {
+			fmt.Printf("  %-10s FAIL (reference run): %v\n", c.name, err)
+			failed = true
+			continue
+		}
+		// Each codec draws a decorrelated fault schedule off the soak seed
+		// so one seed exercises eight distinct schedules.
+		inj := chaos.New(chaos.Config{
+			Seed:      seed + uint64(ci)*0x9e3779b97f4a7c15,
+			BitFlip:   0.02,
+			Truncate:  0.01,
+			Reset:     0.01,
+			StallProb: 0.02,
+			Stall:     50 * time.Millisecond,
+			DelayProb: 0.02,
+			Delay:     20 * time.Millisecond,
+			// Keep the fault load within the recovery budget: once spent,
+			// the remaining traffic passes clean and the run must converge.
+			MaxFaults: 64,
+		})
+		got, err := chaosTCPRun(inj, seed, build, psCfg, trainSet, shards, workers, steps, batch)
+		st := inj.Stats()
+		totalFaults += st.Total()
+		switch {
+		case err != nil:
+			fmt.Printf("  %-10s FAIL: %v (%v)\n", c.name, err, st)
+			failed = true
+		case !equalWeights(ref, got):
+			fmt.Printf("  %-10s FAIL: final weights diverge from clean reference (%v)\n", c.name, st)
+			failed = true
+		default:
+			fmt.Printf("  %-10s ok: bit-identical under %d faults (%v)\n", c.name, st.Total(), st)
+		}
+	}
+	fmt.Printf("chaos soak: %d faults injected across %d codecs\n", totalFaults, len(chaosCodecs))
+	if failed {
+		fmt.Fprintln(os.Stderr, "3lc-net: chaos soak FAILED")
+		os.Exit(1)
+	}
+	if totalFaults == 0 {
+		fmt.Fprintln(os.Stderr, "3lc-net: chaos soak injected zero faults — the run proves nothing; raise -steps or change -chaos-seed")
+		os.Exit(1)
+	}
+	fmt.Println("chaos soak PASSED: every codec bit-identical under injected faults")
+}
+
+// chaosWorkerSteps drives one worker's BSP loop for the soak. The batch
+// RNG derives from the worker id alone, so the clean reference and the
+// faulted TCP run train on identical data.
+func chaosWorkerSteps(worker *ps.Worker, trainSet *data.Dataset, w, steps, batch int,
+	pushPull func(step int, wires [][]byte) ([][]byte, error)) error {
+	rng := tensor.NewRNG(uint64(w)*977 + 3)
+	for s := 0; s < steps; s++ {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = rng.Intn(trainSet.Len())
+		}
+		x, labels := trainSet.FlatBatch(idx, nil, nil)
+		worker.Model.TrainStep(x, labels)
+		wires, _ := worker.CompressGrads()
+		pull, err := pushPull(s, wires)
+		if err != nil {
+			return err
+		}
+		if _, err := worker.ApplyPull(pull); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chaosReferenceRun trains the soak workload on an in-process single
+// server — no sockets, no faults — and returns the final global weights.
+func chaosReferenceRun(build func() *nn.Model, psCfg ps.Config, trainSet *data.Dataset,
+	workers, steps, batch int) ([]float32, error) {
+	global := build()
+	srv := ps.NewServer(global, psCfg)
+	ws := make([]*ps.Worker, workers)
+	rngs := make([]*tensor.RNG, workers)
+	for w := range ws {
+		m := build()
+		m.CopyParamsFrom(global)
+		ws[w] = ps.NewWorker(w, m, psCfg)
+		rngs[w] = tensor.NewRNG(uint64(w)*977 + 3)
+	}
+	for s := 0; s < steps; s++ {
+		srv.BeginStep()
+		for w, wk := range ws {
+			idx := make([]int, batch)
+			for i := range idx {
+				idx[i] = rngs[w].Intn(trainSet.Len())
+			}
+			x, labels := trainSet.FlatBatch(idx, nil, nil)
+			wk.Model.TrainStep(x, labels)
+			wires, _ := wk.CompressGrads()
+			if _, err := srv.AddPush(w, wires); err != nil {
+				return nil, err
+			}
+		}
+		pulls, _, err := srv.FinishStep()
+		if err != nil {
+			return nil, err
+		}
+		for _, wk := range ws {
+			if _, err := wk.ApplyPull(pulls); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return flatWeights(global), nil
+}
+
+// chaosTCPRun trains the soak workload over real TCP with inj wrapping
+// every listener and dial: resilient shard servers, checksummed
+// resilient clients, and the seeded retry schedule. Returns the final
+// global weights.
+func chaosTCPRun(inj *chaos.Injector, seed uint64, build func() *nn.Model, psCfg ps.Config,
+	trainSet *data.Dataset, shards, workers, steps, batch int) ([]float32, error) {
+	global := build()
+	asn := shard.ForModel(global, shards)
+	subs, err := shard.SubServers(global, psCfg, asn)
+	if err != nil {
+		return nil, err
+	}
+	// The read deadline is the failure detector for stalled connections;
+	// it also bounds each resilient reacquire wait on the server, so it
+	// must exceed the client's worst-case single backoff (250ms cap).
+	timeouts := transport.Timeouts{Read: 2 * time.Second, Write: 2 * time.Second}
+	addrs := make([]string, shards)
+	serveErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[s] = ln.Addr().String()
+		srv := transport.NewShardServer(inj.WrapListener(ln), subs[s], transport.ShardServerConfig{
+			Shard:          s,
+			NumShards:      shards,
+			Workers:        workers,
+			Steps:          steps,
+			AssignmentHash: asn.Hash(),
+			Timeouts:       timeouts,
+			Resilient:      true,
+		})
+		go func() { serveErr <- srv.Serve() }()
+	}
+
+	retryPol := transport.RetryPolicy{
+		MaxAttempts: 8,
+		Base:        25 * time.Millisecond,
+		Cap:         250 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        seed,
+	}
+	workerErr := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			m := build()
+			m.CopyParamsFrom(global)
+			worker := ps.NewWorker(w, m, psCfg)
+			// The initial handshake crosses injected connections too; dial
+			// failures are part of the schedule, so budget retries for them.
+			var cl *transport.ShardClient
+			var err error
+			for attempt := 0; ; attempt++ {
+				cl, err = transport.DialShardedConfig(addrs, w, shard.ForModel(m, shards), transport.ShardClientConfig{
+					Timeouts:  timeouts,
+					Checksum:  true,
+					Resilient: true,
+					Retry:     retryPol,
+					Dialer:    inj.Dial,
+				})
+				if err == nil {
+					break
+				}
+				if attempt >= 10 {
+					workerErr <- fmt.Errorf("worker %d dial: %w", w, err)
+					return
+				}
+				time.Sleep(retryPol.Stream(uint64(w)).Backoff(attempt))
+			}
+			defer cl.Close()
+			workerErr <- chaosWorkerSteps(worker, trainSet, w, steps, batch, cl.PushPull)
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-workerErr; err != nil {
+			return nil, err
+		}
+	}
+	for s := 0; s < shards; s++ {
+		if err := <-serveErr; err != nil {
+			return nil, fmt.Errorf("shard serve: %w", err)
+		}
+	}
+	return flatWeights(global), nil
+}
+
+func flatWeights(m *nn.Model) []float32 {
+	var flat []float32
+	for _, p := range m.Params() {
+		flat = append(flat, p.W.Data()...)
+	}
+	return flat
+}
+
+func equalWeights(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn is a write-capturing net.Conn stand-in: writes append to a
+// buffer, reads report EOF-ish zero, close is recorded.
+type sinkConn struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sinkConn) Read(b []byte) (int, error)         { return 0, nil }
+func (s *sinkConn) Write(b []byte) (int, error)        { return s.buf.Write(b) }
+func (s *sinkConn) Close() error                       { s.closed = true; return nil }
+func (s *sinkConn) LocalAddr() net.Addr                { return nil }
+func (s *sinkConn) RemoteAddr() net.Addr               { return nil }
+func (s *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// faultTrace runs a fixed write workload through a fresh injector and
+// returns the per-write outcome signature.
+func faultTrace(t *testing.T, seed uint64) string {
+	t.Helper()
+	in := New(Config{Seed: seed, BitFlip: 0.2, Truncate: 0.1, Reset: 0.1})
+	var sig []byte
+	for i := 0; i < 64; i++ {
+		sink := &sinkConn{}
+		c := in.WrapConn(sink)
+		payload := bytes.Repeat([]byte{0xAA}, 32)
+		_, err := c.Write(payload)
+		switch {
+		case err != nil && sink.closed && sink.buf.Len() < len(payload):
+			sig = append(sig, 'T') // truncate or reset
+		case err != nil:
+			sig = append(sig, 'E')
+		case !bytes.Equal(sink.buf.Bytes(), payload):
+			sig = append(sig, 'F') // bit flip
+		default:
+			sig = append(sig, '.')
+		}
+	}
+	return string(sig)
+}
+
+// TestDeterministicSchedule: same seed, same op sequence, same faults;
+// a different seed diverges.
+func TestDeterministicSchedule(t *testing.T) {
+	a, b := faultTrace(t, 42), faultTrace(t, 42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := faultTrace(t, 43); c == a {
+		t.Fatalf("different seeds produced identical schedules: %s", a)
+	}
+	if !bytes.ContainsAny([]byte(a), "TF") {
+		t.Fatalf("no faults fired over 64 connections: %s", a)
+	}
+}
+
+// TestBitFlipCorruptsExactlyOneBit: the flip preserves length and
+// touches a single bit, and never mutates the caller's buffer.
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 7, BitFlip: 1})
+	sink := &sinkConn{}
+	c := in.WrapConn(sink)
+	payload := bytes.Repeat([]byte{0x55}, 64)
+	orig := append([]byte(nil), payload...)
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("injector mutated the caller's buffer")
+	}
+	got := sink.buf.Bytes()
+	if len(got) != len(payload) {
+		t.Fatalf("corrupted write changed length: %d != %d", len(got), len(payload))
+	}
+	diff := 0
+	for i := range got {
+		for bit := 0; bit < 8; bit++ {
+			if (got[i]^payload[i])>>bit&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bits, want 1", diff)
+	}
+	if s := in.Stats(); s.BitFlips != 1 || s.Total() != 1 {
+		t.Fatalf("stats = %v", s)
+	}
+}
+
+// TestResetAndTruncate: both sever the connection and surface
+// ErrInjected; truncate writes only a prefix.
+func TestResetAndTruncate(t *testing.T) {
+	in := New(Config{Seed: 1, Reset: 1})
+	sink := &sinkConn{}
+	if _, err := in.WrapConn(sink).Write([]byte("abcd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset err = %v", err)
+	}
+	if !sink.closed || sink.buf.Len() != 0 {
+		t.Fatalf("reset wrote %d bytes, closed=%v", sink.buf.Len(), sink.closed)
+	}
+
+	in = New(Config{Seed: 1, Truncate: 1})
+	sink = &sinkConn{}
+	payload := bytes.Repeat([]byte{1}, 256)
+	n, err := in.WrapConn(sink).Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate err = %v", err)
+	}
+	if !sink.closed || sink.buf.Len() != n || n >= len(payload) {
+		t.Fatalf("truncate wrote %d (returned %d), closed=%v", sink.buf.Len(), n, sink.closed)
+	}
+}
+
+// TestFaultBudget: MaxFaults caps injection; past the cap, traffic
+// passes through untouched.
+func TestFaultBudget(t *testing.T) {
+	in := New(Config{Seed: 3, BitFlip: 1, MaxFaults: 2})
+	for i := 0; i < 8; i++ {
+		sink := &sinkConn{}
+		payload := []byte{0xFF, 0x00, 0xFF, 0x00}
+		if _, err := in.WrapConn(sink).Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		corrupted := !bytes.Equal(sink.buf.Bytes(), payload)
+		if i < 2 && !corrupted {
+			t.Fatalf("write %d: expected corruption within budget", i)
+		}
+		if i >= 2 && corrupted {
+			t.Fatalf("write %d: corruption past the fault budget", i)
+		}
+	}
+	if s := in.Stats(); s.Total() != 2 {
+		t.Fatalf("stats total = %d, want 2", s.Total())
+	}
+}
+
+// TestDelayAndStallCount: timing faults fire and are counted (the
+// durations themselves are scheduler territory).
+func TestDelayAndStallCount(t *testing.T) {
+	in := New(Config{Seed: 5, StallProb: 1, Stall: time.Microsecond, DelayProb: 1, Delay: time.Microsecond})
+	sink := &sinkConn{}
+	c := in.WrapConn(sink)
+	if _, err := c.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := c.Read(b[:]); err != nil {
+		t.Fatal(err)
+	}
+	s := in.Stats()
+	if s.Stalls != 1 || s.Delays != 1 {
+		t.Fatalf("stats = %v", s)
+	}
+}

@@ -95,7 +95,10 @@ func measureShard(d train.Design, shards, workers, steps int) (ShardRow, error) 
 		Optimizer:        opt.DefaultSGDConfig(workers, steps),
 	}
 	global := shardScalingModel()
-	cl := shard.NewCluster(global, cfg, shard.Config{Shards: shards})
+	cl, err := shard.NewCluster(global, cfg, shard.Config{Shards: shards})
+	if err != nil {
+		panic(err) // experiment harness over a default placement: cannot fail
+	}
 	defer cl.Close()
 
 	wires := make([][][]byte, workers)

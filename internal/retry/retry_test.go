@@ -1,0 +1,103 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffPinned pins the exact backoff sequences for fixed seeds:
+// the jitter is part of the reproducibility contract (a replayed run
+// must make the same timing decisions), so any change to the mixing
+// function or scaling is a wire-level behavior change and must show up
+// here.
+func TestBackoffPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		want []time.Duration
+	}{
+		{
+			name: "zero-policy-defaults",
+			p:    Policy{},
+			want: []time.Duration{50000000, 100000000, 200000000, 400000000, 800000000, 1600000000, 2000000000},
+		},
+		{
+			name: "jitter-seed-42",
+			p:    Policy{MaxAttempts: 8, Jitter: 0.5, Seed: 42},
+			want: []time.Duration{61408938, 71335876, 113716178, 492079709, 786569421, 2370438487, 2936827179},
+		},
+		{
+			name: "jitter-seed-42-stream-3",
+			p:    Policy{MaxAttempts: 8, Jitter: 0.5, Seed: 42}.Stream(3),
+			want: []time.Duration{74850353, 54196081, 195571926, 464968754, 1174086728, 1211082265, 1130624187},
+		},
+		{
+			name: "soak-shape",
+			p:    Policy{Base: 25 * time.Millisecond, Cap: 250 * time.Millisecond, Multiplier: 2, Jitter: 0.2, Seed: 7},
+			want: []time.Duration{27398170, 47735360, 97258232, 169076027, 259118973, 256656157, 288331080},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for a, want := range tc.want {
+				if got := tc.p.Backoff(a); got != want {
+					t.Errorf("attempt %d: Backoff = %d, want %d", a, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Multiplier: 2, Jitter: 0.3, Seed: 99}
+	for a := 0; a < 64; a++ {
+		d := p.Backoff(a)
+		nominal := 10 * time.Millisecond << uint(a)
+		if a > 3 {
+			nominal = 80 * time.Millisecond
+		}
+		lo := time.Duration(float64(nominal) * 0.7)
+		hi := time.Duration(float64(nominal) * 1.3)
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: %v outside jitter envelope [%v, %v]", a, d, lo, hi)
+		}
+	}
+	// Negative attempts clamp instead of panicking.
+	if d := p.Backoff(-5); d != p.Backoff(0) {
+		t.Fatalf("negative attempt: %v != attempt 0's %v", d, p.Backoff(0))
+	}
+}
+
+func TestAttempts(t *testing.T) {
+	if got := (Policy{}).Attempts(); got != DefaultAttempts {
+		t.Fatalf("zero policy attempts = %d, want %d", got, DefaultAttempts)
+	}
+	if got := (Policy{MaxAttempts: -1}).Attempts(); got != 1 {
+		t.Fatalf("negative attempts = %d, want 1", got)
+	}
+	if got := (Policy{MaxAttempts: 9}).Attempts(); got != 9 {
+		t.Fatalf("attempts = %d, want 9", got)
+	}
+}
+
+// TestStreamDecorrelates checks distinct salts yield distinct jitter
+// streams while the same salt reproduces the same one.
+func TestStreamDecorrelates(t *testing.T) {
+	p := Policy{Jitter: 0.5, Seed: 42}
+	a, b, a2 := p.Stream(3), p.Stream(4), p.Stream(3)
+	if a.Seed == b.Seed {
+		t.Fatal("streams 3 and 4 share a seed")
+	}
+	if a.Seed != a2.Seed {
+		t.Fatal("stream derivation is not deterministic")
+	}
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Backoff(i) == b.Backoff(i) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("streams 3 and 4 produced identical schedules")
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"time"
 
 	"threelc/internal/nn"
@@ -43,6 +44,26 @@ type Config struct {
 	// emulates a straggling shard so the timeout+retry path is exercised
 	// deterministically.
 	SlowShard func(shard, step int)
+	// RetryJitter is the straggler retry's symmetric jitter fraction in
+	// [0, 1) (see retry.Policy.Jitter): each timed wait is scaled by a
+	// deterministic factor so many lanes backing off from the same
+	// straggling shard do not re-attempt in lockstep. Zero means
+	// DefaultRetryJitter; negative disables jitter.
+	RetryJitter float64
+	// RetrySeed selects the deterministic jitter stream; each (tenant,
+	// shard) lane derives a decorrelated sub-stream from it. Runs with the
+	// same seed replay the same backoff schedule.
+	RetrySeed uint64
+	// BreakerThreshold is how many consecutive exhausted-retry failures on
+	// one shard's queue open that shard's circuit breaker, after which
+	// sends fail fast with ErrShardDown instead of burning the full
+	// timeout ladder per request. Zero means DefaultBreakerThreshold;
+	// negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects instantly before
+	// letting one probe request through (half-open). Zero means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 }
 
 // Pipeline defaults.
@@ -50,6 +71,14 @@ const (
 	DefaultQueueDepth = 16
 	DefaultTimeout    = 5 * time.Second
 	DefaultRetries    = 3
+	// DefaultRetryJitter keeps concurrent lanes' straggler retries from
+	// synchronizing without distorting the schedule's shape.
+	DefaultRetryJitter = 0.1
+	// DefaultBreakerThreshold / DefaultBreakerCooldown tune the per-shard
+	// circuit breaker: three consecutive retry-budget exhaustions open it,
+	// and it stays open for one second before admitting a probe.
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = time.Second
 )
 
 func (c Config) queueDepth() int {
@@ -71,6 +100,33 @@ func (c Config) retries() int {
 		return c.Retries
 	}
 	return DefaultRetries
+}
+
+func (c Config) retryJitter() float64 {
+	if c.RetryJitter < 0 {
+		return 0
+	}
+	if c.RetryJitter == 0 {
+		return DefaultRetryJitter
+	}
+	return c.RetryJitter
+}
+
+func (c Config) breakerThreshold() int {
+	if c.BreakerThreshold < 0 {
+		return 0 // disabled
+	}
+	if c.BreakerThreshold == 0 {
+		return DefaultBreakerThreshold
+	}
+	return c.BreakerThreshold
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return DefaultBreakerCooldown
 }
 
 type reqKind uint8
@@ -140,15 +196,18 @@ type Cluster struct {
 // defaults to size-balanced packing of the model's tensors (by byte
 // size) across cfg.Shards shards; psCfg configures each shard's codec
 // and optimizer exactly as it would a single ps.Job. Callers must Close
-// the cluster to stop the shard goroutines.
-func NewCluster(model *nn.Model, psCfg ps.Config, cfg Config) *Cluster {
+// the cluster to stop the shard goroutines. A bad configuration (e.g. an
+// override Assignment that does not cover the model) is an error, not a
+// panic: tier construction sits on the service path of long-lived
+// processes.
+func NewCluster(model *nn.Model, psCfg ps.Config, cfg Config) (*Cluster, error) {
 	svc := NewService(cfg, tenant.NewRegistry(1))
 	h, err := svc.Admit(tenant.Default, model, psCfg, tenant.Limits{})
 	if err != nil {
 		svc.Close()
-		panic(err)
+		return nil, fmt.Errorf("shard: build dedicated cluster: %w", err)
 	}
-	return &Cluster{svc: svc, h: h}
+	return &Cluster{svc: svc, h: h}, nil
 }
 
 // defaultAssignment resolves cfg.Assignment or computes the size-balanced
@@ -178,10 +237,11 @@ func ForModel(model *nn.Model, shards int) Assignment {
 // SubServers builds one ps sub-job per shard over model under the given
 // placement — the building blocks for a multi-process deployment where
 // each shard runs behind its own transport listener (transport.ShardServer).
-func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) []*ps.Job {
+// An assignment that does not cover the model's tensors is an error.
+func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) ([]*ps.Job, error) {
 	params := model.Params()
 	if err := asn.Validate(len(params)); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("shard: build sub-servers: %w", err)
 	}
 	out := make([]*ps.Job, asn.NumShards)
 	for s := range out {
@@ -192,7 +252,7 @@ func SubServers(model *nn.Model, psCfg ps.Config, asn Assignment) []*ps.Job {
 		}
 		out[s] = ps.NewSubJob(sub, idx, psCfg)
 	}
-	return out
+	return out, nil
 }
 
 // Service returns the underlying (single-tenant) shard tier.

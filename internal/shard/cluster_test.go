@@ -54,6 +54,17 @@ func TestAllCodecsCoverRegistry(t *testing.T) {
 	}
 }
 
+// mustCluster builds a cluster or fails the test; the equivalence tests
+// all run over placements that NewCluster accepts by construction.
+func mustCluster(t testing.TB, g *nn.Model, cfg ps.Config, sc Config) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(g, cfg, sc)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return cl
+}
+
 // stepServer is the driver-facing surface shared by ps.Server and Cluster.
 type stepServer interface {
 	BeginStep()
@@ -145,7 +156,7 @@ func TestShardedEquivalentToSinglePS(t *testing.T) {
 				})
 				var cl *Cluster
 				shardPulls, shardW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
-					cl = NewCluster(g, cfg, Config{Shards: shards})
+					cl = mustCluster(t, g, cfg, Config{Shards: shards})
 					return cl
 				})
 				defer cl.Close()
@@ -204,13 +215,13 @@ func TestClusterPerTensorPushEquivalent(t *testing.T) {
 				}
 				var wholeCl *Cluster
 				wholePulls, wholeW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
-					wholeCl = NewCluster(g, cfg, Config{Shards: shards})
+					wholeCl = mustCluster(t, g, cfg, Config{Shards: shards})
 					return wholeCl
 				})
 				defer wholeCl.Close()
 				var streamCl *Cluster
 				streamPulls, streamW := runPS(t, cfg, steps, workers, func(g *nn.Model) stepServer {
-					streamCl = NewCluster(g, cfg, Config{Shards: shards})
+					streamCl = mustCluster(t, g, cfg, Config{Shards: shards})
 					return tensorStreamAdapter{streamCl}
 				})
 				defer streamCl.Close()
@@ -246,7 +257,7 @@ func TestClusterMoreShardsThanTensors(t *testing.T) {
 	_, singleW := runPS(t, cfg, 3, 2, func(g *nn.Model) stepServer { return ps.NewServer(g, cfg) })
 	var cl *Cluster
 	_, shardW := runPS(t, cfg, 3, 2, func(g *nn.Model) stepServer {
-		cl = NewCluster(g, cfg, Config{Shards: 32})
+		cl = mustCluster(t, g, cfg, Config{Shards: 32})
 		return cl
 	})
 	defer cl.Close()
@@ -272,7 +283,7 @@ func TestClusterStragglerRetryRecovers(t *testing.T) {
 	_, singleW := runPS(t, cfg, 3, 3, func(g *nn.Model) stepServer { return ps.NewServer(g, cfg) })
 	var cl *Cluster
 	_, shardW := runPS(t, cfg, 3, 3, func(g *nn.Model) stepServer {
-		cl = NewCluster(g, cfg, Config{
+		cl = mustCluster(t, g, cfg, Config{
 			Shards:     2,
 			QueueDepth: 1,
 			Timeout:    2 * time.Millisecond,
@@ -305,7 +316,7 @@ func TestClusterStragglerExceedsRetryBudget(t *testing.T) {
 		Optimizer:        opt.DefaultSGDConfig(2, 1),
 	}
 	global := nn.NewMLP(12, []int{16, 10}, 4, 7)
-	cl := NewCluster(global, cfg, Config{
+	cl := mustCluster(t, global, cfg, Config{
 		Shards:     2,
 		QueueDepth: 1,
 		Timeout:    time.Millisecond,
@@ -366,7 +377,7 @@ func TestClusterThroughputScalesWithShards(t *testing.T) {
 			Optimizer:        opt.DefaultSGDConfig(workers, steps),
 		}
 		global := nn.NewMLP(256, []int{512, 512, 512, 512}, 32, 7)
-		cl := NewCluster(global, cfg, Config{Shards: shards})
+		cl := mustCluster(t, global, cfg, Config{Shards: shards})
 		defer cl.Close()
 		wires := make([][][]byte, workers)
 		for w := 0; w < workers; w++ {

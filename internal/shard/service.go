@@ -34,6 +34,7 @@ import (
 
 	"threelc/internal/nn"
 	"threelc/internal/ps"
+	"threelc/internal/retry"
 	"threelc/internal/tenant"
 )
 
@@ -71,6 +72,7 @@ func NewService(cfg Config, reg *tenant.Registry) *Service {
 			id:   i,
 			jobs: ps.NewService(),
 			slow: cfg.SlowShard,
+			brk:  breaker{threshold: cfg.breakerThreshold(), cooldown: cfg.breakerCooldown()},
 			work: make(chan struct{}, 1),
 			stop: make(chan struct{}),
 		}
@@ -130,12 +132,27 @@ func (s *Service) Admit(id tenant.ID, model *nn.Model, psCfg ps.Config, limits t
 		dones:   make([]chan result, s.cfg.Shards),
 		errs:    make([]error, s.cfg.Shards),
 	}
+	// The straggler backoff schedule: the same ladder the old bare
+	// doubling produced (base = enqueue timeout, 2x growth), but expressed
+	// as a retry.Policy so the delays carry deterministic seeded jitter —
+	// every (tenant, shard) lane draws a decorrelated stream, which keeps
+	// the tier's lanes from re-attempting a shared straggler in lockstep.
+	base := retry.Policy{
+		MaxAttempts: s.cfg.retries() + 1,
+		Base:        s.cfg.timeout(),
+		Cap:         s.cfg.timeout() << uint(s.cfg.retries()),
+		Multiplier:  2,
+		Jitter:      s.cfg.retryJitter(),
+		Seed:        s.cfg.RetrySeed,
+	}
+	h.pols = make([]retry.Policy, s.cfg.Shards)
 	for sh := 0; sh < s.cfg.Shards; sh++ {
 		h.idxs[sh] = asn.Tensors(sh)
 		for k, gi := range h.idxs[sh] {
 			h.local[gi] = k
 		}
 		h.dones[sh] = make(chan result, 1)
+		h.pols[sh] = base.Stream(uint64(id)<<20 ^ uint64(sh))
 	}
 	// The per-kind request builders are allocated once here: broadcast
 	// closures created per step would put four heap allocations on the
@@ -236,6 +253,7 @@ type snode struct {
 	id   int
 	jobs *ps.Service // shard-local sub-jobs keyed by tenant
 	slow func(shard, step int)
+	brk  breaker // shared failure detector: a shard is down for every tenant or none
 
 	mu  sync.Mutex
 	tqs []*tq // live lanes, admission order
@@ -598,11 +616,12 @@ type JobHandle struct {
 	svc     *Service
 	ten     *tenant.Tenant
 	asn     Assignment
-	param   int     // full-model tensor count
-	workers int     // the job's worker count (ps.Config.Workers)
-	idxs    [][]int // per-shard owned tensor indices (asn.Tensors, precomputed)
-	local   []int   // global tensor index -> shard-local index
-	tqs     []*tq   // this job's lane on each shard
+	param   int            // full-model tensor count
+	workers int            // the job's worker count (ps.Config.Workers)
+	idxs    [][]int        // per-shard owned tensor indices (asn.Tensors, precomputed)
+	local   []int          // global tensor index -> shard-local index
+	tqs     []*tq          // this job's lane on each shard
+	pols    []retry.Policy // per-shard straggler backoff, decorrelated per (tenant, shard)
 	sem     chan struct{}
 	dones   []chan result // recycled FinishStep barrier channels
 	errs    []error       // recycled broadcast per-shard error scratch
@@ -630,33 +649,43 @@ func (h *JobHandle) Assignment() Assignment { return h.asn }
 func (h *JobHandle) Workers() int { return h.workers }
 
 // send enqueues req on the job's lane at shard sh with the straggler
-// timeout+retry policy: each attempt waits twice as long as the
-// previous, so a shard that is merely slow gets absorbed while a wedged
-// one turns into an error after the retry budget.
+// timeout+retry policy: each timed wait follows the lane's retry.Policy
+// (capped exponential growth with deterministic decorrelated jitter), so
+// a shard that is merely slow gets absorbed while a wedged one turns
+// into an error after the retry budget. The shard's circuit breaker
+// short-circuits the whole ladder once the shard is presumed down —
+// every subsequent send fails fast with ErrShardDown instead of adding
+// its full timeout ladder to the step barrier's latency — and each timed
+// re-attempt is charged to the tenant's Retries stat.
 func (h *JobHandle) send(sh int, req request) error {
 	q := h.tqs[sh]
 	n := h.svc.nodes[sh]
+	if !n.brk.allow() {
+		return fmt.Errorf("shard: shard %d rejected tenant %d's request: %w", sh, h.ten.ID, ErrShardDown)
+	}
 	req.enq = time.Now()
-	wait := h.svc.cfg.timeout()
 	for attempt := 0; ; attempt++ {
 		select {
 		case q.reqs <- req:
+			n.brk.success()
 			n.wake()
 			return nil
 		default:
 		}
 		if attempt >= h.svc.cfg.retries() {
+			n.brk.failure()
 			return fmt.Errorf("shard: shard %d queue full for tenant %d after %d attempts (straggler exceeded retry budget)",
 				sh, h.ten.ID, attempt+1)
 		}
-		t := time.NewTimer(wait)
+		t := time.NewTimer(h.pols[sh].Backoff(attempt))
 		select {
 		case q.reqs <- req:
 			t.Stop()
+			n.brk.success()
 			n.wake()
 			return nil
 		case <-t.C:
-			wait *= 2
+			h.ten.Stats.Retries.Add(1)
 		}
 	}
 }

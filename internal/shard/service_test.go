@@ -152,7 +152,7 @@ func TestTenantsIsolatedBitIdentical(t *testing.T) {
 	for i, spec := range specs {
 		cfg := spec.psConfig(workers, steps)
 		global := spec.build()
-		cl := NewCluster(global, cfg, Config{Shards: shards})
+		cl := mustCluster(t, global, cfg, Config{Shards: shards})
 		solo[i].pulls, solo[i].w, solo[i].err = driveJob(spec, cfg, global, cl, steps, workers)
 		cl.Close()
 		if solo[i].err != nil {

@@ -67,6 +67,7 @@ type Stats struct {
 	PushBytes   atomic.Uint64 // wire bytes received from workers
 	PullBytes   atomic.Uint64 // wire bytes served back to workers
 	QueueWaitNs atomic.Int64  // cumulative request queue wait
+	Retries     atomic.Uint64 // straggler re-attempts charged to this tenant's sends
 }
 
 // Snapshot is a plain-value copy of a tenant's Stats.
@@ -75,6 +76,7 @@ type Snapshot struct {
 	PushBytes   uint64
 	PullBytes   uint64
 	QueueWaitNs int64
+	Retries     uint64
 }
 
 // Snapshot returns a consistent-enough copy for reporting. Individual
@@ -86,6 +88,7 @@ func (s *Stats) Snapshot() Snapshot {
 		PushBytes:   s.PushBytes.Load(),
 		PullBytes:   s.PullBytes.Load(),
 		QueueWaitNs: s.QueueWaitNs.Load(),
+		Retries:     s.Retries.Load(),
 	}
 }
 

@@ -414,7 +414,10 @@ func Run(cfg Config) (*Result, error) {
 		defer cfg.Service.Retire(cfg.Tenant)
 		server = h
 	case cfg.Shards > 1:
-		cluster := shard.NewCluster(global, shardSplit(cfg.Shards), shard.Config{Shards: cfg.Shards})
+		cluster, err := shard.NewCluster(global, shardSplit(cfg.Shards), shard.Config{Shards: cfg.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("train: build shard tier: %w", err)
+		}
 		defer cluster.Close()
 		server = cluster
 	default:

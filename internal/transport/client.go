@@ -28,7 +28,13 @@ func Dial(addr string, workerID int) (*Client, error) {
 // server surfaces as a net.Error timeout from PushPull instead of an
 // indefinite hang.
 func DialTimeout(addr string, workerID int, to Timeouts) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeoutDialer(addr, workerID, to, nil)
+}
+
+// DialTimeoutDialer is DialTimeout with a pluggable connection opener
+// (nil: plain TCP) — the chaos/fault-injection hook for the v1 client.
+func DialTimeoutDialer(addr string, workerID int, to Timeouts, d Dialer) (*Client, error) {
+	conn, err := d.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}

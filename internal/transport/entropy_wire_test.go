@@ -26,7 +26,7 @@ func TestEntropyShardTCPMatchesSinglePS(t *testing.T) {
 
 	global := buildShardModel()
 	asn := shard.ForModel(global, shards)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	addrs := make([]string, shards)
 	serveErr := make(chan error, shards)
@@ -162,7 +162,7 @@ func TestEntropyOffFramesByteIdentical(t *testing.T) {
 
 	global := buildShardModel()
 	asn := shard.ForModel(global, 1)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -194,7 +194,7 @@ func TestEntropyOffFramesByteIdentical(t *testing.T) {
 	// Reconstruct the expected pre-entropy byte streams from an
 	// in-process mirror of the same deterministic workload.
 	mirror := buildShardModel()
-	msubs := shard.SubServers(mirror, cfg, asn)
+	msubs := mustSubServers(t, mirror, cfg, asn)
 	wm := buildShardModel()
 	wm.CopyParamsFrom(mirror)
 	wk := ps.NewWorker(0, wm, cfg)
@@ -294,7 +294,7 @@ func TestEntropyHelloRejections(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		subs := shard.SubServers(buildShardModel(), cfg, asn)
+		subs := mustSubServers(t, buildShardModel(), cfg, asn)
 		srv := NewShardServer(ln, subs[0], ShardServerConfig{
 			NumShards: 1, Workers: 1, Steps: 1, AssignmentHash: asn.Hash(),
 		})
@@ -317,7 +317,7 @@ func TestEntropyHelloRejections(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rsubs := shard.SubServers(buildShardModel(), cfg, asn)
+		rsubs := mustSubServers(t, buildShardModel(), cfg, asn)
 		go NewShardReplica(rln, rsubs[0], ShardServerConfig{
 			Workers: 1, Steps: 1, AssignmentHash: asn.Hash(),
 		}).Serve() // torn down when the primary's deferred cleanup closes its conn
@@ -326,7 +326,7 @@ func TestEntropyHelloRejections(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		subs := shard.SubServers(buildShardModel(), cfg, asn)
+		subs := mustSubServers(t, buildShardModel(), cfg, asn)
 		srv := NewShardServer(ln, subs[0], ShardServerConfig{
 			NumShards: 1, Workers: 1, Steps: 1, AssignmentHash: asn.Hash(),
 			ReplicaAddr: rln.Addr().String(),

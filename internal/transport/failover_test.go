@@ -28,12 +28,12 @@ func runFailoverScenario(t *testing.T, silent bool) {
 
 	global := buildShardModel()
 	asn := shard.ForModel(global, shards)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 	// The replicas run their own sub-servers over their OWN model replica:
 	// replicated state must never alias the primary's tensors.
 	replicaModel := buildShardModel()
 	replicaModel.CopyParamsFrom(global)
-	repSubs := shard.SubServers(replicaModel, cfg, asn)
+	repSubs := mustSubServers(t, replicaModel, cfg, asn)
 
 	listen := func() (net.Listener, string) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")

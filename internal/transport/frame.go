@@ -70,28 +70,36 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if n > MaxFrameBytes {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
 	}
-	var hdr [5]byte
-	le.PutUint32(hdr[:4], uint32(n))
-	hdr[4] = byte(t)
 	if 5+n > maxPooledFrame {
-		// Copying a multi-MiB payload just to coalesce would cost more
-		// than it saves (and the buffer would be too big to pool): fall
-		// back to header-then-payload writes, which a buffered writer
-		// still coalesces and an unbuffered one streams in two syscalls —
-		// negligible at this size.
-		if _, err := w.Write(hdr[:]); err != nil {
-			return err
-		}
-		_, err := w.Write(payload)
-		return err
+		return writeFrameLarge(w, t, payload, n)
 	}
 	bp := framePool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = append(buf, hdr[:]...)
+	// The header bytes are appended inline rather than staged in a local
+	// array: an array sliced into an io.Writer argument escapes, and one
+	// heap-allocated header per frame is exactly the per-step garbage the
+	// steady-state zero-alloc gate forbids.
+	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24), byte(t))
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
 	*bp = buf
 	framePool.Put(bp)
+	return err
+}
+
+// writeFrameLarge streams a frame too big to coalesce through the pool:
+// copying a multi-MiB payload would cost more than it saves (and the
+// buffer would be too big to pool), so the header and payload go out as
+// two writes, which a buffered writer still coalesces and an unbuffered
+// one streams in two syscalls — negligible at this size.
+func writeFrameLarge(w io.Writer, t MsgType, payload []byte, n int) error {
+	var hdr [5]byte
+	le.PutUint32(hdr[:4], uint32(n))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
 	return err
 }
 
@@ -111,6 +119,10 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 type FrameReader struct {
 	r   io.Reader
 	buf []byte
+	// hdr is the length-prefix scratch. A function-local array sliced
+	// into io.ReadFull escapes and would cost one heap allocation per
+	// frame; a field on the (already heap-resident) reader does not.
+	hdr [4]byte
 }
 
 // NewFrameReader wraps r (typically the buffered read side of a
@@ -122,11 +134,10 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // ReadFrame reads one framed message. The returned payload is valid until
 // the next call.
 func (fr *FrameReader) ReadFrame() (MsgType, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := le.Uint32(hdr[:])
+	n := le.Uint32(fr.hdr[:])
 	if n == 0 || n > MaxFrameBytes {
 		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
 	}

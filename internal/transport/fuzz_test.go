@@ -35,6 +35,8 @@ func FuzzParseWireSet(f *testing.F) {
 // version byte.
 func FuzzShardHeader(f *testing.F) {
 	f.Add(AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion, Shard: 3, Worker: 7, Step: 11}))
+	f.Add(AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion, Flags: FlagChecksum | FlagResilient, Worker: 1, Step: 2}))
+	f.Add(AppendShardHeader(nil, ShardHeader{Version: ShardWireVersion, Tenant: 5, Epoch: 9}))
 	f.Add([]byte{ShardWireVersion, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xff}, ShardHeaderLen))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -42,15 +44,16 @@ func FuzzShardHeader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if h.Version != ShardWireVersion || h.Flags != 0 {
-			t.Fatalf("parser accepted version %d flags %#x", h.Version, h.Flags)
+		if h.Version != ShardWireVersion {
+			t.Fatalf("parser accepted version %d", h.Version)
 		}
-		if len(rest) != len(data)-ShardHeaderLen {
-			t.Fatalf("rest %d bytes of %d input", len(rest), len(data))
+		if h.Flags&^(FlagTenant|FlagEntropy|FlagChecksum|FlagResilient) != 0 {
+			t.Fatalf("parser accepted unknown flags %#x", h.Flags)
 		}
+		consumed := len(data) - len(rest)
 		re := AppendShardHeader(nil, h)
-		if !bytes.Equal(re, data[:ShardHeaderLen]) {
-			t.Fatalf("header re-serialization differs: %x vs %x", re, data[:ShardHeaderLen])
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("header re-serialization differs: %x vs %x", re, data[:consumed])
 		}
 	})
 }
@@ -86,6 +89,53 @@ func FuzzFrameReader(f *testing.F) {
 			if err != nil || typ2 != typ || !bytes.Equal(payload2, payload) {
 				t.Fatalf("frame did not round-trip: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzChecksummedFrame is the wire-integrity gate: the checksummed-frame
+// parser must never panic on arbitrary bytes, must round-trip every
+// well-formed frame, and — the property the chaos soak leans on — must
+// reject EVERY single-bit corruption of a valid frame, type byte and
+// flag bits included. A corruption that parsed cleanly would aggregate
+// garbage into the model instead of triggering a replay.
+func FuzzChecksummedFrame(f *testing.F) {
+	f.Add(byte(MsgShardPush), []byte("wire payload"), uint16(3))
+	f.Add(byte(MsgShardPull), []byte{}, uint16(0))
+	f.Add(byte(MsgShardHello), []byte{0xff, 0x00, 0xff}, uint16(97))
+	f.Fuzz(func(t *testing.T, typ byte, body []byte, bit uint16) {
+		// Arbitrary bytes: no panics, and anything accepted must carry the
+		// checksum flag (an unflagged frame on a checksummed connection is
+		// a protocol violation even when its trailer happens to verify).
+		if h, _, err := parseChecksummedFrame(MsgType(typ), body); err == nil {
+			if h.Flags&FlagChecksum == 0 {
+				t.Fatalf("accepted frame without FlagChecksum (flags %#x)", h.Flags)
+			}
+		}
+
+		// A well-formed frame round-trips exactly.
+		hdr := ShardHeader{Version: ShardWireVersion, Flags: FlagChecksum, Shard: 1, Worker: 2, Step: 7}
+		frame := appendChecksum(MsgType(typ), append(AppendShardHeader(nil, hdr), body...))
+		h, rest, err := parseChecksummedFrame(MsgType(typ), frame)
+		if err != nil {
+			t.Fatalf("well-formed checksummed frame rejected: %v", err)
+		}
+		if h != hdr || !bytes.Equal(rest, body) {
+			t.Fatalf("frame did not round-trip: header %+v body %x", h, rest)
+		}
+
+		// Flip one bit anywhere in [type byte][frame]: never accepted.
+		n := uint16(8 * (1 + len(frame)))
+		bit %= n
+		typ2 := typ
+		frame2 := append([]byte(nil), frame...)
+		if bit < 8 {
+			typ2 ^= 1 << bit
+		} else {
+			frame2[(bit-8)/8] ^= 1 << ((bit - 8) % 8)
+		}
+		if _, _, err := parseChecksummedFrame(MsgType(typ2), frame2); err == nil {
+			t.Fatalf("single-bit corruption at bit %d of %d was accepted", bit, n)
 		}
 	})
 }

@@ -72,11 +72,12 @@ func (s *MuxShardServer) TrafficBytes() (push, pull int64) {
 
 // muxConn is one handshaked worker connection of one tenant group.
 type muxConn struct {
-	worker int
-	c      net.Conn
-	rw     *bufio.ReadWriter
-	fr     *FrameReader
-	wires  [][]byte
+	worker   int
+	checksum bool // hello-negotiated CRC-32C frame trailers, both directions
+	c        net.Conn
+	rw       *bufio.ReadWriter
+	fr       *FrameReader
+	wires    [][]byte
 }
 
 // muxGroup accumulates one tenant's connections until the group is
@@ -152,9 +153,23 @@ func (s *MuxShardServer) accept(groups map[tenant.ID]*muxGroup) (*muxConn, *muxG
 	if t != MsgShardHello {
 		return fail(fmt.Errorf("transport: mux shard %d: expected hello, got type %d", s.cfg.Shard, t))
 	}
+	cksum := false
+	if len(payload) >= 2 && payload[1]&FlagChecksum != 0 {
+		// Per-worker checksum negotiation, exactly as on ShardServer: the
+		// hello carries (and is validated by) its own trailer.
+		if payload, err = verifyChecksum(MsgShardHello, payload); err != nil {
+			return fail(fmt.Errorf("transport: mux shard %d hello: %w", s.cfg.Shard, err))
+		}
+		cksum = true
+	}
 	h, rest, err := ParseShardHeader(payload)
 	if err != nil {
 		return fail(err)
+	}
+	if h.Flags&FlagResilient != 0 {
+		// A mux group's lifecycle is its connections: losing one ends the
+		// job, there is no seat to keep across reconnects.
+		return fail(fmt.Errorf("transport: mux shard %d: resilient clients are not multiplexed", s.cfg.Shard))
 	}
 	if int(h.Shard) != s.cfg.Shard {
 		return fail(fmt.Errorf("transport: hello for shard %d on shard %d", h.Shard, s.cfg.Shard))
@@ -197,7 +212,7 @@ func (s *MuxShardServer) accept(groups map[tenant.ID]*muxGroup) (*muxConn, *muxG
 			return fail(fmt.Errorf("transport: tenant %d: duplicate worker id %d", id, w))
 		}
 	}
-	return &muxConn{worker: w, c: c, rw: rw, fr: fr}, g, nil
+	return &muxConn{worker: w, checksum: cksum, c: c, rw: rw, fr: fr}, g, nil
 }
 
 // serveTenant drives one complete tenant group's BSP loop: per step,
@@ -207,7 +222,7 @@ func (s *MuxShardServer) accept(groups map[tenant.ID]*muxGroup) (*muxConn, *muxG
 // signal.
 func (s *MuxShardServer) serveTenant(g *muxGroup) error {
 	id := g.port.Tenant().ID
-	var pullBuf []byte
+	var pullBuf, ckBuf []byte
 	for step := 0; ; step++ {
 		// Worker 0's frame is read before the step opens so a closed
 		// group ends the loop without charging a step.
@@ -256,24 +271,53 @@ func (s *MuxShardServer) serveTenant(g *muxGroup) error {
 		if err != nil {
 			return fmt.Errorf("transport: mux shard %d tenant %d step %d: %w", s.cfg.Shard, id, step, err)
 		}
-		pullBuf = AppendShardHeader(pullBuf[:0], ShardHeader{
-			Version: ShardWireVersion,
-			Shard:   uint16(s.cfg.Shard),
-			Step:    uint32(step),
-			Tenant:  g.wireTenant,
-			Epoch:   g.wireEpoch,
-		})
-		pullBuf = AppendWireSet(pullBuf, pull)
+		// Two pull variants at most: the plain payload and — only when
+		// some member negotiated integrity — the checksummed one; each
+		// worker receives the generation its hello asked for.
+		anyPlain, anyCk := false, false
 		for _, wc := range g.conns {
+			if wc.checksum {
+				anyCk = true
+			} else {
+				anyPlain = true
+			}
+		}
+		if anyPlain {
+			pullBuf = AppendShardHeader(pullBuf[:0], ShardHeader{
+				Version: ShardWireVersion,
+				Shard:   uint16(s.cfg.Shard),
+				Step:    uint32(step),
+				Tenant:  g.wireTenant,
+				Epoch:   g.wireEpoch,
+			})
+			pullBuf = AppendWireSet(pullBuf, pull)
+		}
+		if anyCk {
+			ckBuf = AppendShardHeader(ckBuf[:0], ShardHeader{
+				Version: ShardWireVersion,
+				Flags:   FlagChecksum,
+				Shard:   uint16(s.cfg.Shard),
+				Step:    uint32(step),
+				Tenant:  g.wireTenant,
+				Epoch:   g.wireEpoch,
+			})
+			ckBuf = AppendWireSet(ckBuf, pull)
+			ckBuf = appendChecksum(MsgShardPull, ckBuf)
+		}
+		for _, wc := range g.conns {
+			out := pullBuf
+			if wc.checksum {
+				out = ckBuf
+			}
 			s.cfg.Timeouts.beforeWrite(wc.c)
-			if err := WriteFrame(wc.rw, MsgShardPull, pullBuf); err != nil {
+			if err := WriteFrame(wc.rw, MsgShardPull, out); err != nil {
 				return fmt.Errorf("transport: mux shard %d tenant %d step %d pull to worker %d: %w", s.cfg.Shard, id, step, wc.worker, err)
 			}
 			if err := wc.rw.Flush(); err != nil {
 				return fmt.Errorf("transport: mux shard %d tenant %d step %d flush to worker %d: %w", s.cfg.Shard, id, step, wc.worker, err)
 			}
 			s.mu.Lock()
-			s.pullBytes += int64(len(pullBuf))
+			s.pullBytes += int64(len(out))
 			s.mu.Unlock()
 		}
 	}
@@ -297,7 +341,13 @@ func (s *MuxShardServer) readMuxPush(g *muxGroup, wc *muxConn, step int) (ShardH
 		return ShardHeader{}, nil, false, fmt.Errorf("transport: mux shard %d tenant %d: expected whole-set push, got type %d (streamed pushes are not multiplexed)",
 			s.cfg.Shard, id, t)
 	}
-	h, body, err := ParseShardHeader(payload)
+	var h ShardHeader
+	var body []byte
+	if wc.checksum {
+		h, body, err = parseChecksummedFrame(t, payload)
+	} else {
+		h, body, err = ParseShardHeader(payload)
+	}
 	if err != nil {
 		return ShardHeader{}, nil, false, err
 	}

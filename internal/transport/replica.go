@@ -289,6 +289,14 @@ func (r *ShardReplica) readConn(c net.Conn, events chan<- repEvent, done <-chan 
 			send(repEvent{wc: wc, err: err})
 			return
 		}
+		if h.Flags&(FlagChecksum|FlagResilient) != 0 {
+			// The replay path stores and re-parses raw push payloads; it
+			// does not speak the checksummed wire. A checksummed hello
+			// would also fail the trailing-length check below, but reject
+			// it by name so the error says why.
+			send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: checksummed/resilient clients are not replicated", r.cfg.Shard)})
+			return
+		}
 		if int(h.Shard) != r.cfg.Shard || len(rest) != 4 || le.Uint32(rest) != r.cfg.AssignmentHash {
 			send(repEvent{wc: wc, err: fmt.Errorf("transport: replica shard %d: bad hello (shard %d)", r.cfg.Shard, h.Shard)})
 			return

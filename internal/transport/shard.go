@@ -30,6 +30,16 @@
 //
 // Whole-set and streamed workers interoperate freely on one shard: the
 // mode is per worker per step, chosen by the first push frame.
+//
+// With frame integrity negotiated (FlagChecksum on the hello header, see
+// checksum.go), every frame on that connection — hello included — grows
+// a trailing [4B LE CRC-32C] over the whole payload, and a resilient
+// client (FlagResilient, requires the checksum) may additionally tear
+// down and re-dial its connection mid-run, replaying the in-flight
+// step's push; the server dedupes replays on the (worker, step) identity
+// and re-answers missed pulls from the retained last payload. A client
+// that negotiates neither emits and receives the wire byte-identically
+// to the pre-checksum format.
 package transport
 
 import (
@@ -37,8 +47,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
+	"time"
 
 	"threelc/internal/compress"
 	"threelc/internal/entropy"
@@ -70,6 +80,13 @@ const (
 	// shard header (with the worker's id and step, the dedupe identity)
 	// plus wire set.
 	MsgReplicaPush
+	// MsgShardBye is a resilient client's positive end-of-run signal
+	// (header + checksum trailer, no body): after applying the final
+	// step's pull it tells the server its seat can be retired. A plain
+	// EOF is not enough on a resilient connection — the client may have
+	// closed because the final pull failed its checksum and be about to
+	// reconnect and replay.
+	MsgShardBye
 )
 
 // ErrShardKilled is returned by ShardServer.Serve when the configured
@@ -172,7 +189,7 @@ func ParseShardHeader(src []byte) (ShardHeader, []byte, error) {
 	if h.Version != ShardWireVersion {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unsupported shard wire version %d (have %d)", h.Version, ShardWireVersion)
 	}
-	if h.Flags&^(FlagTenant|FlagEntropy) != 0 {
+	if h.Flags&^(FlagTenant|FlagEntropy|FlagChecksum|FlagResilient) != 0 {
 		return ShardHeader{}, nil, fmt.Errorf("transport: unknown shard header flags %#x", h.Flags)
 	}
 	rest := src[ShardHeaderLen:]
@@ -287,6 +304,21 @@ type ShardServerConfig struct {
 	// MuxShardServer instead.
 	Tenant uint32
 	Epoch  uint32
+	// Resilient accepts FlagResilient clients and keeps their worker
+	// seats open across connection failures: malformed handshakes no
+	// longer abort Serve, a broken resilient connection is replaced by
+	// re-accepting the worker's reconnect, replayed pushes are deduped on
+	// the (worker, step) identity, and missed pulls are re-answered from
+	// the retained last payload. After the final step the server lingers
+	// until every resilient worker confirms with MsgShardBye (or its
+	// reconnect window lapses), so a worker whose final pull was
+	// corrupted can still recover it. Timeouts.Read bounds each
+	// reconnect wait (5s when zero) and must exceed the clients' worst-
+	// case retry backoff.
+	Resilient bool
+	// Dialer overrides how the primary→replica forwarding link is opened
+	// (nil: plain TCP) — the chaos/fault-injection hook.
+	Dialer Dialer
 }
 
 // ShardServer drives one parameter-server shard (a ps sub-server, see
@@ -298,6 +330,14 @@ type ShardServer struct {
 
 	replicaConn net.Conn          // primary→replica forwarding link (nil: unreplicated)
 	replica     *bufio.ReadWriter // buffered writer over replicaConn
+
+	// applied[w] is the last step whose push worker w's seat has
+	// aggregated (-1 before the first), the dedupe identity for replayed
+	// pushes; ckBuf retains the latest checksummed pull payload so a
+	// resilient worker that missed it can be re-answered. Both are only
+	// used by the resilient path and only from the Serve goroutine.
+	applied []int
+	ckBuf   []byte
 
 	mu        sync.Mutex
 	pushBytes int64
@@ -332,16 +372,18 @@ func (s *ShardServer) checkTenant(h ShardHeader) error {
 }
 
 type shardWorkerConn struct {
-	id       int
-	legacy   bool                 // v1 client: answer with v1 pull frames
-	streamed bool                 // this step's push arrived as per-tensor frames
-	entropy  compress.EntropyAlgo // hello-negotiated entropy stage (off: pre-entropy wire)
-	seen     []bool               // per-tensor received flags for one streamed push, recycled
-	rw       *bufio.ReadWriter
-	fr       *FrameReader
-	wires    [][]byte
-	entBuf   []byte // decoded entropy push bodies, recycled
-	c        net.Conn
+	id        int
+	legacy    bool                 // v1 client: answer with v1 pull frames
+	streamed  bool                 // this step's push arrived as per-tensor frames
+	entropy   compress.EntropyAlgo // hello-negotiated entropy stage (off: pre-entropy wire)
+	checksum  bool                 // hello-negotiated CRC-32C frame trailers, both directions
+	resilient bool                 // hello-declared reconnect-and-replay client (implies checksum)
+	seen      []bool               // per-tensor received flags for one streamed push, recycled
+	rw        *bufio.ReadWriter
+	fr        *FrameReader
+	wires     [][]byte
+	entBuf    []byte // decoded entropy push bodies, recycled
+	c         net.Conn
 }
 
 // newConnRW pairs a connection's buffered reader and writer, exactly as
@@ -355,7 +397,7 @@ func newConnRW(c net.Conn) *bufio.ReadWriter {
 // gradient accumulation order — and therefore the shard's state — is
 // deterministic and matches the in-process tier.
 func (s *ShardServer) Serve() error {
-	conns := make([]*shardWorkerConn, 0, s.cfg.Workers)
+	conns := make([]*shardWorkerConn, s.cfg.Workers) // indexed by worker id
 	silentDeath := false
 	defer func() {
 		if silentDeath {
@@ -364,7 +406,9 @@ func (s *ShardServer) Serve() error {
 			return
 		}
 		for _, wc := range conns {
-			wc.c.Close()
+			if wc != nil {
+				wc.c.Close()
+			}
 		}
 		if s.replicaConn != nil {
 			s.replicaConn.Close()
@@ -377,23 +421,43 @@ func (s *ShardServer) Serve() error {
 		}
 	}
 
-	seen := make(map[int]bool)
-	for len(conns) < s.cfg.Workers {
-		wc, err := s.accept(seen)
+	s.applied = make([]int, s.cfg.Workers)
+	for i := range s.applied {
+		s.applied[i] = -1
+	}
+
+	for have := 0; have < s.cfg.Workers; {
+		wc, err := s.accept()
 		if err != nil {
+			if s.cfg.Resilient && !errors.Is(err, errListener) {
+				// A malformed or corrupted handshake is that peer's
+				// problem; the worker behind it will retry.
+				continue
+			}
 			return err
 		}
-		conns = append(conns, wc)
+		if old := conns[wc.id]; old != nil {
+			if !s.cfg.Resilient {
+				wc.c.Close()
+				return fmt.Errorf("transport: bad or duplicate worker id %d", wc.id)
+			}
+			old.c.Close() // superseded by the worker's reconnect: latest wins
+		} else {
+			have++
+		}
+		conns[wc.id] = wc
 	}
-	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
 
 	// The shared pull payload is serialized once per step per frame
-	// generation (v2 — plain or one coded payload per negotiated entropy
-	// stage — and v1 only when a legacy worker is connected) and
-	// broadcast to every worker, like the v1 server's per-step pullBuf.
-	// Workers that pushed streamed this step are answered with per-tensor
-	// pull frames instead, so their decode can start on tensor 0 while
-	// tensor 1 is still in flight.
+	// generation (v2 — plain, checksummed, or one coded payload per
+	// negotiated entropy stage — and v1 only when a legacy worker is
+	// connected) and broadcast to every worker, like the v1 server's
+	// per-step pullBuf. Workers that pushed streamed this step are
+	// answered with per-tensor pull frames instead, so their decode can
+	// start on tensor 0 while tensor 1 is still in flight. The
+	// checksummed payload lives on the server (s.ckBuf), NOT in this
+	// frame: it is retained across steps so a resilient worker that lost
+	// the broadcast can be re-answered during the next step's read phase.
 	var v2Buf, v1Buf, tBuf, setBuf []byte
 	var entBufs [3][]byte // per-stage coded pull payloads, indexed by EntropyAlgo
 	anyLegacy := false
@@ -408,8 +472,8 @@ func (s *ShardServer) Serve() error {
 			return ErrShardKilled
 		}
 		s.ps.BeginStep()
-		for _, wc := range conns {
-			if err := s.readPush(wc, step); err != nil {
+		for w := range conns {
+			if err := s.readPushFrom(conns, w, step); err != nil {
 				return err
 			}
 		}
@@ -421,7 +485,7 @@ func (s *ShardServer) Serve() error {
 		for _, wc := range conns {
 			if !wc.legacy && !wc.streamed {
 				anyWhole = true
-				if wc.entropy == compress.EntropyOff {
+				if wc.entropy == compress.EntropyOff && !wc.checksum {
 					anyPlain = true
 				}
 			}
@@ -445,9 +509,17 @@ func (s *ShardServer) Serve() error {
 			v1Buf = AppendWireSet(v1Buf, pull)
 		}
 		var entBuilt [3]bool
-		for _, wc := range conns {
+		ckBuilt := false
+		for w := 0; w < len(conns); w++ {
+			wc := conns[w]
+			if wc == nil {
+				continue // severed during this step; replay re-answers it
+			}
 			if wc.streamed {
 				if err := s.writePullStream(wc, step, pull, &tBuf); err != nil {
+					if s.severResilient(conns, w, err) {
+						continue
+					}
 					return err
 				}
 				continue
@@ -456,6 +528,21 @@ func (s *ShardServer) Serve() error {
 			switch {
 			case wc.legacy:
 				t, payload = MsgPull, v1Buf
+			case wc.checksum:
+				if !ckBuilt {
+					s.ckBuf = AppendShardHeader(s.ckBuf[:0], ShardHeader{
+						Version: ShardWireVersion,
+						Flags:   FlagChecksum,
+						Shard:   uint16(s.cfg.Shard),
+						Step:    uint32(step),
+						Tenant:  s.cfg.Tenant,
+						Epoch:   s.cfg.Epoch,
+					})
+					s.ckBuf = append(s.ckBuf, setBuf...)
+					s.ckBuf = appendChecksum(MsgShardPull, s.ckBuf)
+					ckBuilt = true
+				}
+				payload = s.ckBuf
 			case wc.entropy != compress.EntropyOff:
 				a := wc.entropy
 				if !entBuilt[a] {
@@ -473,17 +560,206 @@ func (s *ShardServer) Serve() error {
 				payload = entBufs[a]
 			}
 			s.cfg.Timeouts.beforeWrite(wc.c)
-			if err := WriteFrame(wc.rw, t, payload); err != nil {
-				return fmt.Errorf("transport: shard %d step %d pull to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			err := WriteFrame(wc.rw, t, payload)
+			if err == nil {
+				err = wc.rw.Flush()
 			}
-			if err := wc.rw.Flush(); err != nil {
-				return fmt.Errorf("transport: shard %d step %d flush to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			if err != nil {
+				err = fmt.Errorf("transport: shard %d step %d pull to worker %d: %w", s.cfg.Shard, step, wc.id, err)
+				if s.severResilient(conns, w, err) {
+					continue // the worker reconnects and replays; see readPushFrom
+				}
+				return err
 			}
 			s.mu.Lock()
 			s.pullBytes += int64(len(payload))
 			s.mu.Unlock()
 		}
 	}
+	if s.cfg.Resilient {
+		return s.linger(conns)
+	}
+	return nil
+}
+
+// severResilient tears down conns[w] after err if the seat can recover
+// through reconnect-and-replay (resilient mode, resilient connection);
+// it reports whether the error was absorbed.
+func (s *ShardServer) severResilient(conns []*shardWorkerConn, w int, err error) bool {
+	wc := conns[w]
+	if !s.cfg.Resilient || wc == nil || !wc.resilient {
+		return false
+	}
+	wc.c.Close()
+	conns[w] = nil
+	return true
+}
+
+// reacquireTimeout bounds one wait for a worker's reconnect (and the
+// per-worker linger after the last step): the configured read deadline
+// when set — it already must exceed a full step, which dominates any
+// client backoff — or 5s.
+func (s *ShardServer) reacquireTimeout() time.Duration {
+	if s.cfg.Timeouts.Read > 0 {
+		return s.cfg.Timeouts.Read
+	}
+	return 5 * time.Second
+}
+
+// reacquire accepts connections until worker w's seat is refilled,
+// replacing any other worker seats whose reconnects arrive first.
+// Handshake failures are tolerated; the wait for w is deadline-bounded
+// so a worker that never returns fails the step instead of wedging it.
+func (s *ShardServer) reacquire(conns []*shardWorkerConn, w int) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	dl, _ := s.ln.(deadliner)
+	if dl != nil {
+		dl.SetDeadline(time.Now().Add(s.reacquireTimeout()))
+		defer dl.SetDeadline(time.Time{})
+	}
+	for conns[w] == nil {
+		wc, err := s.accept()
+		if err != nil {
+			if errors.Is(err, errListener) {
+				if IsTimeout(err) {
+					return fmt.Errorf("transport: shard %d: worker %d did not reconnect within %v: %w",
+						s.cfg.Shard, w, s.reacquireTimeout(), err)
+				}
+				return err
+			}
+			continue // malformed handshake: keep waiting for the worker
+		}
+		if !wc.resilient {
+			// Only resilient clients may (re)join mid-run: anything else
+			// is a stray peer, not a recovering seat.
+			wc.c.Close()
+			continue
+		}
+		if old := conns[wc.id]; old != nil {
+			old.c.Close()
+		}
+		conns[wc.id] = wc
+	}
+	return nil
+}
+
+// readPushFrom drives worker w's seat through one step's push in
+// resilient terms: reacquire the seat if it is empty, consume the push,
+// and on any connection-level failure of a resilient seat, sever it and
+// wait for the worker's reconnect-and-replay instead of failing the
+// tier.
+func (s *ShardServer) readPushFrom(conns []*shardWorkerConn, w, step int) error {
+	for {
+		if conns[w] == nil {
+			if !s.cfg.Resilient {
+				return fmt.Errorf("transport: shard %d: worker %d has no connection", s.cfg.Shard, w)
+			}
+			if err := s.reacquire(conns, w); err != nil {
+				return err
+			}
+		}
+		err := s.readPush(conns[w], step)
+		if err == nil {
+			return nil
+		}
+		if !s.severResilient(conns, w, err) {
+			return err
+		}
+	}
+}
+
+// linger is the resilient end-of-run: every resilient worker must
+// confirm with MsgShardBye before its seat retires, replaying the final
+// pull to any worker that reconnects for it. A seat whose worker neither
+// confirms nor reconnects within the reacquire window is presumed done —
+// the only frames a resilient client sends here are byes and replays,
+// and a client still missing its pull redials well within the window.
+func (s *ShardServer) linger(conns []*shardWorkerConn) error {
+	lastStep := s.cfg.Steps - 1
+	for w := 0; w < len(conns); w++ {
+		for tries := 0; ; tries++ {
+			if tries > 16 {
+				return fmt.Errorf("transport: shard %d: worker %d cannot settle its final pull", s.cfg.Shard, w)
+			}
+			wc := conns[w]
+			if wc == nil {
+				if err := s.reacquire(conns, w); err != nil {
+					if IsTimeout(err) {
+						break // no reconnect: the worker finished and went away
+					}
+					return err
+				}
+				continue
+			}
+			if !wc.resilient {
+				break
+			}
+			s.cfg.Timeouts.beforeRead(wc.c)
+			if s.cfg.Timeouts.Read == 0 {
+				wc.c.SetReadDeadline(time.Now().Add(s.reacquireTimeout()))
+			}
+			t, payload, err := wc.fr.ReadFrame()
+			if err != nil {
+				// EOF, reset, or timeout: either the worker is done (we
+				// treat silence below as done) or it is reconnecting.
+				wc.c.Close()
+				conns[w] = nil
+				if err := s.reacquire(conns, w); err != nil {
+					if IsTimeout(err) {
+						break
+					}
+					return err
+				}
+				continue
+			}
+			body, err := verifyChecksum(t, payload)
+			if err != nil {
+				wc.c.Close()
+				conns[w] = nil
+				continue
+			}
+			h, _, err := ParseShardHeader(body)
+			if err != nil || int(h.Shard) != s.cfg.Shard || s.checkTenant(h) != nil || int(h.Worker) != w {
+				wc.c.Close()
+				conns[w] = nil
+				continue
+			}
+			switch {
+			case t == MsgShardBye:
+				// Positive confirmation: the final pull was applied.
+			case t == MsgShardPush && int(h.Step) == lastStep && s.applied[w] == lastStep:
+				// The worker missed the final pull: replay it and keep the
+				// seat open for its bye.
+				if err := s.resendRetained(wc); err != nil {
+					wc.c.Close()
+					conns[w] = nil
+				}
+				continue
+			default:
+				return fmt.Errorf("transport: shard %d: unexpected type-%d frame from worker %d after the final step", s.cfg.Shard, t, w)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// resendRetained re-answers one resilient worker with the retained
+// checksummed pull payload of the last finished step.
+func (s *ShardServer) resendRetained(wc *shardWorkerConn) error {
+	if len(s.ckBuf) == 0 {
+		return fmt.Errorf("transport: shard %d: no retained pull to replay to worker %d", s.cfg.Shard, wc.id)
+	}
+	s.cfg.Timeouts.beforeWrite(wc.c)
+	if err := WriteFrame(wc.rw, MsgShardPull, s.ckBuf); err != nil {
+		return err
+	}
+	if err := wc.rw.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.pullBytes += int64(len(s.ckBuf))
+	s.mu.Unlock()
 	return nil
 }
 
@@ -491,10 +767,15 @@ func (s *ShardServer) Serve() error {
 // frames, flushing after each so the worker's double-buffered decode can
 // start on the first tensor while the rest are still being written.
 func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]byte, tBuf *[]byte) error {
+	var flags byte
+	if wc.checksum {
+		flags |= FlagChecksum
+	}
 	sent := int64(0)
 	for k, wire := range pull {
 		b := AppendShardHeader((*tBuf)[:0], ShardHeader{
 			Version: ShardWireVersion,
+			Flags:   flags,
 			Shard:   uint16(s.cfg.Shard),
 			Step:    uint32(step),
 			Tenant:  s.cfg.Tenant,
@@ -504,6 +785,9 @@ func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]by
 		le.PutUint32(sb[:], uint32(k))
 		b = append(b, sb[:]...)
 		b = append(b, wire...)
+		if wc.checksum {
+			b = appendChecksum(MsgShardPullTensor, b)
+		}
 		*tBuf = b
 		s.cfg.Timeouts.beforeWrite(wc.c)
 		if err := WriteFrame(wc.rw, MsgShardPullTensor, b); err != nil {
@@ -523,7 +807,7 @@ func (s *ShardServer) writePullStream(wc *shardWorkerConn, step int, pull [][]by
 // dialReplica opens the primary→replica forwarding link and identifies
 // this endpoint as the shard's primary.
 func (s *ShardServer) dialReplica() error {
-	conn, err := net.Dial("tcp", s.cfg.ReplicaAddr)
+	conn, err := s.cfg.Dialer.dial(s.cfg.ReplicaAddr)
 	if err != nil {
 		return fmt.Errorf("transport: shard %d dial replica %s: %w", s.cfg.Shard, s.cfg.ReplicaAddr, err)
 	}
@@ -567,13 +851,33 @@ func (s *ShardServer) forwardPush(payload []byte) error {
 	return nil
 }
 
-// accept handshakes one worker connection (v2 hello, or v1 hello on a
-// single-shard deployment).
-func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
+// errListener tags accept failures of the listener itself (closed,
+// deadline), as opposed to a bad handshake on one accepted connection.
+// Resilient serving tolerates the latter — a corrupted hello is the
+// peer's problem and the worker behind it retries — but a listener
+// failure is fatal to the whole tier.
+var errListener = errors.New("transport: listener failure")
+
+// accept takes one connection off the listener and handshakes it (v2
+// hello, or v1 hello on a single-shard deployment). Listener-level
+// failures wrap errListener; handshake failures do not, and the
+// connection is closed before returning them.
+func (s *ShardServer) accept() (*shardWorkerConn, error) {
 	c, err := s.ln.Accept()
 	if err != nil {
-		return nil, fmt.Errorf("transport: shard %d accept: %w", s.cfg.Shard, err)
+		return nil, fmt.Errorf("%w: shard %d: %w", errListener, s.cfg.Shard, err)
 	}
+	wc, err := s.handshake(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return wc, nil
+}
+
+// handshake validates one accepted connection's hello and builds its
+// worker seat.
+func (s *ShardServer) handshake(c net.Conn) (*shardWorkerConn, error) {
 	rw := newConnRW(c)
 	fr := NewFrameReader(rw)
 	// The hello read is deadline-armed too: a connection that never
@@ -582,33 +886,54 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 	s.cfg.Timeouts.beforeRead(c)
 	t, payload, err := fr.ReadFrame()
 	if err != nil {
-		c.Close()
 		return nil, fmt.Errorf("transport: shard %d hello: %w", s.cfg.Shard, err)
 	}
 	var id int
-	var legacy bool
+	var legacy, cksum, resil bool
 	var entAlgo compress.EntropyAlgo
 	switch t {
 	case MsgShardHello:
+		if len(payload) >= 2 && payload[1]&FlagChecksum != 0 {
+			// Checksum negotiation: the hello itself carries the trailer,
+			// and the flag byte is under the CRC, so a hello whose flag
+			// bit (or anything else) flipped in flight fails verification
+			// here instead of negotiating a corrupted contract. A flag bit
+			// that flipped OFF leaves a 4-byte-longer trailing section the
+			// length check below rejects.
+			if payload, err = verifyChecksum(MsgShardHello, payload); err != nil {
+				return nil, fmt.Errorf("transport: shard %d hello: %w", s.cfg.Shard, err)
+			}
+			cksum = true
+		}
 		h, rest, err := ParseShardHeader(payload)
 		if err != nil {
-			c.Close()
 			return nil, err
 		}
 		if int(h.Shard) != s.cfg.Shard {
-			c.Close()
 			return nil, fmt.Errorf("transport: hello for shard %d on shard %d", h.Shard, s.cfg.Shard)
 		}
 		if err := s.checkTenant(h); err != nil {
-			c.Close()
 			return nil, err
 		}
+		if h.Flags&FlagResilient != 0 {
+			if !cksum {
+				return nil, fmt.Errorf("transport: resilient hello without frame checksums (replay requires integrity)")
+			}
+			if !s.cfg.Resilient {
+				return nil, fmt.Errorf("transport: shard %d does not accept resilient clients", s.cfg.Shard)
+			}
+			resil = true
+		}
+		if cksum && s.cfg.ReplicaAddr != "" {
+			// The replica replays raw push payloads; it does not speak the
+			// checksummed wire. Resilience and replication are alternative
+			// recovery stories, not composable ones (yet).
+			return nil, fmt.Errorf("transport: shard %d: checksummed frames are not replicated (drop the checksum or the replica)", s.cfg.Shard)
+		}
 		if len(rest) != 4 && len(rest) != 5 {
-			c.Close()
 			return nil, fmt.Errorf("transport: shard hello has %d trailing bytes, want 4 (5 with an entropy stage)", len(rest))
 		}
 		if hash := le.Uint32(rest); hash != s.cfg.AssignmentHash {
-			c.Close()
 			return nil, fmt.Errorf("transport: worker %d placement hash %#x != server %#x (divergent model layout)",
 				h.Worker, hash, s.cfg.AssignmentHash)
 		}
@@ -616,121 +941,158 @@ func (s *ShardServer) accept(seen map[int]bool) (*shardWorkerConn, error) {
 			// Entropy-stage negotiation: pushes from this worker may carry
 			// FlagEntropy bodies, and its whole-set pulls are coded with
 			// the negotiated stage.
+			if cksum {
+				// One body transform per connection: the entropy stage and
+				// the checksum trailer both rewrite the whole-set body
+				// path, and layering a CRC over a coded body would hide
+				// which stage a corruption hit. Codec-level entropy
+				// (SchemeEntropy) composes with checksums fine.
+				return nil, fmt.Errorf("transport: shard %d: wire entropy stage is incompatible with frame checksums", s.cfg.Shard)
+			}
 			switch rest[4] {
 			case entropyBodyHuffman:
 				entAlgo = compress.EntropyHuffman
 			case entropyBodyLZ:
 				entAlgo = compress.EntropyLZ
 			default:
-				c.Close()
 				return nil, fmt.Errorf("transport: hello requests unknown entropy stage %d", rest[4])
 			}
 			if s.cfg.ReplicaAddr != "" {
 				// The replica replays raw push payloads into its own
 				// wire-set parse; keep replicated shards on the plain
 				// format rather than teaching the replay path to decode.
-				c.Close()
 				return nil, fmt.Errorf("transport: shard %d: entropy frames are not replicated (drop the entropy stage or the replica)", s.cfg.Shard)
 			}
 		}
 		id = int(h.Worker)
 	case MsgHello:
 		if s.cfg.NumShards != 1 || s.cfg.Shard != 0 {
-			c.Close()
 			return nil, fmt.Errorf("transport: v1 hello on shard %d of %d (legacy clients need a single-shard tier)",
 				s.cfg.Shard, s.cfg.NumShards)
 		}
 		if len(payload) != 4 {
-			c.Close()
 			return nil, fmt.Errorf("transport: bad v1 hello (%d bytes)", len(payload))
 		}
 		id = int(le.Uint32(payload))
 		legacy = true
 	default:
-		c.Close()
 		return nil, fmt.Errorf("transport: expected hello, got type %d", t)
 	}
-	if id < 0 || id >= s.cfg.Workers || seen[id] {
-		c.Close()
-		return nil, fmt.Errorf("transport: bad or duplicate worker id %d", id)
+	if id < 0 || id >= s.cfg.Workers {
+		return nil, fmt.Errorf("transport: bad worker id %d", id)
 	}
-	seen[id] = true
-	return &shardWorkerConn{id: id, legacy: legacy, entropy: entAlgo, rw: rw, fr: fr, c: c}, nil
+	return &shardWorkerConn{id: id, legacy: legacy, entropy: entAlgo, checksum: cksum, resilient: resil, rw: rw, fr: fr, c: c}, nil
 }
 
 // readPush consumes one worker's push for the given step into the
 // shard's ps sub-server: a single whole-set frame, or — when the worker
 // streams — a sequence of per-tensor frames, each decode-accumulated the
-// moment it lands, terminated by MsgShardPushEnd.
+// moment it lands, terminated by MsgShardPushEnd. On a resilient seat a
+// replay of the PREVIOUS step's push (the worker lost that step's pull
+// and reconnected) is answered from the retained pull payload and
+// consumed without re-aggregating — the dedupe half of at-most-once
+// application — before reading on for the current step's push.
 func (s *ShardServer) readPush(wc *shardWorkerConn, step int) error {
-	s.cfg.Timeouts.beforeRead(wc.c)
-	t, payload, err := wc.fr.ReadFrame()
-	if err != nil {
-		return fmt.Errorf("transport: shard %d step %d push from worker %d: %w", s.cfg.Shard, step, wc.id, err)
-	}
-	wc.streamed = false
-	var body []byte
-	var id, gotStep int
-	switch {
-	case (t == MsgShardPushTensor || t == MsgShardPushEnd) && !wc.legacy:
-		if s.replica != nil {
-			return fmt.Errorf("transport: shard %d: streamed pushes are not replicated (worker %d must push whole-set)", s.cfg.Shard, wc.id)
-		}
-		wc.streamed = true
-		return s.readPushStream(wc, step, t, payload)
-	case t == MsgShardPush && !wc.legacy:
-		h, rest, err := ParseShardHeader(payload)
+	for {
+		s.cfg.Timeouts.beforeRead(wc.c)
+		t, payload, err := wc.fr.ReadFrame()
 		if err != nil {
-			return err
+			return fmt.Errorf("transport: shard %d step %d push from worker %d: %w", s.cfg.Shard, step, wc.id, err)
 		}
-		if int(h.Shard) != s.cfg.Shard {
-			return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
-		}
-		if err := s.checkTenant(h); err != nil {
-			return err
-		}
-		if h.Flags&FlagEntropy != 0 {
+		wc.streamed = false
+		var body []byte
+		var id, gotStep int
+		switch {
+		case (t == MsgShardPushTensor || t == MsgShardPushEnd) && !wc.legacy:
 			if s.replica != nil {
-				return fmt.Errorf("transport: shard %d: entropy pushes are not replicated (worker %d must push plain)", s.cfg.Shard, wc.id)
+				return fmt.Errorf("transport: shard %d: streamed pushes are not replicated (worker %d must push whole-set)", s.cfg.Shard, wc.id)
 			}
-			rest, err = parseEntropyBody(rest, &wc.entBuf)
+			if wc.checksum {
+				if payload, err = verifyChecksum(t, payload); err != nil {
+					return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+				}
+			}
+			if wc.resilient {
+				// The replay/retained-pull machinery covers whole-set
+				// rounds only; a resilient worker never streams.
+				return fmt.Errorf("transport: shard %d: streamed pushes are not supported on a resilient connection (worker %d)", s.cfg.Shard, wc.id)
+			}
+			wc.streamed = true
+			return s.readPushStream(wc, step, t, payload)
+		case t == MsgShardPush && !wc.legacy:
+			var h ShardHeader
+			var rest []byte
+			if wc.checksum {
+				h, rest, err = parseChecksummedFrame(t, payload)
+			} else {
+				h, rest, err = ParseShardHeader(payload)
+			}
 			if err != nil {
-				return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+				return err
 			}
+			if int(h.Shard) != s.cfg.Shard {
+				return fmt.Errorf("transport: push for shard %d on shard %d", h.Shard, s.cfg.Shard)
+			}
+			if err := s.checkTenant(h); err != nil {
+				return err
+			}
+			if h.Flags&FlagEntropy != 0 {
+				if wc.checksum {
+					return fmt.Errorf("transport: shard %d: entropy push on a checksummed connection (worker %d)", s.cfg.Shard, wc.id)
+				}
+				if s.replica != nil {
+					return fmt.Errorf("transport: shard %d: entropy pushes are not replicated (worker %d must push plain)", s.cfg.Shard, wc.id)
+				}
+				rest, err = parseEntropyBody(rest, &wc.entBuf)
+				if err != nil {
+					return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+				}
+			}
+			id, gotStep, body = int(h.Worker), int(h.Step), rest
+		case t == MsgPush && wc.legacy:
+			if s.replica != nil {
+				return fmt.Errorf("transport: shard %d: legacy v1 pushes are not replicated", s.cfg.Shard)
+			}
+			if len(payload) < 8 {
+				return fmt.Errorf("transport: step %d: short v1 push header", step)
+			}
+			id, gotStep, body = int(le.Uint32(payload)), int(le.Uint32(payload[4:])), payload[8:]
+		default:
+			return fmt.Errorf("transport: step %d: expected push, got type %d", step, t)
 		}
-		id, gotStep, body = int(h.Worker), int(h.Step), rest
-	case t == MsgPush && wc.legacy:
-		if s.replica != nil {
-			return fmt.Errorf("transport: shard %d: legacy v1 pushes are not replicated", s.cfg.Shard)
+		if id != wc.id {
+			return fmt.Errorf("transport: push id %d on worker %d's connection", id, wc.id)
 		}
-		if len(payload) < 8 {
-			return fmt.Errorf("transport: step %d: short v1 push header", step)
+		if gotStep != step {
+			if wc.resilient && gotStep == step-1 && s.applied[wc.id] == step-1 {
+				// Replay of an already-aggregated push: the worker never
+				// got that step's pull. Re-answer from the retained
+				// payload (do NOT re-aggregate) and keep reading — the
+				// current step's push follows on this same connection.
+				if err := s.resendRetained(wc); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
 		}
-		id, gotStep, body = int(le.Uint32(payload)), int(le.Uint32(payload[4:])), payload[8:]
-	default:
-		return fmt.Errorf("transport: step %d: expected push, got type %d", step, t)
+		if err := s.forwardPush(payload); err != nil {
+			return err
+		}
+		wires, _, err := ParseWireSetInto(wc.wires, body)
+		if err != nil {
+			return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, id, err)
+		}
+		wc.wires = wires
+		if _, err := s.ps.AddPush(id, wires); err != nil {
+			return err
+		}
+		s.applied[wc.id] = step
+		s.mu.Lock()
+		s.pushBytes += int64(len(payload))
+		s.mu.Unlock()
+		return nil
 	}
-	if id != wc.id {
-		return fmt.Errorf("transport: push id %d on worker %d's connection", id, wc.id)
-	}
-	if gotStep != step {
-		return fmt.Errorf("transport: worker %d pushed step %d during step %d (barrier violation)", id, gotStep, step)
-	}
-	if err := s.forwardPush(payload); err != nil {
-		return err
-	}
-	wires, _, err := ParseWireSetInto(wc.wires, body)
-	if err != nil {
-		return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, id, err)
-	}
-	wc.wires = wires
-	if _, err := s.ps.AddPush(id, wires); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.pushBytes += int64(len(payload))
-	s.mu.Unlock()
-	return nil
 }
 
 // readPushStream consumes a streamed push: the already-read first frame
@@ -806,6 +1168,11 @@ func (s *ShardServer) readPushStream(wc *shardWorkerConn, step int, t MsgType, p
 		if t != MsgShardPushTensor && t != MsgShardPushEnd {
 			return fmt.Errorf("transport: step %d: expected push tensor or end, got type %d", step, t)
 		}
+		if wc.checksum {
+			if payload, err = verifyChecksum(t, payload); err != nil {
+				return fmt.Errorf("transport: shard %d step %d worker %d: %w", s.cfg.Shard, step, wc.id, err)
+			}
+		}
 	}
 }
 
@@ -836,6 +1203,29 @@ type ShardClientConfig struct {
 	// byte-for-byte. Incompatible with Replicas (entropy frames are not
 	// replicated); streamed per-tensor frames are exempt and stay plain.
 	Entropy compress.EntropyAlgo
+	// Checksum negotiates CRC-32C frame integrity (see FlagChecksum):
+	// every frame both ways — hello, pushes, pulls, streamed tensors —
+	// carries a trailing checksum, so corruption anywhere on the path
+	// surfaces as an error instead of silently skewing the aggregate.
+	// Incompatible with Replicas and with the wire Entropy stage.
+	Checksum bool
+	// Resilient (implies Checksum) makes push/pull failures recoverable
+	// in place: on any error mid-round-trip the client backs off per
+	// Retry, re-dials the SAME shard address, re-handshakes with
+	// FlagResilient, and replays the in-flight step's push; the server
+	// (ShardServerConfig.Resilient) dedupes the replay and re-answers the
+	// missed pull from its retained payload. Whole-set rounds only
+	// (PushPullStream rejects a resilient client). At Close the client
+	// confirms with MsgShardBye so the server can retire its seat.
+	Resilient bool
+	// Retry is the resilient path's backoff schedule; the zero value is
+	// the retry.Policy default (4 attempts, 50ms base, 2s cap, 2x). Each
+	// shard's connection draws from a decorrelated jitter stream derived
+	// from it.
+	Retry RetryPolicy
+	// Dialer overrides how shard connections (and reconnects) are opened;
+	// nil means plain TCP. The chaos/fault-injection hook.
+	Dialer Dialer
 }
 
 // ShardClient is a worker's multiplexed view of the sharded tier: one
@@ -854,6 +1244,8 @@ type ShardClient struct {
 
 type shardConn struct {
 	shard     int
+	addr      string      // primary address, the resilient reconnect target
+	policy    RetryPolicy // per-shard decorrelated backoff stream
 	c         net.Conn
 	rw        *bufio.ReadWriter
 	fr        *FrameReader
@@ -891,6 +1283,17 @@ func DialShardedConfig(addrs []string, workerID int, asn shard.Assignment, ccfg 
 	if ccfg.Entropy != compress.EntropyOff && ccfg.Replicas != nil {
 		return nil, fmt.Errorf("transport: entropy stage is incompatible with replica failover (entropy frames are not replicated)")
 	}
+	if ccfg.Resilient {
+		// Replay without integrity would retransmit the very corruption
+		// it is recovering from.
+		ccfg.Checksum = true
+	}
+	if ccfg.Checksum && ccfg.Replicas != nil {
+		return nil, fmt.Errorf("transport: frame checksums are incompatible with replica failover (checksummed frames are not replicated)")
+	}
+	if ccfg.Checksum && ccfg.Entropy != compress.EntropyOff {
+		return nil, fmt.Errorf("transport: frame checksums are incompatible with the wire entropy stage")
+	}
 	c := &ShardClient{
 		id:   workerID,
 		asn:  asn,
@@ -909,7 +1312,7 @@ func DialShardedConfig(addrs []string, workerID int, asn shard.Assignment, ccfg 
 		}
 	}
 	for s, addr := range addrs {
-		sc := &shardConn{shard: s}
+		sc := &shardConn{shard: s, addr: addr, policy: ccfg.Retry.Stream(uint64(s))}
 		if err := c.connect(sc, addr); err != nil {
 			c.Close() // closes the successfully-dialed prefix only
 			return nil, err
@@ -922,15 +1325,23 @@ func DialShardedConfig(addrs []string, workerID int, asn shard.Assignment, ccfg 
 // connect dials addr for sc's shard and performs the v2 hello handshake.
 // It is used both at dial time (primary) and during failover (replica).
 func (c *ShardClient) connect(sc *shardConn, addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := c.ccfg.Dialer.dial(addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial shard %d at %s: %w", sc.shard, addr, err)
 	}
 	sc.c = conn
 	sc.rw = newConnRW(conn)
 	sc.fr = NewFrameReader(sc.rw)
+	var flags byte
+	if c.ccfg.Checksum {
+		flags |= FlagChecksum
+	}
+	if c.ccfg.Resilient {
+		flags |= FlagResilient
+	}
 	hello := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
 		Version: ShardWireVersion,
+		Flags:   flags,
 		Shard:   uint16(sc.shard),
 		Worker:  uint32(c.id),
 		Tenant:  c.ccfg.Tenant,
@@ -944,6 +1355,9 @@ func (c *ShardClient) connect(sc *shardConn, addr string) error {
 		hello = append(hello, entropyBodyHuffman)
 	case compress.EntropyLZ:
 		hello = append(hello, entropyBodyLZ)
+	}
+	if c.ccfg.Checksum {
+		hello = appendChecksum(MsgShardHello, hello)
 	}
 	sc.pushBuf = hello
 	c.ccfg.Timeouts.beforeWrite(conn)
@@ -982,18 +1396,26 @@ func (c *ShardClient) PushPull(step int, wires [][]byte) ([][]byte, error) {
 	if len(wires) != len(c.asn.ShardOf) {
 		return nil, fmt.Errorf("transport: push has %d tensors, placement has %d", len(wires), len(c.asn.ShardOf))
 	}
-	var wg sync.WaitGroup
-	for s, sc := range c.conns {
-		wg.Add(1)
-		go func(s int, sc *shardConn) {
-			defer wg.Done()
-			c.errs[s] = c.pushPullShard(step, s, sc, wires)
-		}(s, sc)
-	}
-	wg.Wait()
-	for _, err := range c.errs {
-		if err != nil {
+	if len(c.conns) == 1 {
+		// Single-shard fast path: no goroutine fan-out, so the steady
+		// state stays allocation-free.
+		if err := c.pushPullShard(step, 0, c.conns[0], wires); err != nil {
 			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		for s, sc := range c.conns {
+			wg.Add(1)
+			go func(s int, sc *shardConn) {
+				defer wg.Done()
+				c.errs[s] = c.pushPullShard(step, s, sc, wires)
+			}(s, sc)
+		}
+		wg.Wait()
+		for _, err := range c.errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	for i := range c.pull {
@@ -1007,21 +1429,39 @@ func (c *ShardClient) PushPull(step int, wires [][]byte) ([][]byte, error) {
 	return c.pull, nil
 }
 
-// pushPullShard runs one shard's round trip of one step, failing over to
-// the shard's replica — reconnect, re-handshake, and REPLAY this step's
-// push — when the primary breaks mid-round-trip. The replayed push
-// carries the same (worker, step) identity as the original, so a replica
-// that already received it through primary forwarding applies it exactly
-// once.
+// pushPullShard runs one shard's round trip of one step. Recovery is one
+// of two stories. A replicated client fails over: reconnect to the
+// shard's replica, re-handshake, REPLAY this step's push (the replica
+// dedupes on the (worker, step) identity primary forwarding already
+// delivered, so the push applies exactly once). A resilient client
+// recovers in place: back off per the shard's decorrelated retry stream,
+// re-dial the SAME address, re-handshake, and replay — the server kept
+// the seat, dedupes the replay, and re-answers the missed pull from its
+// retained payload. The attempt budget is the policy's; exhausting it
+// surfaces the last error.
 func (c *ShardClient) pushPullShard(step, s int, sc *shardConn, wires [][]byte) error {
 	err := c.tryPushPull(step, s, sc, wires)
 	if err == nil {
 		return nil
 	}
-	if ferr := c.failover(sc, err); ferr != nil {
-		return ferr
+	if !c.ccfg.Resilient {
+		if ferr := c.failover(sc, err); ferr != nil {
+			return ferr
+		}
+		return c.tryPushPull(step, s, sc, wires)
 	}
-	return c.tryPushPull(step, s, sc, wires)
+	for attempt := 0; attempt+1 < sc.policy.Attempts(); attempt++ {
+		sc.c.Close()
+		time.Sleep(sc.policy.Backoff(attempt))
+		if derr := c.connect(sc, sc.addr); derr != nil {
+			err = derr
+			continue
+		}
+		if err = c.tryPushPull(step, s, sc, wires); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("transport: shard %d step %d: retry budget exhausted: %w", s, step, err)
 }
 
 // tryPushPull is one push/pull attempt on the current connection.
@@ -1034,6 +1474,9 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 	var flags byte
 	if c.ccfg.Entropy != compress.EntropyOff {
 		flags |= FlagEntropy
+	}
+	if c.ccfg.Checksum {
+		flags |= FlagChecksum
 	}
 	payload := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
 		Version: ShardWireVersion,
@@ -1049,6 +1492,9 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 		payload = appendEntropyBody(payload, c.ccfg.Entropy, sc.setBuf)
 	} else {
 		payload = AppendWireSet(payload, sub)
+	}
+	if c.ccfg.Checksum {
+		payload = appendChecksum(MsgShardPush, payload)
 	}
 	sc.pushBuf = payload
 	c.ccfg.Timeouts.beforeWrite(sc.c)
@@ -1067,7 +1513,13 @@ func (c *ShardClient) tryPushPull(step, s int, sc *shardConn, wires [][]byte) er
 	if t != MsgShardPull {
 		return fmt.Errorf("transport: shard %d: expected pull, got type %d", s, t)
 	}
-	h, rest, err := ParseShardHeader(resp)
+	var h ShardHeader
+	var rest []byte
+	if c.ccfg.Checksum {
+		h, rest, err = parseChecksummedFrame(t, resp)
+	} else {
+		h, rest, err = ParseShardHeader(resp)
+	}
 	if err != nil {
 		return err
 	}
@@ -1116,6 +1568,11 @@ type IndexedWire struct {
 // tensors (ps.Worker.ApplyPullTensor is); its wire argument is valid only
 // for the duration of the call.
 func (c *ShardClient) PushPullStream(step int, tensors <-chan IndexedWire, apply func(gi int, wire []byte) error) error {
+	if c.ccfg.Resilient {
+		// Mid-stream replay would need the whole tensor sequence staged;
+		// the resilient contract covers whole-set rounds only.
+		return fmt.Errorf("transport: streamed push/pull is not supported on a resilient client")
+	}
 	chans := make([]chan IndexedWire, len(c.conns))
 	var wg sync.WaitGroup
 	for s, sc := range c.conns {
@@ -1160,12 +1617,18 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 		Tenant:  c.ccfg.Tenant,
 		Epoch:   c.ccfg.Epoch,
 	}
+	if c.ccfg.Checksum {
+		hdr.Flags |= FlagChecksum
+	}
 	for iw := range ch {
 		payload := AppendShardHeader(sc.pushBuf[:0], hdr)
 		var sb [4]byte
 		le.PutUint32(sb[:], uint32(c.slot[iw.I]))
 		payload = append(payload, sb[:]...)
 		payload = append(payload, iw.Wire...)
+		if c.ccfg.Checksum {
+			payload = appendChecksum(MsgShardPushTensor, payload)
+		}
 		sc.pushBuf = payload
 		c.ccfg.Timeouts.beforeWrite(sc.c)
 		if err := WriteFrame(sc.rw, MsgShardPushTensor, payload); err != nil {
@@ -1178,6 +1641,9 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 		}
 	}
 	payload := AppendShardHeader(sc.pushBuf[:0], hdr)
+	if c.ccfg.Checksum {
+		payload = appendChecksum(MsgShardPushEnd, payload)
+	}
 	sc.pushBuf = payload
 	c.ccfg.Timeouts.beforeWrite(sc.c)
 	if err := WriteFrame(sc.rw, MsgShardPushEnd, payload); err != nil {
@@ -1213,7 +1679,13 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 				frames <- pulled{err: fmt.Errorf("transport: shard %d: expected pull tensor, got type %d", s, t)}
 				return
 			}
-			h, rest, err := ParseShardHeader(resp)
+			var h ShardHeader
+			var rest []byte
+			if c.ccfg.Checksum {
+				h, rest, err = parseChecksummedFrame(t, resp)
+			} else {
+				h, rest, err = ParseShardHeader(resp)
+			}
 			if err != nil {
 				frames <- pulled{err: err}
 				return
@@ -1262,12 +1734,32 @@ func (c *ShardClient) streamShard(step, s int, sc *shardConn, ch <-chan IndexedW
 	return firstErr
 }
 
-// Close terminates all shard connections.
+// Close terminates all shard connections. A resilient client first
+// confirms each shard with MsgShardBye (best-effort): a bare close is
+// ambiguous to a resilient server — it cannot tell a finished worker
+// from one about to reconnect — so the bye lets it retire the seat
+// immediately instead of holding it open for the reacquire window.
 func (c *ShardClient) Close() error {
 	var first error
 	for _, sc := range c.conns {
 		if sc.c == nil {
 			continue
+		}
+		if c.ccfg.Resilient {
+			bye := AppendShardHeader(sc.pushBuf[:0], ShardHeader{
+				Version: ShardWireVersion,
+				Flags:   FlagChecksum,
+				Shard:   uint16(sc.shard),
+				Worker:  uint32(c.id),
+				Tenant:  c.ccfg.Tenant,
+				Epoch:   c.ccfg.Epoch,
+			})
+			bye = appendChecksum(MsgShardBye, bye)
+			sc.pushBuf = bye
+			c.ccfg.Timeouts.beforeWrite(sc.c)
+			if WriteFrame(sc.rw, MsgShardBye, bye) == nil {
+				sc.rw.Flush()
+			}
 		}
 		if err := sc.c.Close(); err != nil && first == nil {
 			first = err

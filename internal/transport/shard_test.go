@@ -26,6 +26,17 @@ func shardTestConfig(workers, steps int) ps.Config {
 
 func buildShardModel() *nn.Model { return nn.NewMLP(12, []int{16, 10}, 4, 7) }
 
+// mustSubServers builds the per-shard sub-servers or fails the test; the
+// wire tests all run over assignments SubServers accepts by construction.
+func mustSubServers(t testing.TB, g *nn.Model, cfg ps.Config, asn shard.Assignment) []*ps.Job {
+	t.Helper()
+	subs, err := shard.SubServers(g, cfg, asn)
+	if err != nil {
+		t.Fatalf("SubServers: %v", err)
+	}
+	return subs
+}
+
 // driveWorker runs one worker's BSP loop through a push/pull function.
 func driveWorker(t *testing.T, w int, steps int, cfg ps.Config,
 	global *nn.Model, pushPull func(step int, wires [][]byte) ([][]byte, error)) {
@@ -113,7 +124,7 @@ func TestShardedTCPMatchesSinglePS(t *testing.T) {
 
 	global := buildShardModel()
 	asn := shard.ForModel(global, shards)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	addrs := make([]string, shards)
 	serveErr := make(chan error, shards)
@@ -213,7 +224,7 @@ func TestStreamedTCPMatchesSinglePS(t *testing.T) {
 
 	global := buildShardModel()
 	asn := shard.ForModel(global, shards)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	addrs := make([]string, shards)
 	serveErr := make(chan error, shards)
@@ -283,7 +294,7 @@ func TestStreamedPushRejectsMalformedStream(t *testing.T) {
 		cfg := shardTestConfig(1, 1)
 		global := buildShardModel()
 		asn := shard.ForModel(global, 1)
-		subs := shard.SubServers(global, cfg, asn)
+		subs := mustSubServers(t, global, cfg, asn)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -349,7 +360,7 @@ func TestShardServerAcceptsLegacyV1Client(t *testing.T) {
 	cfg := shardTestConfig(workers, steps)
 	global := buildShardModel()
 	asn := shard.ForModel(global, 1)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -399,7 +410,7 @@ func TestShardServerRejectsPlacementDrift(t *testing.T) {
 	cfg := shardTestConfig(1, 1)
 	global := buildShardModel()
 	asn := shard.ForModel(global, 2)
-	subs := shard.SubServers(global, cfg, asn)
+	subs := mustSubServers(t, global, cfg, asn)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -214,6 +214,113 @@ func TestMuxShardServerMultiTenantTCP(t *testing.T) {
 	}
 }
 
+// TestMuxShardServerChecksumPerWorker pins two properties of the
+// multiplexed tier's integrity negotiation: checksummed and plain
+// clients coexist on one mux endpoint (the flag is per-WORKER, carried
+// on each hello, not per-listener), and a resilient client is refused
+// outright — reconnect-and-replay seats are a dedicated-listener
+// feature, and silently accepting one would hand it a seat that cannot
+// be reacquired. Both jobs must still land bit-identical to their
+// single-PS references.
+func TestMuxShardServerChecksumPerWorker(t *testing.T) {
+	const workers, steps, shards = 2, 3, 2
+	jobs := []muxJob{
+		{id: tenant.Default, tagged: false, scheme: compress.SchemeThreeLC, opts: compress.Options{Sparsity: 1.5, ZeroRun: true}, mseed: 7},
+		{id: 5, tagged: true, scheme: compress.SchemeStoch3QE, opts: compress.Options{Seed: 9}, mseed: 8},
+	}
+	checksummed := []bool{false, true}
+	to := Timeouts{Read: 30 * time.Second, Write: 10 * time.Second}
+
+	svc := shard.NewService(shard.Config{Shards: shards}, tenant.NewRegistry(len(jobs)))
+	defer svc.Close()
+	globals := make([]*nn.Model, len(jobs))
+	epochs := make([]tenant.Epoch, len(jobs))
+	for i, j := range jobs {
+		globals[i] = j.build()
+		h, err := svc.Admit(j.id, globals[i], j.config(workers, steps), tenant.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochs[i] = h.Tenant().Epoch
+	}
+
+	addrs := make([]string, shards)
+	srvErr := make(chan error, shards)
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[s] = ln.Addr().String()
+		go func(s int) {
+			srvErr <- NewMuxShardServer(ln, svc, MuxShardServerConfig{
+				Shard:    s,
+				Tenants:  len(jobs),
+				Timeouts: to,
+			}).Serve()
+		}(s)
+	}
+
+	// A resilient client must be turned away at the hello. The mux drops
+	// the connection; the client's redial budget burns down against the
+	// same refusal and the failure surfaces from PushPull.
+	res, err := DialShardedConfig(addrs, 0, shard.ForModel(jobs[1].build(), shards),
+		ShardClientConfig{
+			Timeouts:  Timeouts{Read: time.Second, Write: time.Second},
+			Tenant:    uint32(jobs[1].id),
+			Epoch:     uint32(epochs[1]),
+			Checksum:  true,
+			Resilient: true,
+			Retry:     RetryPolicy{MaxAttempts: 2, Base: 10 * time.Millisecond, Cap: 20 * time.Millisecond},
+		})
+	if err == nil {
+		wk := ps.NewWorker(0, jobs[1].build(), jobs[1].config(workers, steps))
+		wk.Model.TrainStep(tensor.New(6, 12), make([]int, 6))
+		wires, _ := wk.CompressGrads()
+		if _, err := res.PushPull(0, wires); err == nil {
+			t.Error("resilient client completed a push/pull through the mux tier")
+		}
+		res.Close()
+	}
+
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j muxJob) {
+			defer wg.Done()
+			ccfg := ShardClientConfig{Timeouts: to, Checksum: checksummed[i]}
+			if j.tagged {
+				ccfg.Tenant = uint32(j.id)
+				ccfg.Epoch = uint32(epochs[i])
+			}
+			cfg := j.config(workers, steps)
+			runJobWorkers(t, j, cfg, globals[i], workers, steps, func(w int) (*ShardClient, error) {
+				return DialShardedConfig(addrs, w, shard.ForModel(j.build(), shards), ccfg)
+			})
+		}(i, j)
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		if err := <-srvErr; err != nil {
+			t.Fatalf("mux serve: %v", err)
+		}
+	}
+
+	for i, j := range jobs {
+		want := jobReference(t, j, workers, steps)
+		var got []float32
+		for _, p := range globals[i].Params() {
+			got = append(got, p.W.Data()...)
+		}
+		for k := range want {
+			if want[k] != got[k] {
+				t.Fatalf("tenant %d (checksum=%v) weight %d differs from single-PS reference: %v != %v",
+					j.id, checksummed[i], k, got[k], want[k])
+			}
+		}
+	}
+}
+
 // TestMuxShardServerRejectsUnknownTenant pins hello-time admission: a
 // client tagged with an unadmitted tenant id must be refused while the
 // admitted tenants' jobs proceed untouched.
@@ -277,7 +384,7 @@ func TestReplicaRejectsCrossTenantPush(t *testing.T) {
 	cfg := j.config(1, 1)
 	model := j.build()
 	asn := shard.ForModel(model, 1)
-	subs := shard.SubServers(model, cfg, asn)
+	subs := mustSubServers(t, model, cfg, asn)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

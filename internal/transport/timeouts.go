@@ -4,7 +4,16 @@ import (
 	"errors"
 	"net"
 	"time"
+
+	"threelc/internal/retry"
 )
+
+// RetryPolicy is the transport tier's retry/backoff schedule: capped
+// exponential delays with deterministic seeded jitter, shared with the
+// shard service's straggler path through internal/retry so every retry
+// loop in the tree is tuned (and reproduced) in one place. The zero
+// value is a sane default; see retry.Policy for the knobs.
+type RetryPolicy = retry.Policy
 
 // Timeouts bounds how long a single framed read or write may block on a
 // connection. Without deadlines a silently dead peer — a worker whose
