@@ -1,0 +1,82 @@
+// Command 3lc-lint runs the repo's invariant-enforcing analyzer suite
+// (internal/lint) over the named packages: noalloc, nopanic, poolsafe,
+// and detonly. It prints one line per finding and exits nonzero if any
+// unsuppressed finding remains, so CI can require a clean run the same
+// way it requires go vet.
+//
+// Usage:
+//
+//	3lc-lint [-only a,b] [-list] [-v] [packages]
+//
+// Packages default to ./... relative to the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threelc/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also print suppressed findings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: 3lc-lint [-only a,b] [-list] [-v] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	failed := 0
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s: suppressed (%s) [%s]\n", d.Pos, d.Reason, d.Rule)
+			}
+			continue
+		}
+		failed++
+		fmt.Println(d)
+	}
+	if *verbose {
+		fmt.Printf("3lc-lint: %d packages, %d findings, %d suppressed\n", len(pkgs), failed, suppressed)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -102,6 +102,9 @@
 //	                     per-shard connections
 //	internal/train       distributed training driver + metrics
 //	internal/experiments per-table/figure reproduction harness
+//	internal/lint        3lc-lint analyzer suite enforcing the //3lc:
+//	                     source contracts (noalloc, nopanic, poolsafe,
+//	                     detonly); see internal/lint/doc.go
 //
 // The sharded tier (internal/shard) partitions the model's tensors across
 // N parameter-server shards, each running the zero-allocation codec pool
@@ -150,7 +153,8 @@
 // full-state checkpointing and `-resume`), cmd/3lc-net (training over
 // real TCP, with `-replicas`/`-kill-shard` failover demo),
 // cmd/3lc-compress (codec demo), cmd/3lc-ckpt (checkpoint inspection,
-// evaluation, and resume), and cmd/benchcheck (CI benchmark
-// parser/gate). Runnable examples are under examples/. See README.md for
-// a quickstart.
+// evaluation, and resume), cmd/benchcheck (CI benchmark parser/gate),
+// and cmd/3lc-lint (the //3lc: contract checker; run it as
+// `go run ./cmd/3lc-lint ./...`). Runnable examples are under
+// examples/. See README.md for a quickstart.
 package threelc

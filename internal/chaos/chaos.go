@@ -23,6 +23,8 @@
 // the adversary half of the chaos contract; the defenses it validates —
 // CRC-32C frame checksums, reconnect-and-replay, unified retry/backoff,
 // the shard circuit breaker — live in transport and shard.
+//
+//3lc:det
 package chaos
 
 import (

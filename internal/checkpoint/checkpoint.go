@@ -102,21 +102,29 @@ func Save(w io.Writer, m *nn.Model) error {
 // staging buffers before the first byte of the model is modified, so a
 // malformed or truncated checkpoint returns an error with the model
 // untouched (FuzzCheckpointLoad pins this).
+//
+//3lc:decode
 func Load(r io.Reader, m *nn.Model) error {
 	staged, bn, err := parse(r, m)
 	if err != nil {
 		return err
 	}
 	params := m.Params()
-	for i, p := range params {
-		copy(p.W.Data(), staged[i])
-	}
 	var layers []nn.Layer
 	nn.Walk(m.Net, func(l nn.Layer) {
 		if _, _, ok := bnStats(l); ok {
 			layers = append(layers, l)
 		}
 	})
+	// parse stages exactly one entry per parameter and per BN layer; pin
+	// that contract here so the copy loops below are visibly in bounds.
+	if len(staged) != len(params) || len(bn) != len(layers) {
+		return fmt.Errorf("checkpoint: staging mismatch: %d/%d params, %d/%d bn layers",
+			len(staged), len(params), len(bn), len(layers))
+	}
+	for i, p := range params {
+		copy(p.W.Data(), staged[i])
+	}
 	for li, l := range layers {
 		mean, variance, _ := bnStats(l)
 		copy(mean, bn[li][0])
@@ -128,6 +136,8 @@ func Load(r io.Reader, m *nn.Model) error {
 // parse reads and validates a v1 checkpoint against m's architecture,
 // returning staged parameter data (in m.Params() order) and staged
 // batch-norm statistics (in Walk order) without touching the model.
+//
+//3lc:decode
 func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err error) {
 	br := bufio.NewReader(r)
 	var gotMagic [8]byte
@@ -161,7 +171,7 @@ func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err
 		}
 		name := string(nameBuf)
 		pi, ok := byName[name]
-		if !ok {
+		if !ok || pi >= len(staged) {
 			return nil, nil, fmt.Errorf("checkpoint: unknown parameter %q", name)
 		}
 		if staged[pi] != nil {
@@ -186,7 +196,7 @@ func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err
 			return nil, nil, fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d", name, n, p.W.Len())
 		}
 		data := make([]float32, n)
-		for j := 0; j < n; j++ {
+		for j := range data {
 			var bits uint32
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
 				return nil, nil, fmt.Errorf("checkpoint: parameter %q truncated: %w", name, err)
@@ -209,8 +219,8 @@ func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err
 	if int(bnCount) != len(widths) {
 		return nil, nil, fmt.Errorf("checkpoint: %d batch-norm layers, model has %d", bnCount, len(widths))
 	}
-	bn = make([][2][]float64, len(widths))
-	for li, want := range widths {
+	bn = make([][2][]float64, 0, len(widths))
+	for _, want := range widths {
 		var width uint32
 		if err := binary.Read(br, binary.LittleEndian, &width); err != nil {
 			return nil, nil, err
@@ -234,7 +244,7 @@ func parse(r io.Reader, m *nn.Model) (staged [][]float32, bn [][2][]float64, err
 			}
 			variance[j] = math.Float64frombits(bits)
 		}
-		bn[li] = [2][]float64{mean, variance}
+		bn = append(bn, [2][]float64{mean, variance})
 	}
 	return staged, bn, nil
 }

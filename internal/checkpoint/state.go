@@ -133,6 +133,8 @@ func WriteState(w io.Writer, st *State) error {
 // version, truncation, CRC mismatch, implausible lengths — returns an
 // error; ReadState never panics and never returns a partially-checked
 // state.
+//
+//3lc:decode
 func ReadState(r io.Reader) (*State, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
@@ -193,6 +195,8 @@ func ReadState(r io.Reader) (*State, error) {
 // readPayload reads exactly n bytes, growing the buffer in bounded chunks
 // so a corrupt length prefix on a truncated file fails with a read error
 // before a large allocation, not after.
+//
+//3lc:decode
 func readPayload(r io.Reader, n int) ([]byte, error) {
 	const chunk = 1 << 20
 	buf := make([]byte, 0, min(n, chunk))

@@ -124,6 +124,7 @@ func (e *entropyCompressor) Compress(in *tensor.Tensor) []byte {
 	return e.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (e *entropyCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	e.buf = e.inner.CompressInto(in, e.buf[:0])
 	if len(e.buf) == 0 {

@@ -29,6 +29,7 @@ func (c *noneCompressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (c *noneCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	data := in.Data()
 	if len(data) != c.n {

@@ -34,6 +34,7 @@ func (c *int8Compressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (c *int8Compressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")

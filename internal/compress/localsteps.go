@@ -51,6 +51,7 @@ func (c *localStepsCompressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (c *localStepsCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")

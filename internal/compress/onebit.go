@@ -53,6 +53,7 @@ func (c *oneBitCompressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (c *oneBitCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")

@@ -93,6 +93,9 @@ func Decompress(wire []byte, shape []int) (*tensor.Tensor, error) {
 // non-transmitting steps) decodes as all zeros. Decoding allocates nothing
 // in steady state: scratch space comes from a sync.Pool and the output is
 // written in place.
+//
+//3lc:noalloc
+//3lc:decode
 func DecompressInto(wire []byte, dst *tensor.Tensor) error {
 	if len(wire) == 0 {
 		dst.Zero()
@@ -117,6 +120,9 @@ func DecompressInto(wire []byte, dst *tensor.Tensor) error {
 // zeros — an explicit += 0 sweep, because x + 0 is not the identity on
 // negative zeros and the staged composition performs the adds. On error
 // dst is unchanged (see AddDecodeFunc).
+//
+//3lc:noalloc
+//3lc:decode
 func DecompressAddInto(wire []byte, dst *tensor.Tensor, workers int) error {
 	if len(wire) == 0 {
 		d := dst.Data()

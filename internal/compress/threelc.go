@@ -97,6 +97,8 @@ func (c *threeLCCompressor) Compress(in *tensor.Tensor) []byte {
 // zero-run-emit (steps 2, a, b, 3, 4), appending the wire message to dst.
 // Each pass shards across cores for large tensors with byte-identical
 // output (kernel.PassWorkers sizes the fan-out per pass).
+//
+//3lc:noalloc
 func (c *threeLCCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")

@@ -60,6 +60,7 @@ func (c *topKCompressor) Compress(in *tensor.Tensor) []byte {
 	return c.CompressInto(in, nil)
 }
 
+//3lc:noalloc
 func (c *topKCompressor) CompressInto(in *tensor.Tensor, dst []byte) []byte {
 	if in.Len() != c.n {
 		panic("compress: input size mismatch")

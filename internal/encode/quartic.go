@@ -49,6 +49,8 @@ func QuarticEncode(q []int8) []byte {
 
 // QuarticEncodeInto packs q into dst, which must have length
 // ceil(len(q)/5). It returns the number of bytes written.
+//
+//3lc:noalloc
 func QuarticEncodeInto(q []int8, dst []byte) int {
 	n := (len(q) + GroupSize - 1) / GroupSize
 	if len(dst) < n {
@@ -89,6 +91,8 @@ func QuarticDecode(enc []byte, n int) []int8 {
 }
 
 // QuarticDecodeInto unpacks enc into dst (len(dst) ternary values).
+//
+//3lc:noalloc
 func QuarticDecodeInto(enc []byte, dst []int8) {
 	n := len(dst)
 	need := (n + GroupSize - 1) / GroupSize

@@ -95,6 +95,8 @@ func ZeroRunDecodedLen(in []byte) int {
 // ZeroRunDecodeInto expands in into dst and returns the number of bytes
 // produced. It panics if dst is too small, so callers must size dst from
 // the known decoded length (ZeroRunDecodedLen, or the wire format).
+//
+//3lc:noalloc
 func ZeroRunDecodeInto(in []byte, dst []byte) int {
 	n := 0
 	for _, b := range in {

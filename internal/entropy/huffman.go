@@ -77,6 +77,8 @@ func HuffmanEncode(data []byte) []byte {
 // returns the extended slice. All coder state comes from a pooled
 // scratch, so driving it with a recycled dst performs zero heap
 // allocations per call once capacities converge.
+//
+//3lc:noalloc
 func HuffmanEncodeInto(dst, data []byte) []byte {
 	hs := huffPool.Get().(*huffScratch)
 	hs.buildCodeLengths(data)
@@ -118,6 +120,9 @@ func HuffmanDecode(enc []byte) ([]byte, error) {
 // dst re-sliced to its original length), and never panic. Decoding uses
 // canonical first/count/offset tables from a pooled scratch — no
 // per-stream map — so a recycled dst makes the call allocation-free.
+//
+//3lc:noalloc
+//3lc:decode
 func HuffmanDecodeInto(dst, enc []byte) ([]byte, error) {
 	base := len(dst)
 	if len(enc) < 4+256 {

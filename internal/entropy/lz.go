@@ -41,6 +41,8 @@ func LZEncode(data []byte) []byte {
 // LZEncodeInto appends the LZ stream for data to dst and returns the
 // extended slice. The hash table comes from a sync.Pool, so recycling
 // dst makes the call allocation-free in steady state.
+//
+//3lc:noalloc
 func LZEncodeInto(dst, data []byte) []byte {
 	ls := lzPool.Get().(*lzScratch)
 	table := &ls.table
@@ -53,26 +55,10 @@ func LZEncodeInto(dst, data []byte) []byte {
 	dst = append(dst, hdr[:]...)
 	binary.LittleEndian.PutUint32(dst[base:], uint32(len(data)))
 
-	hash := func(i int) uint32 {
-		v := binary.LittleEndian.Uint32(data[i:])
-		return (v * 2654435761) >> (32 - lzHashBits)
-	}
-	emitLiterals := func(lo, hi int) {
-		for lo < hi {
-			n := hi - lo
-			if n > 255 {
-				n = 255
-			}
-			dst = append(dst, 0x00, byte(n))
-			dst = append(dst, data[lo:lo+n]...)
-			lo += n
-		}
-	}
-
 	i := 0
 	litStart := 0
 	for i+lzMinMatch <= len(data) {
-		h := hash(i)
+		h := lzHash(data, i)
 		cand := table[h]
 		table[h] = int32(i)
 		if cand >= 0 && i-int(cand) < lzMaxOffset &&
@@ -82,7 +68,7 @@ func LZEncodeInto(dst, data []byte) []byte {
 			for i+m < len(data) && m < lzMaxMatch && data[int(cand)+m] == data[i+m] {
 				m++
 			}
-			emitLiterals(litStart, i)
+			dst = lzEmitLiterals(dst, data, litStart, i)
 			dst = append(dst, 0x01, byte(m))
 			var off [2]byte
 			binary.LittleEndian.PutUint16(off[:], uint16(i-int(cand)))
@@ -93,8 +79,35 @@ func LZEncodeInto(dst, data []byte) []byte {
 		}
 		i++
 	}
-	emitLiterals(litStart, len(data))
+	dst = lzEmitLiterals(dst, data, litStart, len(data))
 	lzPool.Put(ls)
+	return dst
+}
+
+// lzHash maps the 4 bytes at data[i:] to a table slot. Hoisted out of
+// LZEncodeInto (rather than a closure over data) so the encode loop is
+// structurally allocation-free.
+//
+//3lc:noalloc
+func lzHash(data []byte, i int) uint32 {
+	v := binary.LittleEndian.Uint32(data[i:])
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzEmitLiterals appends literal runs covering data[lo:hi] to dst in
+// 255-byte chunks and returns the extended slice.
+//
+//3lc:noalloc
+func lzEmitLiterals(dst, data []byte, lo, hi int) []byte {
+	for lo < hi {
+		n := hi - lo
+		if n > 255 {
+			n = 255
+		}
+		dst = append(dst, 0x00, byte(n))
+		dst = append(dst, data[lo:lo+n]...)
+		lo += n
+	}
 	return dst
 }
 
@@ -108,6 +121,9 @@ func LZDecode(enc []byte) ([]byte, error) {
 // stream only, never against pre-existing dst content. enc is untrusted:
 // malformed streams return an error with dst unmodified (the returned
 // slice is dst re-sliced to its original length), and never panic.
+//
+//3lc:noalloc
+//3lc:decode
 func LZDecodeInto(dst, enc []byte) ([]byte, error) {
 	if len(enc) < 4 {
 		return dst, fmt.Errorf("entropy: lz stream too short")
@@ -147,8 +163,7 @@ func LZDecodeInto(dst, enc []byte) ([]byte, error) {
 		}
 	}
 	if len(dst)-base != n {
-		err := fmt.Errorf("entropy: decoded %d bytes, header says %d", len(dst)-base, n)
-		return dst[:base], err
+		return dst[:base], fmt.Errorf("entropy: decoded %d bytes, header says %d", len(dst)-base, n)
 	}
 	return dst, nil
 }

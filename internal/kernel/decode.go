@@ -82,6 +82,9 @@ var lutPool = sync.Pool{New: func() any { return new(ScaledLUT) }}
 // or a run overrunning the end), or — without zre — a byte above
 // encode.MaxQuartic, is rejected. On error dst's contents are unspecified;
 // validation happens in the same pass that decodes.
+//
+//3lc:noalloc
+//3lc:decode
 func DecodeTernary(body []byte, zre bool, m float32, dst []float32) error {
 	n := len(dst)
 	notePass("lut-decode", n)
@@ -100,6 +103,9 @@ func DecodeTernary(body []byte, zre bool, m float32, dst []float32) error {
 }
 
 // decodeScaled is the scalar-tier ScaledLUT decode loop.
+//
+//3lc:noalloc
+//3lc:decode
 func decodeScaled(body []byte, zre bool, tab *scaledTab, gTotal int, dst []float32) error {
 	n := len(dst)
 	zero := tab[encode.ZeroGroupByte][0] // m·0, NaN-propagating like the staged multiply
@@ -149,6 +155,9 @@ func decodeScaled(body []byte, zre bool, tab *scaledTab, gTotal int, dst []float
 
 // decodeSmall is the small-tensor decode loop: same single pass, ternLUT
 // digits scaled by an inline multiply instead of a prebuilt ScaledLUT.
+//
+//3lc:noalloc
+//3lc:decode
 func decodeSmall(body []byte, zre bool, m float32, gTotal int, dst []float32) error {
 	n := len(dst)
 	zero := m * float32(0)

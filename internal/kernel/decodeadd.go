@@ -28,6 +28,9 @@ import (
 // destination of gTotal groups requires, touching only the wire bytes:
 // every byte must be legal and the payload must expand to exactly gTotal
 // quartic groups.
+//
+//3lc:noalloc
+//3lc:decode
 func scanTernaryBody(body []byte, zre bool, gTotal int) error {
 	if !zre {
 		if len(body) != gTotal {
@@ -69,6 +72,9 @@ func scanTernaryBody(body []byte, zre bool, gTotal int) error {
 // the staged decode-then-add for any payload, including non-finite scales.
 // The payload is validated before accumulation begins; on error dst is
 // unchanged.
+//
+//3lc:noalloc
+//3lc:decode
 func DecodeTernaryAdd(body []byte, zre bool, m float32, dst []float32) error {
 	if err := scanTernaryBody(body, zre, encode.QuarticEncodedLen(len(dst))); err != nil {
 		return err
@@ -173,6 +179,9 @@ func addSmallSpan(body []byte, m float32, dst []float32, lo, hi, off, skip int) 
 // accumulation: dst[i] += alpha·(m·q_i), the exact operations of decoding
 // into scratch and then dst.AXPY(alpha, scratch). Like DecodeTernaryAdd
 // it validates before mutating; on error dst is unchanged.
+//
+//3lc:noalloc
+//3lc:decode
 func DecodeTernaryAddScaled(body []byte, zre bool, m, alpha float32, dst []float32) error {
 	n := len(dst)
 	if err := scanTernaryBody(body, zre, encode.QuarticEncodedLen(n)); err != nil {
@@ -182,6 +191,7 @@ func DecodeTernaryAddScaled(body []byte, zre bool, m, alpha float32, dst []float
 	zero := alpha * (m * float32(0))
 	w := 0
 	for off := 0; w < n; off++ {
+		//3lc:allow nopanic scanTernaryBody validated every byte of body against n upfront
 		b := body[off]
 		if b > encode.MaxQuartic {
 			k := int(b) - encode.RunBase + 2

@@ -21,6 +21,8 @@ import (
 // as in the staged quant.Quantize3Into/DequantizeInto pair, so wires and
 // residuals are bit-identical to the staged pipeline. m == 0 (an all-zero
 // buffer) quantizes everything to zero without touching buf at all.
+//
+//3lc:noalloc
 func EncodeTernary(buf []float32, m float64, zeroRun bool, dst []byte) []byte {
 	n := len(buf)
 	qlen := encode.QuarticEncodedLen(n)
@@ -195,6 +197,8 @@ func encodeTernaryChunk(buf []float32, lo, hi int, tpos float32, dq *dequantTab,
 // hi is the end of the tensor) of buf[lo:hi] into their absolute group
 // slots of out. Chunk boundaries are multiples of GroupSize, so only the
 // global last chunk can hold a partial group.
+//
+//3lc:noalloc
 func quantPackRange(buf []float32, lo, hi int, tpos float32, dq *dequantTab, out []byte) {
 	g := lo / encode.GroupSize
 	i := lo

@@ -183,6 +183,8 @@ func forEachChunk(n, align, workers int, fn func(idx, lo, hi int)) int {
 // returns max|buf| of the updated buffer, fusing the error-accumulation
 // sweep with the |max| reduction the quantizer needs (the staged pipeline
 // runs them as two separate sweeps). buf and in must have equal length.
+//
+//3lc:noalloc
 func AccumulateMaxAbs(buf, in []float32) float32 {
 	if len(buf) != len(in) {
 		panic(fmt.Sprintf("kernel: AccumulateMaxAbs length mismatch %d != %d", len(buf), len(in)))

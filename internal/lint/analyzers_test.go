@@ -1,0 +1,62 @@
+package lint
+
+import "testing"
+
+// The golden fixtures contain deliberately-introduced violations of each
+// contract — an alloc in a //3lc:noalloc kernel, a panic and raw
+// indexing in decoders, returned/stored/sent pooled buffers, wall-clock
+// and global-rand reads in det code — and the harness fails unless the
+// analyzer reports every one (and nothing else). The same fixtures carry
+// one //3lc:allow per analyzer, asserted below, so the suppression path
+// is exercised everywhere too.
+
+func TestNoAllocGolden(t *testing.T) {
+	diags := runGolden(t, "noalloc", NoAlloc)
+	if got := countSuppressed(diags, "noalloc"); got != 1 {
+		t.Errorf("suppressed noalloc findings = %d, want 1", got)
+	}
+}
+
+func TestNoPanicGolden(t *testing.T) {
+	diags := runGolden(t, "nopanic", NoPanic)
+	if got := countSuppressed(diags, "nopanic"); got != 1 {
+		t.Errorf("suppressed nopanic findings = %d, want 1", got)
+	}
+}
+
+func TestPoolSafeGolden(t *testing.T) {
+	diags := runGolden(t, "poolsafe", PoolSafe)
+	if got := countSuppressed(diags, "poolsafe"); got != 1 {
+		t.Errorf("suppressed poolsafe findings = %d, want 1", got)
+	}
+}
+
+func TestDetOnlyGolden(t *testing.T) {
+	diags := runGolden(t, "detonly", DetOnly)
+	if got := countSuppressed(diags, "detonly"); got != 1 {
+		t.Errorf("suppressed detonly findings = %d, want 1", got)
+	}
+}
+
+// TestSuiteDisjoint runs the full suite over every fixture at once: each
+// analyzer must stay silent on the other analyzers' fixtures (their
+// violations are unannotated for it, or out of its scope), so the suite
+// composes without cross-talk.
+func TestSuiteDisjoint(t *testing.T) {
+	for _, dir := range []string{"noalloc", "nopanic", "poolsafe", "detonly"} {
+		runGolden(t, dir, All()...)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("noalloc,detonly")
+	if err != nil || len(as) != 2 || as[0] != NoAlloc || as[1] != DetOnly {
+		t.Fatalf("ByName(noalloc,detonly) = %v, %v", as, err)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName(nosuchrule) should fail")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("ByName of empty list should fail")
+	}
+}

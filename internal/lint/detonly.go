@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetOnly guards the code whose outputs must be a pure function of seeds
+// and inputs — retry backoff schedules, chaos fault streams, train step
+// logic, shard placement. PR-by-PR those paths were deliberately moved
+// off wall clocks and shared RNGs (splitmix64 streams, seeded
+// tensor.RNG); this analyzer keeps them there. Inside //3lc:det scope it
+// reports:
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads
+//   - any call into the global math/rand or math/rand/v2 source
+//     (methods on an explicitly seeded *rand.Rand are fine)
+//   - ranging over a map — Go randomizes iteration order per run, so
+//     any map-order-dependent output is nondeterministic by
+//     construction; iterate a sorted key slice instead, or //3lc:allow
+//     the loop with a note that its body is order-independent
+var DetOnly = &Analyzer{
+	Name: "detonly",
+	Doc:  "forbid wall-clock, global rand, and map-order dependence in //3lc:det code",
+	Run:  runDetOnly,
+}
+
+func runDetOnly(p *Pass) error {
+	for _, fn := range p.markedFuncs(markDet) {
+		checkDetOnly(p, fn)
+	}
+	return nil
+}
+
+func checkDetOnly(p *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			pkg, name := p.pkgFunc(n)
+			switch {
+			case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+				p.Reportf(n.Pos(), "%s is //3lc:det: time.%s reads the wall clock", funcName(fn), name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				p.Reportf(n.Pos(), "%s is //3lc:det: rand.%s draws from the global source (use a seeded stream)", funcName(fn), name)
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(n.Pos(), "%s is //3lc:det: map iteration order is randomized (iterate sorted keys)", funcName(fn))
+				}
+			}
+		}
+		return true
+	})
+}

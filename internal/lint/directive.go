@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation vocabulary. Directives use the standard Go directive
+// comment shape (`//3lc:name`, no space after the slashes) so gofmt keeps
+// them attached to their declaration.
+//
+//	//3lc:noalloc          function contract: no heap allocation
+//	//3lc:decode           function/file contract: error, never panic
+//	//3lc:det              function/file contract: deterministic logic
+//	//3lc:allow r reason   suppress rule r on the next (or same) line
+const (
+	markNoAlloc = "noalloc"
+	markDecode  = "decode"
+	markDet     = "det"
+)
+
+// scopeMarks are the directives that tag a function or file with a
+// contract; allowRule ("allow") is the suppression directive.
+var scopeMarks = map[string]bool{markNoAlloc: true, markDecode: true, markDet: true}
+
+type allowEntry struct {
+	rule   string
+	reason string
+}
+
+type directives struct {
+	fileMarks map[*ast.File]map[string]bool
+	funcMarks map[*ast.FuncDecl]map[string]bool
+	// allows maps filename -> line -> suppressions recorded on that line.
+	allows map[string]map[int][]allowEntry
+}
+
+// allowedAt reports whether a finding of rule at pos is covered by an
+// //3lc:allow directive on the same line or the line directly above it.
+func (d *directives) allowedAt(pos token.Position, rule string) (string, bool) {
+	lines := d.allows[pos.Filename]
+	if lines == nil {
+		return "", false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		for _, e := range lines[ln] {
+			if e.rule == rule {
+				return e.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// extractDirectives scans every comment in the package for the 3lc
+// annotation vocabulary. Malformed directives (unknown mark, allow with a
+// missing rule or reason) are returned as findings of the pseudo-rule
+// "directive" so typos fail the build instead of silently disabling a
+// check.
+func extractDirectives(fset *token.FileSet, files []*ast.File) (*directives, []Diagnostic) {
+	d := &directives{
+		fileMarks: make(map[*ast.File]map[string]bool),
+		funcMarks: make(map[*ast.FuncDecl]map[string]bool),
+		allows:    make(map[string]map[int][]allowEntry),
+	}
+	var diags []Diagnostic
+
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     fset.Position(pos),
+			Rule:    "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, f := range files {
+		// Every //3lc: comment in the file: record allows, validate names.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, rest, ok := splitDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case name == "allow":
+					rule, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if !validRule(rule) {
+						bad(c.Pos(), "//3lc:allow names unknown rule %q", rule)
+						continue
+					}
+					if reason == "" {
+						bad(c.Pos(), "//3lc:allow %s needs a reason", rule)
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					if d.allows[pos.Filename] == nil {
+						d.allows[pos.Filename] = make(map[int][]allowEntry)
+					}
+					d.allows[pos.Filename][pos.Line] = append(
+						d.allows[pos.Filename][pos.Line], allowEntry{rule: rule, reason: reason})
+				case scopeMarks[name]:
+					// Scope marks are picked up from doc comments below;
+					// here we only validate placement-independent syntax.
+				default:
+					bad(c.Pos(), "unknown directive //3lc:%s", name)
+				}
+			}
+		}
+
+		// File-level scope marks: any //3lc: mark in a comment group that
+		// ends before the package clause (including the package doc).
+		for _, cg := range f.Comments {
+			if cg.End() > f.Package {
+				break
+			}
+			for _, m := range marksIn(cg) {
+				if d.fileMarks[f] == nil {
+					d.fileMarks[f] = make(map[string]bool)
+				}
+				d.fileMarks[f][m] = true
+			}
+		}
+
+		// Function-level scope marks from doc comments.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, m := range marksIn(fn.Doc) {
+				if d.funcMarks[fn] == nil {
+					d.funcMarks[fn] = make(map[string]bool)
+				}
+				d.funcMarks[fn][m] = true
+			}
+		}
+	}
+	return d, diags
+}
+
+// splitDirective parses "//3lc:name rest..." comment text.
+func splitDirective(text string) (name, rest string, ok bool) {
+	body, found := strings.CutPrefix(text, "//3lc:")
+	if !found {
+		return "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(name), strings.TrimSpace(rest), name != ""
+}
+
+func marksIn(cg *ast.CommentGroup) []string {
+	var out []string
+	for _, c := range cg.List {
+		if name, _, ok := splitDirective(c.Text); ok && scopeMarks[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func validRule(rule string) bool {
+	for _, a := range All() {
+		if a.Name == rule {
+			return true
+		}
+	}
+	return false
+}

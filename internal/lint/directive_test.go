@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestDirectiveExtraction(t *testing.T) {
+	fset, f := parseOne(t, `// Package doc.
+//
+//3lc:det
+package p
+
+//3lc:noalloc
+func hot() {}
+
+// helper does things.
+//
+//3lc:decode
+//3lc:noalloc
+func helper() {}
+
+func plain() {}
+`)
+	d, diags := extractDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	if !d.fileMarks[f][markDet] {
+		t.Error("file-level //3lc:det not recorded")
+	}
+	var hot, helper, plain *ast.FuncDecl
+	for _, decl := range f.Decls {
+		fn := decl.(*ast.FuncDecl)
+		switch fn.Name.Name {
+		case "hot":
+			hot = fn
+		case "helper":
+			helper = fn
+		case "plain":
+			plain = fn
+		}
+	}
+	if !d.funcMarks[hot][markNoAlloc] {
+		t.Error("//3lc:noalloc on hot not recorded")
+	}
+	if !d.funcMarks[helper][markDecode] || !d.funcMarks[helper][markNoAlloc] {
+		t.Error("stacked directives on helper not recorded")
+	}
+	if len(d.funcMarks[plain]) != 0 {
+		t.Error("plain should carry no marks")
+	}
+}
+
+func TestDirectiveAllow(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+func f() int {
+	//3lc:allow noalloc warmup table, off the hot path
+	x := 1
+	y := 2 //3lc:allow detonly body is order-independent
+	return x + y
+}
+`)
+	d, diags := extractDirectives(fset, []*ast.File{f})
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	// The comment sits on line 4; a finding on the line below (5) or the
+	// same line is covered, farther away is not.
+	if reason, ok := d.allowedAt(token.Position{Filename: "fixture.go", Line: 5}, "noalloc"); !ok || !strings.Contains(reason, "warmup") {
+		t.Errorf("allow on preceding line not honored: %q %v", reason, ok)
+	}
+	if _, ok := d.allowedAt(token.Position{Filename: "fixture.go", Line: 6}, "noalloc"); ok {
+		t.Error("allow must not reach two lines down")
+	}
+	if _, ok := d.allowedAt(token.Position{Filename: "fixture.go", Line: 5}, "detonly"); ok {
+		t.Error("allow must be rule-specific")
+	}
+	if _, ok := d.allowedAt(token.Position{Filename: "fixture.go", Line: 6}, "detonly"); !ok {
+		t.Error("same-line allow not honored")
+	}
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//3lc:allow noalloc
+func a() {}
+
+//3lc:allow nosuchrule because reasons
+func b() {}
+
+//3lc:frobnicate
+func c() {}
+`)
+	_, diags := extractDirectives(fset, []*ast.File{f})
+	if len(diags) != 3 {
+		t.Fatalf("malformed directives = %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, want := range []string{"needs a reason", "unknown rule", "unknown directive"} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %v", want, diags)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package lint is the repo's invariant-enforcing static-analysis suite:
+// the conventions the optimization PRs rely on — zero-allocation hot
+// paths, decoders that error instead of panicking, sync.Pool borrows
+// that never escape, seeded determinism in retry/chaos/placement/train
+// logic — turned into machine-checked rules. The benchcheck gate, the
+// fuzzers, and the race legs verify those properties dynamically on the
+// inputs they happen to see; this package pins the structural discipline
+// at compile time, on every path, in CI and in `go test ./...` (see
+// self_test.go).
+//
+// # Annotation vocabulary
+//
+// Contracts are declared with directive comments (no space after the
+// slashes, like //go:noinline, so gofmt keeps them attached):
+//
+//	//3lc:noalloc
+//	    On a function's doc comment: the function body may not contain
+//	    heap-allocating constructs (make/new, slice and map literals,
+//	    fmt calls, errors.New, capturing closures, go statements,
+//	    interface boxing, string<->[]byte conversions, non-constant
+//	    string concatenation, append onto a fresh slice). Amortized
+//	    append growth onto caller-provided buffers is allowed — the
+//	    benchcheck CI gate proves 0 allocs/op dynamically.
+//
+//	//3lc:decode
+//	    On a function's doc comment, or at file level (before the
+//	    package clause): the code parses untrusted input and must
+//	    return errors, never panic. Panic calls are forbidden, and
+//	    every slice index or sub-slice must be anchored by a len()
+//	    check (or range) over the same expression in the same function.
+//
+//	//3lc:det
+//	    On a function's doc comment, or at file level: the code's
+//	    outputs must be a pure function of its inputs and seeds.
+//	    time.Now/Since/Until, the global math/rand source, and map
+//	    iteration are forbidden.
+//
+// The poolsafe analyzer needs no annotation: every function that calls
+// (*sync.Pool).Get is checked for borrows that escape (returned, stored
+// in a field, or sent on a channel).
+//
+// # Suppressions
+//
+// A finding is suppressed by a directive on the same line or the line
+// directly above it, naming the rule and a non-empty reason:
+//
+//	//3lc:allow noalloc cold error path, runs at most once per connection
+//	return fmt.Errorf("transport: bad frame length %d", n)
+//
+// Malformed directives (unknown rule, missing reason) are themselves
+// findings, so a typo cannot silently disable a check.
+//
+// # Running
+//
+//	go run ./cmd/3lc-lint ./...          # whole repo, exit 1 on findings
+//	go run ./cmd/3lc-lint -only detonly ./internal/retry/
+//	go run ./cmd/3lc-lint -v ./...       # also list suppressed findings
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer / Pass
+// / Reportf) but is built on the standard library alone: packages are
+// enumerated with `go list -deps -export -json` and type-checked with
+// go/types against the compiler's export data, so the module keeps zero
+// dependencies.
+package lint

@@ -1,0 +1,128 @@
+package lint
+
+// The golden-file harness: the stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest. Fixture packages live
+// under testdata/src/<name>; every line that should produce a finding
+// carries a trailing `// want "regexp"` comment (several per line are
+// allowed), and the test fails on any unmatched finding or unmatched
+// expectation. Suppressed findings (covered by //3lc:allow) must NOT
+// carry a want — that is how the suppression path itself is tested.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// runGolden runs analyzers over testdata/src/<dirname> and diffs the
+// unsuppressed findings against the fixture's want comments. It returns
+// every diagnostic (suppressed included) for extra assertions.
+func runGolden(t *testing.T, dirname string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", dirname)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+	pkg, err := loadFiles(".", dirname, matches)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dirname, err)
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, name := range matches {
+		parseWants(t, name, wants)
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		idx := -1
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected finding at %s:%d: %s [%s]", key.file, key.line, d.Message, d.Rule)
+			continue
+		}
+		wants[key][idx] = nil // consume
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, re)
+			}
+		}
+	}
+	return diags
+}
+
+// parseWants scans a fixture for `// want "re"` comments.
+func parseWants(t *testing.T, filename string, out map[wantKey][]*regexp.Regexp) {
+	t.Helper()
+	f, err := os.Open(filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		i := strings.Index(text, "// want ")
+		if i < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(text[i+len("// want "):])
+		for rest != "" {
+			if rest[0] != '"' {
+				t.Fatalf("%s:%d: malformed want clause %q", filename, line, rest)
+			}
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern", filename, line)
+			}
+			pat, err := strconv.Unquote(rest[:end+2])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", filename, line, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", filename, line, err)
+			}
+			key := wantKey{file: filepath.Base(filename), line: line}
+			out[key] = append(out[key], re)
+			rest = strings.TrimSpace(rest[end+2:])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countSuppressed tallies suppressed findings per rule.
+func countSuppressed(diags []Diagnostic, rule string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Suppressed && d.Rule == rule {
+			n++
+		}
+	}
+	return n
+}

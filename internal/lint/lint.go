@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant checker. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis so the suite could migrate to
+// the upstream framework wholesale if the dependency ever lands in the
+// build; until then the framework below is the stdlib-only equivalent.
+type Analyzer struct {
+	// Name is the rule identifier used in output and in
+	// //3lc:allow <name> <reason> suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports findings on one type-checked package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All returns the full analyzer suite in stable order. cmd/3lc-lint and
+// the repo self-check both run exactly this list.
+func All() []*Analyzer {
+	return []*Analyzer{NoAlloc, NoPanic, PoolSafe, DetOnly}
+}
+
+// ByName resolves a comma-separated analyzer list ("noalloc,detonly").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty analyzer list")
+	}
+	return out, nil
+}
+
+// A Diagnostic is one finding, resolved against any //3lc:allow
+// suppression covering its line.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Suppressed is true when an //3lc:allow directive for this rule
+	// covers the finding's line; Reason carries the directive's text.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Rule)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	dirs  *directives
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether id resolves to the universe-scope builtin of
+// that name (so a local variable shadowing `panic` or `make` is not
+// mistaken for the builtin).
+func (p *Pass) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// pkgFunc returns the import path and function name if call's callee is a
+// plain package-level function selected from an imported package
+// (`fmt.Errorf`, `time.Now`, `rand.Intn`), and "" otherwise.
+func (p *Pass) pkgFunc(call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Info.Uses[base].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// markedFuncs yields every function declaration covered by mark, whether
+// through a function-level directive or a file-level one.
+func (p *Pass) markedFuncs(mark string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		fileMarked := p.dirs.fileMarks[f][mark]
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fileMarked || p.dirs.funcMarks[fn][mark] {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// funcName renders a function's reporting name ("(*FrameReader).ReadFrame").
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	var b strings.Builder
+	if star, ok := t.(*ast.StarExpr); ok {
+		b.WriteString("(*")
+		writeTypeName(&b, star.X)
+		b.WriteString(")")
+	} else {
+		writeTypeName(&b, t)
+	}
+	b.WriteString(".")
+	b.WriteString(fn.Name.Name)
+	return b.String()
+}
+
+func writeTypeName(b *strings.Builder, t ast.Expr) {
+	switch t := t.(type) {
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr:
+		writeTypeName(b, t.X)
+	case *ast.IndexListExpr:
+		writeTypeName(b, t.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+// Run executes every analyzer over every package and returns the findings
+// (suppressed ones included, flagged) in file/line order. Malformed
+// directives are reported as findings of the pseudo-rule "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, dirDiags := extractDirectives(pkg.Fset, pkg.Files)
+		diags = append(diags, dirDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				dirs:     dirs,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Rule:    a.Name,
+					Message: fmt.Sprintf("analyzer error: %v", err),
+				})
+			}
+		}
+		// Resolve suppressions for this package's findings.
+		for i := range diags {
+			d := &diags[i]
+			if d.Suppressed || d.Rule == "directive" {
+				continue
+			}
+			if reason, ok := dirs.allowedAt(d.Pos, d.Rule); ok {
+				d.Suppressed = true
+				d.Reason = reason
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// Unsuppressed filters diags down to the findings that fail the build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

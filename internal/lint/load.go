@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// The loader deliberately avoids golang.org/x/tools/go/packages (the repo
+// carries no module dependencies): it shells out to `go list -deps
+// -export -json`, which compiles dependencies into the build cache and
+// reports the export-data file for each, then type-checks the target
+// packages from source with go/types and an export-data importer. Only
+// non-test GoFiles are analyzed — the invariants under check (alloc-free
+// hot paths, panic-free decoders, pool hygiene, determinism) are
+// production-code contracts, and test files routinely violate all of
+// them on purpose.
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exports maps import paths to export-data files, filled from `go list`
+// output and extended lazily for paths first seen during type-checking
+// (e.g. stdlib imports of testdata fixtures).
+type exports struct {
+	mu    sync.Mutex
+	dir   string
+	files map[string]string
+}
+
+func (e *exports) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	f, ok := e.files[path]
+	e.mu.Unlock()
+	if !ok {
+		if _, err := e.ensure(path); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		f, ok = e.files[path]
+		e.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// ensure runs `go list -deps -export` for the given patterns and records
+// every export-data file it reports, returning the non-dep-only packages.
+func (e *exports) ensure(patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = e.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			e.mu.Lock()
+			e.files[p.ImportPath] = p.Export
+			e.mu.Unlock()
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// LoadPackages loads and type-checks the packages matched by patterns,
+// resolved relative to dir (the module root or any directory inside it).
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exp := &exports{dir: dir, files: make(map[string]string)}
+	targets, err := exp.ensure(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// loadFiles type-checks one directory of already-located Go files as a
+// single package (the analysistest path: testdata fixtures are not part
+// of the module build, so `go list` never sees them). Stdlib imports are
+// resolved through the same lazy export-data importer.
+func loadFiles(moduleDir, pkgPath string, filenames []string) (*Package, error) {
+	exp := &exports{dir: moduleDir, files: make(map[string]string)}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exp.lookup)
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := check(pkgPath, fset, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //3lc:noalloc for constructs that
+// heap-allocate. The rule set is deliberately conservative-by-syntax:
+// it flags the constructs that always (or almost always) allocate —
+// make/new, slice and map literals, fmt and errors.New calls, capturing
+// closures, go statements, interface boxing, string/byte conversions and
+// non-constant string concatenation, and append onto a freshly created
+// slice. Two structural exemptions keep the contract about the steady
+// state, which is what the benchcheck 0 allocs/op gate measures:
+// amortized growth (append onto a caller-provided or struct-held buffer)
+// passes, and fmt/errors calls written directly into a return statement
+// or a panic argument pass — error construction runs only on malformed
+// input, never on the hot path.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "report heap-allocating constructs inside //3lc:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) error {
+	for _, fn := range p.markedFuncs(markNoAlloc) {
+		checkNoAlloc(p, fn)
+	}
+	return nil
+}
+
+func checkNoAlloc(p *Pass, fn *ast.FuncDecl) {
+	// Collect the expressions in call position, so method *values* (which
+	// allocate a bound-method closure) can be told apart from method calls.
+	called := make(map[ast.Expr]bool)
+	// cold marks the fmt/errors calls on failure paths: a formatted error
+	// built directly in a return statement, or a message built for a
+	// panic guard, runs only on malformed input or programmer error —
+	// never in the steady state the 0 allocs/op contract is about.
+	cold := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			called[ast.Unparen(n.Fun)] = true
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && p.isBuiltin(id, "panic") {
+				for _, arg := range n.Args {
+					markColdCalls(arg, cold)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markColdCalls(res, cold)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "%s is //3lc:noalloc: go statement spawns a goroutine (allocates)", funcName(fn))
+
+		case *ast.FuncLit:
+			if v := captured(p, n); v != "" {
+				p.Reportf(n.Pos(), "%s is //3lc:noalloc: function literal captures %q (closure allocates)", funcName(fn), v)
+			}
+
+		case *ast.CompositeLit:
+			switch p.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "%s is //3lc:noalloc: slice literal allocates", funcName(fn))
+			case *types.Map:
+				p.Reportf(n.Pos(), "%s is //3lc:noalloc: map literal allocates", funcName(fn))
+			}
+
+		case *ast.UnaryExpr:
+			// &T{...}: taking the address of a composite literal is the
+			// canonical escape-to-heap construct.
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "%s is //3lc:noalloc: &composite literal allocates", funcName(fn))
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv, ok := p.Info.Types[ast.Expr(n)]; !ok || tv.Value == nil {
+							p.Reportf(n.Pos(), "%s is //3lc:noalloc: string concatenation allocates", funcName(fn))
+						}
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if !called[ast.Expr(n)] {
+				if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					p.Reportf(n.Pos(), "%s is //3lc:noalloc: method value %s allocates a bound closure", funcName(fn), n.Sel.Name)
+				}
+			}
+
+		case *ast.CallExpr:
+			checkNoAllocCall(p, fn, n, cold)
+		}
+		return true
+	})
+}
+
+// markColdCalls records every fmt/errors-style call nested in e (a return
+// result or panic argument) as cold-path error construction.
+func markColdCalls(e ast.Expr, cold map[*ast.CallExpr]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			cold[call] = true
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, cold map[*ast.CallExpr]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch {
+		case p.isBuiltin(id, "make"):
+			p.Reportf(call.Pos(), "%s is //3lc:noalloc: make allocates", funcName(fn))
+			return
+		case p.isBuiltin(id, "new"):
+			p.Reportf(call.Pos(), "%s is //3lc:noalloc: new allocates", funcName(fn))
+			return
+		case p.isBuiltin(id, "append"):
+			if len(call.Args) > 0 && freshSlice(call.Args[0]) {
+				p.Reportf(call.Pos(), "%s is //3lc:noalloc: append onto a fresh slice allocates", funcName(fn))
+			}
+			return
+		}
+	}
+
+	// Conversions: string<->[]byte/[]rune copies; conversion to an
+	// interface type boxes the operand.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := p.TypeOf(call.Args[0])
+		if from != nil {
+			if convAllocates(to, from) {
+				p.Reportf(call.Pos(), "%s is //3lc:noalloc: conversion %s -> %s allocates", funcName(fn), from, to)
+			}
+			return
+		}
+	}
+
+	if pkg, name := p.pkgFunc(call); pkg != "" && !cold[call] {
+		switch {
+		case pkg == "fmt":
+			p.Reportf(call.Pos(), "%s is //3lc:noalloc: fmt.%s allocates outside a cold error/panic path", funcName(fn), name)
+		case pkg == "errors" && name == "New":
+			p.Reportf(call.Pos(), "%s is //3lc:noalloc: errors.New allocates (hoist to a package-level sentinel)", funcName(fn))
+		}
+	}
+}
+
+// freshSlice reports whether e denotes a slice that cannot already own
+// backing storage: a literal, a conversion like []byte(nil), or a typed
+// nil — appending onto it always allocates.
+func freshSlice(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		// Conversions like []byte("x") or []byte(nil).
+		return true
+	}
+	return false
+}
+
+// captured returns the name of a variable the function literal closes
+// over (declared outside the literal, but not at package scope), or "".
+func captured(p *Pass, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables (of this package or an imported one)
+		// are accessed directly, not captured.
+		if v.Parent() == nil || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = v.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// convAllocates reports whether converting from -> to copies or boxes.
+func convAllocates(to, from types.Type) bool {
+	if types.IsInterface(to) && !types.IsInterface(from) {
+		if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+	tb, tok := to.Underlying().(*types.Basic)
+	fs, fok := from.Underlying().(*types.Slice)
+	if tok && tb.Info()&types.IsString != 0 && fok && isByteOrRune(fs.Elem()) {
+		return true // []byte/[]rune -> string
+	}
+	ts, tok2 := to.Underlying().(*types.Slice)
+	fb, fok2 := from.Underlying().(*types.Basic)
+	if tok2 && isByteOrRune(ts.Elem()) && fok2 && fb.Info()&types.IsString != 0 {
+		return true // string -> []byte/[]rune
+	}
+	return false
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

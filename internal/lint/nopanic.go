@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic pins the decode-path contract: functions covered by
+// //3lc:decode parse untrusted bytes and must return errors, never
+// panic. Two rules:
+//
+//  1. No reachable panic() call.
+//  2. Indexing (and sub-slicing) discipline: every non-array index or
+//     slice expression must be "anchored" in the function — the indexed
+//     expression appears in a len() call somewhere in the function (the
+//     bounds-check idiom), or the index variable is the range key of a
+//     range over that same expression. This is a heuristic, not an
+//     escape-proof bounds analysis: its job is to force decode loops to
+//     keep their validation local and visible, with //3lc:allow
+//     available for helpers whose validation provably happened upstream
+//     (say so in the reason).
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panics and unanchored indexing in //3lc:decode functions",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(p *Pass) error {
+	for _, fn := range p.markedFuncs(markDecode) {
+		checkNoPanic(p, fn)
+	}
+	return nil
+}
+
+func checkNoPanic(p *Pass, fn *ast.FuncDecl) {
+	anchored := make(map[string]bool) // ExprString(x) for every len(x) in fn
+	rangeKey := make(map[types.Object]string)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// len(x) anchors x; so does cap(x) — for re-slicing, capacity
+			// is the actual bound (s[:n] is legal up to cap(s)).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 &&
+				(p.isBuiltin(id, "len") || p.isBuiltin(id, "cap")) {
+				anchored[types.ExprString(ast.Unparen(n.Args[0]))] = true
+			}
+		case *ast.RangeStmt:
+			if key, ok := n.Key.(*ast.Ident); ok {
+				if obj := p.Info.Defs[key]; obj != nil {
+					rangeKey[obj] = types.ExprString(ast.Unparen(n.X))
+				}
+			}
+			// Ranging over x visits only valid indices of x itself.
+			anchored[types.ExprString(ast.Unparen(n.X))] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && p.isBuiltin(id, "panic") {
+				p.Reportf(n.Pos(), "%s is //3lc:decode: panic on malformed input (return an error instead)", funcName(fn))
+			}
+		case *ast.IndexExpr:
+			checkAnchoredIndex(p, fn, n.X, n.Index, anchored, rangeKey, n)
+		case *ast.SliceExpr:
+			for _, ix := range [3]ast.Expr{n.Low, n.High, n.Max} {
+				if ix != nil {
+					checkAnchoredIndex(p, fn, n.X, ix, anchored, rangeKey, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAnchoredIndex reports base[idx] when nothing in the function
+// anchors idx to base's length.
+func checkAnchoredIndex(p *Pass, fn *ast.FuncDecl, base, idx ast.Expr, anchored map[string]bool, rangeKey map[types.Object]string, at ast.Node) {
+	bt := p.TypeOf(base)
+	if bt == nil {
+		return
+	}
+	switch u := bt.Underlying().(type) {
+	case *types.Map:
+		return // map reads cannot panic
+	case *types.Pointer:
+		if _, ok := u.Elem().Underlying().(*types.Array); ok {
+			return // fixed-size array: indexing is compiler-checked
+		}
+	case *types.Array:
+		return
+	case *types.Basic, *types.Slice:
+		// strings and slices: fall through to the anchoring rules
+	default:
+		return // generic/other index expressions (type params, etc.)
+	}
+	baseKey := types.ExprString(ast.Unparen(base))
+	if anchored[baseKey] {
+		return
+	}
+	// Constant indices into constant-free slices still panic when the
+	// slice is short, so constants get no special pass — but an index
+	// that is the key of `range base` is always in bounds.
+	if id, ok := ast.Unparen(idx).(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil && rangeKey[obj] == baseKey {
+			return
+		}
+	}
+	p.Reportf(at.Pos(), "%s is //3lc:decode: index into %q with no len(%s) anchor in this function", funcName(fn), baseKey, baseKey)
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolSafe tracks values drawn from a sync.Pool through a function body
+// and reports the three ways they outlive the call that borrowed them:
+// being returned, being stored into a struct field, or being sent on a
+// channel. Any of the three hands pooled memory to code that cannot see
+// the matching Put, which is how use-after-Put corruption starts.
+//
+// The taint analysis is local and syntactic: a variable assigned from
+// pool.Get() (through any chain of parens, type assertions, derefs and
+// re-slicings) is pooled; so is any variable assigned from a pooled
+// variable through the same alias-preserving operators. Unlike noalloc
+// and nopanic this analyzer needs no annotation — every function that
+// touches a sync.Pool is checked. Intentional hand-offs (a registry
+// getter whose documented contract is get-now-put-later) carry a
+// //3lc:allow poolsafe line naming the contract.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "forbid returning, storing, or sending sync.Pool-borrowed values",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolSafe(p, fn)
+		}
+	}
+	return nil
+}
+
+func checkPoolSafe(p *Pass, fn *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)
+
+	// isPooled reports whether e evaluates to pooled memory: a Get() call
+	// on a sync.Pool, or a tainted variable, through alias-preserving
+	// operators (parens, *x, x[:...], x.(T)).
+	var isPooled func(e ast.Expr) bool
+	isPooled = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isPoolGet(p, e)
+		case *ast.Ident:
+			obj := p.Info.Uses[e]
+			return obj != nil && tainted[obj]
+		case *ast.StarExpr:
+			return isPooled(e.X)
+		case *ast.SliceExpr:
+			return isPooled(e.X)
+		case *ast.TypeAssertExpr:
+			return isPooled(e.X)
+		}
+		return false
+	}
+
+	// Pass 1 (iterated to a fixed point): propagate taint through
+	// assignments. Two rounds suffice for the straight-line aliasing this
+	// targets, but iterate until stable to stay order-independent.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				if !isPooled(rhs) {
+					continue
+				}
+				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+					obj := p.Info.Defs[id]
+					if obj == nil {
+						obj = p.Info.Uses[id]
+					}
+					if obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: report escapes.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isPooled(res) {
+					p.Reportf(res.Pos(), "%s returns a sync.Pool-borrowed value (pooled memory escapes the call)", funcName(fn))
+				}
+			}
+		case *ast.SendStmt:
+			if isPooled(n.Value) {
+				p.Reportf(n.Value.Pos(), "%s sends a sync.Pool-borrowed value on a channel", funcName(fn))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isPooled(rhs) {
+					continue
+				}
+				if sel, ok := n.Lhs[i].(*ast.SelectorExpr); ok {
+					// Storing back through a pooled pointer (*bp = buf or
+					// bp.field = x where bp is itself pooled) is the
+					// put-back idiom, not an escape.
+					if isPooled(sel.X) {
+						continue
+					}
+					p.Reportf(rhs.Pos(), "%s stores a sync.Pool-borrowed value in field %s (outlives the call)", funcName(fn), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPoolGet matches `x.Get()` where x is a sync.Pool or *sync.Pool.
+func isPoolGet(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

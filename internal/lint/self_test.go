@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRepoSelfCheck runs the full analyzer suite over the entire module
+// — exactly what `go run ./cmd/3lc-lint ./...` and the CI lint job do —
+// and fails on any unsuppressed finding. Landing this inside `go test
+// ./...` means the invariant gate runs even where CI is not wired up,
+// and a change that breaks a //3lc: contract fails the plain test suite,
+// not just the lint job.
+func TestRepoSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check type-checks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages — pattern ./... broken?", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	for _, d := range Unsuppressed(diags) {
+		t.Errorf("%s", d)
+	}
+	// The annotation vocabulary must actually be in use: an accidental
+	// mass-deletion of directives would otherwise make this test pass
+	// vacuously while the gate checks nothing.
+	marked := 0
+	for _, pkg := range pkgs {
+		dirs, _ := extractDirectives(pkg.Fset, pkg.Files)
+		marked += len(dirs.fileMarks) + len(dirs.funcMarks)
+	}
+	if marked < 10 {
+		t.Errorf("only %d //3lc: contract annotations found across the module; the suite is not guarding anything", marked)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	var out bytes.Buffer
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	root := strings.TrimSpace(out.String())
+	if root == "" {
+		t.Fatal("empty module root")
+	}
+	return root
+}

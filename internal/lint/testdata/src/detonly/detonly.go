@@ -1,0 +1,54 @@
+// Package detonly exercises the detonly analyzer. This file carries the
+// file-level mark: everything in it must be a pure function of inputs
+// and seeds.
+//
+//3lc:det
+package detonly
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(10) // fine: explicitly seeded stream
+}
+
+func mapOrder(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderFree(m map[int]int) int {
+	total := 0
+	//3lc:allow detonly summation commutes, order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs { // fine: slice iteration is ordered
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+// Package noalloc exercises the noalloc analyzer: annotated functions
+// with deliberately-introduced allocations (each carrying a want
+// expectation), the allowed idioms that must stay silent, and the
+// //3lc:allow suppression path.
+package noalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type pair struct{ a, b int }
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// kernelCore mimics a hot encode loop: append-style growth onto the
+// caller's buffer is fine, creating storage is not.
+//
+//3lc:noalloc
+func kernelCore(dst []byte, xs []float32) []byte {
+	buf := make([]byte, 16) // want "make allocates"
+	_ = buf
+	for _, x := range xs {
+		dst = append(dst, byte(x)) // fine: caller-provided buffer
+	}
+	fresh := append([]byte(nil), dst...) // want "append onto a fresh slice allocates"
+	_ = fresh
+	return dst
+}
+
+//3lc:noalloc
+func literals() int {
+	xs := []int{1, 2, 3}  // want "slice literal allocates"
+	m := map[string]int{} // want "map literal allocates"
+	p := &pair{1, 2}      // want "composite literal allocates"
+	q := new(pair)        // want "new allocates"
+	v := pair{3, 4}       // fine: value composite literal stays on the stack
+	return xs[0] + len(m) + p.a + q.b + v.a
+}
+
+//3lc:noalloc
+func formatting(n int) (string, error) {
+	msg := fmt.Sprintf("step %d", n) // want "fmt.Sprintf allocates"
+	e := errors.New("hot")           // want "errors.New allocates"
+	_ = e
+	if n > 1 {
+		// Cold-path exemption: error construction directly in a return
+		// (or panic) runs only on failure, never in steady state.
+		return "", fmt.Errorf("bad value %d", n)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // fine: panic guard is cold
+	}
+	return msg, errSentinel // fine: package-level sentinel
+}
+
+var errSentinel = errors.New("noalloc: bad input")
+
+//3lc:noalloc
+func closures(xs []float32) float32 {
+	total := float32(0)
+	add := func(v float32) { total += v } // want "captures .total."
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+//3lc:noalloc
+func spawn(ch chan int) int {
+	go func() { ch <- 1 }() // want "go statement spawns a goroutine" "captures .ch."
+	return <-ch
+}
+
+//3lc:noalloc
+func boxing(n int) any {
+	return any(n) // want "conversion int -> any allocates"
+}
+
+//3lc:noalloc
+func stringBytes(b []byte, s string) int {
+	t := string(b) // want "conversion ..byte -> string allocates"
+	u := []byte(s) // want "conversion string -> ..byte allocates"
+	return len(t) + len(u)
+}
+
+//3lc:noalloc
+func concat(a, b string) string {
+	const prefix = "x" + "y" // fine: constant concatenation
+	return prefix + a + b    // want "string concatenation allocates" "string concatenation allocates"
+}
+
+//3lc:noalloc
+func methodValue(c *counter) func() {
+	return c.inc // want "method value inc allocates"
+}
+
+//3lc:noalloc
+func suppressed() []int {
+	//3lc:allow noalloc one-time warmup table build, not on the step path
+	tab := make([]int, 256)
+	return tab
+}
+
+// unannotated allocates freely: no directive, no findings.
+func unannotated() []int {
+	out := make([]int, 8)
+	out = append(out, 1)
+	return out
+}

@@ -1,0 +1,77 @@
+// Package nopanic exercises the nopanic analyzer. This file is marked
+// //3lc:decode at file level, so every function in it is held to the
+// error-never-panic contract; sibling.go shows function-level marking.
+//
+//3lc:decode
+package nopanic
+
+import "errors"
+
+var errShort = errors.New("nopanic: short input")
+
+// decode is the well-behaved shape: length anchored, then indexed.
+func decode(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, errShort
+	}
+	v := int(src[0]) | int(src[1])<<8 | int(src[2])<<16 | int(src[3])<<24
+	return v, nil
+}
+
+func badPanic(src []byte) (byte, error) {
+	if len(src) == 0 {
+		panic("empty input") // want "panic on malformed input"
+	}
+	return src[0], nil
+}
+
+func unanchored(src []byte, i int) byte {
+	return src[i] // want "index into .src. with no len"
+}
+
+func unanchoredSlice(src []byte, n int) []byte {
+	return src[:n] // want "index into .src. with no len"
+}
+
+func rangeIndexed(xs []byte) int {
+	t := 0
+	for i := range xs {
+		t += int(xs[i]) // fine: i is xs's own range key
+	}
+	return t
+}
+
+func crossRange(xs, ys []byte) int {
+	t := 0
+	for i := range xs {
+		t += int(ys[i]) // want "index into .ys. with no len"
+	}
+	return t
+}
+
+func mapRead(m map[int]int, k int) int {
+	return m[k] // fine: map reads cannot panic
+}
+
+func arrayIndex(k uint8) byte {
+	var lut [256]byte
+	return lut[k] // fine: fixed-size array, compiler-checked
+}
+
+func trustedHelper(body []byte) byte {
+	//3lc:allow nopanic caller ran scanTernaryBody over body first
+	return body[5]
+}
+
+func constIndex(src []byte) byte {
+	return src[0] // want "index into .src. with no len"
+}
+
+// capAnchored mirrors the FrameReader scratch idiom: capacity is the
+// true bound for re-slicing, so cap() anchors too.
+func capAnchored(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return nil
+	}
+	return buf[:n]
+}

@@ -1,0 +1,24 @@
+package nopanic
+
+// parseHeader carries the decode mark on the function alone: the rest of
+// this file is unmarked and may use panic for programmer errors.
+//
+//3lc:decode
+func parseHeader(src []byte) (byte, byte, error) {
+	if len(src) < 2 {
+		return 0, 0, errShort
+	}
+	return src[0], src[1], nil
+}
+
+//3lc:decode
+func parseBroken(src []byte) byte {
+	return src[2] // want "index into .src. with no len"
+}
+
+// mustScheme is unmarked: panicking on a programming error is fine here.
+func mustScheme(ok bool) {
+	if !ok {
+		panic("nopanic: invalid scheme registration")
+	}
+}

@@ -1,0 +1,61 @@
+// Package poolsafe exercises the poolsafe analyzer: sync.Pool borrows
+// must not outlive the borrowing call. No annotation is needed — every
+// function touching a pool is checked.
+package poolsafe
+
+import (
+	"io"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type holder struct{ buf *[]byte }
+
+func leakReturn() *[]byte {
+	bp := pool.Get().(*[]byte)
+	return bp // want "returns a sync.Pool-borrowed value"
+}
+
+func leakReturnDirect() any {
+	return pool.Get() // want "returns a sync.Pool-borrowed value"
+}
+
+func leakField(h *holder) {
+	h.buf = pool.Get().(*[]byte) // want "stores a sync.Pool-borrowed value in field buf"
+}
+
+func leakSend(ch chan *[]byte) {
+	bp := pool.Get().(*[]byte)
+	ch <- bp // want "sends a sync.Pool-borrowed value"
+}
+
+func leakAliasedSlice() []byte {
+	bp := pool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	return buf // want "returns a sync.Pool-borrowed value"
+}
+
+// writeFramed is the blessed idiom: borrow, use, put back; nothing
+// pooled leaves the function.
+func writeFramed(w io.Writer, payload []byte) error {
+	bp := pool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf
+	pool.Put(bp)
+	return err
+}
+
+// getScratch is an intentional hand-off: the registry contract makes the
+// caller responsible for the put, so the escape is suppressed by name.
+func getScratch() *[]byte {
+	bp := pool.Get().(*[]byte)
+	//3lc:allow poolsafe registry getter: caller owns the buffer until putScratch
+	return bp
+}
+
+func putScratch(bp *[]byte) {
+	pool.Put(bp)
+}

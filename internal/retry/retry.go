@@ -11,6 +11,8 @@
 // their seed with Stream, which keeps independent loops from
 // synchronizing their retries into load spikes — the thundering-herd
 // failure mode of bare doubling schedules.
+//
+//3lc:det
 package retry
 
 import "time"

@@ -28,6 +28,8 @@
 // Placement, like compression, is exact: the union of all shards' state
 // is byte-identical to a single parameter server's (see
 // TestShardedEquivalentToSinglePS).
+//
+//3lc:det
 package shard
 
 import (

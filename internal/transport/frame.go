@@ -65,6 +65,8 @@ const maxPooledFrame = 1 << 20
 // ReadFrame enforces: the encoded length n = 1+len(payload) must satisfy
 // 0 < n <= MaxFrameBytes, so every frame WriteFrame accepts is a frame
 // ReadFrame accepts, and vice versa.
+//
+//3lc:noalloc
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	n := 1 + len(payload)
 	if n > MaxFrameBytes {
@@ -92,6 +94,8 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 // buffer would be too big to pool), so the header and payload go out as
 // two writes, which a buffered writer still coalesces and an unbuffered
 // one streams in two syscalls — negligible at this size.
+//
+//3lc:noalloc
 func writeFrameLarge(w io.Writer, t MsgType, payload []byte, n int) error {
 	var hdr [5]byte
 	le.PutUint32(hdr[:4], uint32(n))
@@ -133,6 +137,9 @@ func NewFrameReader(r io.Reader) *FrameReader {
 
 // ReadFrame reads one framed message. The returned payload is valid until
 // the next call.
+//
+//3lc:noalloc
+//3lc:decode
 func (fr *FrameReader) ReadFrame() (MsgType, []byte, error) {
 	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return 0, nil, err
@@ -142,16 +149,20 @@ func (fr *FrameReader) ReadFrame() (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
 	}
 	if cap(fr.buf) < int(n) {
+		//3lc:allow noalloc grow-once scratch; steady state reuses fr.buf
 		fr.buf = make([]byte, n)
 	}
 	buf := fr.buf[:n]
 	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return 0, nil, err
 	}
+	//3lc:allow nopanic n >= 1 enforced above and buf is fr.buf[:n]
 	return MsgType(buf[0]), buf[1:], nil
 }
 
 // AppendWireSet serializes a set of per-tensor wire messages.
+//
+//3lc:noalloc
 func AppendWireSet(dst []byte, wires [][]byte) []byte {
 	var n [4]byte
 	le.PutUint32(n[:], uint32(len(wires)))
@@ -166,6 +177,8 @@ func AppendWireSet(dst []byte, wires [][]byte) []byte {
 
 // ParseWireSet deserializes a wire set, returning the wires and the number
 // of bytes consumed.
+//
+//3lc:decode
 func ParseWireSet(src []byte) ([][]byte, int, error) {
 	return ParseWireSetInto(nil, src)
 }
@@ -174,6 +187,9 @@ func ParseWireSet(src []byte) ([][]byte, int, error) {
 // (grown only when the tensor count exceeds its capacity), so a
 // connection loop parsing one wire set per step reuses the same slice
 // header array. The returned wires alias src.
+//
+//3lc:noalloc
+//3lc:decode
 func ParseWireSetInto(dst [][]byte, src []byte) ([][]byte, int, error) {
 	if len(src) < 4 {
 		return nil, 0, fmt.Errorf("transport: wire set truncated (no count)")
@@ -187,9 +203,10 @@ func ParseWireSetInto(dst [][]byte, src []byte) ([][]byte, int, error) {
 	if cap(dst) >= count {
 		wires = dst[:count]
 	} else {
+		//3lc:allow noalloc grow path; steady state reuses dst's header array
 		wires = make([][]byte, count)
 	}
-	for i := 0; i < count; i++ {
+	for i := range wires {
 		wires[i] = nil
 		if len(src) < off+4 {
 			return nil, 0, fmt.Errorf("transport: wire set truncated at tensor %d", i)
